@@ -1,0 +1,210 @@
+(* Benchmark harness.
+
+   Part 1 — Bechamel micro-benchmarks: one group per paper table/figure,
+   measuring the operation whose cost that table aggregates (record
+   lookups for Tables 3-5, buffer faults for Table 6 and Figure 3,
+   index construction paths for Table 1 and Figure 1, query-set term
+   traffic for Figure 2).
+
+   Part 2 — full reproduction: regenerates every table and figure of
+   the paper on the calibrated synthetic collections (simulated 1993
+   hardware), exactly as DESIGN.md's experiment index specifies.
+
+   REPRO_SCALE (float, default 1.0) scales collection document counts;
+   REPRO_SKIP_MICRO=1 skips part 1. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures for the micro-benchmarks: one small collection built into
+   both backends. *)
+
+type fixture = {
+  dict : Inquery.Dictionary.t;
+  tree : Btree.t;
+  mneme_cache : Core.Index_store.t;
+  mneme_nocache : Core.Index_store.t;
+  entries : Inquery.Dictionary.entry array;
+  sample_record : bytes;
+  engine : Core.Engine.t;
+}
+
+let fixture =
+  lazy
+    (let model =
+       Collections.Docmodel.make ~name:"bench" ~n_docs:1500 ~core_vocab:8000
+         ~mean_doc_len:120.0 ~hapax_prob:0.012 ~seed:71 ()
+     in
+     let ix = Collections.Synth.build_index model in
+     let dict = Inquery.Indexer.dictionary ix in
+     let vfs = Vfs.create () in
+     let tree = Core.Btree_backend.build vfs ~file:"b.btree" (Inquery.Indexer.to_records ix) in
+     Btree.flush tree;
+     ignore (Core.Mneme_backend.build vfs ~file:"b.mneme" ~dict (Inquery.Indexer.to_records ix));
+     let buffers = Core.Buffer_sizing.compute ~largest_record:100_000 () in
+     let mneme_cache = Core.Mneme_backend.open_session vfs ~file:"b.mneme" ~buffers in
+     let mneme_nocache =
+       Core.Mneme_backend.open_session vfs ~file:"b.mneme" ~buffers:Core.Buffer_sizing.no_cache
+     in
+     let entries = Array.make 64 (Inquery.Dictionary.intern dict "ba") in
+     for i = 0 to 63 do
+       entries.(i) <-
+         (match Inquery.Dictionary.find dict (Collections.Synth.core_term ~rank:(1 + (i * 7))) with
+         | Some e -> e
+         | None -> entries.(0))
+     done;
+     let sample_record =
+       match mneme_cache.Core.Index_store.fetch entries.(0) with
+       | Some r -> r
+       | None -> assert false
+     in
+     let store = Core.Btree_backend.open_session vfs ~file:"b.btree" in
+     let engine =
+       Core.Engine.create ~vfs ~store ~dict
+         ~n_docs:(Inquery.Indexer.document_count ix)
+         ~avg_doc_len:(Inquery.Indexer.avg_doc_length ix)
+         ~doc_len:(Inquery.Indexer.doc_length ix) ()
+     in
+     { dict; tree; mneme_cache; mneme_nocache; entries; sample_record; engine })
+
+let counter = ref 0
+
+let next_entry f =
+  incr counter;
+  f.entries.(!counter land 63)
+
+(* Table 1 / Figure 1: index construction and record coding. *)
+let bench_table1 =
+  let docs =
+    lazy
+      (let model =
+         Collections.Docmodel.make ~name:"t1" ~n_docs:64 ~core_vocab:2000 ~mean_doc_len:100.0
+           ~seed:5 ()
+       in
+       Array.of_seq
+         (Seq.map (fun d -> d.Collections.Synth.terms) (Collections.Synth.documents model)))
+  in
+  [
+    Test.make ~name:"index 64 synthetic docs"
+      (Staged.stage (fun () ->
+           let docs = Lazy.force docs in
+           let ix = Inquery.Indexer.create () in
+           Array.iteri (fun i terms -> Inquery.Indexer.add_document_terms ix ~doc_id:i terms) docs;
+           Inquery.Indexer.posting_count ix));
+    Test.make ~name:"decode sample record"
+      (Staged.stage (fun () ->
+           let f = Lazy.force fixture in
+           Inquery.Postings.fold_docs f.sample_record ~init:0 ~f:(fun acc ~doc:_ ~tf -> acc + tf)));
+  ]
+
+(* Figure 2: the query-set term path — parse plus dictionary probes. *)
+let bench_fig2 =
+  [
+    Test.make ~name:"parse structured query"
+      (Staged.stage (fun () ->
+           Inquery.Query.parse_exn "#wsum( 2 ba 1 #phrase( be bi ) 1 #or( bo bu ce ) )"));
+    Test.make ~name:"dictionary find"
+      (Staged.stage (fun () ->
+           let f = Lazy.force fixture in
+           incr counter;
+           Inquery.Dictionary.find f.dict
+             (Collections.Synth.core_term ~rank:(1 + (!counter land 255)))));
+    Test.make ~name:"porter stem" (Staged.stage (fun () -> Inquery.Stemmer.stem "generalizations"));
+  ]
+
+(* Tables 3/4/5: the record-lookup paths of the three versions. *)
+let bench_tables345 =
+  [
+    Test.make ~name:"btree lookup"
+      (Staged.stage (fun () ->
+           let f = Lazy.force fixture in
+           Btree.lookup f.tree (next_entry f).Inquery.Dictionary.id));
+    Test.make ~name:"mneme lookup, no cache"
+      (Staged.stage (fun () ->
+           let f = Lazy.force fixture in
+           f.mneme_nocache.Core.Index_store.fetch (next_entry f)));
+    Test.make ~name:"mneme lookup, cache"
+      (Staged.stage (fun () ->
+           let f = Lazy.force fixture in
+           f.mneme_cache.Core.Index_store.fetch (next_entry f)));
+    Test.make ~name:"full query (btree engine)"
+      (Staged.stage (fun () ->
+           let f = Lazy.force fixture in
+           Core.Engine.run_query_string ~top_k:10 f.engine "#sum( ba be bi bo bu )"));
+  ]
+
+(* Table 6 / Figure 3: buffer manager fault path. *)
+let bench_table6 =
+  let buffer = lazy (Mneme.Buffer_pool.create ~name:"bench" ~capacity:(1 lsl 20) ()) in
+  let seg = Bytes.make 8192 'x' in
+  [
+    Test.make ~name:"buffer fault (hit)"
+      (Staged.stage (fun () ->
+           let b = Lazy.force buffer in
+           Mneme.Buffer_pool.fault b ~pseg:1 ~load:(fun () -> seg)));
+    Test.make ~name:"buffer fault (miss + evict)"
+      (Staged.stage (fun () ->
+           let b = Lazy.force buffer in
+           incr counter;
+           (* 8 KB segments through a 1 MB buffer: steady-state misses. *)
+           Mneme.Buffer_pool.fault b ~pseg:(2 + (!counter land 1023)) ~load:(fun () -> seg)));
+  ]
+
+let run_micro () =
+  let groups =
+    [
+      ("table1+fig1: build & coding", bench_table1);
+      ("fig2: query term path", bench_fig2);
+      ("tables 3-5: lookup paths", bench_tables345);
+      ("table6+fig3: buffer manager", bench_table6);
+    ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.4) ~stabilize:false () in
+  let instances = Instance.[ monotonic_clock ] in
+  print_endline "=== Bechamel micro-benchmarks (ns per call) ===";
+  List.iter
+    (fun (group, tests) ->
+      Printf.printf "\n[%s]\n" group;
+      let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"g" tests) in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+      List.iter
+        (fun (name, ols) ->
+          match Analyze.OLS.estimates ols with
+          | Some (est :: _) -> Printf.printf "  %-34s %12.1f ns\n" name est
+          | Some [] | None -> Printf.printf "  %-34s (no estimate)\n" name)
+        (List.sort compare rows))
+    groups;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let scale =
+    match Sys.getenv_opt "REPRO_SCALE" with
+    | Some s -> ( try float_of_string s with Failure _ -> 1.0)
+    | None -> 1.0
+  in
+  let skip_micro = Sys.getenv_opt "REPRO_SKIP_MICRO" = Some "1" in
+  if not skip_micro then run_micro ();
+  let progress m = Printf.eprintf "  %s\n%!" m in
+  Printf.printf "=== Paper reproduction (scale %.2f, simulated 1993 hardware) ===\n%!" scale;
+  let ctx = Core.Paper.create_ctx ~progress ~scale () in
+  List.iter
+    (fun (label, table) ->
+      print_newline ();
+      print_endline label;
+      Util.Tables.print table)
+    (Core.Paper.all ctx);
+  if Sys.getenv_opt "REPRO_SKIP_ABLATIONS" <> Some "1" then begin
+    Printf.printf "\n=== Ablations (design-choice studies; fixed small collection) ===\n%!";
+    let actx = Core.Ablation.create ~progress () in
+    List.iter
+      (fun (label, table) ->
+        print_newline ();
+        print_endline label;
+        Util.Tables.print table)
+      (Core.Ablation.all actx)
+  end

@@ -1,0 +1,209 @@
+(* Command-line driver for the reproduction: regenerate any table or
+   figure, inspect a collection, or run ad-hoc queries.
+
+   dune exec bin/repro.exe -- tables --scale 0.1
+   dune exec bin/repro.exe -- stats legal
+   dune exec bin/repro.exe -- run cacm --set 3 --version cache
+   dune exec bin/repro.exe -- query cacm "#phrase( ba be )" *)
+
+open Cmdliner
+
+let scale_arg =
+  let doc = "Collection scale factor (1.0 = calibrated defaults)." in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"FACTOR" ~doc)
+
+let collection_arg =
+  let doc = "Collection preset: cacm, legal, tipster1 or tipster." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"COLLECTION" ~doc)
+
+let progress msg = Printf.eprintf "%s\n%!" msg
+
+(* --- tables ------------------------------------------------------- *)
+
+let tables_cmd =
+  let only =
+    let doc =
+      "Emit only the listed item(s): table1..table6, fig1..fig3 (repeatable)."
+    in
+    Arg.(value & opt_all string [] & info [ "only" ] ~docv:"ID" ~doc)
+  in
+  let run scale only =
+    let ctx = Core.Paper.create_ctx ~progress ~scale () in
+    let items =
+      [
+        ("fig1", fun () -> ("Figure 1: cumulative inverted-list size distribution (Legal)", Core.Paper.fig1 ctx));
+        ("table1", fun () -> ("Table 1: document collection statistics (sizes in KB)", Core.Paper.table1 ctx));
+        ("fig2", fun () -> ("Figure 2: frequency of use by record size, Legal query set 2", Core.Paper.fig2 ctx));
+        ("table2", fun () -> ("Table 2: Mneme buffer sizes (KB)", Core.Paper.table2 ctx));
+        ("table3", fun () -> ("Table 3: wall-clock times (seconds, simulated)", Core.Paper.table3 ctx));
+        ("table4", fun () -> ("Table 4: system CPU plus I/O times (seconds, simulated)", Core.Paper.table4 ctx));
+        ("table5", fun () -> ("Table 5: I/O statistics", Core.Paper.table5 ctx));
+        ("table6", fun () -> ("Table 6: buffer hit rates (Mneme, Cache)", Core.Paper.table6 ctx));
+        ("fig3", fun () -> ("Figure 3: large-object buffer hit rate vs size", Core.Paper.fig3 ctx));
+      ]
+    in
+    let wanted =
+      match only with
+      | [] -> items
+      | ids ->
+        List.filter_map
+          (fun id ->
+            match List.assoc_opt id items with
+            | Some f -> Some (id, f)
+            | None ->
+              Printf.eprintf "unknown item %s (use table1..table6, fig1..fig3)\n" id;
+              exit 2)
+          ids
+    in
+    List.iter
+      (fun (_, f) ->
+        let label, table = f () in
+        print_newline ();
+        print_endline label;
+        Util.Tables.print table)
+      wanted
+  in
+  let doc = "Regenerate the paper's tables and figures." in
+  Cmd.v (Cmd.info "tables" ~doc) Term.(const run $ scale_arg $ only)
+
+(* --- ablations ------------------------------------------------------ *)
+
+let ablations_cmd =
+  let run scale =
+    let ctx = Core.Ablation.create ~progress ~scale () in
+    List.iter
+      (fun (label, table) ->
+        print_newline ();
+        print_endline label;
+        Util.Tables.print table)
+      (Core.Ablation.all ctx)
+  in
+  let doc = "Run the design-choice ablation studies." in
+  Cmd.v (Cmd.info "ablations" ~doc) Term.(const run $ scale_arg)
+
+(* --- stats -------------------------------------------------------- *)
+
+let stats_cmd =
+  let run scale name =
+    let model = Collections.Presets.find ~scale name in
+    let prepared = Core.Experiment.prepare ~progress model in
+    let ix = prepared.Core.Experiment.indexer in
+    Printf.printf "collection        %s\n" name;
+    Printf.printf "documents         %d\n" (Inquery.Indexer.document_count ix);
+    Printf.printf "collection bytes  %d\n" (Inquery.Indexer.collection_bytes ix);
+    Printf.printf "distinct terms    %d\n" (Inquery.Indexer.term_count ix);
+    Printf.printf "postings          %d\n" (Inquery.Indexer.posting_count ix);
+    Printf.printf "occurrences       %d\n" (Inquery.Indexer.occurrence_count ix);
+    Printf.printf "avg doc length    %.1f\n" (Inquery.Indexer.avg_doc_length ix);
+    Printf.printf "largest record    %d bytes\n" prepared.Core.Experiment.largest_record;
+    Printf.printf "btree file        %d KB\n" (prepared.Core.Experiment.btree_size / 1024);
+    Printf.printf "mneme file        %d KB\n" (prepared.Core.Experiment.mneme_size / 1024);
+    let s, m, l = Core.Report.size_census prepared in
+    Printf.printf "partition         %d small / %d medium / %d large\n" s m l
+  in
+  let doc = "Build a collection and print its index statistics." in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ scale_arg $ collection_arg)
+
+(* --- run ---------------------------------------------------------- *)
+
+let version_of_string = function
+  | "btree" -> Ok Core.Experiment.Btree
+  | "nocache" -> Ok Core.Experiment.Mneme_no_cache
+  | "cache" -> Ok Core.Experiment.Mneme_cache
+  | other -> Error (Printf.sprintf "unknown version %s (btree | nocache | cache)" other)
+
+let run_cmd =
+  let set_arg =
+    let doc = "Query set number (as in the paper)." in
+    Arg.(value & opt string "1" & info [ "set"; "s" ] ~docv:"SET" ~doc)
+  in
+  let version_arg =
+    let doc = "Index version: btree, nocache or cache." in
+    Arg.(value & opt string "cache" & info [ "version"; "v" ] ~docv:"VERSION" ~doc)
+  in
+  let run scale name set version =
+    match version_of_string version with
+    | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+    | Ok version ->
+      let ctx = Core.Paper.create_ctx ~progress ~scale () in
+      let r = Core.Paper.run ctx name set version in
+      Printf.printf "collection   %s, query set %s, %s\n" name set
+        (Core.Experiment.version_name version);
+      Printf.printf "queries      %d\n" r.Core.Experiment.n_queries;
+      Printf.printf "wall         %.2f s (simulated)\n" r.Core.Experiment.wall_s;
+      Printf.printf "sys+io       %.2f s\n" r.Core.Experiment.sys_io_s;
+      Printf.printf "engine cpu   %.2f s\n" r.Core.Experiment.engine_cpu_s;
+      Printf.printf "I            %d disk inputs\n" r.Core.Experiment.io_inputs;
+      Printf.printf "A            %.2f file accesses / lookup\n"
+        (Core.Experiment.accesses_per_lookup r);
+      Printf.printf "B            %.0f KB read\n" r.Core.Experiment.kbytes_read;
+      List.iter
+        (fun (pool, s) ->
+          if s.Mneme.Buffer_pool.refs > 0 then
+            Printf.printf "%-6s buffer %d refs, %d hits\n" pool s.Mneme.Buffer_pool.refs
+              s.Mneme.Buffer_pool.hits)
+        r.Core.Experiment.buffers
+  in
+  let doc = "Run one (collection, query set, version) experiment." in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ scale_arg $ collection_arg $ set_arg $ version_arg)
+
+(* --- fsck --------------------------------------------------------- *)
+
+let fsck_cmd =
+  let run scale name =
+    let model = Collections.Presets.find ~scale name in
+    let prepared = Core.Experiment.prepare ~progress model in
+    let store =
+      Mneme.Store.open_existing prepared.Core.Experiment.vfs prepared.Core.Experiment.mneme_file
+    in
+    List.iter
+      (fun pname ->
+        Mneme.Store.attach_buffer (Mneme.Store.pool store pname)
+          (Mneme.Buffer_pool.create ~name:pname ~capacity:1_048_576 ()))
+      [ "small"; "medium"; "large" ];
+    let report = Mneme.Check.run store in
+    Format.printf "%a@." Mneme.Check.pp_report report;
+    if not (Mneme.Check.ok report) then exit 1
+  in
+  let doc = "Build a collection's Mneme store and verify its integrity." in
+  Cmd.v (Cmd.info "fsck" ~doc) Term.(const run $ scale_arg $ collection_arg)
+
+(* --- query -------------------------------------------------------- *)
+
+let query_cmd =
+  let query_arg =
+    let doc = "Query in INQUERY syntax, e.g. '#sum( ba #phrase( be bi ) )'." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY" ~doc)
+  in
+  let top_arg =
+    let doc = "Number of ranked documents to print." in
+    Arg.(value & opt int 10 & info [ "top"; "k" ] ~docv:"K" ~doc)
+  in
+  let run scale name query top_k =
+    let model = Collections.Presets.find ~scale name in
+    let prepared = Core.Experiment.prepare ~progress model in
+    let engine = Core.Experiment.open_engine prepared Core.Experiment.Mneme_cache in
+    match Inquery.Query.parse query with
+    | Error msg ->
+      Printf.eprintf "parse error: %s\n" msg;
+      exit 2
+    | Ok q ->
+      let result = Core.Engine.run_query ~top_k engine q in
+      Printf.printf "query: %s\n" (Inquery.Query.to_string q);
+      Printf.printf "lookups: %d, postings scored: %d\n" result.Core.Engine.record_lookups
+        result.Core.Engine.postings_scored;
+      List.iteri
+        (fun i r ->
+          Printf.printf "%3d. doc %-8d belief %.4f\n" (i + 1) r.Inquery.Ranking.doc
+            r.Inquery.Ranking.score)
+        result.Core.Engine.ranked
+  in
+  let doc = "Run one query against a collection (Mneme cache version)." in
+  Cmd.v (Cmd.info "query" ~doc) Term.(const run $ scale_arg $ collection_arg $ query_arg $ top_arg)
+
+let () =
+  let doc = "Reproduction of Brown et al., 'Supporting Full-Text Information Retrieval with a Persistent Object Store'" in
+  let info = Cmd.info "repro" ~version:"1.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ tables_cmd; ablations_cmd; stats_cmd; run_cmd; query_cmd; fsck_cmd ]))

@@ -1,0 +1,1 @@
+examples/buffer_tuning.ml: Collections Core List Mneme Printf

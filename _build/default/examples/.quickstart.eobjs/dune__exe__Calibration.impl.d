@@ -1,0 +1,1 @@
+examples/calibration.ml: Bytes Collections Inquery List Printf Seq

@@ -1,0 +1,1 @@
+examples/index_anatomy.ml: Bytes Collections Core Inquery List Printf

@@ -1,0 +1,1 @@
+examples/legal_search.ml: Collections Core Inquery List Mneme Printf Vfs

@@ -1,0 +1,1 @@
+examples/legal_search.mli:

@@ -1,0 +1,1 @@
+examples/live_updates.ml: Bytes Char Core Inquery List Mneme Printf Vfs

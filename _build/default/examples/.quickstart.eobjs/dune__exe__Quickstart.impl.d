@@ -1,0 +1,1 @@
+examples/quickstart.ml: Btree Bytes Core Inquery List Printf Vfs

@@ -1,0 +1,50 @@
+(* Buffer tuning studies: the Figure 3 sweep on a scaled TIPSTER, plus
+   two ablations the paper suggests as future work — replacement-policy
+   comparison and the reservation optimisation's effect.
+
+   Run with: dune exec examples/buffer_tuning.exe *)
+
+let () =
+  let model = Collections.Presets.tipster ~scale:0.1 () in
+  Printf.printf "Building %s (scaled): %d documents...\n%!" model.Collections.Docmodel.name
+    model.Collections.Docmodel.n_docs;
+  let prepared = Core.Experiment.prepare model in
+  let spec = List.assoc "1" (Collections.Presets.query_sets model) in
+  let queries = Collections.Querygen.generate model spec in
+  let default = Core.Experiment.default_buffers prepared in
+
+  (* Figure 3: hit rate vs large-object buffer size. *)
+  Printf.printf "\nLarge-object buffer sweep (Figure 3):\n";
+  Printf.printf "  %14s  %8s\n" "buffer (KB)" "hit rate";
+  let sizes =
+    List.map (fun k -> max 8192 (k * default.Core.Buffer_sizing.large / 8)) [ 1; 2; 4; 8; 16; 32 ]
+    |> List.sort_uniq compare
+  in
+  List.iter
+    (fun (size, rate) -> Printf.printf "  %14d  %8.2f\n" (size / 1024) rate)
+    (Core.Experiment.large_buffer_sweep prepared ~queries ~sizes);
+
+  (* Ablation 1: replacement policy. *)
+  Printf.printf "\nReplacement policy ablation (same buffers, Mneme cache):\n";
+  Printf.printf "  %-6s  %10s  %8s  %10s\n" "policy" "accesses" "A" "KB read";
+  List.iter
+    (fun (name, policy) ->
+      let r = Core.Experiment.run_query_set ~policy prepared Core.Experiment.Mneme_cache ~queries in
+      Printf.printf "  %-6s  %10d  %8.2f  %10.0f\n" name r.Core.Experiment.file_accesses
+        (Core.Experiment.accesses_per_lookup r)
+        r.Core.Experiment.kbytes_read)
+    [ ("lru", Mneme.Buffer_pool.Lru); ("fifo", Mneme.Buffer_pool.Fifo);
+      ("clock", Mneme.Buffer_pool.Clock) ];
+
+  (* Ablation 2: how much buffer the no-cache configuration gives up. *)
+  Printf.printf "\nConfiguration comparison:\n";
+  Printf.printf "  %-16s  %8s  %8s  %10s  %10s\n" "version" "I" "A" "KB read" "sys+io s";
+  List.iter
+    (fun version ->
+      let r = Core.Experiment.run_query_set prepared version ~queries in
+      Printf.printf "  %-16s  %8d  %8.2f  %10.0f  %10.2f\n"
+        (Core.Experiment.version_name r.Core.Experiment.version)
+        r.Core.Experiment.io_inputs
+        (Core.Experiment.accesses_per_lookup r)
+        r.Core.Experiment.kbytes_read r.Core.Experiment.sys_io_s)
+    [ Core.Experiment.Btree; Core.Experiment.Mneme_no_cache; Core.Experiment.Mneme_cache ]

@@ -1,0 +1,468 @@
+let magic = "BTRF"
+let version = 1
+
+(* Header page (page 0) layout, all little-endian:
+   0  magic (4 bytes)
+   4  version        u16
+   6  page_size      u32
+   10 root page      u32
+   14 height         u32
+   18 record_count   u64
+   26 heap_off       u64   first free byte in the current heap chunk
+   34 heap_end       u64   end of the current heap chunk
+   42 page_count     u32 *)
+let header_size = 46
+
+type node =
+  | Internal of { keys : int array; children : int array }
+  | Leaf of { keys : int array; extents : (int * int) array; next : int }
+
+type t = {
+  vfs : Vfs.t;
+  file : Vfs.file;
+  page_size : int;
+  leaf_cap : int;
+  internal_cap : int; (* max number of keys in an internal node *)
+  mutable root : int;
+  mutable height : int;
+  mutable record_count : int;
+  mutable heap_off : int;
+  mutable heap_end : int;
+  mutable page_count : int;
+  cached_levels : int; (* node levels kept in memory, from the root down *)
+  node_cache : (int, node) Hashtbl.t;
+  mutable free_list : (int * int) list; (* recycled record extents *)
+}
+
+let leaf_cap_of page_size = (page_size - 7) / 16
+let internal_cap_of page_size = (page_size - 7) / 8
+
+let write_header t =
+  let b = Bytes.make header_size '\000' in
+  Bytes.blit_string magic 0 b 0 4;
+  Util.Bin.put_u16 b 4 version;
+  Util.Bin.put_u32 b 6 t.page_size;
+  Util.Bin.put_u32 b 10 t.root;
+  Util.Bin.put_u32 b 14 t.height;
+  Util.Bin.put_u64 b 18 t.record_count;
+  Util.Bin.put_u64 b 26 t.heap_off;
+  Util.Bin.put_u64 b 34 t.heap_end;
+  Util.Bin.put_u32 b 42 t.page_count;
+  Vfs.write t.file ~off:0 b
+
+let serialize_node t node =
+  let b = Bytes.make t.page_size '\000' in
+  (match node with
+  | Internal { keys; children } ->
+    Util.Bin.put_u8 b 0 1;
+    Util.Bin.put_u16 b 1 (Array.length keys);
+    Array.iteri (fun i k -> Util.Bin.put_u32 b (3 + (i * 4)) k) keys;
+    let base = 3 + (Array.length keys * 4) in
+    Array.iteri (fun i c -> Util.Bin.put_u32 b (base + (i * 4)) c) children
+  | Leaf { keys; extents; next } ->
+    Util.Bin.put_u8 b 0 2;
+    Util.Bin.put_u16 b 1 (Array.length keys);
+    Util.Bin.put_u32 b 3 next;
+    Array.iteri
+      (fun i k ->
+        let off, len = extents.(i) in
+        let base = 7 + (i * 16) in
+        Util.Bin.put_u32 b base k;
+        Util.Bin.put_u64 b (base + 4) off;
+        Util.Bin.put_u32 b (base + 12) len)
+      keys);
+  b
+
+let parse_node b =
+  match Util.Bin.get_u8 b 0 with
+  | 1 ->
+    let nkeys = Util.Bin.get_u16 b 1 in
+    let keys = Array.init nkeys (fun i -> Util.Bin.get_u32 b (3 + (i * 4))) in
+    let base = 3 + (nkeys * 4) in
+    let children = Array.init (nkeys + 1) (fun i -> Util.Bin.get_u32 b (base + (i * 4))) in
+    Internal { keys; children }
+  | 2 ->
+    let nkeys = Util.Bin.get_u16 b 1 in
+    let next = Util.Bin.get_u32 b 3 in
+    let keys = Array.init nkeys (fun i -> Util.Bin.get_u32 b (7 + (i * 16))) in
+    let extents =
+      Array.init nkeys (fun i ->
+          (Util.Bin.get_u64 b (7 + (i * 16) + 4), Util.Bin.get_u32 b (7 + (i * 16) + 12)))
+    in
+    Leaf { keys; extents; next }
+  | tag -> failwith (Printf.sprintf "Btree: corrupt node page (tag %d)" tag)
+
+(* [depth] is the node's distance from the root; the top [cached_levels]
+   levels stay in memory after first touch — the paper's baseline keeps
+   only the root (cached_levels = 1). *)
+let read_node t ~depth page =
+  match Hashtbl.find_opt t.node_cache page with
+  | Some node -> node
+  | None ->
+    let node = parse_node (Vfs.read t.file ~off:(page * t.page_size) ~len:t.page_size) in
+    if depth < t.cached_levels then Hashtbl.replace t.node_cache page node;
+    node
+
+let write_node t page node =
+  Vfs.write t.file ~off:(page * t.page_size) (serialize_node t node);
+  if Hashtbl.mem t.node_cache page then Hashtbl.replace t.node_cache page node
+
+let alloc_page t =
+  let page = t.page_count in
+  t.page_count <- t.page_count + 1;
+  page
+
+let create vfs name ?(page_size = 1024) ?(cached_levels = 1) () =
+  if Vfs.file_exists vfs name then invalid_arg ("Btree.create: file exists: " ^ name);
+  if page_size < 64 then invalid_arg "Btree.create: page_size too small";
+  if header_size > page_size then invalid_arg "Btree.create: page_size below header size";
+  if cached_levels < 0 then invalid_arg "Btree.create: cached_levels must be non-negative";
+  let file = Vfs.open_file vfs name in
+  let t =
+    {
+      vfs;
+      file;
+      page_size;
+      leaf_cap = leaf_cap_of page_size;
+      internal_cap = internal_cap_of page_size;
+      root = 0;
+      height = 1;
+      record_count = 0;
+      heap_off = 0;
+      heap_end = 0;
+      page_count = 1;
+      cached_levels;
+      node_cache = Hashtbl.create 16;
+      free_list = [];
+    }
+  in
+  let root = alloc_page t in
+  t.root <- root;
+  write_node t root (Leaf { keys = [||]; extents = [||]; next = 0 });
+  write_header t;
+  t
+
+let open_existing ?(cached_levels = 1) vfs name =
+  if cached_levels < 0 then invalid_arg "Btree.open_existing: cached_levels must be non-negative";
+  if not (Vfs.file_exists vfs name) then failwith ("Btree.open_existing: no such file: " ^ name);
+  let file = Vfs.open_file vfs name in
+  if Vfs.size file < header_size then failwith "Btree.open_existing: truncated header";
+  let b = Vfs.read file ~off:0 ~len:header_size in
+  if Bytes.sub_string b 0 4 <> magic then failwith "Btree.open_existing: bad magic";
+  if Util.Bin.get_u16 b 4 <> version then failwith "Btree.open_existing: version mismatch";
+  let page_size = Util.Bin.get_u32 b 6 in
+  {
+    vfs;
+    file;
+    page_size;
+    leaf_cap = leaf_cap_of page_size;
+    internal_cap = internal_cap_of page_size;
+    root = Util.Bin.get_u32 b 10;
+    height = Util.Bin.get_u32 b 14;
+    record_count = Util.Bin.get_u64 b 18;
+    heap_off = Util.Bin.get_u64 b 26;
+    heap_end = Util.Bin.get_u64 b 34;
+    page_count = Util.Bin.get_u32 b 42;
+    cached_levels;
+    node_cache = Hashtbl.create 16;
+    free_list = [];
+  }
+
+let flush t = write_header t
+
+let record_count t = t.record_count
+let height t = t.height
+let page_size t = t.page_size
+let file_size t = Vfs.size t.file
+let free_bytes t = List.fold_left (fun acc (_, len) -> acc + len) 0 t.free_list
+let cached_levels t = t.cached_levels
+let cached_nodes t = Hashtbl.length t.node_cache
+
+(* Number of separator keys <= key: the index of the child to descend into. *)
+let upper_bound keys key =
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if keys.(mid) <= key then go (mid + 1) hi else go lo mid
+  in
+  go 0 (Array.length keys)
+
+(* Index of [key] in a leaf's sorted key array, or None. *)
+let leaf_find keys key =
+  let rec go lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      if keys.(mid) = key then Some mid
+      else if keys.(mid) < key then go (mid + 1) hi
+      else go lo mid
+  in
+  go 0 (Array.length keys)
+
+let check_key key =
+  if key < 0 || key > 0xffffffff then invalid_arg "Btree: key out of 32-bit range"
+
+let find_leaf t key =
+  let rec go depth page =
+    match read_node t ~depth page with
+    | Leaf _ as leaf -> (page, leaf)
+    | Internal { keys; children } -> go (depth + 1) children.(upper_bound keys key)
+  in
+  go 0 t.root
+
+let lookup t key =
+  check_key key;
+  match find_leaf t key with
+  | _, Leaf { keys; extents; _ } -> (
+    match leaf_find keys key with
+    | None -> None
+    | Some i ->
+      let off, len = extents.(i) in
+      Some (Vfs.read t.file ~off ~len))
+  | _, Internal _ -> assert false
+
+let mem t key =
+  check_key key;
+  match find_leaf t key with
+  | _, Leaf { keys; _ } -> leaf_find keys key <> None
+  | _, Internal _ -> assert false
+
+(* Record heap allocation: first-fit over the free list, else bump the
+   current heap chunk, else open a new page-aligned chunk. *)
+let alloc_record t len =
+  let rec take acc = function
+    | [] -> None
+    | (off, flen) :: rest when flen >= len ->
+      let remainder = flen - len in
+      let rest' = if remainder >= 16 then (off + len, remainder) :: rest else rest in
+      Some (off, List.rev_append acc rest')
+    | extent :: rest -> take (extent :: acc) rest
+  in
+  match take [] t.free_list with
+  | Some (off, free') ->
+    t.free_list <- free';
+    off
+  | None ->
+    if len <= t.heap_end - t.heap_off then begin
+      let off = t.heap_off in
+      t.heap_off <- t.heap_off + len;
+      off
+    end
+    else begin
+      let pages = max 1 ((len + t.page_size - 1) / t.page_size) in
+      let off = t.page_count * t.page_size in
+      t.page_count <- t.page_count + pages;
+      t.heap_off <- off + len;
+      t.heap_end <- off + (pages * t.page_size);
+      off
+    end
+
+let free_record t off len = if len > 0 then t.free_list <- (off, len) :: t.free_list
+
+let store_record t record =
+  let len = Bytes.length record in
+  let off = alloc_record t len in
+  if len > 0 then Vfs.write t.file ~off record;
+  (off, len)
+
+let array_insert a i x =
+  let n = Array.length a in
+  Array.init (n + 1) (fun j -> if j < i then a.(j) else if j = i then x else a.(j - 1))
+
+let array_remove a i =
+  let n = Array.length a in
+  Array.init (n - 1) (fun j -> if j < i then a.(j) else a.(j + 1))
+
+let sub a lo hi = Array.sub a lo (hi - lo)
+
+(* Recursive insert; returns [Some (separator, new_right_page)] when the
+   visited node split. *)
+let rec insert_rec t depth page key record =
+  match read_node t ~depth page with
+  | Leaf { keys; extents; next } -> (
+    match leaf_find keys key with
+    | Some i ->
+      let old_off, old_len = extents.(i) in
+      free_record t old_off old_len;
+      let extents = Array.copy extents in
+      extents.(i) <- store_record t record;
+      write_node t page (Leaf { keys; extents; next });
+      None
+    | None ->
+      let i = upper_bound keys key in
+      let keys = array_insert keys i key in
+      let extents = array_insert extents i (store_record t record) in
+      t.record_count <- t.record_count + 1;
+      if Array.length keys <= t.leaf_cap then begin
+        write_node t page (Leaf { keys; extents; next });
+        None
+      end
+      else begin
+        let mid = Array.length keys / 2 in
+        let right_page = alloc_page t in
+        let right =
+          Leaf
+            {
+              keys = sub keys mid (Array.length keys);
+              extents = sub extents mid (Array.length extents);
+              next;
+            }
+        in
+        let left = Leaf { keys = sub keys 0 mid; extents = sub extents 0 mid; next = right_page } in
+        write_node t right_page right;
+        write_node t page left;
+        Some (keys.(mid), right_page)
+      end)
+  | Internal { keys; children } -> (
+    let i = upper_bound keys key in
+    match insert_rec t (depth + 1) children.(i) key record with
+    | None -> None
+    | Some (sep, new_page) ->
+      let keys = array_insert keys i sep in
+      let children = array_insert children (i + 1) new_page in
+      if Array.length keys <= t.internal_cap then begin
+        write_node t page (Internal { keys; children });
+        None
+      end
+      else begin
+        let mid = Array.length keys / 2 in
+        let promoted = keys.(mid) in
+        let right_page = alloc_page t in
+        let right =
+          Internal
+            {
+              keys = sub keys (mid + 1) (Array.length keys);
+              children = sub children (mid + 1) (Array.length children);
+            }
+        in
+        let left = Internal { keys = sub keys 0 mid; children = sub children 0 (mid + 1) } in
+        write_node t right_page right;
+        write_node t page left;
+        Some (promoted, right_page)
+      end)
+
+let insert t key record =
+  check_key key;
+  match insert_rec t 0 t.root key record with
+  | None -> ()
+  | Some (sep, new_page) ->
+    let new_root = alloc_page t in
+    let old_root = t.root in
+    t.root <- new_root;
+    (* The tree deepened: cached depths shifted, start afresh. *)
+    Hashtbl.reset t.node_cache;
+    write_node t new_root (Internal { keys = [| sep |]; children = [| old_root; new_page |] });
+    t.height <- t.height + 1
+
+let delete t key =
+  check_key key;
+  match find_leaf t key with
+  | page, Leaf { keys; extents; next } -> (
+    match leaf_find keys key with
+    | None -> false
+    | Some i ->
+      let off, len = extents.(i) in
+      free_record t off len;
+      write_node t page (Leaf { keys = array_remove keys i; extents = array_remove extents i; next });
+      t.record_count <- t.record_count - 1;
+      true)
+  | _, Internal _ -> assert false
+
+let leftmost_leaf t =
+  let rec go depth page =
+    match read_node t ~depth page with
+    | Leaf _ -> page
+    | Internal { children; _ } -> go (depth + 1) children.(0)
+  in
+  go 0 t.root
+
+let iter t f =
+  let rec walk page =
+    if page <> 0 then
+      match read_node t ~depth:max_int page with
+      | Internal _ -> failwith "Btree.iter: corrupt leaf chain"
+      | Leaf { keys; extents; next } ->
+        Array.iteri
+          (fun i key ->
+            let off, len = extents.(i) in
+            f key (Vfs.read t.file ~off ~len))
+          keys;
+        walk next
+  in
+  walk (leftmost_leaf t)
+
+let bulk_load t entries =
+  if t.record_count <> 0 || t.height <> 1 then invalid_arg "Btree.bulk_load: tree not empty";
+  let pending = ref [] (* reversed (min_key, page, node) of finished leaves *) in
+  let cur_keys = ref [] and cur_extents = ref [] and cur_n = ref 0 in
+  let last_key = ref (-1) in
+  let count = ref 0 in
+  let emit_leaf () =
+    if !cur_n > 0 then begin
+      let keys = Array.of_list (List.rev !cur_keys) in
+      let extents = Array.of_list (List.rev !cur_extents) in
+      let page = alloc_page t in
+      (* Patch the previous leaf's next pointer now that we know it. *)
+      (match !pending with
+      | (mk, prev_page, Leaf { keys = pk; extents = pe; _ }) :: rest ->
+        write_node t prev_page (Leaf { keys = pk; extents = pe; next = page });
+        pending := (mk, prev_page, Leaf { keys = pk; extents = pe; next = page }) :: rest
+      | _ -> ());
+      pending := (keys.(0), page, Leaf { keys; extents; next = 0 }) :: !pending;
+      cur_keys := [];
+      cur_extents := [];
+      cur_n := 0
+    end
+  in
+  Seq.iter
+    (fun (key, record) ->
+      check_key key;
+      if key <= !last_key then invalid_arg "Btree.bulk_load: keys must be strictly increasing";
+      last_key := key;
+      cur_keys := key :: !cur_keys;
+      cur_extents := store_record t record :: !cur_extents;
+      incr cur_n;
+      incr count;
+      if !cur_n = t.leaf_cap then emit_leaf ())
+    entries;
+  emit_leaf ();
+  (match List.rev !pending with
+  | [] ->
+    (* Empty input: keep the empty root leaf written by [create]. *)
+    ()
+  | leaves ->
+    List.iter (fun (_, page, node) -> write_node t page node) leaves;
+    let rec build_levels level_nodes height =
+      match level_nodes with
+      | [ (_, page) ] ->
+        t.root <- page;
+        Hashtbl.reset t.node_cache;
+        t.height <- height
+      | _ ->
+        let fanout = t.internal_cap + 1 in
+        let rec group acc cur n = function
+          | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+          | x :: rest ->
+            if n = fanout then group (List.rev cur :: acc) [ x ] 1 rest
+            else group acc (x :: cur) (n + 1) rest
+        in
+        let groups = group [] [] 0 level_nodes in
+        let parents =
+          List.map
+            (fun children_list ->
+              match children_list with
+              | [] -> assert false
+              | (min_key, _) :: _ ->
+                let keys = Array.of_list (List.map fst (List.tl children_list)) in
+                let children = Array.of_list (List.map snd children_list) in
+                let page = alloc_page t in
+                write_node t page (Internal { keys; children });
+                (min_key, page))
+            groups
+        in
+        build_levels parents (height + 1)
+    in
+    build_levels (List.map (fun (mk, page, _) -> (mk, page)) leaves) 1);
+  t.record_count <- !count;
+  write_header t

@@ -1,0 +1,77 @@
+(** The baseline record manager: a disk-page B+tree keyed by term id,
+    with variable-length records in a heap region of the same file.
+
+    This stands in for INQUERY's custom B-tree package.  Faithful to the
+    paper's characterisation of that package, node caching is
+    deliberately minimal: only the root page is kept in memory, so every
+    lookup reads [height - 1] node pages plus the record extent — "every
+    record lookup requires more than one disk access", with the access
+    count growing as the tree deepens (the paper's A statistic of
+    1.44-3.09 file accesses per lookup).
+
+    The default page size is 1 KB, matching the fanout implied by the
+    paper's per-collection A values; the {!Vfs} cost model still
+    transfers 8 KB disk blocks underneath, exactly as ULTRIX did.
+
+    Records larger than a page are stored contiguously in multi-page
+    heap chunks.  Deletion is lazy (no node merging): freed record
+    extents are recycled through an in-process free list, and empty
+    leaves are left in place — the paper's collections are archival, so
+    structural shrinking is never exercised. *)
+
+type t
+
+val create : Vfs.t -> string -> ?page_size:int -> ?cached_levels:int -> unit -> t
+(** [create vfs name ()] initialises an empty tree in a fresh file.
+    [cached_levels] (default 1: root only — the paper's baseline) is
+    how many node levels, from the root down, stay in memory after
+    first touch; 0 reads every node from the file on every lookup.
+    Raises [Invalid_argument] if the file already exists, [page_size]
+    is smaller than 64 bytes, or [cached_levels] is negative. *)
+
+val open_existing : ?cached_levels:int -> Vfs.t -> string -> t
+(** Re-open a previously created tree.  Raises [Failure] if the file is
+    missing or the header is corrupt. *)
+
+val lookup : t -> int -> bytes option
+(** [lookup t key] returns the record stored under [key]. *)
+
+val mem : t -> int -> bool
+(** Like {!lookup} but does not read the record extent — only the node
+    path is traversed. *)
+
+val insert : t -> int -> bytes -> unit
+(** [insert t key record] adds or replaces the record under [key].
+    Raises [Invalid_argument] if [key] is negative or exceeds 32 bits. *)
+
+val delete : t -> int -> bool
+(** [delete t key] removes the binding; returns whether it existed. *)
+
+val iter : t -> (int -> bytes -> unit) -> unit
+(** In ascending key order, via the leaf chain. *)
+
+val bulk_load : t -> (int * bytes) Seq.t -> unit
+(** [bulk_load t entries] builds the tree bottom-up from entries sorted
+    by strictly increasing key.  The tree must be empty.  Raises
+    [Invalid_argument] on unsorted input or a non-empty tree. *)
+
+val record_count : t -> int
+val height : t -> int
+(** Number of node levels, 1 for a lone leaf root. *)
+
+val page_size : t -> int
+val file_size : t -> int
+
+val free_bytes : t -> int
+(** Bytes currently on the record free list (reclaimable heap space
+    from deletions and replacements); the update micro-study's space
+    metric. *)
+
+val cached_levels : t -> int
+val cached_nodes : t -> int
+(** Node pages currently held in memory — the cost side of the
+    node-caching ablation. *)
+
+val flush : t -> unit
+(** Persist the header (root, counts, heap tail) so the file can be
+    re-opened by {!open_existing}. *)

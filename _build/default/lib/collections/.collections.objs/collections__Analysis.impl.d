@@ -1,0 +1,1 @@
+lib/collections/analysis.ml: Array Docmodel Hashtbl Inquery List Seq Synth Util

@@ -1,0 +1,1 @@
+lib/collections/analysis.mli: Docmodel Inquery

@@ -1,0 +1,1 @@
+lib/collections/presets.ml: Docmodel Querygen

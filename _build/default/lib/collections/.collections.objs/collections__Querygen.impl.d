@@ -1,0 +1,1 @@
+lib/collections/querygen.ml: Array Docmodel Float Hashtbl Inquery List Printf String Synth Util

@@ -1,0 +1,1 @@
+lib/collections/querygen.mli: Docmodel Inquery

@@ -1,0 +1,1 @@
+lib/collections/synth.ml: Array Buffer Docmodel Inquery Seq String Util

@@ -1,0 +1,1 @@
+lib/collections/synth.mli: Docmodel Inquery Seq

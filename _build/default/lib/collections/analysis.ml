@@ -1,0 +1,80 @@
+type term_profile = {
+  distinct_terms : int;
+  hapax_terms : int;
+  total_occurrences : int;
+  top_frequency : int;
+}
+
+let term_profile indexer =
+  let distinct = ref 0 and hapax = ref 0 and total = ref 0 and top = ref 0 in
+  Inquery.Dictionary.iter (Inquery.Indexer.dictionary indexer) (fun e ->
+      incr distinct;
+      let cf = e.Inquery.Dictionary.cf in
+      if cf = 1 then incr hapax;
+      total := !total + cf;
+      if cf > !top then top := cf);
+  {
+    distinct_terms = !distinct;
+    hapax_terms = !hapax;
+    total_occurrences = !total;
+    top_frequency = !top;
+  }
+
+let hapax_fraction p =
+  if p.distinct_terms = 0 then 0.0
+  else float_of_int p.hapax_terms /. float_of_int p.distinct_terms
+
+let zipf_fit ?(ranks = 200) indexer =
+  let cfs = ref [] in
+  Inquery.Dictionary.iter (Inquery.Indexer.dictionary indexer) (fun e ->
+      cfs := e.Inquery.Dictionary.cf :: !cfs);
+  let sorted = List.sort (fun a b -> compare b a) !cfs in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  let top = take ranks sorted in
+  if List.length top < 2 then invalid_arg "Analysis.zipf_fit: need at least two terms";
+  let points =
+    List.mapi (fun i cf -> (log (float_of_int (i + 1)), log (float_of_int (max 1 cf)))) top
+  in
+  let slope, _, r2 = Util.Stats.linear_fit points in
+  (-.slope, r2)
+
+let vocabulary_growth model ~samples =
+  if samples < 1 then invalid_arg "Analysis.vocabulary_growth: samples must be positive";
+  let expected = int_of_float (Docmodel.expected_tokens model) in
+  let stride = max 1 (expected / samples) in
+  let seen = Hashtbl.create 4096 in
+  let tokens = ref 0 in
+  let next_sample = ref stride in
+  let out = ref [] in
+  Seq.iter
+    (fun doc ->
+      Array.iter
+        (fun term ->
+          incr tokens;
+          if not (Hashtbl.mem seen term) then Hashtbl.add seen term ();
+          if !tokens >= !next_sample then begin
+            out := (!tokens, Hashtbl.length seen) :: !out;
+            next_sample := !next_sample + stride
+          end)
+        doc.Synth.terms)
+    (Synth.documents model);
+  (* Always close the curve with the final state. *)
+  (match !out with
+  | (t, _) :: _ when t = !tokens -> ()
+  | _ -> out := (!tokens, Hashtbl.length seen) :: !out);
+  List.rev !out
+
+let heaps_fit curve =
+  if List.length curve < 2 then invalid_arg "Analysis.heaps_fit: need at least two points";
+  let points =
+    List.map
+      (fun (tokens, distinct) ->
+        (log (float_of_int (max 1 tokens)), log (float_of_int (max 1 distinct))))
+      curve
+  in
+  let slope, _, r2 = Util.Stats.linear_fit points in
+  (slope, r2)

@@ -1,0 +1,38 @@
+(** Informetric analysis of a built collection.
+
+    Wolfram's papers (cited by the reproduction target) argue that "the
+    informetric characteristics of document databases should be taken
+    into consideration when designing the files used by an IR system";
+    the paper answers that it has "tried to take this advice to heart".
+    This module measures those characteristics on a built index, so the
+    synthetic calibration can be validated against the laws it claims to
+    embody (Zipf rank-frequency, a heavy hapax population, Heaps-style
+    vocabulary growth). *)
+
+type term_profile = {
+  distinct_terms : int;
+  hapax_terms : int;  (** terms occurring exactly once *)
+  total_occurrences : int;
+  top_frequency : int;  (** occurrences of the most frequent term *)
+}
+
+val term_profile : Inquery.Indexer.t -> term_profile
+
+val hapax_fraction : term_profile -> float
+(** [hapax / distinct]; 0 on an empty profile. *)
+
+val zipf_fit : ?ranks:int -> Inquery.Indexer.t -> float * float
+(** [(s, r_squared)] of the log-log regression [log cf = -s log rank +
+    c] over the top [ranks] (default 200) terms by collection frequency
+    — the empirical Zipf exponent.  Raises [Invalid_argument] if the
+    index has fewer than two terms. *)
+
+val vocabulary_growth : Docmodel.t -> samples:int -> (int * int) list
+(** Heaps-law curve: [(tokens seen, distinct terms so far)] sampled at
+    [samples] evenly spaced points while streaming the collection's
+    documents.  Raises [Invalid_argument] if [samples < 1]. *)
+
+val heaps_fit : (int * int) list -> float * float
+(** [(beta, r_squared)] of [log distinct = beta log tokens + c] over a
+    growth curve — Heaps' law exponent (≈0.4-0.6 for real text).
+    Raises [Invalid_argument] with fewer than two points. *)

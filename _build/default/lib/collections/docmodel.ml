@@ -1,0 +1,38 @@
+type t = {
+  name : string;
+  n_docs : int;
+  core_vocab : int;
+  zipf_s : float;
+  stop_top : int;
+  hapax_prob : float;
+  mean_doc_len : float;
+  doc_len_sigma : float;
+  min_doc_len : int;
+  markup_overhead : float;
+  seed : int;
+}
+
+let make ~name ~n_docs ~core_vocab ?(zipf_s = 0.8) ?(stop_top = 0) ?(hapax_prob = 0.01)
+    ~mean_doc_len ?(doc_len_sigma = 0.6) ?(min_doc_len = 8) ?(markup_overhead = 1.25)
+    ?(seed = 42) () =
+  if n_docs <= 0 then invalid_arg "Docmodel.make: n_docs must be positive";
+  if core_vocab <= 0 then invalid_arg "Docmodel.make: core_vocab must be positive";
+  if hapax_prob < 0.0 || hapax_prob >= 1.0 then
+    invalid_arg "Docmodel.make: hapax_prob must be in [0, 1)";
+  if mean_doc_len <= 0.0 then invalid_arg "Docmodel.make: mean_doc_len must be positive";
+  if min_doc_len <= 0 then invalid_arg "Docmodel.make: min_doc_len must be positive";
+  {
+    name;
+    n_docs;
+    core_vocab;
+    zipf_s;
+    stop_top;
+    hapax_prob;
+    mean_doc_len;
+    doc_len_sigma;
+    min_doc_len;
+    markup_overhead;
+    seed;
+  }
+
+let expected_tokens t = float_of_int t.n_docs *. t.mean_doc_len

@@ -1,0 +1,55 @@
+(** Statistical model of a synthetic document collection.
+
+    The paper's collections (CACM, Legal, TIPSTER) are proprietary; what
+    its experiments actually depend on is the {e shape} of the data:
+
+    - Zipf-distributed term frequencies, giving the inverted-list size
+      distribution of their Figure 1 — about half of all lists at or
+      under 12 bytes, and a head of lists running to megabytes;
+    - document counts and lengths that set total index volume relative
+      to buffer sizes.
+
+    A model is a recipe: a {e core} vocabulary drawn with a Zipf
+    exponent (the top [stop_top] ranks are withheld, standing for the
+    stop words the paper's runs removed), plus a {e hapax stream} — with
+    probability [hapax_prob] a token is a brand-new term that will never
+    recur, reproducing the large population of one-occurrence terms real
+    text has and a bounded Zipf vocabulary lacks. *)
+
+type t = {
+  name : string;
+  n_docs : int;
+  core_vocab : int;  (** number of recurring (core) terms *)
+  zipf_s : float;  (** Zipf exponent over the core vocabulary *)
+  stop_top : int;  (** leading ranks withheld as "stop words" *)
+  hapax_prob : float;  (** probability a token is a fresh unique term *)
+  mean_doc_len : float;  (** mean tokens per document *)
+  doc_len_sigma : float;  (** lognormal sigma of document length *)
+  min_doc_len : int;
+  markup_overhead : float;
+      (** raw-collection-size multiplier over token bytes (tags,
+          whitespace, headers in the original files) *)
+  seed : int;
+}
+
+val make :
+  name:string ->
+  n_docs:int ->
+  core_vocab:int ->
+  ?zipf_s:float ->
+  ?stop_top:int ->
+  ?hapax_prob:float ->
+  mean_doc_len:float ->
+  ?doc_len_sigma:float ->
+  ?min_doc_len:int ->
+  ?markup_overhead:float ->
+  ?seed:int ->
+  unit ->
+  t
+(** Defaults: [zipf_s = 0.8], [stop_top = 0], [hapax_prob = 0.01],
+    [doc_len_sigma = 0.6], [min_doc_len = 8], [markup_overhead = 1.25],
+    [seed = 42].  Raises [Invalid_argument] on non-positive counts or
+    probabilities outside [0, 1). *)
+
+val expected_tokens : t -> float
+(** [n_docs *. mean_doc_len]. *)

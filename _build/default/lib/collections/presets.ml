@@ -1,0 +1,65 @@
+let scaled scale n = max 64 (int_of_float (float_of_int n *. scale))
+
+let cacm ?(scale = 1.0) () =
+  Docmodel.make ~name:"cacm" ~n_docs:(scaled scale 3204) ~core_vocab:3000 ~zipf_s:0.8
+    ~stop_top:0 ~hapax_prob:0.010 ~mean_doc_len:95.0 ~doc_len_sigma:0.5 ~markup_overhead:1.15
+    ~seed:101 ()
+
+let legal ?(scale = 1.0) () =
+  Docmodel.make ~name:"legal" ~n_docs:(scaled scale 11953) ~core_vocab:71000 ~zipf_s:0.8
+    ~stop_top:0 ~hapax_prob:0.0091 ~mean_doc_len:650.0 ~doc_len_sigma:0.7
+    ~markup_overhead:1.30 ~seed:102 ()
+
+let tipster_model ~name ~n_docs ~scale =
+  Docmodel.make ~name ~n_docs:(scaled scale n_docs) ~core_vocab:160000 ~zipf_s:0.8 ~stop_top:0
+    ~hapax_prob:0.0098 ~mean_doc_len:250.0 ~doc_len_sigma:0.6 ~markup_overhead:1.25 ~seed:103 ()
+
+let tipster1 ?(scale = 1.0) () = tipster_model ~name:"tipster1" ~n_docs:51089 ~scale
+let tipster ?(scale = 1.0) () = tipster_model ~name:"tipster" ~n_docs:74236 ~scale
+
+let all_models ?(scale = 1.0) () =
+  [ cacm ~scale (); legal ~scale (); tipster1 ~scale (); tipster ~scale () ]
+
+let find ?(scale = 1.0) name =
+  match name with
+  | "cacm" -> cacm ~scale ()
+  | "legal" -> legal ~scale ()
+  | "tipster1" -> tipster1 ~scale ()
+  | "tipster" -> tipster ~scale ()
+  | other -> invalid_arg ("Presets.find: unknown collection " ^ other)
+
+let query_sets model =
+  match model.Docmodel.name with
+  | "cacm" ->
+    (* Three views of the same 50 queries: two boolean representations
+       and a manual word/phrase form. *)
+    let base ~structure ~phrase_prob ~oov_prob =
+      Querygen.make ~set_name:"cacm" ~n_queries:50 ~mean_terms:8.0 ~pool_size:120
+        ~pool_top_bias:300 ~pool_skew:1.0 ~fresh_prob:0.20 ~oov_prob ~phrase_prob ~structure
+        ~seed:201 ()
+    in
+    [
+      ("1", base ~structure:Querygen.Cnf ~phrase_prob:0.0 ~oov_prob:0.05);
+      ("2", base ~structure:Querygen.Dnf ~phrase_prob:0.0 ~oov_prob:0.05);
+      ("3", base ~structure:Querygen.Flat ~phrase_prob:0.35 ~oov_prob:0.15);
+    ]
+  | "legal" ->
+    [
+      ( "1",
+        Querygen.make ~set_name:"legal" ~n_queries:50 ~mean_terms:10.0 ~pool_size:150
+          ~pool_top_bias:300 ~pool_skew:1.0 ~fresh_prob:0.15 ~phrase_prob:0.05 ~seed:202 () );
+      ( "2",
+        (* Set 1 supplemented with dictionary terms, phrases and weights. *)
+        Querygen.make ~set_name:"legal" ~n_queries:50 ~mean_terms:15.0 ~pool_size:150
+          ~pool_top_bias:300 ~pool_skew:1.0 ~fresh_prob:0.20 ~phrase_prob:0.15 ~weighted:true
+          ~seed:202 () );
+    ]
+  | "tipster1" | "tipster" ->
+    [
+      ( "1",
+        (* TREC topics 51-100, automatically expanded: 50 long queries. *)
+        Querygen.make ~set_name:"tipster" ~n_queries:50 ~mean_terms:45.0 ~pool_size:300
+          ~pool_top_bias:450 ~pool_skew:1.0 ~fresh_prob:0.15 ~phrase_prob:0.08 ~weighted:true
+          ~seed:203 () );
+    ]
+  | other -> invalid_arg ("Presets.query_sets: unknown collection " ^ other)

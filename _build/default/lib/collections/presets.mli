@@ -1,0 +1,32 @@
+(** Calibrated stand-ins for the paper's four collections and seven
+    query sets.
+
+    Document counts for CACM and Legal match Table 1 exactly; the two
+    TIPSTER collections are scaled to ~1/10 of the paper's document
+    counts (and Legal's mean document length to ~1/6) so the full
+    experiment suite runs on a development machine — DESIGN.md records
+    the substitution.  [scale] multiplies document counts further
+    (0.1 for smoke tests, 1.0 default).
+
+    TIPSTER 1 is a prefix of TIPSTER (same model, same seed, fewer
+    documents), mirroring "TIPSTER 1 consists of part 1 only and uses
+    the same query set". *)
+
+val cacm : ?scale:float -> unit -> Docmodel.t
+val legal : ?scale:float -> unit -> Docmodel.t
+val tipster1 : ?scale:float -> unit -> Docmodel.t
+val tipster : ?scale:float -> unit -> Docmodel.t
+
+val all_models : ?scale:float -> unit -> Docmodel.t list
+(** The four, in the paper's Table order. *)
+
+val query_sets : Docmodel.t -> (string * Querygen.spec) list
+(** Query sets for a model, keyed by the paper's set numbers ("1", "2",
+    "3").  CACM has three (two boolean representations of the same
+    queries, plus a word/phrase form), Legal two (the second adds terms,
+    phrases and weights), TIPSTER one.  Raises [Invalid_argument] for an
+    unknown collection name. *)
+
+val find : ?scale:float -> string -> Docmodel.t
+(** Model by name ("cacm", "legal", "tipster1", "tipster").
+    Raises [Invalid_argument] otherwise. *)

@@ -1,0 +1,150 @@
+type structure = Flat | Cnf | Dnf
+
+type spec = {
+  set_name : string;
+  n_queries : int;
+  mean_terms : float;
+  pool_size : int;
+  pool_top_bias : int;
+  pool_skew : float;
+  fresh_prob : float;
+  oov_prob : float;
+  phrase_prob : float;
+  weighted : bool;
+  structure : structure;
+  seed : int;
+}
+
+let make ~set_name ?(n_queries = 50) ~mean_terms ?(pool_size = 150) ~pool_top_bias
+    ?(pool_skew = 1.0) ?(fresh_prob = 0.15) ?(oov_prob = 0.0) ?(phrase_prob = 0.0)
+    ?(weighted = false) ?(structure = Flat) ?(seed = 7) () =
+  if n_queries <= 0 then invalid_arg "Querygen.make: n_queries must be positive";
+  if mean_terms <= 0.0 then invalid_arg "Querygen.make: mean_terms must be positive";
+  if pool_size <= 0 then invalid_arg "Querygen.make: pool_size must be positive";
+  if pool_top_bias <= 0 then invalid_arg "Querygen.make: pool_top_bias must be positive";
+  let check_prob name p =
+    if p < 0.0 || p > 1.0 then invalid_arg ("Querygen.make: " ^ name ^ " must be in [0, 1]")
+  in
+  check_prob "fresh_prob" fresh_prob;
+  check_prob "oov_prob" oov_prob;
+  check_prob "phrase_prob" phrase_prob;
+  {
+    set_name;
+    n_queries;
+    mean_terms;
+    pool_size;
+    pool_top_bias;
+    pool_skew;
+    fresh_prob;
+    oov_prob;
+    phrase_prob;
+    weighted;
+    structure;
+    seed;
+  }
+
+(* The topic pool: distinct popular ranks, usage-skewed. *)
+let build_pool model spec rng =
+  let bias = min spec.pool_top_bias model.Docmodel.core_vocab in
+  let seen = Hashtbl.create spec.pool_size in
+  let pool = Array.make spec.pool_size 1 in
+  let filled = ref 0 in
+  let attempts = ref 0 in
+  while !filled < spec.pool_size && !attempts < spec.pool_size * 100 do
+    incr attempts;
+    let rank = 1 + Util.Rng.int rng bias in
+    if not (Hashtbl.mem seen rank) then begin
+      Hashtbl.add seen rank ();
+      pool.(!filled) <- rank;
+      incr filled
+    end
+  done;
+  (* If the bias window is smaller than the pool, fill the rest with
+     repeats (harmless for usage statistics). *)
+  for i = !filled to spec.pool_size - 1 do
+    pool.(i) <- 1 + Util.Rng.int rng bias
+  done;
+  Array.sort compare pool;
+  pool
+
+let generate model spec =
+  (* Two generators: term choices are independent of structural choices,
+     so specs differing only in [structure]/[weighted] produce the same
+     queries in different representations — exactly the paper's CACM
+     query sets 1 and 2. *)
+  let rng = Util.Rng.create ~seed:spec.seed in
+  let rng_struct = Util.Rng.create ~seed:(spec.seed + 1) in
+  let pool = build_pool model spec rng in
+  let pool_zipf = Util.Zipf.create ~n:(Array.length pool) ~s:spec.pool_skew in
+  let vocab_zipf = Util.Zipf.create ~n:model.Docmodel.core_vocab ~s:model.Docmodel.zipf_s in
+  let oov_counter = ref 0 in
+  let pool_draw () = Synth.core_term ~rank:pool.(Util.Zipf.sample pool_zipf rng - 1) in
+  let draw_term () =
+    let u = Util.Rng.float rng 1.0 in
+    if u < spec.oov_prob then begin
+      (* 'z' never starts a synthetic word, so these are true OOV. *)
+      let w = "z" ^ string_of_int !oov_counter in
+      incr oov_counter;
+      w
+    end
+    else if u < spec.oov_prob +. spec.fresh_prob then
+      Synth.core_term ~rank:(Util.Zipf.sample vocab_zipf rng)
+    else pool_draw ()
+  in
+  let draw_item () =
+    let term = draw_term () in
+    if spec.phrase_prob > 0.0 && Util.Rng.float rng 1.0 < spec.phrase_prob then
+      Printf.sprintf "#phrase( %s %s )" term (pool_draw ())
+    else term
+  in
+  let weight () = string_of_int (1 + Util.Rng.int rng_struct 3) in
+  let rec groups_of items =
+    (* structural grouping into 2-3 element groups *)
+    match items with
+    | [] -> []
+    | [ a ] -> [ [ a ] ]
+    | [ a; b ] -> [ [ a; b ] ]
+    | a :: b :: rest ->
+      if Util.Rng.bool rng_struct then
+        match rest with
+        | c :: rest' -> [ a; b; c ] :: groups_of rest'
+        | [] -> [ [ a; b ] ]
+      else [ a; b ] :: groups_of rest
+  in
+  let render_query items =
+    let joined ops xs = Printf.sprintf "#%s( %s )" ops (String.concat " " xs) in
+    match spec.structure with
+    | Flat ->
+      if spec.weighted then
+        joined "wsum" (List.concat_map (fun item -> [ weight (); item ]) items)
+      else joined "sum" items
+    | Cnf -> joined "and" (List.map (joined "or") (groups_of items))
+    | Dnf ->
+      (* Distributing a conjunction over disjunctions duplicates terms:
+         the DNF representation of the same query names some terms more
+         than once (the paper's CACM set 2 reads noticeably more record
+         bytes than set 1 for this reason). *)
+      let duplicated =
+        items @ List.filter (fun _ -> Util.Rng.float rng_struct 1.0 < 0.4) items
+      in
+      joined "or" (List.map (joined "and") (groups_of duplicated))
+  in
+  List.init spec.n_queries (fun _ ->
+      let k =
+        let g =
+          Util.Rng.gaussian rng ~mean:spec.mean_terms ~stddev:(spec.mean_terms /. 3.0)
+        in
+        max 2 (int_of_float (Float.round g))
+      in
+      render_query (List.init k (fun _ -> draw_item ())))
+
+let judgments model spec ~n_relevant =
+  let rng = Util.Rng.create ~seed:(spec.seed + 0x5eed) in
+  List.init spec.n_queries (fun _ ->
+      let docs = Hashtbl.create n_relevant in
+      let attempts = ref 0 in
+      while Hashtbl.length docs < n_relevant && !attempts < n_relevant * 50 do
+        incr attempts;
+        Hashtbl.replace docs (Util.Rng.int rng model.Docmodel.n_docs) ()
+      done;
+      Inquery.Eval.judgments_of_list (Hashtbl.fold (fun d () acc -> d :: acc) docs []))

@@ -1,0 +1,64 @@
+(** Query set generation.
+
+    The paper's query sets exhibit two properties its results hinge on:
+
+    - {b skewed term popularity}: query terms come overwhelmingly from
+      the frequent (large-inverted-list) part of the vocabulary — their
+      Figure 2;
+    - {b repetition across queries}: "significant repetition of the
+      terms used from query to query", from iterative refinement and
+      topical collections, which is what makes inverted-list caching
+      pay off.
+
+    Both are modelled with a {e topic pool}: a fixed sample of popular
+    core ranks, drawn from per query with its own Zipf skew, plus
+    occasional fresh vocabulary draws and out-of-vocabulary words (the
+    manually-chosen words of CACM query set 3 that never occur in the
+    collection). *)
+
+type structure =
+  | Flat  (** [#sum] of terms — natural-language style *)
+  | Cnf  (** [#and] of [#or] groups — boolean representation 1 *)
+  | Dnf  (** [#or] of [#and] groups — boolean representation 2 *)
+
+type spec = {
+  set_name : string;
+  n_queries : int;
+  mean_terms : float;
+  pool_size : int;  (** number of distinct ranks in the topic pool *)
+  pool_top_bias : int;  (** pool ranks are drawn from the top this-many core ranks *)
+  pool_skew : float;  (** Zipf exponent of pool usage — higher = more repetition *)
+  fresh_prob : float;  (** probability a term is drawn from the whole vocabulary *)
+  oov_prob : float;  (** probability a term is out of vocabulary *)
+  phrase_prob : float;  (** probability a term expands to a two-term [#phrase] *)
+  weighted : bool;  (** wrap the query in [#wsum] with small integer weights *)
+  structure : structure;
+  seed : int;
+}
+
+val make :
+  set_name:string ->
+  ?n_queries:int ->
+  mean_terms:float ->
+  ?pool_size:int ->
+  pool_top_bias:int ->
+  ?pool_skew:float ->
+  ?fresh_prob:float ->
+  ?oov_prob:float ->
+  ?phrase_prob:float ->
+  ?weighted:bool ->
+  ?structure:structure ->
+  ?seed:int ->
+  unit ->
+  spec
+(** Defaults: 50 queries, pool of 150, skew 1.0, fresh 0.15, oov 0.0,
+    phrases 0.0, unweighted, [Flat], seed 7.  Raises [Invalid_argument]
+    on non-positive sizes or probabilities outside [0, 1]. *)
+
+val generate : Docmodel.t -> spec -> string list
+(** Concrete query strings in INQUERY syntax, deterministic in the
+    spec's seed. *)
+
+val judgments : Docmodel.t -> spec -> n_relevant:int -> Inquery.Eval.judgments list
+(** A synthetic relevance file: [n_relevant] documents per query,
+    deterministic, independent of any retrieval run. *)

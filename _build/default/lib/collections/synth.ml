@@ -1,0 +1,92 @@
+type doc = { id : int; terms : string array; bytes : int }
+
+(* 15 consonants (no 'q': reserved for hapax prefixes) x 5 vowels. *)
+let consonants = [| 'b'; 'c'; 'd'; 'f'; 'g'; 'h'; 'k'; 'l'; 'm'; 'n'; 'p'; 'r'; 's'; 't'; 'v' |]
+let vowels = [| 'a'; 'e'; 'i'; 'o'; 'u' |]
+let syllable_count = Array.length consonants * Array.length vowels
+
+let add_syllable buf i =
+  Buffer.add_char buf consonants.(i / Array.length vowels);
+  Buffer.add_char buf vowels.(i mod Array.length vowels)
+
+let syllables_of n =
+  (* Little-endian base-75 digits of [n], at least one syllable. *)
+  let buf = Buffer.create 6 in
+  let rec go n =
+    add_syllable buf (n mod syllable_count);
+    if n >= syllable_count then go (n / syllable_count)
+  in
+  go n;
+  Buffer.contents buf
+
+let core_term ~rank =
+  if rank < 1 then invalid_arg "Synth.core_term: rank must be >= 1";
+  syllables_of (rank - 1)
+
+let hapax_term n = "q" ^ syllables_of n
+
+let doc_length model rng =
+  let sigma = model.Docmodel.doc_len_sigma in
+  let mu = log model.Docmodel.mean_doc_len -. (sigma *. sigma /. 2.0) in
+  let len = int_of_float (Util.Rng.lognormal rng ~mu ~sigma) in
+  max model.Docmodel.min_doc_len len
+
+let documents model =
+  let open Docmodel in
+  let gen () =
+    let rng = Util.Rng.create ~seed:model.seed in
+    let zipf = Util.Zipf.create ~n:model.core_vocab ~s:model.zipf_s in
+    let hapax_counter = ref 0 in
+    let core_names = Array.make model.core_vocab "" in
+    let core rank =
+      let name = core_names.(rank - 1) in
+      if name <> "" then name
+      else begin
+        let name = core_term ~rank in
+        core_names.(rank - 1) <- name;
+        name
+      end
+    in
+    let draw_rank () =
+      (* Resample past the withheld "stop word" head, if any. *)
+      let rec go tries =
+        let rank = Util.Zipf.sample zipf rng in
+        if rank > model.stop_top || tries > 50 then rank else go (tries + 1)
+      in
+      go 0
+    in
+    fun id ->
+      let len = doc_length model rng in
+      let terms =
+        Array.init len (fun _ ->
+            if model.hapax_prob > 0.0 && Util.Rng.float rng 1.0 < model.hapax_prob then begin
+              let n = !hapax_counter in
+              incr hapax_counter;
+              hapax_term n
+            end
+            else core (draw_rank ()))
+      in
+      let token_bytes = Array.fold_left (fun acc t -> acc + String.length t + 1) 0 terms in
+      let bytes =
+        int_of_float (float_of_int token_bytes *. model.markup_overhead)
+      in
+      { id; terms; bytes }
+  in
+  (* Each traversal restarts the deterministic generator. *)
+  let rec seq make id () =
+    if id >= model.n_docs then Seq.Nil else Seq.Cons (make id, seq make (id + 1))
+  in
+  fun () -> seq (gen ()) 0 ()
+
+let document_text doc = String.concat " " (Array.to_list doc.terms)
+
+let build_index ?progress model =
+  let indexer = Inquery.Indexer.create () in
+  Seq.iter
+    (fun doc ->
+      Inquery.Indexer.add_document_terms indexer ~doc_id:doc.id ~bytes:doc.bytes doc.terms;
+      match progress with
+      | Some f when (doc.id + 1) mod 5000 = 0 -> f ~docs_done:(doc.id + 1)
+      | Some _ | None -> ())
+    (documents model);
+  indexer

@@ -1,0 +1,31 @@
+(** Synthetic document generation from a {!Docmodel}.
+
+    Terms are deterministic pseudo-words: core rank [r] maps to a
+    consonant-vowel syllable encoding (frequent terms get short words,
+    as in real language), and hapax terms carry a distinct ["q"] prefix
+    so the two populations can never collide.  Generation is a pure
+    function of the model (including its seed): the same model always
+    yields byte-identical documents. *)
+
+type doc = { id : int; terms : string array; bytes : int }
+(** [terms.(i)] is the token at position [i]; [bytes] is the raw-text
+    size attributed to the document (token bytes times the model's
+    markup overhead). *)
+
+val core_term : rank:int -> string
+(** Pseudo-word of the core term with Zipf rank [rank] (1-based).
+    Raises [Invalid_argument] if [rank < 1]. *)
+
+val hapax_term : int -> string
+(** The [n]-th one-occurrence term. *)
+
+val documents : Docmodel.t -> doc Seq.t
+(** The collection's documents, ids [0 .. n_docs - 1].  The sequence is
+    re-playable (re-evaluation regenerates deterministically). *)
+
+val document_text : doc -> string
+(** Space-joined token text, for the examples that exercise the
+    full-text path. *)
+
+val build_index : ?progress:(docs_done:int -> unit) -> Docmodel.t -> Inquery.Indexer.t
+(** Generate and index the whole collection. *)

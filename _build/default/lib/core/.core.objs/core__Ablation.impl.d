@@ -1,0 +1,1 @@
+lib/core/ablation.ml: Array Btree Buffer_sizing Bytes Collections Engine Experiment Hashtbl Index_store Inquery List Live_index Mneme Mneme_backend Partition Printf Seq Util Vfs

@@ -1,0 +1,1 @@
+lib/core/btree_backend.ml: Btree Index_store Inquery

@@ -1,0 +1,1 @@
+lib/core/btree_backend.mli: Btree Index_store Seq Vfs

@@ -1,0 +1,1 @@
+lib/core/catalog.ml: Array Buffer Bytes Inquery Util Vfs

@@ -1,0 +1,1 @@
+lib/core/catalog.mli: Inquery Vfs

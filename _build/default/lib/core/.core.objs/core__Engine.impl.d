@@ -1,0 +1,1 @@
+lib/core/engine.ml: Index_store Inquery List Vfs

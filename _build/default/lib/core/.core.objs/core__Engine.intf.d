@@ -1,0 +1,1 @@
+lib/core/engine.mli: Index_store Inquery Vfs

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Array Btree Btree_backend Buffer_sizing Bytes Catalog Collections Engine Index_store Inquery List Mneme Mneme_backend Printf Seq Vfs

@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Buffer_sizing Collections Engine Inquery Mneme Vfs

@@ -1,0 +1,1 @@
+lib/core/index_store.ml: Inquery Mneme

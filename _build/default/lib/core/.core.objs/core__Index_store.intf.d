@@ -1,0 +1,1 @@
+lib/core/index_store.mli: Inquery Mneme

@@ -1,0 +1,1 @@
+lib/core/live_index.ml: Array Btree Buffer_sizing Bytes Hashtbl Inquery List Mneme Partition Vfs

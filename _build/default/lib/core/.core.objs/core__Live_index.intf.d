@@ -1,0 +1,1 @@
+lib/core/live_index.mli: Btree Buffer_sizing Inquery Mneme Partition Vfs

@@ -1,0 +1,1 @@
+lib/core/mneme_backend.ml: Buffer_sizing Bytes Index_store Inquery List Mneme Partition Printf Seq

@@ -1,0 +1,1 @@
+lib/core/mneme_backend.mli: Buffer_sizing Index_store Inquery Mneme Partition Seq Vfs

@@ -1,0 +1,1 @@
+lib/core/paper.ml: Buffer_sizing Collections Experiment Hashtbl Inquery List Mneme Printf Report Util

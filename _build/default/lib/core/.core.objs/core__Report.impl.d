@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Experiment Float Hashtbl Inquery List Partition Util

@@ -1,0 +1,67 @@
+(** Ablation studies for the design choices the paper makes (and two it
+    proposes as future work).
+
+    Each table isolates one decision on a moderate synthetic collection:
+
+    - {!policy_table} — buffer replacement policy (LRU / FIFO / Clock)
+      crossed with the query-tree reservation optimisation, under a
+      deliberately tight large-object buffer;
+    - {!medium_pseg_table} — the medium pool's physical-segment size
+      ("based on the disk I/O block size and a desire to keep the
+      segments relatively small");
+    - {!threshold_table} — the small/large partition thresholds (12
+      bytes and 4 KB in the paper);
+    - {!update_table} — the dynamic-update micro-study: incremental
+      document addition/deletion cost and stranded space on both
+      backends ({!Live_index});
+    - {!daat_table} — term-at-a-time vs document-at-a-time evaluation.
+
+    Every row rebuilds its index variant from the same document
+    collection, so rows differ only in the ablated parameter. *)
+
+type ctx
+
+val create : ?progress:(string -> unit) -> ?scale:float -> unit -> ctx
+(** Builds the ablation collection ([scale] multiplies its size;
+    default 1.0 is a few thousand documents — deliberately smaller than
+    the paper presets so the full ablation suite stays fast). *)
+
+val policy_table : ctx -> Util.Tables.t
+val medium_pseg_table : ctx -> Util.Tables.t
+val threshold_table : ctx -> Util.Tables.t
+val daat_table : ctx -> Util.Tables.t
+
+val journal_table : ctx -> Util.Tables.t
+(** Journaled vs plain store construction and querying — the paper's
+    "would not introduce excessive overhead" conjecture, measured. *)
+
+val btree_cache_table : ctx -> Util.Tables.t
+(** The baseline's "limited and unsophisticated caching of index nodes"
+    as a knob: 0-3 cached levels, showing how much of Mneme's advantage
+    the custom package could have recovered (the paper's point is that
+    this is exactly the effort one buys off the shelf). *)
+
+val compression_table : ctx -> Util.Tables.t
+(** Index volume under 32-bit, v-byte, Elias gamma/delta and per-term
+    Golomb coding of the gap streams — the Zobel et al. axis the paper
+    holds fixed ("the compression techniques ... are pre-determined by
+    the existing INQUERY system"). *)
+
+val signature_table : ctx -> Util.Tables.t
+(** Inverted file vs signature file (sequential and bit-sliced) on
+    conjunctive queries: file size, bytes read per query, and false-drop
+    rate — the access-method comparison the paper cites but does not
+    run. *)
+
+val seek_model_table : ?progress:(string -> unit) -> unit -> Util.Tables.t
+(** Self-contained: the three system versions under the flat per-block
+    calibration vs a seek+transfer split, showing how much contiguous
+    segment layout ("careful file allocation sympathetic to the device
+    transfer block size") is worth once seeks are modelled. *)
+
+val update_table : ?progress:(string -> unit) -> ?adds:int -> ?deletes:int -> unit -> Util.Tables.t
+(** Self-contained (builds its own small collection); defaults: 300
+    additions, 60 deletions. *)
+
+val all : ctx -> (string * Util.Tables.t) list
+(** Every ablation, labelled. *)

@@ -1,0 +1,15 @@
+let build vfs ~file records =
+  let tree = Btree.create vfs file () in
+  Btree.bulk_load tree records;
+  tree
+
+let open_session ?cached_levels vfs ~file =
+  let tree = Btree.open_existing ?cached_levels vfs file in
+  {
+    Index_store.name = "btree";
+    fetch = (fun entry -> Btree.lookup tree entry.Inquery.Dictionary.id);
+    reserve = Index_store.no_reserve;
+    buffer_stats = (fun () -> []);
+    reset_buffer_stats = (fun () -> ());
+    file_size = (fun () -> Btree.file_size tree);
+  }

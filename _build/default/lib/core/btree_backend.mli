@@ -1,0 +1,17 @@
+(** The original configuration: inverted file index as a keyed file,
+    term ids as keys, B-tree index.
+
+    [build] bulk-loads the records emitted by an {!Inquery.Indexer};
+    [open_session] re-opens the file the way each timed run did (no
+    state survives from the build), yielding an {!Index_store} whose
+    every lookup pays the paper's characteristic "more than one disk
+    access". *)
+
+val build : Vfs.t -> file:string -> (int * bytes) Seq.t -> Btree.t
+(** Create and bulk-load; returns the tree (callers usually only need
+    the side effect).  Raises like {!Btree.create}/{!Btree.bulk_load}. *)
+
+val open_session : ?cached_levels:int -> Vfs.t -> file:string -> Index_store.t
+(** [cached_levels] as in {!Btree.open_existing} (default 1, the
+    paper's root-only baseline).  Raises [Failure] if the file is
+    missing or corrupt. *)

@@ -1,0 +1,12 @@
+type t = { small : int; medium : int; large : int }
+
+let compute ?(small_pseg = 4096) ?(medium_pseg = 8192) ?(medium_ratio = 0.09) ~largest_record ()
+    =
+  if largest_record <= 0 then invalid_arg "Buffer_sizing.compute: largest_record must be positive";
+  let large = 3 * largest_record in
+  let medium = max (int_of_float (medium_ratio *. float_of_int large)) (3 * medium_pseg) in
+  { small = 3 * small_pseg; medium; large }
+
+let no_cache = { small = 0; medium = 0; large = 0 }
+
+let with_large t large = { t with large }

@@ -1,0 +1,25 @@
+(** The paper's buffer-size heuristics (their Table 2).
+
+    - Large-object buffer: three times the largest inverted list —
+      "a reasonable amount of buffer space, in a somewhat regulated
+      fashion"; a percentage of total file size would be inappropriate
+      given the range of file sizes.
+    - Medium-object buffer: 9 % of the large buffer (the observed ratio
+      of medium to large accesses), but never less than three medium
+      segments — the CACM exception.
+    - Small-object buffer: three small segments; small-object access is
+      insignificant. *)
+
+type t = { small : int; medium : int; large : int }
+(** Capacities in bytes. *)
+
+val compute :
+  ?small_pseg:int -> ?medium_pseg:int -> ?medium_ratio:float -> largest_record:int -> unit -> t
+(** Defaults: 4 KB small segments, 8 KB medium segments, ratio 0.09.
+    Raises [Invalid_argument] if [largest_record <= 0]. *)
+
+val no_cache : t
+(** All capacities zero — the "Mneme, No Cache" configuration. *)
+
+val with_large : t -> int -> t
+(** Override the large-buffer capacity (the Figure 3 sweep). *)

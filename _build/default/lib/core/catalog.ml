@@ -1,0 +1,61 @@
+type t = {
+  dict : Inquery.Dictionary.t;
+  n_docs : int;
+  doc_lens : int array;
+  collection_bytes : int;
+}
+
+let magic = "IRCT"
+
+let of_indexer indexer =
+  let n_docs = Inquery.Indexer.document_count indexer in
+  (* Document ids are dense in every builder path; size by count. *)
+  let doc_lens = Array.init n_docs (Inquery.Indexer.doc_length indexer) in
+  {
+    dict = Inquery.Indexer.dictionary indexer;
+    n_docs;
+    doc_lens;
+    collection_bytes = Inquery.Indexer.collection_bytes indexer;
+  }
+
+let avg_doc_length t =
+  if t.n_docs = 0 then 0.0
+  else float_of_int (Array.fold_left ( + ) 0 t.doc_lens) /. float_of_int t.n_docs
+
+let doc_length t d = if d < 0 || d >= Array.length t.doc_lens then None else Some (float_of_int t.doc_lens.(d))
+
+let save vfs ~file t =
+  let dict_blob = Inquery.Dictionary.serialize t.dict in
+  let buf = Buffer.create (Bytes.length dict_blob + (Array.length t.doc_lens * 2) + 64) in
+  Buffer.add_string buf magic;
+  Util.Bin.buf_u32 buf t.n_docs;
+  Util.Bin.buf_u64 buf t.collection_bytes;
+  Util.Bin.buf_u32 buf (Array.length t.doc_lens);
+  Array.iter (Util.Varint.encode buf) t.doc_lens;
+  Util.Bin.buf_u32 buf (Bytes.length dict_blob);
+  Buffer.add_bytes buf dict_blob;
+  let f = Vfs.open_file vfs file in
+  Vfs.truncate f 0;
+  ignore (Vfs.append f (Buffer.to_bytes buf))
+
+let load vfs ~file =
+  if not (Vfs.file_exists vfs file) then failwith ("Catalog.load: no such file: " ^ file);
+  let f = Vfs.open_file vfs file in
+  let b = Vfs.read f ~off:0 ~len:(Vfs.size f) in
+  if Bytes.length b < 16 || Bytes.sub_string b 0 4 <> magic then
+    failwith "Catalog.load: bad magic";
+  try
+    let n_docs = Util.Bin.get_u32 b 4 in
+    let collection_bytes = Util.Bin.get_u64 b 8 in
+    let len_count = Util.Bin.get_u32 b 16 in
+    let pos = ref 20 in
+    let doc_lens =
+      Array.init len_count (fun _ ->
+          let v, pos' = Util.Varint.decode b ~pos:!pos in
+          pos := pos';
+          v)
+    in
+    let dict_len = Util.Bin.get_u32 b !pos in
+    let dict_blob = Bytes.sub b (!pos + 4) dict_len in
+    { dict = Inquery.Dictionary.deserialize dict_blob; n_docs; doc_lens; collection_bytes }
+  with Invalid_argument _ -> failwith "Catalog.load: corrupt catalog"

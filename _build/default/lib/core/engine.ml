@@ -1,0 +1,75 @@
+type t = {
+  vfs : Vfs.t;
+  store : Index_store.t;
+  dict : Inquery.Dictionary.t;
+  source : Inquery.Infnet.source;
+  stopwords : Inquery.Stopwords.t option;
+  stem : bool;
+  reserve : bool;
+}
+
+type result = {
+  ranked : Inquery.Ranking.ranked list;
+  postings_scored : int;
+  nodes_visited : int;
+  record_lookups : int;
+}
+
+let create ~vfs ~store ~dict ~n_docs ~avg_doc_len ~doc_len ?stopwords ?(stem = false)
+    ?(reserve = true) () =
+  let source =
+    {
+      Inquery.Infnet.fetch = store.Index_store.fetch;
+      n_docs;
+      max_doc_id = n_docs - 1;
+      avg_doc_len;
+      doc_len;
+    }
+  in
+  { vfs; store; dict; source; stopwords; stem; reserve }
+
+let store t = t.store
+
+(* Entries named by the query tree, normalised the same way evaluation
+   will normalise them, for the reservation scan. *)
+let query_entries t query =
+  Inquery.Query.terms query
+  |> List.filter_map (fun term ->
+         let drop =
+           match t.stopwords with
+           | Some sw -> Inquery.Stopwords.is_stopword sw term
+           | None -> false
+         in
+         if drop then None
+         else begin
+           let term = if t.stem then Inquery.Stemmer.stem term else term in
+           Inquery.Dictionary.find t.dict term
+         end)
+
+let run_query ?(top_k = 100) t query =
+  let release =
+    if t.reserve then t.store.Index_store.reserve (query_entries t query)
+    else Index_store.no_reserve []
+  in
+  let beliefs, stats =
+    Inquery.Infnet.eval t.source t.dict ?stopwords:t.stopwords ~stem:t.stem query
+  in
+  release ();
+  let model = Vfs.cost_model t.vfs in
+  let cpu_ms =
+    (float_of_int stats.Inquery.Infnet.postings_scored
+     *. model.Vfs.Cost_model.cpu_ns_per_posting /. 1.0e6)
+    +. (float_of_int stats.Inquery.Infnet.nodes_visited
+        *. model.Vfs.Cost_model.cpu_us_per_query_node /. 1.0e3)
+  in
+  Vfs.Clock.charge_engine_cpu (Vfs.clock t.vfs) cpu_ms;
+  {
+    ranked = Inquery.Ranking.top_k beliefs ~k:top_k;
+    postings_scored = stats.Inquery.Infnet.postings_scored;
+    nodes_visited = stats.Inquery.Infnet.nodes_visited;
+    record_lookups = stats.Inquery.Infnet.record_lookups;
+  }
+
+let run_query_string ?top_k t text = run_query ?top_k t (Inquery.Query.parse_exn text)
+
+let run_batch t queries = List.map (run_query_string t) queries

@@ -1,0 +1,46 @@
+(** The integrated retrieval engine: INQUERY's inference network on top
+    of a pluggable {!Index_store}.
+
+    Each query is processed the way the paper describes: the query tree
+    is parsed, scanned for terms whose records are already resident
+    (which are {e reserved} for the duration), evaluated term-at-a-time,
+    ranked, and released.  The engine charges its simulated CPU (per
+    posting scored and per query node) to the {!Vfs} clock so that
+    "user CPU" and "system + I/O" components can be separated exactly as
+    the paper's Tables 3 and 4 do. *)
+
+type t
+
+type result = {
+  ranked : Inquery.Ranking.ranked list;
+  postings_scored : int;
+  nodes_visited : int;
+  record_lookups : int;
+}
+
+val create :
+  vfs:Vfs.t ->
+  store:Index_store.t ->
+  dict:Inquery.Dictionary.t ->
+  n_docs:int ->
+  avg_doc_len:float ->
+  doc_len:(int -> int) ->
+  ?stopwords:Inquery.Stopwords.t ->
+  ?stem:bool ->
+  ?reserve:bool ->
+  unit ->
+  t
+(** [reserve] (default true) controls the paper's query-tree reservation
+    scan; the ablation harness turns it off to measure its value. *)
+
+val store : t -> Index_store.t
+
+val run_query : ?top_k:int -> t -> Inquery.Query.t -> result
+(** Evaluate one parsed query ([top_k] defaults to 100 ranked
+    documents). *)
+
+val run_query_string : ?top_k:int -> t -> string -> result
+(** Parse and evaluate.  Raises [Invalid_argument] on syntax errors. *)
+
+val run_batch : t -> string list -> result list
+(** The paper's batch mode: every query of a set, in order. *)

@@ -1,0 +1,10 @@
+type t = {
+  name : string;
+  fetch : Inquery.Dictionary.entry -> bytes option;
+  reserve : Inquery.Dictionary.entry list -> unit -> unit;
+  buffer_stats : unit -> (string * Mneme.Buffer_pool.stats) list;
+  reset_buffer_stats : unit -> unit;
+  file_size : unit -> int;
+}
+
+let no_reserve _entries () = ()

@@ -1,0 +1,24 @@
+(** The inverted-file-index service interface.
+
+    INQUERY's retrieval engine needs exactly this from its data
+    management subsystem: fetch the record for a dictionary entry, and
+    (optionally) reserve records a query is about to use.  The B-tree
+    package and the Mneme store each implement it; swapping one for the
+    other is the entire point of the paper. *)
+
+type t = {
+  name : string;  (** "btree", "mneme-nocache", "mneme-cache" *)
+  fetch : Inquery.Dictionary.entry -> bytes option;
+      (** Retrieve the inverted list record for a term. *)
+  reserve : Inquery.Dictionary.entry list -> unit -> unit;
+      (** Pin already-resident records before query processing; the
+          returned thunk releases them.  A no-op for backends without
+          user-space caching. *)
+  buffer_stats : unit -> (string * Mneme.Buffer_pool.stats) list;
+      (** Per-buffer reference/hit statistics (empty for the B-tree). *)
+  reset_buffer_stats : unit -> unit;
+  file_size : unit -> int;
+}
+
+val no_reserve : Inquery.Dictionary.entry list -> unit -> unit
+(** The trivial reservation. *)

@@ -1,0 +1,288 @@
+type backend =
+  | Btree_backend of Btree.t
+  | Mneme_backend of {
+      store : Mneme.Store.t;
+      small : Mneme.Store.pool;
+      medium : Mneme.Store.pool;
+      large : Mneme.Store.pool;
+      thresholds : Partition.thresholds;
+    }
+
+type t = {
+  vfs : Vfs.t;
+  mutable backend : backend;
+  dict : Inquery.Dictionary.t;
+  stopwords : Inquery.Stopwords.t option;
+  stem : bool;
+  doc_lens : (int, int) Hashtbl.t;
+  mutable total_len : int;
+  mutable next_doc_id : int;
+}
+
+let make ?stopwords ?(stem = false) vfs backend dict doc_lengths =
+  let doc_lens = Hashtbl.create (max 64 (List.length doc_lengths)) in
+  let total_len = ref 0 in
+  let next = ref 0 in
+  List.iter
+    (fun (doc, len) ->
+      Hashtbl.replace doc_lens doc len;
+      total_len := !total_len + len;
+      if doc >= !next then next := doc + 1)
+    doc_lengths;
+  {
+    vfs;
+    backend;
+    dict;
+    stopwords;
+    stem;
+    doc_lens;
+    total_len = !total_len;
+    next_doc_id = !next;
+  }
+
+let wrap_btree ?stopwords ?stem vfs ~tree ~dict ~doc_lengths =
+  make ?stopwords ?stem vfs (Btree_backend tree) dict doc_lengths
+
+let mneme_of_store ?(thresholds = Partition.default) store =
+  Mneme_backend
+    {
+      store;
+      small = Mneme.Store.pool store "small";
+      medium = Mneme.Store.pool store "medium";
+      large = Mneme.Store.pool store "large";
+      thresholds;
+    }
+
+let wrap_mneme ?stopwords ?stem ?thresholds vfs ~store ~dict ~doc_lengths =
+  make ?stopwords ?stem vfs (mneme_of_store ?thresholds store) dict doc_lengths
+
+let create_btree ?stopwords ?stem vfs ~file () =
+  let tree = Btree.create vfs file () in
+  make ?stopwords ?stem vfs (Btree_backend tree) (Inquery.Dictionary.create ()) []
+
+let default_live_buffers = { Buffer_sizing.small = 65536; medium = 65536; large = 65536 }
+
+let create_mneme ?stopwords ?stem ?(buffers = default_live_buffers) vfs ~file () =
+  let store = Mneme.Store.create vfs file in
+  List.iter
+    (fun (policy, capacity) ->
+      let pool = Mneme.Store.add_pool store policy in
+      Mneme.Store.attach_buffer pool
+        (Mneme.Buffer_pool.create ~name:policy.Mneme.Policy.name ~capacity ()))
+    [
+      (Mneme.Policy.small, buffers.Buffer_sizing.small);
+      (Mneme.Policy.medium, buffers.Buffer_sizing.medium);
+      (Mneme.Policy.large, buffers.Buffer_sizing.large);
+    ];
+  make ?stopwords ?stem vfs (mneme_of_store store) (Inquery.Dictionary.create ()) []
+
+let backend_name t = match t.backend with Btree_backend _ -> "btree" | Mneme_backend _ -> "mneme"
+
+(* ------------------------------------------------------------------ *)
+(* Record access                                                       *)
+
+let fetch_record t entry =
+  match t.backend with
+  | Btree_backend tree -> Btree.lookup tree entry.Inquery.Dictionary.id
+  | Mneme_backend { store; _ } ->
+    let locator = entry.Inquery.Dictionary.locator in
+    if locator < 0 then None else Mneme.Store.get_opt store locator
+
+let pool_for m size =
+  match Partition.classify ~thresholds:m size with
+  | Partition.Small -> `Small
+  | Partition.Medium -> `Medium
+  | Partition.Large -> `Large
+
+(* Store [record] as the inverted list of [entry], replacing any
+   previous version.  Under Mneme, records that change size class move
+   between pools: the old object is deleted and a new one allocated, and
+   the locator in the hash dictionary is updated — the integration
+   pattern of the paper, now dynamic. *)
+let store_record t entry record =
+  match t.backend with
+  | Btree_backend tree -> Btree.insert tree entry.Inquery.Dictionary.id record
+  | Mneme_backend { store; small; medium; large; thresholds } ->
+    let pool_of cls =
+      match cls with `Small -> small | `Medium -> medium | `Large -> large
+    in
+    let new_class = pool_for thresholds (Bytes.length record) in
+    let locator = entry.Inquery.Dictionary.locator in
+    if locator < 0 then
+      entry.Inquery.Dictionary.locator <- Mneme.Store.allocate (pool_of new_class) record
+    else begin
+      let old_class =
+        match Mneme.Store.pool_of_oid store locator with
+        | Some p -> (
+          match Mneme.Store.pool_name p with
+          | "small" -> `Small
+          | "medium" -> `Medium
+          | _ -> `Large)
+        | None -> new_class
+      in
+      if old_class = new_class then Mneme.Store.modify store locator record
+      else begin
+        Mneme.Store.delete store locator;
+        entry.Inquery.Dictionary.locator <- Mneme.Store.allocate (pool_of new_class) record
+      end
+    end
+
+let drop_record t entry =
+  (match t.backend with
+  | Btree_backend tree -> ignore (Btree.delete tree entry.Inquery.Dictionary.id)
+  | Mneme_backend { store; _ } ->
+    let locator = entry.Inquery.Dictionary.locator in
+    if locator >= 0 then Mneme.Store.delete store locator);
+  entry.Inquery.Dictionary.locator <- -1
+
+(* ------------------------------------------------------------------ *)
+(* Addition                                                            *)
+
+let normalise t term =
+  let stopped =
+    match t.stopwords with Some sw -> Inquery.Stopwords.is_stopword sw term | None -> false
+  in
+  if stopped then None else Some (if t.stem then Inquery.Stemmer.stem term else term)
+
+let add_document t ?doc_id text =
+  let doc =
+    match doc_id with
+    | None -> t.next_doc_id
+    | Some id ->
+      if id < t.next_doc_id then
+        invalid_arg "Live_index.add_document: id must exceed all existing ids";
+      id
+  in
+  t.next_doc_id <- doc + 1;
+  (* Group positions per term, in ascending order. *)
+  let positions = Hashtbl.create 32 in
+  let order = ref [] in
+  let indexed =
+    Inquery.Lexer.fold_tokens text ~init:0 ~f:(fun n term position ->
+        match normalise t term with
+        | None -> n
+        | Some term ->
+          (match Hashtbl.find_opt positions term with
+          | Some ps -> Hashtbl.replace positions term (position :: ps)
+          | None ->
+            Hashtbl.replace positions term [ position ];
+            order := term :: !order);
+          n + 1)
+  in
+  List.iter
+    (fun term ->
+      let entry = Inquery.Dictionary.intern t.dict term in
+      let ps = List.rev (Hashtbl.find positions term) in
+      let addition = Inquery.Postings.encode [ (doc, ps) ] in
+      let record =
+        match fetch_record t entry with
+        | None -> addition
+        | Some existing -> Inquery.Postings.merge existing addition
+      in
+      store_record t entry record;
+      entry.Inquery.Dictionary.df <- entry.Inquery.Dictionary.df + 1;
+      entry.Inquery.Dictionary.cf <- entry.Inquery.Dictionary.cf + List.length ps)
+    (List.rev !order);
+  Hashtbl.replace t.doc_lens doc indexed;
+  t.total_len <- t.total_len + indexed;
+  doc
+
+(* ------------------------------------------------------------------ *)
+(* Deletion                                                            *)
+
+let delete_document t doc =
+  match Hashtbl.find_opt t.doc_lens doc with
+  | None -> false
+  | Some len ->
+    (* No forward index: every inverted list must be examined — the
+       cost structure the paper describes for deletion. *)
+    Inquery.Dictionary.iter t.dict (fun entry ->
+        match fetch_record t entry with
+        | None -> ()
+        | Some record ->
+          let tf = ref 0 in
+          Inquery.Postings.fold_docs record ~init:() ~f:(fun () ~doc:d ~tf:f ->
+              if d = doc then tf := f);
+          if !tf > 0 then begin
+            (match Inquery.Postings.remove_docs record (fun d -> d = doc) with
+            | Some record' -> store_record t entry record'
+            | None -> drop_record t entry);
+            entry.Inquery.Dictionary.df <- entry.Inquery.Dictionary.df - 1;
+            entry.Inquery.Dictionary.cf <- entry.Inquery.Dictionary.cf - !tf
+          end);
+    Hashtbl.remove t.doc_lens doc;
+    t.total_len <- t.total_len - len;
+    true
+
+(* ------------------------------------------------------------------ *)
+(* Search and statistics                                               *)
+
+let document_count t = Hashtbl.length t.doc_lens
+let contains_document t doc = Hashtbl.mem t.doc_lens doc
+
+let avg_doc_length t =
+  let n = document_count t in
+  if n = 0 then 0.0 else float_of_int t.total_len /. float_of_int n
+
+let term_record t term =
+  match normalise t term with
+  | None -> None
+  | Some term -> (
+    match Inquery.Dictionary.find t.dict term with
+    | None -> None
+    | Some entry -> fetch_record t entry)
+
+let search ?(top_k = 10) t query =
+  let source =
+    {
+      Inquery.Infnet.fetch = (fun entry -> fetch_record t entry);
+      n_docs = max 1 (document_count t);
+      max_doc_id = max 0 (t.next_doc_id - 1);
+      avg_doc_len = avg_doc_length t;
+      doc_len = (fun d -> match Hashtbl.find_opt t.doc_lens d with Some l -> l | None -> 0);
+    }
+  in
+  let beliefs, _ =
+    Inquery.Infnet.eval source t.dict ?stopwords:t.stopwords ~stem:t.stem
+      (Inquery.Query.parse_exn query)
+  in
+  (* Deleted documents keep their slots; mask them out. *)
+  Array.iteri
+    (fun d b ->
+      if b > Inquery.Infnet.default_belief && not (Hashtbl.mem t.doc_lens d) then
+        beliefs.(d) <- Inquery.Infnet.default_belief)
+    beliefs;
+  Inquery.Ranking.top_k beliefs ~k:top_k
+
+let flush t =
+  match t.backend with
+  | Btree_backend tree -> Btree.flush tree
+  | Mneme_backend { store; _ } -> Mneme.Store.finalize store
+
+let compact t ~file =
+  match t.backend with
+  | Btree_backend _ -> invalid_arg "Live_index.compact: only the Mneme backend compacts"
+  | Mneme_backend { store; thresholds; _ } ->
+    Mneme.Store.finalize store;
+    let dst = Mneme.Store.compact store ~file in
+    (* Carry the buffer configuration over to the new store's pools. *)
+    List.iter
+      (fun name ->
+        let capacity =
+          match Mneme.Store.buffer (Mneme.Store.pool store name) with
+          | Some b -> Mneme.Buffer_pool.capacity b
+          | None -> 65536
+        in
+        Mneme.Store.attach_buffer (Mneme.Store.pool dst name)
+          (Mneme.Buffer_pool.create ~name ~capacity ()))
+      [ "small"; "medium"; "large" ];
+    t.backend <- mneme_of_store ~thresholds dst
+
+type space = { file_bytes : int; reclaimable_bytes : int }
+
+let space t =
+  match t.backend with
+  | Btree_backend tree ->
+    { file_bytes = Btree.file_size tree; reclaimable_bytes = Btree.free_bytes tree }
+  | Mneme_backend { store; _ } ->
+    { file_bytes = Mneme.Store.file_size store; reclaimable_bytes = Mneme.Store.wasted_bytes store }

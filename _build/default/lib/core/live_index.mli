@@ -1,0 +1,104 @@
+(** Dynamic inverted-file maintenance — the extension the paper leaves
+    as future work.
+
+    "In the INQUERY system ... document collections are currently viewed
+    as archival and modification is considered a rare event.  Therefore,
+    addition or deletion of a single document ... is not directly
+    supported and requires the entire document collection to be
+    re-indexed."
+
+    A live index supports exactly that: incremental document addition
+    and deletion over either storage backend, plus search, with the
+    collection statistics (document count, lengths, per-term df/cf) kept
+    consistent.  The costs the paper worries about become observable:
+
+    - {b addition} obtains the inverted list of every term in the new
+      document and re-stores it with the entry merged in.  Under the
+      B-tree the old extent is freed and may be recycled; under Mneme a
+      grown object relocates, stranding its old space
+      ({!Mneme.Store.wasted_bytes}).  Objects that outgrow their size
+      class migrate pools (small → medium → large), updating the
+      dictionary locator.
+    - {b deletion} must visit {e every} inverted list, since there is no
+      forward index — the paper's "holes in the inverted lists", here
+      actually punched and measured. *)
+
+type t
+
+val wrap_btree :
+  ?stopwords:Inquery.Stopwords.t ->
+  ?stem:bool ->
+  Vfs.t ->
+  tree:Btree.t ->
+  dict:Inquery.Dictionary.t ->
+  doc_lengths:(int * int) list ->
+  t
+(** Adopt an existing B-tree index.  [doc_lengths] carries the indexed
+    length of each existing document. *)
+
+val wrap_mneme :
+  ?stopwords:Inquery.Stopwords.t ->
+  ?stem:bool ->
+  ?thresholds:Partition.thresholds ->
+  Vfs.t ->
+  store:Mneme.Store.t ->
+  dict:Inquery.Dictionary.t ->
+  doc_lengths:(int * int) list ->
+  t
+(** Adopt a built Mneme store.  Pools "small", "medium" and "large"
+    must exist and have buffers attached.  Raises [Not_found] if a pool
+    is missing. *)
+
+val create_btree :
+  ?stopwords:Inquery.Stopwords.t -> ?stem:bool -> Vfs.t -> file:string -> unit -> t
+(** An empty live index on a fresh B-tree file. *)
+
+val create_mneme :
+  ?stopwords:Inquery.Stopwords.t ->
+  ?stem:bool ->
+  ?buffers:Buffer_sizing.t ->
+  Vfs.t ->
+  file:string ->
+  unit ->
+  t
+(** An empty live index on a fresh Mneme store with the three standard
+    pools ([buffers] defaults to 64 KB per pool). *)
+
+val backend_name : t -> string
+(** "btree" or "mneme". *)
+
+val add_document : t -> ?doc_id:int -> string -> int
+(** Index one document and return its id (fresh ids are assigned past
+    the largest seen).  Raises [Invalid_argument] if an explicit id is
+    not beyond every existing id. *)
+
+val delete_document : t -> int -> bool
+(** Remove a document from every inverted list it appears in; returns
+    whether it existed. *)
+
+val document_count : t -> int
+val contains_document : t -> int -> bool
+val avg_doc_length : t -> float
+
+val term_record : t -> string -> bytes option
+(** The current inverted record for a (normalised) term. *)
+
+val search : ?top_k:int -> t -> string -> Inquery.Ranking.ranked list
+(** Parse and evaluate a query against the live state.
+    Raises [Invalid_argument] on syntax errors. *)
+
+val flush : t -> unit
+(** Persist backend metadata (B-tree header / Mneme finalize). *)
+
+val compact : t -> file:string -> unit
+(** Mneme backend only: rewrite the store into [file], reclaiming every
+    byte stranded by updates and deletions, and switch the live index
+    to the compacted store (object ids — and therefore the dictionary
+    locators — are preserved).  Raises [Invalid_argument] on a B-tree
+    backend. *)
+
+type space = { file_bytes : int; reclaimable_bytes : int }
+
+val space : t -> space
+(** File size and the backend's recyclable/stranded byte count — the
+    update micro-study's metric. *)

@@ -1,0 +1,21 @@
+type size_class = Small | Medium | Large
+
+type thresholds = { small_max : int; large_min : int }
+
+let default = { small_max = 12; large_min = 4097 }
+
+let classify ?(thresholds = default) size =
+  if size <= thresholds.small_max then Small
+  else if size >= thresholds.large_min then Large
+  else Medium
+
+let class_name = function Small -> "small" | Medium -> "medium" | Large -> "large"
+
+let census ?thresholds sizes =
+  Array.fold_left
+    (fun (s, m, l) size ->
+      match classify ?thresholds size with
+      | Small -> (s + 1, m, l)
+      | Medium -> (s, m + 1, l)
+      | Large -> (s, m, l + 1))
+    (0, 0, 0) sizes

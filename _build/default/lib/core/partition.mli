@@ -1,0 +1,26 @@
+(** The paper's three-way partition of inverted-list objects.
+
+    "First, in all of the test collections, approximately 50% of the
+    inverted lists are 12 bytes or less.  By allocating a 16 byte object
+    (4 bytes for a size field) for every inverted list less than or
+    equal to 12 bytes, we can conveniently fit a whole logical segment
+    (255 objects) in one 4 Kbyte physical segment. ...  All inverted
+    lists larger than 4 Kbytes were allocated ... in a large object
+    pool.  The remaining inverted lists ... were allocated in a medium
+    object pool." *)
+
+type size_class = Small | Medium | Large
+
+type thresholds = { small_max : int; large_min : int }
+
+val default : thresholds
+(** [small_max = 12], [large_min = 4097] (strictly larger than 4 KB). *)
+
+val classify : ?thresholds:thresholds -> int -> size_class
+(** Classify a record by its byte size. *)
+
+val class_name : size_class -> string
+(** "small" / "medium" / "large" — also the Mneme pool names. *)
+
+val census : ?thresholds:thresholds -> int array -> int * int * int
+(** [(small, medium, large)] counts over an array of record sizes. *)

@@ -1,0 +1,65 @@
+type fig1_point = { size : int; records_le : float; bytes_le : float }
+
+let fig1 ?(points = 20) prepared =
+  let cum_records = Util.Stats.Cumulative.create () in
+  let cum_bytes = Util.Stats.Cumulative.create () in
+  Array.iter
+    (fun (_, size) ->
+      Util.Stats.Cumulative.add cum_records ~value:size ~weight:1;
+      Util.Stats.Cumulative.add cum_bytes ~value:size ~weight:size)
+    prepared.Experiment.record_sizes;
+  let max_size = prepared.Experiment.largest_record in
+  let ratio = Float.pow (float_of_int max_size) (1.0 /. float_of_int (points - 1)) in
+  let sizes =
+    List.init points (fun i ->
+        if i = points - 1 then max_size
+        else max 1 (int_of_float (Float.pow ratio (float_of_int i))))
+    |> List.sort_uniq compare
+  in
+  List.map
+    (fun size ->
+      {
+        size;
+        records_le = Util.Stats.Cumulative.fraction_le cum_records size;
+        bytes_le = Util.Stats.Cumulative.fraction_le cum_bytes size;
+      })
+    sizes
+
+type fig2_point = { bucket_min : int; uses : int }
+
+let fig2 prepared ~queries =
+  let size_of = Hashtbl.create (Array.length prepared.Experiment.record_sizes) in
+  Array.iter
+    (fun (term_id, size) -> Hashtbl.replace size_of term_id size)
+    prepared.Experiment.record_sizes;
+  let buckets = 24 in
+  let hist = Util.Stats.Log_histogram.create ~lo:4 ~buckets in
+  List.iter
+    (fun query ->
+      match Inquery.Query.parse query with
+      | Error _ -> ()
+      | Ok q ->
+        List.iter
+          (fun term ->
+            match Inquery.Dictionary.find prepared.Experiment.dict term with
+            | None -> ()
+            | Some entry -> (
+              match Hashtbl.find_opt size_of entry.Inquery.Dictionary.id with
+              | Some size -> Util.Stats.Log_histogram.add hist size
+              | None -> ()))
+          (Inquery.Query.terms q))
+    queries;
+  let top_bucket = Util.Stats.Log_histogram.bucket_of hist prepared.Experiment.largest_record in
+  List.init (top_bucket + 1) (fun i ->
+      {
+        bucket_min = Util.Stats.Log_histogram.lower_bound hist i;
+        uses = Util.Stats.Log_histogram.count hist i;
+      })
+
+let small_fraction prepared =
+  let sizes = Array.map snd prepared.Experiment.record_sizes in
+  let small, _, _ = Partition.census sizes in
+  if Array.length sizes = 0 then 0.0
+  else float_of_int small /. float_of_int (Array.length sizes)
+
+let size_census prepared = Partition.census (Array.map snd prepared.Experiment.record_sizes)

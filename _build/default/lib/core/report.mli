@@ -1,0 +1,27 @@
+(** Data series for the paper's figures.
+
+    Figure 1: cumulative distribution of inverted-list record sizes, by
+    record count and by file bytes.  Figure 2: frequency of use of terms
+    with different record sizes for a query set.  Both are emitted as
+    (size, value) series ready for plotting or textual display. *)
+
+type fig1_point = { size : int; records_le : float; bytes_le : float }
+
+val fig1 : ?points:int -> Experiment.prepared -> fig1_point list
+(** Cumulative fractions at [points] log-spaced sizes (default 20)
+    covering 1 byte to the largest record. *)
+
+type fig2_point = { bucket_min : int; uses : int }
+
+val fig2 : Experiment.prepared -> queries:string list -> fig2_point list
+(** Term-use counts per power-of-two record-size bucket: every
+    occurrence of an in-vocabulary term in the query set counts one use
+    of its inverted list.  Buckets with zero uses are included up to the
+    largest record size. *)
+
+val small_fraction : Experiment.prepared -> float
+(** Fraction of records at or under the small-object threshold — the
+    paper's "approximately 50%" observation. *)
+
+val size_census : Experiment.prepared -> int * int * int
+(** (small, medium, large) record counts under the default partition. *)

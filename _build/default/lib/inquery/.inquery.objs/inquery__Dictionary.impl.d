@@ -1,0 +1,1 @@
+lib/inquery/dictionary.ml: Array Buffer Char String Util

@@ -1,0 +1,1 @@
+lib/inquery/eval.ml: Hashtbl List

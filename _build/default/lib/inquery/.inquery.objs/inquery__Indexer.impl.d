@@ -1,0 +1,1 @@
+lib/inquery/indexer.ml: Array Buffer Bytes Dictionary Lexer List Seq Stemmer Stopwords String Util

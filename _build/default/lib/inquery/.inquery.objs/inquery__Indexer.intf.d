@@ -1,0 +1,1 @@
+lib/inquery/indexer.mli: Dictionary Seq Stopwords

@@ -1,0 +1,1 @@
+lib/inquery/infnet.ml: Array Dictionary Float Fun Hashtbl List Option Postings Query Stemmer Stopwords

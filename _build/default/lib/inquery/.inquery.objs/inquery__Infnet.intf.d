@@ -1,0 +1,1 @@
+lib/inquery/infnet.mli: Dictionary Query Stopwords

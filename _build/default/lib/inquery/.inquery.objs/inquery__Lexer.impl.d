@@ -1,0 +1,1 @@
+lib/inquery/lexer.ml: Buffer Char List String

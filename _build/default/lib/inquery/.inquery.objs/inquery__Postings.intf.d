@@ -1,0 +1,1 @@
+lib/inquery/postings.mli:

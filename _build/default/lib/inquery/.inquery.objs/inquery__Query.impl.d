@@ -1,0 +1,1 @@
+lib/inquery/query.ml: Float Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/inquery/ranking.ml: Array Infnet List

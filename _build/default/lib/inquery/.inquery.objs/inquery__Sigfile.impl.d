@@ -1,0 +1,1 @@
+lib/inquery/sigfile.ml: Array Bytes Char Fun List Seq String Util Vfs

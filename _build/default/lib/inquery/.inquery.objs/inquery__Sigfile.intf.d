@@ -1,0 +1,1 @@
+lib/inquery/sigfile.mli: Seq Vfs

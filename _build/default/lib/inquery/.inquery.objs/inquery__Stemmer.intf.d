@@ -1,0 +1,1 @@
+lib/inquery/stemmer.mli:

@@ -1,0 +1,1 @@
+lib/inquery/stopwords.ml: Hashtbl List String

@@ -1,0 +1,76 @@
+type judgments = (int, unit) Hashtbl.t
+
+let judgments_of_list docs =
+  let t = Hashtbl.create (List.length docs) in
+  List.iter (fun d -> Hashtbl.replace t d ()) docs;
+  t
+
+let relevant_count = Hashtbl.length
+
+let is_relevant t doc = Hashtbl.mem t doc
+
+let take k xs =
+  let rec go n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: go (n - 1) rest
+  in
+  go k xs
+
+let precision_at ranked rel ~k =
+  if k <= 0 then invalid_arg "Eval.precision_at: k must be positive";
+  let top = take k ranked in
+  let hits = List.length (List.filter (is_relevant rel) top) in
+  float_of_int hits /. float_of_int k
+
+let recall_at ranked rel ~k =
+  let total = relevant_count rel in
+  if total = 0 then 0.0
+  else begin
+    let top = take k ranked in
+    let hits = List.length (List.filter (is_relevant rel) top) in
+    float_of_int hits /. float_of_int total
+  end
+
+let r_precision ranked rel =
+  let r = relevant_count rel in
+  if r = 0 then 0.0 else precision_at ranked rel ~k:r
+
+let average_precision ranked rel =
+  let total = relevant_count rel in
+  if total = 0 then 0.0
+  else begin
+    let _, sum =
+      List.fold_left
+        (fun (i, (hits, sum)) doc ->
+          let rank = i + 1 in
+          if is_relevant rel doc then begin
+            let hits = hits + 1 in
+            (rank, (hits, sum +. (float_of_int hits /. float_of_int rank)))
+          end
+          else (rank, (hits, sum)))
+        (0, (0, 0.0))
+        ranked
+      |> fun (_, acc) -> acc
+    in
+    sum /. float_of_int total
+  end
+
+let interpolated_precision ranked rel ~recall =
+  if recall < 0.0 || recall > 1.0 then
+    invalid_arg "Eval.interpolated_precision: recall must be in [0, 1]";
+  let total = relevant_count rel in
+  if total = 0 then 0.0
+  else begin
+    let best = ref 0.0 in
+    let hits = ref 0 in
+    List.iteri
+      (fun i doc ->
+        let rank = i + 1 in
+        if is_relevant rel doc then incr hits;
+        let r = float_of_int !hits /. float_of_int total in
+        let p = float_of_int !hits /. float_of_int rank in
+        if r >= recall && p > !best then best := p)
+      ranked;
+    !best
+  end

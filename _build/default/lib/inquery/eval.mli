@@ -1,0 +1,34 @@
+(** Retrieval effectiveness: recall and precision.
+
+    The paper holds effectiveness fixed ("the portion of the system that
+    determines those factors is fixed across the two systems") and
+    measures time instead — but the relevance files it feeds each run
+    exist to compute these metrics, so the reproduction carries them
+    too, exercised on synthetic judgments. *)
+
+type judgments
+(** The relevant document set for one query. *)
+
+val judgments_of_list : int list -> judgments
+val relevant_count : judgments -> int
+
+val precision_at : int list -> judgments -> k:int -> float
+(** [precision_at ranked rel ~k]: fraction of the top [k] ranked
+    documents that are relevant.  Raises [Invalid_argument] if
+    [k <= 0]. *)
+
+val recall_at : int list -> judgments -> k:int -> float
+(** Fraction of relevant documents found in the top [k]; 0 when there
+    are no relevant documents. *)
+
+val r_precision : int list -> judgments -> float
+(** Precision at rank R = number of relevant documents. *)
+
+val average_precision : int list -> judgments -> float
+(** Mean of precision values at each relevant document's rank
+    (uninterpolated AP); 0 when there are no relevant documents. *)
+
+val interpolated_precision : int list -> judgments -> recall:float -> float
+(** Max precision at any rank achieving at least the given recall —
+    the 11-point interpolated metric of classic IR evaluation.
+    Raises [Invalid_argument] if [recall] is outside [0, 1]. *)

@@ -1,0 +1,55 @@
+(** Inverted file index construction.
+
+    Documents are fed in ascending document-id order; per-term postings
+    are accumulated in already-compressed form, so peak memory is close
+    to the final index size.  (Batch indexers of the paper's era
+    materialised (term, doc) pairs and sorted them — "indexing a large
+    collection ... is dominated by a sorting problem"; streaming in
+    document order performs that sort implicitly, since postings arrive
+    pre-sorted by document within each term.)
+
+    The indexer owns the {!Dictionary} and maintains per-term df/cf
+    statistics, per-document lengths, and collection totals.  The
+    finished index is emitted as a sequence of (term id, record bytes)
+    pairs in ascending term id, ready for {!Btree.bulk_load} or Mneme
+    allocation. *)
+
+type t
+
+val create : ?stopwords:Stopwords.t -> ?stem:bool -> unit -> t
+(** [stem] defaults to [false] (the synthetic collections pre-normalise
+    their vocabulary); pass [~stem:true] for raw English text. *)
+
+val add_document : t -> doc_id:int -> string -> unit
+(** Tokenize, filter stop words, optionally stem, and index.  Document
+    ids must be strictly increasing across calls; raises
+    [Invalid_argument] otherwise.  Collection size grows by the text
+    length. *)
+
+val add_document_terms : t -> doc_id:int -> ?bytes:int -> string array -> unit
+(** Index a pre-tokenized document: element [i] is the term at position
+    [i].  No stop word or stemming filters are applied.  [bytes]
+    (default: sum of term lengths + separators) is the raw-text size
+    attributed to the document for collection statistics. *)
+
+val dictionary : t -> Dictionary.t
+val document_count : t -> int
+val term_count : t -> int
+val posting_count : t -> int
+(** Total (term, doc) postings across the index. *)
+
+val occurrence_count : t -> int
+(** Total term occurrences (sum of cf). *)
+
+val collection_bytes : t -> int
+val doc_length : t -> int -> int
+(** Indexed term count of a document; 0 for unknown ids. *)
+
+val avg_doc_length : t -> float
+
+val to_records : t -> (int * bytes) Seq.t
+(** The finished inverted file, ascending by term id.  The sequence can
+    be consumed once or many times; records are assembled on demand. *)
+
+val record_bytes_total : t -> int
+(** Sum of all record sizes (the "raw inverted data" volume). *)

@@ -1,0 +1,414 @@
+type source = {
+  fetch : Dictionary.entry -> bytes option;
+  n_docs : int;
+  max_doc_id : int;
+  avg_doc_len : float;
+  doc_len : int -> int;
+}
+
+type stats = {
+  mutable postings_scored : int;
+  mutable nodes_visited : int;
+  mutable record_lookups : int;
+}
+
+let default_belief = 0.4
+
+let idf_weight ~n_docs ~df =
+  if df <= 0 then 0.0
+  else log ((float_of_int n_docs +. 0.5) /. float_of_int df) /. log (float_of_int n_docs +. 1.0)
+
+let tf_weight ~tf ~dl ~avg_dl =
+  let tf = float_of_int tf in
+  let norm = if avg_dl > 0.0 then float_of_int dl /. avg_dl else 1.0 in
+  tf /. (tf +. 0.5 +. (1.5 *. norm))
+
+let belief ~n_docs ~df ~tf ~dl ~avg_dl =
+  default_belief +. (0.6 *. tf_weight ~tf ~dl ~avg_dl *. idf_weight ~n_docs ~df)
+
+(* --- positional leaf matching -------------------------------------- *)
+
+(* doc -> sorted position array, counting the postings examined. *)
+let position_table examined record =
+  let tbl = Hashtbl.create 64 in
+  Postings.fold_positions record ~init:() ~f:(fun () dp ->
+      examined := !examined + List.length dp.Postings.positions;
+      Hashtbl.replace tbl dp.Postings.doc (Array.of_list dp.Postings.positions));
+  tbl
+
+(* Smallest element of the sorted array strictly greater than [q]. *)
+let successor arr q =
+  let n = Array.length arr in
+  let rec go lo hi = if lo >= hi then lo else begin
+      let mid = (lo + hi) / 2 in
+      if arr.(mid) <= q then go (mid + 1) hi else go lo mid
+    end
+  in
+  let i = go 0 n in
+  if i >= n then None else Some arr.(i)
+
+let sort_matches matches = List.sort (fun (a, _) (b, _) -> compare a b) matches
+
+(* Ordered window: chains t1 < t2 < ... with each step within [window]
+   positions.  [#phrase] is the window-1 case (strictly increasing
+   positions make "within 1" mean "exactly adjacent"). *)
+let od_doc_tfs ~window records =
+  match records with
+  | [] -> ([], 0)
+  | first :: rest ->
+    let examined = ref 0 in
+    let first_tbl = position_table examined first in
+    let rest_tbls = List.map (position_table examined) rest in
+    let matches = ref [] in
+    Hashtbl.iter
+      (fun doc ps1 ->
+        if List.for_all (fun tbl -> Hashtbl.mem tbl doc) rest_tbls then begin
+          let rec chain q = function
+            | [] -> true
+            | tbl :: more -> (
+              match successor (Hashtbl.find tbl doc) q with
+              | Some q' when q' <= q + window -> chain q' more
+              | Some _ | None -> false)
+          in
+          let tf = Array.fold_left (fun acc p -> if chain p rest_tbls then acc + 1 else acc) 0 ps1 in
+          if tf > 0 then matches := (doc, tf) :: !matches
+        end)
+      first_tbl;
+    (sort_matches !matches, !examined)
+
+let phrase_doc_tfs records = od_doc_tfs ~window:1 records
+
+(* Unordered window: all members within a span of [window] positions.
+   Sliding scan: repeatedly take the member currently at the smallest
+   position; if the current span fits the window, count a match. *)
+let uw_doc_tfs ~window records =
+  match records with
+  | [] -> ([], 0)
+  | first :: rest ->
+    let examined = ref 0 in
+    let first_tbl = position_table examined first in
+    let rest_tbls = List.map (position_table examined) rest in
+    let matches = ref [] in
+    Hashtbl.iter
+      (fun doc ps1 ->
+        if List.for_all (fun tbl -> Hashtbl.mem tbl doc) rest_tbls then begin
+          let arrays = Array.of_list (ps1 :: List.map (fun tbl -> Hashtbl.find tbl doc) rest_tbls) in
+          let k = Array.length arrays in
+          let idx = Array.make k 0 in
+          let tf = ref 0 in
+          let exhausted = ref false in
+          while not !exhausted do
+            let lo_i = ref 0 and lo = ref arrays.(0).(idx.(0)) and hi = ref arrays.(0).(idx.(0)) in
+            for i = 1 to k - 1 do
+              let v = arrays.(i).(idx.(i)) in
+              if v < !lo then begin
+                lo := v;
+                lo_i := i
+              end;
+              if v > !hi then hi := v
+            done;
+            if !hi - !lo < window then incr tf;
+            idx.(!lo_i) <- idx.(!lo_i) + 1;
+            if idx.(!lo_i) >= Array.length arrays.(!lo_i) then exhausted := true
+          done;
+          if !tf > 0 then matches := (doc, !tf) :: !matches
+        end)
+      first_tbl;
+    (sort_matches !matches, !examined)
+
+(* Synonym class: the members behave as one term whose inverted list is
+   the union of theirs (tf sums per document). *)
+let syn_doc_tfs records =
+  let examined = ref 0 in
+  let sums = Hashtbl.create 64 in
+  List.iter
+    (fun record ->
+      Postings.fold_docs record ~init:() ~f:(fun () ~doc ~tf ->
+          incr examined;
+          let prev = try Hashtbl.find sums doc with Not_found -> 0 in
+          Hashtbl.replace sums doc (prev + tf)))
+    records;
+  (sort_matches (Hashtbl.fold (fun doc tf acc -> (doc, tf) :: acc) sums []), !examined)
+
+let eval source dict ?stopwords ?(stem = false) query =
+  let n = source.max_doc_id + 1 in
+  let stats = { postings_scored = 0; nodes_visited = 0; record_lookups = 0 } in
+  let normalize term =
+    let drop =
+      match stopwords with Some sw -> Stopwords.is_stopword sw term | None -> false
+    in
+    if drop then None else Some (if stem then Stemmer.stem term else term)
+  in
+  let default_array () = Array.make n default_belief in
+  let term_beliefs term =
+    let beliefs = default_array () in
+    (match normalize term with
+    | None -> ()
+    | Some term -> (
+      match Dictionary.find dict term with
+      | None -> ()
+      | Some entry -> (
+        stats.record_lookups <- stats.record_lookups + 1;
+        match source.fetch entry with
+        | None -> ()
+        | Some record ->
+          let df, _ = Postings.stats record in
+          Postings.fold_docs record ~init:() ~f:(fun () ~doc ~tf ->
+              stats.postings_scored <- stats.postings_scored + 1;
+              if doc < n then
+                beliefs.(doc) <-
+                  belief ~n_docs:source.n_docs ~df ~tf ~dl:(source.doc_len doc)
+                    ~avg_dl:source.avg_doc_len))));
+    beliefs
+  in
+  let fetch_member w =
+    match normalize w with
+    | None -> None
+    | Some w -> (
+      match Dictionary.find dict w with
+      | None -> None
+      | Some entry ->
+        stats.record_lookups <- stats.record_lookups + 1;
+        source.fetch entry)
+  in
+  (* Positional leaves (#phrase/#od/#uw) require every member record;
+     #syn takes the union of whichever members exist. *)
+  let positional_beliefs ~require_all matcher words =
+    let beliefs = default_array () in
+    let records = List.map fetch_member words in
+    let usable =
+      if require_all then
+        if List.for_all Option.is_some records && records <> [] then
+          Some (List.map Option.get records)
+        else None
+      else begin
+        match List.filter_map Fun.id records with [] -> None | rs -> Some rs
+      end
+    in
+    (match usable with
+    | None -> ()
+    | Some records ->
+      let matches, examined = matcher records in
+      stats.postings_scored <- stats.postings_scored + examined;
+      let df = List.length matches in
+      List.iter
+        (fun (doc, tf) ->
+          if doc < n then
+            beliefs.(doc) <-
+              belief ~n_docs:source.n_docs ~df ~tf ~dl:(source.doc_len doc)
+                ~avg_dl:source.avg_doc_len)
+        matches);
+    beliefs
+  in
+  let combine nodes ~init ~f ~finish =
+    match nodes with
+    | [] -> default_array ()
+    | arrays ->
+      let out = Array.make n init in
+      List.iter (fun a -> Array.iteri (fun d b -> out.(d) <- f out.(d) b) a) arrays;
+      let k = List.length arrays in
+      Array.map_inplace (fun acc -> finish acc k) out;
+      out
+  in
+  let rec node q =
+    stats.nodes_visited <- stats.nodes_visited + 1;
+    match q with
+    | Query.Term w -> term_beliefs w
+    | Query.Phrase ws -> positional_beliefs ~require_all:true phrase_doc_tfs ws
+    | Query.Od (window, ws) -> positional_beliefs ~require_all:true (od_doc_tfs ~window) ws
+    | Query.Uw (window, ws) -> positional_beliefs ~require_all:true (uw_doc_tfs ~window) ws
+    | Query.Syn ws -> positional_beliefs ~require_all:false syn_doc_tfs ws
+    | Query.Sum ns ->
+      combine (List.map node ns) ~init:0.0 ~f:( +. ) ~finish:(fun acc k ->
+          acc /. float_of_int k)
+    | Query.And ns ->
+      combine (List.map node ns) ~init:1.0 ~f:( *. ) ~finish:(fun acc _ -> acc)
+    | Query.Or ns ->
+      combine (List.map node ns) ~init:1.0
+        ~f:(fun acc b -> acc *. (1.0 -. b))
+        ~finish:(fun acc _ -> 1.0 -. acc)
+    | Query.Max ns ->
+      combine (List.map node ns) ~init:0.0 ~f:Float.max ~finish:(fun acc _ -> acc)
+    | Query.Not inner ->
+      let a = node inner in
+      Array.map (fun b -> 1.0 -. b) a
+    | Query.Wsum pairs ->
+      let total_w = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 pairs in
+      if total_w <= 0.0 then default_array ()
+      else begin
+        let out = Array.make n 0.0 in
+        List.iter
+          (fun (w, sub) ->
+            let a = node sub in
+            Array.iteri (fun d b -> out.(d) <- out.(d) +. (w *. b)) a)
+          pairs;
+        Array.map_inplace (fun acc -> acc /. total_w) out;
+        out
+      end
+  in
+  let beliefs = node query in
+  (beliefs, stats)
+
+(* ------------------------------------------------------------------ *)
+(* Document-at-a-time evaluation                                       *)
+
+type scored = { doc : int; belief : float }
+
+(* The query tree with leaf cursors over decoded (doc, tf) postings. *)
+type dnode =
+  | DLeaf of { docs : (int * int) array; df : int; mutable pos : int }
+  | DAbsent (* stop word / out-of-vocabulary: contributes the default *)
+  | DSum of dnode list
+  | DWsum of (float * dnode) list
+  | DAnd of dnode list
+  | DOr of dnode list
+  | DMax of dnode list
+  | DNot of dnode
+
+let eval_daat source dict ?stopwords ?(stem = false) query =
+  let stats = { postings_scored = 0; nodes_visited = 0; record_lookups = 0 } in
+  let normalize term =
+    let drop =
+      match stopwords with Some sw -> Stopwords.is_stopword sw term | None -> false
+    in
+    if drop then None else Some (if stem then Stemmer.stem term else term)
+  in
+  let term_leaf term =
+    match normalize term with
+    | None -> DAbsent
+    | Some term -> (
+      match Dictionary.find dict term with
+      | None -> DAbsent
+      | Some entry -> (
+        stats.record_lookups <- stats.record_lookups + 1;
+        match source.fetch entry with
+        | None -> DAbsent
+        | Some record ->
+          let df, _ = Postings.stats record in
+          let docs =
+            Postings.fold_docs record ~init:[] ~f:(fun acc ~doc ~tf -> (doc, tf) :: acc)
+            |> List.rev |> Array.of_list
+          in
+          DLeaf { docs; df; pos = 0 }))
+  in
+  let positional_leaf ~require_all matcher words =
+    let records =
+      List.map
+        (fun w ->
+          match normalize w with
+          | None -> None
+          | Some w -> (
+            match Dictionary.find dict w with
+            | None -> None
+            | Some entry ->
+              stats.record_lookups <- stats.record_lookups + 1;
+              source.fetch entry))
+        words
+    in
+    let usable =
+      if require_all then
+        if List.for_all Option.is_some records && records <> [] then
+          Some (List.map Option.get records)
+        else None
+      else begin
+        match List.filter_map Fun.id records with [] -> None | rs -> Some rs
+      end
+    in
+    match usable with
+    | None -> DAbsent
+    | Some records ->
+      let matches, examined = matcher records in
+      stats.postings_scored <- stats.postings_scored + examined;
+      DLeaf { docs = Array.of_list matches; df = List.length matches; pos = 0 }
+  in
+  let rec build q =
+    stats.nodes_visited <- stats.nodes_visited + 1;
+    match q with
+    | Query.Term w -> term_leaf w
+    | Query.Phrase ws -> positional_leaf ~require_all:true phrase_doc_tfs ws
+    | Query.Od (window, ws) -> positional_leaf ~require_all:true (od_doc_tfs ~window) ws
+    | Query.Uw (window, ws) -> positional_leaf ~require_all:true (uw_doc_tfs ~window) ws
+    | Query.Syn ws -> positional_leaf ~require_all:false syn_doc_tfs ws
+    | Query.Sum ns -> DSum (List.map build ns)
+    | Query.Wsum ps -> DWsum (List.map (fun (w, n) -> (w, build n)) ps)
+    | Query.And ns -> DAnd (List.map build ns)
+    | Query.Or ns -> DOr (List.map build ns)
+    | Query.Max ns -> DMax (List.map build ns)
+    | Query.Not n -> DNot (build n)
+  in
+  let tree = build query in
+  (* All leaves, for the frontier scan. *)
+  let leaves = ref [] in
+  let rec collect = function
+    | DLeaf _ as l -> leaves := l :: !leaves
+    | DAbsent -> ()
+    | DSum ns | DAnd ns | DOr ns | DMax ns -> List.iter collect ns
+    | DWsum ps -> List.iter (fun (_, n) -> collect n) ps
+    | DNot n -> collect n
+  in
+  collect tree;
+  let frontier () =
+    List.fold_left
+      (fun acc l ->
+        match l with
+        | DLeaf c when c.pos < Array.length c.docs ->
+          let d = fst c.docs.(c.pos) in
+          (match acc with None -> Some d | Some m -> Some (min m d))
+        | _ -> acc)
+      None !leaves
+  in
+  let rec score node d =
+    match node with
+    | DAbsent -> default_belief
+    | DLeaf c ->
+      if c.pos < Array.length c.docs && fst c.docs.(c.pos) = d then begin
+        let _, tf = c.docs.(c.pos) in
+        stats.postings_scored <- stats.postings_scored + 1;
+        belief ~n_docs:source.n_docs ~df:c.df ~tf ~dl:(source.doc_len d)
+          ~avg_dl:source.avg_doc_len
+      end
+      else default_belief
+    | DSum ns ->
+      let k = List.length ns in
+      if k = 0 then default_belief
+      else List.fold_left (fun acc n -> acc +. score n d) 0.0 ns /. float_of_int k
+    | DWsum ps ->
+      let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 ps in
+      if total <= 0.0 then default_belief
+      else List.fold_left (fun acc (w, n) -> acc +. (w *. score n d)) 0.0 ps /. total
+    | DAnd ns ->
+      if ns = [] then default_belief
+      else List.fold_left (fun acc n -> acc *. score n d) 1.0 ns
+    | DOr ns ->
+      if ns = [] then default_belief
+      else 1.0 -. List.fold_left (fun acc n -> acc *. (1.0 -. score n d)) 1.0 ns
+    | DMax ns ->
+      if ns = [] then default_belief
+      else List.fold_left (fun acc n -> Float.max acc (score n d)) 0.0 ns
+    | DNot n -> 1.0 -. score n d
+  in
+  let advance d =
+    List.iter
+      (fun l ->
+        match l with
+        | DLeaf c when c.pos < Array.length c.docs && fst c.docs.(c.pos) = d ->
+          c.pos <- c.pos + 1
+        | _ -> ())
+      !leaves
+  in
+  (* The belief a document with no query terms would get: not 0.4 in
+     general (e.g. #or of defaults is 0.64, #and is 0.16).  Scoring an
+     impossible document id hits every leaf's default path. *)
+  let baseline = score tree (-1) in
+  let results = ref [] in
+  let rec loop () =
+    match frontier () with
+    | None -> ()
+    | Some d ->
+      let b = score tree d in
+      advance d;
+      if b > baseline +. 1e-12 then results := { doc = d; belief = b } :: !results;
+      loop ()
+  in
+  loop ();
+  (List.rev !results, stats)

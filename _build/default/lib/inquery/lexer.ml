@@ -1,0 +1,32 @@
+type token = { term : string; position : int }
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+
+let lower c = if c >= 'A' && c <= 'Z' then Char.chr (Char.code c + 32) else c
+
+let fold_tokens text ~init ~f =
+  let n = String.length text in
+  let buf = Buffer.create 16 in
+  let rec skip acc pos i =
+    if i >= n then acc
+    else if is_word_char text.[i] then word acc pos i
+    else skip acc pos (i + 1)
+  and word acc pos i =
+    if i < n && is_word_char text.[i] then begin
+      Buffer.add_char buf (lower text.[i]);
+      word acc pos (i + 1)
+    end
+    else begin
+      let term = Buffer.contents buf in
+      Buffer.clear buf;
+      skip (f acc term pos) (pos + 1) i
+    end
+  in
+  skip init 0 0
+
+let tokens text =
+  fold_tokens text ~init:[] ~f:(fun acc term position -> { term; position } :: acc) |> List.rev
+
+let terms text =
+  fold_tokens text ~init:[] ~f:(fun acc term _ -> term :: acc) |> List.rev

@@ -1,0 +1,17 @@
+(** Document and query tokenization.
+
+    Tokens are maximal runs of ASCII letters and digits, lowercased.
+    Position numbering is by token index (0-based), which is what the
+    proximity/phrase operators consume. *)
+
+type token = { term : string; position : int }
+
+val tokens : string -> token list
+(** All tokens of a text, in order. *)
+
+val fold_tokens : string -> init:'a -> f:('a -> string -> int -> 'a) -> 'a
+(** [fold_tokens text ~init ~f] folds [f acc term position] over the
+    tokens without building a list — the indexer's hot path. *)
+
+val terms : string -> string list
+(** Just the token strings, in order. *)

@@ -1,0 +1,94 @@
+type doc_postings = { doc : int; positions : int list }
+
+let encode entries =
+  let buf = Buffer.create 64 in
+  let df = List.length entries in
+  let cf = List.fold_left (fun acc (_, ps) -> acc + List.length ps) 0 entries in
+  Util.Varint.encode buf df;
+  Util.Varint.encode buf cf;
+  let last_doc = ref (-1) in
+  List.iter
+    (fun (doc, positions) ->
+      if doc <= !last_doc then invalid_arg "Postings.encode: doc ids must be strictly ascending";
+      if positions = [] then invalid_arg "Postings.encode: empty position list";
+      let gap = if !last_doc < 0 then doc else doc - !last_doc in
+      last_doc := doc;
+      Util.Varint.encode buf gap;
+      Util.Varint.encode buf (List.length positions);
+      let last_pos = ref (-1) in
+      List.iter
+        (fun p ->
+          if p <= !last_pos then
+            invalid_arg "Postings.encode: positions must be strictly ascending";
+          let pgap = if !last_pos < 0 then p else p - !last_pos in
+          last_pos := p;
+          Util.Varint.encode buf pgap)
+        positions)
+    entries;
+  Buffer.to_bytes buf
+
+let stats b =
+  let df, pos = Util.Varint.decode b ~pos:0 in
+  let cf, _ = Util.Varint.decode b ~pos in
+  (df, cf)
+
+let doc_count b = fst (stats b)
+
+let fold_docs b ~init ~f =
+  let df, pos = Util.Varint.decode b ~pos:0 in
+  let _cf, pos = Util.Varint.decode b ~pos in
+  let rec go k pos doc acc =
+    if k = 0 then acc
+    else begin
+      let gap, pos = Util.Varint.decode b ~pos in
+      let doc = if doc < 0 then gap else doc + gap in
+      let tf, pos = Util.Varint.decode b ~pos in
+      (* Skip the tf position gaps. *)
+      let rec skip n pos = if n = 0 then pos else skip (n - 1) (snd (Util.Varint.decode b ~pos)) in
+      let pos = skip tf pos in
+      go (k - 1) pos doc (f acc ~doc ~tf)
+    end
+  in
+  go df pos (-1) init
+
+let fold_positions b ~init ~f =
+  let df, pos = Util.Varint.decode b ~pos:0 in
+  let _cf, pos = Util.Varint.decode b ~pos in
+  let rec go k pos doc acc =
+    if k = 0 then acc
+    else begin
+      let gap, pos = Util.Varint.decode b ~pos in
+      let doc = if doc < 0 then gap else doc + gap in
+      let tf, pos = Util.Varint.decode b ~pos in
+      let rec read n pos last acc_ps =
+        if n = 0 then (List.rev acc_ps, pos)
+        else begin
+          let pgap, pos = Util.Varint.decode b ~pos in
+          let p = if last < 0 then pgap else last + pgap in
+          read (n - 1) pos p (p :: acc_ps)
+        end
+      in
+      let positions, pos = read tf pos (-1) [] in
+      go (k - 1) pos doc (f acc { doc; positions })
+    end
+  in
+  go df pos (-1) init
+
+let decode b = List.rev (fold_positions b ~init:[] ~f:(fun acc dp -> dp :: acc))
+
+let merge a b =
+  let pa = decode a and pb = decode b in
+  let rec zip xs ys =
+    match (xs, ys) with
+    | [], rest | rest, [] -> rest
+    | x :: xs', y :: ys' ->
+      if x.doc < y.doc then x :: zip xs' ys
+      else if y.doc < x.doc then y :: zip xs ys'
+      else invalid_arg "Postings.merge: document sets overlap"
+  in
+  encode (List.map (fun dp -> (dp.doc, dp.positions)) (zip pa pb))
+
+let remove_docs b p =
+  let remaining = List.filter (fun dp -> not (p dp.doc)) (decode b) in
+  if remaining = [] then None
+  else Some (encode (List.map (fun dp -> (dp.doc, dp.positions)) remaining))

@@ -1,0 +1,47 @@
+(** Inverted list records.
+
+    One record per term: a header of summary statistics followed by, for
+    each document containing the term, the document id, the
+    within-document frequency, and the term's positions — "a vector of
+    integers in a compressed format" (delta + v-byte coding, which is
+    where INQUERY's ~60 % compression came from).
+
+    Record layout (all v-byte):
+    [df] [cf] then per document (ascending id):
+    [doc gap] [tf] [tf position gaps].
+
+    The decoder offers folds that skip position data cheaply, because
+    term-at-a-time belief evaluation only needs (doc, tf) pairs. *)
+
+type doc_postings = { doc : int; positions : int list }
+(** Positions are ascending token indexes; [tf] is their length. *)
+
+val encode : (int * int list) list -> bytes
+(** [encode entries] builds a record from [(doc, positions)] pairs with
+    strictly ascending doc ids and, per doc, strictly ascending
+    positions (each doc must have at least one position).  Raises
+    [Invalid_argument] on violations. *)
+
+val stats : bytes -> int * int
+(** [(df, cf)] from the header. *)
+
+val fold_docs : bytes -> init:'a -> f:('a -> doc:int -> tf:int -> 'a) -> 'a
+(** Fold over documents, skipping position decoding (gaps are still
+    scanned byte-wise, as INQUERY must). *)
+
+val fold_positions : bytes -> init:'a -> f:('a -> doc_postings -> 'a) -> 'a
+(** Fold with full position lists (phrase evaluation). *)
+
+val decode : bytes -> doc_postings list
+
+val doc_count : bytes -> int
+(** Same as [fst (stats b)]. *)
+
+val merge : bytes -> bytes -> bytes
+(** [merge a b] combines two records for the same term whose document
+    sets are disjoint (e.g. an existing record and the postings of newly
+    added documents).  Raises [Invalid_argument] if doc ids collide. *)
+
+val remove_docs : bytes -> (int -> bool) -> bytes option
+(** [remove_docs rec p] drops every document matched by [p]; [None] if
+    the record becomes empty — document-deletion support. *)

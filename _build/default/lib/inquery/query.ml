@@ -1,0 +1,229 @@
+type t =
+  | Term of string
+  | Phrase of string list
+  | Od of int * string list
+  | Uw of int * string list
+  | Syn of string list
+  | Sum of t list
+  | Wsum of (float * t) list
+  | And of t list
+  | Or of t list
+  | Not of t
+  | Max of t list
+
+(* --- lexing ------------------------------------------------------- *)
+
+type tok = Lparen | Rparen | Op of string | Word of string | Number of float
+
+exception Parse_error of string
+
+let lex input =
+  let n = String.length input in
+  let toks = ref [] in
+  let is_word c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+    || c = '.' || c = '-'
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' || c = ',' then incr i
+    else if c = '(' then begin
+      toks := Lparen :: !toks;
+      incr i
+    end
+    else if c = ')' then begin
+      toks := Rparen :: !toks;
+      incr i
+    end
+    else if c = '#' then begin
+      let start = !i + 1 in
+      let j = ref start in
+      while !j < n && is_word input.[!j] do
+        incr j
+      done;
+      if !j = start then raise (Parse_error "empty operator name after '#'");
+      toks := Op (String.lowercase_ascii (String.sub input start (!j - start))) :: !toks;
+      i := !j
+    end
+    else if is_word c then begin
+      let start = !i in
+      let j = ref start in
+      while !j < n && is_word input.[!j] do
+        incr j
+      done;
+      let word = String.sub input start (!j - start) in
+      i := !j;
+      (* A token that parses as a number is a weight (inside #wsum). *)
+      match float_of_string_opt word with
+      | Some f when String.exists (fun c -> c = '.' || (c >= '0' && c <= '9')) word ->
+        toks := Number f :: !toks
+      | Some _ | None -> toks := Word (String.lowercase_ascii word) :: !toks
+    end
+    else raise (Parse_error (Printf.sprintf "unexpected character %C" c))
+  done;
+  List.rev !toks
+
+(* --- parsing ------------------------------------------------------ *)
+
+let rec parse_node toks =
+  match toks with
+  | Word w :: rest -> (Term w, rest)
+  | Number f :: rest ->
+    (* a numeric word outside #wsum is just a term, e.g. "1994" *)
+    (Term (if Float.is_integer f then string_of_int (int_of_float f) else string_of_float f), rest)
+  | Op op :: Lparen :: rest -> parse_operator op rest
+  | Op op :: _ -> raise (Parse_error (Printf.sprintf "operator #%s must be followed by '('" op))
+  | Lparen :: _ -> raise (Parse_error "unexpected '('")
+  | Rparen :: _ -> raise (Parse_error "unexpected ')'")
+  | [] -> raise (Parse_error "unexpected end of query")
+
+and parse_list toks =
+  match toks with
+  | Rparen :: rest -> ([], rest)
+  | _ ->
+    let node, rest = parse_node toks in
+    let nodes, rest = parse_list rest in
+    (node :: nodes, rest)
+
+and parse_weighted toks =
+  match toks with
+  | Rparen :: rest -> ([], rest)
+  | Number w :: rest ->
+    let node, rest = parse_node rest in
+    let pairs, rest = parse_weighted rest in
+    ((w, node) :: pairs, rest)
+  | _ -> raise (Parse_error "#wsum expects alternating weight and node")
+
+and parse_phrase_terms toks =
+  match toks with
+  | Rparen :: rest -> ([], rest)
+  | Word w :: rest ->
+    let words, rest = parse_phrase_terms rest in
+    (w :: words, rest)
+  | Number f :: rest ->
+    let words, rest = parse_phrase_terms rest in
+    let w = if Float.is_integer f then string_of_int (int_of_float f) else string_of_float f in
+    (w :: words, rest)
+  | _ -> raise (Parse_error "#phrase takes bare terms only")
+
+and parse_operator op rest =
+  match op with
+  | "sum" ->
+    let nodes, rest = parse_list rest in
+    (Sum nodes, rest)
+  | "and" ->
+    let nodes, rest = parse_list rest in
+    (And nodes, rest)
+  | "or" ->
+    let nodes, rest = parse_list rest in
+    (Or nodes, rest)
+  | "max" ->
+    let nodes, rest = parse_list rest in
+    (Max nodes, rest)
+  | "wsum" ->
+    let pairs, rest = parse_weighted rest in
+    (Wsum pairs, rest)
+  | "not" -> (
+    let nodes, rest = parse_list rest in
+    match nodes with
+    | [ node ] -> (Not node, rest)
+    | _ -> raise (Parse_error "#not takes exactly one argument"))
+  | "phrase" ->
+    let words, rest = parse_phrase_terms rest in
+    if words = [] then raise (Parse_error "#phrase requires at least one term");
+    (Phrase words, rest)
+  | "syn" ->
+    let words, rest = parse_phrase_terms rest in
+    if words = [] then raise (Parse_error "#syn requires at least one term");
+    (Syn words, rest)
+  | other -> (
+    (* #odN / #uwN: a window operator with its width in the name. *)
+    let windowed prefix =
+      if String.length other > String.length prefix
+         && String.sub other 0 (String.length prefix) = prefix
+      then
+        int_of_string_opt
+          (String.sub other (String.length prefix) (String.length other - String.length prefix))
+      else None
+    in
+    match (windowed "od", windowed "uw") with
+    | Some n, _ when n >= 1 ->
+      let words, rest = parse_phrase_terms rest in
+      if List.length words < 2 then raise (Parse_error "#od requires at least two terms");
+      (Od (n, words), rest)
+    | _, Some n when n >= 1 ->
+      let words, rest = parse_phrase_terms rest in
+      if List.length words < 2 then raise (Parse_error "#uw requires at least two terms");
+      (Uw (n, words), rest)
+    | _ -> raise (Parse_error (Printf.sprintf "unknown operator #%s" other)))
+
+let parse input =
+  try
+    let toks = lex input in
+    let nodes, rest =
+      let rec all toks =
+        match toks with
+        | [] -> ([], [])
+        | _ ->
+          let node, rest = parse_node toks in
+          let nodes, rest = all rest in
+          (node :: nodes, rest)
+      in
+      all toks
+    in
+    match (nodes, rest) with
+    | [], _ -> Error "empty query"
+    | [ node ], [] -> Ok node
+    | nodes, [] -> Ok (Sum nodes)
+    | _, _ -> Error "trailing tokens"
+  with Parse_error msg -> Error msg
+
+let parse_exn input =
+  match parse input with
+  | Ok q -> q
+  | Error msg -> invalid_arg ("Query.parse_exn: " ^ msg)
+
+let terms q =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let add w =
+    if not (Hashtbl.mem seen w) then begin
+      Hashtbl.add seen w ();
+      out := w :: !out
+    end
+  in
+  let rec go = function
+    | Term w -> add w
+    | Phrase ws | Od (_, ws) | Uw (_, ws) | Syn ws -> List.iter add ws
+    | Sum ns | And ns | Or ns | Max ns -> List.iter go ns
+    | Wsum pairs -> List.iter (fun (_, n) -> go n) pairs
+    | Not n -> go n
+  in
+  go q;
+  List.rev !out
+
+let rec node_count = function
+  | Term _ -> 1
+  | Phrase ws | Od (_, ws) | Uw (_, ws) | Syn ws -> 1 + List.length ws
+  | Sum ns | And ns | Or ns | Max ns -> 1 + List.fold_left (fun a n -> a + node_count n) 0 ns
+  | Wsum pairs -> 1 + List.fold_left (fun a (_, n) -> a + node_count n) 0 pairs
+  | Not n -> 1 + node_count n
+
+let rec to_string = function
+  | Term w -> w
+  | Phrase ws -> Printf.sprintf "#phrase( %s )" (String.concat " " ws)
+  | Od (n, ws) -> Printf.sprintf "#od%d( %s )" n (String.concat " " ws)
+  | Uw (n, ws) -> Printf.sprintf "#uw%d( %s )" n (String.concat " " ws)
+  | Syn ws -> Printf.sprintf "#syn( %s )" (String.concat " " ws)
+  | Sum ns -> op_to_string "sum" ns
+  | And ns -> op_to_string "and" ns
+  | Or ns -> op_to_string "or" ns
+  | Max ns -> op_to_string "max" ns
+  | Not n -> Printf.sprintf "#not( %s )" (to_string n)
+  | Wsum pairs ->
+    Printf.sprintf "#wsum( %s )"
+      (String.concat " " (List.map (fun (w, n) -> Printf.sprintf "%g %s" w (to_string n)) pairs))
+
+and op_to_string name ns =
+  Printf.sprintf "#%s( %s )" name (String.concat " " (List.map to_string ns))

@@ -1,0 +1,47 @@
+(** INQUERY's structured query language.
+
+    Queries are operator trees in the [#op( ... )] syntax of the
+    original system:
+
+    {v
+      information #phrase( information retrieval )
+      #wsum( 2.0 retrieval 1.0 #or( index inverted ) )
+      #and( legal #not( criminal ) )
+      #od3( persistent object store )  #uw10( buffer cache )  #syn( court courts )
+    v}
+
+    A bare sequence of items at top level is an implicit [#sum].
+    Operators: [#sum], [#wsum], [#and], [#or], [#not], [#max], and the
+    position-based family — [#phrase] (exact adjacency), [#odN]
+    (ordered within a window of N), [#uwN] (unordered within a window
+    of N), [#syn] (synonym class: members share one inverted list) —
+    which take bare terms only. *)
+
+type t =
+  | Term of string
+  | Phrase of string list
+  | Od of int * string list  (** ordered window: each next term within N positions *)
+  | Uw of int * string list  (** unordered window of width N *)
+  | Syn of string list  (** synonym class: union of the members' postings *)
+  | Sum of t list
+  | Wsum of (float * t) list
+  | And of t list
+  | Or of t list
+  | Not of t
+  | Max of t list
+
+val parse : string -> (t, string) result
+(** Parse the concrete syntax; [Error msg] pinpoints the problem. *)
+
+val parse_exn : string -> t
+(** Raises [Invalid_argument] on parse errors. *)
+
+val terms : t -> string list
+(** Every term mentioned, in first-appearance order, without duplicates
+    — the query-tree scan used by the paper's reservation optimisation. *)
+
+val node_count : t -> int
+(** Tree size, for engine-CPU accounting. *)
+
+val to_string : t -> string
+(** Re-print in concrete syntax (canonical spacing). *)

@@ -1,0 +1,17 @@
+type ranked = { doc : int; score : float }
+
+let rank ?(above = Infnet.default_belief) beliefs =
+  let candidates = ref [] in
+  Array.iteri (fun doc score -> if score > above then candidates := { doc; score } :: !candidates) beliefs;
+  List.sort
+    (fun a b -> if a.score = b.score then compare a.doc b.doc else compare b.score a.score)
+    !candidates
+
+let top_k ?above beliefs ~k =
+  if k < 0 then invalid_arg "Ranking.top_k: negative k";
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  take k (rank ?above beliefs)

@@ -1,0 +1,16 @@
+(** Document ranking.
+
+    "In INQUERY, document ranking is a sorting problem, because the
+    Bayesian method of combining belief assigns a numeric value to each
+    document."  Ties break toward the smaller document id so runs are
+    deterministic. *)
+
+type ranked = { doc : int; score : float }
+
+val rank : ?above:float -> float array -> ranked list
+(** [rank beliefs] sorts all documents by descending belief.  [above]
+    (default: {!Infnet.default_belief}) filters out documents whose
+    belief never rose above the default — documents with no evidence. *)
+
+val top_k : ?above:float -> float array -> k:int -> ranked list
+(** First [k] of [rank].  Raises [Invalid_argument] if [k < 0]. *)

@@ -1,0 +1,147 @@
+type organisation = Sequential | Bit_sliced
+
+let magic = "SIGF"
+let header_size = 32
+
+(* Header: magic(4) width u32 k u32 organisation u8 n_docs u32. *)
+
+type t = {
+  file : Vfs.file;
+  width : int;
+  k : int;
+  organisation : organisation;
+  n_docs : int;
+  sig_bytes : int; (* bytes per document signature (sequential) *)
+  slice_bytes : int; (* bytes per bit slice (bit-sliced) *)
+}
+
+(* Term bit selection: k probes from two independent FNV-style hashes
+   (standard double hashing). *)
+let hash_seeded seed s =
+  let h = ref (0x811c9dc5 lxor (seed * 0x9e3779b1)) in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193;
+      h := !h land max_int)
+    s;
+  !h
+
+let term_bit_positions ~width ~k term =
+  let h1 = hash_seeded 1 term and h2 = hash_seeded 2 term in
+  let h2 = if h2 mod width = 0 then h2 + 1 else h2 in
+  List.init k (fun i -> (h1 + (i * h2)) mod width |> abs)
+
+let write_header t =
+  let b = Bytes.make header_size '\000' in
+  Bytes.blit_string magic 0 b 0 4;
+  Util.Bin.put_u32 b 4 t.width;
+  Util.Bin.put_u32 b 8 t.k;
+  Util.Bin.put_u8 b 12 (match t.organisation with Sequential -> 0 | Bit_sliced -> 1);
+  Util.Bin.put_u32 b 13 t.n_docs;
+  Vfs.write t.file ~off:0 b
+
+let build vfs ~file ~width ~k ?(organisation = Sequential) ~n_docs docs =
+  if width <= 0 || width mod 8 <> 0 then
+    invalid_arg "Sigfile.build: width must be a positive multiple of 8";
+  if k <= 0 || k > width then invalid_arg "Sigfile.build: k must be in (0, width]";
+  if n_docs <= 0 then invalid_arg "Sigfile.build: n_docs must be positive";
+  let f = Vfs.open_file vfs file in
+  Vfs.truncate f 0;
+  let sig_bytes = width / 8 in
+  let slice_bytes = (n_docs + 7) / 8 in
+  let t = { file = f; width; k; organisation; n_docs; sig_bytes; slice_bytes } in
+  write_header t;
+  (* Build the whole matrix in memory (documents x width bits), then lay
+     it out according to the organisation. *)
+  let matrix = Array.init n_docs (fun _ -> Bytes.make sig_bytes '\000') in
+  Seq.iter
+    (fun (doc, terms) ->
+      if doc < 0 || doc >= n_docs then invalid_arg "Sigfile.build: document id out of range";
+      let signature = matrix.(doc) in
+      Array.iter
+        (fun term ->
+          List.iter
+            (fun bit ->
+              let byte = bit / 8 and off = bit mod 8 in
+              Bytes.set signature byte
+                (Char.chr (Char.code (Bytes.get signature byte) lor (0x80 lsr off))))
+            (term_bit_positions ~width ~k term))
+        terms)
+    docs;
+  (match organisation with
+  | Sequential ->
+    Array.iteri (fun doc signature -> Vfs.write f ~off:(header_size + (doc * sig_bytes)) signature) matrix
+  | Bit_sliced ->
+    for bit = 0 to width - 1 do
+      let slice = Bytes.make slice_bytes '\000' in
+      for doc = 0 to n_docs - 1 do
+        let byte = bit / 8 and off = bit mod 8 in
+        if Char.code (Bytes.get matrix.(doc) byte) land (0x80 lsr off) <> 0 then begin
+          let dbyte = doc / 8 and doff = doc mod 8 in
+          Bytes.set slice dbyte (Char.chr (Char.code (Bytes.get slice dbyte) lor (0x80 lsr doff)))
+        end
+      done;
+      Vfs.write f ~off:(header_size + (bit * slice_bytes)) slice
+    done);
+  t
+
+let open_existing vfs ~file =
+  if not (Vfs.file_exists vfs file) then failwith ("Sigfile.open_existing: no such file: " ^ file);
+  let f = Vfs.open_file vfs file in
+  if Vfs.size f < header_size then failwith "Sigfile.open_existing: truncated header";
+  let b = Vfs.read f ~off:0 ~len:header_size in
+  if Bytes.sub_string b 0 4 <> magic then failwith "Sigfile.open_existing: bad magic";
+  let width = Util.Bin.get_u32 b 4 in
+  let k = Util.Bin.get_u32 b 8 in
+  let organisation = if Util.Bin.get_u8 b 12 = 0 then Sequential else Bit_sliced in
+  let n_docs = Util.Bin.get_u32 b 13 in
+  { file = f; width; k; organisation; n_docs; sig_bytes = width / 8; slice_bytes = (n_docs + 7) / 8 }
+
+let width t = t.width
+let k t = t.k
+let organisation t = t.organisation
+let n_docs t = t.n_docs
+let file_size t = Vfs.size t.file
+
+let query_bits t terms =
+  List.concat_map (fun term -> term_bit_positions ~width:t.width ~k:t.k term) terms
+  |> List.sort_uniq compare
+
+let candidates t terms =
+  let bits = query_bits t terms in
+  match t.organisation with
+  | Sequential ->
+    (* Scan every signature; a candidate covers all probe bits. *)
+    let out = ref [] in
+    for doc = t.n_docs - 1 downto 0 do
+      let signature = Vfs.read t.file ~off:(header_size + (doc * t.sig_bytes)) ~len:t.sig_bytes in
+      let covered =
+        List.for_all
+          (fun bit -> Char.code (Bytes.get signature (bit / 8)) land (0x80 lsr (bit mod 8)) <> 0)
+          bits
+      in
+      if covered then out := doc :: !out
+    done;
+    !out
+  | Bit_sliced -> (
+    (* AND together only the probed slices. *)
+    match bits with
+    | [] -> List.init t.n_docs Fun.id
+    | first :: rest ->
+      let acc = Vfs.read t.file ~off:(header_size + (first * t.slice_bytes)) ~len:t.slice_bytes in
+      List.iter
+        (fun bit ->
+          let slice = Vfs.read t.file ~off:(header_size + (bit * t.slice_bytes)) ~len:t.slice_bytes in
+          for i = 0 to t.slice_bytes - 1 do
+            Bytes.set acc i (Char.chr (Char.code (Bytes.get acc i) land Char.code (Bytes.get slice i)))
+          done)
+        rest;
+      let out = ref [] in
+      for doc = t.n_docs - 1 downto 0 do
+        if Char.code (Bytes.get acc (doc / 8)) land (0x80 lsr (doc mod 8)) <> 0 then
+          out := doc :: !out
+      done;
+      !out)
+
+let term_bits t term = List.sort_uniq compare (term_bit_positions ~width:t.width ~k:t.k term)

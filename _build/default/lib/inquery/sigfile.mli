@@ -1,0 +1,58 @@
+(** Signature files — the other text access method of the era.
+
+    The paper's related work (via Faloutsos' survey): "The two
+    techniques that seem to predominate are signature files and inverted
+    files, each of which implies a different query processing
+    algorithm."  This module implements superimposed-coding signature
+    files so the benchmark harness can put numbers on the comparison the
+    paper declined to make.
+
+    Every document gets a [width]-bit signature; each of its terms sets
+    [k] hash-selected bits.  A conjunctive query's signature is the OR
+    of its terms' signatures; any document whose signature covers it is
+    a {e candidate} — a superset of the true result, since superimposed
+    bits collide (false positives, or "false drops", which a real system
+    must filter by checking the documents themselves).
+
+    Two physical organisations, per the classic literature:
+    - {e sequential}: signatures stored document-contiguous; a query
+      scans the whole file;
+    - {e bit-sliced}: the signature matrix is stored transposed, one
+      document-bitmap per signature bit; a query reads only the slices
+      of the bits it probes — far less I/O, same candidates. *)
+
+type organisation = Sequential | Bit_sliced
+
+type t
+
+val build :
+  Vfs.t ->
+  file:string ->
+  width:int ->
+  k:int ->
+  ?organisation:organisation ->
+  n_docs:int ->
+  (int * string array) Seq.t ->
+  t
+(** [build vfs ~file ~width ~k ~n_docs docs] signs every document
+    ([width] must be a positive multiple of 8; [0 < k <= width];
+    document ids must be in [0, n_docs)).  Raises [Invalid_argument] on
+    parameter violations. *)
+
+val open_existing : Vfs.t -> file:string -> t
+(** Raises [Failure] on a missing or corrupt file. *)
+
+val width : t -> int
+val k : t -> int
+val organisation : t -> organisation
+val n_docs : t -> int
+val file_size : t -> int
+
+val candidates : t -> string list -> int list
+(** Documents whose signatures cover every query term's bits, ascending.
+    A superset of the true conjunctive result; an empty term list yields
+    every document.  All I/O goes through the {!Vfs} counters, so the
+    harness can compare bytes read against the inverted file. *)
+
+val term_bits : t -> string -> int list
+(** The bit positions a term sets (deterministic hash), for tests. *)

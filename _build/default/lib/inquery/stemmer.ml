@@ -1,0 +1,183 @@
+(* A direct transcription of Porter (1980).  The word being stemmed is
+   held in [b.(0 .. k)]; measure and conditions follow the paper's
+   definitions. *)
+
+let is_vowel_letter c = c = 'a' || c = 'e' || c = 'i' || c = 'o' || c = 'u'
+
+type state = { mutable b : Bytes.t; mutable k : int }
+
+(* cons i: true if b.(i) is a consonant ('y' is a consonant when it
+   follows a vowel position test per Porter's definition). *)
+let rec cons s i =
+  let c = Bytes.get s.b i in
+  if is_vowel_letter c then false
+  else if c = 'y' then if i = 0 then true else not (cons s (i - 1))
+  else true
+
+(* m: the measure of the stem b.(0..j). *)
+let measure s j =
+  let rec skip_initial_cons i = if i > j then i else if cons s i then skip_initial_cons (i + 1) else i in
+  let rec count i m =
+    if i > j then m
+    else begin
+      (* at a vowel run: consume vowels, then consonants = one VC *)
+      let rec vowels i = if i > j then i else if cons s i then i else vowels (i + 1) in
+      let rec conss i = if i > j then i else if cons s i then conss (i + 1) else i in
+      let i = vowels i in
+      if i > j then m
+      else count (conss i) (m + 1)
+    end
+  in
+  count (skip_initial_cons 0) 0
+
+let vowel_in_stem s j =
+  let rec go i = if i > j then false else if not (cons s i) then true else go (i + 1) in
+  go 0
+
+let double_cons s i = i >= 1 && Bytes.get s.b i = Bytes.get s.b (i - 1) && cons s i
+
+(* cvc i: stem ends consonant-vowel-consonant where the final consonant
+   is not w, x or y — the condition *o. *)
+let cvc s i =
+  if i < 2 || not (cons s i) || cons s (i - 1) || not (cons s (i - 2)) then false
+  else
+    let c = Bytes.get s.b i in
+    c <> 'w' && c <> 'x' && c <> 'y'
+
+let ends s suffix =
+  let ls = String.length suffix in
+  let off = s.k - ls + 1 in
+  if off < 0 then None
+  else if Bytes.sub_string s.b off ls = suffix then Some (off - 1) (* j = stem end *)
+  else None
+
+let set_to s j replacement =
+  let lr = String.length replacement in
+  Bytes.blit_string replacement 0 s.b (j + 1) lr;
+  s.k <- j + lr
+
+(* Replace suffix when m(stem) > threshold. *)
+let replace_if_m s ~gt suffix replacement =
+  match ends s suffix with
+  | Some j when measure s j > gt ->
+    set_to s j replacement;
+    true
+  | Some _ -> true (* suffix matched: stop trying alternatives *)
+  | None -> false
+
+let step_1a s =
+  match ends s "sses" with
+  | Some j -> set_to s j "ss"
+  | None -> (
+    match ends s "ies" with
+    | Some j -> set_to s j "i"
+    | None -> (
+      match ends s "ss" with
+      | Some _ -> ()
+      | None -> ( match ends s "s" with Some j -> set_to s j "" | None -> ())))
+
+let step_1b s =
+  let tidy () =
+    (* after removing "ed"/"ing" *)
+    match (ends s "at", ends s "bl", ends s "iz") with
+    | Some j, _, _ | _, Some j, _ | _, _, Some j -> set_to s j (Bytes.sub_string s.b (j + 1) 2 ^ "e")
+    | None, None, None ->
+      if double_cons s s.k then begin
+        let c = Bytes.get s.b s.k in
+        if c <> 'l' && c <> 's' && c <> 'z' then s.k <- s.k - 1
+      end
+      else if measure s s.k = 1 && cvc s s.k then begin
+        s.k <- s.k + 1;
+        Bytes.set s.b s.k 'e'
+      end
+  in
+  match ends s "eed" with
+  | Some j -> if measure s j > 0 then s.k <- s.k - 1
+  | None -> (
+    match ends s "ed" with
+    | Some j when vowel_in_stem s j ->
+      set_to s j "";
+      tidy ()
+    | Some _ | None -> (
+      match ends s "ing" with
+      | Some j when vowel_in_stem s j ->
+        set_to s j "";
+        tidy ()
+      | Some _ | None -> ()))
+
+let step_1c s =
+  match ends s "y" with
+  | Some j when vowel_in_stem s j -> Bytes.set s.b s.k 'i'
+  | Some _ | None -> ()
+
+let step_2 s =
+  let pairs =
+    [
+      ("ational", "ate"); ("tional", "tion"); ("enci", "ence"); ("anci", "ance"); ("izer", "ize");
+      ("abli", "able"); ("alli", "al"); ("entli", "ent"); ("eli", "e"); ("ousli", "ous");
+      ("ization", "ize"); ("ation", "ate"); ("ator", "ate"); ("alism", "al"); ("iveness", "ive");
+      ("fulness", "ful"); ("ousness", "ous"); ("aliti", "al"); ("iviti", "ive"); ("biliti", "ble");
+    ]
+  in
+  ignore (List.exists (fun (suf, rep) -> replace_if_m s ~gt:0 suf rep) pairs)
+
+let step_3 s =
+  let pairs =
+    [
+      ("icate", "ic"); ("ative", ""); ("alize", "al"); ("iciti", "ic"); ("ical", "ic");
+      ("ful", ""); ("ness", "");
+    ]
+  in
+  ignore (List.exists (fun (suf, rep) -> replace_if_m s ~gt:0 suf rep) pairs)
+
+let step_4 s =
+  let drop_if_m1 suffix =
+    match ends s suffix with
+    | Some j when measure s j > 1 ->
+      set_to s j "";
+      true
+    | Some _ -> true
+    | None -> false
+  in
+  let suffixes =
+    [ "al"; "ance"; "ence"; "er"; "ic"; "able"; "ible"; "ant"; "ement"; "ment"; "ent" ]
+  in
+  if not (List.exists drop_if_m1 suffixes) then begin
+    (* "ion" drops when m > 1 and the stem ends in s or t *)
+    (match ends s "ion" with
+    | Some j when j >= 0 && (Bytes.get s.b j = 's' || Bytes.get s.b j = 't') && measure s j > 1 ->
+      set_to s j ""
+    | Some _ -> ()
+    | None ->
+      ignore (List.exists drop_if_m1 [ "ou"; "ism"; "ate"; "iti"; "ous"; "ive"; "ize" ]));
+    ()
+  end
+
+let step_5a s =
+  match ends s "e" with
+  | Some j ->
+    let m = measure s j in
+    if m > 1 || (m = 1 && not (cvc s j)) then s.k <- s.k - 1
+  | None -> ()
+
+let step_5b s =
+  if Bytes.get s.b s.k = 'l' && double_cons s s.k && measure s s.k > 1 then s.k <- s.k - 1
+
+let stem word =
+  let n = String.length word in
+  if n <= 2 then word
+  else begin
+    (* +1 slack: step 1b may append an 'e'. *)
+    let b = Bytes.make (n + 1) ' ' in
+    Bytes.blit_string word 0 b 0 n;
+    let s = { b; k = n - 1 } in
+    step_1a s;
+    step_1b s;
+    step_1c s;
+    step_2 s;
+    step_3 s;
+    step_4 s;
+    step_5a s;
+    step_5b s;
+    Bytes.sub_string s.b 0 (s.k + 1)
+  end

@@ -1,0 +1,9 @@
+(** The Porter stemming algorithm (Porter, 1980).
+
+    INQUERY conflates morphological variants at indexing and query time;
+    this is a faithful implementation of the original algorithm's five
+    steps.  Input must be a lowercase ASCII word (as produced by
+    {!Lexer}); words of one or two letters are returned unchanged, per
+    the algorithm. *)
+
+val stem : string -> string

@@ -1,0 +1,1 @@
+lib/mneme/buffer_pool.mli:

@@ -1,0 +1,1 @@
+lib/mneme/chain.ml: Buffer Bytes List Policy Store Util

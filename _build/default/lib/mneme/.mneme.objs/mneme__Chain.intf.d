@@ -1,0 +1,1 @@
+lib/mneme/chain.mli: Oid Store

@@ -1,0 +1,1 @@
+lib/mneme/check.ml: Array Bytes Format List Oid Policy Printf Store

@@ -1,0 +1,1 @@
+lib/mneme/check.mli: Format Store

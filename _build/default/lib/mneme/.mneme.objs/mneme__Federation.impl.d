@@ -1,0 +1,1 @@
+lib/mneme/federation.ml: Hashtbl List Oid Store

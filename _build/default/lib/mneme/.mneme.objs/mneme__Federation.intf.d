@@ -1,0 +1,1 @@
+lib/mneme/federation.mli: Oid Store

@@ -1,0 +1,1 @@
+lib/mneme/journal.ml: Buffer Bytes List Util Vfs

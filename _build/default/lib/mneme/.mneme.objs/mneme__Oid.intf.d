@@ -1,0 +1,1 @@
+lib/mneme/oid.mli:

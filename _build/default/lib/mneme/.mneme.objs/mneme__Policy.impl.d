@@ -1,0 +1,1 @@
+lib/mneme/policy.ml: Oid Util

@@ -1,0 +1,1 @@
+lib/mneme/store.ml: Array Buffer Buffer_pool Bytes Hashtbl Journal List Oid Policy Printf Util Vfs

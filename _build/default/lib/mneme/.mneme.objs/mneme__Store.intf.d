@@ -1,0 +1,1 @@
+lib/mneme/store.mli: Buffer_pool Journal Oid Policy Vfs

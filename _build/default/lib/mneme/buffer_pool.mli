@@ -1,0 +1,64 @@
+(** Extensible buffer management.
+
+    A buffer holds resident physical segments for the pools attached to
+    it, within a byte budget.  Replacement is pluggable — the paper's
+    configuration is LRU per pool plus a {e reservation} optimisation:
+    before a query runs, objects named by the query tree that are
+    already resident are pinned, "potentially avoiding a bad replacement
+    choice".  FIFO and Clock policies are provided for the
+    replacement-policy ablation.
+
+    A buffer with capacity 0 is {e transient}: every fault loads the
+    segment, hands it to the caller, and retains nothing — this is the
+    paper's "Mneme, no cache" configuration, where no inverted-list data
+    is cached across record accesses (the simulated OS file cache
+    underneath still works, exactly as in the paper).
+
+    Hit statistics are reported per buffer exactly as in the paper's
+    Table 6: one {e reference} per fault, a {e hit} when the segment was
+    already resident. *)
+
+type policy = Lru | Fifo | Clock
+
+type t
+
+type stats = { refs : int; hits : int; evictions : int; resident_bytes : int; resident_segments : int }
+
+val create : name:string -> capacity:int -> ?policy:policy -> unit -> t
+(** [capacity] is in bytes; 0 means transient.  Raises
+    [Invalid_argument] if negative. *)
+
+val name : t -> string
+val capacity : t -> int
+val policy : t -> policy
+
+val fault : t -> pseg:int -> load:(unit -> bytes) -> bytes
+(** [fault t ~pseg ~load] returns the segment's bytes, calling [load]
+    (which performs the file read) on a miss.  Counts one reference, and
+    a hit if resident.  On a miss the segment is inserted and victims
+    are evicted (skipping pinned segments) until the budget holds; when
+    every other segment is pinned, the incoming segment itself is the
+    victim, so pinned bytes are never displaced. *)
+
+val resident : t -> pseg:int -> bool
+(** Residency test; does not count a reference or disturb recency. *)
+
+val pin : t -> pseg:int -> bool
+(** Pin if resident; returns whether it was.  Pins nest. *)
+
+val unpin : t -> pseg:int -> unit
+(** Raises [Invalid_argument] if the segment is not resident or not
+    pinned. *)
+
+val update : t -> pseg:int -> bytes -> unit
+(** Replace the resident copy after a write-through modification; no-op
+    if not resident. *)
+
+val drop : t -> pseg:int -> unit
+(** Invalidate a segment (after relocation); no-op if absent. *)
+
+val clear : t -> unit
+(** Evict everything, pinned included; statistics are kept. *)
+
+val stats : t -> stats
+val reset_stats : t -> unit

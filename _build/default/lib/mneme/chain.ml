@@ -1,0 +1,138 @@
+let header_bytes = 8
+
+let encode_chunk ~next payload ~pos ~len =
+  let b = Bytes.create (header_bytes + len) in
+  Util.Bin.put_u32 b 0 (next + 1);
+  Util.Bin.put_u32 b 4 len;
+  Bytes.blit payload pos b header_bytes len;
+  b
+
+let decode_header chunk =
+  if Bytes.length chunk < header_bytes then raise (Store.Corrupt "Chain: chunk too short");
+  let next = Util.Bin.get_u32 chunk 0 - 1 in
+  let len = Util.Bin.get_u32 chunk 4 in
+  if Bytes.length chunk < header_bytes + len then
+    raise (Store.Corrupt "Chain: chunk payload truncated");
+  (next, len)
+
+let check_pool pool =
+  match Policy.max_payload (Store.pool_policy pool) with
+  | Some _ -> invalid_arg "Chain: chains require a packed pool"
+  | None -> ()
+
+let store ~pool ~chunk_payload value =
+  if chunk_payload <= 0 then invalid_arg "Chain.store: chunk_payload must be positive";
+  check_pool pool;
+  let total = Bytes.length value in
+  (* Allocate back to front so each chunk knows its successor's id. *)
+  let rec chunk_starts pos acc =
+    if pos >= total then List.rev acc
+    else chunk_starts (pos + chunk_payload) (pos :: acc)
+  in
+  let starts = match chunk_starts 0 [] with [] -> [ 0 ] | s -> s in
+  List.fold_left
+    (fun next pos ->
+      let len = min chunk_payload (total - pos) in
+      let len = max len 0 in
+      Store.allocate pool (encode_chunk ~next value ~pos ~len))
+    (-1) (List.rev starts)
+
+let fold_chunks store head ~init ~f =
+  let rec go oid acc =
+    if oid < 0 then acc
+    else begin
+      let chunk = Store.get store oid in
+      let next, len = decode_header chunk in
+      go next (f acc (Bytes.sub chunk header_bytes len))
+    end
+  in
+  go head init
+
+let length store head =
+  let rec go oid acc =
+    if oid < 0 then acc
+    else begin
+      let chunk = Store.get store oid in
+      let next, len = decode_header chunk in
+      go next (acc + len)
+    end
+  in
+  go head 0
+
+let iter_chunks store head f = fold_chunks store head ~init:() ~f:(fun () payload -> f payload)
+
+let chunk_count store head = fold_chunks store head ~init:0 ~f:(fun n _ -> n + 1)
+
+let fetch store head =
+  let parts = List.rev (fold_chunks store head ~init:[] ~f:(fun acc p -> p :: acc)) in
+  Bytes.concat Bytes.empty parts
+
+let fetch_prefix store head ~len =
+  if len < 0 then invalid_arg "Chain.fetch_prefix: negative length";
+  let buf = Buffer.create (min len 65536) in
+  let rec go oid remaining =
+    if remaining > 0 && oid >= 0 then begin
+      let chunk = Store.get store oid in
+      let next, clen = decode_header chunk in
+      let take = min clen remaining in
+      Buffer.add_subbytes buf chunk header_bytes take;
+      go next (remaining - take)
+    end
+  in
+  go head len;
+  Buffer.to_bytes buf
+
+(* Walk to the tail, returning (tail oid, tail chunk bytes). *)
+let tail_of store head =
+  let rec go oid =
+    let chunk = Store.get store oid in
+    let next, _ = decode_header chunk in
+    if next < 0 then (oid, chunk) else go next
+  in
+  go head
+
+let append store ~pool ~chunk_payload head extra =
+  if chunk_payload <= 0 then invalid_arg "Chain.append: chunk_payload must be positive";
+  check_pool pool;
+  let extra_len = Bytes.length extra in
+  if extra_len > 0 then begin
+    let tail_oid, tail_chunk = tail_of store head in
+    let _, tail_len = decode_header tail_chunk in
+    let room = max 0 (chunk_payload - tail_len) in
+    let into_tail = min room extra_len in
+    let remaining = extra_len - into_tail in
+    (* Chunks for the remainder, allocated back to front. *)
+    let rec starts pos acc =
+      if pos >= remaining then acc else starts (pos + chunk_payload) (pos :: acc)
+    in
+    let next_of_tail =
+      List.fold_left
+        (fun next pos ->
+          let len = min chunk_payload (remaining - pos) in
+          let b = Bytes.create (header_bytes + len) in
+          Util.Bin.put_u32 b 0 (next + 1);
+          Util.Bin.put_u32 b 4 len;
+          Bytes.blit extra (into_tail + pos) b header_bytes len;
+          Store.allocate pool b)
+        (-1)
+        (starts 0 [])
+    in
+    (* Rebuild the tail with its topped-up payload and new next link. *)
+    let new_tail = Bytes.create (header_bytes + tail_len + into_tail) in
+    Util.Bin.put_u32 new_tail 0 (next_of_tail + 1);
+    Util.Bin.put_u32 new_tail 4 (tail_len + into_tail);
+    Bytes.blit tail_chunk header_bytes new_tail header_bytes tail_len;
+    Bytes.blit extra 0 new_tail (header_bytes + tail_len) into_tail;
+    Store.modify store tail_oid new_tail
+  end
+
+let delete store head =
+  let rec go oid =
+    if oid >= 0 then begin
+      let chunk = Store.get store oid in
+      let next, _ = decode_header chunk in
+      Store.delete store oid;
+      go next
+    end
+  in
+  go head

@@ -1,0 +1,35 @@
+(** Store integrity checking (fsck for Mneme files).
+
+    Walks a finalized store's auxiliary tables and physical segments and
+    cross-checks every invariant the format promises:
+
+    - each pool's segment directory entries lie inside the file and do
+      not overlap each other;
+    - every logical-segment slot points at a physical segment that
+      exists and actually contains that object id (packed layout) or a
+      populated slot (fixed layout);
+    - segment directories are well-formed (extents inside the segment,
+      no overlaps);
+    - per-pool object counts match the live slot counts, and their sum
+      matches the store header.
+
+    Used by tests, and available to applications as a recovery-time
+    sanity pass (e.g. after {!Store.recover_journal}). *)
+
+type problem = { where : string; what : string }
+
+type report = {
+  problems : problem list;
+  objects_seen : int;
+  psegs_seen : int;
+  pools_seen : int;
+}
+
+val ok : report -> bool
+(** No problems found. *)
+
+val run : Store.t -> report
+(** Check a store (pools load lazily as needed; buffers must be
+    attached to the pools since segments are faulted for inspection). *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,95 @@
+type gid = int
+
+type t = {
+  capacity : int;
+  stores : (int, Store.t) Hashtbl.t;
+  names : (string, int) Hashtbl.t;
+  forward : (gid, int * Oid.t) Hashtbl.t;
+  backward : (int * Oid.t, gid) Hashtbl.t;
+  mutable free : gid list; (* released ids, reused first *)
+  mutable next : gid;
+  mutable next_handle : int;
+}
+
+let create ?(capacity = 1 lsl 28) () =
+  if capacity <= 0 then invalid_arg "Federation.create: capacity must be positive";
+  {
+    capacity;
+    stores = Hashtbl.create 4;
+    names = Hashtbl.create 4;
+    forward = Hashtbl.create 1024;
+    backward = Hashtbl.create 1024;
+    free = [];
+    next = 0;
+    next_handle = 0;
+  }
+
+let capacity t = t.capacity
+
+let mount t ~name store =
+  if Hashtbl.mem t.names name then invalid_arg ("Federation.mount: already mounted: " ^ name);
+  let handle = t.next_handle in
+  t.next_handle <- t.next_handle + 1;
+  Hashtbl.add t.stores handle store;
+  Hashtbl.add t.names name handle;
+  handle
+
+let handle_of_name t name = Hashtbl.find_opt t.names name
+
+let store_of t handle =
+  match Hashtbl.find_opt t.stores handle with Some s -> s | None -> raise Not_found
+
+let release t gid =
+  match Hashtbl.find_opt t.forward gid with
+  | None -> ()
+  | Some key ->
+    Hashtbl.remove t.forward gid;
+    Hashtbl.remove t.backward key;
+    t.free <- gid :: t.free
+
+let unmount t handle =
+  if not (Hashtbl.mem t.stores handle) then raise Not_found;
+  let stale = Hashtbl.fold (fun gid (h, _) acc -> if h = handle then gid :: acc else acc) t.forward [] in
+  List.iter (release t) stale;
+  Hashtbl.remove t.stores handle;
+  let names = Hashtbl.fold (fun n h acc -> if h = handle then n :: acc else acc) t.names [] in
+  List.iter (Hashtbl.remove t.names) names
+
+let globalize t ~handle local =
+  if not (Hashtbl.mem t.stores handle) then raise Not_found;
+  let key = (handle, local) in
+  match Hashtbl.find_opt t.backward key with
+  | Some gid -> gid
+  | None ->
+    let gid =
+      match t.free with
+      | gid :: rest ->
+        t.free <- rest;
+        gid
+      | [] ->
+        if t.next >= t.capacity then
+          failwith "Federation.globalize: global id space exhausted";
+        let gid = t.next in
+        t.next <- t.next + 1;
+        gid
+    in
+    Hashtbl.add t.forward gid key;
+    Hashtbl.add t.backward key gid;
+    gid
+
+let locate t gid =
+  match Hashtbl.find_opt t.forward gid with Some key -> key | None -> raise Not_found
+
+let get t gid =
+  let handle, local = locate t gid in
+  Store.get (store_of t handle) local
+
+let get_opt t gid =
+  match Hashtbl.find_opt t.forward gid with
+  | None -> None
+  | Some (handle, local) -> (
+    match Hashtbl.find_opt t.stores handle with
+    | None -> None
+    | Some store -> Store.get_opt store local)
+
+let in_use t = Hashtbl.length t.forward

@@ -1,0 +1,61 @@
+(** Multiple Mneme files open simultaneously.
+
+    "An object's identifier is unique only within the object's file.
+    Multiple files may be open simultaneously, however, so object
+    identifiers are mapped to globally unique identifiers when the
+    objects are accessed.  This allows a potentially unlimited number of
+    objects to be created by allocating a new file when the previous
+    file's object identifiers have been exhausted.  The number of
+    objects that may be accessed simultaneously is bounded by the number
+    of globally unique identifiers (currently 2^28)."
+
+    A federation mounts stores and hands out global ids {e dynamically,
+    at access time}, exactly as described: the global id space is a
+    finite pool (default 2^28); ids are assigned on first access and can
+    be {!release}d back when an object is no longer in use, so the bound
+    is on simultaneous access, not on collection size. *)
+
+type t
+
+type gid = private int
+(** A globally unique object identifier, valid until released. *)
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds simultaneously accessible objects (default 2^28).
+    Raises [Invalid_argument] if non-positive. *)
+
+val capacity : t -> int
+
+val mount : t -> name:string -> Store.t -> int
+(** Register a store under [name]; returns its file handle.  Raises
+    [Invalid_argument] if the name is already mounted. *)
+
+val unmount : t -> int -> unit
+(** Drop a mount and release every global id pointing into it.  Raises
+    [Not_found] for an unknown handle. *)
+
+val handle_of_name : t -> string -> int option
+val store_of : t -> int -> Store.t
+(** Raises [Not_found]. *)
+
+val globalize : t -> handle:int -> Oid.t -> gid
+(** Map a file-local id to its global id, assigning one on first access.
+    Raises [Not_found] for an unknown handle and [Failure] when the
+    global id space is exhausted. *)
+
+val locate : t -> gid -> int * Oid.t
+(** [(handle, local id)] behind a global id.  Raises [Not_found] if the
+    gid is unassigned (e.g. already released). *)
+
+val get : t -> gid -> bytes
+(** Fetch the object behind a global id (via its store's pools/buffers).
+    Raises like {!Store.get} and {!locate}. *)
+
+val get_opt : t -> gid -> bytes option
+
+val release : t -> gid -> unit
+(** Return the global id to the pool.  Releasing an unassigned gid is a
+    no-op. *)
+
+val in_use : t -> int
+(** Currently assigned global ids. *)

@@ -1,0 +1,141 @@
+type t = {
+  vfs : Vfs.t;
+  log : Vfs.file;
+  data : Vfs.file;
+  mutable batch : (int * bytes) list option; (* newest first, None = no batch *)
+  mutable logged_bytes : int;
+}
+
+let terminator = 0xffffffffffffff (* fits u64 writer (non-negative OCaml int) *)
+
+let create vfs ~log_file ~data_file =
+  let log = Vfs.open_file vfs log_file in
+  Vfs.truncate log 0;
+  { vfs; log; data = Vfs.open_file vfs data_file; batch = None; logged_bytes = 0 }
+
+let attach vfs ~log_file ~data_file =
+  {
+    vfs;
+    log = Vfs.open_file vfs log_file;
+    data = Vfs.open_file vfs data_file;
+    batch = None;
+    logged_bytes = 0;
+  }
+
+let in_batch t = t.batch <> None
+
+let begin_batch t =
+  if in_batch t then invalid_arg "Journal.begin_batch: batch already open";
+  t.batch <- Some []
+
+let write t ~off b =
+  match t.batch with
+  | None -> Vfs.write t.data ~off b
+  | Some pending -> t.batch <- Some ((off, Bytes.copy b) :: pending)
+
+(* Read [off, off+len) as if pending writes had been applied: start from
+   the data file (zero-padded past its end) and overlay each pending
+   write, oldest first. *)
+let read t ~off ~len =
+  match t.batch with
+  | None -> Vfs.read t.data ~off ~len
+  | Some pending ->
+    let visible_size =
+      List.fold_left
+        (fun acc (o, b) -> max acc (o + Bytes.length b))
+        (Vfs.size t.data) pending
+    in
+    if off < 0 || len < 0 || off + len > visible_size then
+      invalid_arg "Journal.read: range outside visible data";
+    let out = Bytes.make len '\000' in
+    let data_size = Vfs.size t.data in
+    let from_data = min len (max 0 (data_size - off)) in
+    if from_data > 0 then Bytes.blit (Vfs.read t.data ~off ~len:from_data) 0 out 0 from_data;
+    List.iter
+      (fun (o, b) ->
+        let blen = Bytes.length b in
+        let lo = max off o and hi = min (off + len) (o + blen) in
+        if lo < hi then Bytes.blit b (lo - o) out (lo - off) (hi - lo))
+      (List.rev pending);
+    out
+
+let data_size t =
+  match t.batch with
+  | None -> Vfs.size t.data
+  | Some pending ->
+    List.fold_left (fun acc (o, b) -> max acc (o + Bytes.length b)) (Vfs.size t.data) pending
+
+let pending_writes t = match t.batch with None -> 0 | Some p -> List.length p
+let log_bytes_written t = t.logged_bytes
+
+let apply_to_data t writes = List.iter (fun (off, b) -> Vfs.write t.data ~off b) writes
+
+let commit t =
+  match t.batch with
+  | None -> invalid_arg "Journal.commit: no batch open"
+  | Some pending ->
+    let writes = List.rev pending in
+    (* 1. Write-ahead: every record, then the commit marker. *)
+    let buf = Buffer.create 4096 in
+    List.iter
+      (fun (off, b) ->
+        Util.Bin.buf_u64 buf off;
+        Util.Bin.buf_u32 buf (Bytes.length b);
+        Buffer.add_bytes buf b)
+      writes;
+    Util.Bin.buf_u64 buf terminator;
+    Util.Bin.buf_u32 buf (List.length writes);
+    let log_image = Buffer.to_bytes buf in
+    Vfs.truncate t.log 0;
+    ignore (Vfs.append t.log log_image);
+    t.logged_bytes <- t.logged_bytes + Bytes.length log_image;
+    (* 2. Apply to the data file. *)
+    apply_to_data t writes;
+    (* 3. Checkpoint: the batch is durable, drop the log. *)
+    Vfs.truncate t.log 0;
+    t.batch <- None
+
+let abort t =
+  match t.batch with
+  | None -> invalid_arg "Journal.abort: no batch open"
+  | Some _ -> t.batch <- None
+
+type recovery = Replayed of int | Discarded of int | Clean
+
+(* Parse the log: Some (writes, complete) where [complete] means the
+   commit marker with a matching count was found. *)
+let parse_log bytes =
+  let size = Bytes.length bytes in
+  let rec go pos acc =
+    if pos + 12 > size then (List.rev acc, false)
+    else begin
+      let off = Util.Bin.get_u64 bytes pos in
+      if off = terminator then begin
+        let count = Util.Bin.get_u32 bytes (pos + 8) in
+        (List.rev acc, count = List.length acc)
+      end
+      else begin
+        let len = Util.Bin.get_u32 bytes (pos + 8) in
+        if pos + 12 + len > size then (List.rev acc, false)
+        else go (pos + 12 + len) ((off, Bytes.sub bytes (pos + 12) len) :: acc)
+      end
+    end
+  in
+  go 0 []
+
+let recover t =
+  let size = Vfs.size t.log in
+  if size = 0 then Clean
+  else begin
+    let image = Vfs.read t.log ~off:0 ~len:size in
+    let writes, complete = parse_log image in
+    let result =
+      if complete then begin
+        apply_to_data t writes;
+        Replayed (List.length writes)
+      end
+      else Discarded (List.length writes)
+    in
+    Vfs.truncate t.log 0;
+    result
+  end

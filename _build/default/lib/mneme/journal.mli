@@ -1,0 +1,71 @@
+(** Redo-log journaling: atomic multi-write batches with crash recovery.
+
+    The paper's Section 6: "The current version of Mneme is a prototype
+    and does not provide all of the services one might expect from a
+    mature data management system, such as concurrency control and
+    transaction support. ... For future work we plan to implement some
+    of the standard data management services not currently provided by
+    Mneme and verify the above claim [that they] would not introduce
+    excessive overhead."  This module is that service, and the ablation
+    harness measures the claim.
+
+    Protocol (classic write-ahead redo):
+    - during a batch, target-file writes are captured in the journal's
+      pending table instead of reaching the data file; readers see them
+      through {!read} (read-your-writes);
+    - {!commit} appends every pending write plus a commit marker to the
+      log file, then applies the writes to the data file, then truncates
+      the log (checkpoint);
+    - {!recover} scans the log: a complete batch bearing its commit
+      marker is replayed (the apply phase may have been interrupted); an
+      incomplete batch is discarded.  Either way the data file ends in a
+      transaction-consistent state.
+
+    Log record: [off u64][len u32][bytes]; batch terminator:
+    [0xffffffffffffffff][checksum u32 over the batch's record count].
+    A torn tail (any truncation point) is detected and discarded. *)
+
+type t
+
+val create : Vfs.t -> log_file:string -> data_file:string -> t
+(** Journal writes of [data_file] through [log_file].  The log file is
+    created empty (or truncated if it exists). *)
+
+val attach : Vfs.t -> log_file:string -> data_file:string -> t
+(** Like {!create} but keeps any existing log contents, for {!recover}
+    after a simulated crash. *)
+
+val in_batch : t -> bool
+
+val begin_batch : t -> unit
+(** Raises [Invalid_argument] if a batch is already open. *)
+
+val write : t -> off:int -> bytes -> unit
+(** Inside a batch: capture the write.  Outside a batch: write through
+    to the data file directly. *)
+
+val read : t -> off:int -> len:int -> bytes
+(** Read through pending captured writes, falling back to the data
+    file.  Raises like {!Vfs.read} when the range is outside both. *)
+
+val data_size : t -> int
+(** Data-file size as visible through pending writes. *)
+
+val commit : t -> unit
+(** Log, apply, checkpoint.  Raises [Invalid_argument] if no batch is
+    open. *)
+
+val abort : t -> unit
+(** Drop the pending writes; the data file is untouched. *)
+
+type recovery = Replayed of int | Discarded of int | Clean
+
+val recover : t -> recovery
+(** Process the log after a crash: [Replayed n] re-applied [n] writes of
+    a committed batch, [Discarded n] dropped [n] writes of an
+    uncommitted one, [Clean] means the log was empty.  The log is
+    truncated afterwards. *)
+
+val pending_writes : t -> int
+val log_bytes_written : t -> int
+(** Total bytes ever appended to the log — the overhead metric. *)

@@ -1,0 +1,27 @@
+type t = int
+
+let slots_per_lseg = 255
+let bits = 28
+let max_id = (1 lsl bits) - 1
+
+let lseg id = id / slots_per_lseg
+let slot id = id mod slots_per_lseg
+
+let make ~lseg ~slot =
+  if slot < 0 || slot >= slots_per_lseg then invalid_arg "Oid.make: slot out of range";
+  if lseg < 0 then invalid_arg "Oid.make: negative lseg";
+  let id = (lseg * slots_per_lseg) + slot in
+  if id > max_id then invalid_arg "Oid.make: id exceeds 28-bit space";
+  id
+
+module Global = struct
+  type gid = int
+
+  let make ~file_handle local =
+    if file_handle < 0 then invalid_arg "Oid.Global.make: negative file handle";
+    if local < 0 || local > max_id then invalid_arg "Oid.Global.make: local id out of range";
+    (file_handle lsl bits) lor local
+
+  let file_handle gid = gid lsr bits
+  let local gid = gid land max_id
+end

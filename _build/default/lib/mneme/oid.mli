@@ -1,0 +1,41 @@
+(** Mneme object identifiers.
+
+    An object id is unique within its file.  Ids are structured: every
+    255 consecutive ids form a {e logical segment}, the unit Mneme uses
+    for identification, indexing and location.  When several files are
+    open simultaneously, file-local ids are mapped to globally unique
+    ids; the global id space is bounded at 2^28, which bounds the number
+    of objects accessible at once (as in the paper). *)
+
+type t = int
+(** A file-local object id, [0 <= t < 2^28]. *)
+
+val slots_per_lseg : int
+(** 255, per the paper. *)
+
+val lseg : t -> int
+(** Logical segment number of an id. *)
+
+val slot : t -> int
+(** Position of the id within its logical segment, [0 .. 254]. *)
+
+val make : lseg:int -> slot:int -> t
+(** Inverse of [lseg]/[slot].  Raises [Invalid_argument] if [slot] is
+    outside [0 .. 254], [lseg] is negative, or the result exceeds the
+    28-bit id space. *)
+
+val max_id : t
+(** Largest representable file-local id. *)
+
+(** Globally unique ids for multi-file stores: the file handle occupies
+    the bits above the 28-bit local id. *)
+module Global : sig
+  type gid = private int
+
+  val make : file_handle:int -> t -> gid
+  (** Raises [Invalid_argument] if [file_handle] is negative or the
+      local id is out of range. *)
+
+  val file_handle : gid -> int
+  val local : gid -> t
+end

@@ -1,0 +1,64 @@
+type layout = Fixed_slots of { slot_size : int } | Packed
+
+type t = {
+  name : string;
+  pseg_size : int;
+  singleton : bool;
+  layout : layout;
+  align : int;
+}
+
+let validate t =
+  if t.pseg_size <= 0 then invalid_arg "Policy: pseg_size must be positive";
+  if t.align <= 0 then invalid_arg "Policy: align must be positive";
+  (match t.layout with
+  | Packed -> ()
+  | Fixed_slots { slot_size } ->
+    if slot_size < 5 then invalid_arg "Policy: slot_size must be at least 5";
+    (* header: lseg u32 + count u16 *)
+    if 6 + (Oid.slots_per_lseg * slot_size) > t.pseg_size then
+      invalid_arg "Policy: 255 fixed slots must fit one physical segment";
+    if t.singleton then invalid_arg "Policy: fixed-slot pools cannot be singleton");
+  t
+
+let small =
+  validate
+    { name = "small"; pseg_size = 4096; singleton = false;
+      layout = Fixed_slots { slot_size = 16 }; align = 4096 }
+
+let medium =
+  validate { name = "medium"; pseg_size = 8192; singleton = false; layout = Packed; align = 8192 }
+
+let large =
+  validate { name = "large"; pseg_size = 8192; singleton = true; layout = Packed; align = 8192 }
+
+let make ~name ?(pseg_size = 8192) ?(singleton = false) ?(layout = Packed) ?(align = 8192) () =
+  validate { name; pseg_size; singleton; layout; align }
+
+let max_payload t =
+  match t.layout with
+  | Fixed_slots { slot_size } -> Some (slot_size - 4)
+  | Packed -> None
+
+let encode buf t =
+  Util.Bin.buf_string buf t.name;
+  Util.Bin.buf_u32 buf t.pseg_size;
+  Util.Bin.buf_u8 buf (if t.singleton then 1 else 0);
+  (match t.layout with
+  | Packed -> Util.Bin.buf_u8 buf 0
+  | Fixed_slots { slot_size } ->
+    Util.Bin.buf_u8 buf 1;
+    Util.Bin.buf_u32 buf slot_size);
+  Util.Bin.buf_u32 buf t.align
+
+let decode b pos =
+  let name, pos = Util.Bin.get_string b pos in
+  let pseg_size = Util.Bin.get_u32 b pos in
+  let singleton = Util.Bin.get_u8 b (pos + 4) = 1 in
+  let tag = Util.Bin.get_u8 b (pos + 5) in
+  let layout, pos =
+    if tag = 0 then (Packed, pos + 6)
+    else (Fixed_slots { slot_size = Util.Bin.get_u32 b (pos + 6) }, pos + 10)
+  in
+  let align = Util.Bin.get_u32 b pos in
+  (validate { name; pseg_size; singleton; layout; align }, pos + 4)

@@ -1,0 +1,56 @@
+(** Pool policies.
+
+    A pool defines the management policy for the objects it contains:
+    how large physical segments are, how objects are laid out inside a
+    segment, and how objects are created and located.  Pools are the
+    primary extensibility mechanism in Mneme; the three policies the
+    paper builds for inverted lists are provided as constructors. *)
+
+type layout =
+  | Fixed_slots of { slot_size : int }
+      (** Every object occupies a fixed slot of [slot_size] bytes, of
+          which 4 hold the length; a whole logical segment (255 objects)
+          fits in one physical segment.  The paper's small-object pool
+          uses 16-byte slots in 4 KB segments. *)
+  | Packed
+      (** Objects are packed back to back behind a directory of
+          (id, offset, length) entries.  Used by the medium pool (8 KB
+          segments) and, with one object per segment, the large pool. *)
+
+type t = {
+  name : string;
+  pseg_size : int;
+      (** Target physical segment size in bytes.  Ignored for singleton
+          pools, where each object sizes its own segment. *)
+  singleton : bool;
+      (** One object per physical segment (the large-object pool). *)
+  layout : layout;
+  align : int;  (** File alignment of segment starts, for transfer-block
+                    sympathy (the paper aligns to the 4/8 KB disk units). *)
+}
+
+val small : t
+(** 16-byte fixed slots, 4 KB segments: holds every inverted list of
+    12 bytes or less (roughly half of all lists, per the paper). *)
+
+val medium : t
+(** Packed 8 KB segments, "based on the disk I/O block size and a desire
+    to keep the segments relatively small". *)
+
+val large : t
+(** One object per segment, for lists over 4 KB. *)
+
+val make :
+  name:string -> ?pseg_size:int -> ?singleton:bool -> ?layout:layout -> ?align:int -> unit -> t
+(** Custom policy (defaults mirror {!medium}).  Raises
+    [Invalid_argument] if [pseg_size <= 0], [align <= 0], or a
+    [Fixed_slots] slot size is not at least 5 bytes (4-byte length field
+    plus some payload) or does not fit 255 slots in one segment. *)
+
+val max_payload : t -> int option
+(** For [Fixed_slots] layouts, the largest object the pool accepts;
+    [None] for packed layouts (unbounded). *)
+
+val encode : Buffer.t -> t -> unit
+val decode : bytes -> int -> t * int
+(** Aux-table (de)serialisation. *)

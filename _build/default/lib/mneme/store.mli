@@ -1,0 +1,173 @@
+(** The Mneme persistent object store.
+
+    Basic services: storage and retrieval of {e objects} — chunks of
+    contiguous bytes with unique identifiers.  Mneme has no notion of
+    type or class; object format is the business of the pool that owns
+    the object.  Objects are grouped physically into segments (the disk
+    transfer unit) and logically into 255-object logical segments;
+    location goes through compact auxiliary tables that stay cached
+    after their first access, which is why a warm Mneme lookup costs
+    about one file access (the paper's A ~ 1.02-1.07 without caching).
+
+    Lifecycle: [create] (or [open_existing]) → [add_pool] for each
+    policy → [attach_buffer] → [allocate]/[get]/[modify]/[delete] →
+    [finalize] to persist the auxiliary tables.  A finalized file
+    re-opened with [open_existing] loads its auxiliary tables lazily, on
+    the first access to each pool — charging the simulated I/O exactly
+    once, as the paper describes. *)
+
+type t
+type pool
+
+exception Corrupt of string
+(** Raised when the file contents contradict the format. *)
+
+val create : Vfs.t -> string -> t
+(** Fresh store in a new file.  Raises [Invalid_argument] if the file
+    exists. *)
+
+val open_existing : Vfs.t -> string -> t
+(** Re-open a finalized store.  Raises [Corrupt] on format errors. *)
+
+val add_pool : t -> Policy.t -> pool
+(** Register a pool.  On a re-opened store, a pool with the same policy
+    name recovers its persisted contents.  Raises [Invalid_argument] if
+    the name is already taken by a live pool handle. *)
+
+val pool : t -> string -> pool
+(** Look up a registered pool by name.  Raises [Not_found]. *)
+
+val pool_name : pool -> string
+val pool_policy : pool -> Policy.t
+
+val attach_buffer : pool -> Buffer_pool.t -> unit
+(** Attach the buffer the pool will fault segments through.  A pool must
+    have a buffer attached before [get]/[modify]/[delete] touch it.
+    Replacing the buffer is allowed (used by the buffer-size sweep). *)
+
+val buffer : pool -> Buffer_pool.t option
+
+val allocate : pool -> bytes -> Oid.t
+(** Store a new object, returning its id.  Raises [Invalid_argument] if
+    the object exceeds a fixed-slot pool's payload bound, and [Failure]
+    if the 28-bit id space is exhausted. *)
+
+val get : t -> Oid.t -> bytes
+(** Retrieve an object's bytes.  Raises [Not_found] if the id was never
+    allocated or was deleted. *)
+
+val get_opt : t -> Oid.t -> bytes option
+
+val exists : t -> Oid.t -> bool
+(** Consults only the (cached) auxiliary tables — no segment fault. *)
+
+val object_size : t -> Oid.t -> int option
+(** Size from the segment directory; faults the segment like [get]. *)
+
+val modify : t -> Oid.t -> bytes -> unit
+(** Replace an object's contents in place when the new value fits the
+    old extent; otherwise the object is relocated to fresh segment
+    space (the old space is wasted — see [wasted_bytes]).  Fixed-slot
+    objects may grow up to the slot payload.  Raises [Not_found] or
+    [Invalid_argument] like [allocate]. *)
+
+val delete : t -> Oid.t -> unit
+(** Drop the object.  Raises [Not_found] if absent. *)
+
+val reserve : t -> Oid.t list -> (unit -> unit)
+(** The paper's query-tree reservation: pin the segments of every
+    listed object that is {e already resident} in its pool's buffer,
+    and return a release function to call when the query completes. *)
+
+val finalize : t -> unit
+(** Flush open creation segments, persist the auxiliary tables and
+    header.  Idempotent; must be called before [open_existing] can see
+    the data. *)
+
+val file_size : t -> int
+val object_count : t -> int
+val pool_object_count : pool -> int
+val wasted_bytes : t -> int
+(** Bytes stranded by relocations and deletions — the paper's
+    "space management problem" made measurable. *)
+
+val aux_table_bytes : t -> int
+(** Size of the persisted auxiliary tables (0 before finalize); compare
+    with the paper's footnote that all of TIPSTER's tables fit 512 KB. *)
+
+val locate_pseg : t -> Oid.t -> int option
+(** Physical segment id holding the object, if any — exposed so the
+    integrated system can reserve and so tests can assert clustering. *)
+
+val pool_of_oid : t -> Oid.t -> pool option
+
+(** {2 Transactions and recovery}
+
+    The data management services the paper lists as future work
+    ("recovery ... transaction support"), provided by a redo journal
+    ({!Journal}).  With a journal enabled, updates grouped under
+    {!transact} reach the data file atomically: after a crash,
+    {!recover_journal} replays a committed batch or discards an
+    uncommitted one, so the store is always transaction-consistent.
+    The ablation harness measures the overhead (the paper's conjecture:
+    "we expect that the addition of these services would not introduce
+    excessive overhead"). *)
+
+val enable_journal : t -> log_file:string -> unit
+(** Route this store's data-file writes through a redo journal kept in
+    [log_file].  Raises [Invalid_argument] if already enabled. *)
+
+val journal : t -> Journal.t option
+
+val transact : t -> (unit -> 'a) -> 'a
+(** [transact t f] runs [f] with all store writes captured, then commits
+    them atomically.  If [f] raises, the batch is aborted (the data file
+    is untouched) and the exception re-raised — in that case the
+    {e in-memory} handle may have advanced past the on-disk state
+    (allocation counters, segment tables), so discard it and re-open
+    the store, exactly as a crashed process would.  Raises
+    [Invalid_argument] if no journal is enabled. *)
+
+val recover_journal : Vfs.t -> file:string -> log_file:string -> Journal.recovery
+(** Run crash recovery for a store file and its journal log before
+    re-opening the store. *)
+
+(** {2 Introspection}
+
+    Read-only access to the location tables and segment formats, for
+    the integrity checker ({!Check}) and tests. *)
+
+val pools : t -> pool list
+(** Registered pools, in registration order (forces aux loading). *)
+
+val pool_segments : pool -> (int * (int * int)) list
+(** [(pseg id, (file offset, length))] for every flushed physical
+    segment, ascending by id. *)
+
+val pool_slot_tables : pool -> (int * int array) list
+(** [(lseg, slots)] pairs, ascending by lseg; each slot holds the
+    physical segment id or -1.  The arrays are copies. *)
+
+val segment_raw : pool -> int -> bytes
+(** Fault a physical segment through the pool's buffer and return its
+    bytes.  Raises [Corrupt] for an unknown id and [Invalid_argument]
+    if no buffer is attached. *)
+
+val parse_packed_directory : bytes -> (Oid.t * int * int) list
+(** Directory of a packed segment: [(oid, offset, length)] entries.
+    Raises [Corrupt] on a malformed directory. *)
+
+val fixed_slot_length : slot_size:int -> bytes -> slot:int -> int option
+(** Payload length stored in a fixed-layout segment slot, or [None] if
+    the slot is empty.  Raises [Corrupt] if the slot lies outside the
+    segment. *)
+
+val compact : t -> file:string -> t
+(** [compact t ~file] rewrites the store into a fresh file, dropping
+    every stranded extent left by relocations and deletions (the
+    "holes" the paper worries about).  Object ids are preserved — the
+    hash-dictionary locators remain valid against the compacted store —
+    and [wasted_bytes] of the result is 0.  The source must be
+    finalized ([Invalid_argument] otherwise) and needs buffers attached
+    (objects are read through them); attach buffers to the result's
+    pools before querying it. *)

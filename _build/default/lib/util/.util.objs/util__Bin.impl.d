@@ -1,0 +1,1 @@
+lib/util/bin.ml: Buffer Bytes Int32 Int64 String

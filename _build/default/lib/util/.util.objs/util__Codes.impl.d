@@ -1,0 +1,1 @@
+lib/util/codes.ml: Bitio Float List Printf

@@ -1,0 +1,1 @@
+lib/util/codes.mli: Bitio

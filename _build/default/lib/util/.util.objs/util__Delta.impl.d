@@ -1,0 +1,1 @@
+lib/util/delta.ml: List Varint

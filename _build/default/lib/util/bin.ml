@@ -1,0 +1,44 @@
+let put_u8 b pos v =
+  if v < 0 || v > 0xff then invalid_arg "Bin.put_u8: out of range";
+  Bytes.set_uint8 b pos v
+
+let get_u8 = Bytes.get_uint8
+
+let put_u16 b pos v =
+  if v < 0 || v > 0xffff then invalid_arg "Bin.put_u16: out of range";
+  Bytes.set_uint16_le b pos v
+
+let get_u16 = Bytes.get_uint16_le
+
+let put_u32 b pos v =
+  if v < 0 || v > 0xffffffff then invalid_arg "Bin.put_u32: out of range";
+  Bytes.set_int32_le b pos (Int32.of_int v)
+
+let get_u32 b pos = Int32.to_int (Bytes.get_int32_le b pos) land 0xffffffff
+
+let put_u64 b pos v =
+  if v < 0 then invalid_arg "Bin.put_u64: negative";
+  Bytes.set_int64_le b pos (Int64.of_int v)
+
+let get_u64 b pos =
+  let v = Int64.to_int (Bytes.get_int64_le b pos) in
+  if v < 0 then invalid_arg "Bin.get_u64: value exceeds OCaml int range";
+  v
+
+let via_scratch width put buf v =
+  let b = Bytes.create width in
+  put b 0 v;
+  Buffer.add_bytes buf b
+
+let buf_u8 buf v = via_scratch 1 put_u8 buf v
+let buf_u16 buf v = via_scratch 2 put_u16 buf v
+let buf_u32 buf v = via_scratch 4 put_u32 buf v
+let buf_u64 buf v = via_scratch 8 put_u64 buf v
+
+let buf_string buf s =
+  buf_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let get_string b pos =
+  let len = get_u32 b pos in
+  (Bytes.sub_string b (pos + 4) len, pos + 4 + len)

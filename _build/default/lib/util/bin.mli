@@ -1,0 +1,35 @@
+(** Little-endian fixed-width integer (de)serialisation.
+
+    Shared by the on-disk page formats of the B-tree package and the
+    Mneme store.  All values are range-checked on write so a corrupt
+    page fails loudly instead of silently wrapping. *)
+
+val put_u8 : bytes -> int -> int -> unit
+(** [put_u8 b pos v]; [v] must be in [\[0, 255\]]. *)
+
+val get_u8 : bytes -> int -> int
+
+val put_u16 : bytes -> int -> int -> unit
+val get_u16 : bytes -> int -> int
+
+val put_u32 : bytes -> int -> int -> unit
+(** [v] must fit in 32 unsigned bits. *)
+
+val get_u32 : bytes -> int -> int
+
+val put_u64 : bytes -> int -> int -> unit
+(** [v] must be non-negative (63-bit OCaml int). *)
+
+val get_u64 : bytes -> int -> int
+
+val buf_u8 : Buffer.t -> int -> unit
+val buf_u16 : Buffer.t -> int -> unit
+val buf_u32 : Buffer.t -> int -> unit
+val buf_u64 : Buffer.t -> int -> unit
+
+val buf_string : Buffer.t -> string -> unit
+(** Length-prefixed (u32) string. *)
+
+val get_string : bytes -> int -> string * int
+(** [get_string b pos] reads a length-prefixed string, returning it and
+    the next position. *)

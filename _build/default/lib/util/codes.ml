@@ -1,0 +1,104 @@
+type scheme = Gamma | Delta_code | Golomb of int
+
+let scheme_name = function
+  | Gamma -> "gamma"
+  | Delta_code -> "delta"
+  | Golomb b -> Printf.sprintf "golomb-%d" b
+
+let check v = if v < 1 then invalid_arg "Codes: values must be >= 1"
+
+let floor_log2 v =
+  let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+(* gamma: unary length, then the value's low bits. *)
+let encode_gamma w v =
+  let n = floor_log2 v in
+  Bitio.Writer.unary w n;
+  Bitio.Writer.bits w ~value:(v - (1 lsl n)) ~width:n
+
+let decode_gamma r =
+  let n = Bitio.Reader.unary r in
+  (1 lsl n) + Bitio.Reader.bits r ~width:n
+
+(* delta: gamma-coded length, then the low bits. *)
+let encode_delta w v =
+  let n = floor_log2 v in
+  encode_gamma w (n + 1);
+  Bitio.Writer.bits w ~value:(v - (1 lsl n)) ~width:n
+
+let decode_delta r =
+  let n = decode_gamma r - 1 in
+  (1 lsl n) + Bitio.Reader.bits r ~width:n
+
+(* Golomb with parameter b: quotient in unary, remainder in truncated
+   binary. *)
+let encode_golomb w ~b v =
+  if b < 1 then invalid_arg "Codes: Golomb parameter must be >= 1";
+  let v = v - 1 in
+  let q = v / b and r = v mod b in
+  Bitio.Writer.unary w q;
+  if b > 1 then begin
+    let width = floor_log2 (b - 1) + 1 in
+    let cutoff = (1 lsl width) - b in
+    if r < cutoff then Bitio.Writer.bits w ~value:r ~width:(width - 1)
+    else Bitio.Writer.bits w ~value:(r + cutoff) ~width
+  end
+
+let decode_golomb r ~b =
+  if b < 1 then invalid_arg "Codes: Golomb parameter must be >= 1";
+  let q = Bitio.Reader.unary r in
+  let rem =
+    if b = 1 then 0
+    else begin
+      let width = floor_log2 (b - 1) + 1 in
+      let cutoff = (1 lsl width) - b in
+      let head = Bitio.Reader.bits r ~width:(width - 1) in
+      if head < cutoff then head
+      else begin
+        let extra = if Bitio.Reader.bit r then 1 else 0 in
+        ((head lsl 1) lor extra) - cutoff
+      end
+    end
+  in
+  (q * b) + rem + 1
+
+let encode w scheme v =
+  check v;
+  match scheme with
+  | Gamma -> encode_gamma w v
+  | Delta_code -> encode_delta w v
+  | Golomb b -> encode_golomb w ~b v
+
+let decode r = function
+  | Gamma -> decode_gamma r
+  | Delta_code -> decode_delta r
+  | Golomb b -> decode_golomb r ~b
+
+let encode_list scheme vs =
+  let w = Bitio.Writer.create () in
+  List.iter (encode w scheme) vs;
+  Bitio.Writer.to_bytes w
+
+let decode_list scheme b ~count =
+  let r = Bitio.Reader.create b in
+  List.init count (fun _ -> decode r scheme)
+
+let bit_size scheme v =
+  check v;
+  match scheme with
+  | Gamma ->
+    let n = floor_log2 v in
+    (2 * n) + 1
+  | Delta_code ->
+    let n = floor_log2 v in
+    let m = floor_log2 (n + 1) in
+    (2 * m) + 1 + n
+  | Golomb b ->
+    let w = Bitio.Writer.create () in
+    encode_golomb w ~b v;
+    Bitio.Writer.bit_length w
+
+let golomb_parameter ~n_docs ~df =
+  if df <= 0 then 1
+  else max 1 (int_of_float (Float.round (0.69 *. float_of_int n_docs /. float_of_int df)))

@@ -1,0 +1,29 @@
+(** Integer codes for inverted-file compression studies.
+
+    Zobel, Moffat & Sacks-Davis (VLDB'92) — cited by the paper as the
+    compression-focused line of work — compare parameterless codes
+    against byte-aligned schemes.  This module provides the classic
+    bit-level family; {!Varint} is the byte-aligned scheme INQUERY-style
+    records use.  All codes here encode {e positive} integers
+    ([>= 1]). *)
+
+type scheme = Gamma | Delta_code | Golomb of int
+
+val scheme_name : scheme -> string
+(** "gamma", "delta", "golomb-b". *)
+
+val encode : Bitio.Writer.t -> scheme -> int -> unit
+(** Raises [Invalid_argument] if the value is [< 1] (or the Golomb
+    parameter is [< 1]). *)
+
+val decode : Bitio.Reader.t -> scheme -> int
+
+val encode_list : scheme -> int list -> bytes
+val decode_list : scheme -> bytes -> count:int -> int list
+
+val bit_size : scheme -> int -> int
+(** Exact coded size in bits. *)
+
+val golomb_parameter : n_docs:int -> df:int -> int
+(** The Witten-Moffat-Bell rule of thumb [b ~ 0.69 * n/df] for coding
+    document gaps of a term with document frequency [df]. *)

@@ -1,0 +1,48 @@
+let encode xs =
+  let rec go prev = function
+    | [] -> []
+    | x :: rest ->
+      if x <= prev then invalid_arg "Delta.encode: not strictly increasing";
+      (x - prev) :: go x rest
+  in
+  match xs with
+  | [] -> []
+  | x :: rest ->
+    if x < 0 then invalid_arg "Delta.encode: negative value";
+    x :: go x rest
+
+let decode gaps =
+  let rec go prev = function
+    | [] -> []
+    | g :: rest ->
+      let x = prev + g in
+      x :: go x rest
+  in
+  match gaps with
+  | [] -> []
+  | g :: rest -> g :: go g rest
+
+let encode_into buf xs =
+  let rec go prev = function
+    | [] -> ()
+    | x :: rest ->
+      if x <= prev then invalid_arg "Delta.encode_into: not strictly increasing";
+      Varint.encode buf (x - prev);
+      go x rest
+  in
+  match xs with
+  | [] -> ()
+  | x :: rest ->
+    if x < 0 then invalid_arg "Delta.encode_into: negative value";
+    Varint.encode buf x;
+    go x rest
+
+let decode_from b ~pos ~count =
+  let rec go pos prev k acc =
+    if k = 0 then (List.rev acc, pos)
+    else
+      let g, pos' = Varint.decode b ~pos in
+      let x = prev + g in
+      go pos' x (k - 1) (x :: acc)
+  in
+  go pos 0 count []

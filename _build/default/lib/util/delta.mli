@@ -1,0 +1,21 @@
+(** Delta (gap) coding of strictly increasing integer sequences.
+
+    Inverted lists store document ids and within-document positions in
+    ascending order; coding the gaps instead of the absolute values keeps
+    the v-byte representation short. *)
+
+val encode : int list -> int list
+(** [encode xs] maps a strictly increasing non-negative sequence to its
+    gap sequence (first element kept absolute).  Raises [Invalid_argument]
+    if [xs] is not strictly increasing or contains a negative value. *)
+
+val decode : int list -> int list
+(** Inverse of {!encode}. *)
+
+val encode_into : Buffer.t -> int list -> unit
+(** [encode_into buf xs] v-byte codes the gap sequence of [xs] into [buf]. *)
+
+val decode_from : bytes -> pos:int -> count:int -> int list * int
+(** [decode_from b ~pos ~count] reads [count] v-byte gaps starting at
+    [pos] and returns the reconstructed ascending sequence and the first
+    unread position. *)

@@ -1,0 +1,83 @@
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
+}
+
+type ('k, 'v) t = {
+  capacity : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option; (* most recently used *)
+  mutable tail : ('k, 'v) node option; (* least recently used *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
+  { capacity; table = Hashtbl.create (min capacity 1024); head = None; tail = None }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.table
+
+let unlink t node =
+  (match node.prev with Some p -> p.next <- node.next | None -> t.head <- node.next);
+  (match node.next with Some n -> n.prev <- node.prev | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> None
+  | Some node ->
+    unlink t node;
+    push_front t node;
+    Some node.value
+
+let mem t k = Hashtbl.mem t.table k
+
+let add t k v =
+  (match Hashtbl.find_opt t.table k with
+  | Some node ->
+    node.value <- v;
+    unlink t node;
+    push_front t node
+  | None ->
+    let node = { key = k; value = v; prev = None; next = None } in
+    Hashtbl.add t.table k node;
+    push_front t node);
+  if Hashtbl.length t.table > t.capacity then begin
+    match t.tail with
+    | None -> None
+    | Some victim ->
+      unlink t victim;
+      Hashtbl.remove t.table victim.key;
+      Some (victim.key, victim.value)
+  end
+  else None
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> ()
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.table k
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None
+
+let iter t f =
+  let rec go = function
+    | None -> ()
+    | Some node ->
+      f node.key node.value;
+      go node.next
+  in
+  go t.head

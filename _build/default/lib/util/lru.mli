@@ -1,0 +1,31 @@
+(** Generic LRU map with a fixed entry capacity.
+
+    Backs the simulated operating-system file cache in {!Vfs} and the
+    B-tree's minimal node cache.  (The Mneme buffer manager has richer
+    requirements — weighted entries, pinning, pluggable policies — and
+    implements its own replacement machinery.) *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** Raises [Invalid_argument] if [capacity <= 0]. *)
+
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** [find t k] returns the binding and promotes it to most-recently-used. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Membership test without promoting. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> ('k * 'v) option
+(** [add t k v] inserts or replaces the binding (promoting it) and
+    returns the evicted least-recently-used binding, if the insert
+    overflowed the capacity. *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+val clear : ('k, 'v) t -> unit
+
+val iter : ('k, 'v) t -> ('k -> 'v -> unit) -> unit
+(** Iterate from most- to least-recently-used. *)

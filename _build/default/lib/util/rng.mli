@@ -1,0 +1,41 @@
+(** Deterministic pseudo-random number generation.
+
+    Experiments must be reproducible bit-for-bit across runs and OCaml
+    releases, so we carry our own splittable generator (SplitMix64 for
+    seeding, xoshiro256** for the stream) instead of [Stdlib.Random]. *)
+
+type t
+
+val create : seed:int -> t
+(** [create ~seed] builds a generator from a 63-bit seed. *)
+
+val split : t -> t
+(** [split t] derives an independent generator; [t] advances. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; the copies evolve separately. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  Raises [Invalid_argument]
+    if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val gaussian : t -> mean:float -> stddev:float -> float
+(** Box-Muller normal deviate. *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** [exp] of a normal deviate; used for document-length models. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array.  Raises [Invalid_argument] on
+    an empty array. *)

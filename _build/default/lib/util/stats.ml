@@ -1,0 +1,115 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sqrt (acc /. float_of_int n)
+  end
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty input";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let sum_int = Array.fold_left ( + ) 0
+
+module Log_histogram = struct
+  type t = { lo : int; counts : int array; mutable total : int }
+
+  let create ~lo ~buckets =
+    if lo <= 0 then invalid_arg "Log_histogram.create: lo must be positive";
+    if buckets <= 0 then invalid_arg "Log_histogram.create: buckets must be positive";
+    { lo; counts = Array.make buckets 0; total = 0 }
+
+  let bucket_of t v =
+    if v < t.lo then 0
+    else begin
+      let rec go bound i =
+        if v < bound * 2 || i = Array.length t.counts - 1 then i
+        else go (bound * 2) (i + 1)
+      in
+      go t.lo 0
+    end
+
+  let add_weighted t v ~weight =
+    let i = bucket_of t v in
+    t.counts.(i) <- t.counts.(i) + weight;
+    t.total <- t.total + weight
+
+  let add t v = add_weighted t v ~weight:1
+  let count t i = t.counts.(i)
+  let lower_bound t i = if i = 0 then 0 else t.lo * (1 lsl i)
+  let buckets t = Array.length t.counts
+  let total t = t.total
+end
+
+module Cumulative = struct
+  type t = { tbl : (int, int ref) Hashtbl.t; mutable total : int }
+
+  let create () = { tbl = Hashtbl.create 64; total = 0 }
+
+  let add t ~value ~weight =
+    (match Hashtbl.find_opt t.tbl value with
+    | Some r -> r := !r + weight
+    | None -> Hashtbl.add t.tbl value (ref weight));
+    t.total <- t.total + weight
+
+  let points t =
+    let items =
+      Hashtbl.fold (fun v r acc -> (v, !r) :: acc) t.tbl []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    let total = float_of_int t.total in
+    let acc = ref 0 in
+    List.map
+      (fun (v, w) ->
+        acc := !acc + w;
+        (v, float_of_int !acc /. total))
+      items
+
+  let fraction_le t v =
+    if t.total = 0 then 0.0
+    else begin
+      let le = Hashtbl.fold (fun v' r acc -> if v' <= v then acc + !r else acc) t.tbl 0 in
+      float_of_int le /. float_of_int t.total
+    end
+end
+
+let linear_fit points =
+  let n = List.length points in
+  if n < 2 then invalid_arg "Stats.linear_fit: need at least two points";
+  let nf = float_of_int n in
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 points in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 points in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 points in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 points in
+  let syy = List.fold_left (fun a (_, y) -> a +. (y *. y)) 0.0 points in
+  let denom = (nf *. sxx) -. (sx *. sx) in
+  if Float.abs denom < 1e-12 then invalid_arg "Stats.linear_fit: degenerate x values";
+  let slope = ((nf *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. nf in
+  let ss_tot = syy -. (sy *. sy /. nf) in
+  let ss_res =
+    List.fold_left
+      (fun a (x, y) ->
+        let e = y -. ((slope *. x) +. intercept) in
+        a +. (e *. e))
+      0.0 points
+  in
+  let r2 = if ss_tot < 1e-12 then 1.0 else 1.0 -. (ss_res /. ss_tot) in
+  (slope, intercept, r2)

@@ -1,0 +1,70 @@
+(** Descriptive statistics, histograms and cumulative distributions.
+
+    Used to regenerate the paper's Figure 1 (cumulative distribution of
+    inverted-list sizes, by record count and by file bytes) and Figure 2
+    (frequency of use per size bucket). *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on an empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation; 0 on arrays shorter than 2. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0, 100\]], linear interpolation on a
+    sorted copy.  Raises [Invalid_argument] on empty input or [p] out of
+    range. *)
+
+val sum_int : int array -> int
+
+(** Log-scale bucketing: bucket [i] covers sizes in [[lo*2^i, lo*2^(i+1))]. *)
+module Log_histogram : sig
+  type t
+
+  val create : lo:int -> buckets:int -> t
+  (** [create ~lo ~buckets]: the first bucket starts at [lo] (values below
+      [lo] land in bucket 0).  Raises [Invalid_argument] if [lo <= 0] or
+      [buckets <= 0]. *)
+
+  val add : t -> int -> unit
+  (** Add one observation (values beyond the last bucket clamp to it). *)
+
+  val add_weighted : t -> int -> weight:int -> unit
+  (** Add [weight] observations of the same value. *)
+
+  val count : t -> int -> int
+  (** Observations in bucket [i]. *)
+
+  val bucket_of : t -> int -> int
+  (** Bucket index a value falls into. *)
+
+  val lower_bound : t -> int -> int
+  (** Smallest value mapping to bucket [i]. *)
+
+  val buckets : t -> int
+  val total : t -> int
+end
+
+(** Cumulative distribution over weighted integer observations — directly
+    produces Figure 1's two curves. *)
+module Cumulative : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> value:int -> weight:int -> unit
+  (** Record an observation [value] carrying [weight] (e.g. an inverted
+      list of size [value] bytes has record-weight 1 and byte-weight
+      [value]). *)
+
+  val points : t -> (int * float) list
+  (** Sorted [(value, cumulative_fraction_of_total_weight)] pairs;
+      fractions are in [\[0, 1\]] and reach 1.0 at the largest value. *)
+
+  val fraction_le : t -> int -> float
+  (** Fraction of total weight at values [<= v]; 0 if no observations. *)
+end
+
+val linear_fit : (float * float) list -> float * float * float
+(** Least-squares [(slope, intercept, r_squared)] of y on x.
+    Raises [Invalid_argument] with fewer than two points. *)

@@ -1,0 +1,34 @@
+(** Fixed-width plain-text table rendering for experiment reports.
+
+    Every table and figure series in the benchmark harness is printed
+    through this module so the reproduction output lines up with the
+    paper's tables visually. *)
+
+type align = Left | Right
+
+type t
+
+val create : columns:(string * align) list -> t
+(** [create ~columns] starts a table with the given header cells. *)
+
+val add_row : t -> string list -> unit
+(** Append one row.  Raises [Invalid_argument] if the cell count differs
+    from the column count. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule row. *)
+
+val render : t -> string
+(** Render with padded columns, a header rule, and a trailing newline. *)
+
+val print : t -> unit
+(** [print t] writes [render t] to stdout. *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point formatting, default 2 decimals. *)
+
+val fmt_pct : float -> string
+(** [fmt_pct 0.37] is ["37%"]. *)
+
+val fmt_kbytes : int -> string
+(** Bytes rendered as integral Kbytes (paper convention). *)

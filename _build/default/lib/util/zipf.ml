@@ -1,0 +1,36 @@
+type t = { n : int; s : float; cdf : float array }
+
+let create ~n ~s =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if s < 0.0 then invalid_arg "Zipf.create: s must be non-negative";
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for r = 1 to n do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int r) s);
+    cdf.(r - 1) <- !acc
+  done;
+  let total = !acc in
+  for i = 0 to n - 1 do
+    cdf.(i) <- cdf.(i) /. total
+  done;
+  { n; s; cdf }
+
+let n t = t.n
+let exponent t = t.s
+
+let sample t rng =
+  let u = Rng.float rng 1.0 in
+  (* Smallest index with cdf.(i) >= u. *)
+  let rec bisect lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.cdf.(mid) >= u then bisect lo mid else bisect (mid + 1) hi
+  in
+  bisect 0 (t.n - 1) + 1
+
+let probability t rank =
+  if rank < 1 || rank > t.n then invalid_arg "Zipf.probability: rank out of range";
+  if rank = 1 then t.cdf.(0) else t.cdf.(rank - 1) -. t.cdf.(rank - 2)
+
+let expected_count t ~total rank = float_of_int total *. probability t rank

@@ -1,0 +1,27 @@
+(** Zipf-distributed sampling over ranks [1 .. n].
+
+    Zipf's law drives both sides of the paper's analysis: term
+    frequencies in the collection (their Figure 1 size distribution) and
+    term popularity in queries (their Figure 2).  The sampler draws rank
+    [r] with probability proportional to [1 / r^s]. *)
+
+type t
+
+val create : n:int -> s:float -> t
+(** [create ~n ~s] precomputes the normalised CDF for [n] ranks with
+    exponent [s].  Raises [Invalid_argument] if [n <= 0] or [s < 0]. *)
+
+val n : t -> int
+val exponent : t -> float
+
+val sample : t -> Rng.t -> int
+(** [sample t rng] draws a rank in [\[1, n\]] by binary search on the CDF. *)
+
+val probability : t -> int -> float
+(** [probability t rank] is the mass assigned to [rank].
+    Raises [Invalid_argument] if [rank] is out of [\[1, n\]]. *)
+
+val expected_count : t -> total:int -> int -> float
+(** [expected_count t ~total rank] is [total *. probability t rank] — the
+    expected number of occurrences of the rank-[rank] term among [total]
+    draws.  Used to size inverted lists analytically. *)

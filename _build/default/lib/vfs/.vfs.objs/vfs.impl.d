@@ -1,0 +1,1 @@
+lib/vfs/vfs.ml: Bytes Clock Cost_model Hashtbl List Printf Util

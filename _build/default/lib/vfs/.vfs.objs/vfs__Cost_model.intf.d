@@ -1,0 +1,1 @@
+lib/vfs/cost_model.mli:

@@ -1,0 +1,53 @@
+type snapshot = {
+  disk_ms : float;
+  syscall_ms : float;
+  copy_ms : float;
+  engine_cpu_ms : float;
+}
+
+type t = {
+  mutable disk : float;
+  mutable syscall : float;
+  mutable copy : float;
+  mutable engine : float;
+}
+
+let create () = { disk = 0.0; syscall = 0.0; copy = 0.0; engine = 0.0 }
+
+let check ms = if ms < 0.0 then invalid_arg "Clock.charge: negative charge"
+
+let charge_disk t ms =
+  check ms;
+  t.disk <- t.disk +. ms
+
+let charge_syscall t ms =
+  check ms;
+  t.syscall <- t.syscall +. ms
+
+let charge_copy t ms =
+  check ms;
+  t.copy <- t.copy +. ms
+
+let charge_engine_cpu t ms =
+  check ms;
+  t.engine <- t.engine +. ms
+
+let snapshot t =
+  { disk_ms = t.disk; syscall_ms = t.syscall; copy_ms = t.copy; engine_cpu_ms = t.engine }
+
+let reset t =
+  t.disk <- 0.0;
+  t.syscall <- 0.0;
+  t.copy <- 0.0;
+  t.engine <- 0.0
+
+let diff ~later ~earlier =
+  {
+    disk_ms = later.disk_ms -. earlier.disk_ms;
+    syscall_ms = later.syscall_ms -. earlier.syscall_ms;
+    copy_ms = later.copy_ms -. earlier.copy_ms;
+    engine_cpu_ms = later.engine_cpu_ms -. earlier.engine_cpu_ms;
+  }
+
+let wall_ms s = s.disk_ms +. s.syscall_ms +. s.copy_ms +. s.engine_cpu_ms
+let sys_io_ms s = s.disk_ms +. s.syscall_ms +. s.copy_ms

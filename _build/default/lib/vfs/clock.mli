@@ -1,0 +1,37 @@
+(** Simulated clock with per-component accounting.
+
+    The paper separates wall-clock time (Table 3) from "system CPU plus
+    I/O" time (Table 4), obtained by subtracting user CPU (the inference
+    engine) from wall clock.  We keep the components separate from the
+    start: [disk + syscall + copy] is the Table 4 quantity and
+    [engine_cpu] the user-CPU quantity; their sum is wall clock. *)
+
+type t
+
+type snapshot = {
+  disk_ms : float;  (** time the simulated disk spent on transfers *)
+  syscall_ms : float;  (** system-call overhead *)
+  copy_ms : float;  (** kernel/user copy time *)
+  engine_cpu_ms : float;  (** retrieval/ranking engine CPU *)
+}
+
+val create : unit -> t
+
+val charge_disk : t -> float -> unit
+val charge_syscall : t -> float -> unit
+val charge_copy : t -> float -> unit
+val charge_engine_cpu : t -> float -> unit
+(** Each [charge_*] adds the given milliseconds to one component.
+    Raises [Invalid_argument] on a negative charge. *)
+
+val snapshot : t -> snapshot
+val reset : t -> unit
+
+val diff : later:snapshot -> earlier:snapshot -> snapshot
+(** Component-wise subtraction, for per-run intervals. *)
+
+val wall_ms : snapshot -> float
+(** Sum of all components — the Table 3 quantity. *)
+
+val sys_io_ms : snapshot -> float
+(** [disk + syscall + copy] — the Table 4 quantity. *)

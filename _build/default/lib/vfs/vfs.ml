@@ -1,0 +1,203 @@
+module Clock = Clock
+module Cost_model = Cost_model
+
+type counters = {
+  disk_inputs : int;
+  disk_outputs : int;
+  file_accesses : int;
+  bytes_read : int;
+  bytes_written : int;
+  os_cache_hits : int;
+  os_cache_misses : int;
+}
+
+type file = {
+  owner : t;
+  fid : int;
+  name : string;
+  mutable data : Bytes.t;
+  mutable size : int;
+}
+
+and t = {
+  model : Cost_model.t;
+  clk : Clock.t;
+  os_cache : (int * int, unit) Util.Lru.t; (* (file id, block number) *)
+  files : (string, file) Hashtbl.t;
+  mutable next_fid : int;
+  mutable last_disk_block : (int * int) option; (* disk head position *)
+  mutable c_disk_inputs : int;
+  mutable c_disk_outputs : int;
+  mutable c_file_accesses : int;
+  mutable c_bytes_read : int;
+  mutable c_bytes_written : int;
+  mutable c_hits : int;
+  mutable c_misses : int;
+}
+
+let create ?(cost_model = Cost_model.default) () =
+  {
+    model = cost_model;
+    clk = Clock.create ();
+    os_cache = Util.Lru.create ~capacity:cost_model.Cost_model.os_cache_blocks;
+    files = Hashtbl.create 16;
+    next_fid = 0;
+    last_disk_block = None;
+    c_disk_inputs = 0;
+    c_disk_outputs = 0;
+    c_file_accesses = 0;
+    c_bytes_read = 0;
+    c_bytes_written = 0;
+    c_hits = 0;
+    c_misses = 0;
+  }
+
+let cost_model t = t.model
+let clock t = t.clk
+
+let counters t =
+  {
+    disk_inputs = t.c_disk_inputs;
+    disk_outputs = t.c_disk_outputs;
+    file_accesses = t.c_file_accesses;
+    bytes_read = t.c_bytes_read;
+    bytes_written = t.c_bytes_written;
+    os_cache_hits = t.c_hits;
+    os_cache_misses = t.c_misses;
+  }
+
+let reset_counters t =
+  t.c_disk_inputs <- 0;
+  t.c_disk_outputs <- 0;
+  t.c_file_accesses <- 0;
+  t.c_bytes_read <- 0;
+  t.c_bytes_written <- 0;
+  t.c_hits <- 0;
+  t.c_misses <- 0
+
+let diff_counters ~later ~earlier =
+  {
+    disk_inputs = later.disk_inputs - earlier.disk_inputs;
+    disk_outputs = later.disk_outputs - earlier.disk_outputs;
+    file_accesses = later.file_accesses - earlier.file_accesses;
+    bytes_read = later.bytes_read - earlier.bytes_read;
+    bytes_written = later.bytes_written - earlier.bytes_written;
+    os_cache_hits = later.os_cache_hits - earlier.os_cache_hits;
+    os_cache_misses = later.os_cache_misses - earlier.os_cache_misses;
+  }
+
+let purge_os_cache t = Util.Lru.clear t.os_cache
+
+let open_file t name =
+  match Hashtbl.find_opt t.files name with
+  | Some f -> f
+  | None ->
+    let f = { owner = t; fid = t.next_fid; name; data = Bytes.create 0; size = 0 } in
+    t.next_fid <- t.next_fid + 1;
+    Hashtbl.add t.files name f;
+    f
+
+let file_exists t name = Hashtbl.mem t.files name
+
+let delete_file t name =
+  match Hashtbl.find_opt t.files name with
+  | None -> ()
+  | Some f ->
+    Hashtbl.remove t.files name;
+    (* Drop this file's blocks from the OS cache (collect first: we must
+       not remove while iterating). *)
+    let stale = ref [] in
+    Util.Lru.iter t.os_cache (fun (fid, blk) () ->
+        if fid = f.fid then stale := (fid, blk) :: !stale);
+    List.iter (Util.Lru.remove t.os_cache) !stale
+
+let file_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.files [] |> List.sort compare
+
+let file_name f = f.name
+let size f = f.size
+
+let charge_copy_and_syscall t len =
+  Clock.charge_syscall t.clk t.model.Cost_model.syscall_ms;
+  Clock.charge_copy t.clk (float_of_int len /. 1024.0 *. t.model.Cost_model.copy_ms_per_kb)
+
+(* Fault in every block touched by [off, off+len), counting hits and misses. *)
+let touch_blocks_read f ~off ~len =
+  let t = f.owner in
+  let bs = t.model.Cost_model.block_size in
+  if len > 0 then
+    for blk = off / bs to (off + len - 1) / bs do
+      match Util.Lru.find t.os_cache (f.fid, blk) with
+      | Some () -> t.c_hits <- t.c_hits + 1
+      | None ->
+        t.c_misses <- t.c_misses + 1;
+        t.c_disk_inputs <- t.c_disk_inputs + 1;
+        let sequential =
+          match t.last_disk_block with
+          | Some (fid, last) -> fid = f.fid && blk = last + 1
+          | None -> false
+        in
+        Clock.charge_disk t.clk
+          (if sequential then t.model.Cost_model.disk_seq_read_ms
+           else t.model.Cost_model.disk_read_ms);
+        t.last_disk_block <- Some (f.fid, blk);
+        ignore (Util.Lru.add t.os_cache (f.fid, blk) ())
+    done
+
+let touch_blocks_write f ~off ~len =
+  let t = f.owner in
+  let bs = t.model.Cost_model.block_size in
+  if len > 0 then
+    for blk = off / bs to (off + len - 1) / bs do
+      (* Write-through: the block lands on disk and stays in the cache. *)
+      t.c_disk_outputs <- t.c_disk_outputs + 1;
+      Clock.charge_disk t.clk t.model.Cost_model.disk_write_ms;
+      t.last_disk_block <- Some (f.fid, blk);
+      ignore (Util.Lru.add t.os_cache (f.fid, blk) ())
+    done
+
+let read f ~off ~len =
+  if off < 0 || len < 0 || off + len > f.size then
+    invalid_arg
+      (Printf.sprintf "Vfs.read %s: range [%d, %d) outside file of size %d" f.name off
+         (off + len) f.size);
+  let t = f.owner in
+  t.c_file_accesses <- t.c_file_accesses + 1;
+  t.c_bytes_read <- t.c_bytes_read + len;
+  charge_copy_and_syscall t len;
+  touch_blocks_read f ~off ~len;
+  Bytes.sub f.data off len
+
+let ensure_capacity f n =
+  let cap = Bytes.length f.data in
+  if n > cap then begin
+    let cap' = max n (max 4096 (cap * 2)) in
+    let data' = Bytes.make cap' '\000' in
+    Bytes.blit f.data 0 data' 0 f.size;
+    f.data <- data'
+  end
+
+let write f ~off b =
+  if off < 0 then invalid_arg "Vfs.write: negative offset";
+  let len = Bytes.length b in
+  let t = f.owner in
+  ensure_capacity f (off + len);
+  Bytes.blit b 0 f.data off len;
+  if off + len > f.size then f.size <- off + len;
+  t.c_file_accesses <- t.c_file_accesses + 1;
+  t.c_bytes_written <- t.c_bytes_written + len;
+  charge_copy_and_syscall t len;
+  touch_blocks_write f ~off ~len
+
+let append f b =
+  let off = f.size in
+  write f ~off b;
+  off
+
+let truncate f n =
+  if n < 0 then invalid_arg "Vfs.truncate: negative size";
+  if n > f.size then begin
+    ensure_capacity f n;
+    Bytes.fill f.data f.size (n - f.size) '\000'
+  end;
+  f.size <- n

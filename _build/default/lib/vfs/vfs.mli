@@ -1,0 +1,83 @@
+(** Simulated file system: in-memory files behind a block device, an
+    ULTRIX-style OS page cache, a simulated clock, and the exact I/O
+    accounting the paper reports in Table 5.
+
+    Every storage substrate in this reproduction (the B-tree package and
+    the Mneme object store) performs its I/O through this module, so the
+    three statistics of Table 5 fall out of the counters:
+
+    - [disk_inputs] — "I", blocks actually read from the device
+      ([getrusage] inputs in the paper);
+    - [file_accesses] — numerator of "A", read system calls issued;
+    - [bytes_read] — "B", bytes copied from kernel to user space.
+
+    Reads and writes charge the {!Clock} according to the {!Cost_model}:
+    a syscall fee per access, a disk fee per block that misses the OS
+    cache, and a copy fee per byte transferred. *)
+
+module Clock : module type of Clock
+(** Re-exported: the simulated clock (this module is the library root,
+    so companions are reached through it). *)
+
+module Cost_model : module type of Cost_model
+(** Re-exported: the hardware cost model. *)
+
+type t
+type file
+
+val create : ?cost_model:Cost_model.t -> unit -> t
+val cost_model : t -> Cost_model.t
+val clock : t -> Clock.t
+
+type counters = {
+  disk_inputs : int;
+  disk_outputs : int;
+  file_accesses : int;
+  bytes_read : int;
+  bytes_written : int;
+  os_cache_hits : int;
+  os_cache_misses : int;
+}
+
+val counters : t -> counters
+val reset_counters : t -> unit
+
+val diff_counters : later:counters -> earlier:counters -> counters
+(** Component-wise subtraction for per-run intervals. *)
+
+val purge_os_cache : t -> unit
+(** Drop every cached block — the paper's 32 MB "chill file" read, which
+    guaranteed no inverted-file data survived in the ULTRIX file cache
+    between runs. *)
+
+val open_file : t -> string -> file
+(** [open_file t name] opens [name], creating an empty file if absent.
+    Opening the same name twice returns the same file. *)
+
+val file_exists : t -> string -> bool
+
+val delete_file : t -> string -> unit
+(** Remove the file and its cached blocks.  No-op if absent. *)
+
+val file_names : t -> string list
+(** All file names, sorted. *)
+
+val file_name : file -> string
+val size : file -> int
+
+val read : file -> off:int -> len:int -> bytes
+(** [read f ~off ~len] returns [len] bytes starting at [off].
+    Raises [Invalid_argument] if the range extends past end of file or
+    is negative. *)
+
+val write : file -> off:int -> bytes -> unit
+(** [write f ~off b] writes all of [b] at [off], extending the file as
+    needed (a hole left between the old end and [off] reads as zeros). *)
+
+val append : file -> bytes -> int
+(** [append f b] writes [b] at end of file and returns the offset the
+    data landed at. *)
+
+val truncate : file -> int -> unit
+(** [truncate f n] sets the size to [n] (only shrinking is meaningful;
+    growing pads with zeros).  Raises [Invalid_argument] if [n < 0]. *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Collections Inquery Lazy List Printf Util

@@ -1,0 +1,1 @@
+test/test_backends.ml: Alcotest Btree Bytes Collections Core Inquery List Mneme Option Vfs

@@ -1,0 +1,1 @@
+test/test_bin.ml: Alcotest Buffer Bytes Char Util

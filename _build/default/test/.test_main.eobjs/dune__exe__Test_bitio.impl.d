@@ -1,0 +1,1 @@
+test/test_bitio.ml: Alcotest Bytes Char List QCheck QCheck_alcotest Util

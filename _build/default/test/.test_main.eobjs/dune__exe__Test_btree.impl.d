@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Array Btree Bytes Hashtbl List Printf QCheck QCheck_alcotest Seq Util Vfs

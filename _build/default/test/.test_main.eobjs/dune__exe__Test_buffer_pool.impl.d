@@ -1,0 +1,1 @@
+test/test_buffer_pool.ml: Alcotest Bytes Char List Mneme QCheck QCheck_alcotest

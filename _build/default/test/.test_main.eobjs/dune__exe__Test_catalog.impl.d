@@ -1,0 +1,1 @@
+test/test_catalog.ml: Alcotest Bytes Collections Core Inquery List Mneme Vfs

@@ -1,0 +1,1 @@
+test/test_chain.ml: Alcotest Bytes Char List Mneme Printf Vfs

@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Bytes Format List Mneme Str_find Vfs

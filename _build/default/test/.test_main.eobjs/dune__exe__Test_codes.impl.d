@@ -1,0 +1,1 @@
+test/test_codes.ml: Alcotest Bytes Char List Printf QCheck QCheck_alcotest Util

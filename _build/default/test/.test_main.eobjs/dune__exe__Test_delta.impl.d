@@ -1,0 +1,1 @@
+test/test_delta.ml: Alcotest Buffer Bytes List QCheck QCheck_alcotest Util

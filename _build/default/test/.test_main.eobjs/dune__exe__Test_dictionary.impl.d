@@ -1,0 +1,1 @@
+test/test_dictionary.ml: Alcotest Bytes Hashtbl Inquery List Printf QCheck QCheck_alcotest

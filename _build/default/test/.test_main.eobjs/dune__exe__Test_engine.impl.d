@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Collections Core Inquery Lazy List Printf Vfs

@@ -1,0 +1,1 @@
+test/test_experiment.ml: Alcotest Array Collections Core Lazy List Mneme Printf

@@ -1,0 +1,1 @@
+test/test_federation.ml: Alcotest Bytes List Mneme Vfs

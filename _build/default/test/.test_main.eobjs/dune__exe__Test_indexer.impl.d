@@ -1,0 +1,1 @@
+test/test_indexer.ml: Alcotest Fun Inquery List Seq

@@ -1,0 +1,1 @@
+test/test_infnet.ml: Alcotest Array Float Hashtbl Inquery List Printf Seq

@@ -1,0 +1,1 @@
+test/test_journal.ml: Alcotest Buffer Bytes List Mneme Printf String Util Vfs

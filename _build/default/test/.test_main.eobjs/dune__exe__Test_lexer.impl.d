@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Inquery List Printf String

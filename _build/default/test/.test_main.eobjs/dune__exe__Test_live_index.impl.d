@@ -1,0 +1,1 @@
+test/test_live_index.ml: Alcotest Bytes Collections Core Inquery List Mneme Printf Vfs

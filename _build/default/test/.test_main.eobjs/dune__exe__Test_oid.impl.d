@@ -1,0 +1,1 @@
+test/test_oid.ml: Alcotest List Mneme

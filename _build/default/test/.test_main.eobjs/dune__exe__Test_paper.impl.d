@@ -1,0 +1,1 @@
+test/test_paper.ml: Alcotest Core Lazy List Printf Str_find String Util

@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Buffer List Mneme

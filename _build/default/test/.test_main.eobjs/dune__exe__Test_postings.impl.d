@@ -1,0 +1,1 @@
+test/test_postings.ml: Alcotest Bytes Inquery List QCheck QCheck_alcotest

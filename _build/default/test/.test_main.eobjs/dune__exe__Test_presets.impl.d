@@ -1,0 +1,1 @@
+test/test_presets.ml: Alcotest Collections Inquery List Seq

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Buffer Bytes Char Core Hashtbl Inquery List Mneme Printf QCheck QCheck_alcotest String Vfs

@@ -1,0 +1,1 @@
+test/test_proximity.ml: Alcotest Array Hashtbl Inquery List Printf Seq

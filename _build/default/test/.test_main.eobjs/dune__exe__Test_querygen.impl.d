@@ -1,0 +1,1 @@
+test/test_querygen.ml: Alcotest Collections Inquery List Printf String

@@ -1,0 +1,1 @@
+test/test_ranking.ml: Alcotest Array Inquery List

@@ -1,0 +1,1 @@
+test/test_sigfile.ml: Alcotest Array Inquery List Printf Seq String Vfs

@@ -1,0 +1,1 @@
+test/test_stemmer.ml: Alcotest Inquery List Printf QCheck QCheck_alcotest String

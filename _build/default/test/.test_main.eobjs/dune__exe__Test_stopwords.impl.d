@@ -1,0 +1,1 @@
+test/test_stopwords.ml: Alcotest Inquery List

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Bytes Char List Mneme Printf QCheck QCheck_alcotest Vfs

@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array Collections Hashtbl Inquery List Printf Seq String

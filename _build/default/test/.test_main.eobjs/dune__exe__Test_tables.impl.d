@@ -1,0 +1,1 @@
+test/test_tables.ml: Alcotest List Str_find String Util

@@ -1,0 +1,1 @@
+test/test_varint.ml: Alcotest Buffer Bytes List Printf QCheck QCheck_alcotest Util

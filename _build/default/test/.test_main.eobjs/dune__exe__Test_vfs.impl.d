@@ -1,0 +1,1 @@
+test/test_vfs.ml: Alcotest Bytes List QCheck QCheck_alcotest String Vfs

@@ -1,0 +1,14 @@
+(* Tiny substring-search helper shared by the test modules (the Str
+   library is not linked). *)
+
+let find haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i =
+    if i + nl > hl then raise Not_found
+    else if String.sub haystack i nl = needle then i
+    else go (i + 1)
+  in
+  go 0
+
+let contains haystack needle =
+  match find haystack needle with _ -> true | exception Not_found -> false

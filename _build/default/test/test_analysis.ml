@@ -1,0 +1,79 @@
+(* Informetric analysis: the synthetic collections obey the laws the
+   calibration claims. *)
+
+let model =
+  Collections.Docmodel.make ~name:"ana" ~n_docs:600 ~core_vocab:3000 ~mean_doc_len:80.0
+    ~hapax_prob:0.02 ~seed:55 ()
+
+let indexer = lazy (Collections.Synth.build_index model)
+
+let test_term_profile () =
+  let p = Collections.Analysis.term_profile (Lazy.force indexer) in
+  Alcotest.(check bool) "distinct positive" true (p.Collections.Analysis.distinct_terms > 1000);
+  Alcotest.(check bool) "hapax positive" true (p.Collections.Analysis.hapax_terms > 100);
+  Alcotest.(check bool) "top term is heavy" true (p.Collections.Analysis.top_frequency > 500);
+  Alcotest.(check int) "occurrences match indexer"
+    (Inquery.Indexer.occurrence_count (Lazy.force indexer))
+    p.Collections.Analysis.total_occurrences
+
+let test_hapax_fraction () =
+  let p = Collections.Analysis.term_profile (Lazy.force indexer) in
+  let f = Collections.Analysis.hapax_fraction p in
+  (* The hapax stream plus the core tail put this well above zero. *)
+  Alcotest.(check bool) (Printf.sprintf "fraction %.2f" f) true (f > 0.1 && f < 0.9)
+
+let test_zipf_fit_recovers_exponent () =
+  let s, r2 = Collections.Analysis.zipf_fit ~ranks:150 (Lazy.force indexer) in
+  (* The model draws from Zipf(s = 0.8); sampling noise allowed. *)
+  Alcotest.(check bool) (Printf.sprintf "s = %.2f" s) true (s > 0.6 && s < 1.0);
+  Alcotest.(check bool) (Printf.sprintf "r2 = %.3f" r2) true (r2 > 0.9)
+
+let test_vocabulary_growth_monotone () =
+  let curve = Collections.Analysis.vocabulary_growth model ~samples:20 in
+  Alcotest.(check bool) "several samples" true (List.length curve >= 10);
+  let rec check = function
+    | (t1, d1) :: ((t2, d2) :: _ as rest) ->
+      Alcotest.(check bool) "tokens ascend" true (t1 < t2);
+      Alcotest.(check bool) "vocabulary never shrinks" true (d1 <= d2);
+      check rest
+    | _ -> ()
+  in
+  check curve;
+  (* Sub-linear growth: final distinct << final tokens. *)
+  let t_end, d_end = List.nth curve (List.length curve - 1) in
+  Alcotest.(check bool) "sub-linear" true (d_end * 4 < t_end)
+
+let test_heaps_fit () =
+  let curve = Collections.Analysis.vocabulary_growth model ~samples:25 in
+  let beta, r2 = Collections.Analysis.heaps_fit curve in
+  Alcotest.(check bool) (Printf.sprintf "beta = %.2f" beta) true (beta > 0.2 && beta < 1.0);
+  Alcotest.(check bool) (Printf.sprintf "r2 = %.3f" r2) true (r2 > 0.8)
+
+let test_linear_fit_exact_line () =
+  let slope, intercept, r2 =
+    Util.Stats.linear_fit [ (1.0, 3.0); (2.0, 5.0); (3.0, 7.0) ]
+  in
+  Alcotest.(check (float 1e-9)) "slope" 2.0 slope;
+  Alcotest.(check (float 1e-9)) "intercept" 1.0 intercept;
+  Alcotest.(check (float 1e-9)) "r2" 1.0 r2;
+  Alcotest.(check bool) "degenerate input" true
+    (match Util.Stats.linear_fit [ (1.0, 1.0) ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_validation () =
+  Alcotest.(check bool) "zero samples" true
+    (match Collections.Analysis.vocabulary_growth model ~samples:0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "term profile" `Quick test_term_profile;
+    Alcotest.test_case "hapax fraction" `Quick test_hapax_fraction;
+    Alcotest.test_case "zipf fit" `Quick test_zipf_fit_recovers_exponent;
+    Alcotest.test_case "vocabulary growth" `Quick test_vocabulary_growth_monotone;
+    Alcotest.test_case "heaps fit" `Quick test_heaps_fit;
+    Alcotest.test_case "linear fit" `Quick test_linear_fit_exact_line;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

@@ -1,0 +1,74 @@
+(* Fixed-width binary coding. *)
+
+let test_u8 () =
+  let b = Bytes.create 1 in
+  Util.Bin.put_u8 b 0 200;
+  Alcotest.(check int) "roundtrip" 200 (Util.Bin.get_u8 b 0);
+  Alcotest.check_raises "range" (Invalid_argument "Bin.put_u8: out of range") (fun () ->
+      Util.Bin.put_u8 b 0 256)
+
+let test_u16 () =
+  let b = Bytes.create 2 in
+  Util.Bin.put_u16 b 0 65535;
+  Alcotest.(check int) "max" 65535 (Util.Bin.get_u16 b 0);
+  Alcotest.check_raises "range" (Invalid_argument "Bin.put_u16: out of range") (fun () ->
+      Util.Bin.put_u16 b 0 65536)
+
+let test_u32 () =
+  let b = Bytes.create 4 in
+  Util.Bin.put_u32 b 0 0xffffffff;
+  Alcotest.(check int) "max" 0xffffffff (Util.Bin.get_u32 b 0);
+  Util.Bin.put_u32 b 0 0;
+  Alcotest.(check int) "zero" 0 (Util.Bin.get_u32 b 0);
+  Alcotest.check_raises "range" (Invalid_argument "Bin.put_u32: out of range") (fun () ->
+      Util.Bin.put_u32 b 0 0x100000000);
+  Alcotest.check_raises "negative" (Invalid_argument "Bin.put_u32: out of range") (fun () ->
+      Util.Bin.put_u32 b 0 (-1))
+
+let test_u64 () =
+  let b = Bytes.create 8 in
+  Util.Bin.put_u64 b 0 max_int;
+  Alcotest.(check int) "max_int" max_int (Util.Bin.get_u64 b 0);
+  Alcotest.check_raises "negative" (Invalid_argument "Bin.put_u64: negative") (fun () ->
+      Util.Bin.put_u64 b 0 (-1))
+
+let test_little_endian_layout () =
+  let b = Bytes.create 4 in
+  Util.Bin.put_u32 b 0 0x01020304;
+  Alcotest.(check int) "LSB first" 4 (Char.code (Bytes.get b 0));
+  Alcotest.(check int) "MSB last" 1 (Char.code (Bytes.get b 3))
+
+let test_buffer_writers () =
+  let buf = Buffer.create 16 in
+  Util.Bin.buf_u8 buf 7;
+  Util.Bin.buf_u16 buf 300;
+  Util.Bin.buf_u32 buf 70000;
+  Util.Bin.buf_u64 buf 1;
+  let b = Buffer.to_bytes buf in
+  Alcotest.(check int) "length" 15 (Bytes.length b);
+  Alcotest.(check int) "u8" 7 (Util.Bin.get_u8 b 0);
+  Alcotest.(check int) "u16" 300 (Util.Bin.get_u16 b 1);
+  Alcotest.(check int) "u32" 70000 (Util.Bin.get_u32 b 3);
+  Alcotest.(check int) "u64" 1 (Util.Bin.get_u64 b 7)
+
+let test_string_roundtrip () =
+  let buf = Buffer.create 16 in
+  Util.Bin.buf_string buf "hello";
+  Util.Bin.buf_string buf "";
+  let b = Buffer.to_bytes buf in
+  let s1, pos = Util.Bin.get_string b 0 in
+  let s2, pos' = Util.Bin.get_string b pos in
+  Alcotest.(check string) "first" "hello" s1;
+  Alcotest.(check string) "empty" "" s2;
+  Alcotest.(check int) "consumed" (Bytes.length b) pos'
+
+let suite =
+  [
+    Alcotest.test_case "u8" `Quick test_u8;
+    Alcotest.test_case "u16" `Quick test_u16;
+    Alcotest.test_case "u32" `Quick test_u32;
+    Alcotest.test_case "u64" `Quick test_u64;
+    Alcotest.test_case "little endian" `Quick test_little_endian_layout;
+    Alcotest.test_case "buffer writers" `Quick test_buffer_writers;
+    Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+  ]

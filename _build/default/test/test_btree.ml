@@ -1,0 +1,272 @@
+(* The disk B+tree: correctness against a model, bulk load, persistence,
+   and the paper's access-count characterisation. *)
+
+let make ?(page_size = 256) () =
+  let vfs = Vfs.create () in
+  (vfs, Btree.create vfs "t.btree" ~page_size ())
+
+let bytes_of s = Bytes.of_string s
+
+let test_empty_lookup () =
+  let _, t = make () in
+  Alcotest.(check (option bytes)) "missing" None (Btree.lookup t 42);
+  Alcotest.(check bool) "mem" false (Btree.mem t 42);
+  Alcotest.(check int) "count" 0 (Btree.record_count t);
+  Alcotest.(check int) "height" 1 (Btree.height t)
+
+let test_insert_lookup () =
+  let _, t = make () in
+  Btree.insert t 5 (bytes_of "five");
+  Btree.insert t 3 (bytes_of "three");
+  Alcotest.(check (option bytes)) "five" (Some (bytes_of "five")) (Btree.lookup t 5);
+  Alcotest.(check (option bytes)) "three" (Some (bytes_of "three")) (Btree.lookup t 3);
+  Alcotest.(check (option bytes)) "missing" None (Btree.lookup t 4);
+  Alcotest.(check int) "count" 2 (Btree.record_count t)
+
+let test_replace () =
+  let _, t = make () in
+  Btree.insert t 1 (bytes_of "a");
+  Btree.insert t 1 (bytes_of "bb");
+  Alcotest.(check (option bytes)) "replaced" (Some (bytes_of "bb")) (Btree.lookup t 1);
+  Alcotest.(check int) "no duplicate" 1 (Btree.record_count t)
+
+let test_delete () =
+  let _, t = make () in
+  Btree.insert t 1 (bytes_of "a");
+  Btree.insert t 2 (bytes_of "b");
+  Alcotest.(check bool) "deleted" true (Btree.delete t 1);
+  Alcotest.(check bool) "absent" false (Btree.delete t 1);
+  Alcotest.(check (option bytes)) "gone" None (Btree.lookup t 1);
+  Alcotest.(check (option bytes)) "other survives" (Some (bytes_of "b")) (Btree.lookup t 2);
+  Alcotest.(check int) "count" 1 (Btree.record_count t)
+
+let test_split_growth () =
+  let _, t = make () in
+  (* Small pages force splits quickly. *)
+  for k = 0 to 499 do
+    Btree.insert t k (bytes_of (Printf.sprintf "v%d" k))
+  done;
+  Alcotest.(check bool) "tree grew" true (Btree.height t > 1);
+  for k = 0 to 499 do
+    Alcotest.(check (option bytes))
+      (Printf.sprintf "k%d" k)
+      (Some (bytes_of (Printf.sprintf "v%d" k)))
+      (Btree.lookup t k)
+  done
+
+let test_random_order_inserts () =
+  let _, t = make () in
+  let rng = Util.Rng.create ~seed:77 in
+  let keys = Array.init 400 (fun i -> i * 3) in
+  Util.Rng.shuffle rng keys;
+  Array.iter (fun k -> Btree.insert t k (bytes_of (string_of_int k))) keys;
+  Array.iter
+    (fun k ->
+      Alcotest.(check (option bytes)) "found" (Some (bytes_of (string_of_int k))) (Btree.lookup t k))
+    keys;
+  Alcotest.(check (option bytes)) "gap missing" None (Btree.lookup t 1)
+
+let test_large_records () =
+  let _, t = make () in
+  (* Records far larger than a page span multi-page heap chunks. *)
+  let big = Bytes.make 10_000 'z' in
+  Bytes.set big 9_999 '!';
+  Btree.insert t 7 big;
+  Btree.insert t 8 (bytes_of "small");
+  Alcotest.(check (option bytes)) "big record" (Some big) (Btree.lookup t 7);
+  Alcotest.(check (option bytes)) "small after big" (Some (bytes_of "small")) (Btree.lookup t 8)
+
+let test_empty_record () =
+  let _, t = make () in
+  Btree.insert t 1 Bytes.empty;
+  Alcotest.(check (option bytes)) "empty record" (Some Bytes.empty) (Btree.lookup t 1)
+
+let test_free_list_reuse () =
+  let vfs, t = make () in
+  Btree.insert t 1 (Bytes.make 100 'a');
+  let size_before = Vfs.size (Vfs.open_file vfs "t.btree") in
+  (* Replacing with an equal-size record reuses the freed extent. *)
+  Btree.insert t 1 (Bytes.make 100 'b');
+  let size_after = Vfs.size (Vfs.open_file vfs "t.btree") in
+  Alcotest.(check int) "no heap growth on same-size replace" size_before size_after
+
+let test_bulk_load_and_iter () =
+  let _, t = make () in
+  let entries = List.init 1000 (fun i -> (i * 2, bytes_of (string_of_int i))) in
+  Btree.bulk_load t (List.to_seq entries);
+  Alcotest.(check int) "count" 1000 (Btree.record_count t);
+  List.iter
+    (fun (k, v) -> Alcotest.(check (option bytes)) "present" (Some v) (Btree.lookup t k))
+    entries;
+  let seen = ref [] in
+  Btree.iter t (fun k _ -> seen := k :: !seen);
+  Alcotest.(check (list int)) "iter ascending" (List.map fst entries) (List.rev !seen)
+
+let test_bulk_load_empty () =
+  let _, t = make () in
+  Btree.bulk_load t Seq.empty;
+  Alcotest.(check int) "count" 0 (Btree.record_count t);
+  Alcotest.(check (option bytes)) "lookup" None (Btree.lookup t 0)
+
+let test_bulk_load_rejects_unsorted () =
+  let _, t = make () in
+  Alcotest.(check bool) "unsorted raises" true
+    (match Btree.bulk_load t (List.to_seq [ (2, Bytes.empty); (1, Bytes.empty) ]) with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_bulk_load_rejects_nonempty () =
+  let _, t = make () in
+  Btree.insert t 1 Bytes.empty;
+  Alcotest.(check bool) "non-empty raises" true
+    (match Btree.bulk_load t (List.to_seq [ (2, Bytes.empty) ]) with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_insert_after_bulk_load () =
+  let _, t = make () in
+  Btree.bulk_load t (List.to_seq (List.init 300 (fun i -> (i * 2, bytes_of "x"))));
+  Btree.insert t 301 (bytes_of "new");
+  Alcotest.(check (option bytes)) "inserted" (Some (bytes_of "new")) (Btree.lookup t 301);
+  Alcotest.(check (option bytes)) "old intact" (Some (bytes_of "x")) (Btree.lookup t 0);
+  Alcotest.(check int) "count" 301 (Btree.record_count t)
+
+let test_persistence () =
+  let vfs = Vfs.create () in
+  let t = Btree.create vfs "p.btree" ~page_size:256 () in
+  for k = 0 to 99 do
+    Btree.insert t k (bytes_of (string_of_int (k * k)))
+  done;
+  Btree.flush t;
+  let t2 = Btree.open_existing vfs "p.btree" in
+  Alcotest.(check int) "count preserved" 100 (Btree.record_count t2);
+  Alcotest.(check int) "height preserved" (Btree.height t) (Btree.height t2);
+  for k = 0 to 99 do
+    Alcotest.(check (option bytes))
+      "value preserved"
+      (Some (bytes_of (string_of_int (k * k))))
+      (Btree.lookup t2 k)
+  done
+
+let test_open_errors () =
+  let vfs = Vfs.create () in
+  Alcotest.(check bool) "missing file" true
+    (match Btree.open_existing vfs "nope" with _ -> false | exception Failure _ -> true);
+  let f = Vfs.open_file vfs "bad" in
+  ignore (Vfs.append f (Bytes.make 64 'Z'));
+  Alcotest.(check bool) "bad magic" true
+    (match Btree.open_existing vfs "bad" with _ -> false | exception Failure _ -> true)
+
+let test_create_existing_rejected () =
+  let vfs = Vfs.create () in
+  ignore (Btree.create vfs "dup" ());
+  Alcotest.(check bool) "duplicate raises" true
+    (match Btree.create vfs "dup" () with _ -> false | exception Invalid_argument _ -> true)
+
+let test_key_range_check () =
+  let _, t = make () in
+  Alcotest.(check bool) "negative key" true
+    (match Btree.insert t (-1) Bytes.empty with () -> false | exception Invalid_argument _ -> true)
+
+(* The paper's baseline characterisation: with only the root cached,
+   every lookup in a deep tree costs more than one file access. *)
+let test_access_counts () =
+  let vfs = Vfs.create () in
+  let t = Btree.create vfs "a.btree" ~page_size:256 () in
+  Btree.bulk_load t (List.to_seq (List.init 2000 (fun i -> (i, Bytes.make 20 'x'))));
+  Alcotest.(check bool) "height at least 3" true (Btree.height t >= 3);
+  (* Warm the root cache. *)
+  ignore (Btree.lookup t 0);
+  let before = (Vfs.counters vfs).Vfs.file_accesses in
+  let lookups = 100 in
+  for k = 0 to lookups - 1 do
+    ignore (Btree.lookup t (k * 17 mod 2000))
+  done;
+  let accesses = (Vfs.counters vfs).Vfs.file_accesses - before in
+  let per_lookup = float_of_int accesses /. float_of_int lookups in
+  Alcotest.(check bool)
+    (Printf.sprintf "A > 1 (got %.2f)" per_lookup)
+    true (per_lookup > 1.5);
+  Alcotest.(check bool) "A matches height minus root plus record" true
+    (per_lookup = float_of_int (Btree.height t))
+
+let test_cached_levels () =
+  let vfs = Vfs.create () in
+  let t = Btree.create vfs "c.btree" ~page_size:256 ~cached_levels:3 () in
+  Btree.bulk_load t (List.to_seq (List.init 2000 (fun i -> (i, Bytes.make 20 'x'))));
+  Btree.flush t;
+  Alcotest.(check int) "accessor" 3 (Btree.cached_levels t);
+  (* With the whole 3-level node path cached, a warm lookup costs only
+     the record read. *)
+  let t3 = Btree.open_existing ~cached_levels:3 vfs "c.btree" in
+  (* First pass populates the node cache (each node pays its first
+     touch); the second pass runs entirely against cached nodes. *)
+  for k = 0 to 50 do
+    ignore (Btree.lookup t3 (k * 13 mod 2000))
+  done;
+  let before = (Vfs.counters vfs).Vfs.file_accesses in
+  for k = 0 to 50 do
+    ignore (Btree.lookup t3 (k * 13 mod 2000))
+  done;
+  let per = float_of_int ((Vfs.counters vfs).Vfs.file_accesses - before) /. 51.0 in
+  Alcotest.(check (float 1e-9)) "warm A is exactly the record read" 1.0 per;
+  Alcotest.(check bool) "nodes held" true (Btree.cached_nodes t3 > 1);
+  (* cached_levels 0 pays for every node including the root. *)
+  let t0 = Btree.open_existing ~cached_levels:0 vfs "c.btree" in
+  let before = (Vfs.counters vfs).Vfs.file_accesses in
+  for k = 0 to 49 do
+    ignore (Btree.lookup t0 (k * 13 mod 2000))
+  done;
+  let per0 = float_of_int ((Vfs.counters vfs).Vfs.file_accesses - before) /. 50.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "uncached A = height + record (%.2f)" per0)
+    true
+    (per0 = float_of_int (Btree.height t0) +. 1.0);
+  Alcotest.(check int) "nothing held" 0 (Btree.cached_nodes t0)
+
+let prop_model_check =
+  QCheck.Test.make ~name:"btree matches Hashtbl model" ~count:40
+    QCheck.(list (pair (int_range 0 2) (int_range 0 200)))
+    (fun ops ->
+      let vfs = Vfs.create () in
+      let t = Btree.create vfs "m.btree" ~page_size:256 () in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun (op, k) ->
+          match op with
+          | 0 ->
+            Btree.insert t k (Bytes.of_string (string_of_int (k * 7)));
+            Hashtbl.replace model k (Bytes.of_string (string_of_int (k * 7)))
+          | 1 -> ignore (Btree.delete t k); Hashtbl.remove model k
+          | _ -> ())
+        ops;
+      Hashtbl.fold (fun k v acc -> acc && Btree.lookup t k = Some v) model true
+      && Btree.record_count t = Hashtbl.length model
+      && List.for_all
+           (fun (_, k) -> Hashtbl.mem model k || Btree.lookup t k = None)
+           ops)
+
+let suite =
+  [
+    Alcotest.test_case "empty lookup" `Quick test_empty_lookup;
+    Alcotest.test_case "insert/lookup" `Quick test_insert_lookup;
+    Alcotest.test_case "replace" `Quick test_replace;
+    Alcotest.test_case "delete" `Quick test_delete;
+    Alcotest.test_case "split growth" `Quick test_split_growth;
+    Alcotest.test_case "random order inserts" `Quick test_random_order_inserts;
+    Alcotest.test_case "large records" `Quick test_large_records;
+    Alcotest.test_case "empty record" `Quick test_empty_record;
+    Alcotest.test_case "free list reuse" `Quick test_free_list_reuse;
+    Alcotest.test_case "bulk load and iter" `Quick test_bulk_load_and_iter;
+    Alcotest.test_case "bulk load empty" `Quick test_bulk_load_empty;
+    Alcotest.test_case "bulk load rejects unsorted" `Quick test_bulk_load_rejects_unsorted;
+    Alcotest.test_case "bulk load rejects non-empty" `Quick test_bulk_load_rejects_nonempty;
+    Alcotest.test_case "insert after bulk load" `Quick test_insert_after_bulk_load;
+    Alcotest.test_case "persistence" `Quick test_persistence;
+    Alcotest.test_case "open errors" `Quick test_open_errors;
+    Alcotest.test_case "create existing rejected" `Quick test_create_existing_rejected;
+    Alcotest.test_case "key range check" `Quick test_key_range_check;
+    Alcotest.test_case "access counts" `Quick test_access_counts;
+    Alcotest.test_case "cached levels" `Quick test_cached_levels;
+    QCheck_alcotest.to_alcotest prop_model_check;
+  ]

@@ -1,0 +1,169 @@
+(* The Mneme buffer manager: hit accounting, replacement policies,
+   pinning (the reservation optimisation), and the transient mode. *)
+
+let seg_bytes n = Bytes.make 100 (Char.chr (65 + (n mod 26)))
+
+let load n () = seg_bytes n
+
+let fault_seq buffer segs = List.iter (fun s -> ignore (Mneme.Buffer_pool.fault buffer ~pseg:s ~load:(load s))) segs
+
+let test_hit_miss_accounting () =
+  let b = Mneme.Buffer_pool.create ~name:"t" ~capacity:1000 () in
+  fault_seq b [ 1; 2; 1; 1; 3 ];
+  let s = Mneme.Buffer_pool.stats b in
+  Alcotest.(check int) "refs" 5 s.Mneme.Buffer_pool.refs;
+  Alcotest.(check int) "hits" 2 s.Mneme.Buffer_pool.hits;
+  Alcotest.(check int) "resident" 3 s.Mneme.Buffer_pool.resident_segments;
+  Alcotest.(check int) "bytes" 300 s.Mneme.Buffer_pool.resident_bytes
+
+let test_fault_returns_loaded_bytes () =
+  let b = Mneme.Buffer_pool.create ~name:"t" ~capacity:1000 () in
+  let got = Mneme.Buffer_pool.fault b ~pseg:7 ~load:(load 7) in
+  Alcotest.(check bytes) "bytes" (seg_bytes 7) got;
+  (* Hit path returns the cached copy, not a re-load. *)
+  let got2 = Mneme.Buffer_pool.fault b ~pseg:7 ~load:(fun () -> Alcotest.fail "must not reload") in
+  Alcotest.(check bytes) "cached" (seg_bytes 7) got2
+
+let test_lru_eviction () =
+  (* Capacity for exactly 2 of our 100-byte segments. *)
+  let b = Mneme.Buffer_pool.create ~name:"t" ~capacity:200 () in
+  fault_seq b [ 1; 2 ];
+  ignore (Mneme.Buffer_pool.fault b ~pseg:1 ~load:(load 1));
+  (* touch 1 *)
+  fault_seq b [ 3 ];
+  (* 2 was LRU *)
+  Alcotest.(check bool) "1 resident" true (Mneme.Buffer_pool.resident b ~pseg:1);
+  Alcotest.(check bool) "2 evicted" false (Mneme.Buffer_pool.resident b ~pseg:2);
+  Alcotest.(check bool) "3 resident" true (Mneme.Buffer_pool.resident b ~pseg:3);
+  Alcotest.(check int) "evictions" 1 (Mneme.Buffer_pool.stats b).Mneme.Buffer_pool.evictions
+
+let test_fifo_ignores_recency () =
+  let b = Mneme.Buffer_pool.create ~name:"t" ~capacity:200 ~policy:Mneme.Buffer_pool.Fifo () in
+  fault_seq b [ 1; 2 ];
+  ignore (Mneme.Buffer_pool.fault b ~pseg:1 ~load:(load 1));
+  fault_seq b [ 3 ];
+  (* Under FIFO, 1 is the oldest despite the touch. *)
+  Alcotest.(check bool) "1 evicted" false (Mneme.Buffer_pool.resident b ~pseg:1);
+  Alcotest.(check bool) "2 resident" true (Mneme.Buffer_pool.resident b ~pseg:2)
+
+let test_clock_second_chance () =
+  let b = Mneme.Buffer_pool.create ~name:"t" ~capacity:300 ~policy:Mneme.Buffer_pool.Clock () in
+  fault_seq b [ 1; 2; 3 ];
+  (* First overflow sweeps all reference bits clear and evicts one. *)
+  fault_seq b [ 4 ];
+  Alcotest.(check int) "three resident" 3
+    (Mneme.Buffer_pool.stats b).Mneme.Buffer_pool.resident_segments;
+  (* Re-reference 2: its bit is set again, so the next sweep passes it
+     over and takes a clear-bit segment instead. *)
+  Alcotest.(check bool) "2 still resident" true (Mneme.Buffer_pool.resident b ~pseg:2);
+  ignore (Mneme.Buffer_pool.fault b ~pseg:2 ~load:(load 2));
+  fault_seq b [ 5 ];
+  Alcotest.(check bool) "second chance" true (Mneme.Buffer_pool.resident b ~pseg:2)
+
+let test_pin_prevents_eviction () =
+  let b = Mneme.Buffer_pool.create ~name:"t" ~capacity:200 () in
+  fault_seq b [ 1; 2 ];
+  Alcotest.(check bool) "pinned" true (Mneme.Buffer_pool.pin b ~pseg:1);
+  fault_seq b [ 3 ];
+  (* 1 would have been the LRU victim but is reserved; 2 goes instead. *)
+  Alcotest.(check bool) "1 survives" true (Mneme.Buffer_pool.resident b ~pseg:1);
+  Alcotest.(check bool) "2 evicted" false (Mneme.Buffer_pool.resident b ~pseg:2);
+  Mneme.Buffer_pool.unpin b ~pseg:1;
+  fault_seq b [ 4 ];
+  Alcotest.(check bool) "after unpin evictable" false (Mneme.Buffer_pool.resident b ~pseg:1)
+
+let test_pin_missing () =
+  let b = Mneme.Buffer_pool.create ~name:"t" ~capacity:200 () in
+  Alcotest.(check bool) "pin absent returns false" false (Mneme.Buffer_pool.pin b ~pseg:9);
+  Alcotest.(check bool) "unpin absent raises" true
+    (match Mneme.Buffer_pool.unpin b ~pseg:9 with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_pins_nest () =
+  let b = Mneme.Buffer_pool.create ~name:"t" ~capacity:100 () in
+  fault_seq b [ 1 ];
+  ignore (Mneme.Buffer_pool.pin b ~pseg:1);
+  ignore (Mneme.Buffer_pool.pin b ~pseg:1);
+  Mneme.Buffer_pool.unpin b ~pseg:1;
+  (* Still pinned once: a new segment overflows rather than evicting. *)
+  fault_seq b [ 2 ];
+  Alcotest.(check bool) "still pinned" true (Mneme.Buffer_pool.resident b ~pseg:1)
+
+let test_all_pinned_incoming_victim () =
+  let b = Mneme.Buffer_pool.create ~name:"t" ~capacity:100 () in
+  fault_seq b [ 1 ];
+  ignore (Mneme.Buffer_pool.pin b ~pseg:1);
+  fault_seq b [ 2 ];
+  (* The only unpinned segment is the incoming one: it is sacrificed
+     rather than displacing reserved data. *)
+  Alcotest.(check int) "pinned survives alone" 1
+    (Mneme.Buffer_pool.stats b).Mneme.Buffer_pool.resident_segments;
+  Alcotest.(check bool) "pinned resident" true (Mneme.Buffer_pool.resident b ~pseg:1);
+  Alcotest.(check bool) "incoming dropped" false (Mneme.Buffer_pool.resident b ~pseg:2)
+
+let test_transient_mode () =
+  let b = Mneme.Buffer_pool.create ~name:"t" ~capacity:0 () in
+  fault_seq b [ 1; 1; 1 ];
+  let s = Mneme.Buffer_pool.stats b in
+  Alcotest.(check int) "all misses" 0 s.Mneme.Buffer_pool.hits;
+  Alcotest.(check int) "refs counted" 3 s.Mneme.Buffer_pool.refs;
+  Alcotest.(check int) "nothing retained" 0 s.Mneme.Buffer_pool.resident_segments
+
+let test_update_and_drop () =
+  let b = Mneme.Buffer_pool.create ~name:"t" ~capacity:1000 () in
+  fault_seq b [ 1 ];
+  Mneme.Buffer_pool.update b ~pseg:1 (Bytes.make 50 'u');
+  let got = Mneme.Buffer_pool.fault b ~pseg:1 ~load:(fun () -> Alcotest.fail "resident") in
+  Alcotest.(check int) "updated size" 50 (Bytes.length got);
+  Mneme.Buffer_pool.update b ~pseg:99 (Bytes.make 1 'x');
+  (* no-op *)
+  Alcotest.(check bool) "update absent is no-op" false (Mneme.Buffer_pool.resident b ~pseg:99);
+  Mneme.Buffer_pool.drop b ~pseg:1;
+  Alcotest.(check bool) "dropped" false (Mneme.Buffer_pool.resident b ~pseg:1)
+
+let test_clear_keeps_stats () =
+  let b = Mneme.Buffer_pool.create ~name:"t" ~capacity:1000 () in
+  fault_seq b [ 1; 1 ];
+  Mneme.Buffer_pool.clear b;
+  let s = Mneme.Buffer_pool.stats b in
+  Alcotest.(check int) "refs kept" 2 s.Mneme.Buffer_pool.refs;
+  Alcotest.(check int) "empty" 0 s.Mneme.Buffer_pool.resident_segments;
+  Mneme.Buffer_pool.reset_stats b;
+  Alcotest.(check int) "reset" 0 (Mneme.Buffer_pool.stats b).Mneme.Buffer_pool.refs
+
+let test_accessors_and_validation () =
+  let b = Mneme.Buffer_pool.create ~name:"big" ~capacity:42 ~policy:Mneme.Buffer_pool.Fifo () in
+  Alcotest.(check string) "name" "big" (Mneme.Buffer_pool.name b);
+  Alcotest.(check int) "capacity" 42 (Mneme.Buffer_pool.capacity b);
+  Alcotest.(check bool) "policy" true (Mneme.Buffer_pool.policy b = Mneme.Buffer_pool.Fifo);
+  Alcotest.(check bool) "negative capacity" true
+    (match Mneme.Buffer_pool.create ~name:"x" ~capacity:(-1) () with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let prop_capacity_respected =
+  QCheck.Test.make ~name:"resident bytes never exceed capacity without pins" ~count:100
+    QCheck.(list (int_range 0 30))
+    (fun segs ->
+      let b = Mneme.Buffer_pool.create ~name:"q" ~capacity:350 () in
+      List.iter (fun s -> ignore (Mneme.Buffer_pool.fault b ~pseg:s ~load:(load s))) segs;
+      (Mneme.Buffer_pool.stats b).Mneme.Buffer_pool.resident_bytes <= 350)
+
+let suite =
+  [
+    Alcotest.test_case "hit/miss accounting" `Quick test_hit_miss_accounting;
+    Alcotest.test_case "fault returns bytes" `Quick test_fault_returns_loaded_bytes;
+    Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
+    Alcotest.test_case "fifo ignores recency" `Quick test_fifo_ignores_recency;
+    Alcotest.test_case "clock second chance" `Quick test_clock_second_chance;
+    Alcotest.test_case "pin prevents eviction" `Quick test_pin_prevents_eviction;
+    Alcotest.test_case "pin missing" `Quick test_pin_missing;
+    Alcotest.test_case "pins nest" `Quick test_pins_nest;
+    Alcotest.test_case "all pinned: incoming victim" `Quick test_all_pinned_incoming_victim;
+    Alcotest.test_case "transient mode" `Quick test_transient_mode;
+    Alcotest.test_case "update and drop" `Quick test_update_and_drop;
+    Alcotest.test_case "clear keeps stats" `Quick test_clear_keeps_stats;
+    Alcotest.test_case "accessors and validation" `Quick test_accessors_and_validation;
+    QCheck_alcotest.to_alcotest prop_capacity_respected;
+  ]

@@ -1,0 +1,57 @@
+(* The Table 2 buffer-size heuristics. *)
+
+let test_large_rule () =
+  let b = Core.Buffer_sizing.compute ~largest_record:100_000 () in
+  Alcotest.(check int) "3x largest" 300_000 b.Core.Buffer_sizing.large
+
+let test_medium_nine_percent () =
+  let b = Core.Buffer_sizing.compute ~largest_record:1_000_000 () in
+  Alcotest.(check int) "9% of large" 270_000 b.Core.Buffer_sizing.medium
+
+let test_medium_cacm_minimum () =
+  (* For a small collection, 9% of large would not hold three medium
+     segments; the heuristic floors at 3 segments — the paper's CACM
+     exception. *)
+  let b = Core.Buffer_sizing.compute ~largest_record:8_000 () in
+  Alcotest.(check int) "3 medium segments" (3 * 8192) b.Core.Buffer_sizing.medium
+
+let test_small_rule () =
+  let b = Core.Buffer_sizing.compute ~largest_record:50_000 () in
+  Alcotest.(check int) "3 small segments" (3 * 4096) b.Core.Buffer_sizing.small
+
+let test_custom_segments () =
+  let b =
+    Core.Buffer_sizing.compute ~small_pseg:1024 ~medium_pseg:2048 ~medium_ratio:0.5
+      ~largest_record:100_000 ()
+  in
+  Alcotest.(check int) "small" 3072 b.Core.Buffer_sizing.small;
+  Alcotest.(check int) "medium ratio" 150_000 b.Core.Buffer_sizing.medium
+
+let test_no_cache () =
+  Alcotest.(check int) "small" 0 Core.Buffer_sizing.no_cache.Core.Buffer_sizing.small;
+  Alcotest.(check int) "medium" 0 Core.Buffer_sizing.no_cache.Core.Buffer_sizing.medium;
+  Alcotest.(check int) "large" 0 Core.Buffer_sizing.no_cache.Core.Buffer_sizing.large
+
+let test_with_large () =
+  let b = Core.Buffer_sizing.compute ~largest_record:10_000 () in
+  let b' = Core.Buffer_sizing.with_large b 999 in
+  Alcotest.(check int) "override" 999 b'.Core.Buffer_sizing.large;
+  Alcotest.(check int) "others kept" b.Core.Buffer_sizing.medium b'.Core.Buffer_sizing.medium
+
+let test_validation () =
+  Alcotest.(check bool) "zero largest" true
+    (match Core.Buffer_sizing.compute ~largest_record:0 () with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "large rule" `Quick test_large_rule;
+    Alcotest.test_case "medium 9%" `Quick test_medium_nine_percent;
+    Alcotest.test_case "medium CACM minimum" `Quick test_medium_cacm_minimum;
+    Alcotest.test_case "small rule" `Quick test_small_rule;
+    Alcotest.test_case "custom segments" `Quick test_custom_segments;
+    Alcotest.test_case "no cache" `Quick test_no_cache;
+    Alcotest.test_case "with_large" `Quick test_with_large;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

@@ -1,0 +1,150 @@
+(* Chained large objects (inter-object references). *)
+
+let with_store f =
+  let vfs = Vfs.create () in
+  let store = Mneme.Store.create vfs "ch.mneme" in
+  let pool = Mneme.Store.add_pool store Mneme.Policy.medium in
+  Mneme.Store.attach_buffer pool (Mneme.Buffer_pool.create ~name:"m" ~capacity:1_000_000 ());
+  f vfs store pool
+
+let value n = Bytes.init n (fun i -> Char.chr (32 + ((i * 7) mod 90)))
+
+let test_store_fetch_roundtrip () =
+  with_store (fun _ store pool ->
+      List.iter
+        (fun n ->
+          let v = value n in
+          let head = Mneme.Chain.store ~pool ~chunk_payload:100 v in
+          Alcotest.(check bytes) (Printf.sprintf "%d bytes" n) v (Mneme.Chain.fetch store head);
+          Alcotest.(check int) "length" n (Mneme.Chain.length store head))
+        [ 0; 1; 99; 100; 101; 1000; 12345 ])
+
+let test_chunk_count () =
+  with_store (fun _ store pool ->
+      let head = Mneme.Chain.store ~pool ~chunk_payload:100 (value 250) in
+      Alcotest.(check int) "three chunks" 3 (Mneme.Chain.chunk_count store head);
+      let single = Mneme.Chain.store ~pool ~chunk_payload:100 (value 100) in
+      Alcotest.(check int) "exactly one" 1 (Mneme.Chain.chunk_count store single);
+      let empty = Mneme.Chain.store ~pool ~chunk_payload:100 Bytes.empty in
+      Alcotest.(check int) "empty is one chunk" 1 (Mneme.Chain.chunk_count store empty))
+
+let test_fetch_prefix_partial_io () =
+  with_store (fun vfs store pool ->
+      let v = value 10_000 in
+      let head = Mneme.Chain.store ~pool ~chunk_payload:500 v in
+      Mneme.Store.finalize store;
+      (* Incremental retrieval: a prefix reads only its chunks. *)
+      let before = (Vfs.counters vfs).Vfs.bytes_read in
+      let prefix = Mneme.Chain.fetch_prefix store head ~len:800 in
+      let read_for_prefix = (Vfs.counters vfs).Vfs.bytes_read - before in
+      Alcotest.(check bytes) "prefix bytes" (Bytes.sub v 0 800) prefix;
+      Alcotest.(check bool)
+        (Printf.sprintf "read %d << 10000" read_for_prefix)
+        true
+        (read_for_prefix < 10_000);
+      (* Prefix beyond the value clamps. *)
+      Alcotest.(check bytes) "overlong prefix" v (Mneme.Chain.fetch_prefix store head ~len:99_999))
+
+let test_append_in_place () =
+  with_store (fun _ store pool ->
+      let head = Mneme.Chain.store ~pool ~chunk_payload:100 (value 150) in
+      (* 150 = full chunk + half chunk; append tops up the tail first. *)
+      let extra = Bytes.make 75 'Z' in
+      Mneme.Chain.append store ~pool ~chunk_payload:100 head extra;
+      let expect = Bytes.concat Bytes.empty [ value 150; extra ] in
+      Alcotest.(check bytes) "appended" expect (Mneme.Chain.fetch store head);
+      Alcotest.(check int) "chunks" 3 (Mneme.Chain.chunk_count store head))
+
+let test_append_grows_chain () =
+  with_store (fun _ store pool ->
+      let head = Mneme.Chain.store ~pool ~chunk_payload:64 (value 64) in
+      Mneme.Chain.append store ~pool ~chunk_payload:64 head (value 300);
+      Alcotest.(check int) "length" 364 (Mneme.Chain.length store head);
+      let expect = Bytes.concat Bytes.empty [ value 64; value 300 ] in
+      Alcotest.(check bytes) "content" expect (Mneme.Chain.fetch store head))
+
+let test_append_does_not_touch_head () =
+  with_store (fun _ store pool ->
+      let head = Mneme.Chain.store ~pool ~chunk_payload:50 (value 500) in
+      let head_pseg = Mneme.Store.locate_pseg store head in
+      Mneme.Chain.append store ~pool ~chunk_payload:50 head (value 500);
+      (* Earlier chunks are untouched: the head object never relocates. *)
+      Alcotest.(check bool) "head stays" true (Mneme.Store.locate_pseg store head = head_pseg))
+
+let test_iter_chunks () =
+  with_store (fun _ store pool ->
+      let head = Mneme.Chain.store ~pool ~chunk_payload:100 (value 250) in
+      let sizes = ref [] in
+      Mneme.Chain.iter_chunks store head (fun p -> sizes := Bytes.length p :: !sizes);
+      Alcotest.(check (list int)) "chunk sizes in order" [ 100; 100; 50 ] (List.rev !sizes))
+
+let test_delete () =
+  with_store (fun _ store pool ->
+      let head = Mneme.Chain.store ~pool ~chunk_payload:100 (value 250) in
+      let count_before = Mneme.Store.object_count store in
+      Mneme.Chain.delete store head;
+      Alcotest.(check int) "all chunks gone" (count_before - 3) (Mneme.Store.object_count store);
+      Alcotest.(check bool) "head gone" true (Mneme.Store.get_opt store head = None))
+
+let test_many_chains_interleaved () =
+  with_store (fun _ store pool ->
+      let heads =
+        List.init 20 (fun i -> (i, Mneme.Chain.store ~pool ~chunk_payload:64 (value (i * 37))))
+      in
+      Mneme.Store.finalize store;
+      List.iter
+        (fun (i, head) ->
+          Alcotest.(check bytes) (Printf.sprintf "chain %d" i) (value (i * 37))
+            (Mneme.Chain.fetch store head))
+        heads)
+
+let test_survives_reopen () =
+  let vfs = Vfs.create () in
+  let store = Mneme.Store.create vfs "p.mneme" in
+  let pool = Mneme.Store.add_pool store Mneme.Policy.medium in
+  Mneme.Store.attach_buffer pool (Mneme.Buffer_pool.create ~name:"m" ~capacity:1_000_000 ());
+  let v = value 5000 in
+  let head = Mneme.Chain.store ~pool ~chunk_payload:256 v in
+  Mneme.Store.finalize store;
+  let store2 = Mneme.Store.open_existing vfs "p.mneme" in
+  Mneme.Store.attach_buffer (Mneme.Store.pool store2 "medium")
+    (Mneme.Buffer_pool.create ~name:"m" ~capacity:1_000_000 ());
+  Alcotest.(check bytes) "after reopen" v (Mneme.Chain.fetch store2 head)
+
+let test_validation () =
+  with_store (fun _ store pool ->
+      Alcotest.(check bool) "zero chunk payload" true
+        (match Mneme.Chain.store ~pool ~chunk_payload:0 (value 10) with
+        | _ -> false
+        | exception Invalid_argument _ -> true);
+      let head = Mneme.Chain.store ~pool ~chunk_payload:10 (value 10) in
+      Alcotest.(check bool) "negative prefix" true
+        (match Mneme.Chain.fetch_prefix store head ~len:(-1) with
+        | _ -> false
+        | exception Invalid_argument _ -> true))
+
+let test_fixed_pool_rejected () =
+  let vfs = Vfs.create () in
+  let store = Mneme.Store.create vfs "f.mneme" in
+  let small = Mneme.Store.add_pool store Mneme.Policy.small in
+  Mneme.Store.attach_buffer small (Mneme.Buffer_pool.create ~name:"s" ~capacity:100_000 ());
+  Alcotest.(check bool) "fixed-slot pool rejected" true
+    (match Mneme.Chain.store ~pool:small ~chunk_payload:4 (value 3) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "store/fetch roundtrip" `Quick test_store_fetch_roundtrip;
+    Alcotest.test_case "chunk count" `Quick test_chunk_count;
+    Alcotest.test_case "fetch_prefix partial io" `Quick test_fetch_prefix_partial_io;
+    Alcotest.test_case "append in place" `Quick test_append_in_place;
+    Alcotest.test_case "append grows chain" `Quick test_append_grows_chain;
+    Alcotest.test_case "append keeps head" `Quick test_append_does_not_touch_head;
+    Alcotest.test_case "iter chunks" `Quick test_iter_chunks;
+    Alcotest.test_case "delete" `Quick test_delete;
+    Alcotest.test_case "many chains" `Quick test_many_chains_interleaved;
+    Alcotest.test_case "survives reopen" `Quick test_survives_reopen;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "fixed pool rejected" `Quick test_fixed_pool_rejected;
+  ]

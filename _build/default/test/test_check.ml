@@ -1,0 +1,104 @@
+(* Store integrity checking. *)
+
+let build_store () =
+  let vfs = Vfs.create () in
+  let store = Mneme.Store.create vfs "chk.mneme" in
+  let pools =
+    List.map
+      (fun policy ->
+        let pool = Mneme.Store.add_pool store policy in
+        Mneme.Store.attach_buffer pool
+          (Mneme.Buffer_pool.create ~name:policy.Mneme.Policy.name ~capacity:500_000 ());
+        pool)
+      [ Mneme.Policy.small; Mneme.Policy.medium; Mneme.Policy.large ]
+  in
+  (vfs, store, pools)
+
+let populate store pools =
+  let small, medium, large =
+    match pools with [ s; m; l ] -> (s, m, l) | _ -> assert false
+  in
+  let oids = ref [] in
+  for i = 0 to 299 do
+    let oid =
+      if i mod 3 = 0 then Mneme.Store.allocate small (Bytes.make (i mod 12) 'x')
+      else if i mod 3 = 1 then Mneme.Store.allocate medium (Bytes.make (100 + i) 'y')
+      else Mneme.Store.allocate large (Bytes.make (5000 + i) 'z')
+    in
+    oids := oid :: !oids
+  done;
+  Mneme.Store.finalize store;
+  List.rev !oids
+
+let test_clean_store () =
+  let _, store, pools = build_store () in
+  ignore (populate store pools);
+  let report = Mneme.Check.run store in
+  Alcotest.(check bool)
+    (Format.asprintf "%a" Mneme.Check.pp_report report)
+    true (Mneme.Check.ok report);
+  Alcotest.(check int) "objects" 300 report.Mneme.Check.objects_seen;
+  Alcotest.(check int) "pools" 3 report.Mneme.Check.pools_seen;
+  Alcotest.(check bool) "segments seen" true (report.Mneme.Check.psegs_seen > 10)
+
+let test_clean_after_updates () =
+  let _, store, pools = build_store () in
+  let oids = populate store pools in
+  List.iteri
+    (fun i oid ->
+      if i mod 7 = 0 then Mneme.Store.delete store oid
+      else if i mod 3 = 2 && i mod 11 = 0 then
+        (* grow a large object, forcing relocation *)
+        Mneme.Store.modify store oid (Bytes.make 9000 'm'))
+    oids;
+  Mneme.Store.finalize store;
+  let report = Mneme.Check.run store in
+  Alcotest.(check bool)
+    (Format.asprintf "%a" Mneme.Check.pp_report report)
+    true (Mneme.Check.ok report)
+
+let test_clean_after_reopen () =
+  let vfs, store, pools = build_store () in
+  ignore (populate store pools);
+  let store2 = Mneme.Store.open_existing vfs "chk.mneme" in
+  List.iter
+    (fun name ->
+      Mneme.Store.attach_buffer (Mneme.Store.pool store2 name)
+        (Mneme.Buffer_pool.create ~name ~capacity:500_000 ()))
+    [ "small"; "medium"; "large" ];
+  Alcotest.(check bool) "clean" true (Mneme.Check.ok (Mneme.Check.run store2))
+
+let test_detects_corrupted_directory () =
+  let vfs, store, pools = build_store () in
+  ignore (populate store pools);
+  (* Smash a medium segment's directory count on disk. *)
+  let medium = Mneme.Store.pool store "medium" in
+  (match Mneme.Store.pool_segments medium with
+  | (_, (off, _)) :: _ ->
+    let f = Vfs.open_file vfs "chk.mneme" in
+    Vfs.write f ~off (Bytes.of_string "\xff\xff")
+  | [] -> Alcotest.fail "no medium segments");
+  (* A fresh handle (no warm buffers) must notice. *)
+  let store2 = Mneme.Store.open_existing vfs "chk.mneme" in
+  List.iter
+    (fun name ->
+      Mneme.Store.attach_buffer (Mneme.Store.pool store2 name)
+        (Mneme.Buffer_pool.create ~name ~capacity:500_000 ()))
+    [ "small"; "medium"; "large" ];
+  let report = Mneme.Check.run store2 in
+  Alcotest.(check bool) "problems found" false (Mneme.Check.ok report)
+
+let test_pp_report () =
+  let _, store, pools = build_store () in
+  ignore (populate store pools);
+  let s = Format.asprintf "%a" Mneme.Check.pp_report (Mneme.Check.run store) in
+  Alcotest.(check bool) "mentions clean" true (Str_find.contains s "clean")
+
+let suite =
+  [
+    Alcotest.test_case "clean store" `Quick test_clean_store;
+    Alcotest.test_case "clean after updates" `Quick test_clean_after_updates;
+    Alcotest.test_case "clean after reopen" `Quick test_clean_after_reopen;
+    Alcotest.test_case "detects corruption" `Quick test_detects_corrupted_directory;
+    Alcotest.test_case "pp report" `Quick test_pp_report;
+  ]

@@ -1,0 +1,102 @@
+(* Elias and Golomb codes. *)
+
+let schemes = [ Util.Codes.Gamma; Util.Codes.Delta_code; Util.Codes.Golomb 1;
+                Util.Codes.Golomb 3; Util.Codes.Golomb 8; Util.Codes.Golomb 100 ]
+
+let test_known_gamma_codes () =
+  (* gamma(1) = "1", gamma(2) = "010", gamma(5) = "00101". *)
+  let code v =
+    let w = Util.Bitio.Writer.create () in
+    Util.Codes.encode w Util.Codes.Gamma v;
+    (Util.Bitio.Writer.bit_length w, Util.Bitio.Writer.to_bytes w)
+  in
+  let bits1, b1 = code 1 in
+  Alcotest.(check int) "gamma(1) is 1 bit" 1 bits1;
+  Alcotest.(check int) "gamma(1) = 1" 0b10000000 (Char.code (Bytes.get b1 0));
+  let bits5, b5 = code 5 in
+  Alcotest.(check int) "gamma(5) is 5 bits" 5 bits5;
+  Alcotest.(check int) "gamma(5) = 00101" 0b00101000 (Char.code (Bytes.get b5 0))
+
+let test_roundtrip_each_scheme () =
+  let values = [ 1; 2; 3; 4; 5; 7; 8; 100; 1000; 65536; 1_000_000 ] in
+  List.iter
+    (fun scheme ->
+      let b = Util.Codes.encode_list scheme values in
+      Alcotest.(check (list int))
+        (Util.Codes.scheme_name scheme)
+        values
+        (Util.Codes.decode_list scheme b ~count:(List.length values)))
+    schemes
+
+let test_bit_size_matches_encoding () =
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun v ->
+          let w = Util.Bitio.Writer.create () in
+          Util.Codes.encode w scheme v;
+          Alcotest.(check int)
+            (Printf.sprintf "%s size of %d" (Util.Codes.scheme_name scheme) v)
+            (Util.Bitio.Writer.bit_length w) (Util.Codes.bit_size scheme v))
+        [ 1; 2; 6; 17; 300; 12345 ])
+    schemes
+
+let test_gamma_beats_binary_for_small () =
+  (* Small gaps (common-term postings) code in very few bits. *)
+  Alcotest.(check bool) "gamma(1)" true (Util.Codes.bit_size Util.Codes.Gamma 1 = 1);
+  Alcotest.(check bool) "gamma(3) <= 3 bits" true (Util.Codes.bit_size Util.Codes.Gamma 3 <= 3)
+
+let test_delta_beats_gamma_for_large () =
+  let v = 1_000_000 in
+  Alcotest.(check bool) "delta smaller asymptotically" true
+    (Util.Codes.bit_size Util.Codes.Delta_code v < Util.Codes.bit_size Util.Codes.Gamma v)
+
+let test_golomb_parameter_rule () =
+  (* A rare term (df 10 of 10 000 docs) gets a large b; a ubiquitous term
+     gets b = 1 (pure unary, near-optimal for gap 1). *)
+  Alcotest.(check bool) "rare" true (Util.Codes.golomb_parameter ~n_docs:10_000 ~df:10 > 300);
+  Alcotest.(check int) "ubiquitous" 1 (Util.Codes.golomb_parameter ~n_docs:10_000 ~df:10_000);
+  Alcotest.(check int) "df 0 safe" 1 (Util.Codes.golomb_parameter ~n_docs:10_000 ~df:0)
+
+let test_validation () =
+  let w = Util.Bitio.Writer.create () in
+  Alcotest.(check bool) "zero rejected" true
+    (match Util.Codes.encode w Util.Codes.Gamma 0 with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad golomb parameter" true
+    (match Util.Codes.encode w (Util.Codes.Golomb 0) 5 with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"codes roundtrip random positives" ~count:300
+    QCheck.(pair (int_range 0 5) (list_of_size (QCheck.Gen.int_range 1 50) (int_range 1 100_000)))
+    (fun (si, values) ->
+      let scheme = List.nth schemes si in
+      let b = Util.Codes.encode_list scheme values in
+      Util.Codes.decode_list scheme b ~count:(List.length values) = values)
+
+let prop_golomb_gap_compression =
+  (* Coding a term's doc gaps with the WMB parameter never does worse
+     than 32-bit binary for realistic dfs. *)
+  QCheck.Test.make ~name:"golomb beats raw ints on gaps" ~count:100
+    QCheck.(int_range 2 5000)
+    (fun df ->
+      let n_docs = 10_000 in
+      let b = Util.Codes.golomb_parameter ~n_docs ~df in
+      let avg_gap = max 1 (n_docs / df) in
+      Util.Codes.bit_size (Util.Codes.Golomb b) avg_gap < 32)
+
+let suite =
+  [
+    Alcotest.test_case "known gamma codes" `Quick test_known_gamma_codes;
+    Alcotest.test_case "roundtrip each scheme" `Quick test_roundtrip_each_scheme;
+    Alcotest.test_case "bit_size matches" `Quick test_bit_size_matches_encoding;
+    Alcotest.test_case "gamma small values" `Quick test_gamma_beats_binary_for_small;
+    Alcotest.test_case "delta large values" `Quick test_delta_beats_gamma_for_large;
+    Alcotest.test_case "golomb parameter rule" `Quick test_golomb_parameter_rule;
+    Alcotest.test_case "validation" `Quick test_validation;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_golomb_gap_compression;
+  ]

@@ -1,0 +1,132 @@
+(* Document-at-a-time evaluation agrees with term-at-a-time. *)
+
+let corpus =
+  [
+    (0, "apple banana cherry apple date");
+    (1, "banana cherry banana");
+    (2, "cherry date elderberry fig grape");
+    (3, "apple apple apple banana");
+    (4, "information retrieval system design");
+    (5, "retrieval of information by content");
+    (6, "grape fig banana");
+  ]
+
+let make () =
+  let ix = Inquery.Indexer.create () in
+  List.iter (fun (id, text) -> Inquery.Indexer.add_document ix ~doc_id:id text) corpus;
+  let records = Hashtbl.create 16 in
+  Seq.iter (fun (id, r) -> Hashtbl.replace records id r) (Inquery.Indexer.to_records ix);
+  let dict = Inquery.Indexer.dictionary ix in
+  let source =
+    {
+      Inquery.Infnet.fetch = (fun e -> Hashtbl.find_opt records e.Inquery.Dictionary.id);
+      n_docs = 7;
+      max_doc_id = 6;
+      avg_doc_len = Inquery.Indexer.avg_doc_length ix;
+      doc_len = Inquery.Indexer.doc_length ix;
+    }
+  in
+  (source, dict)
+
+let both query =
+  let source, dict = make () in
+  let q = Inquery.Query.parse_exn query in
+  let taat, _ = Inquery.Infnet.eval source dict q in
+  let daat, _ = Inquery.Infnet.eval_daat source dict q in
+  (taat, daat)
+
+let check_agreement query () =
+  let taat, daat = both query in
+  (* Every DAAT result matches TAAT exactly. *)
+  List.iter
+    (fun s ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "doc %d" s.Inquery.Infnet.doc)
+        taat.(s.Inquery.Infnet.doc) s.Inquery.Infnet.belief)
+    daat;
+  (* Every TAAT doc above the query's no-evidence baseline appears in
+     DAAT.  The baseline is not 0.4 for every operator — e.g. #or of two
+     defaults is 0.64 — so it is read off as the array minimum (no
+     top-level negation in these queries, so evidence only raises
+     beliefs). *)
+  let baseline = Array.fold_left min infinity taat in
+  Array.iteri
+    (fun d b ->
+      if b > baseline +. 1e-9 then
+        Alcotest.(check bool)
+          (Printf.sprintf "doc %d enumerated" d)
+          true
+          (List.exists (fun s -> s.Inquery.Infnet.doc = d) daat))
+    taat
+
+let queries =
+  [
+    "apple";
+    "#sum( apple banana )";
+    "#and( banana cherry )";
+    "#or( date grape )";
+    "#wsum( 3 apple 1 cherry 2 fig )";
+    "#max( apple elderberry )";
+    "#sum( apple #and( banana #or( cherry date ) ) )";
+    "#phrase( information retrieval )";
+    "#sum( retrieval #phrase( information retrieval ) )";
+  ]
+
+let test_docs_ascending () =
+  let _, daat = both "#sum( apple banana cherry )" in
+  let rec ascending = function
+    | a :: (b :: _ as rest) -> a.Inquery.Infnet.doc < b.Inquery.Infnet.doc && ascending rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "ascending ids" true (ascending daat)
+
+let test_oov_only_query () =
+  let _, daat = both "zzznothing" in
+  Alcotest.(check int) "no results" 0 (List.length daat)
+
+let test_stats_comparable () =
+  let source, dict = make () in
+  let q = Inquery.Query.parse_exn "#sum( apple banana )" in
+  let _, s_taat = Inquery.Infnet.eval source dict q in
+  let _, s_daat = Inquery.Infnet.eval_daat source dict q in
+  Alcotest.(check int) "same lookups" s_taat.Inquery.Infnet.record_lookups
+    s_daat.Inquery.Infnet.record_lookups;
+  Alcotest.(check int) "same postings" s_taat.Inquery.Infnet.postings_scored
+    s_daat.Inquery.Infnet.postings_scored
+
+let test_not_restriction_documented () =
+  (* DAAT enumerates only docs containing a query term: under a pure
+     #not those are exactly the docs the negation penalises, while the
+     docs negation rewards (which merely lack the term; TAAT scores them
+     0.6) are not enumerated. *)
+  let taat, daat = both "#not( apple )" in
+  Alcotest.(check (float 1e-9)) "taat rewards absent docs" 0.6 taat.(2);
+  Alcotest.(check bool) "absent docs not enumerated" true
+    (not (List.exists (fun s -> s.Inquery.Infnet.doc = 2) daat));
+  (* What is enumerated still agrees with TAAT. *)
+  List.iter
+    (fun s ->
+      Alcotest.(check (float 1e-9)) "agree" taat.(s.Inquery.Infnet.doc) s.Inquery.Infnet.belief)
+    daat
+
+let test_mixed_not () =
+  (* #not beneath a positive term still works for enumerated docs. *)
+  let taat, daat = both "#sum( banana #not( cherry ) )" in
+  List.iter
+    (fun s ->
+      Alcotest.(check (float 1e-9)) "agree" taat.(s.Inquery.Infnet.doc) s.Inquery.Infnet.belief)
+    daat;
+  Alcotest.(check bool) "doc 3 enumerated (banana, no cherry)" true
+    (List.exists (fun s -> s.Inquery.Infnet.doc = 3) daat)
+
+let suite =
+  List.map
+    (fun q -> Alcotest.test_case ("agreement: " ^ q) `Quick (check_agreement q))
+    queries
+  @ [
+      Alcotest.test_case "docs ascending" `Quick test_docs_ascending;
+      Alcotest.test_case "oov only query" `Quick test_oov_only_query;
+      Alcotest.test_case "stats comparable" `Quick test_stats_comparable;
+      Alcotest.test_case "not restriction" `Quick test_not_restriction_documented;
+      Alcotest.test_case "mixed not" `Quick test_mixed_not;
+    ]

@@ -1,0 +1,65 @@
+(* Gap coding of ascending sequences. *)
+
+let test_encode_basic () =
+  Alcotest.(check (list int)) "gaps" [ 5; 2; 10 ] (Util.Delta.encode [ 5; 7; 17 ]);
+  Alcotest.(check (list int)) "empty" [] (Util.Delta.encode []);
+  Alcotest.(check (list int)) "single" [ 0 ] (Util.Delta.encode [ 0 ])
+
+let test_decode_inverse () =
+  let xs = [ 0; 1; 2; 50; 51; 1000 ] in
+  Alcotest.(check (list int)) "inverse" xs (Util.Delta.decode (Util.Delta.encode xs))
+
+let test_not_increasing_rejected () =
+  Alcotest.check_raises "equal adjacent"
+    (Invalid_argument "Delta.encode: not strictly increasing") (fun () ->
+      ignore (Util.Delta.encode [ 1; 1 ]));
+  Alcotest.check_raises "decreasing" (Invalid_argument "Delta.encode: not strictly increasing")
+    (fun () -> ignore (Util.Delta.encode [ 5; 3 ]));
+  Alcotest.check_raises "negative head" (Invalid_argument "Delta.encode: negative value")
+    (fun () -> ignore (Util.Delta.encode [ -1; 3 ]))
+
+let test_binary_roundtrip () =
+  let xs = [ 3; 9; 10; 300; 70000 ] in
+  let buf = Buffer.create 16 in
+  Util.Delta.encode_into buf xs;
+  let b = Buffer.to_bytes buf in
+  let decoded, pos = Util.Delta.decode_from b ~pos:0 ~count:(List.length xs) in
+  Alcotest.(check (list int)) "roundtrip" xs decoded;
+  Alcotest.(check int) "all consumed" (Bytes.length b) pos
+
+let test_binary_empty () =
+  let buf = Buffer.create 4 in
+  Util.Delta.encode_into buf [];
+  Alcotest.(check int) "no bytes" 0 (Buffer.length buf);
+  let decoded, pos = Util.Delta.decode_from (Bytes.create 0) ~pos:0 ~count:0 in
+  Alcotest.(check (list int)) "empty decode" [] decoded;
+  Alcotest.(check int) "pos" 0 pos
+
+let ascending_gen =
+  QCheck.Gen.(
+    list_size (int_bound 50) (int_bound 1000)
+    |> map (fun gaps ->
+           List.fold_left (fun acc g -> match acc with
+             | [] -> [ g ]
+             | prev :: _ -> (prev + g + 1) :: acc) [] gaps
+           |> List.rev))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"delta roundtrip (random ascending)" ~count:300
+    (QCheck.make ascending_gen)
+    (fun xs ->
+      Util.Delta.decode (Util.Delta.encode xs) = xs
+      &&
+      let buf = Buffer.create 16 in
+      Util.Delta.encode_into buf xs;
+      fst (Util.Delta.decode_from (Buffer.to_bytes buf) ~pos:0 ~count:(List.length xs)) = xs)
+
+let suite =
+  [
+    Alcotest.test_case "encode basic" `Quick test_encode_basic;
+    Alcotest.test_case "decode inverse" `Quick test_decode_inverse;
+    Alcotest.test_case "rejects bad input" `Quick test_not_increasing_rejected;
+    Alcotest.test_case "binary roundtrip" `Quick test_binary_roundtrip;
+    Alcotest.test_case "binary empty" `Quick test_binary_empty;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]

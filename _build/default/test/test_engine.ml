@@ -1,0 +1,106 @@
+(* The integrated engine: query execution, reservation, CPU charging. *)
+
+let model =
+  Collections.Docmodel.make ~name:"eng" ~n_docs:400 ~core_vocab:1200 ~mean_doc_len:60.0
+    ~hapax_prob:0.02 ~seed:61 ()
+
+let prepared = lazy (Core.Experiment.prepare model)
+
+let engine version = Core.Experiment.open_engine (Lazy.force prepared) version
+
+let test_results_identical_across_backends () =
+  let queries =
+    [ "ba"; "#sum( ba be bi )"; "#and( ba #or( be bo ) )"; "#wsum( 2 ba 1 bu )";
+      "#phrase( ba be )" ]
+  in
+  let run version =
+    let e = engine version in
+    List.map
+      (fun q ->
+        (Core.Engine.run_query_string ~top_k:20 e q).Core.Engine.ranked
+        |> List.map (fun r -> (r.Inquery.Ranking.doc, Printf.sprintf "%.9f" r.Inquery.Ranking.score)))
+      queries
+  in
+  let bt = run Core.Experiment.Btree in
+  let mc = run Core.Experiment.Mneme_cache in
+  let mn = run Core.Experiment.Mneme_no_cache in
+  Alcotest.(check bool) "btree = mneme cache" true (bt = mc);
+  Alcotest.(check bool) "btree = mneme nocache" true (bt = mn)
+
+let test_engine_cpu_charged () =
+  let p = Lazy.force prepared in
+  let e = engine Core.Experiment.Btree in
+  let clock = Vfs.clock p.Core.Experiment.vfs in
+  let before = (Vfs.Clock.snapshot clock).Vfs.Clock.engine_cpu_ms in
+  ignore (Core.Engine.run_query_string e "#sum( ba be )");
+  let after = (Vfs.Clock.snapshot clock).Vfs.Clock.engine_cpu_ms in
+  Alcotest.(check bool) "cpu charged" true (after > before)
+
+let test_run_batch_order () =
+  let e = engine Core.Experiment.Mneme_cache in
+  let results = Core.Engine.run_batch e [ "ba"; "be" ] in
+  Alcotest.(check int) "two results" 2 (List.length results)
+
+let test_invalid_query_raises () =
+  let e = engine Core.Experiment.Mneme_cache in
+  Alcotest.(check bool) "syntax error" true
+    (match Core.Engine.run_query_string e "#and(" with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_store_accessor () =
+  let e = engine Core.Experiment.Mneme_cache in
+  Alcotest.(check string) "store name" "mneme-cache" (Core.Engine.store e).Core.Index_store.name
+
+let test_reservation_pins_during_query () =
+  (* With reservation on, a repeated-term query over a tight buffer
+     keeps its records resident; measured indirectly: reserve-on never
+     does more I/O than reserve-off on the same session sequence. *)
+  let p = Lazy.force prepared in
+  let tight =
+    Core.Buffer_sizing.with_large
+      (Core.Experiment.default_buffers p)
+      (p.Core.Experiment.largest_record * 5 / 4)
+  in
+  let io reserve =
+    Vfs.purge_os_cache p.Core.Experiment.vfs;
+    let store =
+      Core.Mneme_backend.open_session p.Core.Experiment.vfs ~file:p.Core.Experiment.mneme_file
+        ~buffers:tight
+    in
+    let catalog = Core.Catalog.load p.Core.Experiment.vfs ~file:p.Core.Experiment.catalog_file in
+    let e =
+      Core.Engine.create ~vfs:p.Core.Experiment.vfs ~store ~dict:catalog.Core.Catalog.dict
+        ~n_docs:catalog.Core.Catalog.n_docs
+        ~avg_doc_len:(Core.Catalog.avg_doc_length catalog)
+        ~doc_len:(fun d ->
+          if d < 0 || d >= Array.length catalog.Core.Catalog.doc_lens then 0
+          else catalog.Core.Catalog.doc_lens.(d))
+        ~reserve ()
+    in
+    let before = (Vfs.counters p.Core.Experiment.vfs).Vfs.file_accesses in
+    ignore (Core.Engine.run_batch e [ "#sum( ba be bi bo bu ca ce ci )"; "#sum( ba be bi )" ]);
+    (Vfs.counters p.Core.Experiment.vfs).Vfs.file_accesses - before
+  in
+  let with_reserve = io true in
+  let without = io false in
+  Alcotest.(check bool)
+    (Printf.sprintf "reserve (%d) <= no reserve (%d)" with_reserve without)
+    true (with_reserve <= without)
+
+let test_top_k_limits () =
+  let e = engine Core.Experiment.Mneme_cache in
+  let r = Core.Engine.run_query_string ~top_k:3 e "ba" in
+  Alcotest.(check bool) "at most 3" true (List.length r.Core.Engine.ranked <= 3)
+
+let suite =
+  [
+    Alcotest.test_case "results identical across backends" `Quick
+      test_results_identical_across_backends;
+    Alcotest.test_case "engine cpu charged" `Quick test_engine_cpu_charged;
+    Alcotest.test_case "run batch" `Quick test_run_batch_order;
+    Alcotest.test_case "invalid query raises" `Quick test_invalid_query_raises;
+    Alcotest.test_case "store accessor" `Quick test_store_accessor;
+    Alcotest.test_case "reservation helps" `Quick test_reservation_pins_during_query;
+    Alcotest.test_case "top_k limits" `Quick test_top_k_limits;
+  ]

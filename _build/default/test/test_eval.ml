@@ -1,0 +1,68 @@
+(* Recall/precision metrics on hand-computable examples. *)
+
+let rel = Inquery.Eval.judgments_of_list [ 1; 3; 5; 7 ]
+let ranked = [ 1; 2; 3; 4; 5; 6 ]
+
+let test_relevant_count () =
+  Alcotest.(check int) "count" 4 (Inquery.Eval.relevant_count rel);
+  Alcotest.(check int) "dedup" 1
+    (Inquery.Eval.relevant_count (Inquery.Eval.judgments_of_list [ 9; 9; 9 ]))
+
+let test_precision_at () =
+  Alcotest.(check (float 1e-9)) "p@1" 1.0 (Inquery.Eval.precision_at ranked rel ~k:1);
+  Alcotest.(check (float 1e-9)) "p@2" 0.5 (Inquery.Eval.precision_at ranked rel ~k:2);
+  Alcotest.(check (float 1e-9)) "p@6" 0.5 (Inquery.Eval.precision_at ranked rel ~k:6);
+  (* k beyond the ranking counts the misses. *)
+  Alcotest.(check (float 1e-9)) "p@10" 0.3 (Inquery.Eval.precision_at ranked rel ~k:10);
+  Alcotest.(check bool) "k=0 rejected" true
+    (match Inquery.Eval.precision_at ranked rel ~k:0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_recall_at () =
+  Alcotest.(check (float 1e-9)) "r@1" 0.25 (Inquery.Eval.recall_at ranked rel ~k:1);
+  Alcotest.(check (float 1e-9)) "r@6" 0.75 (Inquery.Eval.recall_at ranked rel ~k:6);
+  Alcotest.(check (float 1e-9)) "no judgments" 0.0
+    (Inquery.Eval.recall_at ranked (Inquery.Eval.judgments_of_list []) ~k:3)
+
+let test_r_precision () =
+  (* R = 4; top 4 = [1;2;3;4] contains 2 relevant. *)
+  Alcotest.(check (float 1e-9)) "r-precision" 0.5 (Inquery.Eval.r_precision ranked rel);
+  Alcotest.(check (float 1e-9)) "empty judgments" 0.0
+    (Inquery.Eval.r_precision ranked (Inquery.Eval.judgments_of_list []))
+
+let test_average_precision () =
+  (* Relevant found at ranks 1 (p=1), 3 (p=2/3), 5 (p=3/5); 7 missed.
+     AP = (1 + 2/3 + 3/5) / 4. *)
+  let expect = (1.0 +. (2.0 /. 3.0) +. 0.6) /. 4.0 in
+  Alcotest.(check (float 1e-9)) "ap" expect (Inquery.Eval.average_precision ranked rel)
+
+let test_perfect_ranking () =
+  let perfect = [ 1; 3; 5; 7 ] in
+  Alcotest.(check (float 1e-9)) "ap of perfect" 1.0 (Inquery.Eval.average_precision perfect rel);
+  Alcotest.(check (float 1e-9)) "r-precision of perfect" 1.0
+    (Inquery.Eval.r_precision perfect rel)
+
+let test_interpolated_precision () =
+  (* At recall 0.5: best precision at or beyond 2 relevant found. *)
+  Alcotest.(check (float 1e-9)) "interp at 0.5" (2.0 /. 3.0)
+    (Inquery.Eval.interpolated_precision ranked rel ~recall:0.5);
+  Alcotest.(check (float 1e-9)) "interp at 0" 1.0
+    (Inquery.Eval.interpolated_precision ranked rel ~recall:0.0);
+  Alcotest.(check (float 1e-9)) "unreachable recall" 0.0
+    (Inquery.Eval.interpolated_precision ranked rel ~recall:1.0);
+  Alcotest.(check bool) "range" true
+    (match Inquery.Eval.interpolated_precision ranked rel ~recall:1.5 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "relevant count" `Quick test_relevant_count;
+    Alcotest.test_case "precision_at" `Quick test_precision_at;
+    Alcotest.test_case "recall_at" `Quick test_recall_at;
+    Alcotest.test_case "r_precision" `Quick test_r_precision;
+    Alcotest.test_case "average precision" `Quick test_average_precision;
+    Alcotest.test_case "perfect ranking" `Quick test_perfect_ranking;
+    Alcotest.test_case "interpolated precision" `Quick test_interpolated_precision;
+  ]

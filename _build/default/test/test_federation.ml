@@ -1,0 +1,108 @@
+(* Multi-file global id mapping. *)
+
+let make_store vfs name values =
+  let store = Mneme.Store.create vfs name in
+  let pool = Mneme.Store.add_pool store Mneme.Policy.medium in
+  Mneme.Store.attach_buffer pool (Mneme.Buffer_pool.create ~name:"m" ~capacity:100_000 ());
+  let oids = List.map (fun v -> Mneme.Store.allocate pool (Bytes.of_string v)) values in
+  Mneme.Store.finalize store;
+  (store, oids)
+
+let setup () =
+  let vfs = Vfs.create () in
+  let store_a, oids_a = make_store vfs "a.mneme" [ "a0"; "a1" ] in
+  let store_b, oids_b = make_store vfs "b.mneme" [ "b0" ] in
+  let fed = Mneme.Federation.create ~capacity:8 () in
+  let ha = Mneme.Federation.mount fed ~name:"a" store_a in
+  let hb = Mneme.Federation.mount fed ~name:"b" store_b in
+  (fed, ha, hb, oids_a, oids_b)
+
+let test_mount_and_resolve () =
+  let fed, ha, hb, _, _ = setup () in
+  Alcotest.(check bool) "distinct handles" true (ha <> hb);
+  Alcotest.(check (option int)) "by name" (Some ha) (Mneme.Federation.handle_of_name fed "a");
+  Alcotest.(check (option int)) "unknown" None (Mneme.Federation.handle_of_name fed "c");
+  Alcotest.(check bool) "duplicate mount" true
+    (match Mneme.Federation.mount fed ~name:"a" (Mneme.Federation.store_of fed ha) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_globalize_and_get () =
+  let fed, ha, hb, oids_a, oids_b = setup () in
+  (* Same local id in different files gets distinct global ids. *)
+  let ga0 = Mneme.Federation.globalize fed ~handle:ha (List.nth oids_a 0) in
+  let gb0 = Mneme.Federation.globalize fed ~handle:hb (List.nth oids_b 0) in
+  Alcotest.(check bool) "distinct globals" true (ga0 <> gb0);
+  Alcotest.(check bytes) "a0" (Bytes.of_string "a0") (Mneme.Federation.get fed ga0);
+  Alcotest.(check bytes) "b0" (Bytes.of_string "b0") (Mneme.Federation.get fed gb0);
+  (* Stable on re-access. *)
+  Alcotest.(check bool) "stable" true
+    (Mneme.Federation.globalize fed ~handle:ha (List.nth oids_a 0) = ga0);
+  Alcotest.(check int) "two in use" 2 (Mneme.Federation.in_use fed)
+
+let test_locate () =
+  let fed, ha, _, oids_a, _ = setup () in
+  let g = Mneme.Federation.globalize fed ~handle:ha (List.nth oids_a 1) in
+  Alcotest.(check (pair int int)) "locate" (ha, List.nth oids_a 1) (Mneme.Federation.locate fed g)
+
+let test_release_recycles () =
+  let fed, ha, _, oids_a, _ = setup () in
+  let g = Mneme.Federation.globalize fed ~handle:ha (List.nth oids_a 0) in
+  Mneme.Federation.release fed g;
+  Alcotest.(check int) "freed" 0 (Mneme.Federation.in_use fed);
+  Alcotest.(check (option bytes)) "stale gid" None (Mneme.Federation.get_opt fed g);
+  (* The released id is recycled for the next access. *)
+  let g' = Mneme.Federation.globalize fed ~handle:ha (List.nth oids_a 1) in
+  Alcotest.(check bool) "recycled" true ((g' : Mneme.Federation.gid :> int) = (g :> int));
+  Mneme.Federation.release fed g';
+  Mneme.Federation.release fed g' (* idempotent *)
+
+let test_capacity_bound () =
+  let vfs = Vfs.create () in
+  let store, oids = make_store vfs "c.mneme" [ "x"; "y"; "z" ] in
+  let fed = Mneme.Federation.create ~capacity:2 () in
+  let h = Mneme.Federation.mount fed ~name:"c" store in
+  ignore (Mneme.Federation.globalize fed ~handle:h (List.nth oids 0));
+  ignore (Mneme.Federation.globalize fed ~handle:h (List.nth oids 1));
+  Alcotest.(check bool) "exhausted" true
+    (match Mneme.Federation.globalize fed ~handle:h (List.nth oids 2) with
+    | _ -> false
+    | exception Failure _ -> true);
+  (* Releasing makes room: simultaneous access is what is bounded. *)
+  ignore
+    (Mneme.Federation.release fed (Mneme.Federation.globalize fed ~handle:h (List.nth oids 0)));
+  let g = Mneme.Federation.globalize fed ~handle:h (List.nth oids 2) in
+  Alcotest.(check bytes) "third object reachable" (Bytes.of_string "z")
+    (Mneme.Federation.get fed g)
+
+let test_unmount_releases () =
+  let fed, ha, hb, oids_a, oids_b = setup () in
+  let ga = Mneme.Federation.globalize fed ~handle:ha (List.nth oids_a 0) in
+  let gb = Mneme.Federation.globalize fed ~handle:hb (List.nth oids_b 0) in
+  Mneme.Federation.unmount fed ha;
+  Alcotest.(check (option bytes)) "a gone" None (Mneme.Federation.get_opt fed ga);
+  Alcotest.(check bool) "b still there" true (Mneme.Federation.get_opt fed gb <> None);
+  Alcotest.(check (option int)) "name unregistered" None (Mneme.Federation.handle_of_name fed "a");
+  Alcotest.(check bool) "globalize into unmounted" true
+    (match Mneme.Federation.globalize fed ~handle:ha (List.nth oids_a 0) with
+    | _ -> false
+    | exception Not_found -> true);
+  Alcotest.(check bool) "double unmount" true
+    (match Mneme.Federation.unmount fed ha with () -> false | exception Not_found -> true)
+
+let test_validation () =
+  Alcotest.(check bool) "zero capacity" true
+    (match Mneme.Federation.create ~capacity:0 () with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "mount and resolve" `Quick test_mount_and_resolve;
+    Alcotest.test_case "globalize and get" `Quick test_globalize_and_get;
+    Alcotest.test_case "locate" `Quick test_locate;
+    Alcotest.test_case "release recycles" `Quick test_release_recycles;
+    Alcotest.test_case "capacity bound" `Quick test_capacity_bound;
+    Alcotest.test_case "unmount releases" `Quick test_unmount_releases;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

@@ -1,0 +1,156 @@
+(* Index construction: statistics, record contents, ordering rules. *)
+
+let docs = [ (0, "the cat sat on the mat"); (1, "the cat ate"); (2, "dogs chase cats") ]
+
+let build ?stopwords ?stem () =
+  let ix = Inquery.Indexer.create ?stopwords ?stem () in
+  List.iter (fun (id, text) -> Inquery.Indexer.add_document ix ~doc_id:id text) docs;
+  ix
+
+let record_for ix term =
+  let dict = Inquery.Indexer.dictionary ix in
+  match Inquery.Dictionary.find dict term with
+  | None -> None
+  | Some e ->
+    Seq.find_map
+      (fun (id, r) -> if id = e.Inquery.Dictionary.id then Some r else None)
+      (Inquery.Indexer.to_records ix)
+
+let test_document_stats () =
+  let ix = build () in
+  Alcotest.(check int) "docs" 3 (Inquery.Indexer.document_count ix);
+  Alcotest.(check int) "terms" 9 (Inquery.Indexer.term_count ix);
+  Alcotest.(check int) "doc 0 length" 6 (Inquery.Indexer.doc_length ix 0);
+  Alcotest.(check int) "doc 2 length" 3 (Inquery.Indexer.doc_length ix 2);
+  Alcotest.(check int) "unknown doc" 0 (Inquery.Indexer.doc_length ix 99);
+  Alcotest.(check (float 1e-9)) "avg" 4.0 (Inquery.Indexer.avg_doc_length ix)
+
+let test_term_statistics () =
+  let ix = build () in
+  let dict = Inquery.Indexer.dictionary ix in
+  (match Inquery.Dictionary.find dict "the" with
+  | Some e ->
+    Alcotest.(check int) "the df" 2 e.Inquery.Dictionary.df;
+    Alcotest.(check int) "the cf" 3 e.Inquery.Dictionary.cf
+  | None -> Alcotest.fail "the missing");
+  match Inquery.Dictionary.find dict "cat" with
+  | Some e -> Alcotest.(check int) "cat df" 2 e.Inquery.Dictionary.df
+  | None -> Alcotest.fail "cat missing"
+
+let test_record_contents () =
+  let ix = build () in
+  match record_for ix "the" with
+  | None -> Alcotest.fail "record missing"
+  | Some r ->
+    let decoded = Inquery.Postings.decode r in
+    Alcotest.(check (list (pair int (list int))))
+      "docs and positions"
+      [ (0, [ 0; 4 ]); (1, [ 0 ]) ]
+      (List.map (fun dp -> (dp.Inquery.Postings.doc, dp.Inquery.Postings.positions)) decoded)
+
+let test_counts () =
+  let ix = build () in
+  Alcotest.(check int) "postings" 11 (Inquery.Indexer.posting_count ix);
+  Alcotest.(check int) "occurrences" 12 (Inquery.Indexer.occurrence_count ix);
+  Alcotest.(check bool) "collection bytes" true (Inquery.Indexer.collection_bytes ix > 0)
+
+let test_records_sorted_and_complete () =
+  let ix = build () in
+  let ids = Seq.map fst (Inquery.Indexer.to_records ix) |> List.of_seq in
+  Alcotest.(check (list int)) "ascending dense" (List.init 9 Fun.id) ids;
+  Alcotest.(check bool) "total positive" true (Inquery.Indexer.record_bytes_total ix > 0)
+
+let test_ids_must_increase () =
+  let ix = Inquery.Indexer.create () in
+  Inquery.Indexer.add_document ix ~doc_id:5 "a b";
+  Alcotest.(check bool) "equal id rejected" true
+    (match Inquery.Indexer.add_document ix ~doc_id:5 "c" with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "smaller id rejected" true
+    (match Inquery.Indexer.add_document ix ~doc_id:4 "c" with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  Inquery.Indexer.add_document ix ~doc_id:6 "c"
+
+let test_sparse_doc_ids () =
+  let ix = Inquery.Indexer.create () in
+  Inquery.Indexer.add_document ix ~doc_id:0 "x";
+  Inquery.Indexer.add_document ix ~doc_id:100 "x";
+  Alcotest.(check int) "two docs" 2 (Inquery.Indexer.document_count ix);
+  match record_for ix "x" with
+  | Some r ->
+    let docs = List.map (fun dp -> dp.Inquery.Postings.doc) (Inquery.Postings.decode r) in
+    Alcotest.(check (list int)) "gap encoded" [ 0; 100 ] docs
+  | None -> Alcotest.fail "record missing"
+
+let test_stopword_filtering () =
+  let ix =
+    let i = Inquery.Indexer.create ~stopwords:Inquery.Stopwords.default () in
+    Inquery.Indexer.add_document i ~doc_id:0 "the cat and the dog";
+    i
+  in
+  let dict = Inquery.Indexer.dictionary ix in
+  Alcotest.(check bool) "the dropped" true (Inquery.Dictionary.find dict "the" = None);
+  Alcotest.(check bool) "cat kept" true (Inquery.Dictionary.find dict "cat" <> None);
+  (* Positions remain those of the unfiltered token stream. *)
+  match record_for ix "dog" with
+  | Some r ->
+    let dp = List.hd (Inquery.Postings.decode r) in
+    Alcotest.(check (list int)) "original position" [ 4 ] dp.Inquery.Postings.positions
+  | None -> Alcotest.fail "dog missing"
+
+let test_stemming () =
+  let ix =
+    let i = Inquery.Indexer.create ~stem:true () in
+    Inquery.Indexer.add_document i ~doc_id:0 "indexing indexed indexes";
+    i
+  in
+  let dict = Inquery.Indexer.dictionary ix in
+  match Inquery.Dictionary.find dict "index" with
+  | Some e -> Alcotest.(check int) "conflated cf" 3 e.Inquery.Dictionary.cf
+  | None -> Alcotest.fail "stem missing"
+
+let test_add_document_terms () =
+  let ix = Inquery.Indexer.create () in
+  Inquery.Indexer.add_document_terms ix ~doc_id:0 ~bytes:1000 [| "a"; "b"; "a" |];
+  Alcotest.(check int) "collection bytes honored" 1000 (Inquery.Indexer.collection_bytes ix);
+  Alcotest.(check int) "doc length" 3 (Inquery.Indexer.doc_length ix 0);
+  match record_for ix "a" with
+  | Some r ->
+    let dp = List.hd (Inquery.Postings.decode r) in
+    Alcotest.(check (list int)) "positions" [ 0; 2 ] dp.Inquery.Postings.positions
+  | None -> Alcotest.fail "a missing"
+
+let test_empty_document () =
+  let ix = Inquery.Indexer.create () in
+  Inquery.Indexer.add_document ix ~doc_id:0 "";
+  Alcotest.(check int) "counted" 1 (Inquery.Indexer.document_count ix);
+  Alcotest.(check int) "no terms" 0 (Inquery.Indexer.term_count ix)
+
+let test_records_parse_as_postings () =
+  let ix = build () in
+  Seq.iter
+    (fun (_, r) ->
+      let df, cf = Inquery.Postings.stats r in
+      let decoded = Inquery.Postings.decode r in
+      Alcotest.(check int) "df matches" df (List.length decoded);
+      Alcotest.(check int) "cf matches" cf
+        (List.fold_left (fun a dp -> a + List.length dp.Inquery.Postings.positions) 0 decoded))
+    (Inquery.Indexer.to_records ix)
+
+let suite =
+  [
+    Alcotest.test_case "document stats" `Quick test_document_stats;
+    Alcotest.test_case "term statistics" `Quick test_term_statistics;
+    Alcotest.test_case "record contents" `Quick test_record_contents;
+    Alcotest.test_case "counts" `Quick test_counts;
+    Alcotest.test_case "records sorted" `Quick test_records_sorted_and_complete;
+    Alcotest.test_case "ids must increase" `Quick test_ids_must_increase;
+    Alcotest.test_case "sparse doc ids" `Quick test_sparse_doc_ids;
+    Alcotest.test_case "stopword filtering" `Quick test_stopword_filtering;
+    Alcotest.test_case "stemming" `Quick test_stemming;
+    Alcotest.test_case "add_document_terms" `Quick test_add_document_terms;
+    Alcotest.test_case "empty document" `Quick test_empty_document;
+    Alcotest.test_case "records parse as postings" `Quick test_records_parse_as_postings;
+  ]

@@ -1,0 +1,164 @@
+(* Inference network evaluation over a small in-memory index. *)
+
+let corpus =
+  [
+    (0, "apple banana cherry apple");
+    (1, "banana cherry");
+    (2, "cherry date elderberry fig grape");
+    (3, "apple apple apple banana");
+    (4, "information retrieval system");
+    (5, "retrieval of information");
+  ]
+
+let make () =
+  let ix = Inquery.Indexer.create () in
+  List.iter (fun (id, text) -> Inquery.Indexer.add_document ix ~doc_id:id text) corpus;
+  let records = Hashtbl.create 16 in
+  Seq.iter (fun (id, r) -> Hashtbl.replace records id r) (Inquery.Indexer.to_records ix);
+  let dict = Inquery.Indexer.dictionary ix in
+  let source =
+    {
+      Inquery.Infnet.fetch =
+        (fun entry -> Hashtbl.find_opt records entry.Inquery.Dictionary.id);
+      n_docs = Inquery.Indexer.document_count ix;
+      max_doc_id = 5;
+      avg_doc_len = Inquery.Indexer.avg_doc_length ix;
+      doc_len = Inquery.Indexer.doc_length ix;
+    }
+  in
+  (source, dict)
+
+let eval ?stopwords ?stem s =
+  let source, dict = make () in
+  Inquery.Infnet.eval source dict ?stopwords ?stem (Inquery.Query.parse_exn s)
+
+let test_default_belief () =
+  Alcotest.(check (float 1e-9)) "0.4" 0.4 Inquery.Infnet.default_belief
+
+let test_beliefs_bounded () =
+  let beliefs, _ = eval "#sum( apple banana #not( cherry ) )" in
+  Array.iter
+    (fun b -> Alcotest.(check bool) "in [0,1]" true (b >= 0.0 && b <= 1.0))
+    beliefs
+
+let test_term_scoring () =
+  let beliefs, _ = eval "apple" in
+  (* Docs without the term sit at the default belief. *)
+  Alcotest.(check (float 1e-9)) "absent doc" 0.4 beliefs.(2);
+  Alcotest.(check bool) "present above default" true (beliefs.(0) > 0.4);
+  (* Doc 3 has tf 3 of 4 tokens; doc 0 has tf 2 of 4: 3 wins. *)
+  Alcotest.(check bool) "higher tf wins" true (beliefs.(3) > beliefs.(0))
+
+let test_oov_term () =
+  let beliefs, stats = eval "zzzznothere" in
+  Array.iter (fun b -> Alcotest.(check (float 1e-9)) "all default" 0.4 b) beliefs;
+  Alcotest.(check int) "no lookup for oov" 0 stats.Inquery.Infnet.record_lookups
+
+let test_stats_counts () =
+  let _, stats = eval "#sum( apple banana )" in
+  Alcotest.(check int) "two lookups" 2 stats.Inquery.Infnet.record_lookups;
+  (* apple: docs 0,3; banana: docs 0,1,3 -> 5 postings *)
+  Alcotest.(check int) "postings" 5 stats.Inquery.Infnet.postings_scored;
+  Alcotest.(check int) "nodes" 3 stats.Inquery.Infnet.nodes_visited
+
+let test_and_vs_or () =
+  let b_and, _ = eval "#and( apple banana )" in
+  let b_or, _ = eval "#or( apple banana )" in
+  (* OR dominates AND pointwise. *)
+  Array.iteri
+    (fun d a -> Alcotest.(check bool) (Printf.sprintf "doc %d" d) true (b_or.(d) >= a))
+    b_and;
+  (* Doc 2 has neither: AND default-combines to 0.16, OR to 0.64. *)
+  Alcotest.(check (float 1e-6)) "and of defaults" (0.4 *. 0.4) b_and.(2);
+  Alcotest.(check (float 1e-6)) "or of defaults" (1.0 -. (0.6 *. 0.6)) b_or.(2)
+
+let test_not () =
+  let b, _ = eval "#not( apple )" in
+  let b_apple, _ = eval "apple" in
+  Array.iteri
+    (fun d v -> Alcotest.(check (float 1e-9)) "complement" (1.0 -. b_apple.(d)) v)
+    b
+
+let test_sum_is_mean () =
+  let b, _ = eval "#sum( apple banana )" in
+  let ba, _ = eval "apple" in
+  let bb, _ = eval "banana" in
+  Array.iteri
+    (fun d v -> Alcotest.(check (float 1e-9)) "mean" ((ba.(d) +. bb.(d)) /. 2.0) v)
+    b
+
+let test_wsum_weighting () =
+  let b21, _ = eval "#wsum( 2 apple 1 banana )" in
+  let ba, _ = eval "apple" in
+  let bb, _ = eval "banana" in
+  Array.iteri
+    (fun d v ->
+      Alcotest.(check (float 1e-9)) "weighted mean" (((2.0 *. ba.(d)) +. bb.(d)) /. 3.0) v)
+    b21
+
+let test_max () =
+  let b, _ = eval "#max( apple banana )" in
+  let ba, _ = eval "apple" in
+  let bb, _ = eval "banana" in
+  Array.iteri (fun d v -> Alcotest.(check (float 1e-9)) "max" (Float.max ba.(d) bb.(d)) v) b
+
+let test_phrase_adjacency () =
+  let b, _ = eval "#phrase( information retrieval )" in
+  (* "information retrieval system" contains the phrase; "retrieval of
+     information" does not. *)
+  Alcotest.(check bool) "doc 4 matches" true (b.(4) > 0.4);
+  Alcotest.(check (float 1e-9)) "doc 5 no adjacency" 0.4 b.(5)
+
+let test_phrase_with_oov_member () =
+  let b, _ = eval "#phrase( information zzzz )" in
+  Array.iter (fun v -> Alcotest.(check (float 1e-9)) "no match" 0.4 v) b
+
+let test_idf_discrimination () =
+  (* "date" appears in 1 doc, "cherry" in 3: for comparable tf the rarer
+     term scores its document higher. *)
+  let bd, _ = eval "date" in
+  let bc, _ = eval "cherry" in
+  Alcotest.(check bool) "rare term stronger" true (bd.(2) > bc.(1))
+
+let test_stopword_query_term () =
+  let b, stats = eval ~stopwords:Inquery.Stopwords.default "#sum( of retrieval )" in
+  (* "of" is stopped: contributes default everywhere, no lookup. *)
+  Alcotest.(check int) "one lookup" 1 stats.Inquery.Infnet.record_lookups;
+  Alcotest.(check bool) "retrieval still scores" true (b.(5) > 0.4)
+
+let test_stemmed_query () =
+  (* Index is unstemmed here, so "apples" only matches via stemming off;
+     this exercises the stem path finding nothing. *)
+  let _, stats = eval ~stem:true "apples" in
+  (* stem("apples") = "appl", not in the unstemmed index *)
+  Alcotest.(check int) "no lookup" 0 stats.Inquery.Infnet.record_lookups
+
+let test_belief_formula () =
+  let source, dict = make () in
+  ignore source;
+  ignore dict;
+  (* idf of a term in all docs is 0 -> belief stays at default. *)
+  let all_docs_idf =
+    log ((6.0 +. 0.5) /. 6.0) /. log 7.0
+  in
+  Alcotest.(check bool) "near zero" true (all_docs_idf < 0.05)
+
+let suite =
+  [
+    Alcotest.test_case "default belief" `Quick test_default_belief;
+    Alcotest.test_case "beliefs bounded" `Quick test_beliefs_bounded;
+    Alcotest.test_case "term scoring" `Quick test_term_scoring;
+    Alcotest.test_case "oov term" `Quick test_oov_term;
+    Alcotest.test_case "stats counts" `Quick test_stats_counts;
+    Alcotest.test_case "and vs or" `Quick test_and_vs_or;
+    Alcotest.test_case "not" `Quick test_not;
+    Alcotest.test_case "sum is mean" `Quick test_sum_is_mean;
+    Alcotest.test_case "wsum weighting" `Quick test_wsum_weighting;
+    Alcotest.test_case "max" `Quick test_max;
+    Alcotest.test_case "phrase adjacency" `Quick test_phrase_adjacency;
+    Alcotest.test_case "phrase with oov member" `Quick test_phrase_with_oov_member;
+    Alcotest.test_case "idf discrimination" `Quick test_idf_discrimination;
+    Alcotest.test_case "stopword query term" `Quick test_stopword_query_term;
+    Alcotest.test_case "stemmed query" `Quick test_stemmed_query;
+    Alcotest.test_case "belief formula" `Quick test_belief_formula;
+  ]

@@ -1,0 +1,60 @@
+(* Tokenization: case folding, punctuation, positions. *)
+
+let terms text = Inquery.Lexer.terms text
+
+let test_basic () =
+  Alcotest.(check (list string)) "terms" [ "hello"; "world" ] (terms "Hello, World!")
+
+let test_case_folding () =
+  Alcotest.(check (list string)) "lowercased" [ "mixedcase"; "upper" ] (terms "MixedCase UPPER")
+
+let test_digits () =
+  Alcotest.(check (list string)) "alphanumeric" [ "ab12"; "34"; "x" ] (terms "ab12 34-x")
+
+let test_punctuation_splits () =
+  Alcotest.(check (list string)) "split" [ "a"; "b"; "c"; "d" ] (terms "a.b,c;d")
+
+let test_empty_and_blank () =
+  Alcotest.(check (list string)) "empty" [] (terms "");
+  Alcotest.(check (list string)) "blank" [] (terms "  \t\n  !!! ")
+
+let test_positions () =
+  let toks = Inquery.Lexer.tokens "one two  three" in
+  Alcotest.(check (list (pair string int)))
+    "positions by token index"
+    [ ("one", 0); ("two", 1); ("three", 2) ]
+    (List.map (fun t -> (t.Inquery.Lexer.term, t.Inquery.Lexer.position)) toks)
+
+let test_positions_skip_punctuation () =
+  let toks = Inquery.Lexer.tokens "--one-- ... two" in
+  Alcotest.(check (list (pair string int)))
+    "dense positions"
+    [ ("one", 0); ("two", 1) ]
+    (List.map (fun t -> (t.Inquery.Lexer.term, t.Inquery.Lexer.position)) toks)
+
+let test_fold_tokens () =
+  let count = Inquery.Lexer.fold_tokens "a b c" ~init:0 ~f:(fun n _ _ -> n + 1) in
+  Alcotest.(check int) "count" 3 count;
+  let last_pos = Inquery.Lexer.fold_tokens "a b c" ~init:(-1) ~f:(fun _ _ p -> p) in
+  Alcotest.(check int) "last position" 2 last_pos
+
+let test_token_at_end_of_string () =
+  Alcotest.(check (list string)) "no trailing separator" [ "end" ] (terms "end")
+
+let test_long_text () =
+  let text = String.concat " " (List.init 1000 (fun i -> Printf.sprintf "w%d" i)) in
+  Alcotest.(check int) "all tokens" 1000 (List.length (terms text))
+
+let suite =
+  [
+    Alcotest.test_case "basic" `Quick test_basic;
+    Alcotest.test_case "case folding" `Quick test_case_folding;
+    Alcotest.test_case "digits" `Quick test_digits;
+    Alcotest.test_case "punctuation splits" `Quick test_punctuation_splits;
+    Alcotest.test_case "empty and blank" `Quick test_empty_and_blank;
+    Alcotest.test_case "positions" `Quick test_positions;
+    Alcotest.test_case "positions skip punctuation" `Quick test_positions_skip_punctuation;
+    Alcotest.test_case "fold_tokens" `Quick test_fold_tokens;
+    Alcotest.test_case "token at end" `Quick test_token_at_end_of_string;
+    Alcotest.test_case "long text" `Quick test_long_text;
+  ]

@@ -1,0 +1,240 @@
+(* Dynamic index maintenance over both backends. *)
+
+let both_backends f =
+  let vfs = Vfs.create () in
+  f (Core.Live_index.create_btree vfs ~file:"live.btree" ());
+  let vfs = Vfs.create () in
+  f (Core.Live_index.create_mneme vfs ~file:"live.mneme" ())
+
+let docs_of_results rs = List.map (fun r -> r.Inquery.Ranking.doc) rs
+
+let test_add_and_search () =
+  both_backends (fun live ->
+      let d0 = Core.Live_index.add_document live "persistent object store" in
+      let d1 = Core.Live_index.add_document live "inverted file index" in
+      let d2 = Core.Live_index.add_document live "object oriented database index" in
+      Alcotest.(check (list int)) "ids sequential" [ 0; 1; 2 ] [ d0; d1; d2 ];
+      Alcotest.(check int) "count" 3 (Core.Live_index.document_count live);
+      let hits = docs_of_results (Core.Live_index.search live "object") in
+      Alcotest.(check bool) "d0 found" true (List.mem d0 hits);
+      Alcotest.(check bool) "d2 found" true (List.mem d2 hits);
+      Alcotest.(check bool) "d1 not found" false (List.mem d1 hits))
+
+let test_incremental_visibility () =
+  both_backends (fun live ->
+      ignore (Core.Live_index.add_document live "alpha beta");
+      Alcotest.(check int) "not yet visible" 0
+        (List.length (Core.Live_index.search live "gamma"));
+      let d = Core.Live_index.add_document live "gamma delta" in
+      Alcotest.(check (list int)) "immediately searchable" [ d ]
+        (docs_of_results (Core.Live_index.search live "gamma")))
+
+let test_record_growth_across_documents () =
+  both_backends (fun live ->
+      for _ = 1 to 30 do
+        ignore (Core.Live_index.add_document live "grow grow grow common")
+      done;
+      match Core.Live_index.term_record live "grow" with
+      | None -> Alcotest.fail "record missing"
+      | Some record ->
+        let df, cf = Inquery.Postings.stats record in
+        Alcotest.(check int) "df" 30 df;
+        Alcotest.(check int) "cf" 90 cf)
+
+let test_delete_document () =
+  both_backends (fun live ->
+      let d0 = Core.Live_index.add_document live "shared unique0" in
+      let d1 = Core.Live_index.add_document live "shared unique1" in
+      Alcotest.(check bool) "deleted" true (Core.Live_index.delete_document live d0);
+      Alcotest.(check bool) "again false" false (Core.Live_index.delete_document live d0);
+      Alcotest.(check int) "count" 1 (Core.Live_index.document_count live);
+      Alcotest.(check bool) "gone from index" false
+        (List.mem d0 (docs_of_results (Core.Live_index.search live "shared")));
+      Alcotest.(check bool) "survivor intact" true
+        (List.mem d1 (docs_of_results (Core.Live_index.search live "shared")));
+      (* unique0's record disappeared entirely *)
+      Alcotest.(check bool) "singleton record dropped" true
+        (Core.Live_index.term_record live "unique0" = None);
+      match Core.Live_index.term_record live "shared" with
+      | Some record -> Alcotest.(check int) "df adjusted" 1 (fst (Inquery.Postings.stats record))
+      | None -> Alcotest.fail "shared record lost")
+
+let test_delete_then_add () =
+  both_backends (fun live ->
+      let d0 = Core.Live_index.add_document live "cycle word" in
+      ignore (Core.Live_index.delete_document live d0);
+      let d1 = Core.Live_index.add_document live "cycle word again" in
+      Alcotest.(check bool) "new id" true (d1 > d0);
+      Alcotest.(check (list int)) "only new doc" [ d1 ]
+        (docs_of_results (Core.Live_index.search live "cycle")))
+
+let test_explicit_doc_ids () =
+  both_backends (fun live ->
+      let d = Core.Live_index.add_document live ~doc_id:100 "explicit" in
+      Alcotest.(check int) "honored" 100 d;
+      Alcotest.(check bool) "monotone enforced" true
+        (match Core.Live_index.add_document live ~doc_id:50 "late" with
+        | _ -> false
+        | exception Invalid_argument _ -> true);
+      let d' = Core.Live_index.add_document live "implicit" in
+      Alcotest.(check int) "continues past" 101 d')
+
+let test_pool_migration_small_to_medium () =
+  (* A term appearing once has a tiny record in the small pool; more
+     occurrences push it over 12 bytes and it must migrate. *)
+  let vfs = Vfs.create () in
+  let live = Core.Live_index.create_mneme vfs ~file:"mig.mneme" () in
+  ignore (Core.Live_index.add_document live "rare");
+  (match Core.Live_index.term_record live "rare" with
+  | Some r -> Alcotest.(check bool) "starts small" true (Bytes.length r <= 12)
+  | None -> Alcotest.fail "missing");
+  for _ = 1 to 20 do
+    ignore (Core.Live_index.add_document live "rare rare rare")
+  done;
+  match Core.Live_index.term_record live "rare" with
+  | Some r ->
+    Alcotest.(check bool) "grew beyond small" true (Bytes.length r > 12);
+    let df, _ = Inquery.Postings.stats r in
+    Alcotest.(check int) "df correct after migration" 21 df
+  | None -> Alcotest.fail "lost in migration"
+
+let test_space_accounting () =
+  let vfs = Vfs.create () in
+  let live = Core.Live_index.create_mneme vfs ~file:"sp.mneme" () in
+  for _ = 1 to 20 do
+    ignore (Core.Live_index.add_document live "waste waste filler words here")
+  done;
+  (* Flush so the records live in on-disk segments; subsequent growth
+     must then relocate objects, stranding their old extents — the
+     paper's space-management problem. *)
+  Core.Live_index.flush live;
+  for _ = 1 to 20 do
+    ignore (Core.Live_index.add_document live "waste waste filler words here")
+  done;
+  let s = Core.Live_index.space live in
+  Alcotest.(check bool) "file grew" true (s.Core.Live_index.file_bytes > 0);
+  Alcotest.(check bool) "stranded bytes observed" true (s.Core.Live_index.reclaimable_bytes > 0)
+
+let test_stopwords_and_stemming () =
+  let vfs = Vfs.create () in
+  let live =
+    Core.Live_index.create_btree ~stopwords:Inquery.Stopwords.default ~stem:true vfs
+      ~file:"st.btree" ()
+  in
+  let d = Core.Live_index.add_document live "the running of the indexes" in
+  Alcotest.(check bool) "stopword not indexed" true
+    (Core.Live_index.term_record live "the" = None);
+  Alcotest.(check (list int)) "stemmed query matches" [ d ]
+    (docs_of_results (Core.Live_index.search live "index"));
+  Alcotest.(check (list int)) "morphological variant matches" [ d ]
+    (docs_of_results (Core.Live_index.search live "runs"))
+
+let test_wrap_prepared_collection () =
+  (* Adopt an index built by the batch pipeline and keep editing it. *)
+  let model =
+    Collections.Docmodel.make ~name:"wrap" ~n_docs:150 ~core_vocab:400 ~mean_doc_len:30.0
+      ~seed:3 ()
+  in
+  let prepared = Core.Experiment.prepare model in
+  let doc_lengths =
+    List.init model.Collections.Docmodel.n_docs (fun d ->
+        (d, Inquery.Indexer.doc_length prepared.Core.Experiment.indexer d))
+  in
+  let store = Mneme.Store.open_existing prepared.Core.Experiment.vfs "wrap.mneme" in
+  List.iter
+    (fun name ->
+      Mneme.Store.attach_buffer (Mneme.Store.pool store name)
+        (Mneme.Buffer_pool.create ~name ~capacity:200_000 ()))
+    [ "small"; "medium"; "large" ];
+  let live =
+    Core.Live_index.wrap_mneme prepared.Core.Experiment.vfs ~store
+      ~dict:prepared.Core.Experiment.dict ~doc_lengths
+  in
+  Alcotest.(check int) "adopted count" 150 (Core.Live_index.document_count live);
+  let d = Core.Live_index.add_document live "freshdocumentword ba" in
+  Alcotest.(check (list int)) "new doc searchable" [ d ]
+    (docs_of_results (Core.Live_index.search live "freshdocumentword"));
+  (* An old frequent term gained the new document. *)
+  match Core.Live_index.term_record live "ba" with
+  | Some record ->
+    let found = ref false in
+    Inquery.Postings.fold_docs record ~init:() ~f:(fun () ~doc ~tf:_ ->
+        if doc = d then found := true);
+    Alcotest.(check bool) "merged into existing record" true !found
+  | None -> Alcotest.fail "ba record missing"
+
+let test_flush_and_reopen_mneme () =
+  let vfs = Vfs.create () in
+  let live = Core.Live_index.create_mneme vfs ~file:"fl.mneme" () in
+  ignore (Core.Live_index.add_document live "durable words");
+  Core.Live_index.flush live;
+  let store = Mneme.Store.open_existing vfs "fl.mneme" in
+  Alcotest.(check bool) "objects persisted" true (Mneme.Store.object_count store > 0)
+
+let test_backend_names () =
+  both_backends (fun live ->
+      Alcotest.(check bool) "name" true
+        (List.mem (Core.Live_index.backend_name live) [ "btree"; "mneme" ]))
+
+let test_avg_length_tracking () =
+  both_backends (fun live ->
+      ignore (Core.Live_index.add_document live "two words");
+      ignore (Core.Live_index.add_document live "four words in here");
+      Alcotest.(check (float 1e-9)) "avg" 3.0 (Core.Live_index.avg_doc_length live);
+      ignore (Core.Live_index.delete_document live 0);
+      Alcotest.(check (float 1e-9)) "after delete" 4.0 (Core.Live_index.avg_doc_length live))
+
+let test_compact_live_index () =
+  let vfs = Vfs.create () in
+  let live = Core.Live_index.create_mneme vfs ~file:"cmp.mneme" () in
+  for i = 0 to 29 do
+    ignore (Core.Live_index.add_document live (Printf.sprintf "alpha beta doc%d words" i))
+  done;
+  Core.Live_index.flush live;
+  for i = 30 to 59 do
+    ignore (Core.Live_index.add_document live (Printf.sprintf "alpha beta doc%d words" i))
+  done;
+  for d = 0 to 9 do
+    ignore (Core.Live_index.delete_document live d)
+  done;
+  Core.Live_index.flush live;
+  let before = Core.Live_index.space live in
+  Alcotest.(check bool) "stranded before" true (before.Core.Live_index.reclaimable_bytes > 0);
+  Core.Live_index.compact live ~file:"cmp2.mneme";
+  let after = Core.Live_index.space live in
+  Alcotest.(check int) "reclaimed" 0 after.Core.Live_index.reclaimable_bytes;
+  Alcotest.(check bool) "smaller file" true
+    (after.Core.Live_index.file_bytes < before.Core.Live_index.file_bytes);
+  (* The index keeps working, including further updates. *)
+  let hits = docs_of_results (Core.Live_index.search ~top_k:100 live "alpha") in
+  Alcotest.(check int) "surviving docs found" 50 (List.length hits);
+  let d = Core.Live_index.add_document live "alpha fresh addition" in
+  Alcotest.(check bool) "new doc searchable" true
+    (List.mem d (docs_of_results (Core.Live_index.search ~top_k:200 live "fresh")))
+
+let test_compact_btree_rejected () =
+  let vfs = Vfs.create () in
+  let live = Core.Live_index.create_btree vfs ~file:"cb.btree" () in
+  Alcotest.(check bool) "rejected" true
+    (match Core.Live_index.compact live ~file:"out" with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "add and search" `Quick test_add_and_search;
+    Alcotest.test_case "incremental visibility" `Quick test_incremental_visibility;
+    Alcotest.test_case "record growth" `Quick test_record_growth_across_documents;
+    Alcotest.test_case "delete document" `Quick test_delete_document;
+    Alcotest.test_case "delete then add" `Quick test_delete_then_add;
+    Alcotest.test_case "explicit doc ids" `Quick test_explicit_doc_ids;
+    Alcotest.test_case "pool migration" `Quick test_pool_migration_small_to_medium;
+    Alcotest.test_case "space accounting" `Quick test_space_accounting;
+    Alcotest.test_case "stopwords and stemming" `Quick test_stopwords_and_stemming;
+    Alcotest.test_case "wrap prepared collection" `Quick test_wrap_prepared_collection;
+    Alcotest.test_case "flush and reopen" `Quick test_flush_and_reopen_mneme;
+    Alcotest.test_case "backend names" `Quick test_backend_names;
+    Alcotest.test_case "avg length tracking" `Quick test_avg_length_tracking;
+    Alcotest.test_case "compact live index" `Quick test_compact_live_index;
+    Alcotest.test_case "compact btree rejected" `Quick test_compact_btree_rejected;
+  ]

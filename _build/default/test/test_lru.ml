@@ -1,0 +1,111 @@
+(* Generic LRU: eviction order, promotion, and a random model check. *)
+
+let test_basic_add_find () =
+  let lru = Util.Lru.create ~capacity:3 in
+  Alcotest.(check (option string)) "missing" None (Util.Lru.find lru 1);
+  ignore (Util.Lru.add lru 1 "a");
+  Alcotest.(check (option string)) "present" (Some "a") (Util.Lru.find lru 1);
+  Alcotest.(check int) "length" 1 (Util.Lru.length lru)
+
+let test_eviction_order () =
+  let lru = Util.Lru.create ~capacity:2 in
+  Alcotest.(check (option (pair int string))) "no evict 1" None (Util.Lru.add lru 1 "a");
+  Alcotest.(check (option (pair int string))) "no evict 2" None (Util.Lru.add lru 2 "b");
+  Alcotest.(check (option (pair int string))) "evicts oldest" (Some (1, "a")) (Util.Lru.add lru 3 "c")
+
+let test_find_promotes () =
+  let lru = Util.Lru.create ~capacity:2 in
+  ignore (Util.Lru.add lru 1 "a");
+  ignore (Util.Lru.add lru 2 "b");
+  ignore (Util.Lru.find lru 1);
+  (* 2 is now least recently used *)
+  Alcotest.(check (option (pair int string))) "evicts 2" (Some (2, "b")) (Util.Lru.add lru 3 "c");
+  Alcotest.(check bool) "1 survives" true (Util.Lru.mem lru 1)
+
+let test_mem_does_not_promote () =
+  let lru = Util.Lru.create ~capacity:2 in
+  ignore (Util.Lru.add lru 1 "a");
+  ignore (Util.Lru.add lru 2 "b");
+  ignore (Util.Lru.mem lru 1);
+  Alcotest.(check (option (pair int string))) "1 still evicts" (Some (1, "a"))
+    (Util.Lru.add lru 3 "c")
+
+let test_replace_updates_value () =
+  let lru = Util.Lru.create ~capacity:2 in
+  ignore (Util.Lru.add lru 1 "a");
+  ignore (Util.Lru.add lru 1 "a2");
+  Alcotest.(check (option string)) "replaced" (Some "a2") (Util.Lru.find lru 1);
+  Alcotest.(check int) "no duplicate" 1 (Util.Lru.length lru)
+
+let test_remove_and_clear () =
+  let lru = Util.Lru.create ~capacity:3 in
+  ignore (Util.Lru.add lru 1 "a");
+  ignore (Util.Lru.add lru 2 "b");
+  Util.Lru.remove lru 1;
+  Alcotest.(check bool) "removed" false (Util.Lru.mem lru 1);
+  Util.Lru.remove lru 99 (* no-op *);
+  Util.Lru.clear lru;
+  Alcotest.(check int) "cleared" 0 (Util.Lru.length lru)
+
+let test_iter_order () =
+  let lru = Util.Lru.create ~capacity:3 in
+  ignore (Util.Lru.add lru 1 "a");
+  ignore (Util.Lru.add lru 2 "b");
+  ignore (Util.Lru.add lru 3 "c");
+  ignore (Util.Lru.find lru 1);
+  let order = ref [] in
+  Util.Lru.iter lru (fun k _ -> order := k :: !order);
+  Alcotest.(check (list int)) "MRU to LRU" [ 1; 3; 2 ] (List.rev !order)
+
+let test_capacity_validation () =
+  Alcotest.check_raises "zero" (Invalid_argument "Lru.create: capacity must be positive")
+    (fun () -> ignore (Util.Lru.create ~capacity:0 : (int, int) Util.Lru.t))
+
+(* Random operations against a naive reference model. *)
+let prop_against_model =
+  QCheck.Test.make ~name:"lru matches reference model" ~count:100
+    QCheck.(list (pair (int_range 0 2) (int_range 0 9)))
+    (fun ops ->
+      let capacity = 4 in
+      let lru = Util.Lru.create ~capacity in
+      (* model: association list in MRU-first order *)
+      let model = ref [] in
+      let model_add k v =
+        model := (k, v) :: List.remove_assoc k !model;
+        if List.length !model > capacity then
+          model := List.filteri (fun i _ -> i < capacity) !model
+      in
+      let model_find k =
+        match List.assoc_opt k !model with
+        | None -> None
+        | Some v ->
+          model := (k, v) :: List.remove_assoc k !model;
+          Some v
+      in
+      List.for_all
+        (fun (op, k) ->
+          match op with
+          | 0 ->
+            ignore (Util.Lru.add lru k k);
+            model_add k k;
+            true
+          | 1 -> Util.Lru.find lru k = model_find k
+          | _ ->
+            Util.Lru.remove lru k;
+            model := List.remove_assoc k !model;
+            true)
+        ops
+      && Util.Lru.length lru = List.length !model)
+
+let suite =
+  [
+    Alcotest.test_case "basic add/find" `Quick test_basic_add_find;
+    Alcotest.test_case "eviction order" `Quick test_eviction_order;
+    Alcotest.test_case "find promotes" `Quick test_find_promotes;
+    Alcotest.test_case "mem does not promote" `Quick test_mem_does_not_promote;
+    Alcotest.test_case "replace updates" `Quick test_replace_updates_value;
+    Alcotest.test_case "remove and clear" `Quick test_remove_and_clear;
+    Alcotest.test_case "iter order" `Quick test_iter_order;
+    Alcotest.test_case "capacity validation" `Quick test_capacity_validation;
+    QCheck_alcotest.to_alcotest prop_against_model;
+  ]

@@ -1,0 +1,54 @@
+(* Aggregate test runner: one Alcotest section per module. *)
+
+let () =
+  Alcotest.run "persistent-ir"
+    [
+      ("util.varint", Test_varint.suite);
+      ("util.delta", Test_delta.suite);
+      ("util.rng", Test_rng.suite);
+      ("util.zipf", Test_zipf.suite);
+      ("util.stats", Test_stats.suite);
+      ("util.lru", Test_lru.suite);
+      ("util.bin", Test_bin.suite);
+      ("util.bitio", Test_bitio.suite);
+      ("util.codes", Test_codes.suite);
+      ("util.tables", Test_tables.suite);
+      ("vfs", Test_vfs.suite);
+      ("btree", Test_btree.suite);
+      ("mneme.oid", Test_oid.suite);
+      ("mneme.policy", Test_policy.suite);
+      ("mneme.buffer_pool", Test_buffer_pool.suite);
+      ("mneme.store", Test_store.suite);
+      ("mneme.chain", Test_chain.suite);
+      ("mneme.journal", Test_journal.suite);
+      ("mneme.federation", Test_federation.suite);
+      ("mneme.check", Test_check.suite);
+      ("inquery.lexer", Test_lexer.suite);
+      ("inquery.stopwords", Test_stopwords.suite);
+      ("inquery.stemmer", Test_stemmer.suite);
+      ("inquery.dictionary", Test_dictionary.suite);
+      ("inquery.postings", Test_postings.suite);
+      ("inquery.indexer", Test_indexer.suite);
+      ("inquery.query", Test_query.suite);
+      ("inquery.infnet", Test_infnet.suite);
+      ("inquery.ranking", Test_ranking.suite);
+      ("inquery.eval", Test_eval.suite);
+      ("inquery.daat", Test_daat.suite);
+      ("inquery.proximity", Test_proximity.suite);
+      ("inquery.sigfile", Test_sigfile.suite);
+      ("collections.synth", Test_synth.suite);
+      ("collections.querygen", Test_querygen.suite);
+      ("collections.presets", Test_presets.suite);
+      ("collections.analysis", Test_analysis.suite);
+      ("core.partition", Test_partition.suite);
+      ("core.buffer_sizing", Test_buffer_sizing.suite);
+      ("core.backends", Test_backends.suite);
+      ("core.experiment", Test_experiment.suite);
+      ("core.report", Test_report.suite);
+      ("core.live_index", Test_live_index.suite);
+      ("core.catalog", Test_catalog.suite);
+      ("core.engine", Test_engine.suite);
+      ("core.paper", Test_paper.suite);
+      ("core.ablation", Test_ablation.suite);
+      ("properties", Test_properties.suite);
+    ]

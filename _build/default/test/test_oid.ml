@@ -1,0 +1,50 @@
+(* Object identifiers: structure and global mapping. *)
+
+let test_structure () =
+  Alcotest.(check int) "255 per lseg" 255 Mneme.Oid.slots_per_lseg;
+  let id = Mneme.Oid.make ~lseg:3 ~slot:10 in
+  Alcotest.(check int) "lseg" 3 (Mneme.Oid.lseg id);
+  Alcotest.(check int) "slot" 10 (Mneme.Oid.slot id);
+  Alcotest.(check int) "value" ((3 * 255) + 10) id
+
+let test_roundtrip_boundaries () =
+  List.iter
+    (fun (lseg, slot) ->
+      let id = Mneme.Oid.make ~lseg ~slot in
+      Alcotest.(check int) "lseg rt" lseg (Mneme.Oid.lseg id);
+      Alcotest.(check int) "slot rt" slot (Mneme.Oid.slot id))
+    [ (0, 0); (0, 254); (1, 0); (1000, 123) ]
+
+let test_validation () =
+  Alcotest.(check bool) "slot 255" true
+    (match Mneme.Oid.make ~lseg:0 ~slot:255 with _ -> false | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative lseg" true
+    (match Mneme.Oid.make ~lseg:(-1) ~slot:0 with _ -> false | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "beyond 28 bits" true
+    (match Mneme.Oid.make ~lseg:(1 lsl 28) ~slot:0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_max_id () =
+  Alcotest.(check int) "2^28 - 1" ((1 lsl 28) - 1) Mneme.Oid.max_id
+
+let test_global_ids () =
+  let gid = Mneme.Oid.Global.make ~file_handle:5 1234 in
+  Alcotest.(check int) "file handle" 5 (Mneme.Oid.Global.file_handle gid);
+  Alcotest.(check int) "local" 1234 (Mneme.Oid.Global.local gid);
+  (* Distinct files give distinct globals for the same local id. *)
+  let gid2 = Mneme.Oid.Global.make ~file_handle:6 1234 in
+  Alcotest.(check bool) "distinct" true (gid <> gid2);
+  Alcotest.(check bool) "local out of range" true
+    (match Mneme.Oid.Global.make ~file_handle:0 (1 lsl 28) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "structure" `Quick test_structure;
+    Alcotest.test_case "roundtrip boundaries" `Quick test_roundtrip_boundaries;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "max id" `Quick test_max_id;
+    Alcotest.test_case "global ids" `Quick test_global_ids;
+  ]

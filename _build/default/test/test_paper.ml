@@ -1,0 +1,103 @@
+(* The paper-table generators end to end at smoke scale. *)
+
+let ctx = lazy (Core.Paper.create_ctx ~scale:0.02 ())
+
+let rendered table = Util.Tables.render table
+
+let test_table1_rows () =
+  let out = rendered (Core.Paper.table1 (Lazy.force ctx)) in
+  List.iter
+    (fun name -> Alcotest.(check bool) (name ^ " present") true (Str_find.contains out name))
+    [ "cacm"; "legal"; "tipster1"; "tipster" ]
+
+let test_table2_heuristics_visible () =
+  let out = rendered (Core.Paper.table2 (Lazy.force ctx)) in
+  (* Small buffer is always three 4 KB segments. *)
+  Alcotest.(check bool) "12.0 KB small" true (Str_find.contains out "12.0")
+
+let test_table3_improvement_positive () =
+  let ctx = Lazy.force ctx in
+  ignore (Core.Paper.table3 ctx);
+  List.iter
+    (fun (collection, sets) ->
+      List.iter
+        (fun set ->
+          let bt = Core.Paper.run ctx collection set Core.Experiment.Btree in
+          let mc = Core.Paper.run ctx collection set Core.Experiment.Mneme_cache in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s improvement" collection set)
+            true
+            (mc.Core.Experiment.wall_s <= bt.Core.Experiment.wall_s))
+        sets)
+    (Core.Paper.collections_with_sets ctx)
+
+let test_table5_a_ordering () =
+  let ctx = Lazy.force ctx in
+  ignore (Core.Paper.table5 ctx);
+  List.iter
+    (fun (collection, sets) ->
+      List.iter
+        (fun set ->
+          let a v = Core.Experiment.accesses_per_lookup (Core.Paper.run ctx collection set v) in
+          let bt = a Core.Experiment.Btree in
+          let mn = a Core.Experiment.Mneme_no_cache in
+          let mc = a Core.Experiment.Mneme_cache in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s A ordering (%.2f %.2f %.2f)" collection set bt mn mc)
+            true
+            (bt >= 1.5 && mn < bt && mc <= mn))
+        sets)
+    (Core.Paper.collections_with_sets ctx)
+
+let test_runs_cached () =
+  let ctx = Lazy.force ctx in
+  let r1 = Core.Paper.run ctx "cacm" "1" Core.Experiment.Btree in
+  let r2 = Core.Paper.run ctx "cacm" "1" Core.Experiment.Btree in
+  Alcotest.(check bool) "same run object" true (r1 == r2)
+
+let test_queries_deterministic () =
+  let ctx = Lazy.force ctx in
+  Alcotest.(check bool) "same list" true
+    (Core.Paper.queries ctx "legal" "2" = Core.Paper.queries ctx "legal" "2");
+  Alcotest.(check int) "fifty queries" 50 (List.length (Core.Paper.queries ctx "legal" "2"))
+
+let test_unknown_collection () =
+  let ctx = Lazy.force ctx in
+  Alcotest.(check bool) "raises" true
+    (match Core.Paper.prepared ctx "web" with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad set" true
+    (match Core.Paper.queries ctx "cacm" "9" with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_fig_tables_render () =
+  let ctx = Lazy.force ctx in
+  List.iter
+    (fun table ->
+      Alcotest.(check bool) "non-empty" true (String.length (rendered table) > 40))
+    [ Core.Paper.fig1 ctx; Core.Paper.fig2 ctx; Core.Paper.table6 ctx ]
+
+let test_fig3_custom_sizes () =
+  let ctx = Lazy.force ctx in
+  let out = rendered (Core.Paper.fig3 ~sizes:[ 16384; 65536 ] ctx) in
+  Alcotest.(check bool) "16 KB row" true (Str_find.contains out "16");
+  Alcotest.(check bool) "64 KB row" true (Str_find.contains out "64")
+
+let test_scale_accessor () =
+  Alcotest.(check (float 1e-9)) "scale" 0.02 (Core.Paper.scale (Lazy.force ctx))
+
+let suite =
+  [
+    Alcotest.test_case "table1 rows" `Quick test_table1_rows;
+    Alcotest.test_case "table2 heuristics" `Quick test_table2_heuristics_visible;
+    Alcotest.test_case "table3 improvement" `Quick test_table3_improvement_positive;
+    Alcotest.test_case "table5 A ordering" `Quick test_table5_a_ordering;
+    Alcotest.test_case "runs cached" `Quick test_runs_cached;
+    Alcotest.test_case "queries deterministic" `Quick test_queries_deterministic;
+    Alcotest.test_case "unknown collection" `Quick test_unknown_collection;
+    Alcotest.test_case "fig tables render" `Quick test_fig_tables_render;
+    Alcotest.test_case "fig3 custom sizes" `Quick test_fig3_custom_sizes;
+    Alcotest.test_case "scale accessor" `Quick test_scale_accessor;
+  ]

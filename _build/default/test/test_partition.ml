@@ -1,0 +1,38 @@
+(* Size-class partitioning. *)
+
+let test_default_thresholds () =
+  Alcotest.(check bool) "12 bytes small" true (Core.Partition.classify 12 = Core.Partition.Small);
+  Alcotest.(check bool) "13 bytes medium" true (Core.Partition.classify 13 = Core.Partition.Medium);
+  Alcotest.(check bool) "4096 medium" true (Core.Partition.classify 4096 = Core.Partition.Medium);
+  Alcotest.(check bool) "4097 large" true (Core.Partition.classify 4097 = Core.Partition.Large);
+  Alcotest.(check bool) "0 small" true (Core.Partition.classify 0 = Core.Partition.Small)
+
+let test_custom_thresholds () =
+  let t = { Core.Partition.small_max = 100; large_min = 1000 } in
+  Alcotest.(check bool) "100 small" true
+    (Core.Partition.classify ~thresholds:t 100 = Core.Partition.Small);
+  Alcotest.(check bool) "999 medium" true
+    (Core.Partition.classify ~thresholds:t 999 = Core.Partition.Medium);
+  Alcotest.(check bool) "1000 large" true
+    (Core.Partition.classify ~thresholds:t 1000 = Core.Partition.Large)
+
+let test_class_names () =
+  Alcotest.(check string) "small" "small" (Core.Partition.class_name Core.Partition.Small);
+  Alcotest.(check string) "medium" "medium" (Core.Partition.class_name Core.Partition.Medium);
+  Alcotest.(check string) "large" "large" (Core.Partition.class_name Core.Partition.Large)
+
+let test_census () =
+  let s, m, l = Core.Partition.census [| 5; 12; 13; 4096; 4097; 100000 |] in
+  Alcotest.(check int) "small" 2 s;
+  Alcotest.(check int) "medium" 2 m;
+  Alcotest.(check int) "large" 2 l;
+  let s0, m0, l0 = Core.Partition.census [||] in
+  Alcotest.(check (list int)) "empty" [ 0; 0; 0 ] [ s0; m0; l0 ]
+
+let suite =
+  [
+    Alcotest.test_case "default thresholds" `Quick test_default_thresholds;
+    Alcotest.test_case "custom thresholds" `Quick test_custom_thresholds;
+    Alcotest.test_case "class names" `Quick test_class_names;
+    Alcotest.test_case "census" `Quick test_census;
+  ]

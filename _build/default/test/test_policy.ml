@@ -1,0 +1,66 @@
+(* Pool policies: the paper's three configurations and validation. *)
+
+let test_small () =
+  let p = Mneme.Policy.small in
+  Alcotest.(check string) "name" "small" p.Mneme.Policy.name;
+  Alcotest.(check int) "4K segments" 4096 p.Mneme.Policy.pseg_size;
+  Alcotest.(check bool) "not singleton" false p.Mneme.Policy.singleton;
+  (* 16-byte slots: 4-byte size field + 12-byte payload bound. *)
+  Alcotest.(check (option int)) "12-byte payload" (Some 12) (Mneme.Policy.max_payload p)
+
+let test_medium () =
+  let p = Mneme.Policy.medium in
+  Alcotest.(check int) "8K segments" 8192 p.Mneme.Policy.pseg_size;
+  Alcotest.(check (option int)) "unbounded" None (Mneme.Policy.max_payload p)
+
+let test_large () =
+  let p = Mneme.Policy.large in
+  Alcotest.(check bool) "singleton" true p.Mneme.Policy.singleton
+
+let test_small_fits_whole_lseg () =
+  (* 255 slots of 16 bytes plus the 6-byte header fit one 4 KB segment. *)
+  match Mneme.Policy.small.Mneme.Policy.layout with
+  | Mneme.Policy.Fixed_slots { slot_size } ->
+    Alcotest.(check bool) "fits" true (6 + (255 * slot_size) <= 4096)
+  | Mneme.Policy.Packed -> Alcotest.fail "small should be fixed-slot"
+
+let test_validation () =
+  let invalid f = match f () with _ -> false | exception Invalid_argument _ -> true in
+  Alcotest.(check bool) "zero pseg" true
+    (invalid (fun () -> Mneme.Policy.make ~name:"x" ~pseg_size:0 ()));
+  Alcotest.(check bool) "slots too big for segment" true
+    (invalid (fun () ->
+         Mneme.Policy.make ~name:"x" ~pseg_size:1024
+           ~layout:(Mneme.Policy.Fixed_slots { slot_size = 16 }) ()));
+  Alcotest.(check bool) "tiny slot" true
+    (invalid (fun () ->
+         Mneme.Policy.make ~name:"x" ~pseg_size:8192
+           ~layout:(Mneme.Policy.Fixed_slots { slot_size = 4 }) ()));
+  Alcotest.(check bool) "fixed singleton" true
+    (invalid (fun () ->
+         Mneme.Policy.make ~name:"x" ~pseg_size:8192 ~singleton:true
+           ~layout:(Mneme.Policy.Fixed_slots { slot_size = 16 }) ()))
+
+let test_encode_decode_roundtrip () =
+  List.iter
+    (fun p ->
+      let buf = Buffer.create 32 in
+      Mneme.Policy.encode buf p;
+      let p', consumed = Mneme.Policy.decode (Buffer.to_bytes buf) 0 in
+      Alcotest.(check string) "name" p.Mneme.Policy.name p'.Mneme.Policy.name;
+      Alcotest.(check int) "pseg" p.Mneme.Policy.pseg_size p'.Mneme.Policy.pseg_size;
+      Alcotest.(check bool) "singleton" p.Mneme.Policy.singleton p'.Mneme.Policy.singleton;
+      Alcotest.(check bool) "layout" true (p.Mneme.Policy.layout = p'.Mneme.Policy.layout);
+      Alcotest.(check int) "consumed all" (Buffer.length buf) consumed)
+    [ Mneme.Policy.small; Mneme.Policy.medium; Mneme.Policy.large;
+      Mneme.Policy.make ~name:"custom" ~pseg_size:2048 ~align:512 () ]
+
+let suite =
+  [
+    Alcotest.test_case "small" `Quick test_small;
+    Alcotest.test_case "medium" `Quick test_medium;
+    Alcotest.test_case "large" `Quick test_large;
+    Alcotest.test_case "small fits whole lseg" `Quick test_small_fits_whole_lseg;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "encode/decode roundtrip" `Quick test_encode_decode_roundtrip;
+  ]

@@ -1,0 +1,147 @@
+(* Inverted list records: compression roundtrips, folds, updates. *)
+
+let sample = [ (3, [ 0; 5; 9 ]); (7, [ 2 ]); (100, [ 1; 2; 3; 4 ]) ]
+
+let test_encode_decode () =
+  let b = Inquery.Postings.encode sample in
+  let decoded = Inquery.Postings.decode b in
+  Alcotest.(check int) "df" 3 (List.length decoded);
+  List.iter2
+    (fun (doc, positions) dp ->
+      Alcotest.(check int) "doc" doc dp.Inquery.Postings.doc;
+      Alcotest.(check (list int)) "positions" positions dp.Inquery.Postings.positions)
+    sample decoded
+
+let test_stats () =
+  let b = Inquery.Postings.encode sample in
+  let df, cf = Inquery.Postings.stats b in
+  Alcotest.(check int) "df" 3 df;
+  Alcotest.(check int) "cf" 8 cf;
+  Alcotest.(check int) "doc_count" 3 (Inquery.Postings.doc_count b)
+
+let test_empty () =
+  let b = Inquery.Postings.encode [] in
+  Alcotest.(check (pair int int)) "stats" (0, 0) (Inquery.Postings.stats b);
+  Alcotest.(check int) "decode" 0 (List.length (Inquery.Postings.decode b))
+
+let test_fold_docs_skips_positions () =
+  let b = Inquery.Postings.encode sample in
+  let pairs =
+    Inquery.Postings.fold_docs b ~init:[] ~f:(fun acc ~doc ~tf -> (doc, tf) :: acc) |> List.rev
+  in
+  Alcotest.(check (list (pair int int))) "doc/tf" [ (3, 3); (7, 1); (100, 4) ] pairs
+
+let test_validation () =
+  let invalid entries =
+    match Inquery.Postings.encode entries with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "unsorted docs" true (invalid [ (5, [ 1 ]); (3, [ 1 ]) ]);
+  Alcotest.(check bool) "duplicate docs" true (invalid [ (5, [ 1 ]); (5, [ 2 ]) ]);
+  Alcotest.(check bool) "empty positions" true (invalid [ (5, []) ]);
+  Alcotest.(check bool) "unsorted positions" true (invalid [ (5, [ 3; 1 ]) ])
+
+let test_single_tiny_record () =
+  (* A df=1, tf=1 record is just a few bytes: the small-object story. *)
+  let b = Inquery.Postings.encode [ (42, [ 7 ]) ] in
+  Alcotest.(check bool) "tiny" true (Bytes.length b <= 12);
+  Alcotest.(check (pair int int)) "stats" (1, 1) (Inquery.Postings.stats b)
+
+let test_compression_effective () =
+  (* Dense ascending docs make gaps small: far fewer bytes than 4 per
+     int, which is what the paper's ~60% compression is about. *)
+  let entries = List.init 1000 (fun i -> (i * 2, [ i mod 50 ])) in
+  let b = Inquery.Postings.encode entries in
+  let uncompressed = 1000 * 3 * 4 in
+  Alcotest.(check bool) "beats 12 bytes per posting" true (Bytes.length b * 2 < uncompressed)
+
+let test_merge_disjoint () =
+  let a = Inquery.Postings.encode [ (1, [ 0 ]); (5, [ 1; 2 ]) ] in
+  let b = Inquery.Postings.encode [ (3, [ 9 ]); (7, [ 4 ]) ] in
+  let m = Inquery.Postings.merge a b in
+  let docs = List.map (fun dp -> dp.Inquery.Postings.doc) (Inquery.Postings.decode m) in
+  Alcotest.(check (list int)) "interleaved" [ 1; 3; 5; 7 ] docs;
+  let df, cf = Inquery.Postings.stats m in
+  Alcotest.(check int) "df" 4 df;
+  Alcotest.(check int) "cf" 5 cf
+
+let test_merge_overlap_rejected () =
+  let a = Inquery.Postings.encode [ (1, [ 0 ]) ] in
+  let b = Inquery.Postings.encode [ (1, [ 1 ]) ] in
+  Alcotest.(check bool) "overlap" true
+    (match Inquery.Postings.merge a b with _ -> false | exception Invalid_argument _ -> true)
+
+let test_merge_empty () =
+  let a = Inquery.Postings.encode [ (1, [ 0 ]) ] in
+  let e = Inquery.Postings.encode [] in
+  Alcotest.(check int) "merge with empty" 1 (Inquery.Postings.doc_count (Inquery.Postings.merge a e))
+
+let test_remove_docs () =
+  let b = Inquery.Postings.encode sample in
+  (match Inquery.Postings.remove_docs b (fun doc -> doc = 7) with
+  | Some b' ->
+    let docs = List.map (fun dp -> dp.Inquery.Postings.doc) (Inquery.Postings.decode b') in
+    Alcotest.(check (list int)) "removed" [ 3; 100 ] docs;
+    let df, cf = Inquery.Postings.stats b' in
+    Alcotest.(check int) "df updated" 2 df;
+    Alcotest.(check int) "cf updated" 7 cf
+  | None -> Alcotest.fail "should not be empty");
+  match Inquery.Postings.remove_docs b (fun _ -> true) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "should be empty"
+
+let gen_entries =
+  QCheck.Gen.(
+    list_size (int_range 1 40)
+      (pair (int_range 1 20) (list_size (int_range 1 8) (int_range 1 50)))
+    |> map (fun raw ->
+           let _, entries =
+             List.fold_left
+               (fun (doc, acc) (doc_gap, pos_gaps) ->
+                 let doc = doc + doc_gap in
+                 let _, positions =
+                   List.fold_left
+                     (fun (p, ps) gap ->
+                       let p = p + gap in
+                       (p, p :: ps))
+                     (-1, []) pos_gaps
+                 in
+                 (doc, (doc, List.rev positions) :: acc))
+               (-1, []) raw
+           in
+           List.rev entries))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"postings roundtrip" ~count:300 (QCheck.make gen_entries) (fun entries ->
+      let b = Inquery.Postings.encode entries in
+      let decoded = Inquery.Postings.decode b in
+      List.map (fun dp -> (dp.Inquery.Postings.doc, dp.Inquery.Postings.positions)) decoded
+      = entries)
+
+let prop_fold_consistent =
+  QCheck.Test.make ~name:"fold_docs agrees with decode" ~count:200 (QCheck.make gen_entries)
+    (fun entries ->
+      let b = Inquery.Postings.encode entries in
+      let via_fold =
+        Inquery.Postings.fold_docs b ~init:[] ~f:(fun acc ~doc ~tf -> (doc, tf) :: acc)
+        |> List.rev
+      in
+      via_fold = List.map (fun (doc, ps) -> (doc, List.length ps)) entries)
+
+let suite =
+  [
+    Alcotest.test_case "encode/decode" `Quick test_encode_decode;
+    Alcotest.test_case "stats" `Quick test_stats;
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "fold_docs" `Quick test_fold_docs_skips_positions;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "tiny record" `Quick test_single_tiny_record;
+    Alcotest.test_case "compression effective" `Quick test_compression_effective;
+    Alcotest.test_case "merge disjoint" `Quick test_merge_disjoint;
+    Alcotest.test_case "merge overlap rejected" `Quick test_merge_overlap_rejected;
+    Alcotest.test_case "merge empty" `Quick test_merge_empty;
+    Alcotest.test_case "remove docs" `Quick test_remove_docs;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_fold_consistent;
+  ]

@@ -1,0 +1,89 @@
+(* Calibrated collection presets. *)
+
+let test_paper_document_counts () =
+  Alcotest.(check int) "cacm" 3204 (Collections.Presets.cacm ()).Collections.Docmodel.n_docs;
+  Alcotest.(check int) "legal" 11953 (Collections.Presets.legal ()).Collections.Docmodel.n_docs;
+  (* TIPSTER presets are the documented ~1/10 substitution. *)
+  Alcotest.(check int) "tipster1" 51089
+    (Collections.Presets.tipster1 ()).Collections.Docmodel.n_docs;
+  Alcotest.(check int) "tipster" 74236
+    (Collections.Presets.tipster ()).Collections.Docmodel.n_docs
+
+let test_scale () =
+  let m = Collections.Presets.legal ~scale:0.1 () in
+  Alcotest.(check int) "scaled docs" 1195 m.Collections.Docmodel.n_docs;
+  let floor = Collections.Presets.cacm ~scale:0.000001 () in
+  Alcotest.(check int) "floor" 64 floor.Collections.Docmodel.n_docs
+
+let test_all_models_order () =
+  let names =
+    List.map (fun m -> m.Collections.Docmodel.name) (Collections.Presets.all_models ())
+  in
+  Alcotest.(check (list string)) "paper order" [ "cacm"; "legal"; "tipster1"; "tipster" ] names
+
+let test_find () =
+  Alcotest.(check string) "by name" "legal"
+    (Collections.Presets.find "legal").Collections.Docmodel.name;
+  Alcotest.(check bool) "unknown" true
+    (match Collections.Presets.find "web" with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_query_set_inventory () =
+  let sets model = List.map fst (Collections.Presets.query_sets model) in
+  Alcotest.(check (list string)) "cacm has three" [ "1"; "2"; "3" ]
+    (sets (Collections.Presets.cacm ()));
+  Alcotest.(check (list string)) "legal has two" [ "1"; "2" ]
+    (sets (Collections.Presets.legal ()));
+  Alcotest.(check (list string)) "tipster has one" [ "1" ]
+    (sets (Collections.Presets.tipster ()))
+
+let test_tipster_prefix_property () =
+  (* TIPSTER 1 is part 1 of TIPSTER: same model/seed, fewer documents,
+     so the generated document streams agree on the shared prefix. *)
+  let small = Collections.Presets.tipster1 ~scale:0.002 () in
+  let big = Collections.Presets.tipster ~scale:0.002 () in
+  let take n seq = List.of_seq (Seq.take n seq) in
+  let d1 = take 20 (Collections.Synth.documents small) in
+  let d2 = take 20 (Collections.Synth.documents big) in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool) "same doc" true
+        (a.Collections.Synth.terms = b.Collections.Synth.terms))
+    d1 d2
+
+let test_tipster_sets_shared () =
+  (* Both TIPSTER collections use the same query set. *)
+  let q1 =
+    Collections.Querygen.generate
+      (Collections.Presets.tipster1 ())
+      (List.assoc "1" (Collections.Presets.query_sets (Collections.Presets.tipster1 ())))
+  in
+  let q2 =
+    Collections.Querygen.generate
+      (Collections.Presets.tipster ())
+      (List.assoc "1" (Collections.Presets.query_sets (Collections.Presets.tipster ())))
+  in
+  Alcotest.(check bool) "identical queries" true (q1 = q2)
+
+let test_cacm_sets_1_2_same_terms () =
+  let model = Collections.Presets.cacm () in
+  let sets = Collections.Presets.query_sets model in
+  let terms set =
+    Collections.Querygen.generate model (List.assoc set sets)
+    |> List.concat_map (fun q -> Inquery.Query.terms (Inquery.Query.parse_exn q))
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list string)) "set 1 and 2 vocabulary" (terms "1") (terms "2")
+
+let suite =
+  [
+    Alcotest.test_case "paper document counts" `Quick test_paper_document_counts;
+    Alcotest.test_case "scale" `Quick test_scale;
+    Alcotest.test_case "all models order" `Quick test_all_models_order;
+    Alcotest.test_case "find" `Quick test_find;
+    Alcotest.test_case "query set inventory" `Quick test_query_set_inventory;
+    Alcotest.test_case "tipster prefix property" `Quick test_tipster_prefix_property;
+    Alcotest.test_case "tipster sets shared" `Quick test_tipster_sets_shared;
+    Alcotest.test_case "cacm sets share terms" `Quick test_cacm_sets_1_2_same_terms;
+  ]

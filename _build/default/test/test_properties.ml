@@ -1,0 +1,261 @@
+(* Cross-module property tests: random operation sequences checked
+   against simple in-memory reference models. *)
+
+(* --- Chain vs a growing byte buffer --------------------------------- *)
+
+let chain_ops_gen =
+  QCheck.Gen.(list_size (int_range 1 12) (pair (int_range 0 2) (int_range 0 300)))
+
+let prop_chain_model =
+  QCheck.Test.make ~name:"chain matches byte-buffer model" ~count:60 (QCheck.make chain_ops_gen)
+    (fun ops ->
+      let vfs = Vfs.create () in
+      let store = Mneme.Store.create vfs "c.mneme" in
+      let pool = Mneme.Store.add_pool store Mneme.Policy.medium in
+      Mneme.Store.attach_buffer pool (Mneme.Buffer_pool.create ~name:"m" ~capacity:500_000 ());
+      let payload n = Bytes.init n (fun i -> Char.chr (32 + ((i * 11) mod 90))) in
+      let model = Buffer.create 256 in
+      let head = Mneme.Chain.store ~pool ~chunk_payload:64 Bytes.empty in
+      List.for_all
+        (fun (op, n) ->
+          match op with
+          | 0 ->
+            (* append *)
+            Mneme.Chain.append store ~pool ~chunk_payload:64 head (payload n);
+            Buffer.add_bytes model (payload n);
+            true
+          | 1 ->
+            (* full fetch equals model *)
+            Bytes.to_string (Mneme.Chain.fetch store head) = Buffer.contents model
+          | _ ->
+            (* prefix fetch equals model prefix *)
+            let len = min n (Buffer.length model) in
+            Bytes.to_string (Mneme.Chain.fetch_prefix store head ~len)
+            = String.sub (Buffer.contents model) 0 len
+            && Mneme.Chain.length store head = Buffer.length model)
+        ops)
+
+(* --- Live index vs a naive in-memory search -------------------------- *)
+
+(* Documents are tiny term-lists over a 6-word vocabulary; the model
+   checks membership: a query term matches exactly the live documents
+   containing it. *)
+let vocab = [| "alpha"; "beta"; "gamma"; "delta"; "epsilon"; "zeta" |]
+
+let live_ops_gen =
+  QCheck.Gen.(list_size (int_range 1 25) (pair (int_range 0 2) (int_range 0 5)))
+
+let prop_live_index_model backend_name make_live =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "live index (%s) matches membership model" backend_name)
+    ~count:30 (QCheck.make live_ops_gen)
+    (fun ops ->
+      let live = make_live () in
+      let model = Hashtbl.create 16 (* doc id -> term list *) in
+      List.for_all
+        (fun (op, v) ->
+          match op with
+          | 0 ->
+            (* add a 3-term document built from the vocabulary *)
+            let terms = [ vocab.(v); vocab.((v + 1) mod 6); vocab.(v) ] in
+            let id = Core.Live_index.add_document live (String.concat " " terms) in
+            Hashtbl.replace model id terms;
+            true
+          | 1 -> (
+            (* delete the smallest live doc, if any *)
+            let victim = Hashtbl.fold (fun d _ acc -> min d acc) model max_int in
+            if victim = max_int then true
+            else begin
+              Hashtbl.remove model victim;
+              Core.Live_index.delete_document live victim
+            end)
+          | _ ->
+            (* search: result set = model membership *)
+            let term = vocab.(v) in
+            let expected =
+              Hashtbl.fold (fun d terms acc -> if List.mem term terms then d :: acc else acc) model []
+              |> List.sort compare
+            in
+            let got =
+              Core.Live_index.search ~top_k:1000 live term
+              |> List.map (fun r -> r.Inquery.Ranking.doc)
+              |> List.sort compare
+            in
+            got = expected)
+        ops)
+
+let prop_live_btree =
+  prop_live_index_model "btree" (fun () ->
+      Core.Live_index.create_btree (Vfs.create ()) ~file:"p.btree" ())
+
+let prop_live_mneme =
+  prop_live_index_model "mneme" (fun () ->
+      Core.Live_index.create_mneme (Vfs.create ()) ~file:"p.mneme" ())
+
+(* --- Journal vs direct writes ---------------------------------------- *)
+
+let journal_ops_gen =
+  QCheck.Gen.(list_size (int_range 1 20) (pair (int_range 0 200) (int_range 1 40)))
+
+let prop_journal_equals_direct =
+  QCheck.Test.make ~name:"journaled batches equal direct writes" ~count:100
+    (QCheck.make journal_ops_gen)
+    (fun writes ->
+      let payload n off = Bytes.init n (fun i -> Char.chr (33 + ((off + i) mod 90))) in
+      (* Direct world. *)
+      let vfs1 = Vfs.create () in
+      let direct = Vfs.open_file vfs1 "d" in
+      List.iter (fun (off, n) -> Vfs.write direct ~off (payload n off)) writes;
+      (* Journaled world: same writes in one committed batch. *)
+      let vfs2 = Vfs.create () in
+      ignore (Vfs.open_file vfs2 "d");
+      let j = Mneme.Journal.create vfs2 ~log_file:"l" ~data_file:"d" in
+      Mneme.Journal.begin_batch j;
+      List.iter (fun (off, n) -> Mneme.Journal.write j ~off (payload n off)) writes;
+      (* Visible state before commit already matches. *)
+      let size = Mneme.Journal.data_size j in
+      let pre = Mneme.Journal.read j ~off:0 ~len:size in
+      Mneme.Journal.commit j;
+      let d2 = Vfs.open_file vfs2 "d" in
+      Vfs.size direct = Vfs.size d2
+      && Vfs.read direct ~off:0 ~len:(Vfs.size direct) = Vfs.read d2 ~off:0 ~len:(Vfs.size d2)
+      && pre = Vfs.read d2 ~off:0 ~len:(Vfs.size d2))
+
+(* --- Buffer sizing is monotone --------------------------------------- *)
+
+let prop_buffer_sizing_monotone =
+  QCheck.Test.make ~name:"buffer sizes grow with the largest record" ~count:200
+    QCheck.(pair (int_range 1 1_000_000) (int_range 1 1_000_000))
+    (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      let s_lo = Core.Buffer_sizing.compute ~largest_record:lo () in
+      let s_hi = Core.Buffer_sizing.compute ~largest_record:hi () in
+      s_lo.Core.Buffer_sizing.large <= s_hi.Core.Buffer_sizing.large
+      && s_lo.Core.Buffer_sizing.medium <= s_hi.Core.Buffer_sizing.medium
+      && s_lo.Core.Buffer_sizing.small = s_hi.Core.Buffer_sizing.small)
+
+(* --- Query parser never raises on arbitrary input -------------------- *)
+
+let query_fuzz_gen =
+  let fragment =
+    QCheck.Gen.oneofl
+      [ "#sum("; "#and("; "#or("; "#not("; "#wsum("; "#phrase("; "#od2("; "#uw5("; "#syn(";
+        ")"; "("; "term"; "2"; "1.5"; "#"; "##"; "a-b"; ""; " "; "#odx("; "zz" ]
+  in
+  QCheck.Gen.(map (String.concat " ") (list_size (int_range 0 12) fragment))
+
+let prop_parser_total =
+  QCheck.Test.make ~name:"query parser is total (Ok or Error, never raises)" ~count:500
+    (QCheck.make query_fuzz_gen)
+    (fun input ->
+      match Inquery.Query.parse input with
+      | Ok q ->
+        (* Whatever parses must re-parse from its own printing. *)
+        Inquery.Query.parse (Inquery.Query.to_string q) = Ok q
+      | Error _ -> true)
+
+(* --- Signature files never lose a true match -------------------------- *)
+
+let sig_corpus_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 30)
+      (list_size (int_range 1 8) (int_range 0 40)))
+
+let prop_sigfile_no_false_negatives =
+  QCheck.Test.make ~name:"signature files admit no false negatives" ~count:60
+    (QCheck.make sig_corpus_gen)
+    (fun docs ->
+      let vfs = Vfs.create () in
+      let corpus =
+        List.mapi (fun i words -> (i, Array.of_list (List.map (Printf.sprintf "w%d") words))) docs
+      in
+      let sf =
+        Inquery.Sigfile.build vfs ~file:"q.sig" ~width:64 ~k:3
+          ~organisation:Inquery.Sigfile.Bit_sliced ~n_docs:(List.length docs)
+          (List.to_seq corpus)
+      in
+      List.for_all
+        (fun (doc, terms) ->
+          Array.length terms = 0
+          ||
+          let probe = [ terms.(0) ] in
+          List.mem doc (Inquery.Sigfile.candidates sf probe))
+        corpus)
+
+(* --- Compaction preserves every live object --------------------------- *)
+
+let churn_gen =
+  QCheck.Gen.(list_size (int_range 5 40) (pair (int_range 0 2) (int_range 0 6000)))
+
+let prop_compact_preserves =
+  QCheck.Test.make ~name:"compaction preserves live objects and ids" ~count:25
+    (QCheck.make churn_gen)
+    (fun ops ->
+      let vfs = Vfs.create () in
+      let store = Mneme.Store.create vfs "pc.mneme" in
+      let pools =
+        List.map
+          (fun policy ->
+            let pool = Mneme.Store.add_pool store policy in
+            Mneme.Store.attach_buffer pool
+              (Mneme.Buffer_pool.create ~name:policy.Mneme.Policy.name ~capacity:1_000_000 ());
+            (policy.Mneme.Policy.name, pool))
+          [ Mneme.Policy.small; Mneme.Policy.medium; Mneme.Policy.large ]
+      in
+      let pool_for n =
+        if n <= 12 then List.assoc "small" pools
+        else if n > 4096 then List.assoc "large" pools
+        else List.assoc "medium" pools
+      in
+      let payload n = Bytes.init n (fun i -> Char.chr (33 + ((n + i) mod 90))) in
+      let live = Hashtbl.create 64 in
+      List.iter
+        (fun (op, n) ->
+          match op with
+          | 0 ->
+            let oid = Mneme.Store.allocate (pool_for n) (payload n) in
+            Hashtbl.replace live oid n
+          | 1 -> (
+            (* modify some existing object within its size class *)
+            match Hashtbl.fold (fun k v acc -> Some (k, v) :: acc) live [] with
+            | Some (oid, old) :: _ ->
+              let n' =
+                if old <= 12 then n mod 13
+                else if old > 4096 then 4097 + (n mod 2000)
+                else 13 + (n mod 4000)
+              in
+              Mneme.Store.modify store oid (payload n');
+              Hashtbl.replace live oid n'
+            | _ -> ())
+          | _ -> (
+            match Hashtbl.fold (fun k _ acc -> Some k :: acc) live [] with
+            | Some oid :: _ ->
+              Mneme.Store.delete store oid;
+              Hashtbl.remove live oid
+            | _ -> ()))
+        ops;
+      Mneme.Store.finalize store;
+      let compacted = Mneme.Store.compact store ~file:"pc2.mneme" in
+      List.iter
+        (fun name ->
+          Mneme.Store.attach_buffer (Mneme.Store.pool compacted name)
+            (Mneme.Buffer_pool.create ~name ~capacity:1_000_000 ()))
+        [ "small"; "medium"; "large" ];
+      Mneme.Store.wasted_bytes compacted = 0
+      && Mneme.Store.object_count compacted = Hashtbl.length live
+      && Hashtbl.fold
+           (fun oid n acc -> acc && Mneme.Store.get_opt compacted oid = Some (payload n))
+           live true
+      && Mneme.Check.ok (Mneme.Check.run compacted))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_chain_model;
+    QCheck_alcotest.to_alcotest prop_live_btree;
+    QCheck_alcotest.to_alcotest prop_live_mneme;
+    QCheck_alcotest.to_alcotest prop_journal_equals_direct;
+    QCheck_alcotest.to_alcotest prop_buffer_sizing_monotone;
+    QCheck_alcotest.to_alcotest prop_parser_total;
+    QCheck_alcotest.to_alcotest prop_sigfile_no_false_negatives;
+    QCheck_alcotest.to_alcotest prop_compact_preserves;
+  ]

@@ -1,0 +1,182 @@
+(* The positional operator family: #phrase, #odN, #uwN, #syn — parsing
+   and evaluation semantics on a hand-checkable corpus. *)
+
+let corpus =
+  [
+    (*          positions: 0      1      2      3      4      5        *)
+    (0, "persistent object store for information retrieval");
+    (1, "store the object in a persistent way");
+    (2, "object persistent store");
+    (3, "persistent store");
+    (4, "court decided the case");
+    (5, "courts decide cases often");
+    (6, "persistent data and far away an object sits here store");
+  ]
+
+let make () =
+  let ix = Inquery.Indexer.create () in
+  List.iter (fun (id, text) -> Inquery.Indexer.add_document ix ~doc_id:id text) corpus;
+  let records = Hashtbl.create 16 in
+  Seq.iter (fun (id, r) -> Hashtbl.replace records id r) (Inquery.Indexer.to_records ix);
+  let dict = Inquery.Indexer.dictionary ix in
+  let source =
+    {
+      Inquery.Infnet.fetch = (fun e -> Hashtbl.find_opt records e.Inquery.Dictionary.id);
+      n_docs = List.length corpus;
+      max_doc_id = List.length corpus - 1;
+      avg_doc_len = Inquery.Indexer.avg_doc_length ix;
+      doc_len = Inquery.Indexer.doc_length ix;
+    }
+  in
+  (source, dict)
+
+let matching_docs query =
+  let source, dict = make () in
+  let beliefs, _ = Inquery.Infnet.eval source dict (Inquery.Query.parse_exn query) in
+  let out = ref [] in
+  Array.iteri (fun d b -> if b > Inquery.Infnet.default_belief +. 1e-12 then out := d :: !out) beliefs;
+  List.rev !out
+
+(* --- parsing ------------------------------------------------------- *)
+
+let test_parse_od () =
+  match Inquery.Query.parse_exn "#od3( persistent store )" with
+  | Inquery.Query.Od (3, [ "persistent"; "store" ]) -> ()
+  | q -> Alcotest.fail (Inquery.Query.to_string q)
+
+let test_parse_uw () =
+  match Inquery.Query.parse_exn "#uw10( object store )" with
+  | Inquery.Query.Uw (10, [ "object"; "store" ]) -> ()
+  | q -> Alcotest.fail (Inquery.Query.to_string q)
+
+let test_parse_syn () =
+  match Inquery.Query.parse_exn "#syn( court courts )" with
+  | Inquery.Query.Syn [ "court"; "courts" ] -> ()
+  | q -> Alcotest.fail (Inquery.Query.to_string q)
+
+let test_parse_errors () =
+  let fails s = match Inquery.Query.parse s with Ok _ -> false | Error _ -> true in
+  Alcotest.(check bool) "od without width" true (fails "#od( a b )");
+  Alcotest.(check bool) "od zero width" true (fails "#od0( a b )");
+  Alcotest.(check bool) "od one term" true (fails "#od2( a )");
+  Alcotest.(check bool) "uw garbage width" true (fails "#uwxy( a b )");
+  Alcotest.(check bool) "empty syn" true (fails "#syn( )")
+
+let test_to_string_roundtrip () =
+  List.iter
+    (fun s ->
+      let q = Inquery.Query.parse_exn s in
+      Alcotest.(check bool) ("reparse " ^ s) true (Inquery.Query.parse_exn (Inquery.Query.to_string q) = q))
+    [ "#od3( a b c )"; "#uw12( a b )"; "#syn( a b c )" ]
+
+let test_terms_collected () =
+  let q = Inquery.Query.parse_exn "#sum( #od2( a b ) #uw5( c d ) #syn( e f ) )" in
+  Alcotest.(check (list string)) "terms" [ "a"; "b"; "c"; "d"; "e"; "f" ] (Inquery.Query.terms q)
+
+(* --- #od semantics ------------------------------------------------- *)
+
+let test_od1_equals_phrase () =
+  Alcotest.(check (list int)) "phrase" (matching_docs "#phrase( persistent store )")
+    (matching_docs "#od1( persistent store )");
+  (* doc 2 ("object persistent store") and doc 3 ("persistent store")
+     have the terms adjacent; doc 6 has them far apart. *)
+  Alcotest.(check (list int)) "adjacency only" [ 2; 3 ] (matching_docs "#od1( persistent store )")
+
+let test_od_window_widens_matches () =
+  (* "persistent object store": persistent..store within 2. *)
+  Alcotest.(check (list int)) "od2" [ 0; 2; 3 ] (matching_docs "#od2( persistent store )");
+  (* doc 2 is "object persistent store": persistent(1) store(2). *)
+  Alcotest.(check bool) "od2 includes doc2 pair" true
+    (List.mem 2 (matching_docs "#od2( object store )"));
+  (* Order matters: "store ... persistent" in doc 1 does not match
+     #od( persistent store ) within 2. *)
+  Alcotest.(check bool) "order enforced" false (List.mem 1 (matching_docs "#od2( persistent store )"))
+
+let test_od_three_terms () =
+  (* doc 0: persistent(0) object(1) store(2): chain within 1 each. *)
+  Alcotest.(check (list int)) "triple" [ 0 ] (matching_docs "#od1( persistent object store )")
+
+let test_od_large_window () =
+  (* doc 6: persistent(0) ... object(6) ... store(9): chain with window 7. *)
+  Alcotest.(check bool) "doc6 in od7" true
+    (List.mem 6 (matching_docs "#od7( persistent object store )"));
+  Alcotest.(check bool) "doc6 not in od3" false
+    (List.mem 6 (matching_docs "#od3( persistent object store )"))
+
+(* --- #uw semantics ------------------------------------------------- *)
+
+let test_uw_ignores_order () =
+  (* doc 1: store(0) ... persistent(5): within a window of 6, any order. *)
+  Alcotest.(check bool) "doc1 uw6" true (List.mem 1 (matching_docs "#uw6( persistent store )"));
+  Alcotest.(check bool) "doc1 not uw3" false (List.mem 1 (matching_docs "#uw3( persistent store )"));
+  (* Ordered variant rejects doc 1 even with a wide window. *)
+  Alcotest.(check bool) "od6 still ordered" false
+    (List.mem 1 (matching_docs "#od6( persistent store )"))
+
+let test_uw_tight_window () =
+  Alcotest.(check bool) "adjacent pair in uw2" true
+    (List.mem 3 (matching_docs "#uw2( store persistent )"))
+
+(* --- #syn semantics ------------------------------------------------- *)
+
+let test_syn_unions_postings () =
+  let docs = matching_docs "#syn( court courts )" in
+  Alcotest.(check bool) "court doc" true (List.mem 4 docs);
+  Alcotest.(check bool) "courts doc" true (List.mem 5 docs)
+
+let test_syn_with_missing_member () =
+  (* An OOV member is simply absent from the class. *)
+  let docs = matching_docs "#syn( court zzzmissing )" in
+  Alcotest.(check (list int)) "still matches court" [ 4 ] docs
+
+let test_syn_df_shared () =
+  (* The class's idf uses the union df (2 docs), weaker than the single
+     term's idf (1 doc): a member doc scores lower under #syn than under
+     the bare term. *)
+  let source, dict = make () in
+  let bel q = fst (Inquery.Infnet.eval source dict (Inquery.Query.parse_exn q)) in
+  let syn = bel "#syn( court courts )" in
+  let bare = bel "court" in
+  Alcotest.(check bool) "union df weakens idf" true (syn.(4) < bare.(4))
+
+(* --- cross-evaluator agreement -------------------------------------- *)
+
+let test_daat_agreement () =
+  let source, dict = make () in
+  List.iter
+    (fun qs ->
+      let q = Inquery.Query.parse_exn qs in
+      let taat, _ = Inquery.Infnet.eval source dict q in
+      let daat, _ = Inquery.Infnet.eval_daat source dict q in
+      List.iter
+        (fun s ->
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "%s doc %d" qs s.Inquery.Infnet.doc)
+            taat.(s.Inquery.Infnet.doc) s.Inquery.Infnet.belief)
+        daat)
+    [
+      "#od2( persistent store )";
+      "#uw6( persistent store )";
+      "#syn( court courts )";
+      "#sum( #od1( persistent object ) #syn( case cases ) )";
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "parse od" `Quick test_parse_od;
+    Alcotest.test_case "parse uw" `Quick test_parse_uw;
+    Alcotest.test_case "parse syn" `Quick test_parse_syn;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "to_string roundtrip" `Quick test_to_string_roundtrip;
+    Alcotest.test_case "terms collected" `Quick test_terms_collected;
+    Alcotest.test_case "od1 = phrase" `Quick test_od1_equals_phrase;
+    Alcotest.test_case "od window widens" `Quick test_od_window_widens_matches;
+    Alcotest.test_case "od three terms" `Quick test_od_three_terms;
+    Alcotest.test_case "od large window" `Quick test_od_large_window;
+    Alcotest.test_case "uw ignores order" `Quick test_uw_ignores_order;
+    Alcotest.test_case "uw tight window" `Quick test_uw_tight_window;
+    Alcotest.test_case "syn unions postings" `Quick test_syn_unions_postings;
+    Alcotest.test_case "syn with missing member" `Quick test_syn_with_missing_member;
+    Alcotest.test_case "syn df shared" `Quick test_syn_df_shared;
+    Alcotest.test_case "daat agreement" `Quick test_daat_agreement;
+  ]

@@ -1,0 +1,119 @@
+(* Query language parsing and tree utilities. *)
+
+let parse s =
+  match Inquery.Query.parse s with
+  | Ok q -> q
+  | Error msg -> Alcotest.fail ("parse failed: " ^ msg)
+
+let test_bare_term () =
+  Alcotest.(check bool) "term" true (parse "retrieval" = Inquery.Query.Term "retrieval")
+
+let test_implicit_sum () =
+  match parse "information retrieval system" with
+  | Inquery.Query.Sum [ Term "information"; Term "retrieval"; Term "system" ] -> ()
+  | q -> Alcotest.fail ("unexpected: " ^ Inquery.Query.to_string q)
+
+let test_operators () =
+  (match parse "#and( a b )" with
+  | Inquery.Query.And [ Term "a"; Term "b" ] -> ()
+  | q -> Alcotest.fail (Inquery.Query.to_string q));
+  (match parse "#or( a #not( b ) )" with
+  | Inquery.Query.Or [ Term "a"; Not (Term "b") ] -> ()
+  | q -> Alcotest.fail (Inquery.Query.to_string q));
+  (match parse "#max( a b c )" with
+  | Inquery.Query.Max [ _; _; _ ] -> ()
+  | q -> Alcotest.fail (Inquery.Query.to_string q));
+  match parse "#sum( a )" with
+  | Inquery.Query.Sum [ Term "a" ] -> ()
+  | q -> Alcotest.fail (Inquery.Query.to_string q)
+
+let test_wsum () =
+  match parse "#wsum( 2 apple 1.5 #or( b c ) )" with
+  | Inquery.Query.Wsum [ (2.0, Term "apple"); (1.5, Or _) ] -> ()
+  | q -> Alcotest.fail (Inquery.Query.to_string q)
+
+let test_phrase () =
+  match parse "#phrase( information retrieval )" with
+  | Inquery.Query.Phrase [ "information"; "retrieval" ] -> ()
+  | q -> Alcotest.fail (Inquery.Query.to_string q)
+
+let test_nesting () =
+  match parse "#and( #or( a b ) #sum( c #phrase( d e ) ) )" with
+  | Inquery.Query.And [ Or _; Sum [ Term "c"; Phrase [ "d"; "e" ] ] ] -> ()
+  | q -> Alcotest.fail (Inquery.Query.to_string q)
+
+let test_case_folding () =
+  Alcotest.(check bool) "lowercased" true (parse "ReTrIeVaL" = Inquery.Query.Term "retrieval")
+
+let test_numeric_term () =
+  (* A number at top level is a term (e.g. a year), not a weight. *)
+  Alcotest.(check bool) "year" true (parse "1994" = Inquery.Query.Term "1994")
+
+let test_errors () =
+  let fails s =
+    match Inquery.Query.parse s with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "empty" true (fails "");
+  Alcotest.(check bool) "unbalanced" true (fails "#and( a");
+  Alcotest.(check bool) "stray close" true (fails "a )");
+  Alcotest.(check bool) "unknown op" true (fails "#frobnicate( a )");
+  Alcotest.(check bool) "not arity" true (fails "#not( a b )");
+  Alcotest.(check bool) "op without paren" true (fails "#and a b");
+  Alcotest.(check bool) "phrase nesting" true (fails "#phrase( a #or( b c ) )");
+  Alcotest.(check bool) "empty phrase" true (fails "#phrase( )")
+
+let test_parse_exn () =
+  Alcotest.(check bool) "raises" true
+    (match Inquery.Query.parse_exn "#and(" with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_terms_dedup_ordered () =
+  let q = parse "#sum( b a #phrase( c b ) #wsum( 2 a 1 d ) )" in
+  Alcotest.(check (list string)) "first-appearance order" [ "b"; "a"; "c"; "d" ]
+    (Inquery.Query.terms q)
+
+let test_node_count () =
+  Alcotest.(check int) "term" 1 (Inquery.Query.node_count (parse "a"));
+  Alcotest.(check int) "sum of three" 4 (Inquery.Query.node_count (parse "#sum( a b c )"));
+  Alcotest.(check int) "phrase counts members" 3
+    (Inquery.Query.node_count (parse "#phrase( a b )"))
+
+let test_to_string_roundtrip () =
+  List.iter
+    (fun s ->
+      let q = parse s in
+      let q' = parse (Inquery.Query.to_string q) in
+      Alcotest.(check bool) ("reparse " ^ s) true (q = q'))
+    [
+      "a";
+      "#sum( a b )";
+      "#and( #or( a b ) c )";
+      "#wsum( 2 a 1 b )";
+      "#not( x )";
+      "#phrase( a b c )";
+      "#max( a #and( b c ) )";
+    ]
+
+let test_commas_and_whitespace () =
+  match parse " #sum(  a,\n\tb ) " with
+  | Inquery.Query.Sum [ Term "a"; Term "b" ] -> ()
+  | q -> Alcotest.fail (Inquery.Query.to_string q)
+
+let suite =
+  [
+    Alcotest.test_case "bare term" `Quick test_bare_term;
+    Alcotest.test_case "implicit sum" `Quick test_implicit_sum;
+    Alcotest.test_case "operators" `Quick test_operators;
+    Alcotest.test_case "wsum" `Quick test_wsum;
+    Alcotest.test_case "phrase" `Quick test_phrase;
+    Alcotest.test_case "nesting" `Quick test_nesting;
+    Alcotest.test_case "case folding" `Quick test_case_folding;
+    Alcotest.test_case "numeric term" `Quick test_numeric_term;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "parse_exn" `Quick test_parse_exn;
+    Alcotest.test_case "terms dedup" `Quick test_terms_dedup_ordered;
+    Alcotest.test_case "node count" `Quick test_node_count;
+    Alcotest.test_case "to_string roundtrip" `Quick test_to_string_roundtrip;
+    Alcotest.test_case "commas and whitespace" `Quick test_commas_and_whitespace;
+  ]

@@ -1,0 +1,148 @@
+(* Query set generation: determinism, structure, repetition. *)
+
+let model =
+  Collections.Docmodel.make ~name:"qm" ~n_docs:500 ~core_vocab:2000 ~mean_doc_len:50.0 ~seed:5 ()
+
+let spec ?(structure = Collections.Querygen.Flat) ?(weighted = false) ?(phrase_prob = 0.0)
+    ?(oov_prob = 0.0) ?(seed = 31) () =
+  Collections.Querygen.make ~set_name:"t" ~n_queries:25 ~mean_terms:6.0 ~pool_size:40
+    ~pool_top_bias:200 ~fresh_prob:0.1 ~oov_prob ~phrase_prob ~weighted ~structure ~seed ()
+
+let test_count_and_determinism () =
+  let qs1 = Collections.Querygen.generate model (spec ()) in
+  let qs2 = Collections.Querygen.generate model (spec ()) in
+  Alcotest.(check int) "count" 25 (List.length qs1);
+  Alcotest.(check bool) "deterministic" true (qs1 = qs2);
+  let qs3 = Collections.Querygen.generate model (spec ~seed:32 ()) in
+  Alcotest.(check bool) "seed changes queries" true (qs1 <> qs3)
+
+let test_all_parseable () =
+  List.iter
+    (fun variant ->
+      List.iter
+        (fun q ->
+          match Inquery.Query.parse q with
+          | Ok _ -> ()
+          | Error msg -> Alcotest.fail (Printf.sprintf "unparseable %S: %s" q msg))
+        (Collections.Querygen.generate model variant))
+    [
+      spec ();
+      spec ~structure:Collections.Querygen.Cnf ();
+      spec ~structure:Collections.Querygen.Dnf ();
+      spec ~weighted:true ~phrase_prob:0.3 ~oov_prob:0.2 ();
+    ]
+
+let unique_terms queries =
+  List.concat_map
+    (fun q -> Inquery.Query.terms (Inquery.Query.parse_exn q))
+    queries
+  |> List.sort_uniq compare
+
+let test_structures_share_terms () =
+  (* The paper's CACM sets 1 and 2: same queries, different boolean
+     representations. *)
+  let cnf = Collections.Querygen.generate model (spec ~structure:Collections.Querygen.Cnf ()) in
+  let dnf = Collections.Querygen.generate model (spec ~structure:Collections.Querygen.Dnf ()) in
+  Alcotest.(check (list string)) "same vocabulary" (unique_terms cnf) (unique_terms dnf);
+  Alcotest.(check bool) "different surface form" true (cnf <> dnf)
+
+let test_dnf_duplicates_terms () =
+  (* DNF expansion names some terms more than once per query. *)
+  let dnf = Collections.Querygen.generate model (spec ~structure:Collections.Querygen.Dnf ()) in
+  let cnf = Collections.Querygen.generate model (spec ~structure:Collections.Querygen.Cnf ()) in
+  let leaf_count queries =
+    List.fold_left
+      (fun acc q -> acc + Inquery.Query.node_count (Inquery.Query.parse_exn q))
+      0 queries
+  in
+  Alcotest.(check bool) "dnf larger trees" true (leaf_count dnf > leaf_count cnf)
+
+let test_term_repetition_across_queries () =
+  let qs = Collections.Querygen.generate model (spec ()) in
+  let all_terms =
+    List.concat_map (fun q -> Inquery.Query.terms (Inquery.Query.parse_exn q)) qs
+  in
+  let distinct = List.sort_uniq compare all_terms in
+  (* With a 40-term pool and 25 x ~6 draws, repetition is guaranteed. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "repetition (%d uses, %d distinct)" (List.length all_terms)
+       (List.length distinct))
+    true
+    (List.length distinct * 2 < List.length all_terms)
+
+let test_weighted_form () =
+  let qs = Collections.Querygen.generate model (spec ~weighted:true ()) in
+  List.iter
+    (fun q ->
+      match Inquery.Query.parse_exn q with
+      | Inquery.Query.Wsum _ -> ()
+      | _ -> Alcotest.fail ("not a wsum: " ^ q))
+    qs
+
+let test_phrases_present () =
+  let qs = Collections.Querygen.generate model (spec ~phrase_prob:0.5 ()) in
+  let has_phrase =
+    List.exists
+      (fun q ->
+        let rec scan = function
+          | Inquery.Query.Phrase _ -> true
+          | Inquery.Query.Term _ | Od _ | Uw _ | Syn _ -> false
+          | Inquery.Query.Sum ns | And ns | Or ns | Max ns -> List.exists scan ns
+          | Inquery.Query.Wsum ps -> List.exists (fun (_, n) -> scan n) ps
+          | Inquery.Query.Not n -> scan n
+        in
+        scan (Inquery.Query.parse_exn q))
+      qs
+  in
+  Alcotest.(check bool) "phrases generated" true has_phrase
+
+let test_oov_terms_unindexed () =
+  let qs = Collections.Querygen.generate model (spec ~oov_prob:0.5 ()) in
+  let oov =
+    List.concat_map (fun q -> Inquery.Query.terms (Inquery.Query.parse_exn q)) qs
+    |> List.filter (fun t -> t.[0] = 'z')
+  in
+  Alcotest.(check bool) "oov present" true (oov <> []);
+  (* OOV terms never collide with synthetic vocabulary. *)
+  let ix = Collections.Synth.build_index model in
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) (t ^ " unindexed") true
+        (Inquery.Dictionary.find (Inquery.Indexer.dictionary ix) t = None))
+    oov
+
+let test_judgments () =
+  let js = Collections.Querygen.judgments model (spec ()) ~n_relevant:10 in
+  Alcotest.(check int) "per query" 25 (List.length js);
+  List.iter
+    (fun j -> Alcotest.(check int) "relevant count" 10 (Inquery.Eval.relevant_count j))
+    js;
+  let js2 = Collections.Querygen.judgments model (spec ()) ~n_relevant:10 in
+  Alcotest.(check bool) "deterministic" true
+    (List.for_all2
+       (fun a b -> Inquery.Eval.relevant_count a = Inquery.Eval.relevant_count b)
+       js js2)
+
+let test_validation () =
+  let invalid f = match f () with _ -> false | exception Invalid_argument _ -> true in
+  Alcotest.(check bool) "zero queries" true
+    (invalid (fun () ->
+         Collections.Querygen.make ~set_name:"x" ~n_queries:0 ~mean_terms:5.0 ~pool_top_bias:10 ()));
+  Alcotest.(check bool) "bad prob" true
+    (invalid (fun () ->
+         Collections.Querygen.make ~set_name:"x" ~mean_terms:5.0 ~pool_top_bias:10
+           ~fresh_prob:1.5 ()))
+
+let suite =
+  [
+    Alcotest.test_case "count and determinism" `Quick test_count_and_determinism;
+    Alcotest.test_case "all parseable" `Quick test_all_parseable;
+    Alcotest.test_case "structures share terms" `Quick test_structures_share_terms;
+    Alcotest.test_case "dnf duplicates" `Quick test_dnf_duplicates_terms;
+    Alcotest.test_case "repetition across queries" `Quick test_term_repetition_across_queries;
+    Alcotest.test_case "weighted form" `Quick test_weighted_form;
+    Alcotest.test_case "phrases present" `Quick test_phrases_present;
+    Alcotest.test_case "oov unindexed" `Quick test_oov_terms_unindexed;
+    Alcotest.test_case "judgments" `Quick test_judgments;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

@@ -1,0 +1,52 @@
+(* Ranking: ordering, ties, filtering. *)
+
+let test_sorted_descending () =
+  let ranked = Inquery.Ranking.rank [| 0.5; 0.9; 0.41; 0.7 |] in
+  Alcotest.(check (list int)) "order" [ 1; 3; 0; 2 ]
+    (List.map (fun r -> r.Inquery.Ranking.doc) ranked)
+
+let test_default_filtered () =
+  let ranked = Inquery.Ranking.rank [| 0.4; 0.9; 0.4 |] in
+  Alcotest.(check (list int)) "only evidence docs" [ 1 ]
+    (List.map (fun r -> r.Inquery.Ranking.doc) ranked)
+
+let test_ties_break_by_doc_id () =
+  let ranked = Inquery.Ranking.rank [| 0.8; 0.9; 0.8 |] in
+  Alcotest.(check (list int)) "stable ties" [ 1; 0; 2 ]
+    (List.map (fun r -> r.Inquery.Ranking.doc) ranked)
+
+let test_top_k () =
+  let beliefs = Array.init 100 (fun i -> 0.41 +. (float_of_int i /. 1000.0)) in
+  let top = Inquery.Ranking.top_k beliefs ~k:5 in
+  Alcotest.(check int) "k results" 5 (List.length top);
+  Alcotest.(check int) "best first" 99 (List.hd top).Inquery.Ranking.doc;
+  Alcotest.(check int) "k larger than docs" 100
+    (List.length (Inquery.Ranking.top_k beliefs ~k:1000));
+  Alcotest.(check int) "k zero" 0 (List.length (Inquery.Ranking.top_k beliefs ~k:0));
+  Alcotest.(check bool) "negative k" true
+    (match Inquery.Ranking.top_k beliefs ~k:(-1) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_custom_threshold () =
+  let ranked = Inquery.Ranking.rank ~above:0.5 [| 0.45; 0.6; 0.5 |] in
+  Alcotest.(check (list int)) "strictly above" [ 1 ]
+    (List.map (fun r -> r.Inquery.Ranking.doc) ranked)
+
+let test_scores_carried () =
+  let ranked = Inquery.Ranking.rank [| 0.4; 0.75 |] in
+  Alcotest.(check (float 1e-9)) "score" 0.75 (List.hd ranked).Inquery.Ranking.score
+
+let test_empty () =
+  Alcotest.(check int) "empty input" 0 (List.length (Inquery.Ranking.rank [||]))
+
+let suite =
+  [
+    Alcotest.test_case "sorted descending" `Quick test_sorted_descending;
+    Alcotest.test_case "default filtered" `Quick test_default_filtered;
+    Alcotest.test_case "ties by doc id" `Quick test_ties_break_by_doc_id;
+    Alcotest.test_case "top_k" `Quick test_top_k;
+    Alcotest.test_case "custom threshold" `Quick test_custom_threshold;
+    Alcotest.test_case "scores carried" `Quick test_scores_carried;
+    Alcotest.test_case "empty" `Quick test_empty;
+  ]

@@ -1,0 +1,67 @@
+(* Figure data series. *)
+
+let prepared =
+  lazy
+    (Core.Experiment.prepare
+       (Collections.Docmodel.make ~name:"rep" ~n_docs:400 ~core_vocab:1500 ~mean_doc_len:70.0
+          ~hapax_prob:0.02 ~seed:29 ()))
+
+let test_fig1_monotone () =
+  let pts = Core.Report.fig1 (Lazy.force prepared) in
+  Alcotest.(check bool) "non-empty" true (List.length pts > 5);
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "sizes ascend" true (a.Core.Report.size < b.Core.Report.size);
+      Alcotest.(check bool) "records cumulative" true
+        (a.Core.Report.records_le <= b.Core.Report.records_le);
+      Alcotest.(check bool) "bytes cumulative" true
+        (a.Core.Report.bytes_le <= b.Core.Report.bytes_le);
+      check rest
+    | _ -> ()
+  in
+  check pts;
+  let last = List.nth pts (List.length pts - 1) in
+  Alcotest.(check (float 1e-9)) "records reach 1" 1.0 last.Core.Report.records_le;
+  Alcotest.(check (float 1e-9)) "bytes reach 1" 1.0 last.Core.Report.bytes_le
+
+let test_fig1_small_records_shape () =
+  (* The paper's observation: many records are tiny, but they carry a
+     tiny share of the bytes. *)
+  let pts = Core.Report.fig1 (Lazy.force prepared) in
+  match List.find_opt (fun p -> p.Core.Report.size >= 12 && p.Core.Report.size < 40) pts with
+  | Some p ->
+    Alcotest.(check bool) "records share exceeds bytes share" true
+      (p.Core.Report.records_le > p.Core.Report.bytes_le)
+  | None -> Alcotest.fail "no small-size point"
+
+let test_fig2_counts_uses () =
+  let queries = [ "ba be"; "ba"; "#phrase( ba bi )" ] in
+  let pts = Core.Report.fig2 (Lazy.force prepared) ~queries in
+  let total = List.fold_left (fun acc p -> acc + p.Core.Report.uses) 0 pts in
+  (* ba x3, be x1, bi x1 — all in vocabulary. *)
+  Alcotest.(check int) "five uses" 5 total
+
+let test_fig2_ignores_unparseable_and_oov () =
+  let pts = Core.Report.fig2 (Lazy.force prepared) ~queries:[ "#and("; "zqx" ] in
+  let total = List.fold_left (fun acc p -> acc + p.Core.Report.uses) 0 pts in
+  Alcotest.(check int) "nothing counted" 0 total
+
+let test_small_fraction_near_half () =
+  let f = Core.Report.small_fraction (Lazy.force prepared) in
+  (* The synthetic collections reproduce the ~50% observation loosely. *)
+  Alcotest.(check bool) (Printf.sprintf "fraction %.2f" f) true (f > 0.2 && f < 0.8)
+
+let test_size_census_sums () =
+  let p = Lazy.force prepared in
+  let s, m, l = Core.Report.size_census p in
+  Alcotest.(check int) "sums to record count" p.Core.Experiment.record_count (s + m + l)
+
+let suite =
+  [
+    Alcotest.test_case "fig1 monotone" `Quick test_fig1_monotone;
+    Alcotest.test_case "fig1 small records shape" `Quick test_fig1_small_records_shape;
+    Alcotest.test_case "fig2 counts uses" `Quick test_fig2_counts_uses;
+    Alcotest.test_case "fig2 robust" `Quick test_fig2_ignores_unparseable_and_oov;
+    Alcotest.test_case "small fraction" `Quick test_small_fraction_near_half;
+    Alcotest.test_case "size census sums" `Quick test_size_census_sums;
+  ]

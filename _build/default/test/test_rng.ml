@@ -1,0 +1,114 @@
+(* Deterministic RNG: reproducibility, bounds, distribution sanity. *)
+
+let test_determinism () =
+  let a = Util.Rng.create ~seed:123 and b = Util.Rng.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Util.Rng.bits64 a) (Util.Rng.bits64 b)
+  done
+
+let test_seeds_differ () =
+  let a = Util.Rng.create ~seed:1 and b = Util.Rng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Util.Rng.bits64 a = Util.Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_copy_vs_split () =
+  let a = Util.Rng.create ~seed:9 in
+  let c = Util.Rng.copy a in
+  Alcotest.(check int64) "copy tracks" (Util.Rng.bits64 a) (Util.Rng.bits64 c);
+  let a = Util.Rng.create ~seed:9 in
+  let s = Util.Rng.split a in
+  Alcotest.(check bool) "split independent" true (Util.Rng.bits64 a <> Util.Rng.bits64 s)
+
+let test_int_bounds () =
+  let rng = Util.Rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Util.Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Util.Rng.int rng 0))
+
+let test_int_covers_all_values () =
+  let rng = Util.Rng.create ~seed:11 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Util.Rng.int rng 5) <- true
+  done;
+  Alcotest.(check bool) "all values seen" true (Array.for_all Fun.id seen)
+
+let test_float_bounds () =
+  let rng = Util.Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Util.Rng.float rng 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_float_mean () =
+  let rng = Util.Rng.create ~seed:21 in
+  let n = 20000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Util.Rng.float rng 1.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_gaussian_moments () =
+  let rng = Util.Rng.create ~seed:5 in
+  let n = 20000 in
+  let xs = Array.init n (fun _ -> Util.Rng.gaussian rng ~mean:10.0 ~stddev:2.0) in
+  let mean = Util.Stats.mean xs in
+  let sd = Util.Stats.stddev xs in
+  Alcotest.(check bool) "mean" true (Float.abs (mean -. 10.0) < 0.1);
+  Alcotest.(check bool) "stddev" true (Float.abs (sd -. 2.0) < 0.1)
+
+let test_lognormal_positive () =
+  let rng = Util.Rng.create ~seed:6 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "positive" true (Util.Rng.lognormal rng ~mu:2.0 ~sigma:1.0 > 0.0)
+  done
+
+let test_shuffle_is_permutation () =
+  let rng = Util.Rng.create ~seed:8 in
+  let a = Array.init 50 Fun.id in
+  Util.Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted;
+  Alcotest.(check bool) "actually shuffled" true (a <> Array.init 50 Fun.id)
+
+let test_choose () =
+  let rng = Util.Rng.create ~seed:10 in
+  for _ = 1 to 100 do
+    let v = Util.Rng.choose rng [| 'a'; 'b'; 'c' |] in
+    Alcotest.(check bool) "member" true (List.mem v [ 'a'; 'b'; 'c' ])
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.choose: empty array") (fun () ->
+      ignore (Util.Rng.choose rng [||]))
+
+let test_bool_balanced () =
+  let rng = Util.Rng.create ~seed:12 in
+  let trues = ref 0 in
+  for _ = 1 to 10000 do
+    if Util.Rng.bool rng then incr trues
+  done;
+  Alcotest.(check bool) "balanced" true (!trues > 4700 && !trues < 5300)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+    Alcotest.test_case "copy vs split" `Quick test_copy_vs_split;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int covers values" `Quick test_int_covers_all_values;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "float mean" `Quick test_float_mean;
+    Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+    Alcotest.test_case "lognormal positive" `Quick test_lognormal_positive;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+    Alcotest.test_case "choose" `Quick test_choose;
+    Alcotest.test_case "bool balanced" `Quick test_bool_balanced;
+  ]

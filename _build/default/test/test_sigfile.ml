@@ -1,0 +1,154 @@
+(* Signature files: no false negatives, bounded false positives, and
+   the bit-sliced organisation's I/O advantage. *)
+
+let corpus =
+  [|
+    [| "apple"; "banana" |];
+    [| "banana"; "cherry" |];
+    [| "cherry"; "date"; "elderberry" |];
+    [| "apple"; "cherry" |];
+    [| "fig" |];
+  |]
+
+let docs () = Array.to_seqi corpus
+
+let true_conjunctive terms =
+  let out = ref [] in
+  Array.iteri
+    (fun doc doc_terms ->
+      if List.for_all (fun t -> Array.exists (( = ) t) doc_terms) terms then out := doc :: !out)
+    corpus;
+  List.rev !out
+
+let build ?organisation () =
+  let vfs = Vfs.create () in
+  (vfs, Inquery.Sigfile.build vfs ~file:"s.sig" ~width:64 ~k:3 ?organisation ~n_docs:5 (docs ()))
+
+let test_no_false_negatives () =
+  List.iter
+    (fun organisation ->
+      let _, sf = build ~organisation () in
+      List.iter
+        (fun terms ->
+          let cands = Inquery.Sigfile.candidates sf terms in
+          List.iter
+            (fun doc ->
+              Alcotest.(check bool)
+                (Printf.sprintf "doc %d candidate for %s" doc (String.concat "+" terms))
+                true (List.mem doc cands))
+            (true_conjunctive terms))
+        [ [ "apple" ]; [ "banana" ]; [ "apple"; "cherry" ]; [ "cherry"; "date" ]; [ "fig" ] ])
+    [ Inquery.Sigfile.Sequential; Inquery.Sigfile.Bit_sliced ]
+
+let test_organisations_agree () =
+  let _, seq = build ~organisation:Inquery.Sigfile.Sequential () in
+  let _, sliced = build ~organisation:Inquery.Sigfile.Bit_sliced () in
+  List.iter
+    (fun terms ->
+      Alcotest.(check (list int))
+        (String.concat "+" terms)
+        (Inquery.Sigfile.candidates seq terms)
+        (Inquery.Sigfile.candidates sliced terms))
+    [ [ "apple" ]; [ "banana"; "cherry" ]; [ "zzz" ]; [] ]
+
+let test_discrimination () =
+  (* With 64 bits and tiny documents, unrelated terms rarely collide:
+     "fig" should produce (close to) exactly its own document. *)
+  let _, sf = build () in
+  let cands = Inquery.Sigfile.candidates sf [ "fig" ] in
+  Alcotest.(check bool) "doc 4 present" true (List.mem 4 cands);
+  Alcotest.(check bool) "selective" true (List.length cands <= 2)
+
+let test_empty_query_matches_all () =
+  let _, sf = build () in
+  Alcotest.(check (list int)) "all docs" [ 0; 1; 2; 3; 4 ] (Inquery.Sigfile.candidates sf [])
+
+let test_term_bits_deterministic () =
+  let _, sf = build () in
+  let bits = Inquery.Sigfile.term_bits sf "apple" in
+  Alcotest.(check bool) "k distinct-ish bits" true (List.length bits >= 1 && List.length bits <= 3);
+  Alcotest.(check (list int)) "stable" bits (Inquery.Sigfile.term_bits sf "apple");
+  List.iter
+    (fun b -> Alcotest.(check bool) "in range" true (b >= 0 && b < Inquery.Sigfile.width sf))
+    bits
+
+let test_persistence () =
+  let vfs, sf = build ~organisation:Inquery.Sigfile.Bit_sliced () in
+  let reopened = Inquery.Sigfile.open_existing vfs ~file:"s.sig" in
+  Alcotest.(check int) "width" (Inquery.Sigfile.width sf) (Inquery.Sigfile.width reopened);
+  Alcotest.(check int) "k" 3 (Inquery.Sigfile.k reopened);
+  Alcotest.(check bool) "organisation" true
+    (Inquery.Sigfile.organisation reopened = Inquery.Sigfile.Bit_sliced);
+  Alcotest.(check (list int)) "same candidates"
+    (Inquery.Sigfile.candidates sf [ "apple" ])
+    (Inquery.Sigfile.candidates reopened [ "apple" ])
+
+let test_bit_sliced_reads_less () =
+  (* On a larger corpus, a one-term query reads k slices instead of the
+     whole signature matrix. *)
+  let vfs = Vfs.create () in
+  let n = 2000 in
+  let docs = Seq.init n (fun i -> (i, [| Printf.sprintf "t%d" (i mod 50) |])) in
+  let seq = Inquery.Sigfile.build vfs ~file:"seq.sig" ~width:256 ~k:4 ~n_docs:n docs in
+  let docs = Seq.init n (fun i -> (i, [| Printf.sprintf "t%d" (i mod 50) |])) in
+  let sliced =
+    Inquery.Sigfile.build vfs ~file:"sl.sig" ~width:256 ~k:4
+      ~organisation:Inquery.Sigfile.Bit_sliced ~n_docs:n docs
+  in
+  let read_bytes f =
+    let before = (Vfs.counters vfs).Vfs.bytes_read in
+    ignore (f ());
+    (Vfs.counters vfs).Vfs.bytes_read - before
+  in
+  let seq_bytes = read_bytes (fun () -> Inquery.Sigfile.candidates seq [ "t7" ]) in
+  let sliced_bytes = read_bytes (fun () -> Inquery.Sigfile.candidates sliced [ "t7" ]) in
+  Alcotest.(check bool)
+    (Printf.sprintf "sliced %d << sequential %d" sliced_bytes seq_bytes)
+    true
+    (sliced_bytes * 4 < seq_bytes);
+  (* And they agree. *)
+  Alcotest.(check (list int)) "agree at scale"
+    (Inquery.Sigfile.candidates seq [ "t7" ])
+    (Inquery.Sigfile.candidates sliced [ "t7" ])
+
+let test_false_positive_rate_reasonable () =
+  (* Saturating signatures (many terms, few bits) must still never miss;
+     false positives grow instead. *)
+  let vfs = Vfs.create () in
+  let n = 200 in
+  let docs = Seq.init n (fun i -> (i, Array.init 30 (fun j -> Printf.sprintf "w%d" ((i * 7) + j)))) in
+  let sf = Inquery.Sigfile.build vfs ~file:"fp.sig" ~width:64 ~k:3 ~n_docs:n docs in
+  (* Every document still matches its own first term. *)
+  for i = 0 to n - 1 do
+    if not (List.mem i (Inquery.Sigfile.candidates sf [ Printf.sprintf "w%d" (i * 7) ])) then
+      Alcotest.fail (Printf.sprintf "false negative for doc %d" i)
+  done
+
+let test_validation () =
+  let vfs = Vfs.create () in
+  let invalid f = match f () with _ -> false | exception Invalid_argument _ -> true in
+  Alcotest.(check bool) "width not multiple of 8" true
+    (invalid (fun () -> Inquery.Sigfile.build vfs ~file:"x" ~width:60 ~k:3 ~n_docs:2 Seq.empty));
+  Alcotest.(check bool) "k too large" true
+    (invalid (fun () -> Inquery.Sigfile.build vfs ~file:"y" ~width:8 ~k:9 ~n_docs:2 Seq.empty));
+  Alcotest.(check bool) "doc out of range" true
+    (invalid (fun () ->
+         Inquery.Sigfile.build vfs ~file:"z" ~width:8 ~k:1 ~n_docs:1
+           (List.to_seq [ (5, [| "a" |]) ])));
+  Alcotest.(check bool) "missing file" true
+    (match Inquery.Sigfile.open_existing vfs ~file:"nope" with
+    | _ -> false
+    | exception Failure _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "no false negatives" `Quick test_no_false_negatives;
+    Alcotest.test_case "organisations agree" `Quick test_organisations_agree;
+    Alcotest.test_case "discrimination" `Quick test_discrimination;
+    Alcotest.test_case "empty query" `Quick test_empty_query_matches_all;
+    Alcotest.test_case "term bits deterministic" `Quick test_term_bits_deterministic;
+    Alcotest.test_case "persistence" `Quick test_persistence;
+    Alcotest.test_case "bit-sliced reads less" `Quick test_bit_sliced_reads_less;
+    Alcotest.test_case "false positive regime" `Quick test_false_positive_rate_reasonable;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

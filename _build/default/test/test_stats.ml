@@ -1,0 +1,116 @@
+(* Descriptive statistics and the figure-support structures. *)
+
+let test_mean () =
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Util.Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Util.Stats.mean [||])
+
+let test_stddev () =
+  Alcotest.(check (float 1e-9)) "constant" 0.0 (Util.Stats.stddev [| 5.0; 5.0; 5.0 |]);
+  Alcotest.(check (float 1e-6)) "known" 2.0 (Util.Stats.stddev [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |]);
+  Alcotest.(check (float 1e-9)) "short" 0.0 (Util.Stats.stddev [| 1.0 |])
+
+let test_percentile () =
+  let xs = [| 15.0; 20.0; 35.0; 40.0; 50.0 |] in
+  Alcotest.(check (float 1e-9)) "p0" 15.0 (Util.Stats.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 50.0 (Util.Stats.percentile xs 100.0);
+  Alcotest.(check (float 1e-9)) "p50" 35.0 (Util.Stats.percentile xs 50.0);
+  Alcotest.(check (float 1e-9)) "p25 interpolated" 20.0 (Util.Stats.percentile xs 25.0);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty input") (fun () ->
+      ignore (Util.Stats.percentile [||] 50.0));
+  Alcotest.check_raises "range" (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Util.Stats.percentile xs 101.0))
+
+let test_percentile_unsorted_input () =
+  let xs = [| 50.0; 15.0; 40.0; 20.0; 35.0 |] in
+  Alcotest.(check (float 1e-9)) "sorts internally" 35.0 (Util.Stats.percentile xs 50.0)
+
+let test_sum_int () = Alcotest.(check int) "sum" 10 (Util.Stats.sum_int [| 1; 2; 3; 4 |])
+
+let test_log_histogram_buckets () =
+  let open Util.Stats.Log_histogram in
+  let h = create ~lo:4 ~buckets:6 in
+  Alcotest.(check int) "below lo" 0 (bucket_of h 1);
+  Alcotest.(check int) "at lo" 0 (bucket_of h 4);
+  Alcotest.(check int) "edge 7" 0 (bucket_of h 7);
+  Alcotest.(check int) "edge 8" 1 (bucket_of h 8);
+  Alcotest.(check int) "16" 2 (bucket_of h 16);
+  Alcotest.(check int) "clamp huge" 5 (bucket_of h 1_000_000)
+
+let test_log_histogram_counts () =
+  let open Util.Stats.Log_histogram in
+  let h = create ~lo:4 ~buckets:4 in
+  add h 5;
+  add h 6;
+  add_weighted h 20 ~weight:3;
+  Alcotest.(check int) "bucket 0" 2 (count h 0);
+  Alcotest.(check int) "bucket 2" 3 (count h 2);
+  Alcotest.(check int) "total" 5 (total h);
+  Alcotest.(check int) "buckets" 4 (buckets h);
+  Alcotest.(check int) "lower bound 2" 16 (lower_bound h 2);
+  Alcotest.(check int) "lower bound 0" 0 (lower_bound h 0)
+
+let test_log_histogram_validation () =
+  Alcotest.check_raises "lo" (Invalid_argument "Log_histogram.create: lo must be positive")
+    (fun () -> ignore (Util.Stats.Log_histogram.create ~lo:0 ~buckets:3));
+  Alcotest.check_raises "buckets"
+    (Invalid_argument "Log_histogram.create: buckets must be positive") (fun () ->
+      ignore (Util.Stats.Log_histogram.create ~lo:4 ~buckets:0))
+
+let test_cumulative_points () =
+  let open Util.Stats.Cumulative in
+  let c = create () in
+  add c ~value:10 ~weight:1;
+  add c ~value:5 ~weight:1;
+  add c ~value:10 ~weight:2;
+  let pts = points c in
+  Alcotest.(check int) "two distinct values" 2 (List.length pts);
+  (match pts with
+  | [ (5, f1); (10, f2) ] ->
+    Alcotest.(check (float 1e-9)) "first fraction" 0.25 f1;
+    Alcotest.(check (float 1e-9)) "last fraction" 1.0 f2
+  | _ -> Alcotest.fail "unexpected points");
+  Alcotest.(check (float 1e-9)) "fraction_le mid" 0.25 (fraction_le c 7);
+  Alcotest.(check (float 1e-9)) "fraction_le below" 0.0 (fraction_le c 1);
+  Alcotest.(check (float 1e-9)) "fraction_le above" 1.0 (fraction_le c 100)
+
+let test_cumulative_empty () =
+  let c = Util.Stats.Cumulative.create () in
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Util.Stats.Cumulative.fraction_le c 10);
+  Alcotest.(check int) "no points" 0 (List.length (Util.Stats.Cumulative.points c))
+
+let test_cumulative_byte_weighting () =
+  (* Figure 1's second curve: weight = the record size itself. *)
+  let c = Util.Stats.Cumulative.create () in
+  List.iter (fun v -> Util.Stats.Cumulative.add c ~value:v ~weight:v) [ 10; 90 ];
+  Alcotest.(check (float 1e-9)) "small record is 10% of bytes" 0.1
+    (Util.Stats.Cumulative.fraction_le c 10)
+
+let prop_cumulative_monotone =
+  QCheck.Test.make ~name:"cumulative points are monotone" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 30) (int_range 1 1000))
+    (fun values ->
+      let c = Util.Stats.Cumulative.create () in
+      List.iter (fun v -> Util.Stats.Cumulative.add c ~value:v ~weight:1) values;
+      let pts = Util.Stats.Cumulative.points c in
+      let rec monotone = function
+        | (v1, f1) :: ((v2, f2) :: _ as rest) -> v1 < v2 && f1 <= f2 && monotone rest
+        | [ (_, f) ] -> Float.abs (f -. 1.0) < 1e-9
+        | [] -> values = []
+      in
+      monotone pts)
+
+let suite =
+  [
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "stddev" `Quick test_stddev;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "percentile unsorted" `Quick test_percentile_unsorted_input;
+    Alcotest.test_case "sum_int" `Quick test_sum_int;
+    Alcotest.test_case "log histogram buckets" `Quick test_log_histogram_buckets;
+    Alcotest.test_case "log histogram counts" `Quick test_log_histogram_counts;
+    Alcotest.test_case "log histogram validation" `Quick test_log_histogram_validation;
+    Alcotest.test_case "cumulative points" `Quick test_cumulative_points;
+    Alcotest.test_case "cumulative empty" `Quick test_cumulative_empty;
+    Alcotest.test_case "cumulative byte weighting" `Quick test_cumulative_byte_weighting;
+    QCheck_alcotest.to_alcotest prop_cumulative_monotone;
+  ]

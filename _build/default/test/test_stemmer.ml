@@ -1,0 +1,89 @@
+(* Porter stemmer: the algorithm's own published examples plus
+   structural properties. *)
+
+let check_stem (input, expect) =
+  Alcotest.(check string) input expect (Inquery.Stemmer.stem input)
+
+(* Examples from Porter (1980), step by step. *)
+let step1a_cases = [ ("caresses", "caress"); ("ponies", "poni"); ("caress", "caress"); ("cats", "cat") ]
+
+let step1b_cases =
+  [
+    ("feed", "feed"); ("agreed", "agre"); ("plastered", "plaster"); ("bled", "bled");
+    ("motoring", "motor"); ("sing", "sing"); ("conflated", "conflat"); ("troubled", "troubl");
+    ("sized", "size"); ("hopping", "hop"); ("tanned", "tan"); ("falling", "fall");
+    ("hissing", "hiss"); ("fizzed", "fizz"); ("failing", "fail"); ("filing", "file");
+  ]
+
+let step1c_cases = [ ("happy", "happi"); ("sky", "sky") ]
+
+let step2_cases =
+  [
+    ("relational", "relat"); ("conditional", "condit"); ("rational", "ration");
+    ("valenci", "valenc"); ("hesitanci", "hesit"); ("digitizer", "digit"); ("conformabli", "conform");
+    ("radicalli", "radic"); ("differentli", "differ"); ("vileli", "vile"); ("analogousli", "analog");
+    ("vietnamization", "vietnam"); ("predication", "predic"); ("operator", "oper");
+    ("feudalism", "feudal"); ("decisiveness", "decis"); ("hopefulness", "hope");
+    ("callousness", "callous"); ("formaliti", "formal"); ("sensitiviti", "sensit");
+    ("sensibiliti", "sensibl");
+  ]
+
+let step3_cases =
+  [
+    ("triplicate", "triplic"); ("formative", "form"); ("formalize", "formal");
+    ("electriciti", "electr"); ("electrical", "electr"); ("hopeful", "hope"); ("goodness", "good");
+  ]
+
+let step4_cases =
+  [
+    ("revival", "reviv"); ("allowance", "allow"); ("inference", "infer"); ("airliner", "airlin");
+    ("gyroscopic", "gyroscop"); ("adjustable", "adjust"); ("defensible", "defens");
+    ("irritant", "irrit"); ("replacement", "replac"); ("adjustment", "adjust");
+    ("dependent", "depend"); ("adoption", "adopt"); ("homologou", "homolog");
+    ("communism", "commun"); ("activate", "activ"); ("angulariti", "angular");
+    ("homologous", "homolog"); ("effective", "effect"); ("bowdlerize", "bowdler");
+  ]
+
+let step5_cases = [ ("probate", "probat"); ("rate", "rate"); ("cease", "ceas"); ("controll", "control"); ("roll", "roll") ]
+
+let test_steps cases () = List.iter check_stem cases
+
+let test_short_words_unchanged () =
+  List.iter (fun w -> Alcotest.(check string) w w (Inquery.Stemmer.stem w)) [ ""; "a"; "is"; "be" ]
+
+let test_ir_vocabulary () =
+  (* Variants conflate to a common stem — why INQUERY stems at all. *)
+  let same a b =
+    Alcotest.(check string)
+      (Printf.sprintf "%s ~ %s" a b)
+      (Inquery.Stemmer.stem a) (Inquery.Stemmer.stem b)
+  in
+  same "retrieval" "retrieval";
+  same "indexing" "index";
+  same "indexed" "index";
+  same "queries" "query" |> ignore
+
+let prop_never_longer =
+  QCheck.Test.make ~name:"stem never grows a word" ~count:300
+    QCheck.(string_gen_of_size (QCheck.Gen.int_range 0 15) (QCheck.Gen.char_range 'a' 'z'))
+    (fun w -> String.length (Inquery.Stemmer.stem w) <= String.length w + 1)
+
+let prop_ascii_lowercase_closed =
+  QCheck.Test.make ~name:"stem output stays lowercase ascii" ~count:300
+    QCheck.(string_gen_of_size (QCheck.Gen.int_range 3 12) (QCheck.Gen.char_range 'a' 'z'))
+    (fun w -> String.for_all (fun c -> c >= 'a' && c <= 'z') (Inquery.Stemmer.stem w))
+
+let suite =
+  [
+    Alcotest.test_case "step 1a" `Quick (test_steps step1a_cases);
+    Alcotest.test_case "step 1b" `Quick (test_steps step1b_cases);
+    Alcotest.test_case "step 1c" `Quick (test_steps step1c_cases);
+    Alcotest.test_case "step 2" `Quick (test_steps step2_cases);
+    Alcotest.test_case "step 3" `Quick (test_steps step3_cases);
+    Alcotest.test_case "step 4" `Quick (test_steps step4_cases);
+    Alcotest.test_case "step 5" `Quick (test_steps step5_cases);
+    Alcotest.test_case "short words unchanged" `Quick test_short_words_unchanged;
+    Alcotest.test_case "ir vocabulary" `Quick test_ir_vocabulary;
+    QCheck_alcotest.to_alcotest prop_never_longer;
+    QCheck_alcotest.to_alcotest prop_ascii_lowercase_closed;
+  ]

@@ -1,0 +1,39 @@
+(* Stop word lists. *)
+
+let test_default_list () =
+  let sw = Inquery.Stopwords.default in
+  List.iter
+    (fun w -> Alcotest.(check bool) (w ^ " is stop") true (Inquery.Stopwords.is_stopword sw w))
+    [ "the"; "and"; "of"; "is"; "was"; "which" ];
+  List.iter
+    (fun w ->
+      Alcotest.(check bool) (w ^ " is content") false (Inquery.Stopwords.is_stopword sw w))
+    [ "retrieval"; "database"; "court"; "inverted" ];
+  Alcotest.(check bool) "substantial list" true (Inquery.Stopwords.size sw > 200)
+
+let test_of_list_lowercases () =
+  let sw = Inquery.Stopwords.of_list [ "FOO"; "Bar" ] in
+  Alcotest.(check bool) "foo" true (Inquery.Stopwords.is_stopword sw "foo");
+  Alcotest.(check bool) "bar" true (Inquery.Stopwords.is_stopword sw "bar");
+  Alcotest.(check int) "size" 2 (Inquery.Stopwords.size sw)
+
+let test_file_format () =
+  let sw =
+    Inquery.Stopwords.of_file_contents "# comment line\nalpha\n\n  beta  \n# another\ngamma"
+  in
+  Alcotest.(check int) "three words" 3 (Inquery.Stopwords.size sw);
+  Alcotest.(check bool) "alpha" true (Inquery.Stopwords.is_stopword sw "alpha");
+  Alcotest.(check bool) "trimmed" true (Inquery.Stopwords.is_stopword sw "beta");
+  Alcotest.(check bool) "comment not a word" false (Inquery.Stopwords.is_stopword sw "# comment line")
+
+let test_duplicates_collapse () =
+  let sw = Inquery.Stopwords.of_list [ "dup"; "dup"; "dup" ] in
+  Alcotest.(check int) "one entry" 1 (Inquery.Stopwords.size sw)
+
+let suite =
+  [
+    Alcotest.test_case "default list" `Quick test_default_list;
+    Alcotest.test_case "of_list lowercases" `Quick test_of_list_lowercases;
+    Alcotest.test_case "file format" `Quick test_file_format;
+    Alcotest.test_case "duplicates collapse" `Quick test_duplicates_collapse;
+  ]

@@ -1,0 +1,143 @@
+(* Synthetic collection generation: determinism and statistical shape. *)
+
+let tiny =
+  Collections.Docmodel.make ~name:"tiny" ~n_docs:200 ~core_vocab:500 ~mean_doc_len:40.0
+    ~hapax_prob:0.02 ~seed:99 ()
+
+let test_term_naming () =
+  Alcotest.(check string) "rank 1 short" "ba" (Collections.Synth.core_term ~rank:1);
+  Alcotest.(check bool) "ranks distinct" true
+    (Collections.Synth.core_term ~rank:1 <> Collections.Synth.core_term ~rank:2);
+  Alcotest.(check bool) "high rank longer" true
+    (String.length (Collections.Synth.core_term ~rank:100_000)
+    > String.length (Collections.Synth.core_term ~rank:1));
+  Alcotest.(check bool) "rank 0 rejected" true
+    (match Collections.Synth.core_term ~rank:0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_hapax_prefix_disjoint () =
+  (* Hapax words start with 'q'; core words never do. *)
+  for n = 0 to 200 do
+    Alcotest.(check char) "hapax prefix" 'q' (Collections.Synth.hapax_term n).[0]
+  done;
+  for rank = 1 to 500 do
+    Alcotest.(check bool) "core avoids q" true ((Collections.Synth.core_term ~rank).[0] <> 'q')
+  done
+
+let test_document_count_and_ids () =
+  let docs = List.of_seq (Collections.Synth.documents tiny) in
+  Alcotest.(check int) "count" 200 (List.length docs);
+  List.iteri
+    (fun i d -> Alcotest.(check int) "sequential ids" i d.Collections.Synth.id)
+    docs
+
+let test_determinism () =
+  let run () =
+    Collections.Synth.documents tiny |> Seq.map (fun d -> d.Collections.Synth.terms)
+    |> List.of_seq
+  in
+  Alcotest.(check bool) "replayable" true (run () = run ())
+
+let test_min_length_respected () =
+  Seq.iter
+    (fun d ->
+      Alcotest.(check bool) "length floor" true
+        (Array.length d.Collections.Synth.terms >= tiny.Collections.Docmodel.min_doc_len))
+    (Collections.Synth.documents tiny)
+
+let test_mean_length_calibrated () =
+  let total =
+    Seq.fold_left
+      (fun acc d -> acc + Array.length d.Collections.Synth.terms)
+      0 (Collections.Synth.documents tiny)
+  in
+  let mean = float_of_int total /. 200.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean near 40 (got %.1f)" mean)
+    true
+    (mean > 30.0 && mean < 50.0)
+
+let test_bytes_positive () =
+  Seq.iter
+    (fun d -> Alcotest.(check bool) "bytes" true (d.Collections.Synth.bytes > 0))
+    (Collections.Synth.documents tiny)
+
+let test_document_text () =
+  let doc = { Collections.Synth.id = 0; terms = [| "a"; "b"; "c" |]; bytes = 6 } in
+  Alcotest.(check string) "joined" "a b c" (Collections.Synth.document_text doc)
+
+let test_zipf_shape () =
+  (* The rank-1 core term occurs far more often than a mid-rank term. *)
+  let counts = Hashtbl.create 1000 in
+  Seq.iter
+    (fun d ->
+      Array.iter
+        (fun t ->
+          let c = try Hashtbl.find counts t with Not_found -> 0 in
+          Hashtbl.replace counts t (c + 1))
+        d.Collections.Synth.terms)
+    (Collections.Synth.documents tiny);
+  let count t = try Hashtbl.find counts t with Not_found -> 0 in
+  let top = count (Collections.Synth.core_term ~rank:1) in
+  let mid = count (Collections.Synth.core_term ~rank:100) in
+  Alcotest.(check bool)
+    (Printf.sprintf "zipf head (top %d, mid %d)" top mid)
+    true (top > 4 * mid)
+
+let test_hapax_occur_once () =
+  let counts = Hashtbl.create 1000 in
+  Seq.iter
+    (fun d ->
+      Array.iter
+        (fun t ->
+          if t.[0] = 'q' then begin
+            let c = try Hashtbl.find counts t with Not_found -> 0 in
+            Hashtbl.replace counts t (c + 1)
+          end)
+        d.Collections.Synth.terms)
+    (Collections.Synth.documents tiny);
+  Alcotest.(check bool) "hapax exist" true (Hashtbl.length counts > 0);
+  Hashtbl.iter
+    (fun t c -> Alcotest.(check int) (t ^ " occurs once") 1 c)
+    counts
+
+let test_build_index () =
+  let ix = Collections.Synth.build_index tiny in
+  Alcotest.(check int) "docs" 200 (Inquery.Indexer.document_count ix);
+  Alcotest.(check bool) "terms" true (Inquery.Indexer.term_count ix > 300);
+  Alcotest.(check bool) "avg length" true (Inquery.Indexer.avg_doc_length ix > 20.0)
+
+let test_stop_top_resampling () =
+  let stopped =
+    Collections.Docmodel.make ~name:"s" ~n_docs:100 ~core_vocab:500 ~mean_doc_len:40.0
+      ~stop_top:3 ~hapax_prob:0.0 ~seed:7 ()
+  in
+  let top3 =
+    [ Collections.Synth.core_term ~rank:1; Collections.Synth.core_term ~rank:2;
+      Collections.Synth.core_term ~rank:3 ]
+  in
+  let saw_top = ref 0 in
+  Seq.iter
+    (fun d ->
+      Array.iter (fun t -> if List.mem t top3 then incr saw_top) d.Collections.Synth.terms)
+    (Collections.Synth.documents stopped);
+  (* Resampling makes withheld head ranks rare (bounded retries allow a
+     trickle, not a flood). *)
+  Alcotest.(check bool) (Printf.sprintf "withheld (saw %d)" !saw_top) true (!saw_top < 20)
+
+let suite =
+  [
+    Alcotest.test_case "term naming" `Quick test_term_naming;
+    Alcotest.test_case "hapax prefix disjoint" `Quick test_hapax_prefix_disjoint;
+    Alcotest.test_case "document count and ids" `Quick test_document_count_and_ids;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "min length" `Quick test_min_length_respected;
+    Alcotest.test_case "mean length calibrated" `Quick test_mean_length_calibrated;
+    Alcotest.test_case "bytes positive" `Quick test_bytes_positive;
+    Alcotest.test_case "document text" `Quick test_document_text;
+    Alcotest.test_case "zipf shape" `Quick test_zipf_shape;
+    Alcotest.test_case "hapax occur once" `Quick test_hapax_occur_once;
+    Alcotest.test_case "build index" `Quick test_build_index;
+    Alcotest.test_case "stop_top resampling" `Quick test_stop_top_resampling;
+  ]

@@ -1,0 +1,249 @@
+(* The simulated file system: data integrity, I/O accounting, OS cache
+   behaviour, and the cost clock. *)
+
+let make () = Vfs.create ()
+
+let test_write_read_roundtrip () =
+  let vfs = make () in
+  let f = Vfs.open_file vfs "a" in
+  ignore (Vfs.append f (Bytes.of_string "hello world"));
+  Alcotest.(check string) "read back" "world" (Bytes.to_string (Vfs.read f ~off:6 ~len:5));
+  Alcotest.(check int) "size" 11 (Vfs.size f)
+
+let test_write_extends_with_hole () =
+  let vfs = make () in
+  let f = Vfs.open_file vfs "a" in
+  Vfs.write f ~off:100 (Bytes.of_string "x");
+  Alcotest.(check int) "size" 101 (Vfs.size f);
+  Alcotest.(check char) "hole is zero" '\000' (Bytes.get (Vfs.read f ~off:50 ~len:1) 0)
+
+let test_read_bounds () =
+  let vfs = make () in
+  let f = Vfs.open_file vfs "a" in
+  ignore (Vfs.append f (Bytes.of_string "abc"));
+  Alcotest.(check bool) "past EOF raises" true
+    (match Vfs.read f ~off:1 ~len:3 with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative off raises" true
+    (match Vfs.read f ~off:(-1) ~len:1 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_same_name_same_file () =
+  let vfs = make () in
+  let f1 = Vfs.open_file vfs "same" in
+  ignore (Vfs.append f1 (Bytes.of_string "data"));
+  let f2 = Vfs.open_file vfs "same" in
+  Alcotest.(check int) "shared" 4 (Vfs.size f2)
+
+let test_file_accesses_counted () =
+  let vfs = make () in
+  let f = Vfs.open_file vfs "a" in
+  ignore (Vfs.append f (Bytes.make 100 'x'));
+  Vfs.reset_counters vfs;
+  ignore (Vfs.read f ~off:0 ~len:10);
+  ignore (Vfs.read f ~off:0 ~len:10);
+  let c = Vfs.counters vfs in
+  Alcotest.(check int) "two accesses" 2 c.Vfs.file_accesses;
+  Alcotest.(check int) "bytes read" 20 c.Vfs.bytes_read
+
+let test_disk_inputs_cached () =
+  let vfs = make () in
+  let f = Vfs.open_file vfs "a" in
+  ignore (Vfs.append f (Bytes.make 100 'x'));
+  Vfs.purge_os_cache vfs;
+  Vfs.reset_counters vfs;
+  ignore (Vfs.read f ~off:0 ~len:10);
+  let c1 = Vfs.counters vfs in
+  Alcotest.(check int) "first read hits disk" 1 c1.Vfs.disk_inputs;
+  ignore (Vfs.read f ~off:0 ~len:10);
+  let c2 = Vfs.counters vfs in
+  Alcotest.(check int) "second read cached" 1 c2.Vfs.disk_inputs;
+  Alcotest.(check int) "cache hit recorded" 1 c2.Vfs.os_cache_hits
+
+let test_purge_forces_reread () =
+  let vfs = make () in
+  let f = Vfs.open_file vfs "a" in
+  ignore (Vfs.append f (Bytes.make 100 'x'));
+  Vfs.purge_os_cache vfs;
+  Vfs.reset_counters vfs;
+  ignore (Vfs.read f ~off:0 ~len:10);
+  Vfs.purge_os_cache vfs;
+  ignore (Vfs.read f ~off:0 ~len:10);
+  Alcotest.(check int) "purged => two disk inputs" 2 (Vfs.counters vfs).Vfs.disk_inputs
+
+let test_block_granularity () =
+  let vfs = make () in
+  let bs = (Vfs.cost_model vfs).Vfs.Cost_model.block_size in
+  let f = Vfs.open_file vfs "a" in
+  ignore (Vfs.append f (Bytes.make (3 * bs) 'x'));
+  Vfs.purge_os_cache vfs;
+  Vfs.reset_counters vfs;
+  (* A read spanning three blocks costs three inputs. *)
+  ignore (Vfs.read f ~off:(bs - 1) ~len:(bs + 2));
+  Alcotest.(check int) "spanning read" 3 (Vfs.counters vfs).Vfs.disk_inputs
+
+let test_write_populates_cache () =
+  let vfs = make () in
+  let f = Vfs.open_file vfs "a" in
+  Vfs.purge_os_cache vfs;
+  Vfs.reset_counters vfs;
+  ignore (Vfs.append f (Bytes.make 10 'x'));
+  ignore (Vfs.read f ~off:0 ~len:10);
+  let c = Vfs.counters vfs in
+  Alcotest.(check int) "read after write cached" 0 c.Vfs.disk_inputs;
+  Alcotest.(check int) "write counted" 1 c.Vfs.disk_outputs
+
+let test_cache_capacity_eviction () =
+  let model = Vfs.Cost_model.create ~os_cache_blocks:2 () in
+  let vfs = Vfs.create ~cost_model:model () in
+  let bs = model.Vfs.Cost_model.block_size in
+  let f = Vfs.open_file vfs "a" in
+  ignore (Vfs.append f (Bytes.make (3 * bs) 'x'));
+  Vfs.purge_os_cache vfs;
+  Vfs.reset_counters vfs;
+  ignore (Vfs.read f ~off:0 ~len:1);
+  ignore (Vfs.read f ~off:bs ~len:1);
+  ignore (Vfs.read f ~off:(2 * bs) ~len:1);
+  (* block 0 was evicted by the 2-block cache *)
+  ignore (Vfs.read f ~off:0 ~len:1);
+  Alcotest.(check int) "eviction forces re-read" 4 (Vfs.counters vfs).Vfs.disk_inputs
+
+let test_clock_charges () =
+  let vfs = make () in
+  let model = Vfs.cost_model vfs in
+  let f = Vfs.open_file vfs "a" in
+  ignore (Vfs.append f (Bytes.make 1024 'x'));
+  Vfs.purge_os_cache vfs;
+  Vfs.Clock.reset (Vfs.clock vfs);
+  ignore (Vfs.read f ~off:0 ~len:1024);
+  let s = Vfs.Clock.snapshot (Vfs.clock vfs) in
+  Alcotest.(check (float 1e-9)) "disk" model.Vfs.Cost_model.disk_read_ms s.Vfs.Clock.disk_ms;
+  Alcotest.(check (float 1e-9)) "syscall" model.Vfs.Cost_model.syscall_ms s.Vfs.Clock.syscall_ms;
+  Alcotest.(check (float 1e-9)) "copy" model.Vfs.Cost_model.copy_ms_per_kb s.Vfs.Clock.copy_ms;
+  Alcotest.(check (float 1e-9)) "wall = sum"
+    (s.Vfs.Clock.disk_ms +. s.Vfs.Clock.syscall_ms +. s.Vfs.Clock.copy_ms)
+    (Vfs.Clock.wall_ms s)
+
+let test_clock_diff_and_engine () =
+  let clock = Vfs.Clock.create () in
+  Vfs.Clock.charge_engine_cpu clock 5.0;
+  let s1 = Vfs.Clock.snapshot clock in
+  Vfs.Clock.charge_engine_cpu clock 3.0;
+  Vfs.Clock.charge_disk clock 2.0;
+  let s2 = Vfs.Clock.snapshot clock in
+  let d = Vfs.Clock.diff ~later:s2 ~earlier:s1 in
+  Alcotest.(check (float 1e-9)) "engine diff" 3.0 d.Vfs.Clock.engine_cpu_ms;
+  Alcotest.(check (float 1e-9)) "sys_io excludes engine" 2.0 (Vfs.Clock.sys_io_ms d);
+  Alcotest.check_raises "negative charge" (Invalid_argument "Clock.charge: negative charge")
+    (fun () -> Vfs.Clock.charge_disk clock (-1.0))
+
+let test_truncate () =
+  let vfs = make () in
+  let f = Vfs.open_file vfs "a" in
+  ignore (Vfs.append f (Bytes.of_string "abcdef"));
+  Vfs.truncate f 3;
+  Alcotest.(check int) "shrunk" 3 (Vfs.size f);
+  Vfs.truncate f 5;
+  Alcotest.(check char) "grow pads zero" '\000' (Bytes.get (Vfs.read f ~off:4 ~len:1) 0);
+  Alcotest.(check bool) "negative raises" true
+    (match Vfs.truncate f (-1) with () -> false | exception Invalid_argument _ -> true)
+
+let test_delete_file () =
+  let vfs = make () in
+  let f = Vfs.open_file vfs "gone" in
+  ignore (Vfs.append f (Bytes.make 10 'x'));
+  ignore (Vfs.read f ~off:0 ~len:1);
+  Alcotest.(check bool) "exists" true (Vfs.file_exists vfs "gone");
+  Vfs.delete_file vfs "gone";
+  Alcotest.(check bool) "deleted" false (Vfs.file_exists vfs "gone");
+  Vfs.delete_file vfs "gone" (* idempotent *)
+
+let test_file_names_sorted () =
+  let vfs = make () in
+  ignore (Vfs.open_file vfs "b");
+  ignore (Vfs.open_file vfs "a");
+  Alcotest.(check (list string)) "sorted" [ "a"; "b" ] (Vfs.file_names vfs)
+
+let test_counters_diff () =
+  let later =
+    { Vfs.disk_inputs = 10; disk_outputs = 5; file_accesses = 20; bytes_read = 100;
+      bytes_written = 50; os_cache_hits = 7; os_cache_misses = 3 }
+  in
+  let earlier =
+    { Vfs.disk_inputs = 4; disk_outputs = 2; file_accesses = 8; bytes_read = 40;
+      bytes_written = 20; os_cache_hits = 3; os_cache_misses = 1 }
+  in
+  let d = Vfs.diff_counters ~later ~earlier in
+  Alcotest.(check int) "inputs" 6 d.Vfs.disk_inputs;
+  Alcotest.(check int) "accesses" 12 d.Vfs.file_accesses;
+  Alcotest.(check int) "hits" 4 d.Vfs.os_cache_hits
+
+let test_sequential_read_discount () =
+  let model = Vfs.Cost_model.create ~disk_read_ms:10.0 ~disk_seq_read_ms:1.0 () in
+  let vfs = Vfs.create ~cost_model:model () in
+  let bs = model.Vfs.Cost_model.block_size in
+  let f = Vfs.open_file vfs "a" in
+  ignore (Vfs.append f (Bytes.make (4 * bs) 'x'));
+  Vfs.purge_os_cache vfs;
+  Vfs.Clock.reset (Vfs.clock vfs);
+  (* Blocks 0,1,2 in one read: first is a seek, the rest sequential. *)
+  ignore (Vfs.read f ~off:0 ~len:(3 * bs));
+  let s = Vfs.Clock.snapshot (Vfs.clock vfs) in
+  Alcotest.(check (float 1e-9)) "10 + 1 + 1" 12.0 s.Vfs.Clock.disk_ms;
+  (* Purging the cache does not move the head: block 3 continues the
+     sequence, then jumping back to block 0 seeks. *)
+  Vfs.purge_os_cache vfs;
+  Vfs.Clock.reset (Vfs.clock vfs);
+  ignore (Vfs.read f ~off:(3 * bs) ~len:1);
+  ignore (Vfs.read f ~off:0 ~len:1);
+  let s = Vfs.Clock.snapshot (Vfs.clock vfs) in
+  Alcotest.(check (float 1e-9)) "sequential continuation + seek" 11.0 s.Vfs.Clock.disk_ms
+
+let test_default_model_flat () =
+  (* With the default model, sequential and random block reads cost the
+     same — the paper-table calibration is unchanged. *)
+  let m = Vfs.Cost_model.default in
+  Alcotest.(check (float 1e-9)) "flat" m.Vfs.Cost_model.disk_read_ms
+    m.Vfs.Cost_model.disk_seq_read_ms
+
+let prop_random_writes_match_model =
+  QCheck.Test.make ~name:"vfs content matches byte-array model" ~count:60
+    QCheck.(list (pair (int_range 0 500) (string_of_size (QCheck.Gen.int_range 1 40))))
+    (fun writes ->
+      let vfs = make () in
+      let f = Vfs.open_file vfs "m" in
+      let model = Bytes.make 1024 '\000' in
+      let size = ref 0 in
+      List.iter
+        (fun (off, data) ->
+          Vfs.write f ~off (Bytes.of_string data);
+          Bytes.blit_string data 0 model off (String.length data);
+          size := max !size (off + String.length data))
+        writes;
+      !size = Vfs.size f
+      && (!size = 0 || Bytes.to_string (Vfs.read f ~off:0 ~len:!size) = Bytes.sub_string model 0 !size))
+
+let suite =
+  [
+    Alcotest.test_case "write/read roundtrip" `Quick test_write_read_roundtrip;
+    Alcotest.test_case "write extends with hole" `Quick test_write_extends_with_hole;
+    Alcotest.test_case "read bounds" `Quick test_read_bounds;
+    Alcotest.test_case "same name same file" `Quick test_same_name_same_file;
+    Alcotest.test_case "file accesses counted" `Quick test_file_accesses_counted;
+    Alcotest.test_case "disk inputs cached" `Quick test_disk_inputs_cached;
+    Alcotest.test_case "purge forces reread" `Quick test_purge_forces_reread;
+    Alcotest.test_case "block granularity" `Quick test_block_granularity;
+    Alcotest.test_case "write populates cache" `Quick test_write_populates_cache;
+    Alcotest.test_case "cache capacity eviction" `Quick test_cache_capacity_eviction;
+    Alcotest.test_case "clock charges" `Quick test_clock_charges;
+    Alcotest.test_case "clock diff and engine" `Quick test_clock_diff_and_engine;
+    Alcotest.test_case "truncate" `Quick test_truncate;
+    Alcotest.test_case "delete file" `Quick test_delete_file;
+    Alcotest.test_case "file names sorted" `Quick test_file_names_sorted;
+    Alcotest.test_case "counters diff" `Quick test_counters_diff;
+    Alcotest.test_case "sequential read discount" `Quick test_sequential_read_discount;
+    Alcotest.test_case "default model flat" `Quick test_default_model_flat;
+    QCheck_alcotest.to_alcotest prop_random_writes_match_model;
+  ]

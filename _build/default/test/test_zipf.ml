@@ -1,0 +1,92 @@
+(* Zipf sampler: normalisation, monotonicity, empirical frequencies. *)
+
+let test_probabilities_sum_to_one () =
+  let z = Util.Zipf.create ~n:100 ~s:1.0 in
+  let sum = ref 0.0 in
+  for r = 1 to 100 do
+    sum := !sum +. Util.Zipf.probability z r
+  done;
+  Alcotest.(check bool) "sums to 1" true (Float.abs (!sum -. 1.0) < 1e-9)
+
+let test_monotone_decreasing () =
+  let z = Util.Zipf.create ~n:50 ~s:0.8 in
+  for r = 1 to 49 do
+    Alcotest.(check bool)
+      (Printf.sprintf "p(%d) >= p(%d)" r (r + 1))
+      true
+      (Util.Zipf.probability z r >= Util.Zipf.probability z (r + 1))
+  done
+
+let test_zipf_law_ratio () =
+  (* With s = 1, p(1)/p(2) = 2 — the rank-size constant. *)
+  let z = Util.Zipf.create ~n:1000 ~s:1.0 in
+  let ratio = Util.Zipf.probability z 1 /. Util.Zipf.probability z 2 in
+  Alcotest.(check bool) "ratio 2" true (Float.abs (ratio -. 2.0) < 1e-9)
+
+let test_sample_bounds () =
+  let z = Util.Zipf.create ~n:30 ~s:1.2 in
+  let rng = Util.Rng.create ~seed:44 in
+  for _ = 1 to 2000 do
+    let r = Util.Zipf.sample z rng in
+    Alcotest.(check bool) "in [1, n]" true (r >= 1 && r <= 30)
+  done
+
+let test_empirical_frequency () =
+  let n = 50 in
+  let z = Util.Zipf.create ~n ~s:1.0 in
+  let rng = Util.Rng.create ~seed:45 in
+  let counts = Array.make (n + 1) 0 in
+  let draws = 100000 in
+  for _ = 1 to draws do
+    let r = Util.Zipf.sample z rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  (* Rank 1 empirical frequency within 10% of theoretical. *)
+  let p1 = float_of_int counts.(1) /. float_of_int draws in
+  let expect = Util.Zipf.probability z 1 in
+  Alcotest.(check bool) "rank 1 frequency" true (Float.abs (p1 -. expect) /. expect < 0.1);
+  (* Rank 1 drawn more than rank 10. *)
+  Alcotest.(check bool) "rank order" true (counts.(1) > counts.(10))
+
+let test_uniform_when_s_zero () =
+  let z = Util.Zipf.create ~n:10 ~s:0.0 in
+  for r = 1 to 10 do
+    Alcotest.(check bool) "uniform" true (Float.abs (Util.Zipf.probability z r -. 0.1) < 1e-9)
+  done
+
+let test_expected_count () =
+  let z = Util.Zipf.create ~n:10 ~s:1.0 in
+  let e = Util.Zipf.expected_count z ~total:1000 1 in
+  Alcotest.(check bool) "expected count" true (Float.abs (e -. (1000.0 *. Util.Zipf.probability z 1)) < 1e-9)
+
+let test_validation () =
+  Alcotest.check_raises "n" (Invalid_argument "Zipf.create: n must be positive") (fun () ->
+      ignore (Util.Zipf.create ~n:0 ~s:1.0));
+  Alcotest.check_raises "s" (Invalid_argument "Zipf.create: s must be non-negative") (fun () ->
+      ignore (Util.Zipf.create ~n:5 ~s:(-0.1)))
+
+let test_accessors () =
+  let z = Util.Zipf.create ~n:42 ~s:1.5 in
+  Alcotest.(check int) "n" 42 (Util.Zipf.n z);
+  Alcotest.(check (float 1e-9)) "s" 1.5 (Util.Zipf.exponent z)
+
+let test_probability_range_check () =
+  let z = Util.Zipf.create ~n:5 ~s:1.0 in
+  Alcotest.check_raises "rank 0" (Invalid_argument "Zipf.probability: rank out of range")
+    (fun () -> ignore (Util.Zipf.probability z 0));
+  Alcotest.check_raises "rank 6" (Invalid_argument "Zipf.probability: rank out of range")
+    (fun () -> ignore (Util.Zipf.probability z 6))
+
+let suite =
+  [
+    Alcotest.test_case "probabilities sum to 1" `Quick test_probabilities_sum_to_one;
+    Alcotest.test_case "monotone decreasing" `Quick test_monotone_decreasing;
+    Alcotest.test_case "zipf ratio" `Quick test_zipf_law_ratio;
+    Alcotest.test_case "sample bounds" `Quick test_sample_bounds;
+    Alcotest.test_case "empirical frequency" `Quick test_empirical_frequency;
+    Alcotest.test_case "uniform at s=0" `Quick test_uniform_when_s_zero;
+    Alcotest.test_case "expected count" `Quick test_expected_count;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "probability range" `Quick test_probability_range_check;
+  ]
