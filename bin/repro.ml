@@ -170,6 +170,36 @@ let fsck_cmd =
   let doc = "Build a collection's Mneme store and verify its integrity." in
   Cmd.v (Cmd.info "fsck" ~doc) Term.(const run $ scale_arg $ collection_arg)
 
+(* --- torture ------------------------------------------------------ *)
+
+let torture_cmd =
+  let seed_arg =
+    let doc = "PRNG seed for the workload." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let docs_arg =
+    let doc = "Objects allocated by the build transaction." in
+    Arg.(value & opt int 12 & info [ "docs" ] ~docv:"N" ~doc)
+  in
+  let batches_arg =
+    let doc = "Update transactions after the build." in
+    Arg.(value & opt int 3 & info [ "batches" ] ~docv:"N" ~doc)
+  in
+  let run seed docs update_batches =
+    if docs < 0 || update_batches < 0 then begin
+      Printf.eprintf "torture: --docs and --batches must be non-negative\n";
+      exit 2
+    end;
+    let outcome = Core.Torture.run ~seed ~docs ~update_batches () in
+    Format.printf "%a@." Core.Torture.pp_outcome outcome;
+    if outcome.Core.Torture.problems <> [] then exit 1
+  in
+  let doc =
+    "Crash the journaled store at every physical I/O of an \
+     index-build-and-update workload and audit each recovery."
+  in
+  Cmd.v (Cmd.info "torture" ~doc) Term.(const run $ seed_arg $ docs_arg $ batches_arg)
+
 (* --- query -------------------------------------------------------- *)
 
 let query_cmd =
@@ -205,5 +235,10 @@ let query_cmd =
 
 let () =
   let doc = "Reproduction of Brown et al., 'Supporting Full-Text Information Retrieval with a Persistent Object Store'" in
-  let info = Cmd.info "repro" ~version:"1.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ tables_cmd; ablations_cmd; stats_cmd; run_cmd; query_cmd; fsck_cmd ]))
+  (* No ~version here: cmdliner's built-in --version would collide with
+     the run subcommand's documented --version flag. *)
+  let info = Cmd.info "repro" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ tables_cmd; ablations_cmd; stats_cmd; run_cmd; query_cmd; fsck_cmd; torture_cmd ]))

@@ -6,6 +6,7 @@ type t = {
   stopwords : Inquery.Stopwords.t option;
   stem : bool;
   reserve : bool;
+  quarantine : (string * string) list ref; (* newest first *)
 }
 
 type result = {
@@ -16,19 +17,28 @@ type result = {
 }
 
 let create ~vfs ~store ~dict ~n_docs ~avg_doc_len ~doc_len ?stopwords ?(stem = false)
-    ?(reserve = true) () =
-  let source =
-    {
-      Inquery.Infnet.fetch = store.Index_store.fetch;
-      n_docs;
-      max_doc_id = n_docs - 1;
-      avg_doc_len;
-      doc_len;
-    }
+    ?(reserve = true) ?(salvage = true) () =
+  let quarantine = ref [] in
+  (* Salvage mode: a record whose segment fails its CRC32 is quarantined
+     — treated as term-not-indexed so the rest of the query still runs —
+     instead of aborting query processing with [Mneme.Store.Corrupt]. *)
+  let fetch entry =
+    if not salvage then store.Index_store.fetch entry
+    else
+      try store.Index_store.fetch entry
+      with Mneme.Store.Corrupt msg ->
+        let term = entry.Inquery.Dictionary.term in
+        if not (List.mem_assoc term !quarantine) then
+          quarantine := (term, msg) :: !quarantine;
+        None
   in
-  { vfs; store; dict; source; stopwords; stem; reserve }
+  let source =
+    { Inquery.Infnet.fetch; n_docs; max_doc_id = n_docs - 1; avg_doc_len; doc_len }
+  in
+  { vfs; store; dict; source; stopwords; stem; reserve; quarantine }
 
 let store t = t.store
+let quarantined t = List.rev !(t.quarantine)
 
 (* Entries named by the query tree, normalised the same way evaluation
    will normalise them, for the reservation scan. *)

@@ -28,12 +28,22 @@ val create :
   ?stopwords:Inquery.Stopwords.t ->
   ?stem:bool ->
   ?reserve:bool ->
+  ?salvage:bool ->
   unit ->
   t
 (** [reserve] (default true) controls the paper's query-tree reservation
-    scan; the ablation harness turns it off to measure its value. *)
+    scan; the ablation harness turns it off to measure its value.
+    [salvage] (default true) keeps the engine answering when a record's
+    segment fails its CRC32: the term is {e quarantined} (treated as
+    not indexed, reported via {!quarantined}) instead of the query
+    aborting with [Mneme.Store.Corrupt]. *)
 
 val store : t -> Index_store.t
+
+val quarantined : t -> (string * string) list
+(** [(term, reason)] for every term whose inverted list was quarantined
+    by salvage mode so far, oldest first.  Empty when every fetch has
+    been clean. *)
 
 val run_query : ?top_k:int -> t -> Inquery.Query.t -> result
 (** Evaluate one parsed query ([top_k] defaults to 100 ranked

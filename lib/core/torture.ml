@@ -1,0 +1,250 @@
+let file = "torture.mneme"
+let log_file = "torture.log"
+
+(* ------------------------------------------------------------------ *)
+(* The workload: a journaled build followed by update batches, every
+   transaction ending with a finalize so the on-disk store is
+   self-describing at each commit point.  Everything is driven by a
+   seeded PRNG, so a replay performs the identical operation (and
+   physical I/O) sequence until its crash point fires.  The [mirror]
+   table tracks what a perfect store would hold; [committed] receives it
+   after each commit so the caller can snapshot expected contents per
+   generation. *)
+
+let payload rng cls =
+  let len =
+    match cls with
+    | 0 -> 1 + Random.State.int rng 12 (* fits the small pool's 12-byte slots *)
+    | 1 -> 64 + Random.State.int rng 1985
+    | _ -> 5000 + Random.State.int rng 4001
+  in
+  Bytes.init len (fun _ -> Char.chr (Random.State.int rng 256))
+
+let class_of_size n = if n <= 12 then 0 else if n <= 4096 then 1 else 2
+
+let workload vfs ~seed ~docs ~update_batches ~txn_begin ~committed ~got_gen =
+  let rng = Random.State.make [| seed |] in
+  let store = Mneme.Store.create vfs file in
+  let small = Mneme.Store.add_pool store Mneme.Policy.small in
+  let medium = Mneme.Store.add_pool store Mneme.Policy.medium in
+  let large = Mneme.Store.add_pool store Mneme.Policy.large in
+  List.iter
+    (fun (pool, name) ->
+      Mneme.Store.attach_buffer pool
+        (Mneme.Buffer_pool.create ~name ~capacity:(256 * 1024) ()))
+    [ (small, "small"); (medium, "medium"); (large, "large") ];
+  Mneme.Store.enable_journal store ~log_file;
+  let pool_for cls = match cls with 0 -> small | 1 -> medium | _ -> large in
+  let mirror = Hashtbl.create 64 in
+  let live = ref [] in
+  let gen = ref (-1) in
+  let fresh_object () =
+    let cls = Random.State.int rng 3 in
+    let b = payload rng cls in
+    let oid = Mneme.Store.allocate (pool_for cls) b in
+    Hashtbl.replace mirror oid (Bytes.copy b);
+    live := oid :: !live
+  in
+  (* Transaction 0: the index build. *)
+  txn_begin 0;
+  Mneme.Store.transact store (fun () ->
+      let gb = Bytes.of_string "gen 0" in
+      let g = Mneme.Store.allocate small gb in
+      gen := g;
+      got_gen g;
+      Hashtbl.replace mirror g gb;
+      for _ = 1 to docs do
+        fresh_object ()
+      done;
+      Mneme.Store.finalize store);
+  committed 0 mirror;
+  (* Update batches: modify, delete, allocate, bump the generation. *)
+  for i = 1 to update_batches do
+    txn_begin i;
+    Mneme.Store.transact store (fun () ->
+        let arr = Array.of_list !live in
+        let n_mod = max 1 (Array.length arr / 4) in
+        for _ = 1 to n_mod do
+          let oid = arr.(Random.State.int rng (Array.length arr)) in
+          match Hashtbl.find_opt mirror oid with
+          | None -> () (* deleted earlier in this batch *)
+          | Some old ->
+            let b = payload rng (class_of_size (Bytes.length old)) in
+            Mneme.Store.modify store oid b;
+            Hashtbl.replace mirror oid (Bytes.copy b)
+        done;
+        (match !live with
+        | victim :: rest when List.length rest > 2 ->
+          Mneme.Store.delete store victim;
+          Hashtbl.remove mirror victim;
+          live := rest
+        | _ -> ());
+        fresh_object ();
+        fresh_object ();
+        let gb = Bytes.of_string (Printf.sprintf "gen %d" i) in
+        Mneme.Store.modify store !gen gb;
+        Hashtbl.replace mirror !gen gb;
+        Mneme.Store.finalize store);
+    committed i mirror
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Crash-point enumeration. *)
+
+type plan = {
+  seed : int;
+  docs : int;
+  update_batches : int;
+  crash_points : int;
+  snapshots : (Mneme.Oid.t, bytes) Hashtbl.t array; (* index = generation *)
+  gen_oid : Mneme.Oid.t;
+}
+
+let prepare ?(seed = 42) ?(docs = 12) ?(update_batches = 3) () =
+  if docs < 0 || update_batches < 0 then
+    invalid_arg "Torture.prepare: docs and update_batches must be non-negative";
+  let vfs = Vfs.create () in
+  Vfs.set_fault vfs (Vfs.Fault.none ());
+  let snapshots = Array.init (update_batches + 1) (fun _ -> Hashtbl.create 0) in
+  let gen_oid = ref (-1) in
+  workload vfs ~seed ~docs ~update_batches
+    ~txn_begin:(fun _ -> ())
+    ~committed:(fun i mirror -> snapshots.(i) <- Hashtbl.copy mirror)
+    ~got_gen:(fun g -> gen_oid := g);
+  {
+    seed;
+    docs;
+    update_batches;
+    crash_points = Vfs.fault_io_count vfs;
+    snapshots;
+    gen_oid = !gen_oid;
+  }
+
+let crash_points plan = plan.crash_points
+
+type point_report = {
+  crash_at : int;
+  recovery : Mneme.Journal.recovery;
+  opened : bool;
+  problems : string list;
+}
+
+let run_point plan k =
+  if k < 1 || k > plan.crash_points then
+    invalid_arg
+      (Printf.sprintf "Torture.run_point: crash point %d outside 1..%d" k plan.crash_points);
+  let problems = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let vfs = Vfs.create () in
+  Vfs.set_fault vfs (Vfs.Fault.crash_at_io k);
+  let started = ref 0 and completed = ref 0 in
+  (try
+     workload vfs ~seed:plan.seed ~docs:plan.docs ~update_batches:plan.update_batches
+       ~txn_begin:(fun _ -> incr started)
+       ~committed:(fun _ _ -> incr completed)
+       ~got_gen:(fun _ -> ());
+     note "workload ran to completion without crashing at io %d" k
+   with Vfs.Crash -> ());
+  (* Reboot: only durable blocks survive; recover, then audit. *)
+  let img = Vfs.crash_image vfs in
+  let recovery = Mneme.Store.recover_journal img ~file ~log_file in
+  let opened =
+    match Mneme.Store.open_existing img file with
+    | exception Mneme.Store.Corrupt msg ->
+      if !completed > 0 then
+        note "store unopenable after %d completed commits: %s" !completed msg;
+      false
+    | store ->
+      List.iter
+        (fun (policy, name) ->
+          let pool = Mneme.Store.add_pool store policy in
+          Mneme.Store.attach_buffer pool
+            (Mneme.Buffer_pool.create ~name ~capacity:(256 * 1024) ()))
+        [
+          (Mneme.Policy.small, "small");
+          (Mneme.Policy.medium, "medium");
+          (Mneme.Policy.large, "large");
+        ];
+      (match Mneme.Store.get store plan.gen_oid with
+      | exception e -> note "generation object unreadable: %s" (Printexc.to_string e)
+      | gb -> (
+        match Scanf.sscanf_opt (Bytes.to_string gb) "gen %d" (fun g -> g) with
+        | None -> note "generation object holds %S" (Bytes.to_string gb)
+        | Some g ->
+          (* The recovered generation must be a transaction the workload
+             committed (>= completed - 1: a commit the replay saw finish
+             cannot be rolled back) or at most one it had started
+             (<= started - 1: the log fsync may have sealed a commit the
+             crash then interrupted). *)
+          if g < !completed - 1 || g > !started - 1 then
+            note "recovered generation %d outside [%d, %d]" g (!completed - 1) (!started - 1)
+          else begin
+            let report = Mneme.Check.run store in
+            if not (Mneme.Check.ok report) then
+              note "fsck: %s" (Format.asprintf "%a" Mneme.Check.pp_report report);
+            let snap = plan.snapshots.(g) in
+            let expect = Hashtbl.length snap in
+            if Mneme.Store.object_count store <> expect then
+              note "store holds %d objects, generation %d committed %d"
+                (Mneme.Store.object_count store)
+                g expect;
+            Hashtbl.iter
+              (fun oid b ->
+                match Mneme.Store.get store oid with
+                | exception e ->
+                  note "object %d lost after recovery: %s" oid (Printexc.to_string e)
+                | b' ->
+                  if not (Bytes.equal b b') then
+                    note "object %d contents differ after recovery" oid)
+              snap
+          end));
+      true
+  in
+  { crash_at = k; recovery; opened; problems = List.rev !problems }
+
+type outcome = {
+  crash_points : int;
+  opened : int;
+  unopenable : int;
+  replayed : int;
+  discarded : int;
+  clean : int;
+  problems : (int * string) list;
+}
+
+let run ?seed ?docs ?update_batches () =
+  let plan = prepare ?seed ?docs ?update_batches () in
+  let opened = ref 0
+  and unopenable = ref 0
+  and replayed = ref 0
+  and discarded = ref 0
+  and clean = ref 0
+  and problems = ref [] in
+  for k = 1 to plan.crash_points do
+    let r = run_point plan k in
+    if r.opened then incr opened else incr unopenable;
+    (match r.recovery with
+    | Mneme.Journal.Replayed _ -> incr replayed
+    | Mneme.Journal.Discarded _ -> incr discarded
+    | Mneme.Journal.Clean -> incr clean);
+    List.iter (fun p -> problems := (k, p) :: !problems) r.problems
+  done;
+  {
+    crash_points = plan.crash_points;
+    opened = !opened;
+    unopenable = !unopenable;
+    replayed = !replayed;
+    discarded = !discarded;
+    clean = !clean;
+    problems = List.rev !problems;
+  }
+
+let pp_outcome fmt o =
+  Format.fprintf fmt
+    "%d crash points: %d recovered stores, %d pre-commit images; recovery %d replayed / %d \
+     discarded / %d clean logs"
+    o.crash_points o.opened o.unopenable o.replayed o.discarded o.clean;
+  if o.problems <> [] then begin
+    Format.fprintf fmt "@.%d problem(s):" (List.length o.problems);
+    List.iter (fun (k, p) -> Format.fprintf fmt "@.  crash at io %d: %s" k p) o.problems
+  end

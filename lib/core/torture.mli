@@ -1,0 +1,70 @@
+(** Crash-point torture harness (ALICE / CrashMonkey style).
+
+    A deterministic journaled workload — an index build, then update
+    batches that modify, delete and allocate objects, each batch ending
+    in a finalize and bumping a persisted generation counter — is first
+    run to completion under a counting fault plan to learn how many
+    physical I/Os it performs and what a perfect store holds after each
+    commit.  Then the workload is replayed once per I/O with
+    {!Vfs.Fault.crash_at_io} pointed at that I/O: the simulated machine
+    loses power there, {!Vfs.crash_image} reconstructs what a reboot
+    would find, {!Mneme.Store.recover_journal} runs, and the recovered
+    store is audited:
+
+    - it must open (unless {e no} commit ever completed — before that
+      the file legitimately holds nothing durable);
+    - the persisted generation [g] must satisfy
+      [completed - 1 <= g <= started - 1] — a commit the workload saw
+      finish is never rolled back, and nothing past the last started
+      commit can appear;
+    - {!Mneme.Check.run} must pass (including the segment CRC32 pass);
+    - the store must hold exactly the objects of generation [g]'s
+      snapshot, byte for byte.
+
+    Every deviation is reported as a problem tied to its crash point;
+    a correct journal yields an empty problem list. *)
+
+val file : string
+(** Store file name used by the workload ("torture.mneme"). *)
+
+val log_file : string
+(** Journal log file name ("torture.log"). *)
+
+type plan
+(** A completed golden run: crash-point count plus per-generation
+    expected contents. *)
+
+val prepare : ?seed:int -> ?docs:int -> ?update_batches:int -> unit -> plan
+(** Run the workload to completion (defaults: seed 42, 12 documents,
+    3 update batches) and collect the golden snapshots. *)
+
+val crash_points : plan -> int
+(** Number of physical I/Os the workload performs — one crash point
+    each. *)
+
+type point_report = {
+  crash_at : int;
+  recovery : Mneme.Journal.recovery;
+  opened : bool;  (** the crash image opened as a store *)
+  problems : string list;  (** invariant violations; [] = consistent *)
+}
+
+val run_point : plan -> int -> point_report
+(** Replay the workload crashing at the given I/O (1-based), recover,
+    audit.  Raises [Invalid_argument] outside [1 .. crash_points]. *)
+
+type outcome = {
+  crash_points : int;
+  opened : int;
+  unopenable : int;  (** crash images from before the first commit *)
+  replayed : int;
+  discarded : int;
+  clean : int;  (** recovery verdicts across all points *)
+  problems : (int * string) list;  (** (crash point, violation) *)
+}
+
+val run : ?seed:int -> ?docs:int -> ?update_batches:int -> unit -> outcome
+(** Enumerate every crash point.  [problems = []] means the store
+    survived a crash at every single I/O of the workload. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -83,7 +83,14 @@ let run store =
       let counted = Store.pool_object_count pool in
       if counted <> !live then
         flag pname (Printf.sprintf "pool count %d but %d live slots" counted !live);
-      (* 4. Packed segment directories are internally consistent. *)
+      (* 4. Every flushed segment's on-disk bytes match their recorded
+         CRC32 (read fresh from the file, bypassing buffered copies). *)
+      List.iter
+        (fun (id, _) ->
+          if not (Store.verify_segment_crc pool id) then
+            flag (Printf.sprintf "%s/pseg %d" pname id) "segment CRC32 mismatch")
+        segments;
+      (* 5. Packed segment directories are internally consistent. *)
       List.iter
         (fun (id, _) ->
           match policy.Policy.layout with
@@ -107,7 +114,7 @@ let run store =
               overlap sorted_entries))
         segments)
     pools;
-  (* 5. Store-level object count matches the pools. *)
+  (* 6. Store-level object count matches the pools. *)
   let total = List.fold_left (fun acc p -> acc + Store.pool_object_count p) 0 pools in
   if total <> Store.object_count store then
     flag "store"

@@ -10,6 +10,9 @@
       populated slot (fixed layout);
     - segment directories are well-formed (extents inside the segment,
       no overlaps);
+    - every flushed segment's on-disk bytes match the CRC32 recorded
+      when the segment was written (read fresh from the file, so a
+      clean buffered copy cannot mask on-disk corruption);
     - per-pool object counts match the live slot counts, and their sum
       matches the store header.
 

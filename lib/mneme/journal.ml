@@ -75,7 +75,10 @@ let commit t =
   | None -> invalid_arg "Journal.commit: no batch open"
   | Some pending ->
     let writes = List.rev pending in
-    (* 1. Write-ahead: every record, then the commit marker. *)
+    (* 1. Write-ahead: every record, then the commit marker sealing the
+       records with a CRC32 over their serialised image.  The batch is
+       committed the instant the log fsync completes — a torn log tail
+       or a bit-flipped record fails the CRC and is discarded. *)
     let buf = Buffer.create 4096 in
     List.iter
       (fun (off, b) ->
@@ -83,14 +86,18 @@ let commit t =
         Util.Bin.buf_u32 buf (Bytes.length b);
         Buffer.add_bytes buf b)
       writes;
+    let records = Buffer.to_bytes buf in
     Util.Bin.buf_u64 buf terminator;
-    Util.Bin.buf_u32 buf (List.length writes);
+    Util.Bin.buf_u32 buf (Util.Crc32.digest_bytes records);
     let log_image = Buffer.to_bytes buf in
     Vfs.truncate t.log 0;
     ignore (Vfs.append t.log log_image);
+    Vfs.fsync t.log;
     t.logged_bytes <- t.logged_bytes + Bytes.length log_image;
-    (* 2. Apply to the data file. *)
+    (* 2. Apply to the data file, and make it durable before the log is
+       dropped — otherwise the checkpoint could outlive the data. *)
     apply_to_data t writes;
+    Vfs.fsync t.data;
     (* 3. Checkpoint: the batch is durable, drop the log. *)
     Vfs.truncate t.log 0;
     t.batch <- None
@@ -102,23 +109,29 @@ let abort t =
 
 type recovery = Replayed of int | Discarded of int | Clean
 
-(* Parse the log: Some (writes, complete) where [complete] means the
-   commit marker with a matching count was found. *)
+(* Parse the log: (writes, complete) where [complete] means the commit
+   marker was found and its CRC32 matches the record image — anything
+   else (torn tail, bit flip, garbage) makes the batch incomplete. *)
 let parse_log bytes =
   let size = Bytes.length bytes in
   let rec go pos acc =
     if pos + 12 > size then (List.rev acc, false)
+    (* The marker is matched on the raw 8 bytes: a decoder working in
+       OCaml's 63-bit ints cannot see bit 63, and a damaged marker must
+       never pass for a commit. *)
+    else if Bytes.get_int64_le bytes pos = Int64.of_int terminator then begin
+      let crc = Util.Bin.get_u32 bytes (pos + 8) in
+      (List.rev acc, crc = Util.Crc32.digest_sub bytes ~pos:0 ~len:pos)
+    end
     else begin
-      let off = Util.Bin.get_u64 bytes pos in
-      if off = terminator then begin
-        let count = Util.Bin.get_u32 bytes (pos + 8) in
-        (List.rev acc, count = List.length acc)
-      end
-      else begin
+      (* A flipped high bit can push the stored u64 outside OCaml's int
+         range; an undecodable offset is corruption, not a crash. *)
+      match Util.Bin.get_u64 bytes pos with
+      | exception Invalid_argument _ -> (List.rev acc, false)
+      | off ->
         let len = Util.Bin.get_u32 bytes (pos + 8) in
         if pos + 12 + len > size then (List.rev acc, false)
         else go (pos + 12 + len) ((off, Bytes.sub bytes (pos + 12) len) :: acc)
-      end
     end
   in
   go 0 []
@@ -132,6 +145,9 @@ let recover t =
     let result =
       if complete then begin
         apply_to_data t writes;
+        (* The replay must be durable before the log is dropped, or a
+           second crash would lose the committed batch for good. *)
+        Vfs.fsync t.data;
         Replayed (List.length writes)
       end
       else Discarded (List.length writes)

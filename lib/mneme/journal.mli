@@ -14,16 +14,18 @@
       pending table instead of reaching the data file; readers see them
       through {!read} (read-your-writes);
     - {!commit} appends every pending write plus a commit marker to the
-      log file, then applies the writes to the data file, then truncates
-      the log (checkpoint);
+      log file and {b fsyncs the log} — the commit point — then applies
+      the writes to the data file, {b fsyncs the data}, and only then
+      truncates the log (checkpoint);
     - {!recover} scans the log: a complete batch bearing its commit
-      marker is replayed (the apply phase may have been interrupted); an
-      incomplete batch is discarded.  Either way the data file ends in a
-      transaction-consistent state.
+      marker is replayed (the apply phase may have been interrupted) and
+      fsynced; an incomplete batch is discarded.  Either way the data
+      file ends in a transaction-consistent state.
 
     Log record: [off u64][len u32][bytes]; batch terminator:
-    [0xffffffffffffffff][checksum u32 over the batch's record count].
-    A torn tail (any truncation point) is detected and discarded. *)
+    [0xffffffffffffff u64][CRC32 u32 over the serialised records].
+    A torn tail (any truncation point) or a corrupted record (any bit
+    flip) fails the CRC and is discarded. *)
 
 type t
 

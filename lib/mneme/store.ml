@@ -1,7 +1,7 @@
 exception Corrupt of string
 
 let magic = "MNEM"
-let version = 1
+let version = 2 (* v2: per-physical-segment CRC32s in the pool tables *)
 let header_size = 64
 
 (* Header layout:
@@ -31,7 +31,7 @@ type pool = {
   mutable loaded : bool;
   mutable blob : (int * int) option; (* persisted blob extent, for lazy load *)
   mutable pbuffer : Buffer_pool.t option;
-  psegs : (int, int * int) Hashtbl.t; (* pseg id -> (file offset, length) *)
+  psegs : (int, int * int * int) Hashtbl.t; (* pseg id -> (offset, length, crc32) *)
   mutable next_pseg : int;
   lsegs : (int, int array) Hashtbl.t; (* lseg -> per-slot pseg id, -1 = absent *)
   mutable cur_lseg : int; (* -1 = no allocation lseg open *)
@@ -181,9 +181,10 @@ let encode_pool_blob pool =
   Util.Bin.buf_u32 buf pool.next_pseg;
   for id = 0 to pool.next_pseg - 1 do
     match Hashtbl.find_opt pool.psegs id with
-    | Some (off, len) ->
+    | Some (off, len, crc) ->
       Util.Bin.buf_u64 buf off;
-      Util.Bin.buf_u32 buf len
+      Util.Bin.buf_u32 buf len;
+      Util.Bin.buf_u32 buf crc
     | None -> assert false (* every reserved pseg id is flushed before finalize *)
   done;
   Util.Bin.buf_u32 buf pool.obj_count;
@@ -215,8 +216,9 @@ let decode_pool_blob pool b =
   for id = 0 to pseg_count - 1 do
     let off = Util.Bin.get_u64 b !pos in
     let len = Util.Bin.get_u32 b (!pos + 8) in
-    pos := !pos + 12;
-    Hashtbl.replace pool.psegs id (off, len)
+    let crc = Util.Bin.get_u32 b (!pos + 12) in
+    pos := !pos + 16;
+    Hashtbl.replace pool.psegs id (off, len, crc)
   done;
   pool.obj_count <- Util.Bin.get_u32 b !pos;
   let lseg_count = Util.Bin.get_u32 b (!pos + 4) in
@@ -355,7 +357,7 @@ let flush_open_pseg pool =
     let size = Bytes.length bytes in
     let off = alloc_region pool.store ~align:policy.Policy.align ~size in
     st_write pool.store ~off bytes;
-    Hashtbl.replace pool.psegs pseg_id (off, size);
+    Hashtbl.replace pool.psegs pseg_id (off, size, Util.Crc32.digest_bytes bytes);
     pool.open_pseg <- None
 
 let fresh_lseg pool =
@@ -417,7 +419,7 @@ let place_object pool ~oid bytes_v =
       let seg = serialize_packed [ (oid, bytes_v) ] in
       let off = alloc_region pool.store ~align:policy.Policy.align ~size:(Bytes.length seg) in
       st_write pool.store ~off seg;
-      Hashtbl.replace pool.psegs pseg_id (off, Bytes.length seg);
+      Hashtbl.replace pool.psegs pseg_id (off, Bytes.length seg, Util.Crc32.digest_bytes seg);
       (slots_of pool lseg).(slot) <- pseg_id
     end
     else begin
@@ -503,11 +505,18 @@ let segment_bytes pool pseg =
   | Some _ | None -> (
     match Hashtbl.find_opt pool.psegs pseg with
     | None -> raise (Corrupt (Printf.sprintf "Store: pseg %d of pool %s not on disk" pseg pool.pname))
-    | Some (off, len) -> (
+    | Some (off, len, crc) -> (
       match pool.pbuffer with
       | None -> invalid_arg ("Store: pool has no buffer attached: " ^ pool.pname)
       | Some buffer ->
-        `Disk (Buffer_pool.fault buffer ~pseg ~load:(fun () -> st_read pool.store ~off ~len))))
+        `Disk
+          (Buffer_pool.fault buffer ~pseg ~load:(fun () ->
+               let bytes = st_read pool.store ~off ~len in
+               if Util.Crc32.digest_bytes bytes <> crc then
+                 raise
+                   (Corrupt
+                      (Printf.sprintf "Store: pseg %d of pool %s fails its CRC32" pseg pool.pname));
+               bytes))))
 
 let extract_object pool oid seg =
   let policy = policy_of pool in
@@ -556,9 +565,10 @@ let object_size t oid =
 let write_back pool pseg bytes =
   match Hashtbl.find_opt pool.psegs pseg with
   | None -> raise (Corrupt "Store.write_back: unknown pseg")
-  | Some (off, len) ->
+  | Some (off, len, _) ->
     assert (Bytes.length bytes = len);
     st_write pool.store ~off bytes;
+    Hashtbl.replace pool.psegs pseg (off, len, Util.Crc32.digest_bytes bytes);
     (match pool.pbuffer with
     | Some buffer -> Buffer_pool.update buffer ~pseg bytes
     | None -> ())
@@ -725,7 +735,11 @@ let finalize t =
   st_write t ~off:dir_off dir_bytes;
   t.aux <- Some (dir_off, Bytes.length dir_bytes);
   t.finalized <- true;
-  write_header t
+  write_header t;
+  (* Durability: an unjournaled finalize syncs the file itself; under a
+     journal the enclosing commit is the durability point (the batch is
+     fsynced to the log before any of it reaches the data file). *)
+  match t.journal with None -> Vfs.fsync t.file | Some _ -> ()
 
 let file_size t =
   match t.journal with Some j -> Journal.data_size j | None -> Vfs.size t.file
@@ -774,8 +788,20 @@ let pools t =
 
 let pool_segments pool =
   ensure_loaded pool;
-  Hashtbl.fold (fun id extent acc -> (id, extent) :: acc) pool.psegs []
+  Hashtbl.fold (fun id (off, len, _) acc -> (id, (off, len)) :: acc) pool.psegs []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let segment_crc pool pseg =
+  ensure_loaded pool;
+  match Hashtbl.find_opt pool.psegs pseg with Some (_, _, crc) -> Some crc | None -> None
+
+(* Re-read the segment from the file (bypassing any buffered copy) and
+   compare against the recorded checksum — the fsck CRC pass. *)
+let verify_segment_crc pool pseg =
+  ensure_loaded pool;
+  match Hashtbl.find_opt pool.psegs pseg with
+  | None -> true (* still open in memory: no on-disk image to damage *)
+  | Some (off, len, crc) -> Util.Crc32.digest_bytes (st_read pool.store ~off ~len) = crc
 
 let pool_slot_tables pool =
   ensure_loaded pool;

@@ -54,7 +54,9 @@ val allocate : pool -> bytes -> Oid.t
 
 val get : t -> Oid.t -> bytes
 (** Retrieve an object's bytes.  Raises [Not_found] if the id was never
-    allocated or was deleted. *)
+    allocated or was deleted, and [Corrupt] if the object's physical
+    segment fails its CRC32 when faulted from disk — corrupted data is
+    never silently returned. *)
 
 val get_opt : t -> Oid.t -> bytes option
 
@@ -143,6 +145,17 @@ val pools : t -> pool list
 val pool_segments : pool -> (int * (int * int)) list
 (** [(pseg id, (file offset, length))] for every flushed physical
     segment, ascending by id. *)
+
+val segment_crc : pool -> int -> int option
+(** CRC32 recorded for a flushed physical segment (computed when the
+    segment was written; verified on every fault from disk, so a
+    corrupted segment raises [Corrupt] instead of returning garbage).
+    [None] while the segment is still open in memory. *)
+
+val verify_segment_crc : pool -> int -> bool
+(** Re-read the segment from the file — bypassing any buffered copy —
+    and check it against the recorded CRC32.  [true] for a segment that
+    has no on-disk image yet. *)
 
 val pool_slot_tables : pool -> (int * int array) list
 (** [(lseg, slots)] pairs, ascending by lseg; each slot holds the

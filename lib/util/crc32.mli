@@ -1,0 +1,24 @@
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected).
+
+    Used as the integrity checksum of the storage layer: the journal's
+    commit marker carries a CRC over the batch image, and every flushed
+    Mneme physical segment records a CRC in the pool tables so that
+    media corruption is detected on read instead of being returned as
+    object bytes.
+
+    The implementation is the standard table-driven byte-at-a-time
+    algorithm; [digest] of "123456789" is 0xCBF43926. *)
+
+val update : int -> bytes -> pos:int -> len:int -> int
+(** [update crc b ~pos ~len] folds [len] bytes starting at [pos] into a
+    running checksum.  Start from [0] and chain calls to checksum
+    discontiguous data.  Raises [Invalid_argument] on an out-of-range
+    slice. *)
+
+val digest_bytes : bytes -> int
+(** Checksum of a whole byte string (an [update] from zero). *)
+
+val digest_string : string -> int
+
+val digest_sub : bytes -> pos:int -> len:int -> int
+(** Checksum of a slice. *)

@@ -1,0 +1,33 @@
+type kind = Read | Write
+type decision = Proceed | Crash | Flip_bit of int
+
+type plan = { mutable ios : int; rule : io:int -> kind -> decision }
+
+let none () = { ios = 0; rule = (fun ~io:_ _ -> Proceed) }
+
+let crash_at_io n =
+  if n < 1 then invalid_arg "Fault.crash_at_io: crash point is 1-based";
+  { ios = 0; rule = (fun ~io _ -> if io >= n then Crash else Proceed) }
+
+(* SplitMix64 finalizer: a well-mixed bit choice from (seed, io) without
+   dragging in generator state. *)
+let mix seed io =
+  let z = ref ((seed * 0x9E3779B9) + (io * 0x85EBCA6B)) in
+  z := (!z lxor (!z lsr 30)) * 0x4D049BB133111EB;
+  z := (!z lxor (!z lsr 27)) * 0x1CE4E5B9BF58476D;
+  abs (!z lxor (!z lsr 31))
+
+let flip_bit_on_read ~io ~seed =
+  {
+    ios = 0;
+    rule =
+      (fun ~io:n kind ->
+        match kind with Read when n = io -> Flip_bit (mix seed io) | _ -> Proceed);
+  }
+
+let custom rule = { ios = 0; rule }
+let io_count p = p.ios
+
+let observe p kind =
+  p.ios <- p.ios + 1;
+  p.rule ~io:p.ios kind

@@ -1,0 +1,49 @@
+(** Deterministic fault-injection plans for the simulated disk.
+
+    A plan is attached to a {!Vfs.t} and consulted once per physical
+    block I/O — a cache-miss block read, or a dirty-block flush during
+    [fsync]/[sync].  The plan decides whether the I/O proceeds, the
+    process crashes ([Vfs.Crash] is raised before the block reaches the
+    device, so a crash mid-[fsync] leaves a torn write: only the prefix
+    of dirty blocks flushed so far is durable), or — for reads — a bit
+    of the block is flipped in place, modelling media corruption.
+
+    Plans are deterministic: the same seed and the same workload produce
+    the same faults, which is what lets the torture harness enumerate
+    and replay every crash point (ALICE / CrashMonkey style). *)
+
+type kind = Read | Write
+(** The two physical I/O directions: block reads from the device and
+    dirty-block flushes to it. *)
+
+type decision =
+  | Proceed
+  | Crash  (** raise [Vfs.Crash] before the block transfers *)
+  | Flip_bit of int
+      (** flip this bit offset (within the block) of the transferred
+          data; only honoured on reads, writes treat it as [Proceed] *)
+
+type plan
+
+val none : unit -> plan
+(** Count I/Os, inject nothing.  Run a workload under [none] first to
+    learn how many crash points there are to enumerate. *)
+
+val crash_at_io : int -> plan
+(** [crash_at_io n] crashes on the [n]-th physical I/O (1-based) and on
+    every later one, so a workload cannot run past its crash point. *)
+
+val flip_bit_on_read : io:int -> seed:int -> plan
+(** [flip_bit_on_read ~io ~seed] corrupts the block transferred by the
+    [io]-th physical I/O, if it is a read: one bit, chosen
+    deterministically from [seed], is flipped.  Other I/Os proceed. *)
+
+val custom : (io:int -> kind -> decision) -> plan
+(** Full control: the callback sees the 1-based I/O ordinal and kind. *)
+
+val io_count : plan -> int
+(** Number of physical I/Os observed so far. *)
+
+val observe : plan -> kind -> decision
+(** Called by {!Vfs} once per physical block I/O.  Advances the counter
+    and returns the plan's decision. *)

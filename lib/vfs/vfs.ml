@@ -1,5 +1,8 @@
 module Clock = Clock
 module Cost_model = Cost_model
+module Fault = Fault
+
+exception Crash
 
 type counters = {
   disk_inputs : int;
@@ -15,7 +18,8 @@ type file = {
   owner : t;
   fid : int;
   name : string;
-  mutable data : Bytes.t;
+  mutable data : Bytes.t; (* the OS view: cache + device *)
+  mutable durable : Bytes.t; (* what the device actually holds *)
   mutable size : int;
 }
 
@@ -24,6 +28,8 @@ and t = {
   clk : Clock.t;
   os_cache : (int * int, unit) Util.Lru.t; (* (file id, block number) *)
   files : (string, file) Hashtbl.t;
+  dirty : (int * int, file) Hashtbl.t; (* written but not yet flushed *)
+  mutable fault : Fault.plan;
   mutable next_fid : int;
   mutable last_disk_block : (int * int) option; (* disk head position *)
   mutable c_disk_inputs : int;
@@ -41,6 +47,8 @@ let create ?(cost_model = Cost_model.default) () =
     clk = Clock.create ();
     os_cache = Util.Lru.create ~capacity:cost_model.Cost_model.os_cache_blocks;
     files = Hashtbl.create 16;
+    dirty = Hashtbl.create 64;
+    fault = Fault.none ();
     next_fid = 0;
     last_disk_block = None;
     c_disk_inputs = 0;
@@ -88,28 +96,81 @@ let diff_counters ~later ~earlier =
 
 let purge_os_cache t = Util.Lru.clear t.os_cache
 
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+
+let set_fault t plan = t.fault <- plan
+let clear_fault t = t.fault <- Fault.none ()
+let fault_io_count t = Fault.io_count t.fault
+
+(* Consult the plan before a physical block I/O.  A bit flip is media
+   corruption: it damages both the OS view and the durable image, so the
+   garbage survives cache purges and crashes alike. *)
+let fault_block f kind ~blk =
+  let t = f.owner in
+  match Fault.observe t.fault kind with
+  | Fault.Proceed -> ()
+  | Fault.Crash -> raise Crash
+  | Fault.Flip_bit bit -> (
+    match kind with
+    | Fault.Write -> ()
+    | Fault.Read ->
+      let bs = t.model.Cost_model.block_size in
+      (* Land the flip inside the file's bytes of this block, so the
+         corruption is never silently out of range. *)
+      let block_bytes = min bs (f.size - (blk * bs)) in
+      let byte = if block_bytes <= 0 then f.size else (blk * bs) + (bit / 8 mod block_bytes) in
+      if byte < f.size then begin
+        let mask = Char.chr (1 lsl (bit mod 8)) in
+        let flip buf =
+          if byte < Bytes.length buf then
+            Bytes.set buf byte (Char.chr (Char.code (Bytes.get buf byte) lxor Char.code mask))
+        in
+        flip f.data;
+        flip f.durable
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Files                                                               *)
+
 let open_file t name =
   match Hashtbl.find_opt t.files name with
   | Some f -> f
   | None ->
-    let f = { owner = t; fid = t.next_fid; name; data = Bytes.create 0; size = 0 } in
+    let f =
+      { owner = t; fid = t.next_fid; name; data = Bytes.create 0; durable = Bytes.create 0;
+        size = 0 }
+    in
     t.next_fid <- t.next_fid + 1;
     Hashtbl.add t.files name f;
     f
 
 let file_exists t name = Hashtbl.mem t.files name
 
+(* Collect-then-remove helper for the (fid, block) keyed tables: we must
+   not remove while iterating. *)
+let drop_file_blocks t ~fid ~from_blk =
+  let stale = ref [] in
+  Util.Lru.iter t.os_cache (fun (f, blk) () ->
+      if f = fid && blk >= from_blk then stale := (f, blk) :: !stale);
+  List.iter (Util.Lru.remove t.os_cache) !stale;
+  let stale_dirty = ref [] in
+  Hashtbl.iter (fun (f, blk) _ -> if f = fid && blk >= from_blk then stale_dirty := (f, blk) :: !stale_dirty) t.dirty;
+  List.iter (Hashtbl.remove t.dirty) !stale_dirty
+
 let delete_file t name =
   match Hashtbl.find_opt t.files name with
   | None -> ()
   | Some f ->
     Hashtbl.remove t.files name;
-    (* Drop this file's blocks from the OS cache (collect first: we must
-       not remove while iterating). *)
-    let stale = ref [] in
-    Util.Lru.iter t.os_cache (fun (fid, blk) () ->
-        if fid = f.fid then stale := (fid, blk) :: !stale);
-    List.iter (Util.Lru.remove t.os_cache) !stale
+    drop_file_blocks t ~fid:f.fid ~from_blk:0;
+    (* The head must not keep pointing at a dead fid: a later read could
+       otherwise be misjudged (the model's fids are never reused, but
+       the stale position is still wrong — the platters under it now
+       belong to free space). *)
+    (match t.last_disk_block with
+    | Some (fid, _) when fid = f.fid -> t.last_disk_block <- None
+    | Some _ | None -> ())
 
 let file_names t =
   Hashtbl.fold (fun name _ acc -> name :: acc) t.files [] |> List.sort compare
@@ -131,6 +192,7 @@ let touch_blocks_read f ~off ~len =
       | Some () -> t.c_hits <- t.c_hits + 1
       | None ->
         t.c_misses <- t.c_misses + 1;
+        fault_block f Fault.Read ~blk;
         t.c_disk_inputs <- t.c_disk_inputs + 1;
         let sequential =
           match t.last_disk_block with
@@ -144,15 +206,14 @@ let touch_blocks_read f ~off ~len =
         ignore (Util.Lru.add t.os_cache (f.fid, blk) ())
     done
 
+(* Write-back: the blocks land dirty in the OS cache; nothing reaches
+   the device (or the durable image) until [fsync]. *)
 let touch_blocks_write f ~off ~len =
   let t = f.owner in
   let bs = t.model.Cost_model.block_size in
   if len > 0 then
     for blk = off / bs to (off + len - 1) / bs do
-      (* Write-through: the block lands on disk and stays in the cache. *)
-      t.c_disk_outputs <- t.c_disk_outputs + 1;
-      Clock.charge_disk t.clk t.model.Cost_model.disk_write_ms;
-      t.last_disk_block <- Some (f.fid, blk);
+      Hashtbl.replace t.dirty (f.fid, blk) f;
       ignore (Util.Lru.add t.os_cache (f.fid, blk) ())
     done
 
@@ -174,7 +235,10 @@ let ensure_capacity f n =
     let cap' = max n (max 4096 (cap * 2)) in
     let data' = Bytes.make cap' '\000' in
     Bytes.blit f.data 0 data' 0 f.size;
-    f.data <- data'
+    f.data <- data';
+    let durable' = Bytes.make cap' '\000' in
+    Bytes.blit f.durable 0 durable' 0 (Bytes.length f.durable);
+    f.durable <- durable'
   end
 
 let write f ~off b =
@@ -196,8 +260,80 @@ let append f b =
 
 let truncate f n =
   if n < 0 then invalid_arg "Vfs.truncate: negative size";
+  let t = f.owner in
+  (* A real truncate is a system call like any other metadata change. *)
+  Clock.charge_syscall t.clk t.model.Cost_model.syscall_ms;
+  t.c_file_accesses <- t.c_file_accesses + 1;
   if n > f.size then begin
     ensure_capacity f n;
     Bytes.fill f.data f.size (n - f.size) '\000'
+  end
+  else begin
+    (* Shrink: blocks wholly past the new EOF must leave the OS cache
+       (they would otherwise serve stale hits if the file regrows) and
+       the dirty set (there is nothing left to flush).  The discarded
+       tail is zeroed in both images so it cannot resurface. *)
+    let bs = t.model.Cost_model.block_size in
+    drop_file_blocks t ~fid:f.fid ~from_blk:((n + bs - 1) / bs);
+    let zero_tail buf =
+      let cap = Bytes.length buf in
+      if n < cap then Bytes.fill buf n (cap - n) '\000'
+    in
+    zero_tail f.data;
+    zero_tail f.durable
   end;
   f.size <- n
+
+(* ------------------------------------------------------------------ *)
+(* Durability                                                          *)
+
+let flush_block f blk =
+  let t = f.owner in
+  let bs = t.model.Cost_model.block_size in
+  fault_block f Fault.Write ~blk;
+  (* The block transfers: charge it, move the head, persist the bytes. *)
+  t.c_disk_outputs <- t.c_disk_outputs + 1;
+  Clock.charge_disk t.clk t.model.Cost_model.disk_write_ms;
+  t.last_disk_block <- Some (f.fid, blk);
+  let lo = blk * bs in
+  let hi = min (lo + bs) (Bytes.length f.data) in
+  if hi > lo then Bytes.blit f.data lo f.durable lo (hi - lo);
+  Hashtbl.remove t.dirty (f.fid, blk)
+
+let fsync f =
+  let t = f.owner in
+  Clock.charge_syscall t.clk t.model.Cost_model.syscall_ms;
+  let blocks =
+    Hashtbl.fold (fun (fid, blk) _ acc -> if fid = f.fid then blk :: acc else acc) t.dirty []
+  in
+  (* Ascending order: a crash mid-fsync durably persists a prefix of the
+     dirty blocks — the torn-write failure mode. *)
+  List.iter (flush_block f) (List.sort compare blocks)
+
+let sync t =
+  let files = Hashtbl.fold (fun _ f acc -> if List.memq f acc then acc else f :: acc) t.dirty [] in
+  List.iter fsync (List.sort (fun a b -> compare a.fid b.fid) files)
+
+let dirty_blocks t = Hashtbl.length t.dirty
+
+(* The state a machine reboot would find: every file at its metadata
+   size, with only flushed block contents.  Metadata operations (create,
+   delete, truncate, size changes) are modelled as journaled by the file
+   system and hence durable immediately; data blocks are durable only
+   once fsynced. *)
+let crash_image t =
+  let t' = create ~cost_model:t.model () in
+  let files = Hashtbl.fold (fun _ f acc -> f :: acc) t.files [] in
+  let files = List.sort (fun a b -> compare a.fid b.fid) files in
+  List.iter
+    (fun f ->
+      let f' = open_file t' f.name in
+      ensure_capacity f' f.size;
+      let n = min f.size (Bytes.length f.durable) in
+      if n > 0 then begin
+        Bytes.blit f.durable 0 f'.data 0 n;
+        Bytes.blit f.durable 0 f'.durable 0 n
+      end;
+      f'.size <- f.size)
+    files;
+  t'

@@ -13,7 +13,25 @@
 
     Reads and writes charge the {!Clock} according to the {!Cost_model}:
     a syscall fee per access, a disk fee per block that misses the OS
-    cache, and a copy fee per byte transferred. *)
+    cache, and a copy fee per byte transferred.
+
+    {b Durability model.}  Writes are {e write-back}: the blocks land
+    dirty in the OS cache and reads see them immediately, but nothing
+    reaches the device until {!fsync} (per file) or {!sync} (everything)
+    flushes the dirty blocks — each flushed block is a charged disk
+    output.  {!crash_image} produces the state a reboot would find: only
+    flushed block contents survive.  Metadata (file existence, size,
+    truncation) is modelled as journaled by the file system and hence
+    durable immediately; only data blocks need syncing.  The model is
+    deliberately pessimistic — no background writeback ever runs, so an
+    unsynced write {e never} survives a crash (the ALICE assumption).
+
+    {b Fault injection.}  A {!Fault.plan} attached with {!set_fault} is
+    consulted on every physical block I/O and can crash the process
+    (raising {!Crash} — mid-[fsync] this persists only a prefix of the
+    dirty blocks, a torn write) or flip a bit of a block being read
+    (media corruption: the damage persists in both the OS view and the
+    durable image). *)
 
 module Clock : module type of Clock
 (** Re-exported: the simulated clock (this module is the library root,
@@ -21,6 +39,14 @@ module Clock : module type of Clock
 
 module Cost_model : module type of Cost_model
 (** Re-exported: the hardware cost model. *)
+
+module Fault : module type of Fault
+(** Re-exported: deterministic fault-injection plans. *)
+
+exception Crash
+(** The simulated machine lost power: raised by a faulting I/O.  All
+    in-memory state of the workload must be considered gone; continue
+    from {!crash_image}. *)
 
 type t
 type file
@@ -80,4 +106,41 @@ val append : file -> bytes -> int
 
 val truncate : file -> int -> unit
 (** [truncate f n] sets the size to [n] (only shrinking is meaningful;
-    growing pads with zeros).  Raises [Invalid_argument] if [n < 0]. *)
+    growing pads with zeros).  Charged as one system call.  Shrinking
+    evicts the truncated-away blocks from the OS cache and the dirty
+    set, and zeroes the discarded tail in the durable image (truncate is
+    a metadata operation, durable immediately).  Raises
+    [Invalid_argument] if [n < 0]. *)
+
+(** {2 Durability} *)
+
+val fsync : file -> unit
+(** Flush the file's dirty blocks to the device in ascending block
+    order, charging one system call plus one disk write per block.  On
+    return the file's contents are crash-durable.  May raise {!Crash}
+    under a fault plan — in that case only the blocks flushed before the
+    crash point are durable (a torn write). *)
+
+val sync : t -> unit
+(** [fsync] every file that has dirty blocks, in fid order. *)
+
+val dirty_blocks : t -> int
+(** Number of written-but-unflushed blocks across all files. *)
+
+val crash_image : t -> t
+(** A fresh file system holding what a reboot would find: every file at
+    its metadata size with only the fsynced block contents (unflushed
+    blocks read as their last durable bytes, or zeros).  The image has
+    cold caches, zeroed counters, a reset clock and no fault plan. *)
+
+(** {2 Fault injection} *)
+
+val set_fault : t -> Fault.plan -> unit
+(** Attach a fault plan; it is consulted on every subsequent physical
+    block I/O.  Replaces any previous plan. *)
+
+val clear_fault : t -> unit
+
+val fault_io_count : t -> int
+(** Physical I/Os observed by the current plan — run a workload under
+    [Fault.none] and read this to learn the crash-point count. *)

@@ -1,0 +1,65 @@
+(* CRC-32 (IEEE 802.3) against published check values. *)
+
+let hex = Alcotest.testable (fun fmt v -> Format.fprintf fmt "0x%08X" v) ( = )
+
+let test_known_vectors () =
+  (* The standard check value for this polynomial. *)
+  Alcotest.check hex "123456789" 0xCBF43926 (Util.Crc32.digest_string "123456789");
+  Alcotest.check hex "empty" 0x00000000 (Util.Crc32.digest_string "");
+  Alcotest.check hex "a" 0xE8B7BE43 (Util.Crc32.digest_string "a");
+  Alcotest.check hex "abc" 0x352441C2 (Util.Crc32.digest_string "abc");
+  Alcotest.check hex "quick brown fox" 0x414FA339
+    (Util.Crc32.digest_string "The quick brown fox jumps over the lazy dog")
+
+let test_incremental_matches_one_shot () =
+  let b = Bytes.of_string "incremental digests must compose" in
+  let n = Bytes.length b in
+  let split = 11 in
+  let crc = Util.Crc32.update 0 b ~pos:0 ~len:split in
+  let crc = Util.Crc32.update crc b ~pos:split ~len:(n - split) in
+  Alcotest.check hex "two updates = one digest" (Util.Crc32.digest_bytes b) crc;
+  Alcotest.check hex "digest_sub of a slice"
+    (Util.Crc32.digest_string "digests")
+    (Util.Crc32.digest_sub b ~pos:12 ~len:7)
+
+let test_detects_any_single_bit_flip () =
+  let b = Bytes.of_string "\x00\xff checksummed payload \x80\x01" in
+  let clean = Util.Crc32.digest_bytes b in
+  for i = 0 to Bytes.length b - 1 do
+    for bit = 0 to 7 do
+      let damaged = Bytes.copy b in
+      Bytes.set damaged i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+      if Util.Crc32.digest_bytes damaged = clean then
+        Alcotest.failf "flip of byte %d bit %d not detected" i bit
+    done
+  done
+
+let test_update_bounds () =
+  let b = Bytes.of_string "abc" in
+  List.iter
+    (fun (pos, len) ->
+      match Util.Crc32.update 0 b ~pos ~len with
+      | _ -> Alcotest.failf "pos %d len %d should raise" pos len
+      | exception Invalid_argument _ -> ())
+    [ (-1, 1); (0, 4); (2, 2); (0, -1) ]
+
+let prop_single_flip_always_detected =
+  (* CRC-32 detects every single-bit error regardless of message length
+     or position — a guarantee, not a probability. *)
+  QCheck.Test.make ~name:"random string, random bit flip is detected" ~count:200
+    QCheck.(
+      triple (string_of_size (QCheck.Gen.int_range 1 256)) small_nat (int_range 0 7))
+    (fun (s, i, bit) ->
+      let b = Bytes.of_string s in
+      let i = i mod Bytes.length b in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+      Util.Crc32.digest_bytes b <> Util.Crc32.digest_string s)
+
+let suite =
+  [
+    Alcotest.test_case "known vectors" `Quick test_known_vectors;
+    Alcotest.test_case "incremental matches one-shot" `Quick test_incremental_matches_one_shot;
+    Alcotest.test_case "detects any single bit flip" `Quick test_detects_any_single_bit_flip;
+    Alcotest.test_case "update bounds" `Quick test_update_bounds;
+    QCheck_alcotest.to_alcotest prop_single_flip_always_detected;
+  ]

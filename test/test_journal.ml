@@ -84,15 +84,17 @@ let test_recovery_at_every_truncation () =
   let committed = read_data data in
   (* Reconstruct the full log image (commit truncates it, so rebuild the
      same bytes by hand with the documented format). *)
-  let buf = Buffer.create 64 in
+  let records = Buffer.create 64 in
   List.iter
     (fun (off, s) ->
-      Util.Bin.buf_u64 buf off;
-      Util.Bin.buf_u32 buf (String.length s);
-      Buffer.add_string buf s)
+      Util.Bin.buf_u64 records off;
+      Util.Bin.buf_u32 records (String.length s);
+      Buffer.add_string records s)
     [ (0, "AB"); (5, "CDE") ];
+  let buf = Buffer.create 64 in
+  Buffer.add_buffer buf records;
   Util.Bin.buf_u64 buf 0xffffffffffffff;
-  Util.Bin.buf_u32 buf 2;
+  Util.Bin.buf_u32 buf (Util.Crc32.digest_bytes (Buffer.to_bytes records));
   let image = Buffer.to_bytes buf in
   for cut = 0 to Bytes.length image do
     (* Fresh world, crashed mid-write with [cut] log bytes surviving. *)
@@ -118,6 +120,41 @@ let test_recovery_at_every_truncation () =
     (* Recovery is idempotent: the log is now empty. *)
     Alcotest.(check bool) "second recover clean" true
       (Mneme.Journal.recover j = Mneme.Journal.Clean)
+  done
+
+(* Any single bit flip in a committed log image must fail the CRC:
+   recovery discards the batch rather than replaying damaged writes. *)
+let test_recovery_rejects_corrupted_log () =
+  let records = Buffer.create 64 in
+  List.iter
+    (fun (off, s) ->
+      Util.Bin.buf_u64 records off;
+      Util.Bin.buf_u32 records (String.length s);
+      Buffer.add_string records s)
+    [ (0, "AB"); (5, "CDE") ];
+  let buf = Buffer.create 64 in
+  Buffer.add_buffer buf records;
+  Util.Bin.buf_u64 buf 0xffffffffffffff;
+  Util.Bin.buf_u32 buf (Util.Crc32.digest_bytes (Buffer.to_bytes records));
+  let image = Buffer.to_bytes buf in
+  for i = 0 to Bytes.length image - 1 do
+    for bit = 0 to 7 do
+      let flipped = Bytes.copy image in
+      Bytes.set flipped i (Char.chr (Char.code (Bytes.get image i) lxor (1 lsl bit)));
+      let vfs = Vfs.create () in
+      let data = Vfs.open_file vfs "data" in
+      ignore (Vfs.append data (Bytes.of_string "0123456789"));
+      let log = Vfs.open_file vfs "log" in
+      ignore (Vfs.append log flipped);
+      let j = Mneme.Journal.attach vfs ~log_file:"log" ~data_file:"data" in
+      (match Mneme.Journal.recover j with
+      | Mneme.Journal.Replayed _ ->
+        Alcotest.failf "flip of byte %d bit %d replayed a corrupted batch" i bit
+      | Mneme.Journal.Discarded _ | Mneme.Journal.Clean -> ());
+      Alcotest.(check string)
+        (Printf.sprintf "byte %d bit %d leaves data intact" i bit)
+        "0123456789" (read_data data)
+    done
   done
 
 let test_store_transact_commit () =
@@ -197,6 +234,7 @@ let suite =
     Alcotest.test_case "batch discipline" `Quick test_batch_discipline;
     Alcotest.test_case "recover clean" `Quick test_recover_clean;
     Alcotest.test_case "recovery at every truncation" `Quick test_recovery_at_every_truncation;
+    Alcotest.test_case "recovery rejects corrupted log" `Quick test_recovery_rejects_corrupted_log;
     Alcotest.test_case "store transact commit" `Quick test_store_transact_commit;
     Alcotest.test_case "store transact abort" `Quick test_store_transact_abort_leaves_disk_clean;
     Alcotest.test_case "store recover_journal" `Quick test_store_recover_journal;

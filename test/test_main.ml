@@ -10,6 +10,7 @@ let () =
       ("util.stats", Test_stats.suite);
       ("util.lru", Test_lru.suite);
       ("util.bin", Test_bin.suite);
+      ("util.crc32", Test_crc32.suite);
       ("util.bitio", Test_bitio.suite);
       ("util.codes", Test_codes.suite);
       ("util.tables", Test_tables.suite);
@@ -50,5 +51,6 @@ let () =
       ("core.engine", Test_engine.suite);
       ("core.paper", Test_paper.suite);
       ("core.ablation", Test_ablation.suite);
+      ("core.torture", Test_torture.suite);
       ("properties", Test_properties.suite);
     ]

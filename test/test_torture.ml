@@ -1,0 +1,189 @@
+(* Crash-point torture: every physical I/O of a journaled workload is a
+   crash point, and every crash image must recover to a consistent
+   store; deliberate media corruption must be detected, never served. *)
+
+let test_every_crash_point_recovers () =
+  let o = Core.Torture.run ~seed:42 ~docs:10 ~update_batches:3 () in
+  Alcotest.(check bool) "workload performs I/O" true (o.Core.Torture.crash_points > 30);
+  Alcotest.(check (list (pair int string))) "no invariant violations" [] o.Core.Torture.problems;
+  Alcotest.(check int) "every point audited" o.Core.Torture.crash_points
+    (o.Core.Torture.opened + o.Core.Torture.unopenable);
+  Alcotest.(check bool) "most crash images open" true
+    (o.Core.Torture.opened > o.Core.Torture.unopenable);
+  (* Crashes during an apply phase leave a committed log to replay. *)
+  Alcotest.(check bool) "some logs replayed" true (o.Core.Torture.replayed > 0);
+  (* Crashes during a log write leave an uncommitted log to discard. *)
+  Alcotest.(check bool) "some logs discarded" true (o.Core.Torture.discarded > 0)
+
+(* Random seeds and random crash points — the qcheck angle on the same
+   invariant.  Plans are prepared once per seed and shared. *)
+let prop_random_crash_point_consistent =
+  let plans = Hashtbl.create 4 in
+  let plan_for seed =
+    match Hashtbl.find_opt plans seed with
+    | Some p -> p
+    | None ->
+      let p = Core.Torture.prepare ~seed ~docs:7 ~update_batches:2 () in
+      Hashtbl.add plans seed p;
+      p
+  in
+  QCheck.Test.make ~name:"random workload, random crash point recovers" ~count:40
+    QCheck.(pair (int_range 1 4) (int_range 0 999))
+    (fun (seed, frac) ->
+      let plan = plan_for seed in
+      let n = Core.Torture.crash_points plan in
+      let k = 1 + (frac * n / 1000) in
+      let r = Core.Torture.run_point plan k in
+      r.Core.Torture.problems = [])
+
+(* --- media corruption --------------------------------------------- *)
+
+(* A store whose objects live in known, distinct segments. *)
+let build_two_segment_store vfs =
+  let store = Mneme.Store.create vfs "c.mneme" in
+  let medium = Mneme.Store.add_pool store Mneme.Policy.medium in
+  let large = Mneme.Store.add_pool store Mneme.Policy.large in
+  List.iter
+    (fun (p, n) ->
+      Mneme.Store.attach_buffer p (Mneme.Buffer_pool.create ~name:n ~capacity:100_000 ()))
+    [ (medium, "medium"); (large, "large") ];
+  let a = Mneme.Store.allocate medium (Bytes.make 500 'a') in
+  let b = Mneme.Store.allocate large (Bytes.make 6000 'b') in
+  Mneme.Store.finalize store;
+  (a, b)
+
+let reopen vfs =
+  let store = Mneme.Store.open_existing vfs "c.mneme" in
+  List.iter
+    (fun n ->
+      Mneme.Store.attach_buffer (Mneme.Store.pool store n)
+        (Mneme.Buffer_pool.create ~name:n ~capacity:100_000 ()))
+    [ "medium"; "large" ];
+  store
+
+let corrupt_object_segment vfs ~file store oid =
+  let pool = Option.get (Mneme.Store.pool_of_oid store oid) in
+  let pseg = Option.get (Mneme.Store.locate_pseg store oid) in
+  let off, len = List.assoc pseg (Mneme.Store.pool_segments pool) in
+  let target = off + (len / 2) in
+  let f = Vfs.open_file vfs file in
+  let byte = Bytes.get (Vfs.read f ~off:target ~len:1) 0 in
+  Vfs.write f ~off:target (Bytes.make 1 (Char.chr (Char.code byte lxor 0x10)))
+
+let test_bit_flip_raises_corrupt () =
+  let vfs = Vfs.create () in
+  let a, b = build_two_segment_store vfs in
+  let probe = reopen vfs in
+  corrupt_object_segment vfs ~file:"c.mneme" probe a;
+  (* A fresh session faults the damaged segment from the file: the CRC
+     catches the flip and [get] refuses — garbage is never returned. *)
+  let store = reopen vfs in
+  Alcotest.(check bool) "corrupted object raises Corrupt" true
+    (match Mneme.Store.get store a with
+    | _ -> false
+    | exception Mneme.Store.Corrupt _ -> true);
+  (* The undamaged segment still serves. *)
+  Alcotest.(check bytes) "other segment unaffected" (Bytes.make 6000 'b')
+    (Mneme.Store.get store b);
+  (* fsck names the damaged segment. *)
+  let report = Mneme.Check.run (reopen vfs) in
+  Alcotest.(check bool) "fsck flags it" false (Mneme.Check.ok report);
+  Alcotest.(check bool) "as a CRC mismatch" true
+    (List.exists
+       (fun p -> p.Mneme.Check.what = "segment CRC32 mismatch")
+       report.Mneme.Check.problems)
+
+let test_clean_store_passes_crc_check () =
+  let vfs = Vfs.create () in
+  let _ = build_two_segment_store vfs in
+  let report = Mneme.Check.run (reopen vfs) in
+  Alcotest.(check bool) "clean" true (Mneme.Check.ok report)
+
+(* --- engine salvage ----------------------------------------------- *)
+
+let salvage_model =
+  Collections.Docmodel.make ~name:"salv" ~n_docs:120 ~core_vocab:400 ~mean_doc_len:40.0
+    ~hapax_prob:0.02 ~seed:17 ()
+
+let test_engine_salvages_corrupt_term () =
+  let p = Core.Experiment.prepare salvage_model in
+  let vfs = p.Core.Experiment.vfs in
+  let catalog = Core.Catalog.load vfs ~file:p.Core.Experiment.catalog_file in
+  let dict = catalog.Core.Catalog.dict in
+  let entry term =
+    match Inquery.Dictionary.find dict term with
+    | Some e -> e
+    | None -> Alcotest.failf "term %s not in the synthetic vocabulary" term
+  in
+  (* Find two terms whose records live in different physical segments,
+     then damage the first one's segment on disk. *)
+  let probe = Mneme.Store.open_existing vfs p.Core.Experiment.mneme_file in
+  List.iter
+    (fun n ->
+      Mneme.Store.attach_buffer (Mneme.Store.pool probe n)
+        (Mneme.Buffer_pool.create ~name:n ~capacity:200_000 ()))
+    [ "small"; "medium"; "large" ];
+  (* Segment identity is (pool, pseg): pseg ids are per pool. *)
+  let home oid =
+    match (Mneme.Store.pool_of_oid probe oid, Mneme.Store.locate_pseg probe oid) with
+    | Some pool, Some pseg -> Some (Mneme.Store.pool_name pool, pseg)
+    | _ -> None
+  in
+  let victim = "ba" in
+  let victim_home = home (entry victim).Inquery.Dictionary.locator in
+  let survivor = ref None in
+  Inquery.Dictionary.iter dict (fun e ->
+      if !survivor = None then begin
+        let loc = e.Inquery.Dictionary.locator in
+        if loc >= 0 && home loc <> victim_home && home loc <> None then
+          survivor := Some e.Inquery.Dictionary.term
+      end);
+  let survivor =
+    match !survivor with
+    | Some t -> t
+    | None -> Alcotest.fail "no term outside the victim's segment"
+  in
+  corrupt_object_segment vfs ~file:p.Core.Experiment.mneme_file probe
+    (entry victim).Inquery.Dictionary.locator;
+  let open_engine ~salvage =
+    let store =
+      Core.Mneme_backend.open_session vfs ~file:p.Core.Experiment.mneme_file
+        ~buffers:(Core.Experiment.default_buffers p)
+    in
+    Core.Engine.create ~vfs ~store ~dict ~n_docs:catalog.Core.Catalog.n_docs
+      ~avg_doc_len:(Core.Catalog.avg_doc_length catalog)
+      ~doc_len:(fun d ->
+        if d < 0 || d >= Array.length catalog.Core.Catalog.doc_lens then 0
+        else catalog.Core.Catalog.doc_lens.(d))
+      ~salvage ()
+  in
+  (* Salvage on (the default): the query still answers, the damaged term
+     is quarantined and reported. *)
+  let e = open_engine ~salvage:true in
+  let q = Printf.sprintf "#sum( %s %s )" victim survivor in
+  let r = Core.Engine.run_query_string e q in
+  Alcotest.(check bool) "survivor still ranks documents" true
+    (r.Core.Engine.ranked <> []);
+  (match Core.Engine.quarantined e with
+  | [ (term, reason) ] ->
+    Alcotest.(check string) "victim quarantined" victim term;
+    Alcotest.(check bool) "reason names the CRC" true (Str_find.contains reason "CRC32")
+  | q -> Alcotest.failf "expected exactly the victim quarantined, got %d entries" (List.length q));
+  (* Quarantine is sticky but deduplicated. *)
+  ignore (Core.Engine.run_query_string e q);
+  Alcotest.(check int) "still one entry" 1 (List.length (Core.Engine.quarantined e));
+  (* Salvage off: the same query aborts with Corrupt. *)
+  let e = open_engine ~salvage:false in
+  Alcotest.(check bool) "salvage off propagates Corrupt" true
+    (match Core.Engine.run_query_string e q with
+    | _ -> false
+    | exception Mneme.Store.Corrupt _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "every crash point recovers" `Quick test_every_crash_point_recovers;
+    QCheck_alcotest.to_alcotest prop_random_crash_point_consistent;
+    Alcotest.test_case "bit flip raises Corrupt" `Quick test_bit_flip_raises_corrupt;
+    Alcotest.test_case "clean store passes CRC check" `Quick test_clean_store_passes_crc_check;
+    Alcotest.test_case "engine salvages corrupt term" `Quick test_engine_salvages_corrupt_term;
+  ]

@@ -93,7 +93,13 @@ let test_write_populates_cache () =
   ignore (Vfs.read f ~off:0 ~len:10);
   let c = Vfs.counters vfs in
   Alcotest.(check int) "read after write cached" 0 c.Vfs.disk_inputs;
-  Alcotest.(check int) "write counted" 1 c.Vfs.disk_outputs
+  (* Write-back: the block is dirty in the OS cache, not on disk yet. *)
+  Alcotest.(check int) "write not yet on disk" 0 c.Vfs.disk_outputs;
+  Alcotest.(check int) "one dirty block" 1 (Vfs.dirty_blocks vfs);
+  Vfs.fsync f;
+  let c = Vfs.counters vfs in
+  Alcotest.(check int) "fsync flushed the block" 1 c.Vfs.disk_outputs;
+  Alcotest.(check int) "nothing left dirty" 0 (Vfs.dirty_blocks vfs)
 
 let test_cache_capacity_eviction () =
   let model = Vfs.Cost_model.create ~os_cache_blocks:2 () in
@@ -208,6 +214,136 @@ let test_default_model_flat () =
   Alcotest.(check (float 1e-9)) "flat" m.Vfs.Cost_model.disk_read_ms
     m.Vfs.Cost_model.disk_seq_read_ms
 
+(* --- durability and fault injection ------------------------------- *)
+
+let test_crash_image_drops_unsynced () =
+  let vfs = make () in
+  let f = Vfs.open_file vfs "a" in
+  ignore (Vfs.append f (Bytes.of_string "durable!"));
+  Vfs.fsync f;
+  Vfs.write f ~off:0 (Bytes.of_string "volatile");
+  let img = Vfs.crash_image vfs in
+  let g = Vfs.open_file img "a" in
+  (* The unsynced overwrite is gone; the fsynced bytes survive. *)
+  Alcotest.(check string) "synced bytes survive" "durable!"
+    (Bytes.to_string (Vfs.read g ~off:0 ~len:8));
+  (* The live file system still sees the overwrite. *)
+  Alcotest.(check string) "live view unchanged" "volatile"
+    (Bytes.to_string (Vfs.read f ~off:0 ~len:8))
+
+let test_crash_image_never_synced_reads_zero () =
+  let vfs = make () in
+  let f = Vfs.open_file vfs "a" in
+  ignore (Vfs.append f (Bytes.of_string "lost"));
+  let img = Vfs.crash_image vfs in
+  let g = Vfs.open_file img "a" in
+  (* Size is metadata (journaled, durable); contents never reached disk. *)
+  Alcotest.(check int) "metadata size survives" 4 (Vfs.size g);
+  Alcotest.(check string) "contents were never durable" "\000\000\000\000"
+    (Bytes.to_string (Vfs.read g ~off:0 ~len:4))
+
+let test_sync_flushes_all_files () =
+  let vfs = make () in
+  let a = Vfs.open_file vfs "a" and b = Vfs.open_file vfs "b" in
+  ignore (Vfs.append a (Bytes.make 10 'a'));
+  ignore (Vfs.append b (Bytes.make 10 'b'));
+  Alcotest.(check int) "two dirty blocks" 2 (Vfs.dirty_blocks vfs);
+  Vfs.sync vfs;
+  Alcotest.(check int) "all clean" 0 (Vfs.dirty_blocks vfs);
+  let img = Vfs.crash_image vfs in
+  Alcotest.(check string) "a durable" "aaaaaaaaaa"
+    (Bytes.to_string (Vfs.read (Vfs.open_file img "a") ~off:0 ~len:10));
+  Alcotest.(check string) "b durable" "bbbbbbbbbb"
+    (Bytes.to_string (Vfs.read (Vfs.open_file img "b") ~off:0 ~len:10))
+
+let test_crash_at_io_raises () =
+  let vfs = make () in
+  let f = Vfs.open_file vfs "a" in
+  ignore (Vfs.append f (Bytes.make 10 'x'));
+  Vfs.set_fault vfs (Vfs.Fault.crash_at_io 1);
+  Alcotest.(check bool) "fsync crashes at its first block write" true
+    (match Vfs.fsync f with () -> false | exception Vfs.Crash -> true);
+  Vfs.clear_fault vfs;
+  Vfs.fsync f (* no plan: flushes fine *)
+
+let test_torn_fsync_persists_prefix () =
+  let vfs = make () in
+  let bs = (Vfs.cost_model vfs).Vfs.Cost_model.block_size in
+  let f = Vfs.open_file vfs "a" in
+  ignore (Vfs.append f (Bytes.make (3 * bs) 'x'));
+  (* Crash on the third block write: blocks 0 and 1 become durable,
+     block 2 does not — a torn multi-block write. *)
+  Vfs.set_fault vfs (Vfs.Fault.crash_at_io 3);
+  (match Vfs.fsync f with () -> Alcotest.fail "expected crash" | exception Vfs.Crash -> ());
+  let img = Vfs.crash_image vfs in
+  let g = Vfs.open_file img "a" in
+  Alcotest.(check char) "block 0 durable" 'x' (Bytes.get (Vfs.read g ~off:0 ~len:1) 0);
+  Alcotest.(check char) "block 1 durable" 'x' (Bytes.get (Vfs.read g ~off:bs ~len:1) 0);
+  Alcotest.(check char) "block 2 torn off" '\000'
+    (Bytes.get (Vfs.read g ~off:(2 * bs) ~len:1) 0)
+
+let test_bit_flip_on_read () =
+  let vfs = make () in
+  let f = Vfs.open_file vfs "a" in
+  let original = Bytes.make 32 'x' in
+  ignore (Vfs.append f original);
+  Vfs.fsync f;
+  Vfs.purge_os_cache vfs;
+  (* The next physical read faults a bit deterministically. *)
+  Vfs.set_fault vfs (Vfs.Fault.flip_bit_on_read ~io:1 ~seed:7);
+  let corrupted = Vfs.read f ~off:0 ~len:32 in
+  Alcotest.(check bool) "one bit differs" false (Bytes.equal corrupted original);
+  (* Media corruption persists: re-reading (cached or purged) sees the
+     same damage, as does the crash image. *)
+  Vfs.clear_fault vfs;
+  Vfs.purge_os_cache vfs;
+  Alcotest.(check bytes) "damage persists" corrupted (Vfs.read f ~off:0 ~len:32)
+
+let test_truncate_evicts_dropped_blocks () =
+  let vfs = make () in
+  let bs = (Vfs.cost_model vfs).Vfs.Cost_model.block_size in
+  let f = Vfs.open_file vfs "a" in
+  ignore (Vfs.append f (Bytes.make (3 * bs) 'x'));
+  Vfs.fsync f;
+  Vfs.write f ~off:(2 * bs) (Bytes.make bs 'y');
+  Alcotest.(check int) "one dirty block" 1 (Vfs.dirty_blocks vfs);
+  Vfs.reset_counters vfs;
+  Vfs.truncate f bs;
+  (* The truncated-away dirty block must not be flushed later... *)
+  Alcotest.(check int) "dirty block dropped" 0 (Vfs.dirty_blocks vfs);
+  Alcotest.(check int) "truncate is not a data write" 0 (Vfs.counters vfs).Vfs.disk_outputs;
+  (* ...and the discarded tail cannot resurrect: growing the file again
+     reads zeros, in the live view and in the crash image. *)
+  Vfs.truncate f (3 * bs);
+  Alcotest.(check char) "live tail zero" '\000' (Bytes.get (Vfs.read f ~off:(2 * bs) ~len:1) 0);
+  let img = Vfs.crash_image vfs in
+  let g = Vfs.open_file img "a" in
+  Alcotest.(check char) "durable tail zero" '\000'
+    (Bytes.get (Vfs.read g ~off:(2 * bs) ~len:1) 0);
+  Alcotest.(check char) "durable head intact" 'x' (Bytes.get (Vfs.read g ~off:0 ~len:1) 0)
+
+let test_delete_file_drops_dirty () =
+  let vfs = make () in
+  let f = Vfs.open_file vfs "gone" in
+  ignore (Vfs.append f (Bytes.make 10 'x'));
+  Alcotest.(check int) "dirty before delete" 1 (Vfs.dirty_blocks vfs);
+  Vfs.delete_file vfs "gone";
+  Alcotest.(check int) "dirty cleared" 0 (Vfs.dirty_blocks vfs);
+  Vfs.sync vfs (* nothing to flush; must not resurrect the file *)
+
+let test_fault_io_count () =
+  let vfs = make () in
+  let bs = (Vfs.cost_model vfs).Vfs.Cost_model.block_size in
+  Vfs.set_fault vfs (Vfs.Fault.none ());
+  let f = Vfs.open_file vfs "a" in
+  ignore (Vfs.append f (Bytes.make (2 * bs) 'x'));
+  Vfs.fsync f;
+  Vfs.purge_os_cache vfs;
+  ignore (Vfs.read f ~off:0 ~len:1);
+  (* 2 flushed blocks + 1 physical read; the cached re-read is free. *)
+  ignore (Vfs.read f ~off:0 ~len:1);
+  Alcotest.(check int) "physical I/Os observed" 3 (Vfs.fault_io_count vfs)
+
 let prop_random_writes_match_model =
   QCheck.Test.make ~name:"vfs content matches byte-array model" ~count:60
     QCheck.(list (pair (int_range 0 500) (string_of_size (QCheck.Gen.int_range 1 40))))
@@ -245,5 +381,14 @@ let suite =
     Alcotest.test_case "counters diff" `Quick test_counters_diff;
     Alcotest.test_case "sequential read discount" `Quick test_sequential_read_discount;
     Alcotest.test_case "default model flat" `Quick test_default_model_flat;
+    Alcotest.test_case "crash image drops unsynced" `Quick test_crash_image_drops_unsynced;
+    Alcotest.test_case "never-synced reads zero" `Quick test_crash_image_never_synced_reads_zero;
+    Alcotest.test_case "sync flushes all files" `Quick test_sync_flushes_all_files;
+    Alcotest.test_case "crash_at_io raises" `Quick test_crash_at_io_raises;
+    Alcotest.test_case "torn fsync persists prefix" `Quick test_torn_fsync_persists_prefix;
+    Alcotest.test_case "bit flip on read" `Quick test_bit_flip_on_read;
+    Alcotest.test_case "truncate evicts dropped blocks" `Quick test_truncate_evicts_dropped_blocks;
+    Alcotest.test_case "delete file drops dirty" `Quick test_delete_file_drops_dirty;
+    Alcotest.test_case "fault io count" `Quick test_fault_io_count;
     QCheck_alcotest.to_alcotest prop_random_writes_match_model;
   ]
