@@ -200,6 +200,137 @@ let torture_cmd =
   in
   Cmd.v (Cmd.info "torture" ~doc) Term.(const run $ seed_arg $ docs_arg $ batches_arg)
 
+(* --- failover ----------------------------------------------------- *)
+
+let failover_cmd =
+  let seed_arg =
+    let doc = "PRNG seed for the workload." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let docs_arg =
+    let doc = "Documents indexed by the workload." in
+    Arg.(value & opt int 12 & info [ "docs" ] ~docv:"N" ~doc)
+  in
+  let batches_arg =
+    let doc = "Commit batches the build is split into." in
+    Arg.(value & opt int 3 & info [ "batches" ] ~docv:"N" ~doc)
+  in
+  let standbys_arg =
+    let doc = "Standby replicas shipping the primary's journal." in
+    Arg.(value & opt int 2 & info [ "standbys" ] ~docv:"N" ~doc)
+  in
+  let run seed docs batches standbys =
+    if docs <= 0 || batches <= 0 || standbys <= 0 then begin
+      Printf.eprintf "failover: --docs, --batches and --standbys must be positive\n";
+      exit 2
+    end;
+    let outcome = Core.Torture.run_failover ~seed ~docs ~batches ~standbys () in
+    Format.printf "%a@." Core.Torture.pp_failover_outcome outcome;
+    if outcome.Core.Torture.problems <> [] then exit 1
+  in
+  let doc =
+    "Kill the primary of a journal-shipping replica group at every \
+     physical I/O, promote the best standby, and audit that it serves \
+     the committed prefix byte-identically."
+  in
+  Cmd.v (Cmd.info "failover" ~doc)
+    Term.(const run $ seed_arg $ docs_arg $ batches_arg $ standbys_arg)
+
+(* --- frontend ----------------------------------------------------- *)
+
+let frontend_cmd =
+  let query_arg =
+    let doc = "Query in INQUERY syntax, e.g. '#sum( ba be bi )'." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY" ~doc)
+  in
+  let replicas_arg =
+    let doc = "Number of replicas in the group." in
+    Arg.(value & opt int 2 & info [ "replicas" ] ~docv:"N" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Per-query deadline in simulated milliseconds." in
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"MS" ~doc)
+  in
+  let degrade_arg =
+    let doc =
+      "Make one replica's device sick: NAME:MS inflates every physical \
+       I/O on replica NAME by MS simulated milliseconds (repeatable)."
+    in
+    Arg.(value & opt_all string [] & info [ "degrade" ] ~docv:"NAME:MS" ~doc)
+  in
+  let top_arg =
+    let doc = "Number of ranked documents to print." in
+    Arg.(value & opt int 10 & info [ "top"; "k" ] ~docv:"K" ~doc)
+  in
+  let run scale name query replicas deadline degrade top_k =
+    if replicas <= 0 then begin
+      Printf.eprintf "frontend: --replicas must be positive\n";
+      exit 2
+    end;
+    let model = Collections.Presets.find ~scale name in
+    let prepared = Core.Experiment.prepare ~progress model in
+    let names = List.init replicas (fun i -> Printf.sprintf "r%d" (i + 1)) in
+    let fe = Core.Frontend.of_prepared prepared ~names in
+    List.iter
+      (fun spec ->
+        match String.index_opt spec ':' with
+        | None ->
+          Printf.eprintf "frontend: --degrade expects NAME:MS, got %s\n" spec;
+          exit 2
+        | Some i -> (
+          let rname = String.sub spec 0 i in
+          let ms = String.sub spec (i + 1) (String.length spec - i - 1) in
+          match (float_of_string_opt ms, List.mem rname names) with
+          | Some ms, true when ms >= 0.0 ->
+            Vfs.set_fault
+              (Core.Frontend.replica_vfs fe ~name:rname)
+              (Vfs.Fault.degraded_device ~file:prepared.Core.Experiment.mneme_file ~ms)
+          | _ ->
+            Printf.eprintf "frontend: bad --degrade %s (unknown replica or bad MS)\n" spec;
+            exit 2))
+      degrade;
+    match Inquery.Query.parse query with
+    | Error msg ->
+      Printf.eprintf "parse error: %s\n" msg;
+      exit 2
+    | Ok q ->
+      let r = Core.Frontend.run_query ~top_k ?deadline_ms:deadline fe q in
+      Printf.printf "query        %s\n" (Inquery.Query.to_string q);
+      Printf.printf "served by    %s\n" r.Core.Frontend.served_by;
+      Printf.printf "elapsed      %.2f ms (simulated)\n" r.Core.Frontend.elapsed_ms;
+      Printf.printf "degraded     %b%s\n" r.Core.Frontend.degraded
+        (if r.Core.Frontend.deadline_hit then " (deadline hit)" else "");
+      Printf.printf "hedged       %d fetches\n" r.Core.Frontend.hedged_fetches;
+      if r.Core.Frontend.skipped_terms <> [] then
+        Printf.printf "skipped      %s\n" (String.concat ", " r.Core.Frontend.skipped_terms);
+      List.iter
+        (fun (term, reason) -> Printf.printf "failed       %s: %s\n" term reason)
+        r.Core.Frontend.failed_terms;
+      List.iter
+        (fun rname ->
+          let state =
+            match Core.Frontend.breaker fe ~name:rname with
+            | Core.Frontend.Closed -> "closed"
+            | Core.Frontend.Open -> "open"
+            | Core.Frontend.Half_open -> "half-open"
+          in
+          Printf.printf "breaker      %s: %s\n" rname state)
+        (Core.Frontend.replica_names fe);
+      List.iteri
+        (fun i rk ->
+          Printf.printf "%3d. doc %-8d belief %.4f\n" (i + 1) rk.Inquery.Ranking.doc
+            rk.Inquery.Ranking.score)
+        r.Core.Frontend.ranked
+  in
+  let doc =
+    "Run one query through the replica frontend: per-replica circuit \
+     breakers, hedged reads on stall, and an optional deadline that \
+     degrades the result instead of missing it."
+  in
+  Cmd.v (Cmd.info "frontend" ~doc)
+    Term.(const run $ scale_arg $ collection_arg $ query_arg $ replicas_arg $ deadline_arg
+          $ degrade_arg $ top_arg)
+
 (* --- query -------------------------------------------------------- *)
 
 let query_cmd =
@@ -241,4 +372,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ tables_cmd; ablations_cmd; stats_cmd; run_cmd; query_cmd; fsck_cmd; torture_cmd ]))
+          [ tables_cmd; ablations_cmd; stats_cmd; run_cmd; query_cmd; fsck_cmd; torture_cmd;
+            failover_cmd; frontend_cmd ]))

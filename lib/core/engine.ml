@@ -7,6 +7,7 @@ type t = {
   stem : bool;
   reserve : bool;
   quarantine : (string * string) list ref; (* newest first *)
+  quarantined_terms : (string, unit) Hashtbl.t; (* O(1) dedup of the list above *)
 }
 
 type result = {
@@ -19,6 +20,7 @@ type result = {
 let create ~vfs ~store ~dict ~n_docs ~avg_doc_len ~doc_len ?stopwords ?(stem = false)
     ?(reserve = true) ?(salvage = true) () =
   let quarantine = ref [] in
+  let quarantined_terms = Hashtbl.create 8 in
   (* Salvage mode: a record whose segment fails its CRC32 is quarantined
      — treated as term-not-indexed so the rest of the query still runs —
      instead of aborting query processing with [Mneme.Store.Corrupt]. *)
@@ -28,14 +30,16 @@ let create ~vfs ~store ~dict ~n_docs ~avg_doc_len ~doc_len ?stopwords ?(stem = f
       try store.Index_store.fetch entry
       with Mneme.Store.Corrupt msg ->
         let term = entry.Inquery.Dictionary.term in
-        if not (List.mem_assoc term !quarantine) then
-          quarantine := (term, msg) :: !quarantine;
+        if not (Hashtbl.mem quarantined_terms term) then begin
+          Hashtbl.add quarantined_terms term ();
+          quarantine := (term, msg) :: !quarantine
+        end;
         None
   in
   let source =
     { Inquery.Infnet.fetch; n_docs; max_doc_id = n_docs - 1; avg_doc_len; doc_len }
   in
-  { vfs; store; dict; source; stopwords; stem; reserve; quarantine }
+  { vfs; store; dict; source; stopwords; stem; reserve; quarantine; quarantined_terms }
 
 let store t = t.store
 let quarantined t = List.rev !(t.quarantine)
@@ -61,10 +65,13 @@ let run_query ?(top_k = 100) t query =
     if t.reserve then t.store.Index_store.reserve (query_entries t query)
     else Index_store.no_reserve []
   in
+  (* The reservation must not leak when evaluation raises (a corrupt
+     record with salvage off, say) — pins would accumulate across
+     queries and starve the buffers. *)
   let beliefs, stats =
-    Inquery.Infnet.eval t.source t.dict ?stopwords:t.stopwords ~stem:t.stem query
+    Fun.protect ~finally:release (fun () ->
+        Inquery.Infnet.eval t.source t.dict ?stopwords:t.stopwords ~stem:t.stem query)
   in
-  release ();
   let model = Vfs.cost_model t.vfs in
   let cpu_ms =
     (float_of_int stats.Inquery.Infnet.postings_scored

@@ -1,0 +1,295 @@
+type breaker_state = Closed | Open | Half_open
+
+type replica_spec = { name : string; vfs : Vfs.t; store : Index_store.t }
+
+type replica = {
+  spec : replica_spec;
+  mutable state : breaker_state;
+  mutable outcomes : bool list; (* newest first; true = stall or failure *)
+  mutable opened_at : float;
+}
+
+type t = {
+  replicas : replica array;
+  dict : Inquery.Dictionary.t;
+  n_docs : int;
+  avg_doc_len : float;
+  doc_len : int -> int;
+  stopwords : Inquery.Stopwords.t option;
+  stem : bool;
+  hedge_after : float;
+  window : int;
+  trip_after : int;
+  cooldown : float;
+  mutable now : float;
+}
+
+type result = {
+  ranked : Inquery.Ranking.ranked list;
+  degraded : bool;
+  deadline_hit : bool;
+  skipped_terms : string list;
+  failed_terms : (string * string) list;
+  hedged_fetches : int;
+  served_by : string;
+  elapsed_ms : float;
+}
+
+let create ~replicas ~dict ~n_docs ~avg_doc_len ~doc_len ?stopwords ?(stem = false)
+    ?(hedge_after_ms = 60.0) ?(window = 6) ?(trip_after = 3) ?(cooldown_ms = 500.0) () =
+  if replicas = [] then invalid_arg "Frontend.create: no replicas";
+  let seen = Hashtbl.create 4 in
+  List.iter
+    (fun spec ->
+      if Hashtbl.mem seen spec.name then
+        invalid_arg ("Frontend.create: duplicate replica name: " ^ spec.name);
+      Hashtbl.add seen spec.name ())
+    replicas;
+  if hedge_after_ms <= 0.0 then invalid_arg "Frontend.create: hedge_after_ms must be positive";
+  if window < 1 then invalid_arg "Frontend.create: window must be at least 1";
+  if trip_after < 1 || trip_after > window then
+    invalid_arg "Frontend.create: trip_after must be in [1, window]";
+  if cooldown_ms < 0.0 then invalid_arg "Frontend.create: cooldown_ms must be non-negative";
+  let replicas =
+    replicas
+    |> List.map (fun spec -> { spec; state = Closed; outcomes = []; opened_at = 0.0 })
+    |> Array.of_list
+  in
+  {
+    replicas;
+    dict;
+    n_docs;
+    avg_doc_len;
+    doc_len;
+    stopwords;
+    stem;
+    hedge_after = hedge_after_ms;
+    window;
+    trip_after;
+    cooldown = cooldown_ms;
+    now = 0.0;
+  }
+
+let of_prepared ?buffers ?hedge_after_ms ?window ?trip_after ?cooldown_ms
+    (p : Experiment.prepared) ~names =
+  let catalog = Catalog.load p.Experiment.vfs ~file:p.Experiment.catalog_file in
+  let buffers =
+    match buffers with Some b -> b | None -> Experiment.default_buffers p
+  in
+  let replicas =
+    List.map
+      (fun name ->
+        let vfs = Vfs.create ~cost_model:(Vfs.cost_model p.Experiment.vfs) () in
+        Vfs.copy_file p.Experiment.vfs p.Experiment.mneme_file ~into:vfs;
+        Vfs.purge_os_cache vfs;
+        let store = Mneme_backend.open_session vfs ~file:p.Experiment.mneme_file ~buffers in
+        { name; vfs; store })
+      names
+  in
+  create ~replicas ~dict:catalog.Catalog.dict ~n_docs:catalog.Catalog.n_docs
+    ~avg_doc_len:(Catalog.avg_doc_length catalog)
+    ~doc_len:(fun d ->
+      if d < 0 || d >= Array.length catalog.Catalog.doc_lens then 0
+      else catalog.Catalog.doc_lens.(d))
+    ?hedge_after_ms ?window ?trip_after ?cooldown_ms ()
+
+let replica_names t = Array.to_list t.replicas |> List.map (fun r -> r.spec.name)
+
+let find t name =
+  match
+    Array.to_list t.replicas |> List.find_opt (fun r -> String.equal r.spec.name name)
+  with
+  | Some r -> r
+  | None -> raise Not_found
+
+let replica_vfs t ~name = (find t name).spec.vfs
+let breaker t ~name = (find t name).state
+let now_ms t = t.now
+
+let tick t ms =
+  if ms < 0.0 then invalid_arg "Frontend.tick: negative amount";
+  t.now <- t.now +. ms
+
+let rec take n = function
+  | [] -> []
+  | _ when n = 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
+(* Feed one outcome to a replica's breaker.  A half-open replica lives
+   or dies by its probe; a closed one trips when the rolling window
+   accumulates [trip_after] bad outcomes. *)
+let record t r ~bad =
+  match r.state with
+  | Open -> ()
+  | Half_open ->
+    if bad then begin
+      r.state <- Open;
+      r.opened_at <- t.now
+    end
+    else begin
+      r.state <- Closed;
+      r.outcomes <- []
+    end
+  | Closed ->
+    r.outcomes <- take t.window (bad :: r.outcomes);
+    let bads = List.fold_left (fun n b -> if b then n + 1 else n) 0 r.outcomes in
+    if bads >= t.trip_after then begin
+      r.state <- Open;
+      r.opened_at <- t.now;
+      r.outcomes <- []
+    end
+
+let refresh t r =
+  if r.state = Open && t.now -. r.opened_at >= t.cooldown then r.state <- Half_open
+
+(* Routing: a half-open replica gets the next fetch as its probe
+   (hedging still covers the query if the probe stalls); otherwise the
+   first closed replica in attach order.  The breaker alone decides who
+   stops receiving traffic — a stalling replica keeps serving (hedged)
+   until its window fills. *)
+let route t =
+  Array.iter (refresh t) t.replicas;
+  let probe = ref None and closed = ref None in
+  Array.iteri
+    (fun i r ->
+      match r.state with
+      | Half_open -> if !probe = None then probe := Some i
+      | Closed -> if !closed = None then closed := Some i
+      | Open -> ())
+    t.replicas;
+  match !probe with Some _ as p -> p | None -> !closed
+
+let hedge_candidate t ~exclude =
+  let found = ref None in
+  Array.iteri
+    (fun i r -> if i <> exclude && r.state = Closed && !found = None then found := Some i)
+    t.replicas;
+  !found
+
+let preferred t =
+  match route t with
+  | Some i -> t.replicas.(i).spec.name
+  | None -> t.replicas.(0).spec.name
+
+(* One fetch against one replica, timed on that replica's clock. *)
+let timed_fetch (r : replica) entry =
+  let clk = Vfs.clock r.spec.vfs in
+  let before = Vfs.Clock.snapshot clk in
+  let res =
+    try Ok (r.spec.store.Index_store.fetch entry) with
+    | Mneme.Store.Corrupt msg -> Error msg
+    | Vfs.Crash -> Error "replica device crashed"
+  in
+  let after = Vfs.Clock.snapshot clk in
+  (res, Vfs.Clock.wall_ms (Vfs.Clock.diff ~later:after ~earlier:before))
+
+let run_query ?(top_k = 100) ?deadline_ms t query =
+  (match deadline_ms with
+  | Some d when d <= 0.0 -> invalid_arg "Frontend.run_query: deadline must be positive"
+  | _ -> ());
+  let elapsed = ref 0.0 in
+  let skipped = ref [] and failed = ref [] in
+  let hedged = ref 0 in
+  let deadline_hit = ref false in
+  let served = Array.make (Array.length t.replicas) 0 in
+  let advance ms =
+    elapsed := !elapsed +. ms;
+    t.now <- t.now +. ms
+  in
+  let skip term = if not (List.mem term !skipped) then skipped := term :: !skipped in
+  let fetch entry =
+    let term = entry.Inquery.Dictionary.term in
+    match deadline_ms with
+    | Some d when !elapsed >= d ->
+      deadline_hit := true;
+      skip term;
+      None
+    | _ -> (
+      match route t with
+      | None ->
+        skip term;
+        None
+      | Some i -> (
+        let r = t.replicas.(i) in
+        let res, cost = timed_fetch r entry in
+        served.(i) <- served.(i) + 1;
+        let bad = (match res with Ok _ -> cost > t.hedge_after | Error _ -> true) in
+        if not bad then begin
+          advance cost;
+          record t r ~bad:false;
+          match res with Ok b -> b | Error _ -> assert false
+        end
+        else
+          match hedge_candidate t ~exclude:i with
+          | None -> (
+            advance cost;
+            record t r ~bad:true;
+            match res with
+            | Ok b -> b
+            | Error msg ->
+              failed := (term, msg) :: !failed;
+              None)
+          | Some j -> (
+            let h = t.replicas.(j) in
+            let hres, hcost = timed_fetch h entry in
+            served.(j) <- served.(j) + 1;
+            incr hedged;
+            (* A failed fetch is retried sequentially; a stalled one is
+               raced — the query perceives whichever path finished
+               first. *)
+            let perceived =
+              match res with
+              | Error _ -> cost +. hcost
+              | Ok _ -> Float.min cost (t.hedge_after +. hcost)
+            in
+            advance perceived;
+            record t r ~bad:true;
+            record t h ~bad:(match hres with Ok _ -> hcost > t.hedge_after | Error _ -> true);
+            match (res, hres) with
+            | Error _, Ok b -> b
+            | Ok b, Ok hb -> if t.hedge_after +. hcost < cost then hb else b
+            | Ok b, Error _ -> b
+            | Error msg, Error _ ->
+              failed := (term, msg) :: !failed;
+              None)))
+  in
+  let source =
+    {
+      Inquery.Infnet.fetch;
+      n_docs = t.n_docs;
+      max_doc_id = t.n_docs - 1;
+      avg_doc_len = t.avg_doc_len;
+      doc_len = t.doc_len;
+    }
+  in
+  let beliefs, stats =
+    Inquery.Infnet.eval source t.dict ?stopwords:t.stopwords ~stem:t.stem query
+  in
+  let serving =
+    let best = ref 0 in
+    Array.iteri (fun i n -> if n > served.(!best) then best := i) served;
+    t.replicas.(!best)
+  in
+  let model = Vfs.cost_model serving.spec.vfs in
+  let cpu_ms =
+    (float_of_int stats.Inquery.Infnet.postings_scored
+     *. model.Vfs.Cost_model.cpu_ns_per_posting /. 1.0e6)
+    +. (float_of_int stats.Inquery.Infnet.nodes_visited
+        *. model.Vfs.Cost_model.cpu_us_per_query_node /. 1.0e3)
+  in
+  Vfs.Clock.charge_engine_cpu (Vfs.clock serving.spec.vfs) cpu_ms;
+  advance cpu_ms;
+  let skipped_terms = List.rev !skipped and failed_terms = List.rev !failed in
+  {
+    ranked = Inquery.Ranking.top_k beliefs ~k:top_k;
+    degraded = !deadline_hit || skipped_terms <> [] || failed_terms <> [];
+    deadline_hit = !deadline_hit;
+    skipped_terms;
+    failed_terms;
+    hedged_fetches = !hedged;
+    served_by = serving.spec.name;
+    elapsed_ms = !elapsed;
+  }
+
+let run_query_string ?top_k ?deadline_ms t text =
+  run_query ?top_k ?deadline_ms t (Inquery.Query.parse_exn text)

@@ -1,0 +1,111 @@
+(** Deadline-aware query frontend over a replica group.
+
+    One retrieval engine per replica, each on its own simulated file
+    system, serving the same index.  The frontend routes every record
+    fetch through a per-replica circuit breaker, hedges a fetch to a
+    second replica when the first stalls past a threshold, and enforces
+    a per-query deadline on the simulated clock: when the deadline
+    expires, the terms fetched so far are scored and the result is
+    returned flagged {e degraded} — unfetched terms contribute only the
+    default belief, exactly like salvage mode treats a quarantined
+    term.
+
+    All time is simulated.  A fetch's latency is the wall-clock delta
+    of the serving replica's {!Vfs.Clock}; the frontend accumulates
+    those deltas into its own logical clock ({!now_ms}), which also
+    drives circuit-breaker cooldowns. *)
+
+type breaker_state =
+  | Closed  (** routing normally *)
+  | Open  (** not routable until the cooldown elapses *)
+  | Half_open  (** cooldown over: the next fetch is a probe *)
+
+type replica_spec = {
+  name : string;
+  vfs : Vfs.t;  (** the replica's own file system (and clock) *)
+  store : Index_store.t;  (** an index session opened on [vfs] *)
+}
+
+type t
+
+val create :
+  replicas:replica_spec list ->
+  dict:Inquery.Dictionary.t ->
+  n_docs:int ->
+  avg_doc_len:float ->
+  doc_len:(int -> int) ->
+  ?stopwords:Inquery.Stopwords.t ->
+  ?stem:bool ->
+  ?hedge_after_ms:float ->
+  ?window:int ->
+  ?trip_after:int ->
+  ?cooldown_ms:float ->
+  unit ->
+  t
+(** [hedge_after_ms] (default 60): a fetch costing more than this is a
+    {e stall}; if another replica's breaker is closed the fetch is
+    hedged there, and the query perceives
+    [min(stall cost, hedge_after + hedge cost)].  [window] (default 6)
+    and [trip_after] (default 3): a replica's breaker opens when the
+    last [window] outcomes contain [trip_after] stalls or failures.
+    [cooldown_ms] (default 500) of frontend logical time later the
+    breaker goes half-open and the next fetch probes the replica:
+    success closes the breaker, another stall or failure re-opens it.
+    Raises [Invalid_argument] on an empty or duplicate-name replica
+    list, or nonsensical knobs. *)
+
+val of_prepared :
+  ?buffers:Buffer_sizing.t ->
+  ?hedge_after_ms:float ->
+  ?window:int ->
+  ?trip_after:int ->
+  ?cooldown_ms:float ->
+  Experiment.prepared ->
+  names:string list ->
+  t
+(** Build a replica group from a prepared experiment: each name gets a
+    fresh file system holding a byte copy of the Mneme index, a cold OS
+    cache, and its own buffer session ([buffers] defaults to the
+    Table 2 heuristics). *)
+
+val replica_names : t -> string list
+val replica_vfs : t -> name:string -> Vfs.t
+(** Raises [Not_found] for an unknown name — use it to aim fault plans
+    at one replica. *)
+
+val breaker : t -> name:string -> breaker_state
+val preferred : t -> string
+(** The replica the next fetch would route to — a half-open replica
+    awaiting its probe, else the first closed one in attach order (the
+    first replica when every breaker is open). *)
+
+val now_ms : t -> float
+(** The frontend's logical clock: accumulated perceived fetch latency
+    plus engine CPU across all queries (and any {!tick}s). *)
+
+val tick : t -> float -> unit
+(** Advance the logical clock without doing work — lets cooldowns
+    elapse during idle periods.  Raises [Invalid_argument] on a
+    negative amount. *)
+
+type result = {
+  ranked : Inquery.Ranking.ranked list;
+  degraded : bool;
+      (** some term was skipped (deadline, no routable replica) or
+          failed (corrupt / crashed on every tried replica) *)
+  deadline_hit : bool;
+  skipped_terms : string list;  (** in first-skip order *)
+  failed_terms : (string * string) list;  (** [(term, reason)] *)
+  hedged_fetches : int;
+  served_by : string;  (** replica that served the most fetches *)
+  elapsed_ms : float;  (** perceived query latency, CPU included *)
+}
+
+val run_query : ?top_k:int -> ?deadline_ms:float -> t -> Inquery.Query.t -> result
+(** Evaluate one parsed query.  With [deadline_ms], the deadline is
+    checked before every record fetch, so a degraded result overshoots
+    the deadline by at most the cost of the fetch in flight when it
+    expired.  Raises [Invalid_argument] on a non-positive deadline. *)
+
+val run_query_string : ?top_k:int -> ?deadline_ms:float -> t -> string -> result
+(** Parse and evaluate.  Raises [Invalid_argument] on syntax errors. *)

@@ -239,6 +239,315 @@ let run ?seed ?docs ?update_batches () =
     problems = List.rev !problems;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Failover torture: the same discipline pointed at replication.  The
+   workload is an incremental index build shipped through a replica
+   group; the audit promotes a standby and demands the committed prefix
+   back, down to byte-identical ranked query results. *)
+
+let failover_file = "failover.mneme"
+let failover_log = "failover.log"
+
+let failover_queries =
+  let t r = Collections.Synth.core_term ~rank:r in
+  [
+    t 1;
+    Printf.sprintf "#sum( %s %s %s )" (t 1) (t 2) (t 3);
+    Printf.sprintf "#and( %s %s )" (t 2) (t 3);
+  ]
+
+(* A bare index session over an already-open store (no separate buffer
+   bookkeeping — the pools' own buffers serve the faults). *)
+let session_over store =
+  {
+    Index_store.name = "failover";
+    fetch =
+      (fun entry ->
+        let locator = entry.Inquery.Dictionary.locator in
+        if locator < 0 then None else Mneme.Store.get_opt store locator);
+    reserve = Index_store.no_reserve;
+    buffer_stats = (fun () -> []);
+    reset_buffer_stats = (fun () -> ());
+    file_size = (fun () -> Mneme.Store.file_size store);
+  }
+
+let score_fingerprint ranked =
+  List.map
+    (fun r -> (r.Inquery.Ranking.doc, Printf.sprintf "%.9f" r.Inquery.Ranking.score))
+    ranked
+
+let run_failover_queries vfs store dict ~n_docs ~avg_doc_len ~doc_len =
+  let engine =
+    Engine.create ~vfs ~store:(session_over store) ~dict ~n_docs ~avg_doc_len ~doc_len ()
+  in
+  List.map
+    (fun q -> score_fingerprint (Engine.run_query_string ~top_k:10 engine q).Engine.ranked)
+    failover_queries
+
+let attach_pools store =
+  List.iter
+    (fun (policy, name) ->
+      let pool = Mneme.Store.add_pool store policy in
+      Mneme.Store.attach_buffer pool (Mneme.Buffer_pool.create ~name ~capacity:(256 * 1024) ()))
+    [
+      (Mneme.Policy.small, "small"); (Mneme.Policy.medium, "medium"); (Mneme.Policy.large, "large");
+    ]
+
+(* The journal-shipping workload.  Batch [i] (1-based) indexes its slice
+   of the documents, then — inside one journal transaction — lands every
+   new term record, grows changed ones in place (or migrates them across
+   pools when they change size class), updates the generation object,
+   and finalizes.  After each commit the fixed query set runs against
+   the primary; the queries are part of the deterministic I/O sequence,
+   so replays stay aligned with the golden run. *)
+let failover_workload vfs ~standbys ~seed ~docs ~batches ~txn_begin ~ready ~committed =
+  let model =
+    Collections.Docmodel.make ~name:"failover" ~n_docs:docs ~core_vocab:120
+      ~mean_doc_len:30.0 ~hapax_prob:0.05 ~seed ()
+  in
+  let doc_arr = Array.of_seq (Collections.Synth.documents model) in
+  let store = Mneme.Store.create vfs failover_file in
+  let small = Mneme.Store.add_pool store Mneme.Policy.small in
+  let medium = Mneme.Store.add_pool store Mneme.Policy.medium in
+  let large = Mneme.Store.add_pool store Mneme.Policy.large in
+  List.iter
+    (fun (pool, name) ->
+      Mneme.Store.attach_buffer pool (Mneme.Buffer_pool.create ~name ~capacity:(256 * 1024) ()))
+    [ (small, "small"); (medium, "medium"); (large, "large") ];
+  Mneme.Store.enable_journal store ~log_file:failover_log;
+  let rep =
+    Mneme.Replica.attach store
+      ~standbys:(List.init standbys (fun i -> (Printf.sprintf "standby-%d" (i + 1), Vfs.create ())))
+  in
+  ready rep;
+  let pool_of cls =
+    match Partition.class_name cls with
+    | "small" -> small
+    | "medium" -> medium
+    | _ -> large
+  in
+  let indexer = Inquery.Indexer.create () in
+  let dict = Inquery.Indexer.dictionary indexer in
+  let prev = Hashtbl.create 64 in (* term id -> last stored record *)
+  let mirror = Hashtbl.create 64 in (* oid -> expected bytes *)
+  let gen_oid = ref (-1) in
+  for i = 1 to batches do
+    let lo = (i - 1) * docs / batches and hi = i * docs / batches in
+    txn_begin i;
+    Mneme.Store.transact store (fun () ->
+        for d = lo to hi - 1 do
+          let doc = doc_arr.(d) in
+          Inquery.Indexer.add_document_terms indexer ~doc_id:doc.Collections.Synth.id
+            doc.Collections.Synth.terms
+        done;
+        Inquery.Indexer.to_records indexer
+        |> Seq.iter (fun (tid, record) ->
+               let entry =
+                 match Inquery.Dictionary.find_by_id dict tid with
+                 | Some e -> e
+                 | None -> assert false
+               in
+               match Hashtbl.find_opt prev tid with
+               | Some old when Bytes.equal old record -> ()
+               | Some old ->
+                 let oid = entry.Inquery.Dictionary.locator in
+                 let old_cls = Partition.classify (Bytes.length old)
+                 and new_cls = Partition.classify (Bytes.length record) in
+                 if old_cls = new_cls then begin
+                   Mneme.Store.modify store oid record;
+                   Hashtbl.replace mirror oid (Bytes.copy record)
+                 end
+                 else begin
+                   (* Size-class migration: the record moves pools and
+                      gets a fresh oid; the dictionary locator follows. *)
+                   Mneme.Store.delete store oid;
+                   Hashtbl.remove mirror oid;
+                   let oid' = Mneme.Store.allocate (pool_of new_cls) record in
+                   entry.Inquery.Dictionary.locator <- oid';
+                   Hashtbl.replace mirror oid' (Bytes.copy record)
+                 end;
+                 Hashtbl.replace prev tid (Bytes.copy record)
+               | None ->
+                 let cls = Partition.classify (Bytes.length record) in
+                 let oid = Mneme.Store.allocate (pool_of cls) record in
+                 entry.Inquery.Dictionary.locator <- oid;
+                 Hashtbl.replace mirror oid (Bytes.copy record);
+                 Hashtbl.replace prev tid (Bytes.copy record));
+        let gb = Bytes.of_string (Printf.sprintf "gen %d" i) in
+        if i = 1 then gen_oid := Mneme.Store.allocate small gb
+        else Mneme.Store.modify store !gen_oid gb;
+        Hashtbl.replace mirror !gen_oid gb;
+        Mneme.Store.finalize store);
+    let ranked =
+      run_failover_queries vfs store dict ~n_docs:(Inquery.Indexer.document_count indexer)
+        ~avg_doc_len:(Inquery.Indexer.avg_doc_length indexer)
+        ~doc_len:(Inquery.Indexer.doc_length indexer)
+    in
+    committed i ~mirror ~indexer ~ranked ~gen_oid:!gen_oid
+  done
+
+type failover_plan = {
+  fo_seed : int;
+  fo_docs : int;
+  fo_batches : int;
+  fo_standbys : int;
+  fo_points : int;
+  fo_snapshots : (Mneme.Oid.t, bytes) Hashtbl.t array; (* index = generation, 0 unused *)
+  fo_ranked : (int * string) list list array;
+  fo_scratch : Vfs.t; (* holds one catalog file per generation *)
+  fo_gen_oid : Mneme.Oid.t;
+}
+
+let catalog_file_for gen = Printf.sprintf "failover-cat.%d" gen
+
+let prepare_failover ?(seed = 42) ?(docs = 12) ?(batches = 3) ?(standbys = 2) () =
+  if docs < 1 || batches < 1 || standbys < 1 then
+    invalid_arg "Torture.prepare_failover: docs, batches and standbys must be positive";
+  let vfs = Vfs.create () in
+  Vfs.set_fault vfs (Vfs.Fault.none ());
+  let scratch = Vfs.create () in
+  let snapshots = Array.init (batches + 1) (fun _ -> Hashtbl.create 0) in
+  let ranked = Array.make (batches + 1) [] in
+  let gen_oid = ref (-1) in
+  failover_workload vfs ~standbys ~seed ~docs ~batches
+    ~txn_begin:(fun _ -> ())
+    ~ready:(fun _ -> ())
+    ~committed:(fun i ~mirror ~indexer ~ranked:r ~gen_oid:g ->
+      snapshots.(i) <- Hashtbl.copy mirror;
+      ranked.(i) <- r;
+      gen_oid := g;
+      Catalog.save scratch ~file:(catalog_file_for i) (Catalog.of_indexer indexer));
+  {
+    fo_seed = seed;
+    fo_docs = docs;
+    fo_batches = batches;
+    fo_standbys = standbys;
+    fo_points = Vfs.fault_io_count vfs;
+    fo_snapshots = snapshots;
+    fo_ranked = ranked;
+    fo_scratch = scratch;
+    fo_gen_oid = !gen_oid;
+  }
+
+let failover_points plan = plan.fo_points
+
+type failover_report = {
+  crash_at : int;
+  survivor : string;
+  applied_lsn : int;
+  problems : string list;
+}
+
+let run_failover_point plan k =
+  if k < 1 || k > plan.fo_points then
+    invalid_arg
+      (Printf.sprintf "Torture.run_failover_point: crash point %d outside 1..%d" k
+         plan.fo_points);
+  let problems = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let vfs = Vfs.create () in
+  Vfs.set_fault vfs (Vfs.Fault.crash_at_io k);
+  let rep = ref None in
+  let started = ref 0 and completed = ref 0 in
+  (try
+     failover_workload vfs ~standbys:plan.fo_standbys ~seed:plan.fo_seed ~docs:plan.fo_docs
+       ~batches:plan.fo_batches
+       ~txn_begin:(fun _ -> incr started)
+       ~ready:(fun r -> rep := Some r)
+       ~committed:(fun _ ~mirror:_ ~indexer:_ ~ranked:_ ~gen_oid:_ -> incr completed);
+     note "workload ran to completion without crashing at io %d" k
+   with Vfs.Crash -> ());
+  match !rep with
+  | None ->
+    (* Died while the group was being attached — nothing was ever
+       committed, so there is legitimately nothing to promote. *)
+    if !completed > 0 then note "replica group lost %d commits" !completed;
+    { crash_at = k; survivor = "none"; applied_lsn = -1; problems = List.rev !problems }
+  | Some rep -> (
+    match Mneme.Replica.promote rep with
+    | exception Failure _ ->
+      if !completed > 0 then
+        note "no healthy standby to promote after %d commits" !completed;
+      { crash_at = k; survivor = "none"; applied_lsn = -1; problems = List.rev !problems }
+    | info, svfs ->
+      let g = info.Mneme.Replica.applied_lsn in
+      (* A commit the workload saw finish must have shipped; nothing
+         past the last started batch can have. *)
+      if g < !completed || g > !started then
+        note "survivor applied lsn %d outside [%d, %d]" g !completed !started;
+      if g >= 1 then begin
+        match Mneme.Store.open_existing svfs failover_file with
+        | exception Mneme.Store.Corrupt msg -> note "promoted store unopenable: %s" msg
+        | store ->
+          attach_pools store;
+          (match Mneme.Store.get store plan.fo_gen_oid with
+          | exception e -> note "generation object unreadable: %s" (Printexc.to_string e)
+          | gb ->
+            let expect = Printf.sprintf "gen %d" g in
+            if Bytes.to_string gb <> expect then
+              note "generation object holds %S, expected %S" (Bytes.to_string gb) expect);
+          let report = Mneme.Check.run store in
+          if not (Mneme.Check.ok report) then
+            note "fsck: %s" (Format.asprintf "%a" Mneme.Check.pp_report report);
+          let snap = plan.fo_snapshots.(g) in
+          if Mneme.Store.object_count store <> Hashtbl.length snap then
+            note "promoted store holds %d objects, generation %d committed %d"
+              (Mneme.Store.object_count store) g (Hashtbl.length snap);
+          Hashtbl.iter
+            (fun oid b ->
+              match Mneme.Store.get store oid with
+              | exception e ->
+                note "object %d lost after failover: %s" oid (Printexc.to_string e)
+              | b' -> if not (Bytes.equal b b') then note "object %d differs after failover" oid)
+            snap;
+          (* The paying customer's view: identical ranked results for
+             the committed prefix. *)
+          let catalog = Catalog.load plan.fo_scratch ~file:(catalog_file_for g) in
+          let ranked =
+            run_failover_queries svfs store catalog.Catalog.dict
+              ~n_docs:catalog.Catalog.n_docs
+              ~avg_doc_len:(Catalog.avg_doc_length catalog)
+              ~doc_len:(fun d ->
+                if d < 0 || d >= Array.length catalog.Catalog.doc_lens then 0
+                else catalog.Catalog.doc_lens.(d))
+          in
+          if ranked <> plan.fo_ranked.(g) then
+            note "ranked results differ from the committed generation %d" g
+      end;
+      { crash_at = k; survivor = info.Mneme.Replica.name; applied_lsn = g;
+        problems = List.rev !problems })
+
+type failover_outcome = {
+  points : int;
+  promoted : int;
+  empty : int;
+  problems : (int * string) list;
+}
+
+let run_failover ?seed ?docs ?batches ?standbys () =
+  let plan = prepare_failover ?seed ?docs ?batches ?standbys () in
+  let promoted = ref 0 and empty = ref 0 and problems = ref [] in
+  for k = 1 to plan.fo_points do
+    let r = run_failover_point plan k in
+    if r.applied_lsn >= 1 then incr promoted else incr empty;
+    List.iter (fun p -> problems := (k, p) :: !problems) r.problems
+  done;
+  {
+    points = plan.fo_points;
+    promoted = !promoted;
+    empty = !empty;
+    problems = List.rev !problems;
+  }
+
+let pp_failover_outcome fmt o =
+  Format.fprintf fmt
+    "%d crash points: %d promoted a caught-up standby, %d died before anything committed"
+    o.points o.promoted o.empty;
+  if o.problems <> [] then begin
+    Format.fprintf fmt "@.%d problem(s):" (List.length o.problems);
+    List.iter (fun (k, p) -> Format.fprintf fmt "@.  crash at io %d: %s" k p) o.problems
+  end
+
 let pp_outcome fmt o =
   Format.fprintf fmt
     "%d crash points: %d recovered stores, %d pre-commit images; recovery %d replayed / %d \

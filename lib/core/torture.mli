@@ -68,3 +68,65 @@ val run : ?seed:int -> ?docs:int -> ?update_batches:int -> unit -> outcome
     survived a crash at every single I/O of the workload. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
+
+(** {2 Failover torture}
+
+    The same discipline pointed at replication.  A deterministic
+    {e journal-shipping} workload — an incremental index build whose
+    update batches allocate, grow and migrate term records inside
+    journal transactions, with a {!Mneme.Replica} group attached and a
+    fixed query set run after every commit — is first run to completion
+    to learn its physical I/O count on the primary device and to record,
+    per committed generation: the expected store contents, the catalog,
+    and the ranked results of every query.  Then the workload is
+    replayed once per I/O with the primary's device dying at that I/O.
+    The most caught-up healthy standby is promoted and audited:
+
+    - its applied LSN must lie in [completed, started] — no committed
+      batch lost, nothing uncommitted applied;
+    - the promoted store must open and pass {!Mneme.Check.run};
+    - it must hold byte-for-byte the record set of its generation;
+    - every query must return {e byte-identical ranked results} to the
+      golden run at that generation. *)
+
+val failover_file : string
+(** Store file name used by the workload ("failover.mneme"). *)
+
+val failover_log : string
+(** Journal log file name ("failover.log"). *)
+
+type failover_plan
+
+val prepare_failover :
+  ?seed:int -> ?docs:int -> ?batches:int -> ?standbys:int -> unit -> failover_plan
+(** Golden run (defaults: seed 42, 12 documents, 3 batches, 2
+    standbys).  Raises [Invalid_argument] on non-positive counts. *)
+
+val failover_points : failover_plan -> int
+(** Physical I/Os the workload performs on the primary device. *)
+
+type failover_report = {
+  crash_at : int;
+  survivor : string;  (** promoted standby; "none" before attach *)
+  applied_lsn : int;  (** -1 when there was nothing to promote *)
+  problems : string list;  (** invariant violations; [] = consistent *)
+}
+
+val run_failover_point : failover_plan -> int -> failover_report
+(** Replay, crash the primary at the given I/O (1-based), promote,
+    audit.  Raises [Invalid_argument] outside [1 .. failover_points]. *)
+
+type failover_outcome = {
+  points : int;
+  promoted : int;  (** crash points that yielded a survivor *)
+  empty : int;  (** crashes before any commit: survivor legitimately empty *)
+  problems : (int * string) list;  (** (crash point, violation) *)
+}
+
+val run_failover :
+  ?seed:int -> ?docs:int -> ?batches:int -> ?standbys:int -> unit -> failover_outcome
+(** Enumerate every crash point.  [problems = []] means a standby
+    served the committed prefix byte-identically no matter where the
+    primary died. *)
+
+val pp_failover_outcome : Format.formatter -> failover_outcome -> unit

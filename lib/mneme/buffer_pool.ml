@@ -162,6 +162,10 @@ let clear t =
   t.tail <- None;
   t.used <- 0
 
+let pinned_segments t =
+  Hashtbl.fold (fun pseg seg acc -> if seg.pins > 0 then pseg :: acc else acc) t.table []
+  |> List.sort compare
+
 let stats t =
   {
     refs = t.n_refs;

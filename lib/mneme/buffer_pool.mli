@@ -50,6 +50,11 @@ val unpin : t -> pseg:int -> unit
 (** Raises [Invalid_argument] if the segment is not resident or not
     pinned. *)
 
+val pinned_segments : t -> int list
+(** Resident segments with at least one pin, ascending — a correct
+    engine leaves this empty between queries (reservations must not
+    leak, even when evaluation raises). *)
+
 val update : t -> pseg:int -> bytes -> unit
 (** Replace the resident copy after a write-through modification; no-op
     if not resident. *)

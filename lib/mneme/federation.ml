@@ -25,6 +25,7 @@ let create ?(capacity = 1 lsl 28) () =
   }
 
 let capacity t = t.capacity
+let free_ids t = List.length t.free + (t.capacity - t.next)
 
 let mount t ~name store =
   if Hashtbl.mem t.names name then invalid_arg ("Federation.mount: already mounted: " ^ name);

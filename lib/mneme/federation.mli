@@ -59,3 +59,8 @@ val release : t -> gid -> unit
 
 val in_use : t -> int
 (** Currently assigned global ids. *)
+
+val free_ids : t -> int
+(** Global ids still available: the released pool plus the
+    never-assigned tail.  [in_use t + free_ids t = capacity t] is an
+    invariant — any shortfall means the federation leaked ids. *)

@@ -4,6 +4,8 @@ type t = {
   data : Vfs.file;
   mutable batch : (int * bytes) list option; (* newest first, None = no batch *)
   mutable logged_bytes : int;
+  mutable committed_lsn : int;
+  mutable subscribers : (lsn:int -> bytes -> unit) list; (* reverse order *)
 }
 
 let terminator = 0xffffffffffffff (* fits u64 writer (non-negative OCaml int) *)
@@ -11,7 +13,15 @@ let terminator = 0xffffffffffffff (* fits u64 writer (non-negative OCaml int) *)
 let create vfs ~log_file ~data_file =
   let log = Vfs.open_file vfs log_file in
   Vfs.truncate log 0;
-  { vfs; log; data = Vfs.open_file vfs data_file; batch = None; logged_bytes = 0 }
+  {
+    vfs;
+    log;
+    data = Vfs.open_file vfs data_file;
+    batch = None;
+    logged_bytes = 0;
+    committed_lsn = 0;
+    subscribers = [];
+  }
 
 let attach vfs ~log_file ~data_file =
   {
@@ -20,7 +30,14 @@ let attach vfs ~log_file ~data_file =
     data = Vfs.open_file vfs data_file;
     batch = None;
     logged_bytes = 0;
+    committed_lsn = 0;
+    subscribers = [];
   }
+
+let log_file t = Vfs.file_name t.log
+let data_file t = Vfs.file_name t.data
+let lsn t = t.committed_lsn
+let on_commit t f = t.subscribers <- f :: t.subscribers
 
 let in_batch t = t.batch <> None
 
@@ -94,6 +111,11 @@ let commit t =
     ignore (Vfs.append t.log log_image);
     Vfs.fsync t.log;
     t.logged_bytes <- t.logged_bytes + Bytes.length log_image;
+    (* The batch is now committed: stream the sealed image to
+       subscribers before the apply phase, so a crash while applying
+       still leaves every replica holding the committed batch. *)
+    t.committed_lsn <- t.committed_lsn + 1;
+    List.iter (fun f -> f ~lsn:t.committed_lsn log_image) (List.rev t.subscribers);
     (* 2. Apply to the data file, and make it durable before the log is
        dropped — otherwise the checkpoint could outlive the data. *)
     apply_to_data t writes;

@@ -71,3 +71,27 @@ val recover : t -> recovery
 val pending_writes : t -> int
 val log_bytes_written : t -> int
 (** Total bytes ever appended to the log — the overhead metric. *)
+
+(** {2 Batch streaming}
+
+    The hook a replica group needs: every committed batch's sealed log
+    image (records + commit marker + CRC32) is handed to subscribers
+    with its log sequence number, so standbys can replay the primary's
+    history byte for byte. *)
+
+val lsn : t -> int
+(** Committed batches in this journal's lifetime (the log sequence
+    number of the most recent commit; 0 before the first). *)
+
+val on_commit : t -> (lsn:int -> bytes -> unit) -> unit
+(** Subscribe to the commit stream.  The callback receives the sealed
+    log image of every committed batch, immediately after the log fsync
+    (the commit point) and {e before} the apply phase — a primary that
+    crashes while applying has already shipped the batch.  Subscribers
+    run in subscription order. *)
+
+val log_file : t -> string
+(** Name of the log file. *)
+
+val data_file : t -> string
+(** Name of the journaled data file. *)

@@ -1,0 +1,147 @@
+type standby = {
+  sname : string;
+  svfs : Vfs.t;
+  sjournal : Journal.t; (* log + data on the standby's own file system *)
+  mutable applied : int;
+  mutable healthy : bool;
+  mutable reason : string option;
+  mutable paused : bool;
+  mutable backlog : (int * bytes) list; (* newest first, while paused *)
+  mutable corrupt_next : bool;
+}
+
+type t = {
+  journal : Journal.t; (* the primary's *)
+  group : standby list; (* attach order *)
+}
+
+type standby_info = {
+  name : string;
+  applied_lsn : int;
+  lag : int;
+  healthy : bool;
+  paused : bool;
+  reason : string option;
+}
+
+let fail (sb : standby) msg =
+  sb.healthy <- false;
+  sb.reason <- Some msg
+
+(* Land the shipped image in the standby's log, make it durable (the
+   standby's commit point), then run the ordinary CRC-verified recovery
+   path to apply it.  A batch that fails verification is Discarded by
+   recovery — the standby refuses it and goes unhealthy rather than
+   diverge. *)
+let apply sb ~lsn image =
+  if lsn <> sb.applied + 1 then
+    fail sb (Printf.sprintf "shipment gap: got lsn %d after %d" lsn sb.applied)
+  else begin
+    let image =
+      if not sb.corrupt_next then image
+      else begin
+        sb.corrupt_next <- false;
+        let damaged = Bytes.copy image in
+        let target = Bytes.length damaged / 2 in
+        Bytes.set damaged target (Char.chr (Char.code (Bytes.get damaged target) lxor 0x40));
+        damaged
+      end
+    in
+    match
+      let log = Vfs.open_file sb.svfs (Journal.log_file sb.sjournal) in
+      Vfs.truncate log 0;
+      ignore (Vfs.append log image);
+      Vfs.fsync log;
+      Journal.recover sb.sjournal
+    with
+    | Journal.Replayed _ -> sb.applied <- lsn
+    | Journal.Discarded _ | Journal.Clean ->
+      fail sb (Printf.sprintf "batch %d failed CRC verification, rejected" lsn)
+    | exception Vfs.Crash -> fail sb (Printf.sprintf "standby device crashed applying batch %d" lsn)
+  end
+
+let receive (sb : standby) ~lsn image =
+  if sb.healthy then
+    if sb.paused then sb.backlog <- (lsn, image) :: sb.backlog else apply sb ~lsn image
+
+let attach store ~standbys =
+  let journal =
+    match Store.journal store with
+    | None -> invalid_arg "Replica.attach: store has no journal enabled"
+    | Some j -> j
+  in
+  if Journal.in_batch journal then invalid_arg "Replica.attach: batch open on the primary";
+  let seen = Hashtbl.create 4 in
+  let primary_vfs_file = Journal.data_file journal in
+  let group =
+    List.map
+      (fun (sname, svfs) ->
+        if Hashtbl.mem seen sname then
+          invalid_arg ("Replica.attach: duplicate standby name: " ^ sname);
+        Hashtbl.add seen sname ();
+        (* Bootstrap: the standby starts from a durable copy of the
+           primary data file as it stands now; everything after arrives
+           through the commit stream. *)
+        Vfs.copy_file (Store.vfs store) primary_vfs_file ~into:svfs;
+        {
+          sname;
+          svfs;
+          sjournal =
+            Journal.attach svfs ~log_file:(Journal.log_file journal)
+              ~data_file:primary_vfs_file;
+          applied = 0;
+          healthy = true;
+          reason = None;
+          paused = false;
+          backlog = [];
+          corrupt_next = false;
+        })
+      standbys
+  in
+  List.iter (fun sb -> Journal.on_commit journal (fun ~lsn image -> receive sb ~lsn image)) group;
+  { journal; group }
+
+let primary_lsn t = Journal.lsn t.journal
+
+let find t name =
+  match List.find_opt (fun sb -> String.equal sb.sname name) t.group with
+  | Some sb -> sb
+  | None -> raise Not_found
+
+let info_of t sb =
+  {
+    name = sb.sname;
+    applied_lsn = sb.applied;
+    lag = primary_lsn t - sb.applied;
+    healthy = sb.healthy;
+    paused = sb.paused;
+    reason = sb.reason;
+  }
+
+let info t = List.map (info_of t) t.group
+let standby_vfs t ~name = (find t name).svfs
+let pause t ~name = (find t name).paused <- true
+
+let resume t ~name =
+  let sb = find t name in
+  sb.paused <- false;
+  let pending = List.rev sb.backlog in
+  sb.backlog <- [];
+  List.iter (fun (lsn, image) -> if sb.healthy then apply sb ~lsn image) pending
+
+let corrupt_next_shipment t ~name = (find t name).corrupt_next <- true
+
+let promote t =
+  let best =
+    List.fold_left
+      (fun acc (sb : standby) ->
+        if not sb.healthy then acc
+        else
+          match acc with
+          | Some b when b.applied >= sb.applied -> acc
+          | _ -> Some sb)
+      None t.group
+  in
+  match best with
+  | None -> failwith "Replica.promote: no healthy standby"
+  | Some sb -> (info_of t sb, sb.svfs)

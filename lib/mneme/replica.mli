@@ -1,0 +1,71 @@
+(** Replica groups: journal shipping from a primary store to standbys.
+
+    The ROADMAP's serving-scale concern: a single Mneme file on a single
+    simulated disk cannot survive that disk.  A replica group keeps N
+    {e standbys} — each a byte-level copy of the primary's data file on
+    its own {!Vfs.t} (its own disk) — caught up by {e journal shipping}:
+    every batch the primary's {!Journal} commits is streamed, as the
+    sealed CRC32-bearing log image, to each standby, which lands it in
+    its own log, fsyncs (the standby's commit point), and replays it
+    through the same CRC-verified recovery path a crashed primary would
+    use.  A shipped batch that fails its CRC is rejected and the standby
+    marked unhealthy — divergence is never applied silently.
+
+    Standbys therefore hold, at every instant, a transaction-consistent
+    prefix of the primary's history: exactly the batches whose log fsync
+    completed on the primary.  When the primary's device dies
+    ({!Vfs.Crash}), {!promote} selects the most-caught-up healthy
+    standby; opening its store yields byte-identical contents to a
+    non-crashed primary at that standby's applied LSN.  The failover
+    torture harness ({!Core.Torture}) proves this at every crash point.
+
+    Shipping is synchronous and deterministic — this is a simulation of
+    replication, not a concurrent implementation — which is what lets
+    the torture harness enumerate crash points through it. *)
+
+type t
+
+type standby_info = {
+  name : string;
+  applied_lsn : int;  (** last batch applied (0 = bootstrap image only) *)
+  lag : int;  (** primary LSN minus applied LSN *)
+  healthy : bool;  (** false once a shipment was rejected *)
+  paused : bool;
+  reason : string option;  (** why unhealthy, when not *)
+}
+
+val attach : Store.t -> standbys:(string * Vfs.t) list -> t
+(** [attach store ~standbys] builds a replica group around a store whose
+    journal is enabled ([Invalid_argument] otherwise, or if a batch is
+    open, or on duplicate standby names).  Each standby is bootstrapped
+    with a durable copy of the primary data file's current contents on
+    its own file system, then subscribed to the journal's commit
+    stream. *)
+
+val primary_lsn : t -> int
+(** Batches committed by the primary since [attach]. *)
+
+val info : t -> standby_info list
+(** Per-standby status, in attach order. *)
+
+val standby_vfs : t -> name:string -> Vfs.t
+(** The standby's file system.  Raises [Not_found]. *)
+
+val pause : t -> name:string -> unit
+(** Stop applying shipments to this standby; they accumulate in order
+    (the standby lags).  Raises [Not_found]. *)
+
+val resume : t -> name:string -> unit
+(** Drain the accumulated shipments in order and continue applying.
+    Raises [Not_found]. *)
+
+val corrupt_next_shipment : t -> name:string -> unit
+(** Test hook for transit corruption: flip one byte of the next batch
+    image delivered to this standby.  The standby's CRC verification
+    must reject it.  Raises [Not_found]. *)
+
+val promote : t -> standby_info * Vfs.t
+(** The failover decision: the healthy standby with the highest applied
+    LSN (ties broken by attach order).  Open the returned file system's
+    copy of the data file with {!Store.open_existing} to serve from it.
+    Raises [Failure] if no healthy standby exists. *)

@@ -741,6 +741,9 @@ let finalize t =
      fsynced to the log before any of it reaches the data file). *)
   match t.journal with None -> Vfs.fsync t.file | Some _ -> ()
 
+let vfs t = t.vfs
+let file_name t = Vfs.file_name t.file
+
 let file_size t =
   match t.journal with Some j -> Journal.data_size j | None -> Vfs.size t.file
 let object_count t = t.object_count

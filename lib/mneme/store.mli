@@ -86,6 +86,12 @@ val finalize : t -> unit
     header.  Idempotent; must be called before [open_existing] can see
     the data. *)
 
+val vfs : t -> Vfs.t
+(** The file system this store lives in. *)
+
+val file_name : t -> string
+(** Name of the store's data file. *)
+
 val file_size : t -> int
 val object_count : t -> int
 val pool_object_count : pool -> int

@@ -1,13 +1,13 @@
 type kind = Read | Write
-type decision = Proceed | Crash | Flip_bit of int
+type decision = Proceed | Crash | Flip_bit of int | Stall of float
 
-type plan = { mutable ios : int; rule : io:int -> kind -> decision }
+type plan = { mutable ios : int; rule : io:int -> file:string -> kind -> decision }
 
-let none () = { ios = 0; rule = (fun ~io:_ _ -> Proceed) }
+let none () = { ios = 0; rule = (fun ~io:_ ~file:_ _ -> Proceed) }
 
 let crash_at_io n =
   if n < 1 then invalid_arg "Fault.crash_at_io: crash point is 1-based";
-  { ios = 0; rule = (fun ~io _ -> if io >= n then Crash else Proceed) }
+  { ios = 0; rule = (fun ~io ~file:_ _ -> if io >= n then Crash else Proceed) }
 
 (* SplitMix64 finalizer: a well-mixed bit choice from (seed, io) without
    dragging in generator state. *)
@@ -21,13 +21,25 @@ let flip_bit_on_read ~io ~seed =
   {
     ios = 0;
     rule =
-      (fun ~io:n kind ->
+      (fun ~io:n ~file:_ kind ->
         match kind with Read when n = io -> Flip_bit (mix seed io) | _ -> Proceed);
+  }
+
+let stall_at_io ~io ~ms =
+  if io < 1 then invalid_arg "Fault.stall_at_io: stall point is 1-based";
+  if ms < 0.0 then invalid_arg "Fault.stall_at_io: negative stall";
+  { ios = 0; rule = (fun ~io:n ~file:_ _ -> if n = io then Stall ms else Proceed) }
+
+let degraded_device ~file ~ms =
+  if ms < 0.0 then invalid_arg "Fault.degraded_device: negative stall";
+  {
+    ios = 0;
+    rule = (fun ~io:_ ~file:name _ -> if String.equal name file then Stall ms else Proceed);
   }
 
 let custom rule = { ios = 0; rule }
 let io_count p = p.ios
 
-let observe p kind =
+let observe p ~file kind =
   p.ios <- p.ios + 1;
-  p.rule ~io:p.ios kind
+  p.rule ~io:p.ios ~file kind

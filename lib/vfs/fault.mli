@@ -5,8 +5,12 @@
     [fsync]/[sync].  The plan decides whether the I/O proceeds, the
     process crashes ([Vfs.Crash] is raised before the block reaches the
     device, so a crash mid-[fsync] leaves a torn write: only the prefix
-    of dirty blocks flushed so far is durable), or — for reads — a bit
-    of the block is flipped in place, modelling media corruption.
+    of dirty blocks flushed so far is durable), a bit of the block is
+    flipped in place (media corruption — reads only), or the I/O
+    {e stalls}: it completes, but only after the given extra
+    milliseconds are charged to the simulated clock.  Stalls model the
+    availability failure modes a crash cannot: a sick disk retrying
+    sectors, a saturated controller, a device fading rather than dying.
 
     Plans are deterministic: the same seed and the same workload produce
     the same faults, which is what lets the torture harness enumerate
@@ -22,6 +26,10 @@ type decision =
   | Flip_bit of int
       (** flip this bit offset (within the block) of the transferred
           data; only honoured on reads, writes treat it as [Proceed] *)
+  | Stall of float
+      (** the I/O completes, but charges this many extra milliseconds of
+          disk time to the simulated clock first (a slow, not dead,
+          device).  Negative stalls are treated as [Proceed]. *)
 
 type plan
 
@@ -38,12 +46,24 @@ val flip_bit_on_read : io:int -> seed:int -> plan
     [io]-th physical I/O, if it is a read: one bit, chosen
     deterministically from [seed], is flipped.  Other I/Os proceed. *)
 
-val custom : (io:int -> kind -> decision) -> plan
-(** Full control: the callback sees the 1-based I/O ordinal and kind. *)
+val stall_at_io : io:int -> ms:float -> plan
+(** [stall_at_io ~io ~ms] stalls the [io]-th physical I/O (1-based) by
+    [ms] simulated milliseconds; every other I/O proceeds.  Raises
+    [Invalid_argument] if [io < 1] or [ms < 0]. *)
+
+val degraded_device : file:string -> ms:float -> plan
+(** [degraded_device ~file ~ms] inflates {e every} physical I/O touching
+    [file] by [ms] simulated milliseconds — the whole device under that
+    file is sick, not one request.  Other files are unaffected.  Raises
+    [Invalid_argument] if [ms < 0]. *)
+
+val custom : (io:int -> file:string -> kind -> decision) -> plan
+(** Full control: the callback sees the 1-based I/O ordinal, the name of
+    the file whose block is transferring, and the I/O kind. *)
 
 val io_count : plan -> int
 (** Number of physical I/Os observed so far. *)
 
-val observe : plan -> kind -> decision
+val observe : plan -> file:string -> kind -> decision
 (** Called by {!Vfs} once per physical block I/O.  Advances the counter
     and returns the plan's decision. *)

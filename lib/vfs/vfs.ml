@@ -105,12 +105,15 @@ let fault_io_count t = Fault.io_count t.fault
 
 (* Consult the plan before a physical block I/O.  A bit flip is media
    corruption: it damages both the OS view and the durable image, so the
-   garbage survives cache purges and crashes alike. *)
+   garbage survives cache purges and crashes alike.  A stall is a slow
+   device: the transfer completes, but the extra latency is charged to
+   the simulated disk clock first. *)
 let fault_block f kind ~blk =
   let t = f.owner in
-  match Fault.observe t.fault kind with
+  match Fault.observe t.fault ~file:f.name kind with
   | Fault.Proceed -> ()
   | Fault.Crash -> raise Crash
+  | Fault.Stall ms -> if ms > 0.0 then Clock.charge_disk t.clk ms
   | Fault.Flip_bit bit -> (
     match kind with
     | Fault.Write -> ()
@@ -315,6 +318,19 @@ let sync t =
   List.iter fsync (List.sort (fun a b -> compare a.fid b.fid) files)
 
 let dirty_blocks t = Hashtbl.length t.dirty
+
+(* Replicate a file's current OS-view contents into another file system,
+   durably.  Reads are charged to the source, writes and the flush to
+   the destination — exactly what a byte-copy over two devices costs. *)
+let copy_file t name ~into =
+  if not (Hashtbl.mem t.files name) then
+    invalid_arg ("Vfs.copy_file: no such file: " ^ name);
+  let src = open_file t name in
+  let dst = open_file into name in
+  truncate dst 0;
+  let n = size src in
+  if n > 0 then write dst ~off:0 (read src ~off:0 ~len:n);
+  fsync dst
 
 (* The state a machine reboot would find: every file at its metadata
    size, with only flushed block contents.  Metadata operations (create,

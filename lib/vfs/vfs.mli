@@ -29,9 +29,11 @@
     {b Fault injection.}  A {!Fault.plan} attached with {!set_fault} is
     consulted on every physical block I/O and can crash the process
     (raising {!Crash} — mid-[fsync] this persists only a prefix of the
-    dirty blocks, a torn write) or flip a bit of a block being read
+    dirty blocks, a torn write), flip a bit of a block being read
     (media corruption: the damage persists in both the OS view and the
-    durable image). *)
+    durable image), or stall the I/O — the transfer completes but extra
+    latency is charged to the simulated clock, modelling a degraded
+    rather than dead device. *)
 
 module Clock : module type of Clock
 (** Re-exported: the simulated clock (this module is the library root,
@@ -126,6 +128,13 @@ val sync : t -> unit
 
 val dirty_blocks : t -> int
 (** Number of written-but-unflushed blocks across all files. *)
+
+val copy_file : t -> string -> into:t -> unit
+(** [copy_file t name ~into] replicates [name]'s current contents (the
+    OS view, unflushed writes included) into the file of the same name
+    in [into], and fsyncs the copy.  Reads are charged to [t], writes to
+    [into].  Raises [Invalid_argument] if the source does not exist.
+    Used to bootstrap a replica from a live primary. *)
 
 val crash_image : t -> t
 (** A fresh file system holding what a reboot would find: every file at

@@ -88,6 +88,80 @@ let test_reservation_pins_during_query () =
     (Printf.sprintf "reserve (%d) <= no reserve (%d)" with_reserve without)
     true (with_reserve <= without)
 
+(* A reservation taken before evaluation must be released even when
+   evaluation raises (salvage off + corrupt record): leaked pins would
+   accumulate across queries and starve the buffers. *)
+let test_reservation_released_when_eval_raises () =
+  let vfs = Vfs.create () in
+  let store = Mneme.Store.create vfs "leak.mneme" in
+  let medium = Mneme.Store.add_pool store Mneme.Policy.medium in
+  let large = Mneme.Store.add_pool store Mneme.Policy.large in
+  let medium_buf = Mneme.Buffer_pool.create ~name:"medium" ~capacity:100_000 () in
+  let large_buf = Mneme.Buffer_pool.create ~name:"large" ~capacity:100_000 () in
+  Mneme.Store.attach_buffer medium medium_buf;
+  Mneme.Store.attach_buffer large large_buf;
+  (* Two one-term records built by a real indexer so they decode. *)
+  let indexer = Inquery.Indexer.create () in
+  Inquery.Indexer.add_document_terms indexer ~doc_id:0 [| "srv"; "vct" |];
+  Inquery.Indexer.add_document_terms indexer ~doc_id:1 [| "srv" |];
+  let dict = Inquery.Indexer.dictionary indexer in
+  (* srv to the medium pool, vct to the large pool: distinct physical
+     segments, so one can be corrupted and the other kept resident. *)
+  Inquery.Indexer.to_records indexer
+  |> Seq.iter (fun (tid, record) ->
+         let entry = Option.get (Inquery.Dictionary.find_by_id dict tid) in
+         let pool = if entry.Inquery.Dictionary.term = "srv" then medium else large in
+         entry.Inquery.Dictionary.locator <- Mneme.Store.allocate pool record);
+  Mneme.Store.finalize store;
+  let session =
+    {
+      Core.Index_store.name = "leak";
+      fetch =
+        (fun entry ->
+          let locator = entry.Inquery.Dictionary.locator in
+          if locator < 0 then None else Mneme.Store.get_opt store locator);
+      reserve =
+        (fun entries ->
+          Mneme.Store.reserve store
+            (List.filter_map
+               (fun e ->
+                 let l = e.Inquery.Dictionary.locator in
+                 if l < 0 then None else Some l)
+               entries));
+      buffer_stats = (fun () -> []);
+      reset_buffer_stats = (fun () -> ());
+      file_size = (fun () -> Mneme.Store.file_size store);
+    }
+  in
+  let engine =
+    Core.Engine.create ~vfs ~store:session ~dict ~n_docs:2 ~avg_doc_len:1.5
+      ~doc_len:(Inquery.Indexer.doc_length indexer)
+      ~reserve:true ~salvage:false ()
+  in
+  (* Warm srv's segment so the next reservation actually pins it. *)
+  ignore (Core.Engine.run_query_string engine "srv");
+  (* Damage vct's segment on disk; it is not buffered, so the fetch will
+     re-read it and fail its CRC. *)
+  let vct = Option.get (Inquery.Dictionary.find dict "vct") in
+  let pseg = Option.get (Mneme.Store.locate_pseg store vct.Inquery.Dictionary.locator) in
+  let off, len = List.assoc pseg (Mneme.Store.pool_segments large) in
+  let f = Vfs.open_file vfs "leak.mneme" in
+  let target = off + (len / 2) in
+  let byte = Bytes.get (Vfs.read f ~off:target ~len:1) 0 in
+  Vfs.write f ~off:target (Bytes.make 1 (Char.chr (Char.code byte lxor 0x10)));
+  Mneme.Buffer_pool.drop large_buf ~pseg;
+  Alcotest.(check bool) "query aborts with Corrupt" true
+    (match Core.Engine.run_query_string engine "#sum( srv vct )" with
+    | _ -> false
+    | exception Mneme.Store.Corrupt _ -> true);
+  Alcotest.(check (list int)) "no pins leaked in the medium buffer" []
+    (Mneme.Buffer_pool.pinned_segments medium_buf);
+  Alcotest.(check (list int)) "no pins leaked in the large buffer" []
+    (Mneme.Buffer_pool.pinned_segments large_buf);
+  (* The engine still serves clean queries afterwards. *)
+  Alcotest.(check bool) "engine survives" true
+    ((Core.Engine.run_query_string engine "srv").Core.Engine.ranked <> [])
+
 let test_top_k_limits () =
   let e = engine Core.Experiment.Mneme_cache in
   let r = Core.Engine.run_query_string ~top_k:3 e "ba" in
@@ -102,5 +176,7 @@ let suite =
     Alcotest.test_case "invalid query raises" `Quick test_invalid_query_raises;
     Alcotest.test_case "store accessor" `Quick test_store_accessor;
     Alcotest.test_case "reservation helps" `Quick test_reservation_pins_during_query;
+    Alcotest.test_case "reservation released when eval raises" `Quick
+      test_reservation_released_when_eval_raises;
     Alcotest.test_case "top_k limits" `Quick test_top_k_limits;
   ]

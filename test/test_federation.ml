@@ -90,6 +90,74 @@ let test_unmount_releases () =
   Alcotest.(check bool) "double unmount" true
     (match Mneme.Federation.unmount fed ha with () -> false | exception Not_found -> true)
 
+(* Churn the whole gid lifecycle — globalize, release, double-release,
+   unmount/remount — and demand the id pool stays conserved throughout:
+   [in_use + free_ids = capacity] after every operation, released gids
+   stop resolving, and tearing every mount down returns every id. *)
+let prop_gid_lifecycle_never_leaks =
+  QCheck.Test.make ~name:"gid lifecycle never leaks ids" ~count:100
+    QCheck.(list (pair (int_range 0 3) (int_range 0 2)))
+    (fun ops ->
+      let vfs = Vfs.create () in
+      let store_a, oids_a = make_store vfs "qa.mneme" [ "a0"; "a1"; "a2" ] in
+      let store_b, oids_b = make_store vfs "qb.mneme" [ "b0"; "b1"; "b2" ] in
+      let fed = Mneme.Federation.create ~capacity:5 () in
+      let ha = ref (Mneme.Federation.mount fed ~name:"a" store_a) in
+      let hb = Mneme.Federation.mount fed ~name:"b" store_b in
+      let assigned = ref [] in
+      let ok = ref true in
+      let invariant () =
+        if
+          Mneme.Federation.in_use fed + Mneme.Federation.free_ids fed
+          <> Mneme.Federation.capacity fed
+        then ok := false
+      in
+      List.iter
+        (fun (op, idx) ->
+          (match op with
+          | 0 -> (
+            let handle, oid =
+              if idx mod 2 = 0 then (!ha, List.nth oids_a idx) else (hb, List.nth oids_b idx)
+            in
+            match Mneme.Federation.globalize fed ~handle oid with
+            | gid -> if not (List.mem gid !assigned) then assigned := gid :: !assigned
+            | exception Failure _ -> () (* id space full: bounded, not leaked *))
+          | 1 -> (
+            match !assigned with
+            | [] -> ()
+            | gid :: rest ->
+              assigned := rest;
+              Mneme.Federation.release fed gid;
+              (* A released gid must stop resolving. *)
+              (match Mneme.Federation.locate fed gid with
+              | _ -> ok := false
+              | exception Not_found -> ()))
+          | 2 ->
+            (* Unmounting reclaims every gid pointing into the mount. *)
+            Mneme.Federation.unmount fed !ha;
+            assigned :=
+              List.filter
+                (fun g ->
+                  match Mneme.Federation.locate fed g with
+                  | _ -> true
+                  | exception Not_found -> false)
+                !assigned;
+            ha := Mneme.Federation.mount fed ~name:"a" store_a
+          | _ -> (
+            match !assigned with
+            | [] -> ()
+            | gid :: rest ->
+              assigned := rest;
+              Mneme.Federation.release fed gid;
+              Mneme.Federation.release fed gid (* double release: a no-op *)));
+          invariant ())
+        ops;
+      Mneme.Federation.unmount fed !ha;
+      Mneme.Federation.unmount fed hb;
+      !ok
+      && Mneme.Federation.in_use fed = 0
+      && Mneme.Federation.free_ids fed = Mneme.Federation.capacity fed)
+
 let test_validation () =
   Alcotest.(check bool) "zero capacity" true
     (match Mneme.Federation.create ~capacity:0 () with
@@ -104,5 +172,6 @@ let suite =
     Alcotest.test_case "release recycles" `Quick test_release_recycles;
     Alcotest.test_case "capacity bound" `Quick test_capacity_bound;
     Alcotest.test_case "unmount releases" `Quick test_unmount_releases;
+    QCheck_alcotest.to_alcotest prop_gid_lifecycle_never_leaks;
     Alcotest.test_case "validation" `Quick test_validation;
   ]

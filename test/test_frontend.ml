@@ -1,0 +1,187 @@
+(* Replica frontend: deadlines, hedging, circuit breakers. *)
+
+let model =
+  (* Big enough that each core term's inverted record spans blocks of
+     its own — a degraded device then stalls every term's fetch instead
+     of only the first (later terms would otherwise ride the OS cache). *)
+  Collections.Docmodel.make ~name:"fe" ~n_docs:2000 ~core_vocab:1200 ~mean_doc_len:100.0
+    ~hapax_prob:0.02 ~seed:97 ()
+
+let prepared = lazy (Core.Experiment.prepare model)
+let terms = [ "ba"; "be"; "bi"; "bo"; "bu"; "ca"; "ce" ]
+let big_query = "#sum( " ^ String.concat " " terms ^ " )"
+
+let fingerprint ranked =
+  List.map
+    (fun r -> (r.Inquery.Ranking.doc, Printf.sprintf "%.9f" r.Inquery.Ranking.score))
+    ranked
+
+let engine_fingerprint () =
+  let p = Lazy.force prepared in
+  let e = Core.Experiment.open_engine p Core.Experiment.Mneme_cache in
+  fingerprint (Core.Engine.run_query_string ~top_k:20 e big_query).Core.Engine.ranked
+
+let test_group_matches_single_engine () =
+  let p = Lazy.force prepared in
+  let fe = Core.Frontend.of_prepared p ~names:[ "a"; "b" ] in
+  let r = Core.Frontend.run_query_string ~top_k:20 fe big_query in
+  Alcotest.(check bool) "same ranking as a lone engine" true
+    (fingerprint r.Core.Frontend.ranked = engine_fingerprint ());
+  Alcotest.(check bool) "not degraded" false r.Core.Frontend.degraded;
+  Alcotest.(check int) "no hedging needed" 0 r.Core.Frontend.hedged_fetches;
+  Alcotest.(check bool) "latency accounted" true (r.Core.Frontend.elapsed_ms > 0.0);
+  Alcotest.(check (list string)) "replica names" [ "a"; "b" ] (Core.Frontend.replica_names fe)
+
+let test_deadline_degrades_within_one_fetch () =
+  let p = Lazy.force prepared in
+  (* One replica, no record cache, a breaker that never trips: every
+     fetch pays the degraded device in full. *)
+  let fe =
+    Core.Frontend.of_prepared p ~names:[ "solo" ] ~buffers:Core.Buffer_sizing.no_cache
+      ~window:1000 ~trip_after:1000
+  in
+  let vfs = Core.Frontend.replica_vfs fe ~name:"solo" in
+  Vfs.set_fault vfs
+    (Vfs.Fault.degraded_device ~file:p.Core.Experiment.mneme_file ~ms:120.0);
+  let max_fetch =
+    List.fold_left
+      (fun m q ->
+        Vfs.purge_os_cache vfs;
+        Float.max m (Core.Frontend.run_query_string fe q).Core.Frontend.elapsed_ms)
+      0.0 terms
+  in
+  Vfs.purge_os_cache vfs;
+  let full = Core.Frontend.run_query_string fe big_query in
+  Alcotest.(check bool) "full run is slow but complete" false full.Core.Frontend.degraded;
+  let deadline = max_fetch *. 1.5 in
+  Alcotest.(check bool) "deadline cuts the full run short" true
+    (full.Core.Frontend.elapsed_ms > deadline);
+  Vfs.purge_os_cache vfs;
+  let r = Core.Frontend.run_query_string ~deadline_ms:deadline fe big_query in
+  Alcotest.(check bool) "deadline hit" true r.Core.Frontend.deadline_hit;
+  Alcotest.(check bool) "flagged degraded" true r.Core.Frontend.degraded;
+  Alcotest.(check bool) "some terms skipped" true (r.Core.Frontend.skipped_terms <> []);
+  Alcotest.(check bool) "terms scored so far still ranked" true (r.Core.Frontend.ranked <> []);
+  Alcotest.(check bool)
+    (Printf.sprintf "overshoot bounded by one fetch (%.1f <= %.1f + %.1f)"
+       r.Core.Frontend.elapsed_ms deadline max_fetch)
+    true
+    (r.Core.Frontend.elapsed_ms <= deadline +. max_fetch +. 1.0)
+
+let test_hedging_rescues_and_breaker_trips () =
+  let p = Lazy.force prepared in
+  let fe =
+    Core.Frontend.of_prepared p ~names:[ "a"; "b" ] ~buffers:Core.Buffer_sizing.no_cache
+      ~window:4 ~trip_after:2 ~cooldown_ms:1.0e6
+  in
+  Vfs.set_fault
+    (Core.Frontend.replica_vfs fe ~name:"a")
+    (Vfs.Fault.degraded_device ~file:p.Core.Experiment.mneme_file ~ms:150.0);
+  let r = Core.Frontend.run_query_string ~top_k:20 fe big_query in
+  Alcotest.(check bool) "stalls hedged to the healthy replica" true
+    (r.Core.Frontend.hedged_fetches >= 1);
+  Alcotest.(check bool) "served in full despite the sick replica" false
+    r.Core.Frontend.degraded;
+  Alcotest.(check string) "healthy replica took over" "b" r.Core.Frontend.served_by;
+  Alcotest.(check string) "preference moved" "b" (Core.Frontend.preferred fe);
+  Alcotest.(check bool) "ranking unharmed" true
+    (fingerprint r.Core.Frontend.ranked = engine_fingerprint ());
+  Alcotest.(check bool) "breaker opened on the sick replica" true
+    (Core.Frontend.breaker fe ~name:"a" = Core.Frontend.Open);
+  (* With the breaker open, traffic routes straight to b: no hedges. *)
+  let r2 = Core.Frontend.run_query_string fe big_query in
+  Alcotest.(check int) "no hedging once open" 0 r2.Core.Frontend.hedged_fetches;
+  Alcotest.(check bool) "still healthy" false r2.Core.Frontend.degraded
+
+let test_breaker_recloses_after_good_probe () =
+  let p = Lazy.force prepared in
+  let fe =
+    Core.Frontend.of_prepared p ~names:[ "a"; "b" ] ~buffers:Core.Buffer_sizing.no_cache
+      ~window:2 ~trip_after:2 ~cooldown_ms:50.0
+  in
+  let vfs_a = Core.Frontend.replica_vfs fe ~name:"a" in
+  Vfs.set_fault vfs_a
+    (Vfs.Fault.degraded_device ~file:p.Core.Experiment.mneme_file ~ms:150.0);
+  ignore (Core.Frontend.run_query_string fe big_query);
+  Alcotest.(check bool) "tripped" true
+    (Core.Frontend.breaker fe ~name:"a" = Core.Frontend.Open);
+  (* Device repaired; after the cooldown the next fetch is a probe. *)
+  Vfs.clear_fault vfs_a;
+  Core.Frontend.tick fe 60.0;
+  let r = Core.Frontend.run_query_string fe big_query in
+  Alcotest.(check bool) "good probe closes the breaker" true
+    (Core.Frontend.breaker fe ~name:"a" = Core.Frontend.Closed);
+  Alcotest.(check bool) "query fine" false r.Core.Frontend.degraded
+
+let test_failed_probe_reopens () =
+  let p = Lazy.force prepared in
+  let fe =
+    Core.Frontend.of_prepared p ~names:[ "a"; "b" ] ~buffers:Core.Buffer_sizing.no_cache
+      ~window:2 ~trip_after:2 ~cooldown_ms:50.0
+  in
+  Vfs.set_fault
+    (Core.Frontend.replica_vfs fe ~name:"a")
+    (Vfs.Fault.degraded_device ~file:p.Core.Experiment.mneme_file ~ms:150.0);
+  ignore (Core.Frontend.run_query_string fe big_query);
+  Alcotest.(check bool) "tripped" true
+    (Core.Frontend.breaker fe ~name:"a" = Core.Frontend.Open);
+  Core.Frontend.tick fe 60.0;
+  (* Still sick: the probe stalls, gets hedged, and the breaker reopens. *)
+  let r = Core.Frontend.run_query_string fe big_query in
+  Alcotest.(check bool) "bad probe reopens" true
+    (Core.Frontend.breaker fe ~name:"a" = Core.Frontend.Open);
+  Alcotest.(check bool) "probe hedged" true (r.Core.Frontend.hedged_fetches >= 1);
+  Alcotest.(check bool) "query still served" false r.Core.Frontend.degraded
+
+let test_unroutable_terms_degrade () =
+  let p = Lazy.force prepared in
+  let fe =
+    Core.Frontend.of_prepared p ~names:[ "solo" ] ~buffers:Core.Buffer_sizing.no_cache
+      ~window:1 ~trip_after:1 ~cooldown_ms:50.0
+  in
+  let vfs = Core.Frontend.replica_vfs fe ~name:"solo" in
+  Vfs.set_fault vfs
+    (Vfs.Fault.degraded_device ~file:p.Core.Experiment.mneme_file ~ms:200.0);
+  let r = Core.Frontend.run_query_string fe big_query in
+  Alcotest.(check bool) "first stall opens the lone breaker" true
+    (Core.Frontend.breaker fe ~name:"solo" = Core.Frontend.Open);
+  Alcotest.(check bool) "rest of the query degrades" true r.Core.Frontend.degraded;
+  Alcotest.(check bool) "not a deadline problem" false r.Core.Frontend.deadline_hit;
+  Alcotest.(check bool) "unserved terms reported" true
+    (List.length r.Core.Frontend.skipped_terms >= List.length terms - 1);
+  (* Repair, wait out the cooldown: service restores itself. *)
+  Vfs.clear_fault vfs;
+  Core.Frontend.tick fe 60.0;
+  let r2 = Core.Frontend.run_query_string fe big_query in
+  Alcotest.(check bool) "recovered" false r2.Core.Frontend.degraded;
+  Alcotest.(check bool) "breaker closed again" true
+    (Core.Frontend.breaker fe ~name:"solo" = Core.Frontend.Closed)
+
+let test_validation () =
+  let p = Lazy.force prepared in
+  let invalid f = match f () with _ -> false | exception Invalid_argument _ -> true in
+  Alcotest.(check bool) "empty group" true
+    (invalid (fun () -> Core.Frontend.of_prepared p ~names:[]));
+  Alcotest.(check bool) "duplicate names" true
+    (invalid (fun () -> Core.Frontend.of_prepared p ~names:[ "x"; "x" ]));
+  Alcotest.(check bool) "bad trip_after" true
+    (invalid (fun () -> Core.Frontend.of_prepared p ~names:[ "x" ] ~window:2 ~trip_after:3));
+  let fe = Core.Frontend.of_prepared p ~names:[ "x" ] in
+  Alcotest.(check bool) "bad deadline" true
+    (invalid (fun () -> Core.Frontend.run_query_string ~deadline_ms:0.0 fe "ba"));
+  Alcotest.(check bool) "negative tick" true
+    (invalid (fun () -> Core.Frontend.tick fe (-1.0)))
+
+let suite =
+  [
+    Alcotest.test_case "group matches single engine" `Quick test_group_matches_single_engine;
+    Alcotest.test_case "deadline degrades within one fetch" `Quick
+      test_deadline_degrades_within_one_fetch;
+    Alcotest.test_case "hedging rescues, breaker trips" `Quick
+      test_hedging_rescues_and_breaker_trips;
+    Alcotest.test_case "good probe recloses breaker" `Quick
+      test_breaker_recloses_after_good_probe;
+    Alcotest.test_case "failed probe reopens breaker" `Quick test_failed_probe_reopens;
+    Alcotest.test_case "unroutable terms degrade" `Quick test_unroutable_terms_degrade;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

@@ -224,9 +224,51 @@ let test_store_recover_journal () =
   Alcotest.(check bool) "clean after commit" true
     (Mneme.Store.recover_journal vfs ~file:"r.mneme" ~log_file:"r.jnl" = Mneme.Journal.Clean)
 
+let test_commit_stream () =
+  let _, data, j = setup () in
+  let received = ref [] in
+  Mneme.Journal.on_commit j (fun ~lsn image -> received := (lsn, Bytes.copy image) :: !received);
+  Alcotest.(check int) "lsn starts at zero" 0 (Mneme.Journal.lsn j);
+  Mneme.Journal.begin_batch j;
+  Mneme.Journal.write j ~off:0 (Bytes.of_string "AA");
+  Mneme.Journal.commit j;
+  Mneme.Journal.begin_batch j;
+  Mneme.Journal.write j ~off:4 (Bytes.of_string "BB");
+  Mneme.Journal.commit j;
+  Alcotest.(check int) "two commits numbered" 2 (Mneme.Journal.lsn j);
+  Alcotest.(check (list int)) "stream in order" [ 1; 2 ]
+    (List.rev_map fst !received);
+  (* Each shipped image is a sealed, replayable log: landing it in a
+     fresh journal's log file and recovering replays the batch. *)
+  let vfs2 = Vfs.create () in
+  let data2 = Vfs.open_file vfs2 "data" in
+  ignore (Vfs.append data2 (Bytes.of_string "0123456789"));
+  let j2 = Mneme.Journal.attach vfs2 ~log_file:"log" ~data_file:"data" in
+  List.iter
+    (fun (_, image) ->
+      let log2 = Vfs.open_file vfs2 "log" in
+      Vfs.truncate log2 0;
+      ignore (Vfs.append log2 image);
+      Vfs.fsync log2;
+      match Mneme.Journal.recover j2 with
+      | Mneme.Journal.Replayed _ -> ()
+      | r ->
+        Alcotest.failf "shipped image did not replay: %s"
+          (match r with
+          | Mneme.Journal.Discarded n -> Printf.sprintf "discarded %d" n
+          | Mneme.Journal.Clean -> "clean"
+          | Mneme.Journal.Replayed _ -> assert false))
+    (List.rev !received);
+  Alcotest.(check string) "replica data matches primary" (read_data data)
+    (Bytes.to_string (Vfs.read data2 ~off:0 ~len:(Vfs.size data2)));
+  (* Names are exposed for the replica layer. *)
+  Alcotest.(check string) "log name" "log" (Mneme.Journal.log_file j);
+  Alcotest.(check string) "data name" "data" (Mneme.Journal.data_file j)
+
 let suite =
   [
     Alcotest.test_case "passthrough outside batch" `Quick test_passthrough_outside_batch;
+    Alcotest.test_case "commit stream" `Quick test_commit_stream;
     Alcotest.test_case "read your writes" `Quick test_read_your_writes;
     Alcotest.test_case "read past data end" `Quick test_read_extends_past_data_end;
     Alcotest.test_case "commit applies" `Quick test_commit_applies;

@@ -23,6 +23,7 @@ let () =
       ("mneme.chain", Test_chain.suite);
       ("mneme.journal", Test_journal.suite);
       ("mneme.federation", Test_federation.suite);
+      ("mneme.replica", Test_replica.suite);
       ("mneme.check", Test_check.suite);
       ("inquery.lexer", Test_lexer.suite);
       ("inquery.stopwords", Test_stopwords.suite);
@@ -49,6 +50,7 @@ let () =
       ("core.live_index", Test_live_index.suite);
       ("core.catalog", Test_catalog.suite);
       ("core.engine", Test_engine.suite);
+      ("core.frontend", Test_frontend.suite);
       ("core.paper", Test_paper.suite);
       ("core.ablation", Test_ablation.suite);
       ("core.torture", Test_torture.suite);

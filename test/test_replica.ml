@@ -1,0 +1,174 @@
+(* Replica groups: journal shipping, lag, CRC rejection, promotion. *)
+
+let file = "r.mneme"
+let log_file = "r.log"
+
+let make_primary () =
+  let vfs = Vfs.create () in
+  let store = Mneme.Store.create vfs file in
+  let pool = Mneme.Store.add_pool store Mneme.Policy.medium in
+  Mneme.Store.attach_buffer pool
+    (Mneme.Buffer_pool.create ~name:"medium" ~capacity:100_000 ());
+  Mneme.Store.enable_journal store ~log_file;
+  (vfs, store, pool)
+
+let open_standby svfs =
+  let store = Mneme.Store.open_existing svfs file in
+  Mneme.Store.attach_buffer
+    (Mneme.Store.pool store "medium")
+    (Mneme.Buffer_pool.create ~name:"medium" ~capacity:100_000 ());
+  store
+
+(* One committed batch: allocate [n] deterministic objects, finalize so
+   the data file is self-describing at the commit point. *)
+let commit_batch store pool ~batch ~n mirror =
+  Mneme.Store.transact store (fun () ->
+      for j = 1 to n do
+        let b = Bytes.of_string (Printf.sprintf "batch %d object %d payload" batch j) in
+        let oid = Mneme.Store.allocate pool b in
+        mirror := (oid, b) :: !mirror
+      done;
+      Mneme.Store.finalize store)
+
+let check_contents name store mirror =
+  List.iter
+    (fun (oid, b) ->
+      Alcotest.(check bytes) (Printf.sprintf "%s holds object %d" name oid) b
+        (Mneme.Store.get store oid))
+    mirror
+
+let test_shipping_keeps_standbys_identical () =
+  let _vfs, store, pool = make_primary () in
+  let rep =
+    Mneme.Replica.attach store
+      ~standbys:[ ("alpha", Vfs.create ()); ("beta", Vfs.create ()) ]
+  in
+  let mirror = ref [] in
+  for batch = 1 to 3 do
+    commit_batch store pool ~batch ~n:3 mirror
+  done;
+  Alcotest.(check int) "three batches committed" 3 (Mneme.Replica.primary_lsn rep);
+  List.iter
+    (fun i ->
+      Alcotest.(check int) (i.Mneme.Replica.name ^ " caught up") 3 i.Mneme.Replica.applied_lsn;
+      Alcotest.(check int) (i.Mneme.Replica.name ^ " no lag") 0 i.Mneme.Replica.lag;
+      Alcotest.(check bool) (i.Mneme.Replica.name ^ " healthy") true i.Mneme.Replica.healthy;
+      let standby = open_standby (Mneme.Replica.standby_vfs rep ~name:i.Mneme.Replica.name) in
+      check_contents i.Mneme.Replica.name standby !mirror;
+      Alcotest.(check int)
+        (i.Mneme.Replica.name ^ " object count")
+        (Mneme.Store.object_count store)
+        (Mneme.Store.object_count standby))
+    (Mneme.Replica.info rep)
+
+let test_pause_lags_resume_drains () =
+  let _vfs, store, pool = make_primary () in
+  let rep =
+    Mneme.Replica.attach store
+      ~standbys:[ ("alpha", Vfs.create ()); ("beta", Vfs.create ()) ]
+  in
+  let mirror = ref [] in
+  commit_batch store pool ~batch:1 ~n:2 mirror;
+  Mneme.Replica.pause rep ~name:"beta";
+  commit_batch store pool ~batch:2 ~n:2 mirror;
+  commit_batch store pool ~batch:3 ~n:2 mirror;
+  let by_name n =
+    List.find (fun i -> i.Mneme.Replica.name = n) (Mneme.Replica.info rep)
+  in
+  Alcotest.(check int) "alpha keeps up" 0 (by_name "alpha").Mneme.Replica.lag;
+  Alcotest.(check int) "beta lags two batches" 2 (by_name "beta").Mneme.Replica.lag;
+  Alcotest.(check int) "beta applied stalls" 1 (by_name "beta").Mneme.Replica.applied_lsn;
+  (* A paused standby is a fine promotion candidate — just stale. *)
+  let best, _ = Mneme.Replica.promote rep in
+  Alcotest.(check string) "promotion prefers the caught-up standby" "alpha"
+    best.Mneme.Replica.name;
+  Mneme.Replica.resume rep ~name:"beta";
+  Alcotest.(check int) "resume drains the backlog" 0 (by_name "beta").Mneme.Replica.lag;
+  check_contents "beta" (open_standby (Mneme.Replica.standby_vfs rep ~name:"beta")) !mirror
+
+let test_corrupt_shipment_rejected () =
+  let _vfs, store, pool = make_primary () in
+  let rep =
+    Mneme.Replica.attach store
+      ~standbys:[ ("alpha", Vfs.create ()); ("beta", Vfs.create ()) ]
+  in
+  let mirror = ref [] in
+  commit_batch store pool ~batch:1 ~n:2 mirror;
+  let prefix = !mirror in
+  Mneme.Replica.corrupt_next_shipment rep ~name:"beta";
+  commit_batch store pool ~batch:2 ~n:2 mirror;
+  let by_name n =
+    List.find (fun i -> i.Mneme.Replica.name = n) (Mneme.Replica.info rep)
+  in
+  let beta = by_name "beta" in
+  Alcotest.(check bool) "beta rejected the damaged batch" false beta.Mneme.Replica.healthy;
+  Alcotest.(check bool) "reason names the CRC" true
+    (match beta.Mneme.Replica.reason with
+    | Some r -> Str_find.contains r "CRC"
+    | None -> false);
+  Alcotest.(check int) "beta froze at the verified prefix" 1 beta.Mneme.Replica.applied_lsn;
+  (* The rejected batch was never applied: beta still opens, at batch 1. *)
+  check_contents "beta" (open_standby (Mneme.Replica.standby_vfs rep ~name:"beta")) prefix;
+  (* Alpha is unaffected and wins promotion. *)
+  Alcotest.(check bool) "alpha healthy" true (by_name "alpha").Mneme.Replica.healthy;
+  let best, _ = Mneme.Replica.promote rep in
+  Alcotest.(check string) "alpha promoted" "alpha" best.Mneme.Replica.name;
+  (* An unhealthy standby ignores further shipments rather than diverge. *)
+  commit_batch store pool ~batch:3 ~n:1 mirror;
+  Alcotest.(check int) "beta stays frozen" 1 (by_name "beta").Mneme.Replica.applied_lsn
+
+let test_promotion_after_primary_crash () =
+  let vfs, store, pool = make_primary () in
+  let rep = Mneme.Replica.attach store ~standbys:[ ("alpha", Vfs.create ()) ] in
+  let mirror = ref [] in
+  commit_batch store pool ~batch:1 ~n:3 mirror;
+  commit_batch store pool ~batch:2 ~n:3 mirror;
+  let committed = !mirror in
+  (* The primary's device dies at its very next physical I/O — the log
+     write of batch 3 — so the batch never commits and never ships. *)
+  Vfs.set_fault vfs (Vfs.Fault.crash_at_io 1);
+  Alcotest.(check bool) "primary crashes mid-commit" true
+    (match commit_batch store pool ~batch:3 ~n:3 mirror with
+    | () -> false
+    | exception Vfs.Crash -> true);
+  let best, svfs = Mneme.Replica.promote rep in
+  Alcotest.(check string) "survivor" "alpha" best.Mneme.Replica.name;
+  Alcotest.(check int) "survivor holds the committed prefix" 2 best.Mneme.Replica.applied_lsn;
+  let standby = open_standby svfs in
+  let report = Mneme.Check.run standby in
+  Alcotest.(check bool) "survivor passes fsck" true (Mneme.Check.ok report);
+  check_contents "alpha" standby committed;
+  Alcotest.(check int) "exactly the committed objects" (List.length committed)
+    (Mneme.Store.object_count standby)
+
+let test_attach_validation () =
+  let vfs = Vfs.create () in
+  let store = Mneme.Store.create vfs file in
+  let _ = Mneme.Store.add_pool store Mneme.Policy.medium in
+  Alcotest.(check bool) "journal required" true
+    (match Mneme.Replica.attach store ~standbys:[ ("a", Vfs.create ()) ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Mneme.Store.enable_journal store ~log_file;
+  Alcotest.(check bool) "duplicate standby names rejected" true
+    (match
+       Mneme.Replica.attach store ~standbys:[ ("a", Vfs.create ()); ("a", Vfs.create ()) ]
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  let rep = Mneme.Replica.attach store ~standbys:[] in
+  Alcotest.(check bool) "no standby to promote" true
+    (match Mneme.Replica.promote rep with
+    | _ -> false
+    | exception Failure _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "shipping keeps standbys identical" `Quick
+      test_shipping_keeps_standbys_identical;
+    Alcotest.test_case "pause lags, resume drains" `Quick test_pause_lags_resume_drains;
+    Alcotest.test_case "corrupt shipment rejected" `Quick test_corrupt_shipment_rejected;
+    Alcotest.test_case "promotion after primary crash" `Quick
+      test_promotion_after_primary_crash;
+    Alcotest.test_case "attach validation" `Quick test_attach_validation;
+  ]

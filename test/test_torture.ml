@@ -36,6 +36,39 @@ let prop_random_crash_point_consistent =
       let r = Core.Torture.run_point plan k in
       r.Core.Torture.problems = [])
 
+(* --- failover torture --------------------------------------------- *)
+
+let test_every_failover_point_serves_committed_prefix () =
+  let o = Core.Torture.run_failover ~seed:42 ~docs:10 ~batches:3 ~standbys:2 () in
+  Alcotest.(check bool) "workload performs I/O" true (o.Core.Torture.points > 30);
+  Alcotest.(check (list (pair int string))) "no invariant violations" []
+    o.Core.Torture.problems;
+  Alcotest.(check int) "every point audited" o.Core.Torture.points
+    (o.Core.Torture.promoted + o.Core.Torture.empty);
+  (* Once the first batch commits, every later crash leaves a standby
+     holding a committed prefix to promote. *)
+  Alcotest.(check bool) "most crashes promote a survivor" true
+    (o.Core.Torture.promoted > o.Core.Torture.empty)
+
+let prop_random_failover_point_consistent =
+  let plans = Hashtbl.create 4 in
+  let plan_for seed =
+    match Hashtbl.find_opt plans seed with
+    | Some p -> p
+    | None ->
+      let p = Core.Torture.prepare_failover ~seed ~docs:7 ~batches:2 ~standbys:1 () in
+      Hashtbl.add plans seed p;
+      p
+  in
+  QCheck.Test.make ~name:"random workload, random primary crash fails over" ~count:30
+    QCheck.(pair (int_range 1 3) (int_range 0 999))
+    (fun (seed, frac) ->
+      let plan = plan_for seed in
+      let n = Core.Torture.failover_points plan in
+      let k = 1 + (frac * n / 1000) in
+      let r = Core.Torture.run_failover_point plan k in
+      r.Core.Torture.problems = [])
+
 (* --- media corruption --------------------------------------------- *)
 
 (* A store whose objects live in known, distinct segments. *)
@@ -183,6 +216,9 @@ let suite =
   [
     Alcotest.test_case "every crash point recovers" `Quick test_every_crash_point_recovers;
     QCheck_alcotest.to_alcotest prop_random_crash_point_consistent;
+    Alcotest.test_case "every failover point serves committed prefix" `Quick
+      test_every_failover_point_serves_committed_prefix;
+    QCheck_alcotest.to_alcotest prop_random_failover_point_consistent;
     Alcotest.test_case "bit flip raises Corrupt" `Quick test_bit_flip_raises_corrupt;
     Alcotest.test_case "clean store passes CRC check" `Quick test_clean_store_passes_crc_check;
     Alcotest.test_case "engine salvages corrupt term" `Quick test_engine_salvages_corrupt_term;

@@ -344,6 +344,70 @@ let test_fault_io_count () =
   ignore (Vfs.read f ~off:0 ~len:1);
   Alcotest.(check int) "physical I/Os observed" 3 (Vfs.fault_io_count vfs)
 
+let test_stall_charges_clock () =
+  let vfs = make () in
+  let f = Vfs.open_file vfs "a" in
+  ignore (Vfs.append f (Bytes.make 32 'x'));
+  Vfs.fsync f;
+  Vfs.purge_os_cache vfs;
+  let before = Vfs.Clock.snapshot (Vfs.clock vfs) in
+  (* The next physical read stalls 250 ms; the data still arrives. *)
+  Vfs.set_fault vfs (Vfs.Fault.stall_at_io ~io:1 ~ms:250.0);
+  Alcotest.(check bytes) "stalled read completes" (Bytes.make 32 'x')
+    (Vfs.read f ~off:0 ~len:32);
+  let after = Vfs.Clock.snapshot (Vfs.clock vfs) in
+  let d = Vfs.Clock.diff ~later:after ~earlier:before in
+  Alcotest.(check bool) "stall charged to disk time" true (d.Vfs.Clock.disk_ms >= 250.0);
+  (* Later I/Os proceed at normal cost. *)
+  Vfs.purge_os_cache vfs;
+  let before = Vfs.Clock.snapshot (Vfs.clock vfs) in
+  ignore (Vfs.read f ~off:0 ~len:32);
+  let after = Vfs.Clock.snapshot (Vfs.clock vfs) in
+  let d = Vfs.Clock.diff ~later:after ~earlier:before in
+  Alcotest.(check bool) "only the chosen I/O stalls" true (d.Vfs.Clock.disk_ms < 250.0)
+
+let test_degraded_device_inflates_one_file () =
+  let vfs = make () in
+  let sick = Vfs.open_file vfs "sick" and healthy = Vfs.open_file vfs "healthy" in
+  ignore (Vfs.append sick (Bytes.make 32 's'));
+  ignore (Vfs.append healthy (Bytes.make 32 'h'));
+  Vfs.sync vfs;
+  Vfs.purge_os_cache vfs;
+  Vfs.set_fault vfs (Vfs.Fault.degraded_device ~file:"sick" ~ms:40.0);
+  let elapsed f read =
+    let before = Vfs.Clock.snapshot (Vfs.clock vfs) in
+    ignore (read f);
+    let after = Vfs.Clock.snapshot (Vfs.clock vfs) in
+    (Vfs.Clock.diff ~later:after ~earlier:before).Vfs.Clock.disk_ms
+  in
+  let sick_ms = elapsed sick (fun f -> Vfs.read f ~off:0 ~len:32) in
+  let healthy_ms = elapsed healthy (fun f -> Vfs.read f ~off:0 ~len:32) in
+  Alcotest.(check bool) "sick file pays the stall" true (sick_ms >= 40.0);
+  Alcotest.(check bool) "healthy file does not" true (healthy_ms < 40.0);
+  (* Every I/O on the sick file stalls, writes included. *)
+  ignore (Vfs.append sick (Bytes.make 32 's'));
+  let flush_ms = elapsed sick Vfs.fsync in
+  Alcotest.(check bool) "writes stall too" true (flush_ms >= 40.0)
+
+let test_copy_file_into () =
+  let src = make () and dst = make () in
+  let f = Vfs.open_file src "data" in
+  ignore (Vfs.append f (Bytes.of_string "replicate me"));
+  (* Unflushed writes are part of the copied view... *)
+  Vfs.copy_file src "data" ~into:dst;
+  let g = Vfs.open_file dst "data" in
+  Alcotest.(check string) "contents copied" "replicate me"
+    (Bytes.to_string (Vfs.read g ~off:0 ~len:(Vfs.size g)));
+  (* ...and the copy is durable on the destination device. *)
+  let img = Vfs.crash_image dst in
+  let h = Vfs.open_file img "data" in
+  Alcotest.(check string) "copy is durable" "replicate me"
+    (Bytes.to_string (Vfs.read h ~off:0 ~len:(Vfs.size h)));
+  Alcotest.(check bool) "missing source rejected" true
+    (match Vfs.copy_file src "absent" ~into:dst with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
 let prop_random_writes_match_model =
   QCheck.Test.make ~name:"vfs content matches byte-array model" ~count:60
     QCheck.(list (pair (int_range 0 500) (string_of_size (QCheck.Gen.int_range 1 40))))
@@ -390,5 +454,9 @@ let suite =
     Alcotest.test_case "truncate evicts dropped blocks" `Quick test_truncate_evicts_dropped_blocks;
     Alcotest.test_case "delete file drops dirty" `Quick test_delete_file_drops_dirty;
     Alcotest.test_case "fault io count" `Quick test_fault_io_count;
+    Alcotest.test_case "stall charges clock" `Quick test_stall_charges_clock;
+    Alcotest.test_case "degraded device inflates one file" `Quick
+      test_degraded_device_inflates_one_file;
+    Alcotest.test_case "copy file into" `Quick test_copy_file_into;
     QCheck_alcotest.to_alcotest prop_random_writes_match_model;
   ]
