@@ -236,6 +236,81 @@ let failover_cmd =
   Cmd.v (Cmd.info "failover" ~doc)
     Term.(const run $ seed_arg $ docs_arg $ batches_arg $ standbys_arg)
 
+(* --- scrub -------------------------------------------------------- *)
+
+let scrub_cmd =
+  let seed_arg =
+    let doc = "PRNG seed for the workload." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let docs_arg =
+    let doc = "Documents indexed by the workload." in
+    Arg.(value & opt int 12 & info [ "docs" ] ~docv:"N" ~doc)
+  in
+  let batches_arg =
+    let doc = "Commit batches the build is split into." in
+    Arg.(value & opt int 3 & info [ "batches" ] ~docv:"N" ~doc)
+  in
+  let standbys_arg =
+    let doc = "Standby replicas shipping the primary's journal." in
+    Arg.(value & opt int 2 & info [ "standbys" ] ~docv:"N" ~doc)
+  in
+  let bits_arg =
+    let doc = "Distinct bits flipped inside each rotted segment." in
+    Arg.(value & opt int 1 & info [ "bits" ] ~docv:"N" ~doc)
+  in
+  let no_crash_arg =
+    let doc = "Skip the crash-during-repair enumeration (faster)." in
+    Arg.(value & flag & info [ "no-crash-sweep" ] ~doc)
+  in
+  let budgets_arg =
+    let doc =
+      "Instead of the sweep, run the scrub-tax experiment: detect and \
+       heal one rotted segment under each per-step byte BUDGET \
+       (repeatable), reporting detection latency against foreground \
+       query slowdown."
+    in
+    Arg.(value & opt_all int [] & info [ "budget" ] ~docv:"BUDGET" ~doc)
+  in
+  let run seed docs batches standbys bits no_crash budgets =
+    if docs <= 0 || batches <= 0 || standbys <= 0 || bits <= 0 then begin
+      Printf.eprintf "scrub: --docs, --batches, --standbys and --bits must be positive\n";
+      exit 2
+    end;
+    if List.exists (fun b -> b <= 0) budgets then begin
+      Printf.eprintf "scrub: every --budget must be positive\n";
+      exit 2
+    end;
+    match budgets with
+    | _ :: _ ->
+      let rows = Core.Torture.scrub_budget_sweep ~seed ~docs ~batches ~standbys ~budgets () in
+      Printf.printf "%10s %6s %10s %10s %10s %10s\n" "budget B" "steps" "detect ms" "stall ms"
+        "heal ms" "query ms";
+      List.iter
+        (fun r ->
+          Printf.printf "%10d %6d %10.2f %10.2f %10.2f %10.2f\n" r.Core.Torture.sw_budget
+            r.Core.Torture.sw_steps r.Core.Torture.sw_detect_ms r.Core.Torture.sw_stall_ms
+            r.Core.Torture.sw_heal_ms r.Core.Torture.sw_query_ms)
+        rows
+    | [] ->
+      let outcome =
+        Core.Torture.run_scrub ~seed ~docs ~batches ~standbys ~bits
+          ~crash_sweep:(not no_crash) ()
+      in
+      Format.printf "%a@." Core.Torture.pp_scrub_outcome outcome;
+      if not (Core.Torture.scrub_ok outcome) then exit 1
+  in
+  let doc =
+    "Flip bits in every physical segment of a replicated store, one \
+     member at a time, and audit that budgeted scrubbing plus replica \
+     read-repair converges the group back to byte-identical, \
+     query-identical stores — including when the repair itself is \
+     crashed at every I/O."
+  in
+  Cmd.v (Cmd.info "scrub" ~doc)
+    Term.(const run $ seed_arg $ docs_arg $ batches_arg $ standbys_arg $ bits_arg
+          $ no_crash_arg $ budgets_arg)
+
 (* --- frontend ----------------------------------------------------- *)
 
 let frontend_cmd =
@@ -373,4 +448,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ tables_cmd; ablations_cmd; stats_cmd; run_cmd; query_cmd; fsck_cmd; torture_cmd;
-            failover_cmd; frontend_cmd ]))
+            failover_cmd; scrub_cmd; frontend_cmd ]))

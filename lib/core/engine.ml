@@ -1,3 +1,5 @@
+type repair_ticket = { term : string; reason : string; entry : Inquery.Dictionary.entry }
+
 type t = {
   vfs : Vfs.t;
   store : Index_store.t;
@@ -6,7 +8,7 @@ type t = {
   stopwords : Inquery.Stopwords.t option;
   stem : bool;
   reserve : bool;
-  quarantine : (string * string) list ref; (* newest first *)
+  quarantine : repair_ticket list ref; (* newest first *)
   quarantined_terms : (string, unit) Hashtbl.t; (* O(1) dedup of the list above *)
 }
 
@@ -23,18 +25,21 @@ let create ~vfs ~store ~dict ~n_docs ~avg_doc_len ~doc_len ?stopwords ?(stem = f
   let quarantined_terms = Hashtbl.create 8 in
   (* Salvage mode: a record whose segment fails its CRC32 is quarantined
      — treated as term-not-indexed so the rest of the query still runs —
-     instead of aborting query processing with [Mneme.Store.Corrupt]. *)
+     instead of aborting query processing with [Mneme.Store.Corrupt].
+     A quarantined term short-circuits before the fetch: the query never
+     re-pays the doomed read, it just waits for the repair queue. *)
   let fetch entry =
     if not salvage then store.Index_store.fetch entry
-    else
-      try store.Index_store.fetch entry
-      with Mneme.Store.Corrupt msg ->
-        let term = entry.Inquery.Dictionary.term in
-        if not (Hashtbl.mem quarantined_terms term) then begin
+    else begin
+      let term = entry.Inquery.Dictionary.term in
+      if Hashtbl.mem quarantined_terms term then None
+      else
+        try store.Index_store.fetch entry
+        with Mneme.Store.Corrupt msg ->
           Hashtbl.add quarantined_terms term ();
-          quarantine := (term, msg) :: !quarantine
-        end;
-        None
+          quarantine := { term; reason = msg; entry } :: !quarantine;
+          None
+    end
   in
   let source =
     { Inquery.Infnet.fetch; n_docs; max_doc_id = n_docs - 1; avg_doc_len; doc_len }
@@ -42,7 +47,38 @@ let create ~vfs ~store ~dict ~n_docs ~avg_doc_len ~doc_len ?stopwords ?(stem = f
   { vfs; store; dict; source; stopwords; stem; reserve; quarantine; quarantined_terms }
 
 let store t = t.store
-let quarantined t = List.rev !(t.quarantine)
+let quarantined t = List.rev_map (fun tk -> (tk.term, tk.reason)) !(t.quarantine)
+let pending_repairs t = List.rev !(t.quarantine)
+
+let mark_healed t ~term =
+  if Hashtbl.mem t.quarantined_terms term then begin
+    Hashtbl.remove t.quarantined_terms term;
+    t.quarantine := List.filter (fun tk -> not (String.equal tk.term term)) !(t.quarantine);
+    true
+  end
+  else false
+
+let heal_pending t ~store ~sources =
+  List.map
+    (fun tk ->
+      let outcome =
+        let locator = tk.entry.Inquery.Dictionary.locator in
+        if locator < 0 then Error "term has no stored record"
+        else
+          match Mneme.Store.pool_of_oid store locator with
+          | None -> Error "record's logical segment has no owning pool"
+          | Some pool -> (
+            match Mneme.Store.locate_pseg store locator with
+            | None -> Error "record is not placed in any physical segment"
+            | Some pseg -> (
+              let pname = Mneme.Store.pool_name pool in
+              match Mneme.Scrub.damage_of_segment store ~pool:pname ~pseg with
+              | None -> Error (Printf.sprintf "%s/pseg %d has no on-disk image" pname pseg)
+              | Some damage -> Mneme.Scrub.heal store ~sources damage))
+      in
+      (match outcome with Ok _ -> ignore (mark_healed t ~term:tk.term) | Error _ -> ());
+      (tk.term, outcome))
+    (pending_repairs t)
 
 (* Entries named by the query tree, normalised the same way evaluation
    will normalise them, for the reservation scan. *)

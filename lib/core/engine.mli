@@ -41,9 +41,39 @@ val create :
 val store : t -> Index_store.t
 
 val quarantined : t -> (string * string) list
-(** [(term, reason)] for every term whose inverted list was quarantined
-    by salvage mode so far, oldest first.  Empty when every fetch has
-    been clean. *)
+(** [(term, reason)] for every term whose inverted list is {e currently}
+    quarantined by salvage mode, oldest first.  Empty when every fetch
+    has been clean (or every quarantine has been healed).  A quarantined
+    term's fetches short-circuit to [None] without touching the store —
+    the query pays for the corrupt segment once, not on every
+    evaluation. *)
+
+type repair_ticket = {
+  term : string;
+  reason : string;  (** the [Corrupt] message *)
+  entry : Inquery.Dictionary.entry;  (** dictionary entry whose locator names the record *)
+}
+
+val pending_repairs : t -> repair_ticket list
+(** The read-repair worklist: one ticket per currently-quarantined term,
+    oldest first. *)
+
+val mark_healed : t -> term:string -> bool
+(** Lift a term's quarantine after its segment has been repaired: the
+    next fetch goes back to the store.  [false] if the term was not
+    quarantined. *)
+
+val heal_pending :
+  t ->
+  store:Mneme.Store.t ->
+  sources:(string * Vfs.t) list ->
+  (string * (string, string) Stdlib.result) list
+(** Drain the repair worklist against the Mneme store backing this
+    engine's index session: each ticket's dictionary locator is resolved
+    to its physical segment, healed from the first [source] holding a
+    CRC-verified copy ({!Mneme.Scrub.heal}), and un-quarantined on
+    success.  Returns per-term outcomes ([Ok source] or [Error reason]);
+    failed tickets stay quarantined and stay on the worklist. *)
 
 val run_query : ?top_k:int -> t -> Inquery.Query.t -> result
 (** Evaluate one parsed query ([top_k] defaults to 100 ranked

@@ -9,6 +9,8 @@ type replica = {
   mutable opened_at : float;
 }
 
+type corrupt_event = { replica : string; term : string; reason : string }
+
 type t = {
   replicas : replica array;
   dict : Inquery.Dictionary.t;
@@ -21,6 +23,9 @@ type t = {
   window : int;
   trip_after : int;
   cooldown : float;
+  on_corrupt : (replica:string -> term:string -> reason:string -> unit) option;
+  corrupt_log : corrupt_event list ref; (* newest first *)
+  corrupt_seen : (string, unit) Hashtbl.t; (* "replica\x00term" dedup *)
   mutable now : float;
 }
 
@@ -36,7 +41,8 @@ type result = {
 }
 
 let create ~replicas ~dict ~n_docs ~avg_doc_len ~doc_len ?stopwords ?(stem = false)
-    ?(hedge_after_ms = 60.0) ?(window = 6) ?(trip_after = 3) ?(cooldown_ms = 500.0) () =
+    ?(hedge_after_ms = 60.0) ?(window = 6) ?(trip_after = 3) ?(cooldown_ms = 500.0)
+    ?on_corrupt () =
   if replicas = [] then invalid_arg "Frontend.create: no replicas";
   let seen = Hashtbl.create 4 in
   List.iter
@@ -67,10 +73,13 @@ let create ~replicas ~dict ~n_docs ~avg_doc_len ~doc_len ?stopwords ?(stem = fal
     window;
     trip_after;
     cooldown = cooldown_ms;
+    on_corrupt;
+    corrupt_log = ref [];
+    corrupt_seen = Hashtbl.create 8;
     now = 0.0;
   }
 
-let of_prepared ?buffers ?hedge_after_ms ?window ?trip_after ?cooldown_ms
+let of_prepared ?buffers ?hedge_after_ms ?window ?trip_after ?cooldown_ms ?on_corrupt
     (p : Experiment.prepared) ~names =
   let catalog = Catalog.load p.Experiment.vfs ~file:p.Experiment.catalog_file in
   let buffers =
@@ -91,7 +100,7 @@ let of_prepared ?buffers ?hedge_after_ms ?window ?trip_after ?cooldown_ms
     ~doc_len:(fun d ->
       if d < 0 || d >= Array.length catalog.Catalog.doc_lens then 0
       else catalog.Catalog.doc_lens.(d))
-    ?hedge_after_ms ?window ?trip_after ?cooldown_ms ()
+    ?hedge_after_ms ?window ?trip_after ?cooldown_ms ?on_corrupt ()
 
 let replica_names t = Array.to_list t.replicas |> List.map (fun r -> r.spec.name)
 
@@ -171,17 +180,51 @@ let preferred t =
   | Some i -> t.replicas.(i).spec.name
   | None -> t.replicas.(0).spec.name
 
-(* One fetch against one replica, timed on that replica's clock. *)
+(* One fetch against one replica, timed on that replica's clock.
+   Corruption is kept distinct from a dead device: a corrupt segment is
+   repairable from a peer and worth reporting to the repair queue. *)
 let timed_fetch (r : replica) entry =
   let clk = Vfs.clock r.spec.vfs in
   let before = Vfs.Clock.snapshot clk in
   let res =
     try Ok (r.spec.store.Index_store.fetch entry) with
-    | Mneme.Store.Corrupt msg -> Error msg
-    | Vfs.Crash -> Error "replica device crashed"
+    | Mneme.Store.Corrupt msg -> Error (`Corrupt msg)
+    | Vfs.Crash -> Error `Crashed
   in
   let after = Vfs.Clock.snapshot clk in
   (res, Vfs.Clock.wall_ms (Vfs.Clock.diff ~later:after ~earlier:before))
+
+let err_msg = function `Corrupt msg -> msg | `Crashed -> "replica device crashed"
+
+(* Record a corrupt fetch against its replica, deduplicated on
+   (replica, term): the repair worklist, for read-repair to drain.  The
+   query itself already routed (or hedged) around the damage. *)
+let note_corrupt t (r : replica) ~term res =
+  match res with
+  | Ok _ | Error `Crashed -> ()
+  | Error (`Corrupt reason) ->
+    let key = r.spec.name ^ "\x00" ^ term in
+    if not (Hashtbl.mem t.corrupt_seen key) then begin
+      Hashtbl.add t.corrupt_seen key ();
+      t.corrupt_log := { replica = r.spec.name; term; reason } :: !(t.corrupt_log);
+      match t.on_corrupt with
+      | Some hook -> hook ~replica:r.spec.name ~term ~reason
+      | None -> ()
+    end
+
+let corrupt_fetches t = List.rev !(t.corrupt_log)
+
+let mark_repaired t ~replica ~term =
+  let key = replica ^ "\x00" ^ term in
+  if Hashtbl.mem t.corrupt_seen key then begin
+    Hashtbl.remove t.corrupt_seen key;
+    t.corrupt_log :=
+      List.filter
+        (fun e -> not (String.equal e.replica replica && String.equal e.term term))
+        !(t.corrupt_log);
+    true
+  end
+  else false
 
 let run_query ?(top_k = 100) ?deadline_ms t query =
   (match deadline_ms with
@@ -213,6 +256,7 @@ let run_query ?(top_k = 100) ?deadline_ms t query =
         let r = t.replicas.(i) in
         let res, cost = timed_fetch r entry in
         served.(i) <- served.(i) + 1;
+        note_corrupt t r ~term res;
         let bad = (match res with Ok _ -> cost > t.hedge_after | Error _ -> true) in
         if not bad then begin
           advance cost;
@@ -226,13 +270,14 @@ let run_query ?(top_k = 100) ?deadline_ms t query =
             record t r ~bad:true;
             match res with
             | Ok b -> b
-            | Error msg ->
-              failed := (term, msg) :: !failed;
+            | Error e ->
+              failed := (term, err_msg e) :: !failed;
               None)
           | Some j -> (
             let h = t.replicas.(j) in
             let hres, hcost = timed_fetch h entry in
             served.(j) <- served.(j) + 1;
+            note_corrupt t h ~term hres;
             incr hedged;
             (* A failed fetch is retried sequentially; a stalled one is
                raced — the query perceives whichever path finished
@@ -249,8 +294,8 @@ let run_query ?(top_k = 100) ?deadline_ms t query =
             | Error _, Ok b -> b
             | Ok b, Ok hb -> if t.hedge_after +. hcost < cost then hb else b
             | Ok b, Error _ -> b
-            | Error msg, Error _ ->
-              failed := (term, msg) :: !failed;
+            | Error e, Error _ ->
+              failed := (term, err_msg e) :: !failed;
               None)))
   in
   let source =

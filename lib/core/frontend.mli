@@ -28,6 +28,12 @@ type replica_spec = {
 
 type t
 
+type corrupt_event = {
+  replica : string;  (** which replica's copy is damaged *)
+  term : string;
+  reason : string;  (** the [Corrupt] message *)
+}
+
 val create :
   replicas:replica_spec list ->
   dict:Inquery.Dictionary.t ->
@@ -40,6 +46,7 @@ val create :
   ?window:int ->
   ?trip_after:int ->
   ?cooldown_ms:float ->
+  ?on_corrupt:(replica:string -> term:string -> reason:string -> unit) ->
   unit ->
   t
 (** [hedge_after_ms] (default 60): a fetch costing more than this is a
@@ -51,8 +58,10 @@ val create :
     [cooldown_ms] (default 500) of frontend logical time later the
     breaker goes half-open and the next fetch probes the replica:
     success closes the breaker, another stall or failure re-opens it.
-    Raises [Invalid_argument] on an empty or duplicate-name replica
-    list, or nonsensical knobs. *)
+    [on_corrupt] fires once per (replica, term) whose fetch raised
+    [Corrupt] — the hook a repair daemon subscribes to.  Raises
+    [Invalid_argument] on an empty or duplicate-name replica list, or
+    nonsensical knobs. *)
 
 val of_prepared :
   ?buffers:Buffer_sizing.t ->
@@ -60,6 +69,7 @@ val of_prepared :
   ?window:int ->
   ?trip_after:int ->
   ?cooldown_ms:float ->
+  ?on_corrupt:(replica:string -> term:string -> reason:string -> unit) ->
   Experiment.prepared ->
   names:string list ->
   t
@@ -72,6 +82,19 @@ val replica_names : t -> string list
 val replica_vfs : t -> name:string -> Vfs.t
 (** Raises [Not_found] for an unknown name — use it to aim fault plans
     at one replica. *)
+
+val corrupt_fetches : t -> corrupt_event list
+(** The frontend's read-repair worklist: every (replica, term) whose
+    fetch raised [Corrupt], oldest first, deduplicated.  While an entry
+    is outstanding, the term's fetches are served by hedging to a
+    healthy replica (a corrupt fetch counts against the sick replica's
+    breaker, so repeated damage routes traffic away entirely). *)
+
+val mark_repaired : t -> replica:string -> term:string -> bool
+(** Clear a worklist entry after the replica's copy has been healed
+    (e.g. via {!Mneme.Scrub.heal} against that replica's file); a later
+    corrupt fetch of the same (replica, term) is reported anew.
+    [false] if no such entry was outstanding. *)
 
 val breaker : t -> name:string -> breaker_state
 val preferred : t -> string

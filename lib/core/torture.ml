@@ -384,7 +384,8 @@ let failover_workload vfs ~standbys ~seed ~docs ~batches ~txn_begin ~ready ~comm
         ~doc_len:(Inquery.Indexer.doc_length indexer)
     in
     committed i ~mirror ~indexer ~ranked ~gen_oid:!gen_oid
-  done
+  done;
+  store
 
 type failover_plan = {
   fo_seed : int;
@@ -409,14 +410,15 @@ let prepare_failover ?(seed = 42) ?(docs = 12) ?(batches = 3) ?(standbys = 2) ()
   let snapshots = Array.init (batches + 1) (fun _ -> Hashtbl.create 0) in
   let ranked = Array.make (batches + 1) [] in
   let gen_oid = ref (-1) in
-  failover_workload vfs ~standbys ~seed ~docs ~batches
-    ~txn_begin:(fun _ -> ())
-    ~ready:(fun _ -> ())
-    ~committed:(fun i ~mirror ~indexer ~ranked:r ~gen_oid:g ->
-      snapshots.(i) <- Hashtbl.copy mirror;
-      ranked.(i) <- r;
-      gen_oid := g;
-      Catalog.save scratch ~file:(catalog_file_for i) (Catalog.of_indexer indexer));
+  ignore
+    (failover_workload vfs ~standbys ~seed ~docs ~batches
+       ~txn_begin:(fun _ -> ())
+       ~ready:(fun _ -> ())
+       ~committed:(fun i ~mirror ~indexer ~ranked:r ~gen_oid:g ->
+         snapshots.(i) <- Hashtbl.copy mirror;
+         ranked.(i) <- r;
+         gen_oid := g;
+         Catalog.save scratch ~file:(catalog_file_for i) (Catalog.of_indexer indexer)));
   {
     fo_seed = seed;
     fo_docs = docs;
@@ -450,11 +452,12 @@ let run_failover_point plan k =
   let rep = ref None in
   let started = ref 0 and completed = ref 0 in
   (try
-     failover_workload vfs ~standbys:plan.fo_standbys ~seed:plan.fo_seed ~docs:plan.fo_docs
-       ~batches:plan.fo_batches
-       ~txn_begin:(fun _ -> incr started)
-       ~ready:(fun r -> rep := Some r)
-       ~committed:(fun _ ~mirror:_ ~indexer:_ ~ranked:_ ~gen_oid:_ -> incr completed);
+     ignore
+       (failover_workload vfs ~standbys:plan.fo_standbys ~seed:plan.fo_seed
+          ~docs:plan.fo_docs ~batches:plan.fo_batches
+          ~txn_begin:(fun _ -> incr started)
+          ~ready:(fun r -> rep := Some r)
+          ~committed:(fun _ ~mirror:_ ~indexer:_ ~ranked:_ ~gen_oid:_ -> incr completed));
      note "workload ran to completion without crashing at io %d" k
    with Vfs.Crash -> ());
   match !rep with
@@ -547,6 +550,441 @@ let pp_failover_outcome fmt o =
     Format.fprintf fmt "@.%d problem(s):" (List.length o.problems);
     List.iter (fun (k, p) -> Format.fprintf fmt "@.  crash at io %d: %s" k p) o.problems
   end
+
+(* ------------------------------------------------------------------ *)
+(* Scrub torture: the bit-rot sweep.  Build the replicated workload once,
+   then for every physical segment flip bits on one member's copy
+   (round-robin across primary and standbys), demand that a scrub of the
+   whole group finds exactly that damage, that one group heal converges
+   every member back to fsck-clean byte-identical files with the golden
+   ranked results and zero quarantines — and that a crash at any I/O of
+   the repair itself leaves the group convergeable. *)
+
+type scrub_scenario = {
+  ss_vfs : Vfs.t; (* primary device *)
+  ss_store : Mneme.Store.t;
+  ss_rep : Mneme.Replica.t;
+  ss_dict : Inquery.Dictionary.t;
+  ss_n_docs : int;
+  ss_avg : float;
+  ss_doc_len : int -> int;
+  ss_segments : Mneme.Scrub.damage array; (* full census, scrub walk order *)
+  ss_members : string array; (* "primary" first, then standbys in attach order *)
+  ss_ranked : (int * string) list list; (* golden results of [failover_queries] *)
+}
+
+let build_scrub_scenario ?(seed = 42) ?(docs = 12) ?(batches = 3) ?(standbys = 2) () =
+  if docs < 1 || batches < 1 || standbys < 1 then
+    invalid_arg "Torture.build_scrub_scenario: docs, batches and standbys must be positive";
+  let vfs = Vfs.create () in
+  let rep = ref None in
+  let last = ref None in
+  let store =
+    failover_workload vfs ~standbys ~seed ~docs ~batches
+      ~txn_begin:(fun _ -> ())
+      ~ready:(fun r -> rep := Some r)
+      ~committed:(fun _ ~mirror:_ ~indexer ~ranked ~gen_oid:_ -> last := Some (indexer, ranked))
+  in
+  let rep = Option.get !rep in
+  let indexer, ranked = Option.get !last in
+  let segments =
+    Mneme.Store.pools store
+    |> List.concat_map (fun pool ->
+           let pname = Mneme.Store.pool_name pool in
+           Mneme.Store.pool_segments pool
+           |> List.filter_map (fun (id, _) ->
+                  Mneme.Scrub.damage_of_segment store ~pool:pname ~pseg:id))
+    |> Array.of_list
+  in
+  let members =
+    Array.of_list
+      ("primary" :: List.map (fun i -> i.Mneme.Replica.name) (Mneme.Replica.info rep))
+  in
+  {
+    ss_vfs = vfs;
+    ss_store = store;
+    ss_rep = rep;
+    ss_dict = Inquery.Indexer.dictionary indexer;
+    ss_n_docs = Inquery.Indexer.document_count indexer;
+    ss_avg = Inquery.Indexer.avg_doc_length indexer;
+    ss_doc_len = Inquery.Indexer.doc_length indexer;
+    ss_segments = segments;
+    ss_members = members;
+    ss_ranked = ranked;
+  }
+
+let scenario_segments scn = Array.length scn.ss_segments
+let scenario_member_names scn = Array.to_list scn.ss_members
+
+let member_vfs scn name =
+  if String.equal name "primary" then scn.ss_vfs
+  else Mneme.Replica.standby_vfs scn.ss_rep ~name
+
+(* Flip [bits] distinct bits inside one member's on-disk copy of the
+   given segment's extent: purge its OS cache so the next read is a
+   physical I/O, arm a ranged flip plan on that I/O, and take the fault
+   with a one-byte read.  Damages both the OS view and the durable
+   image, exactly like real bit rot. *)
+let scenario_rot scn ~member ~segment ?(bits = 1) ~seed () =
+  if segment < 0 || segment >= Array.length scn.ss_segments then
+    invalid_arg
+      (Printf.sprintf "Torture.scenario_rot: segment %d outside 0..%d" segment
+         (Array.length scn.ss_segments - 1));
+  if not (Array.exists (String.equal member) scn.ss_members) then
+    invalid_arg (Printf.sprintf "Torture.scenario_rot: unknown member %s" member);
+  let d = scn.ss_segments.(segment) in
+  let off = d.Mneme.Scrub.off and len = d.Mneme.Scrub.len in
+  let mvfs = member_vfs scn member in
+  Vfs.purge_os_cache mvfs;
+  Vfs.set_fault mvfs
+    (Vfs.Fault.flip_bits_on_read ~io:1 ~seed ~first:off ~last:(off + len - 1) ~bits ());
+  let f = Vfs.open_file mvfs failover_file in
+  ignore (Vfs.read f ~off ~len:1);
+  Vfs.clear_fault mvfs
+
+(* Scrub one member's copy fresh from its disk.  Standby copies are
+   opened as read-only stores of their own. *)
+let scrub_member scn name =
+  if String.equal name "primary" then Mneme.Scrub.run scn.ss_store
+  else begin
+    let svfs = Mneme.Replica.standby_vfs scn.ss_rep ~name in
+    match Mneme.Store.open_existing svfs failover_file with
+    | exception Mneme.Store.Corrupt _ ->
+      (* The directory itself is unreadable: every segment is suspect. *)
+      Array.to_list scn.ss_segments
+    | store ->
+      attach_pools store;
+      Mneme.Scrub.run store
+  end
+
+let scrub_group scn =
+  Array.to_list scn.ss_members
+  |> List.concat_map (fun m -> List.map (fun d -> (m, d)) (scrub_member scn m))
+
+(* One group heal to fixpoint: scrub every member, push each damaged
+   segment through {!Mneme.Replica.heal_segment} (a journaled rewrite on
+   the primary whose commit ships to every standby, so one heal converges
+   the whole group), and rescrub until a pass finds nothing. *)
+let heal_group scn =
+  let healed = ref 0 and failures = ref [] in
+  let rec go budget =
+    let worklist = scrub_group scn |> List.map snd |> List.sort_uniq compare in
+    if worklist <> [] then begin
+      if budget = 0 then failures := "scrub did not reach a clean fixpoint" :: !failures
+      else begin
+        let ok = ref true in
+        List.iter
+          (fun d ->
+            match
+              Mneme.Replica.heal_segment scn.ss_rep ~store:scn.ss_store
+                ~pool:d.Mneme.Scrub.pool ~pseg:d.Mneme.Scrub.pseg
+            with
+            | Ok _ -> incr healed
+            | Error e ->
+              ok := false;
+              failures :=
+                Printf.sprintf "heal of %s/pseg %d failed: %s" d.Mneme.Scrub.pool
+                  d.Mneme.Scrub.pseg e
+                :: !failures)
+          worklist;
+        if !ok then go (budget - 1)
+      end
+    end
+  in
+  go 3;
+  (!healed, List.rev !failures)
+
+(* The member set as (name, device, open store) triples, primary's own
+   handle first. *)
+let member_stores scn =
+  Array.to_list scn.ss_members
+  |> List.map (fun name ->
+         if String.equal name "primary" then (name, scn.ss_vfs, scn.ss_store)
+         else begin
+           let svfs = Mneme.Replica.standby_vfs scn.ss_rep ~name in
+           let st = Mneme.Store.open_existing svfs failover_file in
+           attach_pools st;
+           (name, svfs, st)
+         end)
+
+(* Converge a set of peer copies with no replica group left (the primary
+   crashed mid-heal): scrub every copy, heal each damaged segment from
+   the first other member holding a verified copy, repeat to fixpoint. *)
+let converge_members ~note members =
+  let rec go budget =
+    let worklist =
+      List.concat_map
+        (fun (name, _, store) -> List.map (fun d -> (name, d)) (Mneme.Scrub.run store))
+        members
+    in
+    if worklist <> [] then begin
+      if budget = 0 then note "scrub did not converge to a clean group within 3 rounds"
+      else begin
+        let ok = ref true in
+        List.iter
+          (fun (name, d) ->
+            let _, _, store = List.find (fun (n, _, _) -> String.equal n name) members in
+            let sources =
+              List.filter_map
+                (fun (n, v, _) -> if String.equal n name then None else Some (n, v))
+                members
+            in
+            match Mneme.Scrub.heal store ~sources d with
+            | Ok _ -> ()
+            | Error e ->
+              ok := false;
+              note
+                (Printf.sprintf "heal of %s %s/pseg %d failed: %s" name d.Mneme.Scrub.pool
+                   d.Mneme.Scrub.pseg e))
+          worklist;
+        if !ok then go (budget - 1)
+      end
+    end
+  in
+  go 3
+
+(* The full convergence audit: every member's store passes fsck, every
+   data file is byte-identical to the first member's, and a fresh engine
+   over the first member returns the golden ranked results with an empty
+   quarantine. *)
+let audit_members ~note ~golden members =
+  List.iter
+    (fun (name, _, store) ->
+      let report = Mneme.Check.run store in
+      if not (Mneme.Check.ok report) then
+        note
+          (Printf.sprintf "%s fsck: %s" name
+             (Format.asprintf "%a" Mneme.Check.pp_report report)))
+    members;
+  match members with
+  | [] -> ()
+  | (pname, pvfs, pstore) :: rest ->
+    let bytes_of vfs =
+      let f = Vfs.open_file vfs failover_file in
+      let n = Vfs.size f in
+      if n = 0 then Bytes.empty else Vfs.read f ~off:0 ~len:n
+    in
+    let gold = bytes_of pvfs in
+    List.iter
+      (fun (name, vfs, _) ->
+        if not (Bytes.equal gold (bytes_of vfs)) then
+          note (Printf.sprintf "%s's data file differs byte-for-byte from %s's" name pname))
+      rest;
+    let engine =
+      Engine.create ~vfs:pvfs ~store:(session_over pstore) ~dict:golden.ss_dict
+        ~n_docs:golden.ss_n_docs ~avg_doc_len:golden.ss_avg ~doc_len:golden.ss_doc_len ()
+    in
+    let ranked =
+      List.map
+        (fun q -> score_fingerprint (Engine.run_query_string ~top_k:10 engine q).Engine.ranked)
+        failover_queries
+    in
+    if ranked <> golden.ss_ranked then note "ranked results differ from the golden run";
+    (match Engine.quarantined engine with
+    | [] -> ()
+    | qs -> note (Printf.sprintf "%d term(s) quarantined after heal" (List.length qs)))
+
+let audit_scenario scn =
+  let problems = ref [] in
+  audit_members ~note:(fun s -> problems := s :: !problems) ~golden:scn (member_stores scn);
+  List.rev !problems
+
+(* One crash-during-repair replay.  [k = 0] runs the heal under a
+   counting plan and returns its primary I/O count; [k >= 1] crashes the
+   primary device at heal I/O [k], reboots from the crash image through
+   journal recovery, converges the survivors as plain peers, audits. *)
+let scrub_crash_run ~seed ~docs ~batches ~standbys ~bits ~segment ~note k =
+  let scn = build_scrub_scenario ~seed ~docs ~batches ~standbys () in
+  let member = scn.ss_members.(segment mod Array.length scn.ss_members) in
+  let d = scn.ss_segments.(segment) in
+  scenario_rot scn ~member ~segment ~bits ~seed:(seed + (101 * segment)) ();
+  Vfs.purge_os_cache scn.ss_vfs;
+  if k = 0 then begin
+    Vfs.set_fault scn.ss_vfs (Vfs.Fault.none ());
+    (match
+       Mneme.Replica.heal_segment scn.ss_rep ~store:scn.ss_store ~pool:d.Mneme.Scrub.pool
+         ~pseg:d.Mneme.Scrub.pseg
+     with
+    | Ok _ -> ()
+    | Error e -> note (Printf.sprintf "measuring heal failed: %s" e));
+    Vfs.fault_io_count scn.ss_vfs
+  end
+  else begin
+    Vfs.set_fault scn.ss_vfs (Vfs.Fault.crash_at_io k);
+    (match
+       Mneme.Replica.heal_segment scn.ss_rep ~store:scn.ss_store ~pool:d.Mneme.Scrub.pool
+         ~pseg:d.Mneme.Scrub.pseg
+     with
+    | exception Vfs.Crash -> ()
+    | Ok _ | Error _ ->
+      note (Printf.sprintf "heal finished without crashing at io %d" k));
+    let img = Vfs.crash_image scn.ss_vfs in
+    ignore (Mneme.Store.recover_journal img ~file:failover_file ~log_file:failover_log);
+    (match Mneme.Store.open_existing img failover_file with
+    | exception Mneme.Store.Corrupt msg ->
+      note (Printf.sprintf "crash at heal io %d: rebooted primary unopenable: %s" k msg)
+    | pstore ->
+      attach_pools pstore;
+      let members =
+        ("primary", img, pstore)
+        :: List.map
+             (fun i ->
+               let name = i.Mneme.Replica.name in
+               let svfs = Mneme.Replica.standby_vfs scn.ss_rep ~name in
+               let st = Mneme.Store.open_existing svfs failover_file in
+               attach_pools st;
+               (name, svfs, st))
+             (Mneme.Replica.info scn.ss_rep)
+      in
+      converge_members ~note members;
+      audit_members ~note ~golden:scn members);
+    0
+  end
+
+type scrub_outcome = {
+  sc_segments : int;
+  sc_members : int;
+  sc_healed : int;
+  sc_crash_points : int;
+  sc_problems : (int * string) list;
+}
+
+let scrub_ok o = o.sc_problems = []
+
+let run_scrub ?(seed = 42) ?(docs = 12) ?(batches = 3) ?(standbys = 2) ?(bits = 1)
+    ?(crash_sweep = true) () =
+  let scn = build_scrub_scenario ~seed ~docs ~batches ~standbys () in
+  let nseg = Array.length scn.ss_segments in
+  let nmem = Array.length scn.ss_members in
+  let problems = ref [] and healed = ref 0 and crash_points = ref 0 in
+  for s = 0 to nseg - 1 do
+    let note msg = problems := (s, msg) :: !problems in
+    let member = scn.ss_members.(s mod nmem) in
+    let d = scn.ss_segments.(s) in
+    scenario_rot scn ~member ~segment:s ~bits ~seed:(seed + (101 * s)) ();
+    (* Detection: a scrub of the whole group must find exactly this
+       segment, on exactly this member. *)
+    let found = scrub_group scn in
+    (match found with
+    | [ (m, d') ] when String.equal m member && d' = d -> ()
+    | l ->
+      note
+        (Printf.sprintf "scrub found %d damaged segment(s); expected exactly %s %s/pseg %d"
+           (List.length l) member d.Mneme.Scrub.pool d.Mneme.Scrub.pseg));
+    (* Repair through the group: one journaled heal converges everyone. *)
+    List.iter
+      (fun (m, dmg) ->
+        match
+          Mneme.Replica.heal_segment scn.ss_rep ~store:scn.ss_store ~pool:dmg.Mneme.Scrub.pool
+            ~pseg:dmg.Mneme.Scrub.pseg
+        with
+        | Ok src ->
+          incr healed;
+          if String.equal src m then
+            note (Printf.sprintf "segment healed from its own rotten copy %s" src)
+        | Error e -> note (Printf.sprintf "heal failed: %s" e))
+      found;
+    (match scrub_group scn with
+    | [] -> ()
+    | l -> note (Printf.sprintf "%d segment(s) still damaged after heal" (List.length l)));
+    audit_members ~note ~golden:scn (member_stores scn);
+    if crash_sweep then begin
+      let n = scrub_crash_run ~seed ~docs ~batches ~standbys ~bits ~segment:s ~note 0 in
+      for k = 1 to n do
+        incr crash_points;
+        ignore (scrub_crash_run ~seed ~docs ~batches ~standbys ~bits ~segment:s ~note k)
+      done
+    end
+  done;
+  {
+    sc_segments = nseg;
+    sc_members = nmem;
+    sc_healed = !healed;
+    sc_crash_points = !crash_points;
+    sc_problems = List.rev !problems;
+  }
+
+let pp_scrub_outcome fmt o =
+  Format.fprintf fmt
+    "%d segments x %d members: %d heal(s) applied, %d crash-during-repair point(s)"
+    o.sc_segments o.sc_members o.sc_healed o.sc_crash_points;
+  if o.sc_problems <> [] then begin
+    Format.fprintf fmt "@.%d problem(s):" (List.length o.sc_problems);
+    List.iter (fun (s, p) -> Format.fprintf fmt "@.  segment %d: %s" s p) o.sc_problems
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Budget sweep: the scrub tax.  Rot the last segment of the walk on the
+   primary, then scrub under each per-step byte budget with a foreground
+   query between steps.  Small budgets detect slowly but never hold the
+   disk long; big budgets detect fast at the price of long steps — the
+   worst-case wait of a query arriving mid-step. *)
+
+type sweep_row = {
+  sw_budget : int; (* max bytes verified per scrub step *)
+  sw_steps : int; (* steps until the damage was detected *)
+  sw_detect_ms : float; (* simulated ms of scrub work to detection *)
+  sw_stall_ms : float; (* longest single step: worst foreground wait *)
+  sw_heal_ms : float;
+  sw_query_ms : float; (* mean foreground query latency between steps *)
+}
+
+let scrub_budget_sweep ?(seed = 42) ?(docs = 12) ?(batches = 3) ?(standbys = 1) ~budgets () =
+  List.map
+    (fun budget ->
+      if budget < 1 then invalid_arg "Torture.scrub_budget_sweep: budgets must be positive";
+      let scn = build_scrub_scenario ~seed ~docs ~batches ~standbys () in
+      let target = Array.length scn.ss_segments - 1 in
+      scenario_rot scn ~member:"primary" ~segment:target ~seed:(seed + 7) ();
+      Vfs.purge_os_cache scn.ss_vfs;
+      let clock = Vfs.clock scn.ss_vfs in
+      let elapsed f =
+        let before = Vfs.Clock.snapshot clock in
+        f ();
+        Vfs.Clock.wall_ms (Vfs.Clock.diff ~later:(Vfs.Clock.snapshot clock) ~earlier:before)
+      in
+      let scrubber = Mneme.Scrub.create scn.ss_store in
+      let queries = Array.of_list failover_queries in
+      let steps = ref 0 and detect = ref 0.0 and stall = ref 0.0 in
+      let qtimes = ref [] in
+      let running = ref true in
+      while !running do
+        let ms = elapsed (fun () -> ignore (Mneme.Scrub.step ~max_bytes:budget scrubber)) in
+        incr steps;
+        detect := !detect +. ms;
+        if ms > !stall then stall := ms;
+        let engine =
+          Engine.create ~vfs:scn.ss_vfs ~store:(session_over scn.ss_store) ~dict:scn.ss_dict
+            ~n_docs:scn.ss_n_docs ~avg_doc_len:scn.ss_avg ~doc_len:scn.ss_doc_len ()
+        in
+        let q = queries.(!steps mod Array.length queries) in
+        qtimes := elapsed (fun () -> ignore (Engine.run_query_string ~top_k:10 engine q)) :: !qtimes;
+        if Mneme.Scrub.damages scrubber <> [] || (Mneme.Scrub.progress scrubber).Mneme.Scrub.complete
+        then running := false
+      done;
+      let heal_ms =
+        elapsed (fun () ->
+            List.iter
+              (fun d ->
+                ignore
+                  (Mneme.Replica.heal_segment scn.ss_rep ~store:scn.ss_store
+                     ~pool:d.Mneme.Scrub.pool ~pseg:d.Mneme.Scrub.pseg))
+              (Mneme.Scrub.damages scrubber))
+      in
+      let qs = !qtimes in
+      let mean =
+        if qs = [] then 0.0
+        else List.fold_left ( +. ) 0.0 qs /. float_of_int (List.length qs)
+      in
+      {
+        sw_budget = budget;
+        sw_steps = !steps;
+        sw_detect_ms = !detect;
+        sw_stall_ms = !stall;
+        sw_heal_ms = heal_ms;
+        sw_query_ms = mean;
+      })
+    budgets
 
 let pp_outcome fmt o =
   Format.fprintf fmt

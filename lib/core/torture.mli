@@ -130,3 +130,107 @@ val run_failover :
     primary died. *)
 
 val pp_failover_outcome : Format.formatter -> failover_outcome -> unit
+
+(** {2 Scrub torture}
+
+    The bit-rot sweep that proves the self-healing loop.  The failover
+    workload is run to completion with a replica group attached; then,
+    for {e every} flushed physical segment, bits are flipped inside one
+    member's on-disk copy of that segment (round-robin across the
+    primary and the standbys) and the detect-to-repair loop must close:
+
+    - a group scrub ({!Mneme.Scrub}) finds exactly the damaged segment
+      on exactly the damaged member;
+    - one {!Mneme.Replica.heal_segment} repairs it from a peer's
+      verified copy — and, being a journaled rewrite on the primary,
+      converges every standby too;
+    - a second scrub finds nothing, every member passes
+      {!Mneme.Check.run}, every data file is byte-identical, and a fresh
+      engine returns the golden ranked results with {e zero} quarantined
+      terms;
+    - additionally ([crash_sweep]), the repair itself is crashed at
+      every one of its primary-device I/Os; after reboot through journal
+      recovery the surviving copies must still converge to the same
+      clean group. *)
+
+type scrub_scenario
+(** A completed replicated workload plus its golden expectations: the
+    open primary store and replica group, the full physical-segment
+    census, and the ranked results every audit must reproduce. *)
+
+val build_scrub_scenario :
+  ?seed:int -> ?docs:int -> ?batches:int -> ?standbys:int -> unit -> scrub_scenario
+(** Defaults: seed 42, 12 documents, 3 batches, 2 standbys.  Raises
+    [Invalid_argument] on non-positive counts. *)
+
+val scenario_segments : scrub_scenario -> int
+(** Flushed physical segments across all pools (scrub walk order). *)
+
+val scenario_member_names : scrub_scenario -> string list
+(** ["primary"] followed by the standby names in attach order. *)
+
+val scenario_rot :
+  scrub_scenario -> member:string -> segment:int -> ?bits:int -> seed:int -> unit -> unit
+(** Flip [bits] (default 1) distinct bits inside [member]'s on-disk copy
+    of segment number [segment] (an index into the walk order), damaging
+    both the OS view and the durable image.  Raises [Invalid_argument]
+    on an unknown member or out-of-range segment. *)
+
+val scrub_group : scrub_scenario -> (string * Mneme.Scrub.damage) list
+(** Scrub every member's copy fresh from its own disk and return the
+    combined worklist as [(member, damage)] pairs, members in attach
+    order. *)
+
+val heal_group : scrub_scenario -> int * string list
+(** Scrub-and-heal to fixpoint through {!Mneme.Replica.heal_segment}:
+    returns the number of heals applied and any failures (an empty list
+    means the group reached a clean fixpoint within 3 rounds). *)
+
+val audit_scenario : scrub_scenario -> string list
+(** The convergence audit: fsck every member, demand byte-identical data
+    files, golden ranked results and an empty quarantine.  Returns the
+    violations ([] = converged). *)
+
+type scrub_outcome = {
+  sc_segments : int;
+  sc_members : int;
+  sc_healed : int;  (** heals applied across the sweep *)
+  sc_crash_points : int;  (** crash-during-repair replays exercised *)
+  sc_problems : (int * string) list;  (** (segment index, violation) *)
+}
+
+val scrub_ok : scrub_outcome -> bool
+
+val run_scrub :
+  ?seed:int ->
+  ?docs:int ->
+  ?batches:int ->
+  ?standbys:int ->
+  ?bits:int ->
+  ?crash_sweep:bool ->
+  unit ->
+  scrub_outcome
+(** The full sweep (defaults: seed 42, 12 documents, 3 batches, 2
+    standbys, 1 bit per rot, crash sweep on).  [sc_problems = []] means
+    every segment of every member healed back to a byte-identical,
+    query-identical group — no matter where the repair was crashed. *)
+
+val pp_scrub_outcome : Format.formatter -> scrub_outcome -> unit
+
+type sweep_row = {
+  sw_budget : int;  (** max bytes verified per scrub step *)
+  sw_steps : int;  (** steps until the damage was detected *)
+  sw_detect_ms : float;  (** simulated ms of scrub work to detection *)
+  sw_stall_ms : float;  (** longest single step: worst foreground wait *)
+  sw_heal_ms : float;
+  sw_query_ms : float;  (** mean foreground query latency between steps *)
+}
+
+val scrub_budget_sweep :
+  ?seed:int -> ?docs:int -> ?batches:int -> ?standbys:int -> budgets:int list -> unit -> sweep_row list
+(** The scrub-tax experiment: rot the last segment of the walk on the
+    primary, then detect and heal it under each per-step byte budget,
+    running a foreground query between steps.  Small budgets detect
+    slowly but never hold the disk long; large ones detect fast at the
+    price of a long worst-case stall.  Raises [Invalid_argument] on a
+    non-positive budget. *)

@@ -57,6 +57,11 @@ let run store =
                   let oid = Oid.make ~lseg ~slot in
                   match Store.segment_raw pool pseg with
                   | exception Store.Corrupt msg -> flag where ("segment unreadable: " ^ msg)
+                  | exception Invalid_argument msg ->
+                    (* e.g. a truncated file: the extent reaches past
+                       EOF, so the read itself is impossible.  Report,
+                       never raise — fsck must survive any damage. *)
+                    flag where ("segment unreadable: " ^ msg)
                   | seg -> (
                     match policy.Policy.layout with
                     | Policy.Fixed_slots { slot_size } -> (
@@ -84,11 +89,17 @@ let run store =
       if counted <> !live then
         flag pname (Printf.sprintf "pool count %d but %d live slots" counted !live);
       (* 4. Every flushed segment's on-disk bytes match their recorded
-         CRC32 (read fresh from the file, bypassing buffered copies). *)
+         CRC32 (read fresh from the file, bypassing buffered copies).
+         An extent outside the file was already flagged by pass 1 and
+         cannot be read at all — skip it rather than raise. *)
       List.iter
-        (fun (id, _) ->
-          if not (Store.verify_segment_crc pool id) then
-            flag (Printf.sprintf "%s/pseg %d" pname id) "segment CRC32 mismatch")
+        (fun (id, (off, len)) ->
+          if off >= 0 && len >= 0 && off + len <= file_size then
+            match Store.verify_segment_crc pool id with
+            | true -> ()
+            | false -> flag (Printf.sprintf "%s/pseg %d" pname id) "segment CRC32 mismatch"
+            | exception Invalid_argument msg ->
+              flag (Printf.sprintf "%s/pseg %d" pname id) ("segment unreadable: " ^ msg))
         segments;
       (* 5. Packed segment directories are internally consistent. *)
       List.iter
@@ -98,6 +109,8 @@ let run store =
           | Policy.Packed -> (
             match Store.parse_packed_directory (Store.segment_raw pool id) with
             | exception Store.Corrupt msg -> flag (Printf.sprintf "%s/pseg %d" pname id) msg
+            | exception Invalid_argument msg ->
+              flag (Printf.sprintf "%s/pseg %d" pname id) ("segment unreadable: " ^ msg)
             | entries ->
               let sorted_entries =
                 List.sort (fun (_, a, _) (_, b, _) -> compare a b) entries

@@ -16,6 +16,11 @@
     - per-pool object counts match the live slot counts, and their sum
       matches the store header.
 
+    Damage is {e reported, never raised}: a truncated file (segment
+    extents past EOF), overlapping directory entries, or a corrupted
+    segment all become problems in the report — fsck must survive
+    anything the disk can do to the file.
+
     Used by tests, and available to applications as a recovery-time
     sanity pass (e.g. after {!Store.recover_journal}). *)
 

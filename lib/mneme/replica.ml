@@ -1,10 +1,14 @@
+(* A standby is healthy or unhealthy-for-a-reason — one field, so the
+   invariant [reason = Some _ <=> not healthy] holds by construction
+   instead of by discipline across every transition. *)
+type status = Healthy | Unhealthy of string
+
 type standby = {
   sname : string;
   svfs : Vfs.t;
   sjournal : Journal.t; (* log + data on the standby's own file system *)
   mutable applied : int;
-  mutable healthy : bool;
-  mutable reason : string option;
+  mutable status : status;
   mutable paused : bool;
   mutable backlog : (int * bytes) list; (* newest first, while paused *)
   mutable corrupt_next : bool;
@@ -12,7 +16,9 @@ type standby = {
 
 type t = {
   journal : Journal.t; (* the primary's *)
+  pvfs : Vfs.t; (* the primary's file system *)
   group : standby list; (* attach order *)
+  mutable corrupt_transfer : bool; (* test hook: damage the next heal transfer *)
 }
 
 type standby_info = {
@@ -24,9 +30,8 @@ type standby_info = {
   reason : string option;
 }
 
-let fail (sb : standby) msg =
-  sb.healthy <- false;
-  sb.reason <- Some msg
+let is_healthy sb = sb.status = Healthy
+let fail (sb : standby) msg = sb.status <- Unhealthy msg
 
 (* Land the shipped image in the standby's log, make it durable (the
    standby's commit point), then run the ordinary CRC-verified recovery
@@ -61,7 +66,7 @@ let apply sb ~lsn image =
   end
 
 let receive (sb : standby) ~lsn image =
-  if sb.healthy then
+  if is_healthy sb then
     if sb.paused then sb.backlog <- (lsn, image) :: sb.backlog else apply sb ~lsn image
 
 let attach store ~standbys =
@@ -89,9 +94,8 @@ let attach store ~standbys =
           sjournal =
             Journal.attach svfs ~log_file:(Journal.log_file journal)
               ~data_file:primary_vfs_file;
-          applied = 0;
-          healthy = true;
-          reason = None;
+          applied = Journal.lsn journal;
+          status = Healthy;
           paused = false;
           backlog = [];
           corrupt_next = false;
@@ -99,7 +103,7 @@ let attach store ~standbys =
       standbys
   in
   List.iter (fun sb -> Journal.on_commit journal (fun ~lsn image -> receive sb ~lsn image)) group;
-  { journal; group }
+  { journal; pvfs = Store.vfs store; group; corrupt_transfer = false }
 
 let primary_lsn t = Journal.lsn t.journal
 
@@ -113,9 +117,9 @@ let info_of t sb =
     name = sb.sname;
     applied_lsn = sb.applied;
     lag = primary_lsn t - sb.applied;
-    healthy = sb.healthy;
+    healthy = is_healthy sb;
     paused = sb.paused;
-    reason = sb.reason;
+    reason = (match sb.status with Healthy -> None | Unhealthy msg -> Some msg);
   }
 
 let info t = List.map (info_of t) t.group
@@ -127,15 +131,93 @@ let resume t ~name =
   sb.paused <- false;
   let pending = List.rev sb.backlog in
   sb.backlog <- [];
-  List.iter (fun (lsn, image) -> if sb.healthy then apply sb ~lsn image) pending
+  List.iter (fun (lsn, image) -> if is_healthy sb then apply sb ~lsn image) pending
+
+let resync t ~name =
+  if Journal.in_batch t.journal then invalid_arg "Replica.resync: batch open on the primary";
+  let sb = find t name in
+  (* Re-bootstrap from scratch: a fresh durable copy of the primary data
+     file supersedes whatever the standby held (rejected batches, a
+     paused backlog, its own rot), so the standby rejoins the stream at
+     the primary's current position. *)
+  Vfs.copy_file t.pvfs (Journal.data_file t.journal) ~into:sb.svfs;
+  let log = Vfs.open_file sb.svfs (Journal.log_file sb.sjournal) in
+  Vfs.truncate log 0;
+  Vfs.fsync log;
+  sb.applied <- Journal.lsn t.journal;
+  sb.status <- Healthy;
+  sb.paused <- false;
+  sb.backlog <- [];
+  sb.corrupt_next <- false
 
 let corrupt_next_shipment t ~name = (find t name).corrupt_next <- true
+let corrupt_next_transfer t = t.corrupt_transfer <- true
+
+(* Fetch one segment extent from a group member's copy of the data
+   file, wrapped in a transit CRC envelope: the envelope is sealed over
+   the bytes read at the source, checked after the (possibly damaged)
+   transfer, and the payload is additionally held to the segment's
+   recorded CRC32 — a stale or rotten source copy is as unusable as a
+   corrupted transfer. *)
+let fetch_segment t ~from:(name, vfs) ~file ~off ~len ~crc =
+  if not (Vfs.file_exists vfs file) then None
+  else begin
+    let f = Vfs.open_file vfs file in
+    if Vfs.size f < off + len then None
+    else begin
+      let payload = Vfs.read f ~off ~len in
+      let envelope = Util.Crc32.digest_bytes payload in
+      let payload =
+        if not t.corrupt_transfer then payload
+        else begin
+          t.corrupt_transfer <- false;
+          let damaged = Bytes.copy payload in
+          let target = Bytes.length damaged / 2 in
+          Bytes.set damaged target (Char.chr (Char.code (Bytes.get damaged target) lxor 0x01));
+          damaged
+        end
+      in
+      if Util.Crc32.digest_bytes payload <> envelope then None (* damaged in transit *)
+      else if envelope <> crc then None (* source copy rotten or stale *)
+      else Some (name, payload)
+    end
+  end
+
+let heal_segment t ~store ~pool:pname ~pseg =
+  match Store.pool store pname with
+  | exception Not_found -> Error (Printf.sprintf "no pool named %s" pname)
+  | pool -> (
+    match (List.assoc_opt pseg (Store.pool_segments pool), Store.segment_crc pool pseg) with
+    | None, _ | _, None -> Error (Printf.sprintf "%s/pseg %d has no on-disk image" pname pseg)
+    | Some (off, len), Some crc -> (
+      let file = Journal.data_file t.journal in
+      let sources =
+        ("primary", t.pvfs)
+        :: List.filter_map (fun sb -> if is_healthy sb then Some (sb.sname, sb.svfs) else None)
+             t.group
+      in
+      match
+        List.find_map (fun from -> fetch_segment t ~from ~file ~off ~len ~crc) sources
+      with
+      | None ->
+        Error
+          (Printf.sprintf "no group member holds a verified copy of %s/pseg %d (tried %s)"
+             pname pseg
+             (String.concat ", " (List.map fst sources)))
+      | Some (name, payload) -> (
+        (* The journaled rewrite on the primary is the single repair
+           path: its commit ships to every healthy standby, so one heal
+           converges the whole group (rewriting already-good bytes is
+           idempotent). *)
+        match Store.repair_segment pool ~pseg payload with
+        | Ok () -> Ok name
+        | Error e -> Error e)))
 
 let promote t =
   let best =
     List.fold_left
       (fun acc (sb : standby) ->
-        if not sb.healthy then acc
+        if not (is_healthy sb) then acc
         else
           match acc with
           | Some b when b.applied >= sb.applied -> acc

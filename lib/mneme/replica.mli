@@ -31,7 +31,10 @@ type standby_info = {
   lag : int;  (** primary LSN minus applied LSN *)
   healthy : bool;  (** false once a shipment was rejected *)
   paused : bool;
-  reason : string option;  (** why unhealthy, when not *)
+  reason : string option;
+      (** [Some _] exactly when not [healthy]: internally a standby's
+          health is one status field ([Healthy | Unhealthy of reason]),
+          so an unhealthy standby can never lack its reason. *)
 }
 
 val attach : Store.t -> standbys:(string * Vfs.t) list -> t
@@ -59,10 +62,37 @@ val resume : t -> name:string -> unit
 (** Drain the accumulated shipments in order and continue applying.
     Raises [Not_found]. *)
 
+val resync : t -> name:string -> unit
+(** Re-bootstrap a standby that fell out of the stream (rejected
+    shipment, its own device trouble, a long pause): copy the primary
+    data file afresh, drop any backlog, clear the unhealthy status and
+    rejoin the commit stream at the primary's current LSN.  Raises
+    [Not_found] for an unknown name and [Invalid_argument] if a batch
+    is open on the primary. *)
+
 val corrupt_next_shipment : t -> name:string -> unit
 (** Test hook for transit corruption: flip one byte of the next batch
     image delivered to this standby.  The standby's CRC verification
     must reject it.  Raises [Not_found]. *)
+
+val corrupt_next_transfer : t -> unit
+(** Test hook for {!heal_segment} transit corruption: flip one byte of
+    the next segment payload fetched from any source.  The transfer's
+    CRC envelope must reject it and the heal must fall through to the
+    next source. *)
+
+val heal_segment : t -> store:Store.t -> pool:string -> pseg:int -> (string, string) result
+(** Close the detect-to-repair loop for one damaged physical segment of
+    the group's primary [store].  Sources are tried in order — the
+    primary's own file first (heals standby-side rot), then each healthy
+    standby (heals primary-side rot): the segment extent is fetched
+    under a transit CRC envelope, verified against the segment's
+    recorded CRC32 (a mismatched payload is {e never} applied), and
+    applied with {!Store.repair_segment} on the primary — a journaled
+    rewrite whose commit ships to every healthy standby, so one heal
+    converges the whole group (rewriting already-good bytes is
+    idempotent).  [Ok source] names the copy used; [Error] when no group
+    member holds a verified copy, leaving every file untouched. *)
 
 val promote : t -> standby_info * Vfs.t
 (** The failover decision: the healthy standby with the highest applied

@@ -806,6 +806,39 @@ let verify_segment_crc pool pseg =
   | None -> true (* still open in memory: no on-disk image to damage *)
   | Some (off, len, crc) -> Util.Crc32.digest_bytes (st_read pool.store ~off ~len) = crc
 
+(* A repair is only a repair if the result is byte-identical to what
+   was originally written: the replacement must match the recorded
+   length and CRC32 before a single byte reaches the file. *)
+let repair_segment pool ~pseg replacement =
+  ensure_loaded pool;
+  let t = pool.store in
+  match Hashtbl.find_opt pool.psegs pseg with
+  | None -> Error (Printf.sprintf "pool %s has no flushed pseg %d" pool.pname pseg)
+  | Some (off, len, crc) ->
+    if Bytes.length replacement <> len then
+      Error
+        (Printf.sprintf "replacement is %d bytes, pseg %d holds %d" (Bytes.length replacement)
+           pseg len)
+    else if Util.Crc32.digest_bytes replacement <> crc then
+      Error (Printf.sprintf "replacement fails pseg %d's recorded CRC32" pseg)
+    else begin
+      (match t.journal with
+      | Some j when not (Journal.in_batch j) ->
+        (* Journal the rewrite so a crash mid-heal recovers to either
+           the damaged or the healed image, never a torn mix. *)
+        transact t (fun () -> st_write t ~off replacement)
+      | Some _ ->
+        (* Already inside a batch: ride the caller's commit. *)
+        st_write t ~off replacement
+      | None ->
+        st_write t ~off replacement;
+        Vfs.fsync t.file);
+      (match pool.pbuffer with
+      | Some buffer -> Buffer_pool.update buffer ~pseg replacement
+      | None -> ());
+      Ok ()
+    end
+
 let pool_slot_tables pool =
   ensure_loaded pool;
   Hashtbl.fold (fun lseg slots acc -> (lseg, Array.copy slots) :: acc) pool.lsegs []

@@ -163,6 +163,20 @@ val verify_segment_crc : pool -> int -> bool
     and check it against the recorded CRC32.  [true] for a segment that
     has no on-disk image yet. *)
 
+val repair_segment : pool -> pseg:int -> bytes -> (unit, string) result
+(** [repair_segment pool ~pseg replacement] rewrites a flushed physical
+    segment in place from a known-good copy of its bytes.  The
+    replacement must match the segment's recorded length {e and} CRC32
+    exactly — [Error], with nothing written, otherwise: a repair is only
+    a repair if the result is byte-identical to what was originally
+    written.  With a journal enabled the rewrite commits as its own
+    transaction (unless a batch is already open, in which case it rides
+    that batch), so a crash mid-heal recovers to either the damaged or
+    the healed image, never a torn mix — and the rewrite ships to any
+    attached replica group like any other commit.  Without a journal the
+    segment is written and fsynced directly.  Any buffered copy is
+    refreshed.  [Error] for a segment with no on-disk image. *)
+
 val pool_slot_tables : pool -> (int * int array) list
 (** [(lseg, slots)] pairs, ascending by lseg; each slot holds the
     physical segment id or -1.  The arrays are copies. *)

@@ -1,5 +1,11 @@
 type kind = Read | Write
-type decision = Proceed | Crash | Flip_bit of int | Stall of float
+
+type decision =
+  | Proceed
+  | Crash
+  | Flip_bit of int
+  | Flip_bits of { targets : int list; first : int; last : int }
+  | Stall of float
 
 type plan = { mutable ios : int; rule : io:int -> file:string -> kind -> decision }
 
@@ -23,6 +29,20 @@ let flip_bit_on_read ~io ~seed =
     rule =
       (fun ~io:n ~file:_ kind ->
         match kind with Read when n = io -> Flip_bit (mix seed io) | _ -> Proceed);
+  }
+
+let flip_bits_on_read ~io ~seed ~first ~last ?(bits = 1) () =
+  if io < 1 then invalid_arg "Fault.flip_bits_on_read: trigger io is 1-based";
+  if first < 0 || last < first then invalid_arg "Fault.flip_bits_on_read: bad byte range";
+  if bits < 1 then invalid_arg "Fault.flip_bits_on_read: must flip at least one bit";
+  let targets = List.init bits (fun i -> mix seed (io + (i * 7919))) in
+  {
+    ios = 0;
+    rule =
+      (fun ~io:n ~file:_ kind ->
+        match kind with
+        | Read when n = io -> Flip_bits { targets; first; last }
+        | _ -> Proceed);
   }
 
 let stall_at_io ~io ~ms =

@@ -26,6 +26,13 @@ type decision =
   | Flip_bit of int
       (** flip this bit offset (within the block) of the transferred
           data; only honoured on reads, writes treat it as [Proceed] *)
+  | Flip_bits of { targets : int list; first : int; last : int }
+      (** media rot across a platter region: flip one distinct bit per
+          entry of [targets], each landing inside the {e absolute} file
+          byte range [first, last] (clamped to the file size).  The
+          damage is triggered by the read that disturbs the region —
+          whichever block it transfers — and, like [Flip_bit], hits both
+          the OS view and the durable image.  Only honoured on reads. *)
   | Stall of float
       (** the I/O completes, but charges this many extra milliseconds of
           disk time to the simulated clock first (a slow, not dead,
@@ -45,6 +52,16 @@ val flip_bit_on_read : io:int -> seed:int -> plan
 (** [flip_bit_on_read ~io ~seed] corrupts the block transferred by the
     [io]-th physical I/O, if it is a read: one bit, chosen
     deterministically from [seed], is flipped.  Other I/Os proceed. *)
+
+val flip_bits_on_read : io:int -> seed:int -> first:int -> last:int -> ?bits:int -> unit -> plan
+(** [flip_bits_on_read ~io ~seed ~first ~last ~bits ()] models
+    multi-bit rot over a byte range: when the [io]-th physical I/O is a
+    read, [bits] (default 1) {e distinct} bits, placed deterministically
+    from [seed], are flipped within the absolute file byte range
+    [first, last] — regardless of which block the read transfers (the
+    whole platter region under the range rots at once).  Raises
+    [Invalid_argument] if [io < 1], [bits < 1] or the range is empty or
+    negative. *)
 
 val stall_at_io : io:int -> ms:float -> plan
 (** [stall_at_io ~io ~ms] stalls the [io]-th physical I/O (1-based) by

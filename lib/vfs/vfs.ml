@@ -132,6 +132,40 @@ let fault_block f kind ~blk =
         flip f.data;
         flip f.durable
       end)
+  | Fault.Flip_bits { targets; first; last } -> (
+    match kind with
+    | Fault.Write -> ()
+    | Fault.Read ->
+      (* Rot over an absolute byte range, clamped to the file: each
+         target claims a distinct (byte, bit) position by linear probing
+         from its hash, so N targets always flip N different bits (up to
+         the range's capacity). *)
+      let lo = max 0 first and hi = min last (f.size - 1) in
+      if hi >= lo then begin
+        let span_bits = (hi - lo + 1) * 8 in
+        let chosen = Hashtbl.create 8 in
+        List.iter
+          (fun target ->
+            let rec probe tries =
+              if tries < span_bits then begin
+                let p = (target + tries) mod span_bits in
+                if Hashtbl.mem chosen p then probe (tries + 1) else Hashtbl.add chosen p ()
+              end
+            in
+            probe 0)
+          targets;
+        Hashtbl.iter
+          (fun p () ->
+            let byte = lo + (p / 8) in
+            let mask = 1 lsl (p mod 8) in
+            let flip buf =
+              if byte < Bytes.length buf then
+                Bytes.set buf byte (Char.chr (Char.code (Bytes.get buf byte) lxor mask))
+            in
+            flip f.data;
+            flip f.durable)
+          chosen
+      end)
 
 (* ------------------------------------------------------------------ *)
 (* Files                                                               *)

@@ -88,6 +88,88 @@ let test_detects_corrupted_directory () =
   let report = Mneme.Check.run store2 in
   Alcotest.(check bool) "problems found" false (Mneme.Check.ok report)
 
+let reopen vfs =
+  let store = Mneme.Store.open_existing vfs "chk.mneme" in
+  List.iter
+    (fun name ->
+      Mneme.Store.attach_buffer (Mneme.Store.pool store name)
+        (Mneme.Buffer_pool.create ~name ~capacity:500_000 ()))
+    [ "small"; "medium"; "large" ];
+  store
+
+let test_overlapping_directory_entries () =
+  let vfs = Vfs.create () in
+  let store = Mneme.Store.create vfs "chk.mneme" in
+  let pool = Mneme.Store.add_pool store Mneme.Policy.medium in
+  let buffer = Mneme.Buffer_pool.create ~name:"medium" ~capacity:500_000 () in
+  Mneme.Store.attach_buffer pool buffer;
+  for i = 0 to 19 do
+    ignore (Mneme.Store.allocate pool (Bytes.make (100 + i) 'y'))
+  done;
+  Mneme.Store.finalize store;
+  (* Find a packed segment holding at least two objects and stretch the
+     lowest entry's recorded length over its neighbour — the classic
+     overlapping-directory corruption.  The damage is planted in the
+     resident copy so the directory parser (not the CRC pass) is what
+     has to catch it. *)
+  let f = Vfs.open_file vfs "chk.mneme" in
+  let pseg, seg =
+    let rec pick = function
+      | [] -> Alcotest.fail "no medium segment with two objects"
+      | (id, (off, len)) :: rest -> (
+        match Mneme.Store.parse_packed_directory (Vfs.read f ~off ~len) with
+        | entries when List.length entries >= 2 -> (id, Vfs.read f ~off ~len)
+        | _ | (exception Mneme.Store.Corrupt _) -> pick rest)
+    in
+    pick (Mneme.Store.pool_segments pool)
+  in
+  let entries = Mneme.Store.parse_packed_directory seg in
+  let indexed = List.mapi (fun i e -> (i, e)) entries in
+  let sorted = List.sort (fun (_, (_, a, _)) (_, (_, b, _)) -> compare a b) indexed in
+  let (i, (_, first_off, _)), (_, (_, second_off, _)) =
+    match sorted with a :: b :: _ -> (a, b) | _ -> assert false
+  in
+  let patch = Buffer.create 4 in
+  Util.Bin.buf_u32 patch (second_off - first_off + 1);
+  Bytes.blit (Buffer.to_bytes patch) 0 seg (2 + (i * 12) + 8) 4;
+  ignore (Mneme.Store.segment_raw pool pseg);
+  Mneme.Buffer_pool.update buffer ~pseg seg;
+  let report = Mneme.Check.run store in
+  Alcotest.(check bool) "problems reported" false (Mneme.Check.ok report);
+  Alcotest.(check bool) "overlap named" true
+    (List.exists
+       (fun p -> Str_find.contains p.Mneme.Check.what "overlaps")
+       report.Mneme.Check.problems)
+
+let test_truncated_final_segment () =
+  let vfs, store, pools = build_store () in
+  ignore (populate store pools);
+  let last_end =
+    List.fold_left
+      (fun acc pool ->
+        List.fold_left
+          (fun acc (_, (off, len)) -> max acc (off + len))
+          acc (Mneme.Store.pool_segments pool))
+      0 pools
+  in
+  let f = Vfs.open_file vfs "chk.mneme" in
+  Vfs.truncate f (last_end - 1);
+  (* The warm handle's check walks extents that now reach past EOF: it
+     must report them, never raise. *)
+  let report = Mneme.Check.run store in
+  Alcotest.(check bool) "truncation reported" false (Mneme.Check.ok report);
+  Alcotest.(check bool) "EOF violation named" true
+    (List.exists
+       (fun p -> Str_find.contains p.Mneme.Check.what "outside file")
+       report.Mneme.Check.problems);
+  (* A cold reopen either refuses cleanly or checks without raising. *)
+  match reopen vfs with
+  | exception Mneme.Store.Corrupt _ -> ()
+  | exception Invalid_argument _ -> ()
+  | store2 ->
+    Alcotest.(check bool) "cold check reports too" false
+      (Mneme.Check.ok (Mneme.Check.run store2))
+
 let test_pp_report () =
   let _, store, pools = build_store () in
   ignore (populate store pools);
@@ -100,5 +182,8 @@ let suite =
     Alcotest.test_case "clean after updates" `Quick test_clean_after_updates;
     Alcotest.test_case "clean after reopen" `Quick test_clean_after_reopen;
     Alcotest.test_case "detects corruption" `Quick test_detects_corrupted_directory;
+    Alcotest.test_case "overlapping directory entries" `Quick
+      test_overlapping_directory_entries;
+    Alcotest.test_case "truncated final segment" `Quick test_truncated_final_segment;
     Alcotest.test_case "pp report" `Quick test_pp_report;
   ]

@@ -162,6 +162,148 @@ let test_reservation_released_when_eval_raises () =
   Alcotest.(check bool) "engine survives" true
     ((Core.Engine.run_query_string engine "srv").Core.Engine.ranked <> [])
 
+(* Read-repair: a corrupt segment quarantines its term (salvage mode),
+   later fetches short-circuit without touching the store, and
+   [heal_pending] restores the term from a pristine peer copy. *)
+let test_read_repair_heals_quarantine () =
+  let vfs = Vfs.create () in
+  let store = Mneme.Store.create vfs "heal.mneme" in
+  let medium = Mneme.Store.add_pool store Mneme.Policy.medium in
+  let large = Mneme.Store.add_pool store Mneme.Policy.large in
+  let medium_buf = Mneme.Buffer_pool.create ~name:"medium" ~capacity:100_000 () in
+  let large_buf = Mneme.Buffer_pool.create ~name:"large" ~capacity:100_000 () in
+  Mneme.Store.attach_buffer medium medium_buf;
+  Mneme.Store.attach_buffer large large_buf;
+  let indexer = Inquery.Indexer.create () in
+  Inquery.Indexer.add_document_terms indexer ~doc_id:0 [| "srv"; "vct" |];
+  Inquery.Indexer.add_document_terms indexer ~doc_id:1 [| "srv" |];
+  let dict = Inquery.Indexer.dictionary indexer in
+  Inquery.Indexer.to_records indexer
+  |> Seq.iter (fun (tid, record) ->
+         let entry = Option.get (Inquery.Dictionary.find_by_id dict tid) in
+         let pool = if entry.Inquery.Dictionary.term = "srv" then medium else large in
+         entry.Inquery.Dictionary.locator <- Mneme.Store.allocate pool record);
+  Mneme.Store.finalize store;
+  (* Pristine replica taken before the rot. *)
+  let backup = Vfs.create () in
+  Vfs.copy_file vfs "heal.mneme" ~into:backup;
+  let fetches = ref 0 in
+  let session =
+    {
+      Core.Index_store.name = "heal";
+      fetch =
+        (fun entry ->
+          incr fetches;
+          let locator = entry.Inquery.Dictionary.locator in
+          if locator < 0 then None else Mneme.Store.get_opt store locator);
+      reserve = (fun _ () -> ());
+      buffer_stats = (fun () -> []);
+      reset_buffer_stats = (fun () -> ());
+      file_size = (fun () -> Mneme.Store.file_size store);
+    }
+  in
+  let engine =
+    Core.Engine.create ~vfs ~store:session ~dict ~n_docs:2 ~avg_doc_len:1.5
+      ~doc_len:(Inquery.Indexer.doc_length indexer)
+      ~reserve:false ()
+  in
+  let query = "#sum( srv vct )" in
+  let baseline = (Core.Engine.run_query_string engine query).Core.Engine.ranked in
+  Alcotest.(check (list reject)) "nothing quarantined yet" []
+    (Core.Engine.pending_repairs engine |> List.map (fun _ -> assert false));
+  (* Rot vct's segment on disk and evict the clean buffered copy. *)
+  let vct = Option.get (Inquery.Dictionary.find dict "vct") in
+  let pseg = Option.get (Mneme.Store.locate_pseg store vct.Inquery.Dictionary.locator) in
+  let off, len = List.assoc pseg (Mneme.Store.pool_segments large) in
+  let f = Vfs.open_file vfs "heal.mneme" in
+  let target = off + (len / 2) in
+  let byte = Bytes.get (Vfs.read f ~off:target ~len:1) 0 in
+  Vfs.write f ~off:target (Bytes.make 1 (Char.chr (Char.code byte lxor 0x10)));
+  Mneme.Buffer_pool.drop large_buf ~pseg;
+  (* Salvage keeps the query alive and quarantines the term. *)
+  let degraded = (Core.Engine.run_query_string engine query).Core.Engine.ranked in
+  Alcotest.(check bool) "degraded results differ" true (degraded <> baseline);
+  (match Core.Engine.pending_repairs engine with
+  | [ t ] ->
+    Alcotest.(check string) "ticket names the term" "vct" t.Core.Engine.term;
+    Alcotest.(check bool) "reason carries the CRC complaint" true
+      (Str_find.contains t.Core.Engine.reason "CRC")
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 ticket, got %d" (List.length l)));
+  (* While quarantined, re-evaluation short-circuits: the store is not
+     asked for vct's record again. *)
+  let before = !fetches in
+  ignore (Core.Engine.run_query_string engine query);
+  Alcotest.(check int) "only srv fetched while quarantined" 1 (!fetches - before);
+  Alcotest.(check int) "still one quarantine entry" 1
+    (List.length (Core.Engine.quarantined engine));
+  (* Heal from the pristine backup and observe full recovery. *)
+  (match Core.Engine.heal_pending engine ~store ~sources:[ ("backup", backup) ] with
+  | [ (term, Ok src) ] ->
+    Alcotest.(check string) "healed term" "vct" term;
+    Alcotest.(check string) "healed from backup" "backup" src
+  | [ (_, Error e) ] -> Alcotest.fail ("heal failed: " ^ e)
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 outcome, got %d" (List.length l)));
+  Alcotest.(check int) "quarantine lifted" 0 (List.length (Core.Engine.quarantined engine));
+  Alcotest.(check (list reject)) "worklist drained" []
+    (Core.Engine.pending_repairs engine |> List.map (fun _ -> assert false));
+  let healed = (Core.Engine.run_query_string engine query).Core.Engine.ranked in
+  Alcotest.(check bool) "results restored" true (healed = baseline);
+  Alcotest.(check bool) "mark_healed false for unknown term" false
+    (Core.Engine.mark_healed engine ~term:"nope")
+
+(* heal_pending reports per-ticket failures and keeps the quarantine
+   when no source holds a verified copy. *)
+let test_heal_pending_keeps_failed_tickets () =
+  let vfs = Vfs.create () in
+  let store = Mneme.Store.create vfs "heal2.mneme" in
+  let large = Mneme.Store.add_pool store Mneme.Policy.large in
+  let large_buf = Mneme.Buffer_pool.create ~name:"large" ~capacity:100_000 () in
+  Mneme.Store.attach_buffer large large_buf;
+  let indexer = Inquery.Indexer.create () in
+  Inquery.Indexer.add_document_terms indexer ~doc_id:0 [| "vct" |];
+  let dict = Inquery.Indexer.dictionary indexer in
+  Inquery.Indexer.to_records indexer
+  |> Seq.iter (fun (tid, record) ->
+         let entry = Option.get (Inquery.Dictionary.find_by_id dict tid) in
+         entry.Inquery.Dictionary.locator <- Mneme.Store.allocate large record);
+  Mneme.Store.finalize store;
+  let session =
+    {
+      Core.Index_store.name = "heal2";
+      fetch =
+        (fun entry ->
+          let locator = entry.Inquery.Dictionary.locator in
+          if locator < 0 then None else Mneme.Store.get_opt store locator);
+      reserve = (fun _ () -> ());
+      buffer_stats = (fun () -> []);
+      reset_buffer_stats = (fun () -> ());
+      file_size = (fun () -> Mneme.Store.file_size store);
+    }
+  in
+  let engine =
+    Core.Engine.create ~vfs ~store:session ~dict ~n_docs:1 ~avg_doc_len:1.0
+      ~doc_len:(Inquery.Indexer.doc_length indexer)
+      ~reserve:false ()
+  in
+  let vct = Option.get (Inquery.Dictionary.find dict "vct") in
+  let pseg = Option.get (Mneme.Store.locate_pseg store vct.Inquery.Dictionary.locator) in
+  let off, len = List.assoc pseg (Mneme.Store.pool_segments large) in
+  let f = Vfs.open_file vfs "heal2.mneme" in
+  let target = off + (len / 2) in
+  let byte = Bytes.get (Vfs.read f ~off:target ~len:1) 0 in
+  Vfs.write f ~off:target (Bytes.make 1 (Char.chr (Char.code byte lxor 0x10)));
+  Mneme.Buffer_pool.drop large_buf ~pseg;
+  (* A replica taken after the rot is as rotten as the primary. *)
+  let rotten = Vfs.create () in
+  Vfs.copy_file vfs "heal2.mneme" ~into:rotten;
+  ignore (Core.Engine.run_query_string engine "vct");
+  Alcotest.(check int) "quarantined" 1 (List.length (Core.Engine.quarantined engine));
+  (match Core.Engine.heal_pending engine ~store ~sources:[ ("rotten", rotten) ] with
+  | [ ("vct", Error _) ] -> ()
+  | _ -> Alcotest.fail "expected a single failed outcome");
+  Alcotest.(check int) "ticket kept" 1 (List.length (Core.Engine.pending_repairs engine));
+  Alcotest.(check int) "still quarantined" 1 (List.length (Core.Engine.quarantined engine))
+
 let test_top_k_limits () =
   let e = engine Core.Experiment.Mneme_cache in
   let r = Core.Engine.run_query_string ~top_k:3 e "ba" in
@@ -178,5 +320,9 @@ let suite =
     Alcotest.test_case "reservation helps" `Quick test_reservation_pins_during_query;
     Alcotest.test_case "reservation released when eval raises" `Quick
       test_reservation_released_when_eval_raises;
+    Alcotest.test_case "read repair heals quarantine" `Quick
+      test_read_repair_heals_quarantine;
+    Alcotest.test_case "heal_pending keeps failed tickets" `Quick
+      test_heal_pending_keeps_failed_tickets;
     Alcotest.test_case "top_k limits" `Quick test_top_k_limits;
   ]

@@ -157,6 +157,69 @@ let test_unroutable_terms_degrade () =
   Alcotest.(check bool) "breaker closed again" true
     (Core.Frontend.breaker fe ~name:"solo" = Core.Frontend.Closed)
 
+(* A corrupt fetch is reported once per (replica, term), recorded on the
+   frontend's read-repair worklist, and served via a healthy replica —
+   the query itself never sees the damage. *)
+let test_corrupt_fetch_recorded_and_hedged () =
+  let p = Lazy.force prepared in
+  let events = ref [] in
+  let fe =
+    Core.Frontend.of_prepared p ~names:[ "a"; "b" ] ~buffers:Core.Buffer_sizing.no_cache
+      ~on_corrupt:(fun ~replica ~term ~reason -> events := (replica, term, reason) :: !events)
+  in
+  (* Locate ba's physical segment in replica a's copy of the store and
+     flip a byte in the middle of it. *)
+  let catalog = Core.Catalog.load p.Core.Experiment.vfs ~file:p.Core.Experiment.catalog_file in
+  let entry = Option.get (Inquery.Dictionary.find catalog.Core.Catalog.dict "ba") in
+  let vfs_a = Core.Frontend.replica_vfs fe ~name:"a" in
+  let probe = Mneme.Store.open_existing vfs_a p.Core.Experiment.mneme_file in
+  List.iter
+    (fun name ->
+      Mneme.Store.attach_buffer (Mneme.Store.pool probe name)
+        (Mneme.Buffer_pool.create ~name ~capacity:500_000 ()))
+    [ "small"; "medium"; "large" ];
+  let locator = entry.Inquery.Dictionary.locator in
+  let pool = Option.get (Mneme.Store.pool_of_oid probe locator) in
+  let pseg = Option.get (Mneme.Store.locate_pseg probe locator) in
+  let off, len = List.assoc pseg (Mneme.Store.pool_segments pool) in
+  let f = Vfs.open_file vfs_a p.Core.Experiment.mneme_file in
+  let target = off + (len / 2) in
+  let byte = Bytes.get (Vfs.read f ~off:target ~len:1) 0 in
+  Vfs.write f ~off:target (Bytes.make 1 (Char.chr (Char.code byte lxor 0x10)));
+  let r = Core.Frontend.run_query_string ~top_k:20 fe big_query in
+  Alcotest.(check bool) "served in full despite the rot" false r.Core.Frontend.degraded;
+  Alcotest.(check (list reject)) "no failed terms" [] r.Core.Frontend.failed_terms;
+  Alcotest.(check bool) "ranking matches a healthy engine" true
+    (fingerprint r.Core.Frontend.ranked = engine_fingerprint ());
+  (match Core.Frontend.corrupt_fetches fe with
+  | [ e ] ->
+    Alcotest.(check string) "sick replica named" "a" e.Core.Frontend.replica;
+    Alcotest.(check string) "term named" "ba" e.Core.Frontend.term;
+    Alcotest.(check bool) "reason carries the CRC complaint" true
+      (Str_find.contains e.Core.Frontend.reason "CRC")
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 corrupt fetch, got %d" (List.length l)));
+  Alcotest.(check int) "hook fired" 1 (List.length !events);
+  (match !events with
+  | [ (replica, term, _) ] ->
+    Alcotest.(check string) "hook replica" "a" replica;
+    Alcotest.(check string) "hook term" "ba" term
+  | _ -> assert false);
+  (* Re-running the query neither duplicates the worklist entry nor
+     re-fires the hook. *)
+  ignore (Core.Frontend.run_query_string fe big_query);
+  Alcotest.(check int) "worklist deduplicated" 1
+    (List.length (Core.Frontend.corrupt_fetches fe));
+  Alcotest.(check int) "hook fires once per (replica, term)" 1 (List.length !events);
+  (* mark_repaired clears the entry exactly once. *)
+  Alcotest.(check bool) "mark_repaired clears" true
+    (Core.Frontend.mark_repaired fe ~replica:"a" ~term:"ba");
+  Alcotest.(check (list reject)) "worklist empty" []
+    (Core.Frontend.corrupt_fetches fe |> List.map (fun _ -> assert false));
+  Alcotest.(check bool) "second mark_repaired is false" false
+    (Core.Frontend.mark_repaired fe ~replica:"a" ~term:"ba");
+  Alcotest.(check bool) "unknown entry is false" false
+    (Core.Frontend.mark_repaired fe ~replica:"b" ~term:"ba")
+
 let test_validation () =
   let p = Lazy.force prepared in
   let invalid f = match f () with _ -> false | exception Invalid_argument _ -> true in
@@ -183,5 +246,7 @@ let suite =
       test_breaker_recloses_after_good_probe;
     Alcotest.test_case "failed probe reopens breaker" `Quick test_failed_probe_reopens;
     Alcotest.test_case "unroutable terms degrade" `Quick test_unroutable_terms_degrade;
+    Alcotest.test_case "corrupt fetch recorded and hedged" `Quick
+      test_corrupt_fetch_recorded_and_hedged;
     Alcotest.test_case "validation" `Quick test_validation;
   ]

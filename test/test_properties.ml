@@ -248,6 +248,47 @@ let prop_compact_preserves =
            live true
       && Mneme.Check.ok (Mneme.Check.run compacted))
 
+(* --- Bit rot with a surviving copy always scrubs back to health ------- *)
+
+(* One replicated workload shared across cases (building it dominates the
+   cost); each case rots a random set of (segment, member) pairs — never
+   every member of a segment, so a verified source survives — then heals
+   the group and audits full convergence.  A passing case provably
+   restores the byte-identical pre-rot state, so reuse is sound. *)
+let scrub_scenario =
+  lazy (Core.Torture.build_scrub_scenario ~seed:42 ~docs:8 ~batches:2 ~standbys:2 ())
+
+let rot_plan_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 6)
+      (triple (int_range 0 999) (int_range 0 999) (pair (int_range 1 3) (int_range 0 9999))))
+
+let prop_scrub_heals_random_rot =
+  QCheck.Test.make ~name:"random bit rot with a healthy copy scrubs back to health"
+    ~count:15 (QCheck.make rot_plan_gen)
+    (fun picks ->
+      let scn = Lazy.force scrub_scenario in
+      let nseg = Core.Torture.scenario_segments scn in
+      let members = Array.of_list (Core.Torture.scenario_member_names scn) in
+      let nmem = Array.length members in
+      let chosen = Hashtbl.create 8 in
+      let per_seg = Hashtbl.create 8 in
+      List.iter
+        (fun (s_raw, m_raw, (bits, seed)) ->
+          let s = s_raw mod nseg and m = m_raw mod nmem in
+          let damaged = try Hashtbl.find per_seg s with Not_found -> 0 in
+          if (not (Hashtbl.mem chosen (s, m))) && damaged < nmem - 1 then begin
+            Hashtbl.replace chosen (s, m) (bits, seed);
+            Hashtbl.replace per_seg s (damaged + 1)
+          end)
+        picks;
+      Hashtbl.iter
+        (fun (s, m) (bits, seed) ->
+          Core.Torture.scenario_rot scn ~member:members.(m) ~segment:s ~bits ~seed ())
+        chosen;
+      let healed, failures = Core.Torture.heal_group scn in
+      failures = [] && healed >= 1 && Core.Torture.audit_scenario scn = [])
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_chain_model;
@@ -258,4 +299,5 @@ let suite =
     QCheck_alcotest.to_alcotest prop_parser_total;
     QCheck_alcotest.to_alcotest prop_sigfile_no_false_negatives;
     QCheck_alcotest.to_alcotest prop_compact_preserves;
+    QCheck_alcotest.to_alcotest prop_scrub_heals_random_rot;
   ]

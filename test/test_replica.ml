@@ -162,6 +162,149 @@ let test_attach_validation () =
     | _ -> false
     | exception Failure _ -> true)
 
+let test_resync_rejoins_stream () =
+  let _vfs, store, pool = make_primary () in
+  let rep =
+    Mneme.Replica.attach store
+      ~standbys:[ ("alpha", Vfs.create ()); ("beta", Vfs.create ()) ]
+  in
+  let mirror = ref [] in
+  commit_batch store pool ~batch:1 ~n:2 mirror;
+  Mneme.Replica.corrupt_next_shipment rep ~name:"beta";
+  commit_batch store pool ~batch:2 ~n:2 mirror;
+  let by_name n = List.find (fun i -> i.Mneme.Replica.name = n) (Mneme.Replica.info rep) in
+  Alcotest.(check bool) "beta fell out" false (by_name "beta").Mneme.Replica.healthy;
+  (* Re-bootstrap: beta copies the primary afresh and rejoins the
+     stream at the primary's LSN. *)
+  Mneme.Replica.resync rep ~name:"beta";
+  let beta = by_name "beta" in
+  Alcotest.(check bool) "healthy after resync" true beta.Mneme.Replica.healthy;
+  Alcotest.(check (option string)) "no reason once healthy" None beta.Mneme.Replica.reason;
+  Alcotest.(check int) "caught up to the primary" 2 beta.Mneme.Replica.applied_lsn;
+  check_contents "beta" (open_standby (Mneme.Replica.standby_vfs rep ~name:"beta")) !mirror;
+  (* And it applies later batches again. *)
+  commit_batch store pool ~batch:3 ~n:2 mirror;
+  Alcotest.(check int) "applies again" 3 (by_name "beta").Mneme.Replica.applied_lsn;
+  check_contents "beta" (open_standby (Mneme.Replica.standby_vfs rep ~name:"beta")) !mirror
+
+let test_reason_tracks_health () =
+  let _vfs, store, pool = make_primary () in
+  let rep = Mneme.Replica.attach store ~standbys:[ ("alpha", Vfs.create ()) ] in
+  let mirror = ref [] in
+  let audit stage =
+    List.iter
+      (fun i ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: reason iff unhealthy (%s)" stage i.Mneme.Replica.name)
+          (not i.Mneme.Replica.healthy)
+          (i.Mneme.Replica.reason <> None))
+      (Mneme.Replica.info rep)
+  in
+  audit "fresh";
+  commit_batch store pool ~batch:1 ~n:2 mirror;
+  audit "after commit";
+  Mneme.Replica.pause rep ~name:"alpha";
+  audit "paused";
+  Mneme.Replica.corrupt_next_shipment rep ~name:"alpha";
+  Mneme.Replica.resume rep ~name:"alpha";
+  commit_batch store pool ~batch:2 ~n:2 mirror;
+  audit "after rejection";
+  Alcotest.(check bool) "rejection observed" false
+    (List.hd (Mneme.Replica.info rep)).Mneme.Replica.healthy;
+  Mneme.Replica.resync rep ~name:"alpha";
+  audit "after resync"
+
+(* Flip bits inside [file]'s extent [off, off+len) on [vfs] — on-disk
+   rot, durable image included. *)
+let rot vfs ~off ~len ~seed =
+  Vfs.purge_os_cache vfs;
+  Vfs.set_fault vfs
+    (Vfs.Fault.flip_bits_on_read ~io:1 ~seed ~first:off ~last:(off + len - 1) ());
+  let f = Vfs.open_file vfs file in
+  ignore (Vfs.read f ~off ~len:1);
+  Vfs.clear_fault vfs
+
+let first_segment pool =
+  match Mneme.Store.pool_segments pool with
+  | (pseg, (off, len)) :: _ -> (pseg, off, len)
+  | [] -> Alcotest.fail "no flushed segment"
+
+let test_heal_segment_primary_rot () =
+  let vfs, store, pool = make_primary () in
+  let rep =
+    Mneme.Replica.attach store
+      ~standbys:[ ("alpha", Vfs.create ()); ("beta", Vfs.create ()) ]
+  in
+  let mirror = ref [] in
+  commit_batch store pool ~batch:1 ~n:3 mirror;
+  let pseg, off, len = first_segment pool in
+  rot vfs ~off ~len ~seed:11;
+  Alcotest.(check bool) "scrub sees the rot" false (Mneme.Scrub.run store = []);
+  (match Mneme.Replica.heal_segment rep ~store ~pool:"medium" ~pseg with
+  | Ok src ->
+    Alcotest.(check bool) "healed from a standby, not the rotten primary" true
+      (src <> "primary")
+  | Error e -> Alcotest.fail ("heal failed: " ^ e));
+  Alcotest.(check (list reject)) "primary scrubs clean" [] (Mneme.Scrub.run store);
+  Alcotest.(check bool) "segment CRC verifies again" true
+    (Mneme.Store.verify_segment_crc pool pseg);
+  check_contents "primary" store !mirror
+
+let test_heal_segment_standby_rot () =
+  let _vfs, store, pool = make_primary () in
+  let rep = Mneme.Replica.attach store ~standbys:[ ("alpha", Vfs.create ()) ] in
+  let mirror = ref [] in
+  commit_batch store pool ~batch:1 ~n:3 mirror;
+  let pseg, off, len = first_segment pool in
+  let svfs = Mneme.Replica.standby_vfs rep ~name:"alpha" in
+  rot svfs ~off ~len ~seed:13;
+  Alcotest.(check bool) "standby copy rotted" false
+    (Mneme.Scrub.run (open_standby svfs) = []);
+  (match Mneme.Replica.heal_segment rep ~store ~pool:"medium" ~pseg with
+  | Ok src -> Alcotest.(check string) "healed from the primary's copy" "primary" src
+  | Error e -> Alcotest.fail ("heal failed: " ^ e));
+  (* The journaled rewrite shipped to the standby and converged it. *)
+  let standby = open_standby svfs in
+  Alcotest.(check (list reject)) "standby scrubs clean" [] (Mneme.Scrub.run standby);
+  check_contents "alpha" standby !mirror
+
+let test_heal_transit_corruption_falls_through () =
+  let _vfs, store, pool = make_primary () in
+  let rep =
+    Mneme.Replica.attach store
+      ~standbys:[ ("alpha", Vfs.create ()); ("beta", Vfs.create ()) ]
+  in
+  let mirror = ref [] in
+  commit_batch store pool ~batch:1 ~n:3 mirror;
+  let pseg, off, len = first_segment pool in
+  let bvfs = Mneme.Replica.standby_vfs rep ~name:"beta" in
+  rot bvfs ~off ~len ~seed:17;
+  (* The first transfer (from the primary) is damaged in transit; the
+     envelope rejects it and the heal falls through to alpha's copy. *)
+  Mneme.Replica.corrupt_next_transfer rep;
+  (match Mneme.Replica.heal_segment rep ~store ~pool:"medium" ~pseg with
+  | Ok src -> Alcotest.(check string) "fell through to the next source" "alpha" src
+  | Error e -> Alcotest.fail ("heal failed: " ^ e));
+  Alcotest.(check (list reject)) "beta converged anyway" []
+    (Mneme.Scrub.run (open_standby bvfs))
+
+let test_heal_no_verified_source () =
+  let vfs, store, pool = make_primary () in
+  let rep = Mneme.Replica.attach store ~standbys:[ ("alpha", Vfs.create ()) ] in
+  let mirror = ref [] in
+  commit_batch store pool ~batch:1 ~n:3 mirror;
+  let pseg, off, len = first_segment pool in
+  (* Every copy of the segment rots: there is nothing to heal from. *)
+  rot vfs ~off ~len ~seed:19;
+  rot (Mneme.Replica.standby_vfs rep ~name:"alpha") ~off ~len ~seed:23;
+  (match Mneme.Replica.heal_segment rep ~store ~pool:"medium" ~pseg with
+  | Ok src -> Alcotest.fail ("heal claimed success from " ^ src)
+  | Error _ -> ());
+  (* The mismatched payloads were never applied: the segment is still
+     (detectably) corrupt, not silently overwritten. *)
+  Alcotest.(check bool) "primary still corrupt" false
+    (Mneme.Store.verify_segment_crc pool pseg)
+
 let suite =
   [
     Alcotest.test_case "shipping keeps standbys identical" `Quick
@@ -171,4 +314,13 @@ let suite =
     Alcotest.test_case "promotion after primary crash" `Quick
       test_promotion_after_primary_crash;
     Alcotest.test_case "attach validation" `Quick test_attach_validation;
+    Alcotest.test_case "resync rejoins the stream" `Quick test_resync_rejoins_stream;
+    Alcotest.test_case "reason tracks health" `Quick test_reason_tracks_health;
+    Alcotest.test_case "heal primary rot from a standby" `Quick test_heal_segment_primary_rot;
+    Alcotest.test_case "heal standby rot from the primary" `Quick
+      test_heal_segment_standby_rot;
+    Alcotest.test_case "transit corruption falls through" `Quick
+      test_heal_transit_corruption_falls_through;
+    Alcotest.test_case "no verified source leaves rot in place" `Quick
+      test_heal_no_verified_source;
   ]

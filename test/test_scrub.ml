@@ -1,0 +1,212 @@
+(* Budgeted background scrubbing: census, incremental verification,
+   damage detection, and peer-sourced repair. *)
+
+let file = "scrub.mneme"
+
+let build_store vfs =
+  let store = Mneme.Store.create vfs file in
+  let pools =
+    List.map
+      (fun policy ->
+        let pool = Mneme.Store.add_pool store policy in
+        Mneme.Store.attach_buffer pool
+          (Mneme.Buffer_pool.create ~name:policy.Mneme.Policy.name ~capacity:500_000 ());
+        pool)
+      [ Mneme.Policy.small; Mneme.Policy.medium; Mneme.Policy.large ]
+  in
+  let small, medium, large =
+    match pools with [ s; m; l ] -> (s, m, l) | _ -> assert false
+  in
+  for i = 0 to 99 do
+    if i mod 3 = 0 then ignore (Mneme.Store.allocate small (Bytes.make (i mod 12) 'x'))
+    else if i mod 3 = 1 then ignore (Mneme.Store.allocate medium (Bytes.make (100 + i) 'y'))
+    else ignore (Mneme.Store.allocate large (Bytes.make (5000 + i) 'z'))
+  done;
+  Mneme.Store.finalize store;
+  store
+
+let census store =
+  Mneme.Store.pools store
+  |> List.concat_map (fun pool ->
+         List.map (fun (id, extent) -> (Mneme.Store.pool_name pool, id, extent))
+           (Mneme.Store.pool_segments pool))
+
+(* On-disk rot: flip one bit inside the extent, durable image included. *)
+let rot vfs ~off ~len ~seed =
+  Vfs.purge_os_cache vfs;
+  Vfs.set_fault vfs
+    (Vfs.Fault.flip_bits_on_read ~io:1 ~seed ~first:off ~last:(off + len - 1) ());
+  let f = Vfs.open_file vfs file in
+  ignore (Vfs.read f ~off ~len:1);
+  Vfs.clear_fault vfs
+
+let test_census_and_full_pass () =
+  let vfs = Vfs.create () in
+  let store = build_store vfs in
+  let total = List.length (census store) in
+  Alcotest.(check bool) "several segments to walk" true (total > 3);
+  let s = Mneme.Scrub.create store in
+  let p0 = Mneme.Scrub.progress s in
+  Alcotest.(check int) "census total" total p0.Mneme.Scrub.total;
+  Alcotest.(check int) "nothing scanned yet" 0 p0.Mneme.Scrub.scanned;
+  Alcotest.(check bool) "not complete" false p0.Mneme.Scrub.complete;
+  let p = Mneme.Scrub.step s in
+  Alcotest.(check int) "one unbudgeted step scans everything" total p.Mneme.Scrub.scanned;
+  Alcotest.(check bool) "complete" true p.Mneme.Scrub.complete;
+  Alcotest.(check bool) "bytes accounted" true (p.Mneme.Scrub.scanned_bytes > 0);
+  Alcotest.(check (list reject)) "clean store, empty worklist" [] (Mneme.Scrub.damages s);
+  (* A completed pass is a no-op until restarted. *)
+  let p' = Mneme.Scrub.step s in
+  Alcotest.(check int) "no-op once complete" total p'.Mneme.Scrub.scanned
+
+let test_budgeted_resumable_walk () =
+  let vfs = Vfs.create () in
+  let store = build_store vfs in
+  let total = List.length (census store) in
+  let s = Mneme.Scrub.create store in
+  let steps = ref 0 in
+  while not (Mneme.Scrub.progress s).Mneme.Scrub.complete do
+    let before = (Mneme.Scrub.progress s).Mneme.Scrub.scanned in
+    let p = Mneme.Scrub.step ~max_segments:2 s in
+    incr steps;
+    Alcotest.(check bool) "every step makes progress" true (p.Mneme.Scrub.scanned > before);
+    Alcotest.(check bool) "segment budget respected" true (p.Mneme.Scrub.scanned - before <= 2)
+  done;
+  Alcotest.(check int) "steps cover the census" ((total + 1) / 2) !steps;
+  (* A byte budget always verifies at least one segment, so tiny budgets
+     still terminate. *)
+  let s2 = Mneme.Scrub.create store in
+  let guard = ref 0 in
+  while not (Mneme.Scrub.progress s2).Mneme.Scrub.complete && !guard < 10_000 do
+    ignore (Mneme.Scrub.step ~max_bytes:1 s2);
+    incr guard
+  done;
+  Alcotest.(check int) "1-byte budget = one segment per step" total !guard;
+  Alcotest.(check bool) "non-positive budget rejected" true
+    (match Mneme.Scrub.step ~max_segments:0 (Mneme.Scrub.create store) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_detects_rot_in_walk_order () =
+  let vfs = Vfs.create () in
+  let store = build_store vfs in
+  let all = census store in
+  (* Rot the third segment of the walk. *)
+  let pname, pseg, (off, len) = List.nth all 2 in
+  rot vfs ~off ~len ~seed:5;
+  let damages = Mneme.Scrub.run store in
+  (match damages with
+  | [ d ] ->
+    Alcotest.(check string) "pool" pname d.Mneme.Scrub.pool;
+    Alcotest.(check int) "pseg" pseg d.Mneme.Scrub.pseg;
+    Alcotest.(check int) "off" off d.Mneme.Scrub.off;
+    Alcotest.(check int) "len" len d.Mneme.Scrub.len;
+    Alcotest.(check (option (of_pp (fun fmt d -> Format.fprintf fmt "%d" d.Mneme.Scrub.crc))))
+      "matches damage_of_segment" (Some d)
+      (Mneme.Scrub.damage_of_segment store ~pool:pname ~pseg)
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 damage, got %d" (List.length l)));
+  (* The buffered copy may still be clean: scrubbing must re-verify from
+     disk, and a restart clears the worklist for the next pass. *)
+  let s = Mneme.Scrub.create store in
+  ignore (Mneme.Scrub.step s);
+  Alcotest.(check int) "worklist carries the damage" 1 (List.length (Mneme.Scrub.damages s));
+  Mneme.Scrub.restart s;
+  Alcotest.(check (list reject)) "restart clears the worklist" [] (Mneme.Scrub.damages s);
+  Alcotest.(check int) "fresh pass finds it again" 1
+    (List.length
+       (let _ = Mneme.Scrub.step s in
+        Mneme.Scrub.damages s))
+
+let test_damage_of_segment_unknown () =
+  let vfs = Vfs.create () in
+  let store = build_store vfs in
+  Alcotest.(check bool) "unknown pool" true
+    (Mneme.Scrub.damage_of_segment store ~pool:"nope" ~pseg:0 = None);
+  Alcotest.(check bool) "unknown pseg" true
+    (Mneme.Scrub.damage_of_segment store ~pool:"medium" ~pseg:99_999 = None)
+
+let test_verified_bytes () =
+  let vfs = Vfs.create () in
+  let store = build_store vfs in
+  let pname, pseg, (off, len) = List.nth (census store) 1 in
+  let d = Option.get (Mneme.Scrub.damage_of_segment store ~pool:pname ~pseg) in
+  (* A healthy peer copy verifies. *)
+  let peer = Vfs.create () in
+  Vfs.copy_file vfs file ~into:peer;
+  (match Mneme.Scrub.verified_bytes peer ~file d with
+  | Some b -> Alcotest.(check int) "extent length" len (Bytes.length b)
+  | None -> Alcotest.fail "healthy peer rejected");
+  (* A rotten peer, a short file and a missing file do not. *)
+  rot peer ~off ~len ~seed:3;
+  Alcotest.(check bool) "rotten peer rejected" true
+    (Mneme.Scrub.verified_bytes peer ~file d = None);
+  let short = Vfs.create () in
+  ignore (Vfs.append (Vfs.open_file short file) (Bytes.make (off + 1) 'x'));
+  Alcotest.(check bool) "short peer rejected" true
+    (Mneme.Scrub.verified_bytes short ~file d = None);
+  Alcotest.(check bool) "missing peer rejected" true
+    (Mneme.Scrub.verified_bytes (Vfs.create ()) ~file d = None)
+
+let test_heal_from_peer () =
+  let vfs = Vfs.create () in
+  let store = build_store vfs in
+  let peer = Vfs.create () in
+  Vfs.copy_file vfs file ~into:peer;
+  let _, _, (off, len) = List.nth (census store) 0 in
+  rot vfs ~off ~len ~seed:7;
+  let d = match Mneme.Scrub.run store with [ d ] -> d | _ -> Alcotest.fail "rot not found" in
+  (* A rotten source is skipped, the healthy one is used. *)
+  let rotten = Vfs.create () in
+  Vfs.copy_file vfs file ~into:rotten;
+  (match
+     Mneme.Scrub.heal store ~sources:[ ("rotten", rotten); ("peer", peer) ] d
+   with
+  | Ok src -> Alcotest.(check string) "healed from the verified source" "peer" src
+  | Error e -> Alcotest.fail ("heal failed: " ^ e));
+  Alcotest.(check (list reject)) "store scrubs clean after heal" [] (Mneme.Scrub.run store);
+  (* With no verified source the segment is left untouched. *)
+  rot vfs ~off ~len ~seed:11;
+  let d2 = match Mneme.Scrub.run store with [ d ] -> d | _ -> Alcotest.fail "rot not found" in
+  (match Mneme.Scrub.heal store ~sources:[ ("rotten", rotten) ] d2 with
+  | Ok src -> Alcotest.fail ("heal claimed success from " ^ src)
+  | Error _ -> ());
+  Alcotest.(check int) "still damaged" 1 (List.length (Mneme.Scrub.run store))
+
+let test_repair_segment_validation () =
+  let vfs = Vfs.create () in
+  let store = build_store vfs in
+  let medium = Mneme.Store.pool store "medium" in
+  let pseg, (_, len) =
+    match Mneme.Store.pool_segments medium with e :: _ -> e | [] -> Alcotest.fail "no pseg"
+  in
+  Alcotest.(check bool) "unknown pseg is an Error" true
+    (Result.is_error (Mneme.Store.repair_segment medium ~pseg:99_999 (Bytes.create 8)));
+  Alcotest.(check bool) "wrong length is an Error" true
+    (Result.is_error (Mneme.Store.repair_segment medium ~pseg (Bytes.create (len + 1))));
+  Alcotest.(check bool) "wrong CRC is never applied" true
+    (Result.is_error (Mneme.Store.repair_segment medium ~pseg (Bytes.make len '\255')));
+  Alcotest.(check bool) "store still clean" true (Mneme.Scrub.run store = [])
+
+let test_stale_damage_record () =
+  let vfs = Vfs.create () in
+  let store = build_store vfs in
+  let pname, pseg, _ = List.nth (census store) 0 in
+  let d = Option.get (Mneme.Scrub.damage_of_segment store ~pool:pname ~pseg) in
+  let stale = { d with Mneme.Scrub.crc = d.Mneme.Scrub.crc + 1 } in
+  let peer = Vfs.create () in
+  Vfs.copy_file vfs file ~into:peer;
+  match Mneme.Scrub.heal store ~sources:[ ("peer", peer) ] stale with
+  | Ok src -> Alcotest.fail ("stale record healed from " ^ src)
+  | Error e -> Alcotest.(check bool) "stale record named" true (Str_find.contains e "stale")
+
+let suite =
+  [
+    Alcotest.test_case "census and full pass" `Quick test_census_and_full_pass;
+    Alcotest.test_case "budgeted resumable walk" `Quick test_budgeted_resumable_walk;
+    Alcotest.test_case "detects rot in walk order" `Quick test_detects_rot_in_walk_order;
+    Alcotest.test_case "damage_of_segment unknown" `Quick test_damage_of_segment_unknown;
+    Alcotest.test_case "verified bytes" `Quick test_verified_bytes;
+    Alcotest.test_case "heal from peer" `Quick test_heal_from_peer;
+    Alcotest.test_case "repair segment validation" `Quick test_repair_segment_validation;
+    Alcotest.test_case "stale damage record" `Quick test_stale_damage_record;
+  ]

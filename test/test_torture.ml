@@ -69,6 +69,40 @@ let prop_random_failover_point_consistent =
       let r = Core.Torture.run_failover_point plan k in
       r.Core.Torture.problems = [])
 
+(* --- scrub torture ------------------------------------------------- *)
+
+let test_scrub_sweep_heals_every_segment () =
+  let o = Core.Torture.run_scrub ~seed:42 ~docs:8 ~batches:2 ~standbys:1 () in
+  Alcotest.(check bool)
+    (Format.asprintf "%a" Core.Torture.pp_scrub_outcome o)
+    true (Core.Torture.scrub_ok o);
+  Alcotest.(check bool) "several segments swept" true (o.Core.Torture.sc_segments > 2);
+  Alcotest.(check int) "primary plus standby" 2 o.Core.Torture.sc_members;
+  Alcotest.(check int) "one heal per rotted segment" o.Core.Torture.sc_segments
+    o.Core.Torture.sc_healed;
+  Alcotest.(check bool) "crash-during-repair points exercised" true
+    (o.Core.Torture.sc_crash_points > 0)
+
+let test_scrub_budget_sweep_tradeoff () =
+  let rows =
+    Core.Torture.scrub_budget_sweep ~seed:42 ~docs:8 ~batches:2
+      ~budgets:[ 1024; 1 lsl 20 ] ()
+  in
+  match rows with
+  | [ small; big ] ->
+    (* A tighter byte budget takes at least as many steps to find the
+       rot, but never a longer single stall, than an effectively
+       unbounded one. *)
+    Alcotest.(check bool) "tight budget takes more steps" true
+      (small.Core.Torture.sw_steps >= big.Core.Torture.sw_steps);
+    Alcotest.(check int) "unbounded budget detects in one step" 1
+      big.Core.Torture.sw_steps;
+    Alcotest.(check bool) "stall bounded by the budget" true
+      (small.Core.Torture.sw_stall_ms <= big.Core.Torture.sw_stall_ms);
+    Alcotest.(check bool) "repair costs I/O time" true
+      (small.Core.Torture.sw_heal_ms > 0.0)
+  | l -> Alcotest.failf "expected 2 sweep rows, got %d" (List.length l)
+
 (* --- media corruption --------------------------------------------- *)
 
 (* A store whose objects live in known, distinct segments. *)
@@ -219,6 +253,9 @@ let suite =
     Alcotest.test_case "every failover point serves committed prefix" `Quick
       test_every_failover_point_serves_committed_prefix;
     QCheck_alcotest.to_alcotest prop_random_failover_point_consistent;
+    Alcotest.test_case "scrub sweep heals every segment" `Quick
+      test_scrub_sweep_heals_every_segment;
+    Alcotest.test_case "scrub budget sweep tradeoff" `Quick test_scrub_budget_sweep_tradeoff;
     Alcotest.test_case "bit flip raises Corrupt" `Quick test_bit_flip_raises_corrupt;
     Alcotest.test_case "clean store passes CRC check" `Quick test_clean_store_passes_crc_check;
     Alcotest.test_case "engine salvages corrupt term" `Quick test_engine_salvages_corrupt_term;

@@ -299,6 +299,72 @@ let test_bit_flip_on_read () =
   Vfs.purge_os_cache vfs;
   Alcotest.(check bytes) "damage persists" corrupted (Vfs.read f ~off:0 ~len:32)
 
+let popcount b =
+  let n = ref 0 in
+  for i = 0 to 7 do
+    if Char.code b land (1 lsl i) <> 0 then incr n
+  done;
+  !n
+
+let test_flip_bits_ranged () =
+  let vfs = make () in
+  let f = Vfs.open_file vfs "a" in
+  let original = Bytes.make 256 'x' in
+  ignore (Vfs.append f original);
+  Vfs.fsync f;
+  Vfs.purge_os_cache vfs;
+  (* Five distinct bits, all confined to bytes 64..127. *)
+  Vfs.set_fault vfs (Vfs.Fault.flip_bits_on_read ~io:1 ~seed:9 ~first:64 ~last:127 ~bits:5 ());
+  let corrupted = Vfs.read f ~off:0 ~len:256 in
+  let flipped = ref 0 in
+  for i = 0 to 255 do
+    let d = popcount (Char.chr (Char.code (Bytes.get corrupted i) lxor Char.code (Bytes.get original i))) in
+    if d > 0 then begin
+      Alcotest.(check bool) (Printf.sprintf "byte %d inside the target range" i) true
+        (i >= 64 && i <= 127);
+      flipped := !flipped + d
+    end
+  done;
+  Alcotest.(check int) "exactly 5 distinct bits flipped" 5 !flipped;
+  (* Media damage: the durable image carries the same rot. *)
+  Vfs.clear_fault vfs;
+  let img = Vfs.crash_image vfs in
+  let g = Vfs.open_file img "a" in
+  Alcotest.(check bytes) "durable image rotted identically" corrupted (Vfs.read g ~off:0 ~len:256)
+
+let test_flip_bits_clamped_and_write_blind () =
+  let vfs = make () in
+  let f = Vfs.open_file vfs "a" in
+  ignore (Vfs.append f (Bytes.make 16 'x'));
+  Vfs.fsync f;
+  (* A range reaching past EOF is clamped to the file. *)
+  Vfs.purge_os_cache vfs;
+  Vfs.set_fault vfs (Vfs.Fault.flip_bits_on_read ~io:1 ~seed:3 ~first:8 ~last:1000 ~bits:2 ());
+  let b = Vfs.read f ~off:0 ~len:16 in
+  Alcotest.(check bytes) "head untouched" (Bytes.make 8 'x') (Bytes.sub b 0 8);
+  Alcotest.(check bool) "tail rotted" false (Bytes.equal (Bytes.sub b 8 8) (Bytes.make 8 'x'));
+  (* The plan only fires on reads: a write at the fault I/O is clean. *)
+  let vfs2 = make () in
+  let g = Vfs.open_file vfs2 "a" in
+  ignore (Vfs.append g (Bytes.make 16 'y'));
+  Vfs.set_fault vfs2 (Vfs.Fault.flip_bits_on_read ~io:1 ~seed:3 ~first:0 ~last:15 ());
+  Vfs.fsync g;
+  Vfs.clear_fault vfs2;
+  Vfs.purge_os_cache vfs2;
+  Alcotest.(check bytes) "write I/Os are not rotted" (Bytes.make 16 'y')
+    (Vfs.read g ~off:0 ~len:16)
+
+let test_flip_bits_validation () =
+  let rejects f = match f () with _ -> false | exception Invalid_argument _ -> true in
+  Alcotest.(check bool) "io must be >= 1" true
+    (rejects (fun () -> Vfs.Fault.flip_bits_on_read ~io:0 ~seed:1 ~first:0 ~last:7 ()));
+  Alcotest.(check bool) "first must be >= 0" true
+    (rejects (fun () -> Vfs.Fault.flip_bits_on_read ~io:1 ~seed:1 ~first:(-1) ~last:7 ()));
+  Alcotest.(check bool) "last must be >= first" true
+    (rejects (fun () -> Vfs.Fault.flip_bits_on_read ~io:1 ~seed:1 ~first:8 ~last:7 ()));
+  Alcotest.(check bool) "bits must be >= 1" true
+    (rejects (fun () -> Vfs.Fault.flip_bits_on_read ~io:1 ~seed:1 ~first:0 ~last:7 ~bits:0 ()))
+
 let test_truncate_evicts_dropped_blocks () =
   let vfs = make () in
   let bs = (Vfs.cost_model vfs).Vfs.Cost_model.block_size in
@@ -451,6 +517,10 @@ let suite =
     Alcotest.test_case "crash_at_io raises" `Quick test_crash_at_io_raises;
     Alcotest.test_case "torn fsync persists prefix" `Quick test_torn_fsync_persists_prefix;
     Alcotest.test_case "bit flip on read" `Quick test_bit_flip_on_read;
+    Alcotest.test_case "ranged multi-bit flip" `Quick test_flip_bits_ranged;
+    Alcotest.test_case "flip bits clamped, write-blind" `Quick
+      test_flip_bits_clamped_and_write_blind;
+    Alcotest.test_case "flip bits validation" `Quick test_flip_bits_validation;
     Alcotest.test_case "truncate evicts dropped blocks" `Quick test_truncate_evicts_dropped_blocks;
     Alcotest.test_case "delete file drops dirty" `Quick test_delete_file_drops_dirty;
     Alcotest.test_case "fault io count" `Quick test_fault_io_count;
