@@ -151,6 +151,41 @@ let bench_table6 =
            Mneme.Buffer_pool.fault b ~pseg:(2 + (!counter land 1023)) ~load:(fun () -> seg)));
   ]
 
+(* Top-k pruning: the format-v2 skip-block + max-score DAAT path
+   against exhaustive document-at-a-time evaluation. *)
+let topk_query = "#sum( ba be bi bo bu ce ci co )"
+
+let bench_topk =
+  [
+    Test.make ~name:"topk k=10 (pruned)"
+      (Staged.stage (fun () ->
+           let f = Lazy.force fixture in
+           Core.Engine.run_topk_string ~k:10 f.engine topk_query));
+    Test.make ~name:"topk k=10 (exhaustive)"
+      (Staged.stage (fun () ->
+           let f = Lazy.force fixture in
+           Core.Engine.run_topk_string ~exhaustive:true ~k:10 f.engine topk_query));
+    Test.make ~name:"cursor seek via skip table"
+      (Staged.stage (fun () ->
+           let f = Lazy.force fixture in
+           let cur = Inquery.Postings.cursor f.sample_record in
+           incr counter;
+           Inquery.Postings.cursor_seek cur (1 + (!counter land 1023));
+           Inquery.Postings.cur_doc cur));
+  ]
+
+let topk_summary () =
+  let f = Lazy.force fixture in
+  let ex = Core.Engine.run_topk_string ~exhaustive:true ~k:10 f.engine topk_query in
+  let pr = Core.Engine.run_topk_string ~audit:true ~k:10 f.engine topk_query in
+  Printf.printf
+    "\n[topk pruning, k=10] postings decoded: exhaustive %d, pruned %d (%.2fx); blocks \
+     skipped %d, seeks %d, audit passed\n"
+    ex.Core.Engine.topk_postings_decoded pr.Core.Engine.topk_postings_decoded
+    (float_of_int ex.Core.Engine.topk_postings_decoded
+    /. float_of_int (max 1 pr.Core.Engine.topk_postings_decoded))
+    pr.Core.Engine.topk_blocks_skipped pr.Core.Engine.topk_seeks
+
 let run_micro () =
   let groups =
     [
@@ -158,6 +193,7 @@ let run_micro () =
       ("fig2: query term path", bench_fig2);
       ("tables 3-5: lookup paths", bench_tables345);
       ("table6+fig3: buffer manager", bench_table6);
+      ("topk: pruned vs exhaustive DAAT", bench_topk);
     ]
   in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
@@ -188,7 +224,10 @@ let () =
     | None -> 1.0
   in
   let skip_micro = Sys.getenv_opt "REPRO_SKIP_MICRO" = Some "1" in
-  if not skip_micro then run_micro ();
+  if not skip_micro then begin
+    run_micro ();
+    topk_summary ()
+  end;
   let progress m = Printf.eprintf "  %s\n%!" m in
   Printf.printf "=== Paper reproduction (scale %.2f, simulated 1993 hardware) ===\n%!" scale;
   let ctx = Core.Paper.create_ctx ~progress ~scale () in

@@ -163,12 +163,139 @@ let fsck_cmd =
         Mneme.Store.attach_buffer (Mneme.Store.pool store pname)
           (Mneme.Buffer_pool.create ~name:pname ~capacity:1_048_576 ()))
       [ "small"; "medium"; "large" ];
-    let report = Mneme.Check.run store in
+    (* Every object in the index file is a postings record, so fsck can
+       validate payloads format-aware: header consistency, skip-table
+       invariants, gap monotonicity. *)
+    let report = Mneme.Check.run ~object_check:Inquery.Postings.validate store in
     Format.printf "%a@." Mneme.Check.pp_report report;
-    if not (Mneme.Check.ok report) then exit 1
+    let catalog = Core.Catalog.load prepared.Core.Experiment.vfs ~file:prepared.Core.Experiment.catalog_file in
+    let fetch entry =
+      let locator = entry.Inquery.Dictionary.locator in
+      if locator < 0 then None else Mneme.Store.get_opt store locator
+    in
+    let problems = Core.Catalog.verify_records catalog ~fetch in
+    (match problems with
+    | [] -> Printf.printf "catalog: %d terms cross-checked, clean\n" (Inquery.Dictionary.size catalog.Core.Catalog.dict)
+    | ps ->
+      Printf.printf "catalog: %d problem(s):\n" (List.length ps);
+      List.iter (fun (term, what) -> Printf.printf "  %s: %s\n" term what) ps);
+    if not (Mneme.Check.ok report) || problems <> [] then exit 1
   in
-  let doc = "Build a collection's Mneme store and verify its integrity." in
+  let doc =
+    "Build a collection's Mneme store and verify its integrity, \
+     including postings-format validation of every stored record and a \
+     catalog/record cross-check."
+  in
   Cmd.v (Cmd.info "fsck" ~doc) Term.(const run $ scale_arg $ collection_arg)
+
+(* --- topk --------------------------------------------------------- *)
+
+let topk_cmd =
+  let collections_arg =
+    let doc = "Collections to measure (default: all four)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"COLLECTION" ~doc)
+  in
+  let k_arg =
+    let doc = "Result-list depth for the pruned evaluator." in
+    Arg.(value & opt int 10 & info [ "k" ] ~docv:"K" ~doc)
+  in
+  let queries_arg =
+    let doc = "Evaluate only the first N queries of each set." in
+    Arg.(value & opt (some int) None & info [ "queries" ] ~docv:"N" ~doc)
+  in
+  let audit_arg =
+    let doc =
+      "Re-run the exhaustive evaluator after every pruned query and fail \
+       if the rankings differ in any document or belief."
+    in
+    Arg.(value & flag & info [ "audit" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Also write the per-collection numbers as JSON to FILE." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let run scale names k n_queries audit json_file =
+    if k <= 0 then begin
+      Printf.eprintf "topk: --k must be positive\n";
+      exit 2
+    end;
+    let names =
+      match names with [] -> [ "cacm"; "legal"; "tipster1"; "tipster" ] | ns -> ns
+    in
+    let rows =
+      List.map
+        (fun name ->
+          let model = Collections.Presets.find ~scale name in
+          let prepared = Core.Experiment.prepare ~progress model in
+          let spec = Collections.Presets.topk_queries model in
+          let queries = Collections.Querygen.generate model spec in
+          let queries =
+            match n_queries with
+            | None -> queries
+            | Some n -> List.filteri (fun i _ -> i < n) queries
+          in
+          (* Exhaustive baseline and pruned run use separate engine
+             sessions so buffer state cannot leak between them. *)
+          let exhaustive_decoded = ref 0 in
+          let ex = Core.Experiment.open_engine prepared Core.Experiment.Mneme_cache in
+          List.iter
+            (fun q ->
+              let r = Core.Engine.run_topk_string ~exhaustive:true ~k ex q in
+              exhaustive_decoded := !exhaustive_decoded + r.Core.Engine.topk_postings_decoded)
+            queries;
+          let engine = Core.Experiment.open_engine prepared Core.Experiment.Mneme_cache in
+          let decoded = ref 0 and total = ref 0 in
+          let blocks = ref 0 and seeks = ref 0 and pruned_q = ref 0 in
+          List.iter
+            (fun q ->
+              match Core.Engine.run_topk_string ~audit ~k engine q with
+              | r ->
+                decoded := !decoded + r.Core.Engine.topk_postings_decoded;
+                total := !total + r.Core.Engine.topk_postings_total;
+                blocks := !blocks + r.Core.Engine.topk_blocks_skipped;
+                seeks := !seeks + r.Core.Engine.topk_seeks;
+                if r.Core.Engine.topk_pruned then incr pruned_q
+              | exception Inquery.Infnet.Audit_mismatch msg ->
+                Printf.eprintf "topk: AUDIT FAILED on %s: %s\n  query: %s\n" name msg q;
+                exit 1)
+            queries;
+          (name, List.length queries, !total, !exhaustive_decoded, !decoded, !blocks, !seeks,
+           !pruned_q))
+        names
+    in
+    Printf.printf "%-10s %8s %12s %12s %12s %8s %10s %8s %7s\n" "collection" "queries"
+      "postings" "exhaustive" "pruned" "ratio" "blocks" "seeks" "pruned";
+    List.iter
+      (fun (name, nq, total, ex, dec, blocks, seeks, pq) ->
+        let ratio = if dec > 0 then float_of_int ex /. float_of_int dec else infinity in
+        Printf.printf "%-10s %8d %12d %12d %12d %7.2fx %10d %8d %4d/%d\n" name nq total ex dec
+          ratio blocks seeks pq nq)
+      rows;
+    if audit then Printf.printf "audit: every pruned ranking matched the exhaustive one\n";
+    match json_file with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      let row_json (name, nq, total, ex, dec, blocks, seeks, pq) =
+        Printf.sprintf
+          "  { \"collection\": %S, \"queries\": %d, \"k\": %d, \"postings_total\": %d,\n\
+          \    \"postings_decoded_exhaustive\": %d, \"postings_decoded_pruned\": %d,\n\
+          \    \"blocks_skipped\": %d, \"seeks\": %d, \"queries_pruned\": %d,\n\
+          \    \"audited\": %b }"
+          name nq k total ex dec blocks seeks pq audit
+      in
+      Printf.fprintf oc "[\n%s\n]\n" (String.concat ",\n" (List.map row_json rows));
+      close_out oc;
+      Printf.printf "wrote %s\n" file
+  in
+  let doc =
+    "Measure max-score top-k pruning against exhaustive \
+     document-at-a-time evaluation on the flat (phrase-free) query sets: \
+     postings decoded, skip blocks jumped, and optionally a \
+     result-identity audit."
+  in
+  Cmd.v (Cmd.info "topk" ~doc)
+    Term.(const run $ scale_arg $ collections_arg $ k_arg $ queries_arg $ audit_arg $ json_arg)
 
 (* --- torture ------------------------------------------------------ *)
 
@@ -447,5 +574,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ tables_cmd; ablations_cmd; stats_cmd; run_cmd; query_cmd; fsck_cmd; torture_cmd;
-            failover_cmd; scrub_cmd; frontend_cmd ]))
+          [ tables_cmd; ablations_cmd; stats_cmd; run_cmd; query_cmd; topk_cmd; fsck_cmd;
+            torture_cmd; failover_cmd; scrub_cmd; frontend_cmd ]))

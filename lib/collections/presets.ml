@@ -63,3 +63,26 @@ let query_sets model =
           ~seed:203 () );
     ]
   | other -> invalid_arg ("Presets.query_sets: unknown collection " ^ other)
+
+let topk_queries model =
+  (* Flat, phrase-free variants of each collection's primary set for the
+     top-k pruning experiments: #phrase forces the evaluator onto the
+     exhaustive fallback, so the pruning measurements use the same term
+     pools and lengths with phrase_prob = 0 (and no OOV noise). *)
+  match model.Docmodel.name with
+  | "cacm" ->
+    Querygen.make ~set_name:"cacm-topk" ~n_queries:50 ~mean_terms:8.0 ~pool_size:120
+      ~pool_top_bias:300 ~pool_skew:1.0 ~fresh_prob:0.20 ~oov_prob:0.0 ~phrase_prob:0.0
+      ~structure:Querygen.Flat ~seed:201 ()
+  | "legal" ->
+    Querygen.make ~set_name:"legal-topk" ~n_queries:50 ~mean_terms:10.0 ~pool_size:150
+      ~pool_top_bias:300 ~pool_skew:1.0 ~fresh_prob:0.15 ~phrase_prob:0.0 ~seed:202 ()
+  | "tipster1" | "tipster" ->
+    (* Title-length queries (TREC topics have ~3-8 title terms; the
+       45-term set is the automatically *expanded* form).  Top-k pruning
+       is the short-query optimisation — the expanded-set ablation lives
+       in EXPERIMENTS.md. *)
+    Querygen.make ~set_name:"tipster-topk" ~n_queries:50 ~mean_terms:6.0 ~pool_size:300
+      ~pool_top_bias:450 ~pool_skew:1.0 ~fresh_prob:0.15 ~phrase_prob:0.0 ~weighted:true
+      ~seed:203 ()
+  | other -> invalid_arg ("Presets.topk_queries: unknown collection " ^ other)

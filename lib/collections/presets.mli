@@ -27,6 +27,14 @@ val query_sets : Docmodel.t -> (string * Querygen.spec) list
     phrases and weights), TIPSTER one.  Raises [Invalid_argument] for an
     unknown collection name. *)
 
+val topk_queries : Docmodel.t -> Querygen.spec
+(** A flat, phrase-free variant of the collection's primary query set
+    (same term pool and length distribution, [phrase_prob = 0]), used by
+    the top-k pruning experiments: phrases force {!Inquery.Infnet.eval_topk}
+    onto its exhaustive fallback, so measuring the pruned path needs
+    purely additive queries.  Raises [Invalid_argument] for an unknown
+    collection name. *)
+
 val find : ?scale:float -> string -> Docmodel.t
 (** Model by name ("cacm", "legal", "tipster1", "tipster").
     Raises [Invalid_argument] otherwise. *)

@@ -59,3 +59,30 @@ let load vfs ~file =
     let dict_blob = Bytes.sub b (!pos + 4) dict_len in
     { dict = Inquery.Dictionary.deserialize dict_blob; n_docs; doc_lens; collection_bytes }
   with Invalid_argument _ -> failwith "Catalog.load: corrupt catalog"
+
+(* Cross-check the dictionary against the stored records: every entry
+   with a locator must fetch, parse (either postings version), satisfy
+   the deep structural invariants, and agree with the dictionary's df.
+   Part of fsck — reports, never raises. *)
+let verify_records t ~fetch =
+  let problems = ref [] in
+  let flag term what = problems := (term, what) :: !problems in
+  Inquery.Dictionary.iter t.dict (fun entry ->
+      let term = entry.Inquery.Dictionary.term in
+      match fetch entry with
+      | exception Mneme.Store.Corrupt msg -> flag term ("record unreadable: " ^ msg)
+      | exception Invalid_argument msg -> flag term ("record unreadable: " ^ msg)
+      | exception Failure msg -> flag term ("record unreadable: " ^ msg)
+      | None -> if entry.Inquery.Dictionary.df > 0 then flag term "df > 0 but no stored record"
+      | Some record -> (
+        match Inquery.Postings.validate record with
+        | Error msg -> flag term msg
+        | Ok () ->
+          let df, cf = Inquery.Postings.stats record in
+          if df <> entry.Inquery.Dictionary.df then
+            flag term
+              (Printf.sprintf "dictionary df %d but record df %d" entry.Inquery.Dictionary.df df);
+          if cf <> entry.Inquery.Dictionary.cf then
+            flag term
+              (Printf.sprintf "dictionary cf %d but record cf %d" entry.Inquery.Dictionary.cf cf)));
+  List.rev !problems

@@ -30,3 +30,12 @@ val save : Vfs.t -> file:string -> t -> unit
 
 val load : Vfs.t -> file:string -> t
 (** Raises [Failure] on a missing or corrupt file. *)
+
+val verify_records :
+  t -> fetch:(Inquery.Dictionary.entry -> bytes option) -> (string * string) list
+(** Fsck pass over the index itself: fetch every dictionary entry's
+    record and validate it deeply ({!Inquery.Postings.validate} — header
+    consistency, skip-table invariants, gap monotonicity), then
+    cross-check the record's df/cf against the dictionary.  Returns
+    [(term, problem)] pairs, empty when clean; store-level exceptions
+    from [fetch] become problems — never raises. *)

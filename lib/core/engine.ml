@@ -126,3 +126,49 @@ let run_query ?(top_k = 100) t query =
 let run_query_string ?top_k t text = run_query ?top_k t (Inquery.Query.parse_exn text)
 
 let run_batch t queries = List.map (run_query_string t) queries
+
+type topk_result = {
+  topk_ranked : Inquery.Ranking.ranked list;
+  topk_postings_scored : int;
+  topk_record_lookups : int;
+  topk_pruned : bool;
+  topk_postings_total : int;
+  topk_postings_decoded : int;
+  topk_blocks_skipped : int;
+  topk_seeks : int;
+}
+
+let run_topk ?(audit = false) ?(exhaustive = false) ?(k = 10) t query =
+  let release =
+    if t.reserve then t.store.Index_store.reserve (query_entries t query)
+    else Index_store.no_reserve []
+  in
+  let scored, stats, tk =
+    Fun.protect ~finally:release (fun () ->
+        Inquery.Infnet.eval_topk t.source t.dict ?stopwords:t.stopwords ~stem:t.stem ~audit
+          ~exhaustive ~k query)
+  in
+  let model = Vfs.cost_model t.vfs in
+  let cpu_ms =
+    (float_of_int stats.Inquery.Infnet.postings_scored
+     *. model.Vfs.Cost_model.cpu_ns_per_posting /. 1.0e6)
+    +. (float_of_int stats.Inquery.Infnet.nodes_visited
+        *. model.Vfs.Cost_model.cpu_us_per_query_node /. 1.0e3)
+  in
+  Vfs.Clock.charge_engine_cpu (Vfs.clock t.vfs) cpu_ms;
+  {
+    topk_ranked =
+      List.map
+        (fun s -> { Inquery.Ranking.doc = s.Inquery.Infnet.doc; score = s.Inquery.Infnet.belief })
+        scored;
+    topk_postings_scored = stats.Inquery.Infnet.postings_scored;
+    topk_record_lookups = stats.Inquery.Infnet.record_lookups;
+    topk_pruned = tk.Inquery.Infnet.tk_pruned;
+    topk_postings_total = tk.Inquery.Infnet.tk_postings_total;
+    topk_postings_decoded = tk.Inquery.Infnet.tk_postings_decoded;
+    topk_blocks_skipped = tk.Inquery.Infnet.tk_blocks_skipped;
+    topk_seeks = tk.Inquery.Infnet.tk_seeks;
+  }
+
+let run_topk_string ?audit ?exhaustive ?k t text =
+  run_topk ?audit ?exhaustive ?k t (Inquery.Query.parse_exn text)

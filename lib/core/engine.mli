@@ -84,3 +84,27 @@ val run_query_string : ?top_k:int -> t -> string -> result
 
 val run_batch : t -> string list -> result list
 (** The paper's batch mode: every query of a set, in order. *)
+
+type topk_result = {
+  topk_ranked : Inquery.Ranking.ranked list;
+  topk_postings_scored : int;
+  topk_record_lookups : int;
+  topk_pruned : bool;  (** max-score path ran (vs. exhaustive fallback) *)
+  topk_postings_total : int;
+  topk_postings_decoded : int;
+  topk_blocks_skipped : int;
+  topk_seeks : int;
+}
+
+val run_topk : ?audit:bool -> ?exhaustive:bool -> ?k:int -> t -> Inquery.Query.t -> topk_result
+(** Document-at-a-time top-[k] retrieval through
+    {!Inquery.Infnet.eval_topk}: max-score pruning with skip-block seeks
+    where the query shape allows it, exhaustive fallback otherwise.
+    [audit] re-runs the exhaustive evaluator and raises
+    {!Inquery.Infnet.Audit_mismatch} on any divergence; [exhaustive]
+    forces the fallback (the benchmark baseline).  CPU is charged to the
+    {!Vfs} clock per posting actually scored, so pruning shows up in the
+    simulated timings too. *)
+
+val run_topk_string : ?audit:bool -> ?exhaustive:bool -> ?k:int -> t -> string -> topk_result
+(** Parse and evaluate.  Raises [Invalid_argument] on syntax errors. *)

@@ -307,8 +307,44 @@ let run_query ?(top_k = 100) ?deadline_ms t query =
       doc_len = t.doc_len;
     }
   in
-  let beliefs, stats =
-    Inquery.Infnet.eval source t.dict ?stopwords:t.stopwords ~stem:t.stem query
+  (* Deadline checks continue inside evaluation, between candidate
+     documents (i.e. between postings blocks) rather than only between
+     term fetches: accrued scoring CPU is priced against the remaining
+     budget and evaluation stops mid-stream once it would blow the
+     deadline.  If the fetch phase already blew it, the evidence is paid
+     for — rank it rather than return nothing (same degraded-partial
+     contract as before). *)
+  let stop_model = Vfs.cost_model t.replicas.(0).spec.vfs in
+  let eval_start = ref None in
+  let should_stop (s : Inquery.Infnet.stats) =
+    match deadline_ms with
+    | None -> false
+    | Some d ->
+      let start =
+        match !eval_start with
+        | Some v -> v
+        | None ->
+          eval_start := Some !elapsed;
+          !elapsed
+      in
+      if start >= d then false
+      else begin
+        let cpu =
+          (float_of_int s.Inquery.Infnet.postings_scored
+           *. stop_model.Vfs.Cost_model.cpu_ns_per_posting /. 1.0e6)
+          +. (float_of_int s.Inquery.Infnet.nodes_visited
+              *. stop_model.Vfs.Cost_model.cpu_us_per_query_node /. 1.0e3)
+        in
+        if start +. cpu >= d then begin
+          deadline_hit := true;
+          true
+        end
+        else false
+      end
+  in
+  let scored, stats, tk =
+    Inquery.Infnet.eval_topk source t.dict ?stopwords:t.stopwords ~stem:t.stem ~should_stop
+      ~k:top_k query
   in
   let serving =
     let best = ref 0 in
@@ -326,8 +362,12 @@ let run_query ?(top_k = 100) ?deadline_ms t query =
   advance cpu_ms;
   let skipped_terms = List.rev !skipped and failed_terms = List.rev !failed in
   {
-    ranked = Inquery.Ranking.top_k beliefs ~k:top_k;
-    degraded = !deadline_hit || skipped_terms <> [] || failed_terms <> [];
+    ranked =
+      List.map
+        (fun s -> { Inquery.Ranking.doc = s.Inquery.Infnet.doc; score = s.Inquery.Infnet.belief })
+        scored;
+    degraded =
+      !deadline_hit || tk.Inquery.Infnet.tk_stopped || skipped_terms <> [] || failed_terms <> [];
     deadline_hit = !deadline_hit;
     skipped_terms;
     failed_terms;

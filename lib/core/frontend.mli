@@ -125,10 +125,19 @@ type result = {
 }
 
 val run_query : ?top_k:int -> ?deadline_ms:float -> t -> Inquery.Query.t -> result
-(** Evaluate one parsed query.  With [deadline_ms], the deadline is
-    checked before every record fetch, so a degraded result overshoots
-    the deadline by at most the cost of the fetch in flight when it
-    expired.  Raises [Invalid_argument] on a non-positive deadline. *)
+(** Evaluate one parsed query with the max-score pruned top-k evaluator
+    ({!Inquery.Infnet.eval_topk}): only documents that can still reach
+    the current k-th belief are scored, seeking over skip blocks of
+    non-essential terms.  Results are bit-identical to the exhaustive
+    ranking's first [top_k].
+
+    With [deadline_ms], the deadline is checked before every record
+    fetch {e and} between candidate documents during evaluation (accrued
+    scoring CPU is priced against the budget), so a degraded result
+    overshoots the deadline by at most the cost of the fetch in flight
+    when it expired.  Evidence already fetched when the deadline fires
+    is still ranked.  Raises [Invalid_argument] on a non-positive
+    deadline. *)
 
 val run_query_string : ?top_k:int -> ?deadline_ms:float -> t -> string -> result
 (** Parse and evaluate.  Raises [Invalid_argument] on syntax errors. *)

@@ -10,12 +10,12 @@ let relevant_count = Hashtbl.length
 let is_relevant t doc = Hashtbl.mem t doc
 
 let take k xs =
-  let rec go n = function
-    | [] -> []
-    | _ when n = 0 -> []
-    | x :: rest -> x :: go (n - 1) rest
+  (* Tail-recursive: ranked lists can span a whole collection. *)
+  let rec go n acc = function
+    | x :: rest when n > 0 -> go (n - 1) (x :: acc) rest
+    | _ -> List.rev acc
   in
-  go k xs
+  go k [] xs
 
 let precision_at ranked rel ~k =
   if k <= 0 then invalid_arg "Eval.precision_at: k must be positive";

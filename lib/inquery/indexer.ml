@@ -1,7 +1,6 @@
 type term_acc = {
   entry : Dictionary.entry;
-  buf : Buffer.t; (* compressed per-doc entries, no header *)
-  mutable last_doc : int; (* last doc flushed into [buf], -1 if none *)
+  builder : Postings.Builder.t; (* streaming v2 record under construction *)
   mutable pending : int list; (* current doc's positions, reversed *)
   mutable pending_count : int;
 }
@@ -46,19 +45,14 @@ let acc_for t term =
   | Some acc -> acc
   | None ->
     let acc =
-      { entry; buf = Buffer.create 16; last_doc = -1; pending = []; pending_count = 0 }
+      { entry; builder = Postings.Builder.create (); pending = []; pending_count = 0 }
     in
     t.accs.(entry.Dictionary.id) <- Some acc;
     acc
 
 let flush_pending t acc doc_id =
   if acc.pending_count > 0 then begin
-    let gap = if acc.last_doc < 0 then doc_id else doc_id - acc.last_doc in
-    Util.Varint.encode acc.buf gap;
-    Util.Varint.encode acc.buf acc.pending_count;
-    let positions = List.rev acc.pending in
-    Util.Delta.encode_into acc.buf positions;
-    acc.last_doc <- doc_id;
+    Postings.Builder.add acc.builder ~doc:doc_id ~positions:(List.rev acc.pending);
     acc.entry.Dictionary.df <- acc.entry.Dictionary.df + 1;
     acc.entry.Dictionary.cf <- acc.entry.Dictionary.cf + acc.pending_count;
     t.posting_count <- t.posting_count + 1;
@@ -143,15 +137,7 @@ let avg_doc_length t =
     float_of_int !total /. float_of_int t.doc_count
   end
 
-let record_of_acc acc =
-  let header = Buffer.create 8 in
-  Util.Varint.encode header acc.entry.Dictionary.df;
-  Util.Varint.encode header acc.entry.Dictionary.cf;
-  let body = Buffer.contents acc.buf in
-  let out = Bytes.create (Buffer.length header + String.length body) in
-  Buffer.blit header 0 out 0 (Buffer.length header);
-  Bytes.blit_string body 0 out (Buffer.length header) (String.length body);
-  out
+let record_of_acc acc = Postings.Builder.finish acc.builder
 
 let to_records t =
   let n = Dictionary.size t.dict in

@@ -412,3 +412,309 @@ let eval_daat source dict ?stopwords ?(stem = false) query =
   in
   loop ();
   (List.rev !results, stats)
+
+(* ------------------------------------------------------------------ *)
+(* Max-score top-k document-at-a-time evaluation                       *)
+
+type topk_stats = {
+  tk_pruned : bool;
+  tk_postings_total : int;
+  tk_postings_decoded : int;
+  tk_blocks_skipped : int;
+  tk_seeks : int;
+  tk_stopped : bool;
+}
+
+exception Audit_mismatch of string
+
+let take_n n xs =
+  let rec go n acc = function
+    | x :: tl when n > 0 -> go (n - 1) (x :: acc) tl
+    | _ -> List.rev acc
+  in
+  go n [] xs
+
+(* Score descending, ties toward the smaller doc id — the ranking order
+   every consumer of scored lists uses. *)
+let rank_order a b =
+  if a.belief = b.belief then compare a.doc b.doc else compare b.belief a.belief
+
+(* One leaf of a max-score-evaluable query: a weighted term cursor.  The
+   pruned path only handles flat additive shapes (a bag of terms under
+   #sum/#wsum, or a bare term) because only there is a child's maximum
+   contribution independent of the others; anything else falls back to
+   the exhaustive evaluator. *)
+type lin_leaf = {
+  lc_weight : float;
+  lc_cur : Postings.cursor option; (* None: stop word / OOV / unfetchable *)
+  lc_df : int;
+  lc_ub : float; (* upper-bound belief from df and max_tf *)
+  lc_coeff : float; (* w * 0.6 * idf / norm — contribution scale *)
+  lc_mtf : float; (* max_tf as a float; 0 when the record has no header *)
+}
+
+(* [Some (children, norm)] iff the query scores as
+   (sum_i w_i * b_i) / norm with every child a plain term — bit-for-bit
+   the fold [eval_daat] performs on these shapes. *)
+let linear_shape query =
+  let term_only ns = List.for_all (function Query.Term _ -> true | _ -> false) ns in
+  match query with
+  | Query.Term _ -> Some ([ (1.0, query) ], 1.0)
+  | Query.Sum ns when ns <> [] && term_only ns ->
+    Some (List.map (fun n -> (1.0, n)) ns, float_of_int (List.length ns))
+  | Query.Wsum ps when ps <> [] && term_only (List.map snd ps) ->
+    let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 ps in
+    if total > 0.0 then Some (ps, total) else None
+  | _ -> None
+
+let eval_topk source dict ?stopwords ?(stem = false) ?(audit = false) ?(exhaustive = false)
+    ?(should_stop = fun (_ : stats) -> false) ~k query =
+  if k < 0 then invalid_arg "Infnet.eval_topk: negative k";
+  let fallback () =
+    let results, dstats = eval_daat source dict ?stopwords ~stem query in
+    let heap = Util.Topk.create ~k in
+    List.iter (fun s -> ignore (Util.Topk.offer heap ~doc:s.doc ~score:s.belief)) results;
+    let ranked =
+      List.map
+        (fun e -> { doc = e.Util.Topk.doc; belief = e.Util.Topk.score })
+        (Util.Topk.sorted_desc heap)
+    in
+    ( ranked,
+      dstats,
+      {
+        tk_pruned = false;
+        tk_postings_total = dstats.postings_scored;
+        tk_postings_decoded = dstats.postings_scored;
+        tk_blocks_skipped = 0;
+        tk_seeks = 0;
+        tk_stopped = false;
+      } )
+  in
+  match (if exhaustive then None else linear_shape query) with
+  | None -> fallback ()
+  | Some (children, norm) ->
+    let stats = { postings_scored = 0; nodes_visited = 0; record_lookups = 0 } in
+    let m = List.length children in
+    stats.nodes_visited <- (match query with Query.Term _ -> 1 | _ -> 1 + m);
+    let normalize term =
+      let drop =
+        match stopwords with Some sw -> Stopwords.is_stopword sw term | None -> false
+      in
+      if drop then None else Some (if stem then Stemmer.stem term else term)
+    in
+    let fetch_term w =
+      match normalize w with
+      | None -> None
+      | Some w -> (
+        match Dictionary.find dict w with
+        | None -> None
+        | Some entry ->
+          stats.record_lookups <- stats.record_lookups + 1;
+          source.fetch entry)
+    in
+    let absent w =
+      { lc_weight = w; lc_cur = None; lc_df = 0; lc_ub = default_belief; lc_coeff = 0.0;
+        lc_mtf = 0.0 }
+    in
+    let leaves =
+      Array.of_list
+        (List.map
+           (fun (w, child) ->
+             let term = match child with Query.Term t -> t | _ -> assert false in
+             match fetch_term term with
+             | None -> absent w
+             | Some record ->
+               let df, _ = Postings.stats record in
+               (* tf_w = tf/(tf + 0.5 + 1.5*dl/avg) <= max_tf/(max_tf + 0.5);
+                  without a max_tf header (v1 record) the bound degrades
+                  to the idf-only cap tf_w <= 1. *)
+               let mtf =
+                 match Postings.max_tf record with
+                 | Some mt when mt > 0 -> float_of_int mt
+                 | _ -> 0.0
+               in
+               let tf_bound = if mtf > 0.0 then mtf /. (mtf +. 0.5) else 1.0 in
+               let idf = idf_weight ~n_docs:source.n_docs ~df in
+               let ub = default_belief +. (0.6 *. tf_bound *. idf) in
+               { lc_weight = w; lc_cur = Some (Postings.cursor record); lc_df = df; lc_ub = ub;
+                 lc_coeff = w *. 0.6 *. idf /. norm; lc_mtf = mtf })
+           children)
+    in
+    (* The no-evidence score, by the same fold eval_daat uses. *)
+    let baseline =
+      List.fold_left (fun acc (w, _) -> acc +. (w *. default_belief)) 0.0 children /. norm
+    in
+    let leaf_belief lf d =
+      match lf.lc_cur with
+      | Some cur when Postings.cur_doc cur = d ->
+        stats.postings_scored <- stats.postings_scored + 1;
+        belief ~n_docs:source.n_docs ~df:lf.lc_df ~tf:(Postings.cur_tf cur)
+          ~dl:(source.doc_len d) ~avg_dl:source.avg_doc_len
+      | _ -> default_belief
+    in
+    (* Exact final score, replicating eval_daat's child-order fold so
+       pruned and exhaustive beliefs are bit-identical. *)
+    let final_score d =
+      Array.fold_left (fun acc lf -> acc +. (lf.lc_weight *. leaf_belief lf d)) 0.0 leaves
+      /. norm
+    in
+    (* A leaf's score contribution above baseline, for bounding only. *)
+    let leaf_contrib lf d =
+      match lf.lc_cur with
+      | Some cur when Postings.cur_doc cur = d ->
+        let b =
+          belief ~n_docs:source.n_docs ~df:lf.lc_df ~tf:(Postings.cur_tf cur)
+            ~dl:(source.doc_len d) ~avg_dl:source.avg_doc_len
+        in
+        lf.lc_weight *. (b -. default_belief) /. norm
+      | _ -> 0.0
+    in
+    let n = Array.length leaves in
+    let heap = Util.Topk.create ~k in
+    let thr () =
+      let base = baseline +. 1e-12 in
+      match Util.Topk.threshold heap with Some t -> Float.max t base | None -> base
+    in
+    (* Floating-point slack on upper bounds: a candidate is pruned only
+       when its bound clears the threshold by more than this. *)
+    let margin = 1e-9 in
+    let contrib_bound =
+      Array.map (fun lf -> lf.lc_weight *. (lf.lc_ub -. default_belief) /. norm) leaves
+    in
+    let order = Array.init n (fun i -> i) in
+    Array.sort (fun a b -> compare contrib_bound.(b) contrib_bound.(a)) order;
+    (* rem.(i) = sum of bounds of sorted leaves i.. — what documents
+       containing none of the first i sorted terms can still add. *)
+    let rem = Array.make (n + 1) 0.0 in
+    for i = n - 1 downto 0 do
+      rem.(i) <- contrib_bound.(order.(i)) +. rem.(i + 1)
+    done;
+    (* Leaves order.(ess..) are non-essential: alone they cannot lift a
+       document over the current threshold, so the frontier ignores them
+       and they are only probed via seek.  Monotone: thr only rises. *)
+    (* Per-candidate refinement of [rem]: once a concrete document is on
+       the table its length is known, so the tf bound tightens from
+       max_tf/(max_tf + 0.5) (the dl -> 0 limit) to
+       max_tf/(max_tf + 0.5 + 1.5*dl/avg_dl) — typically ~2x smaller at
+       average length.  Still a true upper bound (tf_weight is monotone
+       in tf and exact in dl), so pruning with it cannot change results;
+       the essential set keeps the global bounds, which must hold for
+       every document. *)
+    let coeff_s = Array.map (fun j -> leaves.(j).lc_coeff) order in
+    let mtf_s = Array.map (fun j -> leaves.(j).lc_mtf) order in
+    let rem_d = Array.make (n + 1) 0.0 in
+    let fill_rem_d d =
+      let dnorm =
+        if source.avg_doc_len > 0.0 then
+          float_of_int (source.doc_len d) /. source.avg_doc_len
+        else 1.0
+      in
+      let kd = 0.5 +. (1.5 *. dnorm) in
+      for i = n - 1 downto 0 do
+        let b =
+          if mtf_s.(i) > 0.0 then coeff_s.(i) *. (mtf_s.(i) /. (mtf_s.(i) +. kd))
+          else coeff_s.(i)
+        in
+        rem_d.(i) <- b +. rem_d.(i + 1)
+      done
+    in
+    let ess = ref n in
+    let update_ess () =
+      let t = thr () in
+      while !ess > 0 && baseline +. rem.(!ess - 1) +. margin <= t do
+        decr ess
+      done
+    in
+    let stopped = ref false in
+    let running = ref true in
+    while !running do
+      if should_stop stats then begin
+        stopped := true;
+        running := false
+      end
+      else begin
+        let ess_now = !ess in
+        let d = ref max_int in
+        for j = 0 to ess_now - 1 do
+          match leaves.(order.(j)).lc_cur with
+          | Some cur ->
+            let cd = Postings.cur_doc cur in
+            if cd < !d then d := cd
+          | None -> ()
+        done;
+        if !d = max_int then running := false
+        else begin
+          let d = !d in
+          if ess_now < n then fill_rem_d d;
+          let acc = ref 0.0 and pruned = ref false and i = ref 0 in
+          while (not !pruned) && !i < n do
+            let lf = leaves.(order.(!i)) in
+            if !i < ess_now then acc := !acc +. leaf_contrib lf d
+            else if baseline +. !acc +. rem_d.(!i) +. margin <= thr () then pruned := true
+            else begin
+              (match lf.lc_cur with
+              | Some cur -> Postings.cursor_seek cur d
+              | None -> ());
+              acc := !acc +. leaf_contrib lf d
+            end;
+            incr i
+          done;
+          let changed = ref false in
+          if not !pruned then begin
+            let s = final_score d in
+            if s > baseline +. 1e-12 then changed := Util.Topk.offer heap ~doc:d ~score:s
+          end;
+          (* Advance past d before the essential set shrinks, so the
+             cursor that supplied this frontier doc always moves. *)
+          for j = 0 to ess_now - 1 do
+            match leaves.(order.(j)).lc_cur with
+            | Some cur when Postings.cur_doc cur = d -> Postings.cursor_next cur
+            | _ -> ()
+          done;
+          if !changed then update_ess ()
+        end
+      end
+    done;
+    let ranked =
+      List.map
+        (fun e -> { doc = e.Util.Topk.doc; belief = e.Util.Topk.score })
+        (Util.Topk.sorted_desc heap)
+    in
+    let total = ref 0 and decoded = ref 0 and blocks = ref 0 and seeks = ref 0 in
+    Array.iter
+      (fun lf ->
+        match lf.lc_cur with
+        | Some cur ->
+          total := !total + Postings.cursor_df cur;
+          decoded := !decoded + Postings.cursor_decoded cur;
+          blocks := !blocks + Postings.cursor_blocks_skipped cur;
+          seeks := !seeks + Postings.cursor_seeks cur
+        | None -> ())
+      leaves;
+    if audit && not !stopped then begin
+      let reference, _ = eval_daat source dict ?stopwords ~stem query in
+      let reference = take_n k (List.sort rank_order reference) in
+      let fail msg = raise (Audit_mismatch msg) in
+      if List.length reference <> List.length ranked then
+        fail
+          (Printf.sprintf "pruned returned %d results, exhaustive %d" (List.length ranked)
+             (List.length reference));
+      List.iteri
+        (fun i (a, b) ->
+          if a.doc <> b.doc || a.belief <> b.belief then
+            fail
+              (Printf.sprintf
+                 "rank %d diverges: pruned doc %d belief %.17g, exhaustive doc %d belief %.17g"
+                 i a.doc a.belief b.doc b.belief))
+        (List.combine ranked reference)
+    end;
+    ( ranked,
+      stats,
+      {
+        tk_pruned = true;
+        tk_postings_total = !total;
+        tk_postings_decoded = !decoded;
+        tk_blocks_skipped = !blocks;
+        tk_seeks = !seeks;
+        tk_stopped = !stopped;
+      } )

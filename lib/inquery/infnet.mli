@@ -67,3 +67,57 @@ val eval_daat :
     [eval]'s beliefs on those documents (tested), except that
     pure-negation evidence ([#not] raising belief of documents that
     merely {e lack} a term) is not enumerated. *)
+
+type topk_stats = {
+  tk_pruned : bool;
+      (** The max-score pruned path ran (vs. exhaustive fallback). *)
+  tk_postings_total : int;
+      (** Postings carried by the query's term records (pruned path), or
+          postings actually scored (fallback). *)
+  tk_postings_decoded : int;  (** Postings the cursors actually decoded. *)
+  tk_blocks_skipped : int;  (** Skip blocks jumped without decoding. *)
+  tk_seeks : int;  (** Cursor seeks that had to move. *)
+  tk_stopped : bool;  (** [should_stop] cut evaluation short. *)
+}
+
+exception Audit_mismatch of string
+
+val eval_topk :
+  source ->
+  Dictionary.t ->
+  ?stopwords:Stopwords.t ->
+  ?stem:bool ->
+  ?audit:bool ->
+  ?exhaustive:bool ->
+  ?should_stop:(stats -> bool) ->
+  k:int ->
+  Query.t ->
+  scored list * stats * topk_stats
+(** Max-score top-k document-at-a-time evaluation.
+
+    For flat additive queries (a bare term, [#sum] of terms, [#wsum] of
+    terms) the evaluator sorts terms by their belief upper bound
+    (computable from [df] and the v2 record's [max_tf] header alone),
+    drives the frontier over the {e essential} prefix — the terms that
+    can still lift a document past the current k-th score — and probes
+    the rest via {!Postings.cursor_seek} only while the candidate's
+    partial score plus the remaining upper bounds beats the threshold.
+    Whole skip blocks of non-essential terms are never decoded.
+
+    Returned beliefs are bit-identical to taking the first [k] of
+    {!eval_daat}'s results sorted by belief descending (doc ascending on
+    ties): the surviving candidates are rescored by the same fold, and
+    pruning thresholds carry a conservative floating-point margin.
+
+    Any other query shape ([#phrase], [#not], nested operators, …)
+    falls back to exhaustive {!eval_daat} plus bounded top-k selection —
+    same results, no pruning ([tk_pruned = false]).
+
+    @param audit re-run the exhaustive evaluator and raise
+    {!Audit_mismatch} if the pruned ranking diverges (docs or beliefs).
+    @param exhaustive force the fallback path (for benchmarking).
+    @param should_stop polled once per candidate document (i.e. between
+    postings blocks, not between whole terms), with the evaluation
+    counters accrued so far — enough to price the work against a
+    deadline; when it fires, evaluation stops and the heap contents so
+    far are returned with [tk_stopped = true]. *)

@@ -1,6 +1,49 @@
 type doc_postings = { doc : int; positions : int list }
 
-let encode entries =
+(* ------------------------------------------------------------------ *)
+(* Record versions.
+
+   v1 (the original layout, still readable everywhere):
+     [df] [cf] then per document: [doc gap] [tf] [tf position gaps].
+
+   v2 (skip-block layout, what the encoder now emits):
+     0x80 0x02                                  version sentinel
+     [df] [cf] [max_tf] [n_blocks] [skip_len]   header
+     skip table (skip_len bytes): per block
+       [last-doc delta] [doc-region bytes] [pos-region bytes]
+     [doc_len]                                  doc-region byte length
+     doc region (doc_len bytes): per document [doc gap] [tf]
+     pos region (to end of record): per document [tf position gaps]
+
+   Splitting (doc, tf) pairs from position gaps means document-level
+   scans never touch position bytes, and the skip table lets a cursor
+   jump whole blocks of both regions.
+
+   Version sniffing: every byte is a valid v1 varint start, but a v1
+   record beginning with 0x80 codes df = 0, which the v1 encoder only
+   ever produced as the empty record [0x80 0x80] — whose second byte is
+   0x80, never 0x02.  So [0x80 0x02] is unambiguous. *)
+(* ------------------------------------------------------------------ *)
+
+let block_size = 128
+
+(* Below this document count the encoder keeps the v1 layout: the
+   record is a handful of bytes, a skip table cannot pay for itself, and
+   the paper's small-object distribution (half the records are tiny)
+   stays intact.  Readers sniff versions, so the cutoff is invisible. *)
+let v1_cutoff_df = 8
+
+let v2_tag0 = '\x80'
+let v2_tag1 = '\x02'
+
+let version b =
+  if Bytes.length b >= 2 && Bytes.get b 0 = v2_tag0 && Bytes.get b 1 = v2_tag1 then 2 else 1
+
+(* ------------------------------------------------------------------ *)
+(* Encoders                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let encode_v1 entries =
   let buf = Buffer.create 64 in
   let df = List.length entries in
   let cf = List.fold_left (fun acc (_, ps) -> acc + List.length ps) 0 entries in
@@ -27,52 +70,263 @@ let encode entries =
     entries;
   Buffer.to_bytes buf
 
+module Builder = struct
+  type t = {
+    doc_buf : Buffer.t;
+    pos_buf : Buffer.t;
+    mutable last_doc : int;
+    mutable df : int;
+    mutable cf : int;
+    mutable max_tf : int;
+    (* Reversed list of block boundaries: (last doc id, cumulative doc-region
+       bytes, cumulative pos-region bytes) at each full block's end. *)
+    mutable marks : (int * int * int) list;
+    (* First few entries kept verbatim so sub-cutoff records can be
+       re-emitted in the compact v1 layout. *)
+    mutable head : (int * int list) list;
+  }
+
+  let create () =
+    {
+      doc_buf = Buffer.create 64;
+      pos_buf = Buffer.create 64;
+      last_doc = -1;
+      df = 0;
+      cf = 0;
+      max_tf = 0;
+      marks = [];
+      head = [];
+    }
+
+  let add t ~doc ~positions =
+    if doc <= t.last_doc then invalid_arg "Postings.encode: doc ids must be strictly ascending";
+    if positions = [] then invalid_arg "Postings.encode: empty position list";
+    let gap = if t.last_doc < 0 then doc else doc - t.last_doc in
+    t.last_doc <- doc;
+    let tf = List.length positions in
+    Util.Varint.encode t.doc_buf gap;
+    Util.Varint.encode t.doc_buf tf;
+    let last_pos = ref (-1) in
+    List.iter
+      (fun p ->
+        if p <= !last_pos then invalid_arg "Postings.encode: positions must be strictly ascending";
+        let pgap = if !last_pos < 0 then p else p - !last_pos in
+        last_pos := p;
+        Util.Varint.encode t.pos_buf pgap)
+      positions;
+    t.df <- t.df + 1;
+    t.cf <- t.cf + tf;
+    if tf > t.max_tf then t.max_tf <- tf;
+    if t.df <= v1_cutoff_df then t.head <- (doc, positions) :: t.head;
+    if t.df mod block_size = 0 then
+      t.marks <- (doc, Buffer.length t.doc_buf, Buffer.length t.pos_buf) :: t.marks
+
+  let finish_v2 t =
+    let marks =
+      if t.df = 0 || t.df mod block_size = 0 then List.rev t.marks
+      else List.rev ((t.last_doc, Buffer.length t.doc_buf, Buffer.length t.pos_buf) :: t.marks)
+    in
+    let skip_buf = Buffer.create 32 in
+    let prev = ref (-1) and prev_d = ref 0 and prev_p = ref 0 in
+    List.iter
+      (fun (last_doc, d, p) ->
+        Util.Varint.encode skip_buf (if !prev < 0 then last_doc else last_doc - !prev);
+        Util.Varint.encode skip_buf (d - !prev_d);
+        Util.Varint.encode skip_buf (p - !prev_p);
+        prev := last_doc;
+        prev_d := d;
+        prev_p := p)
+      marks;
+    let out = Buffer.create 64 in
+    Buffer.add_char out v2_tag0;
+    Buffer.add_char out v2_tag1;
+    Util.Varint.encode out t.df;
+    Util.Varint.encode out t.cf;
+    Util.Varint.encode out t.max_tf;
+    Util.Varint.encode out (List.length marks);
+    Util.Varint.encode out (Buffer.length skip_buf);
+    Buffer.add_buffer out skip_buf;
+    Util.Varint.encode out (Buffer.length t.doc_buf);
+    Buffer.add_buffer out t.doc_buf;
+    Buffer.add_buffer out t.pos_buf;
+    Buffer.to_bytes out
+
+  let finish t =
+    if t.df < v1_cutoff_df then encode_v1 (List.rev t.head) else finish_v2 t
+end
+
+let encode entries =
+  let b = Builder.create () in
+  List.iter (fun (doc, positions) -> Builder.add b ~doc ~positions) entries;
+  Builder.finish b
+
+(* ------------------------------------------------------------------ *)
+(* v2 layout parsing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type layout = {
+  l_df : int;
+  l_cf : int;
+  l_max_tf : int;
+  l_blocks : int;
+  l_skip_off : int;
+  l_skip_len : int;
+  l_doc_off : int;
+  l_doc_len : int;
+  l_pos_off : int;
+}
+
+let parse_layout b =
+  let df, pos = Util.Varint.decode b ~pos:2 in
+  let cf, pos = Util.Varint.decode b ~pos in
+  let max_tf, pos = Util.Varint.decode b ~pos in
+  let blocks, pos = Util.Varint.decode b ~pos in
+  let skip_len, skip_off = Util.Varint.decode b ~pos in
+  let doc_len, doc_off = Util.Varint.decode b ~pos:(skip_off + skip_len) in
+  {
+    l_df = df;
+    l_cf = cf;
+    l_max_tf = max_tf;
+    l_blocks = blocks;
+    l_skip_off = skip_off;
+    l_skip_len = skip_len;
+    l_doc_off = doc_off;
+    l_doc_len = doc_len;
+    l_pos_off = doc_off + doc_len;
+  }
+
+type skip = {
+  sk_last_doc : int;
+  sk_doc_off : int;
+  sk_doc_len : int;
+  sk_pos_off : int;
+  sk_pos_len : int;
+}
+
+let parse_skips b lay =
+  let n = lay.l_blocks in
+  let skips =
+    Array.make n { sk_last_doc = -1; sk_doc_off = 0; sk_doc_len = 0; sk_pos_off = 0; sk_pos_len = 0 }
+  in
+  let pos = ref lay.l_skip_off in
+  let last = ref (-1) and doff = ref lay.l_doc_off and poff = ref lay.l_pos_off in
+  for i = 0 to n - 1 do
+    let dld, p = Util.Varint.decode b ~pos:!pos in
+    let dl, p = Util.Varint.decode b ~pos:p in
+    let pl, p = Util.Varint.decode b ~pos:p in
+    pos := p;
+    let last_doc = if !last < 0 then dld else !last + dld in
+    skips.(i) <-
+      { sk_last_doc = last_doc; sk_doc_off = !doff; sk_doc_len = dl; sk_pos_off = !poff; sk_pos_len = pl };
+    last := last_doc;
+    doff := !doff + dl;
+    poff := !poff + pl
+  done;
+  skips
+
+(* ------------------------------------------------------------------ *)
+(* Decoders (version-sniffing)                                         *)
+(* ------------------------------------------------------------------ *)
+
 let stats b =
-  let df, pos = Util.Varint.decode b ~pos:0 in
-  let cf, _ = Util.Varint.decode b ~pos in
-  (df, cf)
+  if version b = 2 then begin
+    let lay = parse_layout b in
+    (lay.l_df, lay.l_cf)
+  end
+  else begin
+    let df, pos = Util.Varint.decode b ~pos:0 in
+    let cf, _ = Util.Varint.decode b ~pos in
+    (df, cf)
+  end
 
 let doc_count b = fst (stats b)
 
+let max_tf b = if version b = 2 then Some (parse_layout b).l_max_tf else None
+
+let skip_table_region b =
+  if version b = 2 then begin
+    let lay = parse_layout b in
+    Some (lay.l_skip_off, lay.l_skip_len)
+  end
+  else None
+
 let fold_docs b ~init ~f =
-  let df, pos = Util.Varint.decode b ~pos:0 in
-  let _cf, pos = Util.Varint.decode b ~pos in
-  let rec go k pos doc acc =
-    if k = 0 then acc
+  if version b = 2 then begin
+    let lay = parse_layout b in
+    (* (doc, tf) pairs live in their own region: no position bytes are
+       ever scanned here — the v2 payoff for document-level evaluation. *)
+    let rec go k pos doc acc =
+      if k = 0 then acc
+      else begin
+        let gap, pos = Util.Varint.decode b ~pos in
+        let doc = if doc < 0 then gap else doc + gap in
+        let tf, pos = Util.Varint.decode b ~pos in
+        go (k - 1) pos doc (f acc ~doc ~tf)
+      end
+    in
+    go lay.l_df lay.l_doc_off (-1) init
+  end
+  else begin
+    let df, pos = Util.Varint.decode b ~pos:0 in
+    let _cf, pos = Util.Varint.decode b ~pos in
+    let rec go k pos doc acc =
+      if k = 0 then acc
+      else begin
+        let gap, pos = Util.Varint.decode b ~pos in
+        let doc = if doc < 0 then gap else doc + gap in
+        let tf, pos = Util.Varint.decode b ~pos in
+        (* Skip the tf position gaps. *)
+        let rec skip n pos =
+          if n = 0 then pos else skip (n - 1) (snd (Util.Varint.decode b ~pos))
+        in
+        let pos = skip tf pos in
+        go (k - 1) pos doc (f acc ~doc ~tf)
+      end
+    in
+    go df pos (-1) init
+  end
+
+let read_positions b ~pos ~tf =
+  let rec read n pos last acc_ps =
+    if n = 0 then (List.rev acc_ps, pos)
     else begin
-      let gap, pos = Util.Varint.decode b ~pos in
-      let doc = if doc < 0 then gap else doc + gap in
-      let tf, pos = Util.Varint.decode b ~pos in
-      (* Skip the tf position gaps. *)
-      let rec skip n pos = if n = 0 then pos else skip (n - 1) (snd (Util.Varint.decode b ~pos)) in
-      let pos = skip tf pos in
-      go (k - 1) pos doc (f acc ~doc ~tf)
+      let pgap, pos = Util.Varint.decode b ~pos in
+      let p = if last < 0 then pgap else last + pgap in
+      read (n - 1) pos p (p :: acc_ps)
     end
   in
-  go df pos (-1) init
+  read tf pos (-1) []
 
 let fold_positions b ~init ~f =
-  let df, pos = Util.Varint.decode b ~pos:0 in
-  let _cf, pos = Util.Varint.decode b ~pos in
-  let rec go k pos doc acc =
-    if k = 0 then acc
-    else begin
-      let gap, pos = Util.Varint.decode b ~pos in
-      let doc = if doc < 0 then gap else doc + gap in
-      let tf, pos = Util.Varint.decode b ~pos in
-      let rec read n pos last acc_ps =
-        if n = 0 then (List.rev acc_ps, pos)
-        else begin
-          let pgap, pos = Util.Varint.decode b ~pos in
-          let p = if last < 0 then pgap else last + pgap in
-          read (n - 1) pos p (p :: acc_ps)
-        end
-      in
-      let positions, pos = read tf pos (-1) [] in
-      go (k - 1) pos doc (f acc { doc; positions })
-    end
-  in
-  go df pos (-1) init
+  if version b = 2 then begin
+    let lay = parse_layout b in
+    let rec go k dpos ppos doc acc =
+      if k = 0 then acc
+      else begin
+        let gap, dpos = Util.Varint.decode b ~pos:dpos in
+        let doc = if doc < 0 then gap else doc + gap in
+        let tf, dpos = Util.Varint.decode b ~pos:dpos in
+        let positions, ppos = read_positions b ~pos:ppos ~tf in
+        go (k - 1) dpos ppos doc (f acc { doc; positions })
+      end
+    in
+    go lay.l_df lay.l_doc_off lay.l_pos_off (-1) init
+  end
+  else begin
+    let df, pos = Util.Varint.decode b ~pos:0 in
+    let _cf, pos = Util.Varint.decode b ~pos in
+    let rec go k pos doc acc =
+      if k = 0 then acc
+      else begin
+        let gap, pos = Util.Varint.decode b ~pos in
+        let doc = if doc < 0 then gap else doc + gap in
+        let tf, pos = Util.Varint.decode b ~pos in
+        let positions, pos = read_positions b ~pos ~tf in
+        go (k - 1) pos doc (f acc { doc; positions })
+      end
+    in
+    go df pos (-1) init
+  end
 
 let decode b = List.rev (fold_positions b ~init:[] ~f:(fun acc dp -> dp :: acc))
 
@@ -92,3 +346,234 @@ let remove_docs b p =
   let remaining = List.filter (fun dp -> not (p dp.doc)) (decode b) in
   if remaining = [] then None
   else Some (encode (List.map (fun dp -> (dp.doc, dp.positions)) remaining))
+
+(* ------------------------------------------------------------------ *)
+(* Deep structural validation (fsck)                                   *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of string
+
+let check cond msg = if not cond then raise (Bad msg)
+
+let validate_v2 b =
+  let len = Bytes.length b in
+  let lay = parse_layout b in
+  check (lay.l_df >= 0 && lay.l_cf >= lay.l_df) "df/cf header implausible";
+  check
+    (lay.l_blocks = (lay.l_df + block_size - 1) / block_size)
+    (Printf.sprintf "block count %d inconsistent with df %d" lay.l_blocks lay.l_df);
+  check (lay.l_skip_off + lay.l_skip_len <= len) "skip table extends past record end";
+  check (lay.l_pos_off <= len) "doc region extends past record end";
+  if lay.l_df = 0 then begin
+    check (lay.l_skip_len = 0 && lay.l_doc_len = 0 && lay.l_pos_off = len)
+      "empty record carries payload bytes"
+  end
+  else begin
+    (* Skip-table invariants: exact byte length, strictly monotone
+       last-doc ids, per-block byte counts that tile both regions. *)
+    let pos = ref lay.l_skip_off in
+    let last = ref (-1) and dsum = ref 0 and psum = ref 0 in
+    for i = 0 to lay.l_blocks - 1 do
+      check (!pos < lay.l_skip_off + lay.l_skip_len) "skip table truncated";
+      let dld, p = Util.Varint.decode b ~pos:!pos in
+      let dl, p = Util.Varint.decode b ~pos:p in
+      let pl, p = Util.Varint.decode b ~pos:p in
+      pos := p;
+      check (p <= lay.l_skip_off + lay.l_skip_len) "skip entry overruns skip table";
+      check (i = 0 || dld >= 1) "skip-table last-doc ids not strictly ascending";
+      check (dl >= 1 && pl >= 1) "skip entry with empty block";
+      last := (if !last < 0 then dld else !last + dld);
+      dsum := !dsum + dl;
+      psum := !psum + pl
+    done;
+    check (!pos = lay.l_skip_off + lay.l_skip_len) "skip table has trailing bytes";
+    check (!dsum = lay.l_doc_len)
+      (Printf.sprintf "skip doc-bytes sum %d <> doc region length %d" !dsum lay.l_doc_len);
+    check (!psum = len - lay.l_pos_off)
+      (Printf.sprintf "skip pos-bytes sum %d <> position region length %d" !psum (len - lay.l_pos_off));
+    (* Walk both regions block by block against the skip entries. *)
+    let skips = parse_skips b lay in
+    let cf = ref 0 and seen_max_tf = ref 0 and doc = ref (-1) in
+    Array.iteri
+      (fun i sk ->
+        let in_block =
+          if i = lay.l_blocks - 1 then lay.l_df - (i * block_size) else block_size
+        in
+        let dpos = ref sk.sk_doc_off and ppos = ref sk.sk_pos_off in
+        for _ = 1 to in_block do
+          let gap, p = Util.Varint.decode b ~pos:!dpos in
+          check (if !doc < 0 then gap >= 0 else gap >= 1) "doc gaps not strictly ascending";
+          doc := (if !doc < 0 then gap else !doc + gap);
+          let tf, p = Util.Varint.decode b ~pos:p in
+          check (tf >= 1) "posting with zero tf";
+          dpos := p;
+          cf := !cf + tf;
+          if tf > !seen_max_tf then seen_max_tf := tf;
+          let last_p = ref (-1) in
+          for _ = 1 to tf do
+            let pgap, p = Util.Varint.decode b ~pos:!ppos in
+            check (if !last_p < 0 then pgap >= 0 else pgap >= 1)
+              "position gaps not strictly ascending";
+            last_p := pgap;
+            ppos := p
+          done
+        done;
+        check (!dpos = sk.sk_doc_off + sk.sk_doc_len)
+          (Printf.sprintf "block %d doc bytes %d <> skip entry %d" i (!dpos - sk.sk_doc_off) sk.sk_doc_len);
+        check (!ppos = sk.sk_pos_off + sk.sk_pos_len)
+          (Printf.sprintf "block %d pos bytes %d <> skip entry %d" i (!ppos - sk.sk_pos_off) sk.sk_pos_len);
+        check (!doc = sk.sk_last_doc)
+          (Printf.sprintf "block %d ends at doc %d, skip table says %d" i !doc sk.sk_last_doc))
+      skips;
+    check (!cf = lay.l_cf) (Printf.sprintf "tf sum %d <> header cf %d" !cf lay.l_cf);
+    check (!seen_max_tf = lay.l_max_tf)
+      (Printf.sprintf "observed max tf %d <> header max_tf %d" !seen_max_tf lay.l_max_tf)
+  end
+
+let validate_v1 b =
+  let df, pos = Util.Varint.decode b ~pos:0 in
+  let cf, pos = Util.Varint.decode b ~pos in
+  check (df >= 0 && cf >= df) "df/cf header implausible";
+  let cf' = ref 0 in
+  let rec go k pos doc =
+    if k = 0 then pos
+    else begin
+      let gap, pos = Util.Varint.decode b ~pos in
+      check (if doc < 0 then gap >= 0 else gap >= 1) "doc gaps not strictly ascending";
+      let doc = if doc < 0 then gap else doc + gap in
+      let tf, pos = Util.Varint.decode b ~pos in
+      check (tf >= 1) "posting with zero tf";
+      cf' := !cf' + tf;
+      let rec skip n pos = if n = 0 then pos else skip (n - 1) (snd (Util.Varint.decode b ~pos)) in
+      go (k - 1) (skip tf pos) doc
+    end
+  in
+  let fin = go df pos (-1) in
+  check (fin = Bytes.length b) "record has trailing bytes";
+  check (!cf' = cf) (Printf.sprintf "tf sum %d <> header cf %d" !cf' cf)
+
+let validate b =
+  match if version b = 2 then validate_v2 b else validate_v1 b with
+  | () -> Ok ()
+  | exception Bad msg -> Error msg
+  | exception Invalid_argument msg -> Error ("undecodable: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* Cursors                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type cursor = {
+  data : bytes;
+  cur_version : int;
+  cur_df : int;
+  skips : skip array; (* empty for v1 *)
+  mutable idx : int; (* postings consumed so far *)
+  mutable byte : int; (* next (doc gap, tf) entry *)
+  mutable doc : int; (* current doc, max_int once exhausted *)
+  mutable tf : int;
+  mutable decoded : int;
+  mutable blocks_skipped : int;
+  mutable n_seeks : int;
+}
+
+let cursor_step c =
+  if c.idx >= c.cur_df then c.doc <- max_int
+  else begin
+    let gap, pos = Util.Varint.decode c.data ~pos:c.byte in
+    c.doc <- (if c.doc < 0 then gap else c.doc + gap);
+    let tf, pos = Util.Varint.decode c.data ~pos in
+    c.tf <- tf;
+    let pos =
+      if c.cur_version = 2 then pos
+      else begin
+        (* v1 interleaves positions with the doc entries: scan past them. *)
+        let rec skip n pos =
+          if n = 0 then pos else skip (n - 1) (snd (Util.Varint.decode c.data ~pos))
+        in
+        skip tf pos
+      end
+    in
+    c.byte <- pos;
+    c.idx <- c.idx + 1;
+    c.decoded <- c.decoded + 1
+  end
+
+let cursor b =
+  let c =
+    if version b = 2 then begin
+      let lay = parse_layout b in
+      {
+        data = b;
+        cur_version = 2;
+        cur_df = lay.l_df;
+        skips = parse_skips b lay;
+        idx = 0;
+        byte = lay.l_doc_off;
+        doc = -1;
+        tf = 0;
+        decoded = 0;
+        blocks_skipped = 0;
+        n_seeks = 0;
+      }
+    end
+    else begin
+      let df, pos = Util.Varint.decode b ~pos:0 in
+      let _cf, pos = Util.Varint.decode b ~pos in
+      {
+        data = b;
+        cur_version = 1;
+        cur_df = df;
+        skips = [||];
+        idx = 0;
+        byte = pos;
+        doc = -1;
+        tf = 0;
+        decoded = 0;
+        blocks_skipped = 0;
+        n_seeks = 0;
+      }
+    end
+  in
+  cursor_step c;
+  c
+
+let cur_doc c = c.doc
+let cur_tf c = c.tf
+let cursor_df c = c.cur_df
+let cursor_next c = cursor_step c
+let cursor_decoded c = c.decoded
+let cursor_blocks_skipped c = c.blocks_skipped
+let cursor_seeks c = c.n_seeks
+
+let cursor_seek c target =
+  if c.doc < target && c.doc <> max_int then begin
+    c.n_seeks <- c.n_seeks + 1;
+    if c.cur_version = 2 && Array.length c.skips > 0 then begin
+      (* c.idx postings are consumed, so the next posting to decode is
+         index c.idx, sitting in block c.idx / block_size. *)
+      let cur_block = c.idx / block_size in
+      let n = Array.length c.skips in
+      (* Smallest block whose last doc id reaches the target. *)
+      let lo = ref cur_block and hi = ref n in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if c.skips.(mid).sk_last_doc >= target then hi := mid else lo := mid + 1
+      done;
+      if !lo >= n then begin
+        (* No block can contain the target: exhaust without decoding. *)
+        c.blocks_skipped <- c.blocks_skipped + (n - cur_block);
+        c.idx <- c.cur_df;
+        c.doc <- max_int
+      end
+      else if !lo > cur_block then begin
+        c.blocks_skipped <- c.blocks_skipped + (!lo - cur_block);
+        c.idx <- !lo * block_size;
+        c.byte <- c.skips.(!lo).sk_doc_off;
+        (* Gaps restart from the previous block's last doc id. *)
+        c.doc <- c.skips.(!lo - 1).sk_last_doc
+      end
+    end;
+    while c.doc < target && c.doc <> max_int do
+      cursor_step c
+    done
+  end

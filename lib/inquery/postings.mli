@@ -6,28 +6,82 @@
     integers in a compressed format" (delta + v-byte coding, which is
     where INQUERY's ~60 % compression came from).
 
-    Record layout (all v-byte):
+    Two record layouts exist (all integers v-byte coded):
+
+    {b v1} (legacy; still readable through every entry point):
     [df] [cf] then per document (ascending id):
     [doc gap] [tf] [tf position gaps].
 
-    The decoder offers folds that skip position data cheaply, because
-    term-at-a-time belief evaluation only needs (doc, tf) pairs. *)
+    {b v2} (skip blocks; what {!encode} and {!Builder} emit):
+    a [0x80 0x02] version sentinel, then
+    [df] [cf] [max_tf] [n_blocks] [skip_len], a skip table with one
+    entry per {!block_size}-document block
+    ([last-doc delta] [doc-region bytes] [position-region bytes]),
+    then [doc_len], the doc region of (doc gap, tf) pairs, and the
+    position region of per-document position gaps.  Document-level scans
+    never touch position bytes, and {!cursor_seek} jumps whole blocks
+    via the skip table.
+
+    The first byte of a v1 record codes [df]; the v1 encoder only starts
+    a record with [0x80] (v-byte zero) for the empty record
+    [0x80 0x80], so the [0x80 0x02] sentinel is unambiguous and
+    {!version} can sniff reliably. *)
 
 type doc_postings = { doc : int; positions : int list }
 (** Positions are ascending token indexes; [tf] is their length. *)
 
+val block_size : int
+(** Documents per skip block (128). *)
+
+val v1_cutoff_df : int
+(** Records with fewer documents than this are emitted in the v1 layout:
+    at that size the v2 header would dominate the record and break the
+    paper's small-object distribution, and skipping cannot pay.  Readers
+    sniff, so the cutoff never matters on the way in. *)
+
+val version : bytes -> int
+(** [1] or [2], sniffed from the record's leading bytes. *)
+
 val encode : (int * int list) list -> bytes
-(** [encode entries] builds a record from [(doc, positions)] pairs with
-    strictly ascending doc ids and, per doc, strictly ascending
-    positions (each doc must have at least one position).  Raises
+(** [encode entries] builds a record from [(doc, positions)] pairs
+    with strictly ascending doc ids and, per doc, strictly ascending
+    positions (each doc must have at least one position) — v2 once the
+    document count reaches {!v1_cutoff_df}, compact v1 below it.  Raises
     [Invalid_argument] on violations. *)
+
+val encode_v1 : (int * int list) list -> bytes
+(** The legacy encoder, kept verbatim for backward-compatibility tests
+    and for exercising the v1 read paths. *)
+
+module Builder : sig
+  (** Streaming v2 encoder: the indexer feeds one document at a time
+      instead of materialising the [(doc, positions)] list. *)
+
+  type t
+
+  val create : unit -> t
+
+  val add : t -> doc:int -> positions:int list -> unit
+  (** Same ascending-id/ascending-position contract as {!encode}. *)
+
+  val finish : t -> bytes
+end
 
 val stats : bytes -> int * int
 (** [(df, cf)] from the header. *)
 
+val max_tf : bytes -> int option
+(** Largest within-document frequency in the record — the input to a
+    term's belief upper bound.  [None] for v1 records (no header slot). *)
+
+val skip_table_region : bytes -> (int * int) option
+(** [(offset, length)] of the skip table's bytes within the record;
+    [None] for v1.  Exposed so corruption tests can aim at it. *)
+
 val fold_docs : bytes -> init:'a -> f:('a -> doc:int -> tf:int -> 'a) -> 'a
-(** Fold over documents, skipping position decoding (gaps are still
-    scanned byte-wise, as INQUERY must). *)
+(** Fold over documents.  On v2 records position bytes are never
+    visited; on v1 the gaps are still scanned byte-wise, as INQUERY
+    must. *)
 
 val fold_positions : bytes -> init:'a -> f:('a -> doc_postings -> 'a) -> 'a
 (** Fold with full position lists (phrase evaluation). *)
@@ -40,8 +94,53 @@ val doc_count : bytes -> int
 val merge : bytes -> bytes -> bytes
 (** [merge a b] combines two records for the same term whose document
     sets are disjoint (e.g. an existing record and the postings of newly
-    added documents).  Raises [Invalid_argument] if doc ids collide. *)
+    added documents).  Accepts either version; emits v2 with rebuilt
+    blocks.  Raises [Invalid_argument] if doc ids collide. *)
 
 val remove_docs : bytes -> (int -> bool) -> bytes option
 (** [remove_docs rec p] drops every document matched by [p]; [None] if
-    the record becomes empty — document-deletion support. *)
+    the record becomes empty — document-deletion support.  Accepts
+    either version; emits v2 with rebuilt blocks. *)
+
+val validate : bytes -> (unit, string) result
+(** Deep structural check, for fsck: headers, skip-table invariants
+    (strictly ascending last-doc ids, block byte counts that tile the
+    regions and stay inside the record), gap monotonicity, tf/cf/max_tf
+    consistency.  Reports the first problem; never raises. *)
+
+(** {2 Cursors}
+
+    Stateful forward iteration over a record's (doc, tf) pairs, with
+    skip-table-accelerated {!cursor_seek} on v2 records (v1 cursors seek
+    by scanning).  Used by the document-at-a-time evaluators. *)
+
+type cursor
+
+val cursor : bytes -> cursor
+(** Positioned on the first posting ({!cur_doc} is [max_int] if the
+    record is empty). *)
+
+val cur_doc : cursor -> int
+(** Current document id, [max_int] once exhausted. *)
+
+val cur_tf : cursor -> int
+(** Current within-document frequency (meaningless once exhausted). *)
+
+val cursor_df : cursor -> int
+
+val cursor_next : cursor -> unit
+(** Advance to the next posting. *)
+
+val cursor_seek : cursor -> int -> unit
+(** [cursor_seek c target] advances until [cur_doc c >= target]
+    (possibly to exhaustion), jumping whole blocks via the skip table
+    when possible.  No-op if already there. *)
+
+val cursor_decoded : cursor -> int
+(** Postings decoded by this cursor so far. *)
+
+val cursor_blocks_skipped : cursor -> int
+(** Whole blocks jumped over without decoding. *)
+
+val cursor_seeks : cursor -> int
+(** Number of forward {!cursor_seek} calls that had to move. *)

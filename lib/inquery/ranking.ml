@@ -7,11 +7,13 @@ let rank ?(above = Infnet.default_belief) beliefs =
     (fun a b -> if a.score = b.score then compare a.doc b.doc else compare b.score a.score)
     !candidates
 
-let top_k ?above beliefs ~k =
+let top_k ?(above = Infnet.default_belief) beliefs ~k =
   if k < 0 then invalid_arg "Ranking.top_k: negative k";
-  let rec take n = function
-    | [] -> []
-    | _ when n = 0 -> []
-    | x :: rest -> x :: take (n - 1) rest
-  in
-  take k (rank ?above beliefs)
+  (* Bounded min-heap selection: O(n log k) and no intermediate list of
+     every candidate, instead of full [rank] + take.  Same order and
+     tie-break (score descending, doc ascending) as [rank]. *)
+  let heap = Util.Topk.create ~k in
+  Array.iteri
+    (fun doc score -> if score > above then ignore (Util.Topk.offer heap ~doc ~score))
+    beliefs;
+  List.map (fun e -> { doc = e.Util.Topk.doc; score = e.Util.Topk.score }) (Util.Topk.sorted_desc heap)

@@ -13,4 +13,6 @@ val rank : ?above:float -> float array -> ranked list
     belief never rose above the default — documents with no evidence. *)
 
 val top_k : ?above:float -> float array -> k:int -> ranked list
-(** First [k] of [rank].  Raises [Invalid_argument] if [k < 0]. *)
+(** First [k] of [rank], computed with a bounded min-heap in
+    O(n log k) — identical results and tie-breaks, without sorting the
+    full candidate list.  Raises [Invalid_argument] if [k < 0]. *)

@@ -9,9 +9,28 @@ type report = {
 
 let ok r = r.problems = []
 
-let run store =
+let run ?object_check store =
   let problems = ref [] in
   let flag where what = problems := { where; what } :: !problems in
+  (* 2b. Application-level payload validation: when the caller knows
+     what the stored bytes mean (e.g. postings records with skip
+     tables), each live object's payload is handed to its checker.
+     Problems are flagged like any other — never raised. *)
+  let apply_object_check =
+    match object_check with
+    | None -> fun _ _ -> ()
+    | Some f -> (
+      fun where oid ->
+        match Store.get_opt store oid with
+        | exception Store.Corrupt msg -> flag where ("object unreadable: " ^ msg)
+        | exception Invalid_argument msg -> flag where ("object unreadable: " ^ msg)
+        | None -> flag where "live slot resolves to no object"
+        | Some payload -> (
+          match f payload with
+          | Ok () -> ()
+          | Error msg -> flag where ("object invalid: " ^ msg)
+          | exception _ -> flag where "object checker raised"))
+  in
   let objects = ref 0 and psegs = ref 0 and pools_n = ref 0 in
   let file_size = Store.file_size store in
   let pools = Store.pools store in
@@ -62,8 +81,8 @@ let run store =
                        EOF, so the read itself is impossible.  Report,
                        never raise — fsck must survive any damage. *)
                     flag where ("segment unreadable: " ^ msg)
-                  | seg -> (
-                    match policy.Policy.layout with
+                  | seg ->
+                    (match policy.Policy.layout with
                     | Policy.Fixed_slots { slot_size } -> (
                       match Store.fixed_slot_length ~slot_size seg ~slot with
                       | Some len ->
@@ -79,7 +98,8 @@ let run store =
                         | None -> flag where "object missing from segment directory"
                         | Some (_, off, len) ->
                           if off < 0 || len < 0 || off + len > Bytes.length seg then
-                            flag where "object extent outside segment"))))
+                            flag where "object extent outside segment")));
+                    apply_object_check where oid)
               end)
             slots)
         (Store.pool_slot_tables pool);

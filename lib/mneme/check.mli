@@ -36,8 +36,15 @@ type report = {
 val ok : report -> bool
 (** No problems found. *)
 
-val run : Store.t -> report
+val run : ?object_check:(bytes -> (unit, string) result) -> Store.t -> report
 (** Check a store (pools load lazily as needed; buffers must be
-    attached to the pools since segments are faulted for inspection). *)
+    attached to the pools since segments are faulted for inspection).
+
+    [object_check], when given, is applied to every live object's
+    payload bytes — the hook for format-aware validation the store
+    itself cannot do (e.g. {!Inquery.Postings.validate} checking
+    skip-table invariants of inverted-list records).  An [Error] from
+    the checker, an exception it raises, or an unreadable payload each
+    become a report problem; fsck still never raises. *)
 
 val pp_report : Format.formatter -> report -> unit

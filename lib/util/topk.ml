@@ -1,0 +1,70 @@
+type entry = { doc : int; score : float }
+
+type t = { k : int; mutable size : int; heap : entry array }
+
+let dummy = { doc = -1; score = neg_infinity }
+
+let create ~k =
+  if k < 0 then invalid_arg "Topk.create: negative k";
+  { k; size = 0; heap = Array.make (max 1 k) dummy }
+
+let capacity t = t.k
+let size t = t.size
+let is_full t = t.size >= t.k
+
+(* Min-heap ordered by "worse": lower score first, ties toward the
+   larger doc id (so the root is exactly the entry a ranking by score
+   descending, doc ascending would drop first). *)
+let worse a b = a.score < b.score || (a.score = b.score && a.doc > b.doc)
+
+let threshold t = if is_full t && t.k > 0 then Some t.heap.(0).score else None
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if worse h.(i) h.(parent) then begin
+      let tmp = h.(i) in
+      h.(i) <- h.(parent);
+      h.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h n i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let m = ref i in
+  if l < n && worse h.(l) h.(!m) then m := l;
+  if r < n && worse h.(r) h.(!m) then m := r;
+  if !m <> i then begin
+    let tmp = h.(i) in
+    h.(i) <- h.(!m);
+    h.(!m) <- tmp;
+    sift_down h n !m
+  end
+
+let offer t ~doc ~score =
+  if t.k = 0 then false
+  else if t.size < t.k then begin
+    t.heap.(t.size) <- { doc; score };
+    t.size <- t.size + 1;
+    sift_up t.heap (t.size - 1);
+    true
+  end
+  else begin
+    let root = t.heap.(0) in
+    (* The candidate displaces the current worst only if it would rank
+       strictly before it: higher score, or same score and smaller id. *)
+    if score > root.score || (score = root.score && doc < root.doc) then begin
+      t.heap.(0) <- { doc; score };
+      sift_down t.heap t.size 0;
+      true
+    end
+    else false
+  end
+
+let sorted_desc t =
+  let xs = Array.sub t.heap 0 t.size in
+  Array.sort
+    (fun a b -> if a.score = b.score then compare a.doc b.doc else compare b.score a.score)
+    xs;
+  Array.to_list xs

@@ -1,0 +1,31 @@
+(** Bounded top-k selection.
+
+    A fixed-capacity min-heap over [(doc, score)] pairs that keeps the
+    [k] entries a full sort by score descending (ties toward the smaller
+    doc id) would rank first, in O(n log k) instead of O(n log n) and
+    O(k) space.  Shared by {!Inquery.Ranking.top_k} and the max-score
+    pruned evaluator, whose admission threshold is {!threshold}. *)
+
+type entry = { doc : int; score : float }
+
+type t
+
+val create : k:int -> t
+(** Raises [Invalid_argument] if [k < 0].  [k = 0] accepts nothing. *)
+
+val capacity : t -> int
+val size : t -> int
+val is_full : t -> bool
+
+val offer : t -> doc:int -> score:float -> bool
+(** Insert if the heap has room or the candidate ranks strictly before
+    the current worst entry (higher score, or equal score and smaller
+    doc id).  Returns [true] iff the heap changed. *)
+
+val threshold : t -> float option
+(** Score of the current k-th (worst retained) entry once the heap is
+    full; [None] while it still has room.  A candidate must strictly
+    beat this (by score, or by id on a tie) to enter. *)
+
+val sorted_desc : t -> entry list
+(** Contents by score descending, ties by doc ascending. *)

@@ -73,9 +73,42 @@ let test_prepared_catalog_consistency () =
         if Mneme.Store.get_opt store e.Inquery.Dictionary.locator = None then
           Alcotest.fail ("dangling locator for " ^ e.Inquery.Dictionary.term))
 
+let records_table ix =
+  let tbl = Hashtbl.create 64 in
+  Seq.iter (fun (id, b) -> Hashtbl.replace tbl id b) (Inquery.Indexer.to_records ix);
+  tbl
+
+let test_verify_records_clean () =
+  let ix = build_indexer () in
+  let c = Core.Catalog.of_indexer ix in
+  let tbl = records_table ix in
+  let fetch (e : Inquery.Dictionary.entry) = Hashtbl.find_opt tbl e.Inquery.Dictionary.id in
+  Alcotest.(check (list (pair string string))) "clean" []
+    (Core.Catalog.verify_records c ~fetch)
+
+let test_verify_records_detects () =
+  let ix = build_indexer () in
+  let c = Core.Catalog.of_indexer ix in
+  let n_terms = Inquery.Dictionary.size c.Core.Catalog.dict in
+  (* Every record replaced by one with the wrong df and cf: every term
+     flagged on both counts. *)
+  let wrong = Inquery.Postings.encode [ (0, [ 0 ]); (1, [ 1 ]); (2, [ 2 ]); (3, [ 3 ]) ] in
+  let problems = Core.Catalog.verify_records c ~fetch:(fun _ -> Some wrong) in
+  Alcotest.(check int) "df/cf mismatches flagged" (2 * n_terms) (List.length problems);
+  (* A store-level exception becomes a problem, never propagates. *)
+  let problems =
+    Core.Catalog.verify_records c ~fetch:(fun _ -> raise (Mneme.Store.Corrupt "bits rotted"))
+  in
+  Alcotest.(check int) "corrupt fetches flagged" n_terms (List.length problems);
+  (* df > 0 with no stored record is flagged too. *)
+  let problems = Core.Catalog.verify_records c ~fetch:(fun _ -> None) in
+  Alcotest.(check int) "missing records flagged" n_terms (List.length problems)
+
 let suite =
   [
     Alcotest.test_case "of_indexer" `Quick test_of_indexer;
+    Alcotest.test_case "verify_records clean" `Quick test_verify_records_clean;
+    Alcotest.test_case "verify_records detects damage" `Quick test_verify_records_detects;
     Alcotest.test_case "save/load roundtrip" `Quick test_save_load_roundtrip;
     Alcotest.test_case "save overwrites" `Quick test_save_overwrites;
     Alcotest.test_case "load errors" `Quick test_load_errors;

@@ -176,9 +176,47 @@ let test_pp_report () =
   let s = Format.asprintf "%a" Mneme.Check.pp_report (Mneme.Check.run store) in
   Alcotest.(check bool) "mentions clean" true (Str_find.contains s "clean")
 
+let test_object_check () =
+  (* Format-aware fsck: a bit flip inside a stored record's skip table
+     is detected by the payload checker and reported, never raised —
+     while the scan path still serves the original postings. *)
+  let _, store, pools = build_store () in
+  let medium = List.nth pools 1 in
+  let record = Inquery.Postings.encode (List.init 300 (fun i -> (i * 2, [ 0 ]))) in
+  let oid = Mneme.Store.allocate medium record in
+  Mneme.Store.finalize store;
+  let clean = Mneme.Check.run ~object_check:Inquery.Postings.validate store in
+  Alcotest.(check bool) "valid record passes" true (Mneme.Check.ok clean);
+  let off =
+    match Inquery.Postings.skip_table_region record with
+    | Some (off, _) -> off
+    | None -> Alcotest.fail "expected a skip table"
+  in
+  let bad = Bytes.copy record in
+  Bytes.set bad off (Char.chr (Char.code (Bytes.get bad off) lxor 1));
+  Mneme.Store.modify store oid bad;
+  Mneme.Store.finalize store;
+  let report = Mneme.Check.run ~object_check:Inquery.Postings.validate store in
+  Alcotest.(check bool) "skip-table corruption flagged" false (Mneme.Check.ok report);
+  match Mneme.Store.get_opt store oid with
+  | Some payload ->
+    Alcotest.(check bool) "scan path still readable" true
+      (Inquery.Postings.decode payload = Inquery.Postings.decode record)
+  | None -> Alcotest.fail "object unreadable"
+
+let test_object_check_garbage () =
+  let _, store, pools = build_store () in
+  let medium = List.nth pools 1 in
+  ignore (Mneme.Store.allocate medium (Bytes.make 33 '\xff'));
+  Mneme.Store.finalize store;
+  let report = Mneme.Check.run ~object_check:Inquery.Postings.validate store in
+  Alcotest.(check bool) "undecodable payload flagged" false (Mneme.Check.ok report)
+
 let suite =
   [
     Alcotest.test_case "clean store" `Quick test_clean_store;
+    Alcotest.test_case "object check (skip-table bit flip)" `Quick test_object_check;
+    Alcotest.test_case "object check (garbage payload)" `Quick test_object_check_garbage;
     Alcotest.test_case "clean after updates" `Quick test_clean_after_updates;
     Alcotest.test_case "clean after reopen" `Quick test_clean_after_reopen;
     Alcotest.test_case "detects corruption" `Quick test_detects_corrupted_directory;

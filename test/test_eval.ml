@@ -56,9 +56,20 @@ let test_interpolated_precision () =
     | _ -> false
     | exception Invalid_argument _ -> true)
 
+let test_take_stack_safe () =
+  (* precision_at over a collection-sized ranked list exercises the
+     tail-recursive take. *)
+  let n = 1_000_000 in
+  let ranked = List.init n Fun.id in
+  let rel = Inquery.Eval.judgments_of_list [ 0; n - 1 ] in
+  Alcotest.(check (float 1e-12)) "huge ranked list"
+    (2.0 /. float_of_int n)
+    (Inquery.Eval.precision_at ranked rel ~k:n)
+
 let suite =
   [
     Alcotest.test_case "relevant count" `Quick test_relevant_count;
+    Alcotest.test_case "take is stack safe" `Quick test_take_stack_safe;
     Alcotest.test_case "precision_at" `Quick test_precision_at;
     Alcotest.test_case "recall_at" `Quick test_recall_at;
     Alcotest.test_case "r_precision" `Quick test_r_precision;

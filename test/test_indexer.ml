@@ -139,9 +139,29 @@ let test_records_parse_as_postings () =
         (List.fold_left (fun a dp -> a + List.length dp.Inquery.Postings.positions) 0 decoded))
     (Inquery.Indexer.to_records ix)
 
+let test_record_versions_by_df () =
+  (* The indexer's builder emits v2 (skip blocks) once a term reaches
+     the cutoff, compact v1 below it — and the records stay equivalent
+     to re-encoding the decoded postings. *)
+  let ix = Inquery.Indexer.create () in
+  for d = 0 to 19 do
+    Inquery.Indexer.add_document ix ~doc_id:d
+      (if d = 0 then "common rare" else "common common")
+  done;
+  (match record_for ix "common" with
+  | Some r ->
+    Alcotest.(check int) "df 20 record is v2" 2 (Inquery.Postings.version r);
+    Alcotest.(check bool) "max_tf header" true (Inquery.Postings.max_tf r = Some 2);
+    Alcotest.(check bool) "validates" true (Inquery.Postings.validate r = Ok ())
+  | None -> Alcotest.fail "common missing");
+  match record_for ix "rare" with
+  | Some r -> Alcotest.(check int) "df 1 record is v1" 1 (Inquery.Postings.version r)
+  | None -> Alcotest.fail "rare missing"
+
 let suite =
   [
     Alcotest.test_case "document stats" `Quick test_document_stats;
+    Alcotest.test_case "record versions by df" `Quick test_record_versions_by_df;
     Alcotest.test_case "term statistics" `Quick test_term_statistics;
     Alcotest.test_case "record contents" `Quick test_record_contents;
     Alcotest.test_case "counts" `Quick test_counts;

@@ -129,6 +129,187 @@ let prop_fold_consistent =
       in
       via_fold = List.map (fun (doc, ps) -> (doc, List.length ps)) entries)
 
+(* --- format v2: version sniffing, skip blocks, cursors ------------- *)
+
+let pairs_of b =
+  List.map (fun dp -> (dp.Inquery.Postings.doc, dp.Inquery.Postings.positions))
+    (Inquery.Postings.decode b)
+
+let big_entries n = List.init n (fun i -> (i * 3, [ i mod 7; (i mod 7) + 2 ]))
+
+let cursor_walk b =
+  let cur = Inquery.Postings.cursor b in
+  let rec go acc =
+    if Inquery.Postings.cur_doc cur = max_int then List.rev acc
+    else begin
+      let d = Inquery.Postings.cur_doc cur and tf = Inquery.Postings.cur_tf cur in
+      Inquery.Postings.cursor_next cur;
+      go ((d, tf) :: acc)
+    end
+  in
+  go []
+
+let fold_pairs b =
+  Inquery.Postings.fold_docs b ~init:[] ~f:(fun acc ~doc ~tf -> (doc, tf) :: acc) |> List.rev
+
+let test_version_sniff () =
+  Alcotest.(check int) "tiny is v1" 1
+    (Inquery.Postings.version (Inquery.Postings.encode sample));
+  Alcotest.(check int) "empty is v1" 1 (Inquery.Postings.version (Inquery.Postings.encode []));
+  let big = big_entries 200 in
+  Alcotest.(check int) "big is v2" 2 (Inquery.Postings.version (Inquery.Postings.encode big));
+  Alcotest.(check int) "encode_v1 stays v1" 1
+    (Inquery.Postings.version (Inquery.Postings.encode_v1 big))
+
+let test_v1_compat_roundtrip () =
+  (* Records written by the pre-PR encoder (kept verbatim as encode_v1)
+     must stay readable through every entry point. *)
+  List.iter
+    (fun entries ->
+      let b = Inquery.Postings.encode_v1 entries in
+      Alcotest.(check int) "version" 1 (Inquery.Postings.version b);
+      Alcotest.(check bool) "decode" true (pairs_of b = entries);
+      let df, cf = Inquery.Postings.stats b in
+      Alcotest.(check int) "df" (List.length entries) df;
+      Alcotest.(check int) "cf"
+        (List.fold_left (fun a (_, ps) -> a + List.length ps) 0 entries)
+        cf;
+      Alcotest.(check bool) "validate" true (Inquery.Postings.validate b = Ok ());
+      Alcotest.(check bool) "no skip table" true
+        (Inquery.Postings.skip_table_region b = None);
+      Alcotest.(check bool) "no max_tf header" true (Inquery.Postings.max_tf b = None);
+      Alcotest.(check bool) "cursor walk" true
+        (cursor_walk b = List.map (fun (d, ps) -> (d, List.length ps)) entries))
+    [ sample; big_entries 500; [ (0, [ 0 ]) ] ]
+
+let test_multi_block_roundtrip () =
+  let entries = big_entries 500 in
+  let b = Inquery.Postings.encode entries in
+  Alcotest.(check int) "v2" 2 (Inquery.Postings.version b);
+  (match Inquery.Postings.skip_table_region b with
+  | None -> Alcotest.fail "expected a skip table"
+  | Some (off, len) ->
+    Alcotest.(check bool) "region inside record" true
+      (off > 0 && len > 0 && off + len <= Bytes.length b));
+  Alcotest.(check bool) "decode roundtrip" true (pairs_of b = entries);
+  Alcotest.(check bool) "max_tf header" true (Inquery.Postings.max_tf b = Some 2);
+  Alcotest.(check bool) "validate" true (Inquery.Postings.validate b = Ok ());
+  Alcotest.(check bool) "cursor walk = fold" true (cursor_walk b = fold_pairs b);
+  let df, cf = Inquery.Postings.stats b in
+  Alcotest.(check int) "df" 500 df;
+  Alcotest.(check int) "cf" 1000 cf
+
+let test_builder_matches_encode () =
+  List.iter
+    (fun entries ->
+      let bld = Inquery.Postings.Builder.create () in
+      List.iter (fun (d, ps) -> Inquery.Postings.Builder.add bld ~doc:d ~positions:ps) entries;
+      Alcotest.(check string) "builder = encode"
+        (Bytes.to_string (Inquery.Postings.encode entries))
+        (Bytes.to_string (Inquery.Postings.Builder.finish bld)))
+    [ []; sample; big_entries 9; big_entries 300 ]
+
+let test_cursor_seek_v2 () =
+  let entries = List.init 1000 (fun i -> (i * 5, [ 0 ])) in
+  let b = Inquery.Postings.encode entries in
+  let cur = Inquery.Postings.cursor b in
+  Inquery.Postings.cursor_seek cur 3000;
+  Alcotest.(check int) "lands on target" 3000 (Inquery.Postings.cur_doc cur);
+  Alcotest.(check bool) "blocks skipped" true (Inquery.Postings.cursor_blocks_skipped cur > 0);
+  Alcotest.(check bool) "decoded less than scanned" true
+    (Inquery.Postings.cursor_decoded cur < 300);
+  Inquery.Postings.cursor_seek cur 2000;
+  Alcotest.(check int) "backward seek is a no-op" 3000 (Inquery.Postings.cur_doc cur);
+  Inquery.Postings.cursor_seek cur 3001;
+  Alcotest.(check int) "first doc >= target" 3005 (Inquery.Postings.cur_doc cur);
+  Inquery.Postings.cursor_seek cur 999_999;
+  Alcotest.(check int) "past the end" max_int (Inquery.Postings.cur_doc cur);
+  Alcotest.(check bool) "seeks counted" true (Inquery.Postings.cursor_seeks cur > 0)
+
+let test_cursor_seek_v1 () =
+  let entries = List.init 6 (fun i -> (i * 10, [ 1 ])) in
+  let b = Inquery.Postings.encode_v1 entries in
+  let cur = Inquery.Postings.cursor b in
+  Inquery.Postings.cursor_seek cur 35;
+  Alcotest.(check int) "linear seek" 40 (Inquery.Postings.cur_doc cur);
+  Alcotest.(check int) "no blocks to skip" 0 (Inquery.Postings.cursor_blocks_skipped cur)
+
+let test_cursor_empty () =
+  let cur = Inquery.Postings.cursor (Inquery.Postings.encode []) in
+  Alcotest.(check int) "exhausted" max_int (Inquery.Postings.cur_doc cur)
+
+let test_skip_table_bitflip () =
+  (* Any single-bit flip inside the skip table must be detected by
+     [validate], while the scan path (decode walks the doc region
+     directly) keeps returning the original postings. *)
+  let entries = big_entries 400 in
+  let b = Inquery.Postings.encode entries in
+  let reference = pairs_of b in
+  match Inquery.Postings.skip_table_region b with
+  | None -> Alcotest.fail "expected a skip table"
+  | Some (off, len) ->
+    for byte = off to off + len - 1 do
+      for bit = 0 to 7 do
+        let b' = Bytes.copy b in
+        Bytes.set b' byte (Char.chr (Char.code (Bytes.get b' byte) lxor (1 lsl bit)));
+        (match Inquery.Postings.validate b' with
+        | Ok () -> Alcotest.failf "flip at byte %d bit %d undetected" byte bit
+        | Error _ -> ());
+        if pairs_of b' <> reference then
+          Alcotest.failf "scan path changed by flip at byte %d bit %d" byte bit
+      done
+    done
+
+let gen_block_entries =
+  QCheck.Gen.(
+    list_size (int_range 64 320)
+      (pair (int_range 1 6) (list_size (int_range 1 4) (int_range 1 12)))
+    |> map (fun raw ->
+           let _, entries =
+             List.fold_left
+               (fun (doc, acc) (doc_gap, pos_gaps) ->
+                 let doc = doc + doc_gap in
+                 let _, positions =
+                   List.fold_left
+                     (fun (p, ps) gap ->
+                       let p = p + gap in
+                       (p, p :: ps))
+                     (-1, []) pos_gaps
+                 in
+                 (doc, (doc, List.rev positions) :: acc))
+               (-1, []) raw
+           in
+           List.rev entries))
+
+let prop_v2_roundtrip =
+  QCheck.Test.make ~name:"v2 multi-block roundtrip + validate" ~count:100
+    (QCheck.make gen_block_entries) (fun entries ->
+      let b = Inquery.Postings.encode entries in
+      pairs_of b = entries && Inquery.Postings.validate b = Ok ())
+
+let prop_cursor_matches_fold =
+  QCheck.Test.make ~name:"cursor walk = fold_docs (v1 and v2)" ~count:100
+    (QCheck.make gen_entries) (fun entries ->
+      let check enc =
+        let b = enc entries in
+        cursor_walk b = fold_pairs b
+      in
+      check Inquery.Postings.encode && check Inquery.Postings.encode_v1)
+
+let prop_seek_first_geq =
+  QCheck.Test.make ~name:"seek lands on first doc >= target" ~count:100
+    (QCheck.make QCheck.Gen.(pair gen_block_entries (int_range 0 2200)))
+    (fun (entries, target) ->
+      let b = Inquery.Postings.encode entries in
+      let cur = Inquery.Postings.cursor b in
+      Inquery.Postings.cursor_seek cur target;
+      let expect =
+        match List.find_opt (fun (d, _) -> d >= target) entries with
+        | Some (d, _) -> d
+        | None -> max_int
+      in
+      Inquery.Postings.cur_doc cur = expect)
+
 let suite =
   [
     Alcotest.test_case "encode/decode" `Quick test_encode_decode;
@@ -142,6 +323,17 @@ let suite =
     Alcotest.test_case "merge overlap rejected" `Quick test_merge_overlap_rejected;
     Alcotest.test_case "merge empty" `Quick test_merge_empty;
     Alcotest.test_case "remove docs" `Quick test_remove_docs;
+    Alcotest.test_case "version sniff" `Quick test_version_sniff;
+    Alcotest.test_case "v1 compat roundtrip" `Quick test_v1_compat_roundtrip;
+    Alcotest.test_case "multi-block roundtrip" `Quick test_multi_block_roundtrip;
+    Alcotest.test_case "builder matches encode" `Quick test_builder_matches_encode;
+    Alcotest.test_case "cursor seek (v2 skip table)" `Quick test_cursor_seek_v2;
+    Alcotest.test_case "cursor seek (v1 linear)" `Quick test_cursor_seek_v1;
+    Alcotest.test_case "cursor on empty record" `Quick test_cursor_empty;
+    Alcotest.test_case "skip-table bit flips detected" `Quick test_skip_table_bitflip;
     QCheck_alcotest.to_alcotest prop_roundtrip;
     QCheck_alcotest.to_alcotest prop_fold_consistent;
+    QCheck_alcotest.to_alcotest prop_v2_roundtrip;
+    QCheck_alcotest.to_alcotest prop_cursor_matches_fold;
+    QCheck_alcotest.to_alcotest prop_seek_first_geq;
   ]

@@ -40,9 +40,40 @@ let test_scores_carried () =
 let test_empty () =
   Alcotest.(check int) "empty input" 0 (List.length (Inquery.Ranking.rank [||]))
 
+let take k xs =
+  let rec go n acc = function
+    | x :: rest when n > 0 -> go (n - 1) (x :: acc) rest
+    | _ -> List.rev acc
+  in
+  go k [] xs
+
+let test_top_k_matches_rank () =
+  (* The bounded min-heap must reproduce the full sort exactly —
+     same docs, same scores, same tie-breaks. *)
+  let rng = Util.Rng.create ~seed:9 in
+  let beliefs = Array.init 5000 (fun _ -> 0.35 +. Util.Rng.float rng 0.6) in
+  List.iter
+    (fun k ->
+      let expect = take k (Inquery.Ranking.rank beliefs) in
+      let got = Inquery.Ranking.top_k beliefs ~k in
+      if got <> expect then Alcotest.failf "top_k %d diverges from rank-then-take" k)
+    [ 0; 1; 2; 7; 100; 4999; 5000; 6000 ]
+
+let test_top_k_ties_match_rank () =
+  let beliefs = Array.init 1000 (fun i -> if i mod 3 = 0 then 0.7 else 0.55) in
+  Alcotest.(check bool) "tie-breaks identical" true
+    (Inquery.Ranking.top_k beliefs ~k:10 = take 10 (Inquery.Ranking.rank beliefs))
+
+let test_top_k_stack_safe () =
+  let beliefs = Array.make 1_000_000 0.9 in
+  Alcotest.(check int) "huge array" 10 (List.length (Inquery.Ranking.top_k beliefs ~k:10))
+
 let suite =
   [
     Alcotest.test_case "sorted descending" `Quick test_sorted_descending;
+    Alcotest.test_case "top_k matches rank" `Quick test_top_k_matches_rank;
+    Alcotest.test_case "top_k ties match rank" `Quick test_top_k_ties_match_rank;
+    Alcotest.test_case "top_k stack safety" `Quick test_top_k_stack_safe;
     Alcotest.test_case "default filtered" `Quick test_default_filtered;
     Alcotest.test_case "ties by doc id" `Quick test_ties_break_by_doc_id;
     Alcotest.test_case "top_k" `Quick test_top_k;
