@@ -186,6 +186,51 @@ let topk_summary () =
     /. float_of_int (max 1 pr.Core.Engine.topk_postings_decoded))
     pr.Core.Engine.topk_blocks_skipped pr.Core.Engine.topk_seeks
 
+(* Multicore serving: the work-stealing deque ops on the executor's hot
+   path, and the per-query serve cost through a parallel worker session. *)
+let bench_parallel =
+  let deque = lazy (Util.Wsq.create ~capacity:4096 ~dummy:(-1)) in
+  [
+    Test.make ~name:"wsq push+pop (owner fast path)"
+      (Staged.stage (fun () ->
+           let q = Lazy.force deque in
+           Util.Wsq.push q 7;
+           Util.Wsq.pop q));
+    Test.make ~name:"wsq push+steal (thief path)"
+      (Staged.stage (fun () ->
+           let q = Lazy.force deque in
+           Util.Wsq.push q 7;
+           Util.Wsq.steal q));
+  ]
+
+let parallel_summary () =
+  let model =
+    Collections.Docmodel.make ~name:"par" ~n_docs:800 ~core_vocab:4000 ~mean_doc_len:100.0
+      ~seed:29 ()
+  in
+  let prepared = Core.Experiment.prepare model in
+  let _, spec = List.hd (Collections.Presets.query_sets model) in
+  let queries =
+    List.filteri (fun i _ -> i < 16) (Collections.Querygen.generate model spec)
+  in
+  let base = ref 0.0 in
+  Printf.printf "\n[parallel query serving, %d queries]\n" (List.length queries);
+  List.iter
+    (fun domains ->
+      let r =
+        Core.Parallel.run_query_set ~domains ~audit:true prepared Core.Experiment.Mneme_cache
+          ~queries
+      in
+      if domains = 1 then base := r.Core.Parallel.sim_makespan_ms;
+      Printf.printf
+        "  %d domain(s): makespan %8.1f sim-ms (%.2fx), serial work %8.1f sim-ms, %d steals, \
+         audit passed\n"
+        domains r.Core.Parallel.sim_makespan_ms
+        (if r.Core.Parallel.sim_makespan_ms > 0.0 then !base /. r.Core.Parallel.sim_makespan_ms
+         else 0.0)
+        r.Core.Parallel.sim_serial_ms r.Core.Parallel.steals)
+    [ 1; 2; 4 ]
+
 let run_micro () =
   let groups =
     [
@@ -194,6 +239,7 @@ let run_micro () =
       ("tables 3-5: lookup paths", bench_tables345);
       ("table6+fig3: buffer manager", bench_table6);
       ("topk: pruned vs exhaustive DAAT", bench_topk);
+      ("parallel: work-stealing deque", bench_parallel);
     ]
   in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
@@ -226,7 +272,8 @@ let () =
   let skip_micro = Sys.getenv_opt "REPRO_SKIP_MICRO" = Some "1" in
   if not skip_micro then begin
     run_micro ();
-    topk_summary ()
+    topk_summary ();
+    parallel_summary ()
   end;
   let progress m = Printf.eprintf "  %s\n%!" m in
   Printf.printf "=== Paper reproduction (scale %.2f, simulated 1993 hardware) ===\n%!" scale;

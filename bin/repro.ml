@@ -297,6 +297,131 @@ let topk_cmd =
   Cmd.v (Cmd.info "topk" ~doc)
     Term.(const run $ scale_arg $ collections_arg $ k_arg $ queries_arg $ audit_arg $ json_arg)
 
+(* --- parallel ----------------------------------------------------- *)
+
+let parallel_cmd =
+  let collections_arg =
+    let doc = "Collections to measure (default: all four)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"COLLECTION" ~doc)
+  in
+  let domains_arg =
+    let doc = "Domain counts to sweep (repeatable; default 1, 2, 4, 8)." in
+    Arg.(value & opt_all int [] & info [ "domains"; "d" ] ~docv:"N" ~doc)
+  in
+  let queries_arg =
+    let doc = "Serve only the first N queries of each set." in
+    Arg.(value & opt (some int) None & info [ "queries" ] ~docv:"N" ~doc)
+  in
+  let audit_arg =
+    let doc =
+      "After each parallel run, re-run the set serially and fail unless \
+       every ranking is bit-identical (documents and beliefs)."
+    in
+    Arg.(value & flag & info [ "audit" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Also write the scaling numbers as JSON to FILE." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let run scale names domains n_queries audit json_file =
+    let domains = match domains with [] -> [ 1; 2; 4; 8 ] | ds -> ds in
+    if List.exists (fun d -> d <= 0) domains then begin
+      Printf.eprintf "parallel: every --domains must be positive\n";
+      exit 2
+    end;
+    let names =
+      match names with [] -> [ "cacm"; "legal"; "tipster1"; "tipster" ] | ns -> ns
+    in
+    let results =
+      List.map
+        (fun name ->
+          let model = Collections.Presets.find ~scale name in
+          let prepared = Core.Experiment.prepare ~progress model in
+          let _, spec = List.hd (Collections.Presets.query_sets model) in
+          let queries = Collections.Querygen.generate model spec in
+          let queries =
+            match n_queries with
+            | None -> queries
+            | Some n -> List.filteri (fun i _ -> i < n) queries
+          in
+          let reports =
+            List.map
+              (fun d ->
+                match
+                  Core.Parallel.run_query_set ~domains:d ~audit prepared
+                    Core.Experiment.Mneme_cache ~queries
+                with
+                | r -> r
+                | exception Core.Parallel.Audit_mismatch msg ->
+                  Printf.eprintf "parallel: AUDIT FAILED on %s at %d domains: %s\n" name d msg;
+                  exit 1)
+              domains
+          in
+          (name, List.length queries, reports))
+        names
+    in
+    Printf.printf "%-10s %8s %8s %12s %12s %9s %7s %10s\n" "collection" "queries" "domains"
+      "serial ms" "makespan ms" "speedup" "steals" "real ms";
+    List.iter
+      (fun (name, nq, reports) ->
+        let base =
+          match reports with r :: _ -> r.Core.Parallel.sim_makespan_ms | [] -> 0.0
+        in
+        List.iter
+          (fun (r : Core.Parallel.report) ->
+            let speedup =
+              if r.Core.Parallel.sim_makespan_ms > 0.0 then
+                base /. r.Core.Parallel.sim_makespan_ms
+              else 0.0
+            in
+            Printf.printf "%-10s %8d %8d %12.1f %12.1f %8.2fx %7d %10.1f\n" name nq
+              r.Core.Parallel.domains r.Core.Parallel.sim_serial_ms
+              r.Core.Parallel.sim_makespan_ms speedup r.Core.Parallel.steals
+              r.Core.Parallel.real_elapsed_ms)
+          reports)
+      results;
+    if audit then
+      Printf.printf "audit: every parallel ranking matched the serial run bit-for-bit\n";
+    match json_file with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      let row_json name nq base (r : Core.Parallel.report) =
+        let speedup =
+          if r.Core.Parallel.sim_makespan_ms > 0.0 then base /. r.Core.Parallel.sim_makespan_ms
+          else 0.0
+        in
+        Printf.sprintf
+          "  { \"collection\": %S, \"queries\": %d, \"domains\": %d,\n\
+          \    \"sim_serial_ms\": %.3f, \"sim_makespan_ms\": %.3f, \"speedup\": %.3f,\n\
+          \    \"steals\": %d, \"real_elapsed_ms\": %.3f, \"audited\": %b }"
+          name nq r.Core.Parallel.domains r.Core.Parallel.sim_serial_ms
+          r.Core.Parallel.sim_makespan_ms speedup r.Core.Parallel.steals
+          r.Core.Parallel.real_elapsed_ms r.Core.Parallel.audited
+      in
+      let rows =
+        List.concat_map
+          (fun (name, nq, reports) ->
+            let base =
+              match reports with r :: _ -> r.Core.Parallel.sim_makespan_ms | [] -> 0.0
+            in
+            List.map (row_json name nq base) reports)
+          results
+      in
+      Printf.fprintf oc "[\n%s\n]\n" (String.concat ",\n" rows);
+      close_out oc;
+      Printf.printf "wrote %s\n" file
+  in
+  let doc =
+    "Serve each collection's query set across 1/2/4/8 OCaml domains — \
+     one session (private buffers, file copy, clock) per domain, \
+     work-stealing distribution — and report the simulated-time scaling \
+     table; --audit verifies bit-identical rankings against a serial run."
+  in
+  Cmd.v (Cmd.info "parallel" ~doc)
+    Term.(const run $ scale_arg $ collections_arg $ domains_arg $ queries_arg $ audit_arg
+          $ json_arg)
+
 (* --- torture ------------------------------------------------------ *)
 
 let torture_cmd =
@@ -574,5 +699,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ tables_cmd; ablations_cmd; stats_cmd; run_cmd; query_cmd; topk_cmd; fsck_cmd;
-            torture_cmd; failover_cmd; scrub_cmd; frontend_cmd ]))
+          [ tables_cmd; ablations_cmd; stats_cmd; run_cmd; query_cmd; topk_cmd; parallel_cmd;
+            fsck_cmd; torture_cmd; failover_cmd; scrub_cmd; frontend_cmd ]))

@@ -10,3 +10,7 @@ let compute ?(small_pseg = 4096) ?(medium_pseg = 8192) ?(medium_ratio = 0.09) ~l
 let no_cache = { small = 0; medium = 0; large = 0 }
 
 let with_large t large = { t with large }
+
+let split t ~ways =
+  if ways <= 0 then invalid_arg "Buffer_sizing.split: ways must be positive";
+  { small = t.small / ways; medium = t.medium / ways; large = t.large / ways }

@@ -23,3 +23,12 @@ val no_cache : t
 
 val with_large : t -> int -> t
 (** Override the large-buffer capacity (the Figure 3 sweep). *)
+
+val split : t -> ways:int -> t
+(** One worker session's share of the Table 2 budget when the query set
+    is served by [ways] domains: each pool capacity is divided evenly
+    (flooring), so the {e total} buffer memory of a parallel run never
+    exceeds the single-session budget the paper's heuristics grant.
+    Zero capacities stay zero (transient pools stay transient).
+    [split t ~ways:1] is [t].  Raises [Invalid_argument] if
+    [ways <= 0]. *)

@@ -14,6 +14,7 @@ type t = {
   capacity : int;
   buf_policy : policy;
   table : (int, seg) Hashtbl.t;
+  pinned : (int, unit) Hashtbl.t; (* segments with pins > 0 *)
   mutable head : seg option; (* most recent / queue front *)
   mutable tail : seg option; (* eviction end *)
   mutable used : int;
@@ -31,6 +32,7 @@ let create ~name ~capacity ?(policy = Lru) () =
     capacity;
     buf_policy = policy;
     table = Hashtbl.create 64;
+    pinned = Hashtbl.create 8;
     head = None;
     tail = None;
     used = 0;
@@ -58,6 +60,7 @@ let push_front t seg =
 let remove_seg t seg =
   unlink t seg;
   Hashtbl.remove t.table seg.pseg;
+  if seg.pins > 0 then Hashtbl.remove t.pinned seg.pseg;
   t.used <- t.used - Bytes.length seg.bytes
 
 (* Find an eviction victim according to the policy, skipping pins.  For
@@ -128,6 +131,7 @@ let pin t ~pseg =
   match Hashtbl.find_opt t.table pseg with
   | None -> false
   | Some seg ->
+    if seg.pins = 0 then Hashtbl.replace t.pinned pseg ();
     seg.pins <- seg.pins + 1;
     true
 
@@ -136,7 +140,8 @@ let unpin t ~pseg =
   | None -> invalid_arg "Buffer_pool.unpin: segment not resident"
   | Some seg ->
     if seg.pins <= 0 then invalid_arg "Buffer_pool.unpin: segment not pinned";
-    seg.pins <- seg.pins - 1
+    seg.pins <- seg.pins - 1;
+    if seg.pins = 0 then Hashtbl.remove t.pinned pseg
 
 let update t ~pseg bytes =
   match Hashtbl.find_opt t.table pseg with
@@ -146,6 +151,7 @@ let update t ~pseg bytes =
     let pins = seg.pins in
     remove_seg t seg;
     let seg' = { pseg; bytes; pins; ref_bit = true; prev = None; next = None } in
+    if pins > 0 then Hashtbl.replace t.pinned pseg ();
     Hashtbl.add t.table pseg seg';
     push_front t seg';
     t.used <- t.used + Bytes.length bytes;
@@ -158,13 +164,17 @@ let drop t ~pseg =
 
 let clear t =
   Hashtbl.reset t.table;
+  Hashtbl.reset t.pinned;
   t.head <- None;
   t.tail <- None;
   t.used <- 0
 
+(* O(pinned): the engine's between-query leak detector calls this per
+   query, where the answer is almost always the empty list — scanning
+   every resident segment for it would tax exactly the well-behaved
+   case. *)
 let pinned_segments t =
-  Hashtbl.fold (fun pseg seg acc -> if seg.pins > 0 then pseg :: acc else acc) t.table []
-  |> List.sort compare
+  Hashtbl.fold (fun pseg () acc -> pseg :: acc) t.pinned [] |> List.sort compare
 
 let stats t =
   {
@@ -179,3 +189,16 @@ let reset_stats t =
   t.n_refs <- 0;
   t.n_hits <- 0;
   t.n_evictions <- 0
+
+let merge_stats stats =
+  List.fold_left
+    (fun acc s ->
+      {
+        refs = acc.refs + s.refs;
+        hits = acc.hits + s.hits;
+        evictions = acc.evictions + s.evictions;
+        resident_bytes = acc.resident_bytes + s.resident_bytes;
+        resident_segments = acc.resident_segments + s.resident_segments;
+      })
+    { refs = 0; hits = 0; evictions = 0; resident_bytes = 0; resident_segments = 0 }
+    stats

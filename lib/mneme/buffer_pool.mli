@@ -16,7 +16,17 @@
 
     Hit statistics are reported per buffer exactly as in the paper's
     Table 6: one {e reference} per fault, a {e hit} when the segment was
-    already resident. *)
+    already resident.
+
+    {b Domain-safety contract.}  A buffer is {e not} internally
+    synchronised: all operations on one [t] must come from a single
+    domain.  The multicore query executor ({!Core.Parallel}) therefore
+    gives each worker domain its own buffer session over its own
+    read-only store image — no lock on the fault path — and merges the
+    per-session counters afterwards with {!merge_stats}, which restores
+    the single-session Table 6 totals exactly (references and hits are
+    plain sums; residency is whatever each session held at merge
+    time). *)
 
 type policy = Lru | Fifo | Clock
 
@@ -53,7 +63,9 @@ val unpin : t -> pseg:int -> unit
 val pinned_segments : t -> int list
 (** Resident segments with at least one pin, ascending — a correct
     engine leaves this empty between queries (reservations must not
-    leak, even when evaluation raises). *)
+    leak, even when evaluation raises).  Costs O(pinned), not
+    O(resident): the common empty answer is free no matter how full the
+    buffer is. *)
 
 val update : t -> pseg:int -> bytes -> unit
 (** Replace the resident copy after a write-through modification; no-op
@@ -67,3 +79,8 @@ val clear : t -> unit
 
 val stats : t -> stats
 val reset_stats : t -> unit
+
+val merge_stats : stats list -> stats
+(** Component-wise sum — one paper-faithful Table 6 report from the
+    per-domain buffer sessions of a parallel run.  [merge_stats []] is
+    all zeros. *)

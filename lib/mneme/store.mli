@@ -14,7 +14,18 @@
     [finalize] to persist the auxiliary tables.  A finalized file
     re-opened with [open_existing] loads its auxiliary tables lazily, on
     the first access to each pool — charging the simulated I/O exactly
-    once, as the paper describes. *)
+    once, as the paper describes.
+
+    {b Domain-safety contract.}  A store session — the [t], its pools,
+    their attached {!Buffer_pool}s and the underlying {!Vfs} — is
+    single-domain: nothing here is internally synchronised, and even a
+    "read-only" [get] mutates session state (auxiliary-table caches,
+    buffer recency lists, the simulated clock).  Concurrent serving
+    therefore uses one {e session per domain}, each opened with
+    [open_existing] over that domain's own copy of the finalized
+    (read-only) file image; sessions never share mutable state, so the
+    postings hot path carries no lock.  {!Core.Parallel} is the
+    reference implementation of this pattern. *)
 
 type t
 type pool

@@ -1,0 +1,57 @@
+(* Chase-Lev work-stealing deque over a fixed ring buffer.
+
+   [top] only ever increases (steals and last-element pops); [bottom]
+   is owned by the single pushing/popping domain.  Both are Atomic.t:
+   OCaml 5 atomics are sequentially consistent, which subsumes the
+   acquire/release pairs the original algorithm needs — the slot write
+   in [push] happens-before the [bottom] store that publishes it, so a
+   thief that observes the new [bottom] also observes the slot. *)
+
+type 'a t = {
+  buf : 'a array;
+  mask : int;
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+}
+
+let create ~capacity ~dummy =
+  if capacity <= 0 then invalid_arg "Wsq.create: capacity must be positive";
+  let cap = ref 1 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  { buf = Array.make !cap dummy; mask = !cap - 1; top = Atomic.make 0; bottom = Atomic.make 0 }
+
+let size t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
+
+let push t x =
+  let b = Atomic.get t.bottom in
+  if b - Atomic.get t.top > t.mask then invalid_arg "Wsq.push: full";
+  t.buf.(b land t.mask) <- x;
+  Atomic.set t.bottom (b + 1)
+
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* Empty: restore the invariant bottom >= top. *)
+    Atomic.set t.bottom tp;
+    None
+  end
+  else if b > tp then Some t.buf.(b land t.mask)
+  else begin
+    (* Final element: race the thieves for it. *)
+    let won = Atomic.compare_and_set t.top tp (tp + 1) in
+    Atomic.set t.bottom (tp + 1);
+    if won then Some t.buf.(b land t.mask) else None
+  end
+
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then None
+  else begin
+    let x = t.buf.(tp land t.mask) in
+    if Atomic.compare_and_set t.top tp (tp + 1) then Some x else None
+  end

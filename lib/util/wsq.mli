@@ -1,0 +1,35 @@
+(** Work-stealing deque (Chase–Lev).
+
+    One {e owner} domain pushes and pops at the bottom; any number of
+    {e thief} domains steal from the top.  The owner's fast path is
+    mutex-free — a push is one slot write plus one atomic store, a pop
+    of a non-last element never executes a compare-and-swap.  Only the
+    race for the final element (owner pop vs. thief steal) is resolved
+    by CAS, the classic Chase–Lev protocol.
+
+    Indices grow monotonically, so the structure is ABA-free.  The
+    buffer is fixed-capacity: the parallel query executor knows its task
+    count up front, and a bounded deque keeps the hot path free of
+    resize barriers. *)
+
+type 'a t
+
+val create : capacity:int -> dummy:'a -> 'a t
+(** [capacity] is rounded up to a power of two.  [dummy] fills unused
+    slots (never returned).  Raises [Invalid_argument] if
+    [capacity <= 0]. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner only.  Raises [Invalid_argument] when full. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: newest element (LIFO), or [None] when empty. *)
+
+val steal : 'a t -> 'a option
+(** Any domain: oldest element (FIFO), or [None] when empty or when the
+    CAS lost a race (callers iterate over victims anyway, so a spurious
+    [None] only costs another probe). *)
+
+val size : 'a t -> int
+(** Snapshot of the current element count (racy under concurrency;
+    exact when quiescent). *)

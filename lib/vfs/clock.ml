@@ -51,3 +51,9 @@ let diff ~later ~earlier =
 
 let wall_ms s = s.disk_ms +. s.syscall_ms +. s.copy_ms +. s.engine_cpu_ms
 let sys_io_ms s = s.disk_ms +. s.syscall_ms +. s.copy_ms
+
+module Monotonic = struct
+  let now_ns () = Monotonic_clock.now ()
+
+  let elapsed_ms ~since = Int64.to_float (Int64.sub (now_ns ()) since) /. 1.0e6
+end

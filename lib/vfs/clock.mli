@@ -35,3 +35,19 @@ val wall_ms : snapshot -> float
 
 val sys_io_ms : snapshot -> float
 (** [disk + syscall + copy] — the Table 4 quantity. *)
+
+(** Real (host) monotonic time, deliberately fenced off in its own
+    module: everything else in {!Clock} is {e simulated} 1993 hardware
+    time, and the paper tables must never mix the two.  Only
+    wall-clock throughput measurement of the multicore executor
+    ({!Core.Parallel}) reads this — it reports real elapsed time
+    {e alongside} the simulated per-domain clocks, never into them.
+    Nothing here touches any [t]; simulated clocks are unaffected. *)
+module Monotonic : sig
+  val now_ns : unit -> int64
+  (** Nanoseconds on the host's monotonic clock (CLOCK_MONOTONIC);
+      meaningful only as a difference between two calls. *)
+
+  val elapsed_ms : since:int64 -> float
+  (** Milliseconds of real time since a previous {!now_ns} reading. *)
+end

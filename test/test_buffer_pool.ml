@@ -142,6 +142,60 @@ let test_accessors_and_validation () =
     | _ -> false
     | exception Invalid_argument _ -> true)
 
+let test_merge_stats () =
+  let a = Mneme.Buffer_pool.create ~name:"a" ~capacity:1000 () in
+  let b = Mneme.Buffer_pool.create ~name:"b" ~capacity:200 () in
+  fault_seq a [ 1; 2; 1; 1 ];
+  fault_seq b [ 1; 2; 3; 3 ];
+  let m =
+    Mneme.Buffer_pool.merge_stats [ Mneme.Buffer_pool.stats a; Mneme.Buffer_pool.stats b ]
+  in
+  Alcotest.(check int) "refs sum" 8 m.Mneme.Buffer_pool.refs;
+  Alcotest.(check int) "hits sum" 3 m.Mneme.Buffer_pool.hits;
+  Alcotest.(check int) "evictions sum" 1 m.Mneme.Buffer_pool.evictions;
+  Alcotest.(check int) "resident segments sum" 4 m.Mneme.Buffer_pool.resident_segments;
+  Alcotest.(check int) "resident bytes sum" 400 m.Mneme.Buffer_pool.resident_bytes;
+  let z = Mneme.Buffer_pool.merge_stats [] in
+  Alcotest.(check int) "empty merge refs" 0 z.Mneme.Buffer_pool.refs;
+  Alcotest.(check int) "empty merge bytes" 0 z.Mneme.Buffer_pool.resident_bytes;
+  (* Merging a single session is the identity. *)
+  Alcotest.(check bool) "singleton identity" true
+    (Mneme.Buffer_pool.merge_stats [ Mneme.Buffer_pool.stats a ] = Mneme.Buffer_pool.stats a)
+
+(* The pinned-segment index must track every path that creates or
+   destroys a pin: pin/unpin, nesting, update (which rebuilds the node),
+   drop and clear. *)
+let test_pinned_segments_index () =
+  let b = Mneme.Buffer_pool.create ~name:"t" ~capacity:1000 () in
+  fault_seq b [ 1; 2; 3 ];
+  Alcotest.(check (list int)) "none pinned" [] (Mneme.Buffer_pool.pinned_segments b);
+  ignore (Mneme.Buffer_pool.pin b ~pseg:3);
+  ignore (Mneme.Buffer_pool.pin b ~pseg:1);
+  ignore (Mneme.Buffer_pool.pin b ~pseg:1);
+  Alcotest.(check (list int)) "ascending" [ 1; 3 ] (Mneme.Buffer_pool.pinned_segments b);
+  Mneme.Buffer_pool.unpin b ~pseg:1;
+  Alcotest.(check (list int)) "nested pin survives one unpin" [ 1; 3 ]
+    (Mneme.Buffer_pool.pinned_segments b);
+  Mneme.Buffer_pool.unpin b ~pseg:1;
+  Alcotest.(check (list int)) "unpinned out" [ 3 ] (Mneme.Buffer_pool.pinned_segments b);
+  (* update preserves the pin count across the node rebuild. *)
+  Mneme.Buffer_pool.update b ~pseg:3 (Bytes.make 10 'u');
+  Alcotest.(check (list int)) "pin survives update" [ 3 ] (Mneme.Buffer_pool.pinned_segments b);
+  Mneme.Buffer_pool.drop b ~pseg:3;
+  Alcotest.(check (list int)) "drop clears pin" [] (Mneme.Buffer_pool.pinned_segments b);
+  fault_seq b [ 4 ];
+  ignore (Mneme.Buffer_pool.pin b ~pseg:4);
+  Mneme.Buffer_pool.clear b;
+  Alcotest.(check (list int)) "clear empties index" [] (Mneme.Buffer_pool.pinned_segments b);
+  (* A segment whose pin count returned to zero is evictable again, and
+     its eviction must not resurrect an index entry. *)
+  fault_seq b [ 5 ];
+  ignore (Mneme.Buffer_pool.pin b ~pseg:5);
+  Mneme.Buffer_pool.unpin b ~pseg:5;
+  fault_seq b (List.init 12 (fun i -> 100 + i));
+  Alcotest.(check (list int)) "evicted segment not pinned" []
+    (Mneme.Buffer_pool.pinned_segments b)
+
 let prop_capacity_respected =
   QCheck.Test.make ~name:"resident bytes never exceed capacity without pins" ~count:100
     QCheck.(list (int_range 0 30))
@@ -165,5 +219,7 @@ let suite =
     Alcotest.test_case "update and drop" `Quick test_update_and_drop;
     Alcotest.test_case "clear keeps stats" `Quick test_clear_keeps_stats;
     Alcotest.test_case "accessors and validation" `Quick test_accessors_and_validation;
+    Alcotest.test_case "merge stats" `Quick test_merge_stats;
+    Alcotest.test_case "pinned segments index" `Quick test_pinned_segments_index;
     QCheck_alcotest.to_alcotest prop_capacity_respected;
   ]

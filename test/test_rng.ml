@@ -97,6 +97,25 @@ let test_bool_balanced () =
   done;
   Alcotest.(check bool) "balanced" true (!trues > 4700 && !trues < 5300)
 
+(* Splitting must yield genuinely disjoint streams: a parallel worker
+   seeded from [split] must never replay another worker's draws. *)
+let prop_split_streams_disjoint =
+  QCheck.Test.make ~name:"split streams never overlap in first 10k draws" ~count:25
+    QCheck.(make Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let parent = Util.Rng.create ~seed in
+      let child = Util.Rng.split parent in
+      let draws = 10_000 in
+      let seen = Hashtbl.create (2 * draws) in
+      for _ = 1 to draws do
+        Hashtbl.replace seen (Util.Rng.bits64 parent) ()
+      done;
+      let overlap = ref 0 in
+      for _ = 1 to draws do
+        if Hashtbl.mem seen (Util.Rng.bits64 child) then incr overlap
+      done;
+      !overlap = 0)
+
 let suite =
   [
     Alcotest.test_case "determinism" `Quick test_determinism;
@@ -111,4 +130,5 @@ let suite =
     Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
     Alcotest.test_case "choose" `Quick test_choose;
     Alcotest.test_case "bool balanced" `Quick test_bool_balanced;
+    QCheck_alcotest.to_alcotest prop_split_streams_disjoint;
   ]

@@ -145,6 +145,31 @@ let test_clock_diff_and_engine () =
   Alcotest.check_raises "negative charge" (Invalid_argument "Clock.charge: negative charge")
     (fun () -> Vfs.Clock.charge_disk clock (-1.0))
 
+let test_monotonic_is_real_not_simulated () =
+  (* The real monotonic clock advances on its own and never bleeds into
+     any simulated clock. *)
+  let clock = Vfs.Clock.create () in
+  Vfs.Clock.charge_disk clock 7.0;
+  let before = Vfs.Clock.snapshot clock in
+  let t0 = Vfs.Clock.Monotonic.now_ns () in
+  let t1 = ref (Vfs.Clock.Monotonic.now_ns ()) in
+  (* Monotone: a later reading is never smaller. *)
+  Alcotest.(check bool) "non-decreasing" true (Int64.compare !t1 t0 >= 0);
+  (* Spin until it visibly advances (nanosecond clocks tick fast). *)
+  let spins = ref 0 in
+  while Int64.equal !t1 t0 && !spins < 1_000_000 do
+    incr spins;
+    t1 := Vfs.Clock.Monotonic.now_ns ()
+  done;
+  Alcotest.(check bool) "advances in real time" true (Int64.compare !t1 t0 > 0);
+  Alcotest.(check bool) "elapsed_ms non-negative" true
+    (Vfs.Clock.Monotonic.elapsed_ms ~since:t0 >= 0.0);
+  (* Reading real time charged nothing simulated. *)
+  let after = Vfs.Clock.snapshot clock in
+  Alcotest.(check (float 1e-9)) "simulated clock untouched" (Vfs.Clock.wall_ms before)
+    (Vfs.Clock.wall_ms after);
+  Alcotest.(check (float 1e-9)) "still exactly the charge" 7.0 (Vfs.Clock.wall_ms after)
+
 let test_truncate () =
   let vfs = make () in
   let f = Vfs.open_file vfs "a" in
@@ -505,6 +530,8 @@ let suite =
     Alcotest.test_case "cache capacity eviction" `Quick test_cache_capacity_eviction;
     Alcotest.test_case "clock charges" `Quick test_clock_charges;
     Alcotest.test_case "clock diff and engine" `Quick test_clock_diff_and_engine;
+    Alcotest.test_case "monotonic real clock fenced off" `Quick
+      test_monotonic_is_real_not_simulated;
     Alcotest.test_case "truncate" `Quick test_truncate;
     Alcotest.test_case "delete file" `Quick test_delete_file;
     Alcotest.test_case "file names sorted" `Quick test_file_names_sorted;

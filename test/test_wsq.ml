@@ -1,0 +1,89 @@
+(* Work-stealing deque: sequential semantics, then a multi-domain
+   stress run checking every task is delivered exactly once. *)
+
+let test_lifo_pop () =
+  let q = Util.Wsq.create ~capacity:8 ~dummy:(-1) in
+  List.iter (Util.Wsq.push q) [ 1; 2; 3 ];
+  Alcotest.(check (option int)) "newest first" (Some 3) (Util.Wsq.pop q);
+  Alcotest.(check (option int)) "then 2" (Some 2) (Util.Wsq.pop q);
+  Alcotest.(check (option int)) "then 1" (Some 1) (Util.Wsq.pop q);
+  Alcotest.(check (option int)) "empty" None (Util.Wsq.pop q);
+  Alcotest.(check (option int)) "still empty" None (Util.Wsq.pop q)
+
+let test_fifo_steal () =
+  let q = Util.Wsq.create ~capacity:8 ~dummy:(-1) in
+  List.iter (Util.Wsq.push q) [ 1; 2; 3 ];
+  Alcotest.(check (option int)) "oldest first" (Some 1) (Util.Wsq.steal q);
+  Alcotest.(check (option int)) "then 2" (Some 2) (Util.Wsq.steal q);
+  Alcotest.(check (option int)) "owner gets the rest" (Some 3) (Util.Wsq.pop q);
+  Alcotest.(check (option int)) "empty steal" None (Util.Wsq.steal q)
+
+let test_pop_steal_interleave () =
+  let q = Util.Wsq.create ~capacity:16 ~dummy:(-1) in
+  for i = 1 to 10 do
+    Util.Wsq.push q i
+  done;
+  Alcotest.(check int) "size" 10 (Util.Wsq.size q);
+  let seen = ref [] in
+  for i = 1 to 10 do
+    let v = if i mod 2 = 0 then Util.Wsq.steal q else Util.Wsq.pop q in
+    match v with Some x -> seen := x :: !seen | None -> Alcotest.fail "drained early"
+  done;
+  Alcotest.(check (list int)) "all delivered once"
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+    (List.sort compare !seen);
+  Alcotest.(check int) "drained" 0 (Util.Wsq.size q)
+
+let test_capacity () =
+  Alcotest.check_raises "zero capacity" (Invalid_argument "Wsq.create: capacity must be positive")
+    (fun () -> ignore (Util.Wsq.create ~capacity:0 ~dummy:0));
+  (* Capacity rounds up to a power of two: 5 -> 8 slots. *)
+  let q = Util.Wsq.create ~capacity:5 ~dummy:(-1) in
+  for i = 1 to 8 do
+    Util.Wsq.push q i
+  done;
+  Alcotest.check_raises "full" (Invalid_argument "Wsq.push: full") (fun () -> Util.Wsq.push q 9);
+  (* The ring reuses freed slots. *)
+  Alcotest.(check (option int)) "steal frees a slot" (Some 1) (Util.Wsq.steal q);
+  Util.Wsq.push q 9;
+  Alcotest.(check (option int)) "push after wrap" (Some 9) (Util.Wsq.pop q)
+
+(* Owner pops while thief domains steal; every pushed task must be
+   delivered to exactly one consumer. *)
+let test_parallel_stress () =
+  let n = 20_000 and thieves = 3 in
+  let q = Util.Wsq.create ~capacity:n ~dummy:(-1) in
+  for i = 0 to n - 1 do
+    Util.Wsq.push q i
+  done;
+  let owner_done = Atomic.make false in
+  let thief () =
+    let got = ref [] in
+    let continue_ = ref true in
+    while !continue_ do
+      match Util.Wsq.steal q with
+      | Some x -> got := x :: !got
+      | None -> if Atomic.get owner_done then continue_ := false else Domain.cpu_relax ()
+    done;
+    !got
+  in
+  let domains = List.init thieves (fun _ -> Domain.spawn thief) in
+  let mine = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    match Util.Wsq.pop q with Some x -> mine := x :: !mine | None -> continue_ := false
+  done;
+  Atomic.set owner_done true;
+  let stolen = List.concat_map Domain.join domains in
+  let all = List.sort compare (!mine @ stolen) in
+  Alcotest.(check int) "every task delivered exactly once" n (List.length all);
+  Alcotest.(check (list int)) "no duplicates, no losses" (List.init n Fun.id) all
+
+let suite =
+  [
+    Alcotest.test_case "pop is LIFO" `Quick test_lifo_pop;
+    Alcotest.test_case "steal is FIFO" `Quick test_fifo_steal;
+    Alcotest.test_case "pop/steal interleave" `Quick test_pop_steal_interleave;
+    Alcotest.test_case "capacity and wrap" `Quick test_capacity;
+    Alcotest.test_case "multi-domain stress" `Quick test_parallel_stress;
+  ]
