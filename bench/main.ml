@@ -231,6 +231,47 @@ let parallel_summary () =
         r.Core.Parallel.sim_serial_ms r.Core.Parallel.steals)
     [ 1; 2; 4 ]
 
+(* Snapshot isolation: what one epoch publication costs, journaled
+   (sealed root + header switch in one transaction) vs unjournaled
+   (in-memory publish), and what a pinned read costs over a live one.
+   Each mutation benchmark runs a steady-state add+delete+gc cycle so
+   the store does not grow across iterations. *)
+let epoch_fixture journal =
+  lazy
+    (let file = if journal then "bench-epoch-j.mneme" else "bench-epoch.mneme" in
+     let journal = if journal then Some (file ^ ".log") else None in
+     let live = Core.Live_index.create_mneme ?journal (Vfs.create ()) ~file () in
+     for i = 0 to 19 do
+       ignore
+         (Core.Live_index.add_document live
+            (Printf.sprintf "alpha beta gamma doc%d term%d term%d" i (i mod 7) (i mod 11)))
+     done;
+     live)
+
+let epoch_cycle live =
+  let id = Core.Live_index.add_document live "alpha beta gamma delta epsilon" in
+  ignore (Core.Live_index.delete_document live id);
+  ignore (Core.Live_index.gc live)
+
+let bench_epoch =
+  let plain = epoch_fixture false in
+  let journaled = epoch_fixture true in
+  [
+    Test.make ~name:"epoch publish cycle (unjournaled)"
+      (Staged.stage (fun () -> epoch_cycle (Lazy.force plain)));
+    Test.make ~name:"epoch publish cycle (journaled)"
+      (Staged.stage (fun () -> epoch_cycle (Lazy.force journaled)));
+    Test.make ~name:"search (latest epoch)"
+      (Staged.stage (fun () -> Core.Live_index.search ~top_k:10 (Lazy.force plain) "alpha"));
+    Test.make ~name:"pin + search_pinned + release"
+      (Staged.stage (fun () ->
+           let live = Lazy.force plain in
+           let p = Core.Live_index.pin live in
+           let r = Core.Live_index.search_pinned ~top_k:10 live p "alpha" in
+           Core.Live_index.release live p;
+           r));
+  ]
+
 let run_micro () =
   let groups =
     [
@@ -240,6 +281,7 @@ let run_micro () =
       ("table6+fig3: buffer manager", bench_table6);
       ("topk: pruned vs exhaustive DAAT", bench_topk);
       ("parallel: work-stealing deque", bench_parallel);
+      ("epoch: snapshot-isolated mutation", bench_epoch);
     ]
   in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in

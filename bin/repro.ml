@@ -488,6 +488,114 @@ let failover_cmd =
   Cmd.v (Cmd.info "failover" ~doc)
     Term.(const run $ seed_arg $ docs_arg $ batches_arg $ standbys_arg)
 
+(* --- epoch -------------------------------------------------------- *)
+
+let epoch_cmd =
+  let seed_arg =
+    let doc = "PRNG seed for the workload." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let docs_arg =
+    let doc = "Documents the live-index workload indexes (deletions are interleaved)." in
+    Arg.(value & opt int 8 & info [ "docs" ] ~docv:"N" ~doc)
+  in
+  let audit_arg =
+    let doc =
+      "Crash the workload at every physical I/O, recover each image, and audit that the \
+       surviving root is wholly old or wholly new, fsck-clean, and gc-drainable."
+    in
+    Arg.(value & flag & info [ "audit" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Write the outcome as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let run seed docs audit json_file =
+    if docs <= 0 then begin
+      Printf.eprintf "epoch: --docs must be positive\n";
+      exit 2
+    end;
+    let plan = Core.Torture.prepare_epoch ~seed ~docs () in
+    let table = Core.Torture.epoch_table plan in
+    Printf.printf "golden run: %d epochs published over %d documents, %d crash points\n"
+      (Core.Torture.epoch_mutations plan)
+      docs
+      (Core.Torture.epoch_points plan);
+    Printf.printf "%8s %10s %10s\n" "epoch" "documents" "terms";
+    List.iter (fun (e, d, t) -> Printf.printf "%8d %10d %10d\n" e d t) table;
+    let golden_problems = Core.Torture.epoch_golden_problems plan in
+    List.iter (fun p -> Printf.printf "golden run problem: %s\n" p) golden_problems;
+    let outcome = if audit then Some (Core.Torture.run_epoch ~seed ~docs ()) else None in
+    (match outcome with
+    | Some o -> Format.printf "%a@." Core.Torture.pp_epoch_outcome o
+    | None -> ());
+    (match json_file with
+    | None -> ()
+    | Some f ->
+      let oc = open_out f in
+      let table_json =
+        String.concat ",\n"
+          (List.map
+             (fun (e, d, t) ->
+               Printf.sprintf "    {\"epoch\": %d, \"documents\": %d, \"terms\": %d}" e d t)
+             table)
+      in
+      let audit_json =
+        match outcome with
+        | None -> ""
+        | Some o ->
+          let problems_json =
+            String.concat ",\n"
+              (List.map
+                 (fun (k, p) ->
+                   Printf.sprintf "      {\"crash_at\": %d, \"problem\": %S}" k p)
+                 o.Core.Torture.e_problems)
+          in
+          Printf.sprintf
+            ",\n\
+            \  \"audit\": {\n\
+            \    \"points\": %d,\n\
+            \    \"opened\": %d,\n\
+            \    \"unopenable\": %d,\n\
+            \    \"wholly_old\": %d,\n\
+            \    \"wholly_new\": %d,\n\
+            \    \"replayed\": %d,\n\
+            \    \"discarded\": %d,\n\
+            \    \"clean\": %d,\n\
+            \    \"gc_reclaimed_objects\": %d,\n\
+            \    \"problems\": [\n%s\n    ]\n\
+            \  }"
+            o.Core.Torture.e_points o.Core.Torture.e_opened o.Core.Torture.e_unopenable
+            o.Core.Torture.e_wholly_old o.Core.Torture.e_wholly_new o.Core.Torture.e_replayed
+            o.Core.Torture.e_discarded o.Core.Torture.e_clean o.Core.Torture.e_reclaimed
+            problems_json
+      in
+      Printf.fprintf oc
+        "{\n\
+        \  \"seed\": %d,\n\
+        \  \"docs\": %d,\n\
+        \  \"mutations\": %d,\n\
+        \  \"crash_points\": %d,\n\
+        \  \"epochs\": [\n%s\n  ]%s\n\
+         }\n"
+        seed docs
+        (Core.Torture.epoch_mutations plan)
+        (Core.Torture.epoch_points plan)
+        table_json audit_json;
+      close_out oc);
+    let problems =
+      golden_problems <> []
+      || match outcome with Some o -> o.Core.Torture.e_problems <> [] | None -> false
+    in
+    if problems then exit 1
+  in
+  let doc =
+    "Publish epochs through a journaled live index (snapshot-isolated COW mutation) and, with \
+     $(b,--audit), crash at every physical I/O proving torn-read-proof recovery and \
+     pinned-epoch gc safety."
+  in
+  Cmd.v (Cmd.info "epoch" ~doc) Term.(const run $ seed_arg $ docs_arg $ audit_arg $ json_arg)
+
 (* --- scrub -------------------------------------------------------- *)
 
 let scrub_cmd =
@@ -700,4 +808,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ tables_cmd; ablations_cmd; stats_cmd; run_cmd; query_cmd; topk_cmd; parallel_cmd;
-            fsck_cmd; torture_cmd; failover_cmd; scrub_cmd; frontend_cmd ]))
+            fsck_cmd; torture_cmd; failover_cmd; scrub_cmd; epoch_cmd; frontend_cmd ]))

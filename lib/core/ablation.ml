@@ -368,6 +368,7 @@ let btree_cache_table ctx =
           buffer_stats = (fun () -> []);
           reset_buffer_stats = (fun () -> ());
           file_size = (fun () -> Btree.file_size tree);
+          epoch = (fun () -> 0);
         }
       in
       let engine =

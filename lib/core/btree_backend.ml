@@ -12,4 +12,5 @@ let open_session ?cached_levels vfs ~file =
     buffer_stats = (fun () -> []);
     reset_buffer_stats = (fun () -> ());
     file_size = (fun () -> Btree.file_size tree);
+    epoch = (fun () -> 0);
   }

@@ -47,6 +47,7 @@ let create ~vfs ~store ~dict ~n_docs ~avg_doc_len ~doc_len ?stopwords ?(stem = f
   { vfs; store; dict; source; stopwords; stem; reserve; quarantine; quarantined_terms }
 
 let store t = t.store
+let epoch t = t.store.Index_store.epoch ()
 let quarantined t = List.rev_map (fun tk -> (tk.term, tk.reason)) !(t.quarantine)
 let pending_repairs t = List.rev !(t.quarantine)
 

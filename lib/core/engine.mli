@@ -40,6 +40,11 @@ val create :
 
 val store : t -> Index_store.t
 
+val epoch : t -> int
+(** The published epoch the engine's session serves
+    ({!Index_store.t.epoch}; 0 for backends without epoch
+    versioning). *)
+
 val quarantined : t -> (string * string) list
 (** [(term, reason)] for every term whose inverted list is {e currently}
     quarantined by salvage mode, oldest first.  Empty when every fetch

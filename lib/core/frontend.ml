@@ -37,6 +37,7 @@ type result = {
   failed_terms : (string * string) list;
   hedged_fetches : int;
   served_by : string;
+  epoch : int;
   elapsed_ms : float;
 }
 
@@ -373,6 +374,7 @@ let run_query ?(top_k = 100) ?deadline_ms t query =
     failed_terms;
     hedged_fetches = !hedged;
     served_by = serving.spec.name;
+    epoch = serving.spec.store.Index_store.epoch ();
     elapsed_ms = !elapsed;
   }
 

@@ -121,6 +121,7 @@ type result = {
   failed_terms : (string * string) list;  (** [(term, reason)] *)
   hedged_fetches : int;
   served_by : string;  (** replica that served the most fetches *)
+  epoch : int;  (** published epoch of the serving replica's store *)
   elapsed_ms : float;  (** perceived query latency, CPU included *)
 }
 

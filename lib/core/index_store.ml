@@ -5,6 +5,7 @@ type t = {
   buffer_stats : unit -> (string * Mneme.Buffer_pool.stats) list;
   reset_buffer_stats : unit -> unit;
   file_size : unit -> int;
+  epoch : unit -> int;
 }
 
 let no_reserve _entries () = ()

@@ -18,6 +18,9 @@ type t = {
       (** Per-buffer reference/hit statistics (empty for the B-tree). *)
   reset_buffer_stats : unit -> unit;
   file_size : unit -> int;
+  epoch : unit -> int;
+      (** The published epoch this session serves ({!Mneme.Store.epoch};
+          0 for backends without epoch versioning). *)
 }
 
 val no_reserve : Inquery.Dictionary.entry list -> unit -> unit

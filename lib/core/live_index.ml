@@ -1,12 +1,39 @@
-type backend =
-  | Btree_backend of Btree.t
-  | Mneme_backend of {
-      store : Mneme.Store.t;
-      small : Mneme.Store.pool;
-      medium : Mneme.Store.pool;
-      large : Mneme.Store.pool;
-      thresholds : Partition.thresholds;
-    }
+module Tmap = Map.Make (String)
+module Imap = Map.Make (Int)
+
+(* ------------------------------------------------------------------ *)
+(* Epoch snapshots                                                     *)
+
+type term_info = { ti_oid : int; ti_df : int; ti_cf : int }
+
+(* An immutable image of the object directory at one published epoch:
+   everything a reader needs to evaluate queries against that version
+   without consulting any mutable state. *)
+type snapshot = {
+  sn_epoch : int;
+  sn_terms : term_info Tmap.t;
+  sn_doc_lens : int Imap.t;
+  sn_total_len : int;
+  sn_next_doc : int;
+}
+
+type mneme_pools = {
+  store : Mneme.Store.t;
+  small : Mneme.Store.pool;
+  medium : Mneme.Store.pool;
+  large : Mneme.Store.pool;
+}
+
+type mneme_state = {
+  mutable pools : mneme_pools;
+  thresholds : Partition.thresholds;
+  epochs : Mneme.Epoch.t;
+  mutable snap : snapshot; (* the latest published epoch's image *)
+  mutable root_oid : int; (* sealed root of [snap]; -1 = never published *)
+  journaled : bool;
+}
+
+type backend = Btree_backend of Btree.t | Mneme_backend of mneme_state
 
 type t = {
   vfs : Vfs.t;
@@ -18,6 +45,76 @@ type t = {
   mutable total_len : int;
   mutable next_doc_id : int;
 }
+
+let empty_snapshot epoch =
+  {
+    sn_epoch = epoch;
+    sn_terms = Tmap.empty;
+    sn_doc_lens = Imap.empty;
+    sn_total_len = 0;
+    sn_next_doc = 0;
+  }
+
+(* The root payload: next-doc, total length, per-document lengths and
+   the term directory (term, locator, df, cf).  Tmap/Imap iteration is
+   sorted, so the encoding is deterministic — byte-identical roots for
+   identical directories, whatever mutation order built them. *)
+let encode_snapshot snap =
+  let b = Buffer.create 4096 in
+  Util.Bin.buf_u32 b snap.sn_next_doc;
+  Util.Bin.buf_u64 b snap.sn_total_len;
+  Util.Bin.buf_u32 b (Imap.cardinal snap.sn_doc_lens);
+  Imap.iter
+    (fun doc len ->
+      Util.Varint.encode b doc;
+      Util.Varint.encode b len)
+    snap.sn_doc_lens;
+  Util.Bin.buf_u32 b (Tmap.cardinal snap.sn_terms);
+  Tmap.iter
+    (fun term ti ->
+      Util.Bin.buf_string b term;
+      Util.Varint.encode b (ti.ti_oid + 1);
+      Util.Varint.encode b ti.ti_df;
+      Util.Varint.encode b ti.ti_cf)
+    snap.sn_terms;
+  Buffer.to_bytes b
+
+let decode_snapshot ~epoch payload =
+  try
+    let next_doc = Util.Bin.get_u32 payload 0 in
+    let total_len = Util.Bin.get_u64 payload 4 in
+    let n_docs = Util.Bin.get_u32 payload 12 in
+    let pos = ref 16 in
+    let doc_lens = ref Imap.empty in
+    for _ = 1 to n_docs do
+      let doc, p = Util.Varint.decode payload ~pos:!pos in
+      let len, p = Util.Varint.decode payload ~pos:p in
+      doc_lens := Imap.add doc len !doc_lens;
+      pos := p
+    done;
+    let n_terms = Util.Bin.get_u32 payload !pos in
+    pos := !pos + 4;
+    let terms = ref Tmap.empty in
+    for _ = 1 to n_terms do
+      let term, p = Util.Bin.get_string payload !pos in
+      let oid1, p = Util.Varint.decode payload ~pos:p in
+      let df, p = Util.Varint.decode payload ~pos:p in
+      let cf, p = Util.Varint.decode payload ~pos:p in
+      terms := Tmap.add term { ti_oid = oid1 - 1; ti_df = df; ti_cf = cf } !terms;
+      pos := p
+    done;
+    {
+      sn_epoch = epoch;
+      sn_terms = !terms;
+      sn_doc_lens = !doc_lens;
+      sn_total_len = total_len;
+      sn_next_doc = next_doc;
+    }
+  with Invalid_argument _ | Failure _ ->
+    raise (Mneme.Store.Corrupt "Live_index: root payload is malformed")
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
 
 let make ?stopwords ?(stem = false) vfs backend dict doc_lengths =
   let doc_lens = Hashtbl.create (max 64 (List.length doc_lengths)) in
@@ -43,18 +140,87 @@ let make ?stopwords ?(stem = false) vfs backend dict doc_lengths =
 let wrap_btree ?stopwords ?stem vfs ~tree ~dict ~doc_lengths =
   make ?stopwords ?stem vfs (Btree_backend tree) dict doc_lengths
 
-let mneme_of_store ?(thresholds = Partition.default) store =
-  Mneme_backend
-    {
-      store;
-      small = Mneme.Store.pool store "small";
-      medium = Mneme.Store.pool store "medium";
-      large = Mneme.Store.pool store "large";
-      thresholds;
-    }
+let pools_of_store store =
+  {
+    store;
+    small = Mneme.Store.pool store "small";
+    medium = Mneme.Store.pool store "medium";
+    large = Mneme.Store.pool store "large";
+  }
 
-let wrap_mneme ?stopwords ?stem ?thresholds vfs ~store ~dict ~doc_lengths =
-  make ?stopwords ?stem vfs (mneme_of_store ?thresholds store) dict doc_lengths
+(* Census every live oid in the store into the epoch manager.  The walk
+   reads only the (cached) slot tables; object sizes come from segment
+   directories when [sized] (one pass of segment faults — the reopen
+   path pays it so GC byte accounting is exact). *)
+let census_oids ?(sized = false) store ~f =
+  List.iter
+    (fun pool ->
+      List.iter
+        (fun (lseg, slots) ->
+          Array.iteri
+            (fun slot pseg ->
+              if pseg >= 0 then begin
+                let oid = Mneme.Oid.make ~lseg ~slot in
+                let size =
+                  if sized then Option.value ~default:0 (Mneme.Store.object_size store oid)
+                  else 0
+                in
+                f ~oid ~size
+              end)
+            slots)
+        (Mneme.Store.pool_slot_tables pool))
+    (Mneme.Store.pools store)
+
+let snapshot_of_dict ~epoch dict doc_lens ~total_len ~next_doc =
+  let terms = ref Tmap.empty in
+  Inquery.Dictionary.iter dict (fun e ->
+      if e.Inquery.Dictionary.locator >= 0 then
+        terms :=
+          Tmap.add e.Inquery.Dictionary.term
+            {
+              ti_oid = e.Inquery.Dictionary.locator;
+              ti_df = e.Inquery.Dictionary.df;
+              ti_cf = e.Inquery.Dictionary.cf;
+            }
+            !terms);
+  let dl = Hashtbl.fold (fun d l acc -> Imap.add d l acc) doc_lens Imap.empty in
+  {
+    sn_epoch = epoch;
+    sn_terms = !terms;
+    sn_doc_lens = dl;
+    sn_total_len = total_len;
+    sn_next_doc = next_doc;
+  }
+
+let wrap_mneme ?stopwords ?stem ?(thresholds = Partition.default) vfs ~store ~dict ~doc_lengths
+    =
+  let epoch = Mneme.Store.epoch store in
+  let epochs = Mneme.Epoch.create ~epoch in
+  (* Everything already in the store is live in the current epoch;
+     sizes of pre-existing objects are not censused (they would fault
+     every segment), so GC byte counts cover only objects written
+     through this live index. *)
+  census_oids store ~f:(fun ~oid ~size -> Mneme.Epoch.adopt epochs ~oid ~size);
+  let doc_lens = Hashtbl.create (max 64 (List.length doc_lengths)) in
+  let total_len = ref 0 and next_doc = ref 0 in
+  List.iter
+    (fun (doc, len) ->
+      Hashtbl.replace doc_lens doc len;
+      total_len := !total_len + len;
+      if doc >= !next_doc then next_doc := doc + 1)
+    doc_lengths;
+  let snap = snapshot_of_dict ~epoch dict doc_lens ~total_len:!total_len ~next_doc:!next_doc in
+  let st =
+    {
+      pools = pools_of_store store;
+      thresholds;
+      epochs;
+      snap;
+      root_oid = (match Mneme.Store.root store with Some oid -> oid | None -> -1);
+      journaled = Mneme.Store.journal store <> None;
+    }
+  in
+  make ?stopwords ?stem vfs (Mneme_backend st) dict doc_lengths
 
 let create_btree ?stopwords ?stem vfs ~file () =
   let tree = Btree.create vfs file () in
@@ -62,8 +228,7 @@ let create_btree ?stopwords ?stem vfs ~file () =
 
 let default_live_buffers = { Buffer_sizing.small = 65536; medium = 65536; large = 65536 }
 
-let create_mneme ?stopwords ?stem ?(buffers = default_live_buffers) vfs ~file () =
-  let store = Mneme.Store.create vfs file in
+let standard_pools ?(buffers = default_live_buffers) store =
   List.iter
     (fun (policy, capacity) ->
       let pool = Mneme.Store.add_pool store policy in
@@ -73,8 +238,95 @@ let create_mneme ?stopwords ?stem ?(buffers = default_live_buffers) vfs ~file ()
       (Mneme.Policy.small, buffers.Buffer_sizing.small);
       (Mneme.Policy.medium, buffers.Buffer_sizing.medium);
       (Mneme.Policy.large, buffers.Buffer_sizing.large);
-    ];
-  make ?stopwords ?stem vfs (mneme_of_store store) (Inquery.Dictionary.create ()) []
+    ]
+
+let create_mneme ?stopwords ?stem ?buffers ?journal vfs ~file () =
+  let store = Mneme.Store.create vfs file in
+  standard_pools ?buffers store;
+  (match journal with
+  | Some log_file -> Mneme.Store.enable_journal store ~log_file
+  | None -> ());
+  let st =
+    {
+      pools = pools_of_store store;
+      thresholds = Partition.default;
+      epochs = Mneme.Epoch.create ~epoch:0;
+      snap = empty_snapshot 0;
+      root_oid = -1;
+      journaled = journal <> None;
+    }
+  in
+  make ?stopwords ?stem vfs (Mneme_backend st) (Inquery.Dictionary.create ()) []
+
+let open_mneme ?stopwords ?stem ?buffers ?(thresholds = Partition.default) ?journal vfs
+    ~file () =
+  (match journal with
+  | Some log_file -> ignore (Mneme.Store.recover_journal vfs ~file ~log_file)
+  | None -> ());
+  let store = Mneme.Store.open_existing vfs file in
+  standard_pools ?buffers store;
+  (match journal with
+  | Some log_file -> Mneme.Store.enable_journal store ~log_file
+  | None -> ());
+  let epoch = Mneme.Store.epoch store in
+  let root_oid =
+    match Mneme.Store.root store with
+    | Some oid -> oid
+    | None -> raise (Mneme.Store.Corrupt "Live_index.open_mneme: store has no published root")
+  in
+  let sealed =
+    match Mneme.Store.get_opt store root_oid with
+    | Some b -> b
+    | None ->
+      raise
+        (Mneme.Store.Corrupt
+           (Printf.sprintf "Live_index.open_mneme: root oid %d resolves to no object" root_oid))
+  in
+  let payload =
+    match Mneme.Epoch.unseal sealed with
+    | Ok (e, p) when e = epoch -> p
+    | Ok (e, _) ->
+      raise
+        (Mneme.Store.Corrupt
+           (Printf.sprintf "Live_index.open_mneme: root sealed for epoch %d, header says %d" e
+              epoch))
+    | Error msg -> raise (Mneme.Store.Corrupt ("Live_index.open_mneme: " ^ msg))
+  in
+  let snap = decode_snapshot ~epoch payload in
+  (* Rebuild the latest view from the snapshot.  Tmap iteration is
+     sorted, so dictionary ids are assigned deterministically. *)
+  let dict = Inquery.Dictionary.create () in
+  Tmap.iter
+    (fun term ti ->
+      let e = Inquery.Dictionary.intern dict term in
+      e.Inquery.Dictionary.df <- ti.ti_df;
+      e.Inquery.Dictionary.cf <- ti.ti_cf;
+      e.Inquery.Dictionary.locator <- ti.ti_oid)
+    snap.sn_terms;
+  let doc_lengths = Imap.fold (fun d l acc -> (d, l) :: acc) snap.sn_doc_lens [] |> List.rev in
+  (* Objects the root names (plus the root itself) are live; anything
+     else in the store is an orphan of an unpublished or superseded
+     epoch — stale, immediately reclaimable by [gc]. *)
+  let epochs = Mneme.Epoch.create ~epoch in
+  let directory = Hashtbl.create 256 in
+  Tmap.iter (fun _ ti -> if ti.ti_oid >= 0 then Hashtbl.replace directory ti.ti_oid ()) snap.sn_terms;
+  Hashtbl.replace directory root_oid ();
+  census_oids ~sized:true store ~f:(fun ~oid ~size ->
+      if Hashtbl.mem directory oid then Mneme.Epoch.adopt epochs ~oid ~size
+      else Mneme.Epoch.adopt_stale epochs ~oid ~size);
+  let st =
+    {
+      pools = pools_of_store store;
+      thresholds;
+      epochs;
+      snap;
+      root_oid;
+      journaled = journal <> None;
+    }
+  in
+  let t = make ?stopwords ?stem vfs (Mneme_backend st) dict doc_lengths in
+  t.next_doc_id <- max t.next_doc_id snap.sn_next_doc;
+  t
 
 let backend_name t = match t.backend with Btree_backend _ -> "btree" | Mneme_backend _ -> "mneme"
 
@@ -84,56 +336,87 @@ let backend_name t = match t.backend with Btree_backend _ -> "btree" | Mneme_bac
 let fetch_record t entry =
   match t.backend with
   | Btree_backend tree -> Btree.lookup tree entry.Inquery.Dictionary.id
-  | Mneme_backend { store; _ } ->
+  | Mneme_backend { pools = { store; _ }; _ } ->
     let locator = entry.Inquery.Dictionary.locator in
     if locator < 0 then None else Mneme.Store.get_opt store locator
 
-let pool_for m size =
-  match Partition.classify ~thresholds:m size with
-  | Partition.Small -> `Small
-  | Partition.Medium -> `Medium
-  | Partition.Large -> `Large
+let cow_pool st size =
+  match Partition.classify ~thresholds:st.thresholds size with
+  | Partition.Small -> st.pools.small
+  | Partition.Medium -> st.pools.medium
+  | Partition.Large -> st.pools.large
 
-(* Store [record] as the inverted list of [entry], replacing any
-   previous version.  Under Mneme, records that change size class move
-   between pools: the old object is deleted and a new one allocated, and
-   the locator in the hash dictionary is updated — the integration
-   pattern of the paper, now dynamic. *)
+(* Store [record] as the inverted list of [entry].  The B-tree replaces
+   in place; Mneme follows the copy-on-write discipline — a {e new}
+   object is always allocated (in the size class the record now
+   belongs to) and the old one is retired, never overwritten or freed:
+   readers pinned to earlier epochs keep fetching it untouched until
+   {!gc} proves no pin can reach it. *)
 let store_record t entry record =
   match t.backend with
   | Btree_backend tree -> Btree.insert tree entry.Inquery.Dictionary.id record
-  | Mneme_backend { store; small; medium; large; thresholds } ->
-    let pool_of cls =
-      match cls with `Small -> small | `Medium -> medium | `Large -> large
-    in
-    let new_class = pool_for thresholds (Bytes.length record) in
-    let locator = entry.Inquery.Dictionary.locator in
-    if locator < 0 then
-      entry.Inquery.Dictionary.locator <- Mneme.Store.allocate (pool_of new_class) record
-    else begin
-      let old_class =
-        match Mneme.Store.pool_of_oid store locator with
-        | Some p -> (
-          match Mneme.Store.pool_name p with
-          | "small" -> `Small
-          | "medium" -> `Medium
-          | _ -> `Large)
-        | None -> new_class
-      in
-      if old_class = new_class then Mneme.Store.modify store locator record
-      else begin
-        Mneme.Store.delete store locator;
-        entry.Inquery.Dictionary.locator <- Mneme.Store.allocate (pool_of new_class) record
-      end
-    end
+  | Mneme_backend st ->
+    let size = Bytes.length record in
+    let oid = Mneme.Store.allocate (cow_pool st size) record in
+    Mneme.Epoch.born st.epochs ~oid ~size;
+    let old = entry.Inquery.Dictionary.locator in
+    if old >= 0 then Mneme.Epoch.retired st.epochs ~oid:old;
+    entry.Inquery.Dictionary.locator <- oid
 
 let drop_record t entry =
   (match t.backend with
   | Btree_backend tree -> ignore (Btree.delete tree entry.Inquery.Dictionary.id)
-  | Mneme_backend { store; _ } ->
+  | Mneme_backend st ->
     let locator = entry.Inquery.Dictionary.locator in
-    if locator >= 0 then Mneme.Store.delete store locator);
+    if locator >= 0 then Mneme.Epoch.retired st.epochs ~oid:locator);
   entry.Inquery.Dictionary.locator <- -1
+
+(* ------------------------------------------------------------------ *)
+(* Epoch publication                                                   *)
+
+(* Build, seal and install the next epoch's root.  Called with the term
+   writes already issued; everything here still rides the same journal
+   batch, so the CRC-sealed commit record is the single point at which
+   the new epoch — objects, directory, header root switch — becomes
+   real.  A crash anywhere before the log fsync recovers to the old
+   epoch in full; anywhere after, to the new epoch in full. *)
+let install_root t st =
+  let epoch = Mneme.Epoch.latest st.epochs + 1 in
+  let snap =
+    snapshot_of_dict ~epoch t.dict t.doc_lens ~total_len:t.total_len ~next_doc:t.next_doc_id
+  in
+  let sealed = Mneme.Epoch.seal ~epoch (encode_snapshot snap) in
+  let root = Mneme.Store.allocate (cow_pool st (Bytes.length sealed)) sealed in
+  Mneme.Epoch.born st.epochs ~oid:root ~size:(Bytes.length sealed);
+  if st.root_oid >= 0 then Mneme.Epoch.retired st.epochs ~oid:st.root_oid;
+  Mneme.Store.set_root st.pools.store ~epoch ~root:(Some root);
+  (snap, root)
+
+(* Run one mutation and publish the epoch it creates.  Journaled: the
+   whole thing — COW writes, sealed root, finalized tables and header —
+   is one transaction.  Unjournaled: the epoch is published in memory
+   and persists at the next [flush] (no crash-safety claim, exactly as
+   before).  If the mutation raises (journaled case: the batch aborts),
+   the in-memory handle may disagree with the store — discard it and
+   re-open, the {!Mneme.Store.transact} contract. *)
+let mutate t st f =
+  let body () =
+    let r = f () in
+    let snap, root = install_root t st in
+    (r, snap, root)
+  in
+  let r, snap, root =
+    if st.journaled then
+      Mneme.Store.transact st.pools.store (fun () ->
+          let r = body () in
+          Mneme.Store.finalize st.pools.store;
+          r)
+    else body ()
+  in
+  ignore (Mneme.Epoch.publish st.epochs);
+  st.snap <- snap;
+  st.root_oid <- root;
+  r
 
 (* ------------------------------------------------------------------ *)
 (* Addition                                                            *)
@@ -144,15 +427,7 @@ let normalise t term =
   in
   if stopped then None else Some (if t.stem then Inquery.Stemmer.stem term else term)
 
-let add_document t ?doc_id text =
-  let doc =
-    match doc_id with
-    | None -> t.next_doc_id
-    | Some id ->
-      if id < t.next_doc_id then
-        invalid_arg "Live_index.add_document: id must exceed all existing ids";
-      id
-  in
+let add_document_body t doc text =
   t.next_doc_id <- doc + 1;
   (* Group positions per term, in ascending order. *)
   let positions = Hashtbl.create 32 in
@@ -187,31 +462,49 @@ let add_document t ?doc_id text =
   t.total_len <- t.total_len + indexed;
   doc
 
+let add_document t ?doc_id text =
+  let doc =
+    match doc_id with
+    | None -> t.next_doc_id
+    | Some id ->
+      if id < t.next_doc_id then
+        invalid_arg "Live_index.add_document: id must exceed all existing ids";
+      id
+  in
+  match t.backend with
+  | Btree_backend _ -> add_document_body t doc text
+  | Mneme_backend st -> mutate t st (fun () -> add_document_body t doc text)
+
 (* ------------------------------------------------------------------ *)
 (* Deletion                                                            *)
+
+let delete_document_body t doc len =
+  (* No forward index: every inverted list must be examined — the
+     cost structure the paper describes for deletion. *)
+  Inquery.Dictionary.iter t.dict (fun entry ->
+      match fetch_record t entry with
+      | None -> ()
+      | Some record ->
+        let tf = ref 0 in
+        Inquery.Postings.fold_docs record ~init:() ~f:(fun () ~doc:d ~tf:f ->
+            if d = doc then tf := f);
+        if !tf > 0 then begin
+          (match Inquery.Postings.remove_docs record (fun d -> d = doc) with
+          | Some record' -> store_record t entry record'
+          | None -> drop_record t entry);
+          entry.Inquery.Dictionary.df <- entry.Inquery.Dictionary.df - 1;
+          entry.Inquery.Dictionary.cf <- entry.Inquery.Dictionary.cf - !tf
+        end);
+  Hashtbl.remove t.doc_lens doc;
+  t.total_len <- t.total_len - len
 
 let delete_document t doc =
   match Hashtbl.find_opt t.doc_lens doc with
   | None -> false
   | Some len ->
-    (* No forward index: every inverted list must be examined — the
-       cost structure the paper describes for deletion. *)
-    Inquery.Dictionary.iter t.dict (fun entry ->
-        match fetch_record t entry with
-        | None -> ()
-        | Some record ->
-          let tf = ref 0 in
-          Inquery.Postings.fold_docs record ~init:() ~f:(fun () ~doc:d ~tf:f ->
-              if d = doc then tf := f);
-          if !tf > 0 then begin
-            (match Inquery.Postings.remove_docs record (fun d -> d = doc) with
-            | Some record' -> store_record t entry record'
-            | None -> drop_record t entry);
-            entry.Inquery.Dictionary.df <- entry.Inquery.Dictionary.df - 1;
-            entry.Inquery.Dictionary.cf <- entry.Inquery.Dictionary.cf - !tf
-          end);
-    Hashtbl.remove t.doc_lens doc;
-    t.total_len <- t.total_len - len;
+    (match t.backend with
+    | Btree_backend _ -> delete_document_body t doc len
+    | Mneme_backend st -> mutate t st (fun () -> delete_document_body t doc len));
     true
 
 (* ------------------------------------------------------------------ *)
@@ -254,15 +547,233 @@ let search ?(top_k = 10) t query =
     beliefs;
   Inquery.Ranking.top_k beliefs ~k:top_k
 
+(* ------------------------------------------------------------------ *)
+(* Pinned-epoch reading                                                *)
+
+type pin = { p_pin : Mneme.Epoch.pin; p_snap : snapshot }
+
+let mneme_state t =
+  match t.backend with
+  | Btree_backend _ -> invalid_arg "Live_index: Mneme backend only"
+  | Mneme_backend st -> st
+
+let epoch t =
+  match t.backend with Btree_backend _ -> 0 | Mneme_backend st -> Mneme.Epoch.latest st.epochs
+
+let pin t =
+  let st = mneme_state t in
+  { p_pin = Mneme.Epoch.pin st.epochs; p_snap = st.snap }
+
+let pin_epoch p = p.p_snap.sn_epoch
+let release t p = Mneme.Epoch.release (mneme_state t).epochs p.p_pin
+
+let search_pinned ?(top_k = 10) t pin query =
+  let st = mneme_state t in
+  let snap = pin.p_snap in
+  let store = st.pools.store in
+  let q = Inquery.Query.parse_exn query in
+  (* A per-query mini-dictionary interning just the query's terms with
+     the pinned snapshot's statistics and locators: the evaluator then
+     runs the ordinary path, but every record fetch and every collection
+     statistic comes from the pinned epoch — bit-identical to what the
+     latest-view [search] returned when that epoch was current. *)
+  let dict = Inquery.Dictionary.create () in
+  let oids = ref [] in
+  List.iter
+    (fun w ->
+      match normalise t w with
+      | None -> ()
+      | Some w -> (
+        match Tmap.find_opt w snap.sn_terms with
+        | None -> ()
+        | Some ti ->
+          let e = Inquery.Dictionary.intern dict w in
+          if e.Inquery.Dictionary.locator < 0 then begin
+            e.Inquery.Dictionary.locator <- ti.ti_oid;
+            e.Inquery.Dictionary.df <- ti.ti_df;
+            e.Inquery.Dictionary.cf <- ti.ti_cf;
+            oids := ti.ti_oid :: !oids
+          end))
+    (Inquery.Query.terms q);
+  let n_docs = Imap.cardinal snap.sn_doc_lens in
+  let source =
+    {
+      Inquery.Infnet.fetch =
+        (fun e ->
+          let locator = e.Inquery.Dictionary.locator in
+          if locator < 0 then None else Mneme.Store.get_opt store locator);
+      n_docs = max 1 n_docs;
+      max_doc_id = max 0 (snap.sn_next_doc - 1);
+      avg_doc_len =
+        (if n_docs = 0 then 0.0 else float_of_int snap.sn_total_len /. float_of_int n_docs);
+      doc_len = (fun d -> match Imap.find_opt d snap.sn_doc_lens with Some l -> l | None -> 0);
+    }
+  in
+  let release = Mneme.Store.reserve store !oids in
+  Fun.protect ~finally:release (fun () ->
+      let beliefs, _ = Inquery.Infnet.eval source dict ?stopwords:t.stopwords ~stem:t.stem q in
+      Array.iteri
+        (fun d b ->
+          if b > Inquery.Infnet.default_belief && not (Imap.mem d snap.sn_doc_lens) then
+            beliefs.(d) <- Inquery.Infnet.default_belief)
+        beliefs;
+      Inquery.Ranking.top_k beliefs ~k:top_k)
+
+let pinned_epochs t =
+  match t.backend with Btree_backend _ -> [] | Mneme_backend st -> Mneme.Epoch.pinned st.epochs
+
+(* ------------------------------------------------------------------ *)
+(* Collection                                                          *)
+
+let gc t =
+  let st = mneme_state t in
+  let store = st.pools.store in
+  let collect () =
+    Mneme.Epoch.collect st.epochs ~reclaim:(fun ~oid ~size:_ -> Mneme.Store.delete store oid)
+  in
+  if st.journaled then
+    Mneme.Store.transact store (fun () ->
+        let stats = collect () in
+        Mneme.Store.finalize store;
+        stats)
+  else collect ()
+
+let stranded_bytes t =
+  match t.backend with
+  | Btree_backend _ -> 0
+  | Mneme_backend st -> Mneme.Epoch.stranded_bytes st.epochs
+
+let mneme_store t =
+  match t.backend with
+  | Btree_backend _ -> None
+  | Mneme_backend st -> Some st.pools.store
+
+let directory t =
+  match t.backend with
+  | Btree_backend _ ->
+    let acc = ref [] in
+    Inquery.Dictionary.iter t.dict (fun e ->
+        if e.Inquery.Dictionary.df > 0 then
+          acc :=
+            (e.Inquery.Dictionary.term, e.Inquery.Dictionary.df, e.Inquery.Dictionary.cf)
+            :: !acc);
+    List.sort compare !acc
+  | Mneme_backend st ->
+    Tmap.fold (fun term ti acc -> (term, ti.ti_df, ti.ti_cf) :: acc) st.snap.sn_terms []
+    |> List.rev
+
+(* ------------------------------------------------------------------ *)
+(* Auditing                                                            *)
+
+let audit t =
+  let problems = ref [] in
+  let flag where what = problems := (where, what) :: !problems in
+  (* Deep-validate every record and cross-check df/cf against the
+     dictionary, via the catalog's fsck pass. *)
+  let doc_lens = Array.make (max 1 t.next_doc_id) 0 in
+  Hashtbl.iter (fun d l -> if d < Array.length doc_lens then doc_lens.(d) <- l) t.doc_lens;
+  let catalog =
+    {
+      Catalog.dict = t.dict;
+      n_docs = document_count t;
+      doc_lens;
+      collection_bytes = t.total_len;
+    }
+  in
+  List.iter
+    (fun (term, what) -> flag ("term " ^ term) what)
+    (Catalog.verify_records catalog ~fetch:(fetch_record t));
+  (* Aggregate statistics must agree with the per-document table. *)
+  let sum = Hashtbl.fold (fun _ l acc -> acc + l) t.doc_lens 0 in
+  if sum <> t.total_len then
+    flag "totals" (Printf.sprintf "doc lengths sum to %d but total_len is %d" sum t.total_len);
+  Hashtbl.iter
+    (fun d _ ->
+      if d >= t.next_doc_id then
+        flag "totals" (Printf.sprintf "document %d at or past next_doc_id %d" d t.next_doc_id))
+    t.doc_lens;
+  Inquery.Dictionary.iter t.dict (fun e ->
+      let term = e.Inquery.Dictionary.term in
+      if e.Inquery.Dictionary.df < 0 || e.Inquery.Dictionary.cf < 0 then
+        flag ("term " ^ term)
+          (Printf.sprintf "negative statistics df=%d cf=%d" e.Inquery.Dictionary.df
+             e.Inquery.Dictionary.cf);
+      if e.Inquery.Dictionary.df = 0 && e.Inquery.Dictionary.locator >= 0 then
+        flag ("term " ^ term) "df is 0 but a record is still attached");
+  (* Mneme: the published snapshot must equal the latest view — any
+     drift means an epoch was published from inconsistent state. *)
+  (match t.backend with
+  | Btree_backend _ -> ()
+  | Mneme_backend st ->
+    let snap = st.snap in
+    let dict_terms = ref 0 in
+    Inquery.Dictionary.iter t.dict (fun e ->
+        if e.Inquery.Dictionary.locator >= 0 then begin
+          incr dict_terms;
+          let term = e.Inquery.Dictionary.term in
+          match Tmap.find_opt term snap.sn_terms with
+          | None -> flag ("term " ^ term) "in the dictionary but not the published snapshot"
+          | Some ti ->
+            if
+              ti.ti_oid <> e.Inquery.Dictionary.locator
+              || ti.ti_df <> e.Inquery.Dictionary.df
+              || ti.ti_cf <> e.Inquery.Dictionary.cf
+            then
+              flag ("term " ^ term)
+                (Printf.sprintf "snapshot (oid %d, df %d, cf %d) vs dictionary (%d, %d, %d)"
+                   ti.ti_oid ti.ti_df ti.ti_cf e.Inquery.Dictionary.locator
+                   e.Inquery.Dictionary.df e.Inquery.Dictionary.cf)
+        end);
+    if Tmap.cardinal snap.sn_terms <> !dict_terms then
+      flag "snapshot"
+        (Printf.sprintf "%d terms in the snapshot but %d live in the dictionary"
+           (Tmap.cardinal snap.sn_terms) !dict_terms);
+    if Imap.cardinal snap.sn_doc_lens <> Hashtbl.length t.doc_lens then
+      flag "snapshot"
+        (Printf.sprintf "%d documents in the snapshot but %d live"
+           (Imap.cardinal snap.sn_doc_lens) (Hashtbl.length t.doc_lens));
+    Imap.iter
+      (fun d l ->
+        match Hashtbl.find_opt t.doc_lens d with
+        | Some l' when l' = l -> ()
+        | Some l' ->
+          flag "snapshot" (Printf.sprintf "document %d length %d in snapshot, %d live" d l l')
+        | None -> flag "snapshot" (Printf.sprintf "document %d only in snapshot" d))
+      snap.sn_doc_lens;
+    if snap.sn_total_len <> t.total_len then
+      flag "snapshot"
+        (Printf.sprintf "snapshot total length %d vs live %d" snap.sn_total_len t.total_len);
+    if snap.sn_next_doc <> t.next_doc_id then
+      flag "snapshot"
+        (Printf.sprintf "snapshot next doc %d vs live %d" snap.sn_next_doc t.next_doc_id);
+    if snap.sn_epoch <> Mneme.Epoch.latest st.epochs then
+      flag "snapshot"
+        (Printf.sprintf "snapshot epoch %d vs manager %d" snap.sn_epoch
+           (Mneme.Epoch.latest st.epochs)));
+  List.rev !problems
+
+(* ------------------------------------------------------------------ *)
+(* Persistence                                                         *)
+
 let flush t =
   match t.backend with
   | Btree_backend tree -> Btree.flush tree
-  | Mneme_backend { store; _ } -> Mneme.Store.finalize store
+  | Mneme_backend st ->
+    if st.journaled then
+      Mneme.Store.transact st.pools.store (fun () -> Mneme.Store.finalize st.pools.store)
+    else Mneme.Store.finalize st.pools.store
 
 let compact t ~file =
   match t.backend with
   | Btree_backend _ -> invalid_arg "Live_index.compact: only the Mneme backend compacts"
-  | Mneme_backend { store; thresholds; _ } ->
+  | Mneme_backend st ->
+    if st.journaled then
+      invalid_arg "Live_index.compact: disable the journal before compacting";
+    (* Reclaim what no pin needs first, so the stale space does not
+       survive into the new file; pinned-epoch objects are still live
+       slots and are carried over — compaction never breaks a pin. *)
+    ignore (gc t);
+    let store = st.pools.store in
     Mneme.Store.finalize store;
     let dst = Mneme.Store.compact store ~file in
     (* Carry the buffer configuration over to the new store's pools. *)
@@ -276,7 +787,7 @@ let compact t ~file =
         Mneme.Store.attach_buffer (Mneme.Store.pool dst name)
           (Mneme.Buffer_pool.create ~name ~capacity ()))
       [ "small"; "medium"; "large" ];
-    t.backend <- mneme_of_store ~thresholds dst
+    st.pools <- pools_of_store dst
 
 type space = { file_bytes : int; reclaimable_bytes : int }
 
@@ -284,5 +795,9 @@ let space t =
   match t.backend with
   | Btree_backend tree ->
     { file_bytes = Btree.file_size tree; reclaimable_bytes = Btree.free_bytes tree }
-  | Mneme_backend { store; _ } ->
-    { file_bytes = Mneme.Store.file_size store; reclaimable_bytes = Mneme.Store.wasted_bytes store }
+  | Mneme_backend st ->
+    {
+      file_bytes = Mneme.Store.file_size st.pools.store;
+      reclaimable_bytes =
+        Mneme.Store.wasted_bytes st.pools.store + Mneme.Epoch.stranded_bytes st.epochs;
+    }

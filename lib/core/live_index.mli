@@ -14,14 +14,28 @@
 
     - {b addition} obtains the inverted list of every term in the new
       document and re-stores it with the entry merged in.  Under the
-      B-tree the old extent is freed and may be recycled; under Mneme a
-      grown object relocates, stranding its old space
-      ({!Mneme.Store.wasted_bytes}).  Objects that outgrow their size
-      class migrate pools (small → medium → large), updating the
-      dictionary locator.
+      B-tree the old extent is freed and may be recycled; under Mneme
+      the index is {e copy-on-write} — see below.  Objects that outgrow
+      their size class migrate pools (small → medium → large), updating
+      the dictionary locator.
     - {b deletion} must visit {e every} inverted list, since there is no
       forward index — the paper's "holes in the inverted lists", here
-      actually punched and measured. *)
+      actually punched and measured.
+
+    {b Snapshot isolation (Mneme backend).}  Writers never overwrite or
+    free a live object.  Every mutation allocates new objects for the
+    records it touches, then publishes a new {e epoch}: a sealed root
+    object ({!Mneme.Epoch.seal}) holding the complete object directory
+    — term locators, df/cf, document lengths — is written and the store
+    header switched to it.  With a journal enabled ([?journal]), the
+    COW writes, the sealed root and the header switch ride {e one}
+    transaction whose CRC-sealed commit record is the single commit
+    point: a crash recovers to wholly the old epoch or wholly the new
+    one, never a torn mix ({!Core.Torture.run_epoch} enumerates every
+    crash point and proves it).  Readers {!pin} an epoch and
+    {!search_pinned} against it with bit-identical rankings no matter
+    how much mutation follows; {!gc} reclaims stale objects only when
+    no pin can reach them. *)
 
 type t
 
@@ -47,7 +61,10 @@ val wrap_mneme :
   t
 (** Adopt a built Mneme store.  Pools "small", "medium" and "large"
     must exist and have buffers attached.  Raises [Not_found] if a pool
-    is missing. *)
+    is missing.  Every object already in the store is treated as live
+    in the current epoch; sizes of pre-existing objects are not
+    censused, so GC byte accounting covers only objects written through
+    this live index. *)
 
 val create_btree :
   ?stopwords:Inquery.Stopwords.t -> ?stem:bool -> Vfs.t -> file:string -> unit -> t
@@ -57,24 +74,49 @@ val create_mneme :
   ?stopwords:Inquery.Stopwords.t ->
   ?stem:bool ->
   ?buffers:Buffer_sizing.t ->
+  ?journal:string ->
   Vfs.t ->
   file:string ->
   unit ->
   t
 (** An empty live index on a fresh Mneme store with the three standard
-    pools ([buffers] defaults to 64 KB per pool). *)
+    pools ([buffers] defaults to 64 KB per pool).  With [?journal] the
+    store's writes go through a redo journal in that log file and every
+    mutation commits — objects, sealed root, header — as one atomic
+    epoch publication; reopen after a crash with {!open_mneme}. *)
+
+val open_mneme :
+  ?stopwords:Inquery.Stopwords.t ->
+  ?stem:bool ->
+  ?buffers:Buffer_sizing.t ->
+  ?thresholds:Partition.thresholds ->
+  ?journal:string ->
+  Vfs.t ->
+  file:string ->
+  unit ->
+  t
+(** Re-open a live index from its published root: run journal recovery
+    (when [?journal] is given), read the store's root envelope, and
+    rebuild the dictionary, document lengths and epoch manager from the
+    sealed directory.  Objects the root does not name — orphans of
+    epochs that never committed or were superseded — are censused as
+    stale and reclaimed by the next {!gc}.  Raises
+    [Mneme.Store.Corrupt] if no root was ever published, or if the root
+    envelope is torn or disagrees with the header. *)
 
 val backend_name : t -> string
 (** "btree" or "mneme". *)
 
 val add_document : t -> ?doc_id:int -> string -> int
 (** Index one document and return its id (fresh ids are assigned past
-    the largest seen).  Raises [Invalid_argument] if an explicit id is
-    not beyond every existing id. *)
+    the largest seen).  Under Mneme this publishes a new epoch.  Raises
+    [Invalid_argument] if an explicit id is not beyond every existing
+    id. *)
 
 val delete_document : t -> int -> bool
 (** Remove a document from every inverted list it appears in; returns
-    whether it existed. *)
+    whether it existed.  Under Mneme an existing document's deletion
+    publishes a new epoch (a no-op deletion does not). *)
 
 val document_count : t -> int
 val contains_document : t -> int -> bool
@@ -84,21 +126,82 @@ val term_record : t -> string -> bytes option
 (** The current inverted record for a (normalised) term. *)
 
 val search : ?top_k:int -> t -> string -> Inquery.Ranking.ranked list
-(** Parse and evaluate a query against the live state.
+(** Parse and evaluate a query against the live (latest) state.
     Raises [Invalid_argument] on syntax errors. *)
 
+(** {2 Snapshot isolation (Mneme backend)}
+
+    All of the following raise [Invalid_argument] on a B-tree backend,
+    except {!epoch} which returns 0. *)
+
+type pin
+(** A reader's claim on one published epoch: the epoch's object
+    directory, captured immutably.  Release exactly once. *)
+
+val epoch : t -> int
+(** The latest published epoch (0 before any mutation). *)
+
+val pin : t -> pin
+(** Pin the latest published epoch for reading. *)
+
+val pin_epoch : pin -> int
+
+val release : t -> pin -> unit
+(** Drop the claim; objects only this pin kept alive become
+    reclaimable.  Raises [Invalid_argument] on double release. *)
+
+val search_pinned : ?top_k:int -> t -> pin -> string -> Inquery.Ranking.ranked list
+(** Evaluate a query against the pinned epoch: every record fetch and
+    every collection statistic comes from the pinned snapshot, so the
+    ranking is bit-identical to what {!search} returned when that epoch
+    was current — no matter how many mutations have been published
+    since.  Query-tree segment reservation is applied for the duration
+    of the evaluation and released on exit. *)
+
+val pinned_epochs : t -> int list
+(** Currently pinned epochs, ascending, with multiplicity ([] on
+    B-tree). *)
+
+val gc : t -> Mneme.Epoch.gc_stats
+(** Reclaim every stale object — retired by a later epoch, or orphaned
+    by a crash — that no pinned epoch can reach ({!Mneme.Store.delete},
+    folding the bytes into {!Mneme.Store.wasted_bytes} for {!compact}
+    to drop).  Journaled: the deletes commit as one transaction. *)
+
+val stranded_bytes : t -> int
+(** Bytes held by stale-but-unreclaimed objects (0 on B-tree).  Returns
+    to zero after a {!gc} with no pins outstanding. *)
+
+val mneme_store : t -> Mneme.Store.t option
+(** The underlying store, for integrity checking ({!Mneme.Check}). *)
+
+val directory : t -> (string * int * int) list
+(** [(term, df, cf)] for every term with a live record, sorted by term
+    — on Mneme, read from the latest {e published} snapshot. *)
+
+val audit : t -> (string * string) list
+(** Statistics-drift audit, [(where, problem)] pairs, empty when clean:
+    deep-validates every record and cross-checks df/cf against the
+    dictionary ({!Catalog.verify_records}), checks the aggregate
+    length/count invariants, and — on Mneme — verifies the published
+    snapshot agrees exactly with the live dictionary and document
+    table. *)
+
 val flush : t -> unit
-(** Persist backend metadata (B-tree header / Mneme finalize). *)
+(** Persist backend metadata (B-tree header / Mneme finalize; journaled
+    Mneme commits the finalize as a transaction). *)
 
 val compact : t -> file:string -> unit
-(** Mneme backend only: rewrite the store into [file], reclaiming every
-    byte stranded by updates and deletions, and switch the live index
-    to the compacted store (object ids — and therefore the dictionary
-    locators — are preserved).  Raises [Invalid_argument] on a B-tree
-    backend. *)
+(** Mneme backend only: run {!gc}, then rewrite the store into [file],
+    reclaiming every byte stranded by retirements and deletions, and
+    switch the live index to the compacted store (object ids — and
+    therefore the dictionary locators and pinned snapshots — are
+    preserved; objects kept alive by pins are carried over).  Raises
+    [Invalid_argument] on a B-tree backend or a journaled store. *)
 
 type space = { file_bytes : int; reclaimable_bytes : int }
 
 val space : t -> space
-(** File size and the backend's recyclable/stranded byte count — the
-    update micro-study's metric. *)
+(** File size and the backend's recyclable byte count — for Mneme, the
+    store's stranded extents {e plus} stale-but-uncollected epoch
+    objects ({!stranded_bytes}) — the update micro-study's metric. *)

@@ -67,4 +67,5 @@ let open_session ?(policy = Mneme.Buffer_pool.Lru) vfs ~file ~buffers =
     buffer_stats = (fun () -> List.map (fun (name, b) -> (name, Mneme.Buffer_pool.stats b)) bufs);
     reset_buffer_stats = (fun () -> List.iter (fun (_, b) -> Mneme.Buffer_pool.reset_stats b) bufs);
     file_size = (fun () -> Mneme.Store.file_size store);
+    epoch = (fun () -> Mneme.Store.epoch store);
   }

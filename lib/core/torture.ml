@@ -269,6 +269,7 @@ let session_over store =
     buffer_stats = (fun () -> []);
     reset_buffer_stats = (fun () -> ());
     file_size = (fun () -> Mneme.Store.file_size store);
+    epoch = (fun () -> Mneme.Store.epoch store);
   }
 
 let score_fingerprint ranked =
@@ -995,3 +996,366 @@ let pp_outcome fmt o =
     Format.fprintf fmt "@.%d problem(s):" (List.length o.problems);
     List.iter (fun (k, p) -> Format.fprintf fmt "@.  crash at io %d: %s" k p) o.problems
   end
+
+(* ------------------------------------------------------------------ *)
+(* Epoch torture: the crash-point discipline pointed at snapshot
+   isolation.  The workload drives a journaled {!Live_index} — every
+   document addition or deletion publishes an epoch through one sealed
+   root switch — and the audit demands that a crash at ANY physical I/O
+   recovers to wholly the old epoch or wholly the new one: directory,
+   record bytes, document count and ranked results byte-identical to
+   the golden run's view of that epoch, fsck clean, and gc able to
+   drain every byte the interrupted epoch stranded. *)
+
+let epoch_file = "epoch.mneme"
+let epoch_log = "epoch.log"
+
+let epoch_queries =
+  let t r = Collections.Synth.core_term ~rank:r in
+  [
+    t 1;
+    Printf.sprintf "#sum( %s %s %s )" (t 1) (t 2) (t 3);
+    Printf.sprintf "#and( %s %s )" (t 2) (t 3);
+  ]
+
+type epoch_golden = {
+  eg_epoch : int;
+  eg_doc_count : int;
+  eg_directory : (string * int * int) list;
+  eg_records : (string * bytes) list;
+  eg_ranked : (int * string) list list;
+}
+
+(* Everything the post-mutation audit phase measures, gathered by the
+   workload itself so the golden run and every replay perform the
+   identical physical I/O sequence. *)
+type epoch_audit = {
+  ea_gc_pinned : Mneme.Epoch.gc_stats; (* gc with pins still held *)
+  ea_pin_ranked : (int * (int * string) list list) list;
+  ea_gc_final : Mneme.Epoch.gc_stats; (* gc after every release *)
+  ea_stranded : int;
+  ea_fsck_ok : bool;
+  ea_drift : (string * string) list;
+}
+
+let epoch_observe live =
+  let dir = Live_index.directory live in
+  {
+    eg_epoch = Live_index.epoch live;
+    eg_doc_count = Live_index.document_count live;
+    eg_directory = dir;
+    eg_records =
+      List.map
+        (fun (term, _, _) ->
+          match Live_index.term_record live term with
+          | Some b -> (term, b)
+          | None -> (term, Bytes.empty))
+        dir;
+    eg_ranked =
+      List.map (fun q -> score_fingerprint (Live_index.search ~top_k:10 live q)) epoch_queries;
+  }
+
+let epoch_workload vfs ~seed ~docs ~mutating ~published ~finished =
+  let model =
+    Collections.Docmodel.make ~name:"epoch" ~n_docs:docs ~core_vocab:120 ~mean_doc_len:30.0
+      ~hapax_prob:0.05 ~seed ()
+  in
+  let doc_arr = Array.of_seq (Collections.Synth.documents model) in
+  let live = Live_index.create_mneme ~journal:epoch_log vfs ~file:epoch_file () in
+  let ids = Array.make (Array.length doc_arr) (-1) in
+  let m = ref 0 in
+  let pins = ref [] in
+  let step mutate =
+    incr m;
+    mutating !m;
+    mutate ();
+    (* Observation — directory walk, record fetches, the fixed query
+       set — is part of the deterministic I/O sequence, so replays stay
+       aligned with the golden run. *)
+    published !m (epoch_observe live);
+    (* Pin a spread of epochs (1, 5, 9, ...) so the audit phase can
+       prove a pinned reader survives both later mutation and gc. *)
+    if !m mod 4 = 1 then pins := (Live_index.epoch live, Live_index.pin live) :: !pins
+  in
+  Array.iteri
+    (fun d doc ->
+      step (fun () ->
+          ids.(d) <-
+            Live_index.add_document live ~doc_id:doc.Collections.Synth.id
+              (Collections.Synth.document_text doc));
+      (* Every third document, retire the one indexed two steps ago —
+         epochs get published by deletions as well as additions. *)
+      if d mod 3 = 2 then step (fun () -> ignore (Live_index.delete_document live ids.(d - 2))))
+    doc_arr;
+  let pins = List.rev !pins in
+  (* Audit phase: gc under pins (must retain what the pins reach), read
+     through every pin, release, gc again (must drain everything),
+     deep fsck. *)
+  let gc_pinned = Live_index.gc live in
+  let pin_ranked =
+    List.map
+      (fun (e, p) ->
+        ( e,
+          List.map
+            (fun q -> score_fingerprint (Live_index.search_pinned ~top_k:10 live p q))
+            epoch_queries ))
+      pins
+  in
+  List.iter (fun (_, p) -> Live_index.release live p) pins;
+  let gc_final = Live_index.gc live in
+  let stranded = Live_index.stranded_bytes live in
+  let store = Option.get (Live_index.mneme_store live) in
+  let fsck = Mneme.Check.run ~object_check:Inquery.Postings.validate store in
+  finished
+    {
+      ea_gc_pinned = gc_pinned;
+      ea_pin_ranked = pin_ranked;
+      ea_gc_final = gc_final;
+      ea_stranded = stranded;
+      ea_fsck_ok = Mneme.Check.ok fsck;
+      ea_drift = Live_index.audit live;
+    }
+
+type epoch_plan = {
+  ep_seed : int;
+  ep_docs : int;
+  ep_points : int;
+  ep_mutations : int;
+  ep_golden : epoch_golden array; (* index = epoch; 0 unused *)
+  ep_reclaimed : int; (* objects the golden run's two gc passes freed *)
+  ep_problems : string list; (* golden-run audit violations *)
+}
+
+let dummy_golden =
+  { eg_epoch = 0; eg_doc_count = 0; eg_directory = []; eg_records = []; eg_ranked = [] }
+
+let prepare_epoch ?(seed = 42) ?(docs = 8) () =
+  if docs < 1 then invalid_arg "Torture.prepare_epoch: docs must be positive";
+  let vfs = Vfs.create () in
+  Vfs.set_fault vfs (Vfs.Fault.none ());
+  let golden = ref [] (* newest first *) in
+  let problems = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let mutations = ref 0 in
+  let audit = ref None in
+  epoch_workload vfs ~seed ~docs
+    ~mutating:(fun m -> mutations := m)
+    ~published:(fun m g ->
+      if g.eg_epoch <> m then note "mutation %d published epoch %d" m g.eg_epoch;
+      golden := g :: !golden)
+    ~finished:(fun a -> audit := Some a);
+  let golden_arr = Array.make (!mutations + 1) dummy_golden in
+  List.iteri (fun i g -> golden_arr.(!mutations - i) <- g) !golden;
+  let reclaimed = ref 0 in
+  (match !audit with
+  | None -> note "workload never reached the audit phase"
+  | Some a ->
+    (* (c) A reader pinned before later mutations — and before a gc run
+       under those pins — still ranks bit-identically to what the live
+       index served when its epoch was current. *)
+    if a.ea_pin_ranked = [] then note "audit phase held no pins";
+    List.iter
+      (fun (e, ranked) ->
+        if ranked <> golden_arr.(e).eg_ranked then
+          note "pinned epoch %d ranked differently after %d further mutations and a gc" e
+            (!mutations - e))
+      a.ea_pin_ranked;
+    if a.ea_gc_pinned.Mneme.Epoch.retained_objects = 0 then
+      note "gc under pins retained nothing — the pins protected no stale object";
+    if a.ea_gc_final.Mneme.Epoch.retained_objects <> 0 then
+      note "final gc retained %d objects with no pins outstanding"
+        a.ea_gc_final.Mneme.Epoch.retained_objects;
+    if a.ea_stranded <> 0 then note "%d bytes stranded after the final gc" a.ea_stranded;
+    if not a.ea_fsck_ok then note "fsck failed after the final gc";
+    (match a.ea_drift with
+    | [] -> ()
+    | (where, p) :: _ ->
+      note "stat drift after the audit phase (%d problems; %s: %s)" (List.length a.ea_drift)
+        where p);
+    reclaimed :=
+      a.ea_gc_pinned.Mneme.Epoch.reclaimed_objects + a.ea_gc_final.Mneme.Epoch.reclaimed_objects);
+  {
+    ep_seed = seed;
+    ep_docs = docs;
+    ep_points = Vfs.fault_io_count vfs;
+    ep_mutations = !mutations;
+    ep_golden = golden_arr;
+    ep_reclaimed = !reclaimed;
+    ep_problems = List.rev !problems;
+  }
+
+let epoch_points plan = plan.ep_points
+let epoch_mutations plan = plan.ep_mutations
+
+type epoch_report = {
+  crash_at : int;
+  recovery : Mneme.Journal.recovery;
+  opened : bool;
+  published : int; (* epochs the replay saw commit before the crash *)
+  recovered_epoch : int; (* -1 when unopenable *)
+  problems : string list;
+}
+
+let run_epoch_point plan k =
+  if k < 1 || k > plan.ep_points then
+    invalid_arg
+      (Printf.sprintf "Torture.run_epoch_point: crash point %d outside 1..%d" k plan.ep_points);
+  let problems = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let vfs = Vfs.create () in
+  Vfs.set_fault vfs (Vfs.Fault.crash_at_io k);
+  let started = ref 0 and completed = ref 0 in
+  (try
+     epoch_workload vfs ~seed:plan.ep_seed ~docs:plan.ep_docs
+       ~mutating:(fun _ -> incr started)
+       ~published:(fun _ _ -> incr completed)
+       ~finished:(fun _ -> ());
+     note "workload ran to completion without crashing at io %d" k
+   with Vfs.Crash -> ());
+  (* Reboot on the durable image.  Recovery runs once here (so the
+     verdict is observable) and again inside [open_mneme] — replaying a
+     recovered log must be idempotent. *)
+  let img = Vfs.crash_image vfs in
+  let recovery = Mneme.Store.recover_journal img ~file:epoch_file ~log_file:epoch_log in
+  let opened = ref false and recovered_epoch = ref (-1) in
+  (match Live_index.open_mneme ~journal:epoch_log img ~file:epoch_file () with
+  | exception Mneme.Store.Corrupt msg ->
+    if !completed > 0 then note "index unopenable after %d published epochs: %s" !completed msg
+  | live ->
+    opened := true;
+    let g = Live_index.epoch live in
+    recovered_epoch := g;
+    (* A publication the replay saw commit cannot roll back; the log
+       fsync may have sealed one more the crash then interrupted. *)
+    if g < !completed || g > !started then
+      note "recovered epoch %d outside [%d, %d]" g !completed !started
+    else if g = 0 then note "store opened but no epoch was ever published"
+    else begin
+      let gold = plan.ep_golden.(g) in
+      (* (b) Wholly old or wholly new: the surviving root reproduces
+         the golden run's view of epoch [g] exactly. *)
+      if Live_index.document_count live <> gold.eg_doc_count then
+        note "epoch %d: %d documents, golden had %d" g
+          (Live_index.document_count live)
+          gold.eg_doc_count;
+      if Live_index.directory live <> gold.eg_directory then
+        note "epoch %d: directory differs from golden" g;
+      List.iter
+        (fun (term, b) ->
+          match Live_index.term_record live term with
+          | Some b' when Bytes.equal b b' -> ()
+          | Some _ -> note "epoch %d: record for %S differs from golden" g term
+          | None -> note "epoch %d: record for %S lost" g term)
+        gold.eg_records;
+      let ranked =
+        List.map (fun q -> score_fingerprint (Live_index.search ~top_k:10 live q)) epoch_queries
+      in
+      if ranked <> gold.eg_ranked then note "epoch %d: ranked results differ from golden" g;
+      (* A pin taken on the recovered root must agree with both. *)
+      let p = Live_index.pin live in
+      let pinned =
+        List.map
+          (fun q -> score_fingerprint (Live_index.search_pinned ~top_k:10 live p q))
+          epoch_queries
+      in
+      if pinned <> gold.eg_ranked then note "epoch %d: pinned ranking differs from golden" g;
+      Live_index.release live p;
+      (* (a) fsck-clean as recovered ... *)
+      let store = Option.get (Live_index.mneme_store live) in
+      let rep = Mneme.Check.run store in
+      if not (Mneme.Check.ok rep) then
+        note "fsck: %s" (Format.asprintf "%a" Mneme.Check.pp_report rep);
+      (* ... and gc drains every byte the interrupted epoch stranded,
+         leaving a store that still deep-checks clean. *)
+      ignore (Live_index.gc live);
+      if Live_index.stranded_bytes live <> 0 then
+        note "%d bytes stranded after gc" (Live_index.stranded_bytes live);
+      let rep = Mneme.Check.run ~object_check:Inquery.Postings.validate store in
+      if not (Mneme.Check.ok rep) then
+        note "fsck after gc: %s" (Format.asprintf "%a" Mneme.Check.pp_report rep);
+      match Live_index.audit live with
+      | [] -> ()
+      | (where, p) :: rest ->
+        note "stat drift after recovery (%d problems; %s: %s)" (1 + List.length rest) where p
+    end);
+  {
+    crash_at = k;
+    recovery;
+    opened = !opened;
+    published = !completed;
+    recovered_epoch = !recovered_epoch;
+    problems = List.rev !problems;
+  }
+
+type epoch_outcome = {
+  e_points : int;
+  e_mutations : int;
+  e_opened : int;
+  e_unopenable : int;
+  e_wholly_old : int;
+  e_wholly_new : int;
+  e_replayed : int;
+  e_discarded : int;
+  e_clean : int;
+  e_reclaimed : int;
+  e_problems : (int * string) list; (* crash point 0 = golden-run audit *)
+}
+
+let run_epoch ?seed ?docs () =
+  let plan = prepare_epoch ?seed ?docs () in
+  let opened = ref 0
+  and unopenable = ref 0
+  and wholly_old = ref 0
+  and wholly_new = ref 0
+  and replayed = ref 0
+  and discarded = ref 0
+  and clean = ref 0 in
+  let problems = ref (List.rev_map (fun p -> (0, p)) plan.ep_problems) in
+  for k = 1 to plan.ep_points do
+    let r = run_epoch_point plan k in
+    if r.opened then begin
+      incr opened;
+      if r.recovered_epoch > r.published then incr wholly_new else incr wholly_old
+    end
+    else incr unopenable;
+    (match r.recovery with
+    | Mneme.Journal.Replayed _ -> incr replayed
+    | Mneme.Journal.Discarded _ -> incr discarded
+    | Mneme.Journal.Clean -> incr clean);
+    List.iter (fun p -> problems := (k, p) :: !problems) r.problems
+  done;
+  {
+    e_points = plan.ep_points;
+    e_mutations = plan.ep_mutations;
+    e_opened = !opened;
+    e_unopenable = !unopenable;
+    e_wholly_old = !wholly_old;
+    e_wholly_new = !wholly_new;
+    e_replayed = !replayed;
+    e_discarded = !discarded;
+    e_clean = !clean;
+    e_reclaimed = plan.ep_reclaimed;
+    e_problems = List.rev !problems;
+  }
+
+let pp_epoch_outcome fmt o =
+  Format.fprintf fmt
+    "%d crash points over %d epochs: %d recovered roots (%d wholly old, %d wholly new), %d \
+     pre-publication images; recovery %d replayed / %d discarded / %d clean logs; golden gc \
+     reclaimed %d objects"
+    o.e_points o.e_mutations o.e_opened o.e_wholly_old o.e_wholly_new o.e_unopenable o.e_replayed
+    o.e_discarded o.e_clean o.e_reclaimed;
+  if o.e_problems <> [] then begin
+    Format.fprintf fmt "@.%d problem(s):" (List.length o.e_problems);
+    List.iter
+      (fun (k, p) ->
+        if k = 0 then Format.fprintf fmt "@.  golden run: %s" p
+        else Format.fprintf fmt "@.  crash at io %d: %s" k p)
+      o.e_problems
+  end
+
+let epoch_table plan =
+  List.filteri (fun i _ -> i > 0) (Array.to_list plan.ep_golden)
+  |> List.map (fun g -> (g.eg_epoch, g.eg_doc_count, List.length g.eg_directory))
+
+let epoch_golden_problems plan = plan.ep_problems

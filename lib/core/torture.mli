@@ -234,3 +234,83 @@ val scrub_budget_sweep :
     slowly but never hold the disk long; large ones detect fast at the
     price of a long worst-case stall.  Raises [Invalid_argument] on a
     non-positive budget. *)
+
+(** {2 Epoch torture}
+
+    Crash-point enumeration for snapshot-isolated serving.  The
+    workload drives a journaled {!Live_index} over a synthetic
+    collection, interleaving document additions and deletions — every
+    mutation publishes an epoch through one sealed root switch — and
+    observing the directory, record bytes and a fixed ranked query set
+    after each publication (the observation I/O is part of the
+    deterministic sequence, so replays stay aligned).  A golden run
+    under {!Vfs.Fault.none} records the view at every epoch, pins a
+    spread of epochs, and audits the gc discipline; every replay
+    crashes at one physical I/O, reboots on the durable image, recovers
+    the journal, and demands:
+
+    - {b (a)} the recovered store is fsck-clean, before and after gc;
+    - {b (b)} the surviving root is wholly the old epoch or wholly the
+      new one — directory, records, document count and rankings all
+      byte-identical to the golden view of that epoch, never a mix;
+    - {b (c)} gc drains every stranded byte the interrupted epoch left
+      behind, and a reader pinned in the golden run ranks
+      bit-identically no matter how much mutation (and gc) followed. *)
+
+type epoch_plan
+
+val prepare_epoch : ?seed:int -> ?docs:int -> unit -> epoch_plan
+(** Golden run (defaults: seed 42, 8 documents — roughly [4/3 · docs]
+    epoch publications).  Counts the crash points, snapshots every
+    epoch's view, and audits pinned readers and gc; violations found in
+    the golden run itself are reported by {!run_epoch} as crash point
+    0.  Raises [Invalid_argument] on a non-positive [docs]. *)
+
+val epoch_points : epoch_plan -> int
+(** Physical I/Os in the golden run — the number of crash points. *)
+
+val epoch_mutations : epoch_plan -> int
+(** Epochs the golden run published. *)
+
+type epoch_report = {
+  crash_at : int;
+  recovery : Mneme.Journal.recovery;
+  opened : bool;
+  published : int;  (** epochs the replay saw commit before the crash *)
+  recovered_epoch : int;  (** -1 when unopenable *)
+  problems : string list;
+}
+
+val run_epoch_point : epoch_plan -> int -> epoch_report
+(** Replay with a crash at physical I/O [k] (1-based), recover, audit.
+    An unopenable image is only a problem if the replay had seen at
+    least one publication commit.  Raises [Invalid_argument] if [k] is
+    outside [1..epoch_points]. *)
+
+type epoch_outcome = {
+  e_points : int;
+  e_mutations : int;
+  e_opened : int;
+  e_unopenable : int;
+  e_wholly_old : int;  (** recovered to the last epoch the replay saw commit *)
+  e_wholly_new : int;  (** the log fsync sealed the interrupted epoch *)
+  e_replayed : int;
+  e_discarded : int;
+  e_clean : int;
+  e_reclaimed : int;  (** objects the golden run's gc passes freed *)
+  e_problems : (int * string) list;  (** crash point 0 = golden-run audit *)
+}
+
+val run_epoch : ?seed:int -> ?docs:int -> unit -> epoch_outcome
+(** Enumerate every crash point.  [e_problems = []] means every crash
+    recovered to a whole epoch with a clean store, every pinned reader
+    ranked bit-identically, and gc drained every stranded byte. *)
+
+val pp_epoch_outcome : Format.formatter -> epoch_outcome -> unit
+
+val epoch_table : epoch_plan -> (int * int * int) list
+(** The golden run per epoch: [(epoch, documents, live terms)] — the
+    view each published root seals. *)
+
+val epoch_golden_problems : epoch_plan -> string list
+(** Violations the golden run's own pin/gc audit found ([] = clean). *)

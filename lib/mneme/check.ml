@@ -16,11 +16,14 @@ let run ?object_check store =
      what the stored bytes mean (e.g. postings records with skip
      tables), each live object's payload is handed to its checker.
      Problems are flagged like any other — never raised. *)
+  let root_oid = Store.root store in
   let apply_object_check =
     match object_check with
     | None -> fun _ _ -> ()
     | Some f -> (
       fun where oid ->
+        if root_oid = Some oid then () (* the sealed root is not a payload object *)
+        else
         match Store.get_opt store oid with
         | exception Store.Corrupt msg -> flag where ("object unreadable: " ^ msg)
         | exception Invalid_argument msg -> flag where ("object unreadable: " ^ msg)
@@ -153,6 +156,24 @@ let run ?object_check store =
     flag "store"
       (Printf.sprintf "header object count %d but pools hold %d" (Store.object_count store)
          total);
+  (* 7. The versioned root, when the header names one, is a live object
+     whose sealed envelope opens cleanly and agrees with the header's
+     epoch.  A torn root-switch must surface here, never parse. *)
+  (match root_oid with
+  | None -> ()
+  | Some oid -> (
+    match Store.get_opt store oid with
+    | exception Store.Corrupt msg -> flag "root" ("root object unreadable: " ^ msg)
+    | exception Invalid_argument msg -> flag "root" ("root object unreadable: " ^ msg)
+    | None -> flag "root" (Printf.sprintf "header names root oid %d but no such object" oid)
+    | Some envelope -> (
+      match Epoch.unseal envelope with
+      | Error msg -> flag "root" msg
+      | Ok (epoch, _) ->
+        if epoch <> Store.epoch store then
+          flag "root"
+            (Printf.sprintf "root sealed for epoch %d but header says %d" epoch
+               (Store.epoch store)))));
   { problems = List.rev !problems; objects_seen = !objects; psegs_seen = !psegs; pools_seen = !pools_n }
 
 let pp_report fmt r =

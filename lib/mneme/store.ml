@@ -13,7 +13,12 @@ let header_size = 64
    23 data_tail     u64
    31 next_lseg     u32
    35 object_count  u64
-   43 wasted        u64 *)
+   43 wasted        u64
+   51 epoch         u32   latest published epoch (0 = never published)
+   55 root          u32   sealed-root oid + 1 (0 = no root)
+
+   The epoch/root words live in what was header padding, so a v2 store
+   written before they existed reads back as epoch 0 with no root. *)
 
 type open_pseg =
   | Open_fixed of { pseg_id : int; lseg : int; buf : bytes; mutable count : int }
@@ -53,6 +58,8 @@ and t = {
   mutable wasted : int;
   mutable aux : (int * int) option;
   mutable finalized : bool;
+  mutable epoch : int;
+  mutable root : int; (* oid of the sealed root object, -1 = none *)
 }
 
 (* All data-file I/O goes through the optional journal so that batched
@@ -75,6 +82,8 @@ let write_header t =
   Util.Bin.put_u32 b 31 t.next_lseg;
   Util.Bin.put_u64 b 35 t.object_count;
   Util.Bin.put_u64 b 43 t.wasted;
+  Util.Bin.put_u32 b 51 t.epoch;
+  Util.Bin.put_u32 b 55 (t.root + 1);
   st_write t ~off:0 b
 
 let create vfs name =
@@ -94,6 +103,8 @@ let create vfs name =
       wasted = 0;
       aux = None;
       finalized = false;
+      epoch = 0;
+      root = -1;
     }
   in
   write_header t;
@@ -140,6 +151,8 @@ let open_existing vfs name =
       wasted = Util.Bin.get_u64 b 43;
       aux = Some (aux_off, aux_len);
       finalized = true;
+      epoch = Util.Bin.get_u32 b 51;
+      root = Util.Bin.get_u32 b 55 - 1;
     }
   in
   (* The auxiliary directory (top level of the multi-level tables): pool
@@ -754,6 +767,20 @@ let wasted_bytes t = t.wasted
 let aux_table_bytes t = match t.aux with None -> 0 | Some (_, len) -> len
 
 (* ------------------------------------------------------------------ *)
+(* The versioned root                                                   *)
+
+let epoch t = t.epoch
+let root t = if t.root < 0 then None else Some t.root
+
+let set_root t ~epoch ~root =
+  if epoch < 0 then invalid_arg "Store.set_root: negative epoch";
+  (match root with
+  | Some oid when oid < 0 -> invalid_arg "Store.set_root: negative root oid"
+  | Some _ | None -> ());
+  t.epoch <- epoch;
+  t.root <- (match root with Some oid -> oid | None -> -1)
+
+(* ------------------------------------------------------------------ *)
 (* Journaling                                                          *)
 
 let enable_journal t ~log_file =
@@ -912,5 +939,9 @@ let compact t ~file =
             end)
           slots)
   done;
+  (* The epoch lineage survives compaction: ids are preserved, so the
+     sealed root object (if any) still names valid objects. *)
+  dst.epoch <- t.epoch;
+  dst.root <- t.root;
   finalize dst;
   dst

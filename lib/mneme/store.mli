@@ -114,6 +114,29 @@ val aux_table_bytes : t -> int
 (** Size of the persisted auxiliary tables (0 before finalize); compare
     with the paper's footnote that all of TIPSTER's tables fit 512 KB. *)
 
+(** {2 The versioned root}
+
+    One object per store may be designated the {e root}: the sealed
+    object directory of the latest published epoch (see {!Epoch}).  The
+    header records the epoch number and the root's oid; both persist
+    with the next {!finalize}, so inside a {!transact} the root switch
+    commits atomically with the objects it names — the journal's commit
+    marker is the only commit point.  Stores written before epochs
+    existed read back as epoch 0 with no root. *)
+
+val epoch : t -> int
+(** Latest published epoch recorded in the header (0 = never
+    published). *)
+
+val root : t -> Oid.t option
+(** The sealed root object of [epoch], if one was published. *)
+
+val set_root : t -> epoch:int -> root:Oid.t option -> unit
+(** Record the new epoch and root in the in-memory header; call
+    {!finalize} (inside the publishing transaction) to persist them.
+    {!compact} carries both across, since object ids are preserved.
+    Raises [Invalid_argument] on a negative epoch or oid. *)
+
 val locate_pseg : t -> Oid.t -> int option
 (** Physical segment id holding the object, if any — exposed so the
     integrated system can reserve and so tests can assert clustering. *)

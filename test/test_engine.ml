@@ -131,6 +131,7 @@ let test_reservation_released_when_eval_raises () =
       buffer_stats = (fun () -> []);
       reset_buffer_stats = (fun () -> ());
       file_size = (fun () -> Mneme.Store.file_size store);
+      epoch = (fun () -> Mneme.Store.epoch store);
     }
   in
   let engine =
@@ -200,6 +201,7 @@ let test_read_repair_heals_quarantine () =
       buffer_stats = (fun () -> []);
       reset_buffer_stats = (fun () -> ());
       file_size = (fun () -> Mneme.Store.file_size store);
+      epoch = (fun () -> Mneme.Store.epoch store);
     }
   in
   let engine =
@@ -278,6 +280,7 @@ let test_heal_pending_keeps_failed_tickets () =
       buffer_stats = (fun () -> []);
       reset_buffer_stats = (fun () -> ());
       file_size = (fun () -> Mneme.Store.file_size store);
+      epoch = (fun () -> Mneme.Store.epoch store);
     }
   in
   let engine =

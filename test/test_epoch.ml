@@ -1,0 +1,303 @@
+(* Epoch-versioned snapshot isolation: crash-safe root publication
+   (every physical I/O a crash point), pinned-epoch reads surviving
+   churn and gc, statistics-drift audits, and cross-domain determinism
+   of pinned rankings.  [REPRO_TEST_DOMAINS] (used by CI) pins the
+   domain counts the multi-domain case exercises. *)
+
+let domain_counts =
+  match Sys.getenv_opt "REPRO_TEST_DOMAINS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some d when d > 0 -> [ d ]
+    | _ -> [ 1; 2; 4 ])
+  | None -> [ 1; 2; 4 ]
+
+let fingerprint ranked =
+  List.map
+    (fun r -> (r.Inquery.Ranking.doc, Printf.sprintf "%.9f" r.Inquery.Ranking.score))
+    ranked
+
+let queries =
+  let t r = Collections.Synth.core_term ~rank:r in
+  [ t 1; Printf.sprintf "#sum( %s %s %s )" (t 1) (t 2) (t 3) ]
+
+(* --- crash-point enumeration (the tentpole audit) ------------------ *)
+
+let test_every_epoch_point_recovers_whole () =
+  let o = Core.Torture.run_epoch ~seed:42 ~docs:6 () in
+  Alcotest.(check bool) "workload performs I/O" true (o.Core.Torture.e_points > 30);
+  Alcotest.(check (list (pair int string)))
+    "no invariant violations" [] o.Core.Torture.e_problems;
+  Alcotest.(check int) "every point audited" o.Core.Torture.e_points
+    (o.Core.Torture.e_opened + o.Core.Torture.e_unopenable);
+  Alcotest.(check bool) "most crash images open" true
+    (o.Core.Torture.e_opened > o.Core.Torture.e_unopenable);
+  (* Crashes before the commit record seals leave the old epoch ... *)
+  Alcotest.(check bool) "some roots wholly old" true (o.Core.Torture.e_wholly_old > 0);
+  (* ... crashes after it leave the new one — never a mix. *)
+  Alcotest.(check bool) "some roots wholly new" true (o.Core.Torture.e_wholly_new > 0);
+  Alcotest.(check bool) "some logs replayed" true (o.Core.Torture.e_replayed > 0);
+  Alcotest.(check bool) "some logs discarded" true (o.Core.Torture.e_discarded > 0);
+  Alcotest.(check bool) "golden gc reclaimed retired epochs" true
+    (o.Core.Torture.e_reclaimed > 0)
+
+let prop_random_epoch_crash_point_whole =
+  let plans = Hashtbl.create 4 in
+  let plan_for seed =
+    match Hashtbl.find_opt plans seed with
+    | Some p -> p
+    | None ->
+      let p = Core.Torture.prepare_epoch ~seed ~docs:5 () in
+      Hashtbl.add plans seed p;
+      p
+  in
+  QCheck.Test.make ~name:"random epoch workload, random crash point recovers whole" ~count:30
+    QCheck.(pair (int_range 1 3) (int_range 0 999))
+    (fun (seed, frac) ->
+      let plan = plan_for seed in
+      let n = Core.Torture.epoch_points plan in
+      let k = 1 + (frac * n / 1000) in
+      let r = Core.Torture.run_epoch_point plan k in
+      r.Core.Torture.problems = [])
+
+(* --- statistics drift under randomized churn ----------------------- *)
+
+let churn_model =
+  Collections.Docmodel.make ~name:"churn" ~n_docs:60 ~core_vocab:150 ~mean_doc_len:25.0
+    ~hapax_prob:0.05 ~seed:7 ()
+
+let test_churn_statistics_stay_consistent () =
+  let rng = Random.State.make [| 7 |] in
+  let vfs = Vfs.create () in
+  let live = Core.Live_index.create_mneme vfs ~file:"churn.mneme" () in
+  let twin = Core.Live_index.create_btree (Vfs.create ()) ~file:"churn.btree" () in
+  let alive = ref [] in
+  Seq.iter
+    (fun doc ->
+      let text = Collections.Synth.document_text doc in
+      let id = Core.Live_index.add_document live ~doc_id:doc.Collections.Synth.id text in
+      ignore (Core.Live_index.add_document twin ~doc_id:doc.Collections.Synth.id text);
+      alive := id :: !alive;
+      if Random.State.int rng 3 = 0 then begin
+        let l = !alive in
+        let victim = List.nth l (Random.State.int rng (List.length l)) in
+        let a = Core.Live_index.delete_document live victim in
+        let b = Core.Live_index.delete_document twin victim in
+        Alcotest.(check bool) "backends agree on existence" a b;
+        if a then alive := List.filter (fun d -> d <> victim) !alive
+      end)
+    (Collections.Synth.documents churn_model);
+  (* The drift audit deep-validates every record and cross-checks df/cf
+     through Catalog.verify_records, the aggregate invariants, and (on
+     Mneme) the published snapshot against the live tables. *)
+  Alcotest.(check (list (pair string string)))
+    "mneme audit clean" [] (Core.Live_index.audit live);
+  Alcotest.(check (list (pair string string)))
+    "btree audit clean" [] (Core.Live_index.audit twin);
+  Alcotest.(check bool) "directories agree across backends" true
+    (Core.Live_index.directory live = Core.Live_index.directory twin);
+  Alcotest.(check int) "document counts agree" (Core.Live_index.document_count twin)
+    (Core.Live_index.document_count live);
+  ignore (Core.Live_index.gc live);
+  Alcotest.(check int) "nothing stranded after gc" 0 (Core.Live_index.stranded_bytes live);
+  Core.Live_index.flush live;
+  let store = Option.get (Core.Live_index.mneme_store live) in
+  let rep = Mneme.Check.run ~object_check:Inquery.Postings.validate store in
+  Alcotest.(check bool)
+    (Format.asprintf "%a" Mneme.Check.pp_report rep)
+    true (Mneme.Check.ok rep)
+
+(* --- pinned readers under interleaved mutation (all presets) ------- *)
+
+let preset_names = [ "cacm"; "legal"; "tipster1"; "tipster" ]
+
+let preset_docs =
+  let tbl = Hashtbl.create 4 in
+  fun name ->
+    match Hashtbl.find_opt tbl name with
+    | Some d -> d
+    | None ->
+      let model = Collections.Presets.find ~scale:0.01 name in
+      let d = Array.of_seq (Seq.take 10 (Collections.Synth.documents model)) in
+      Hashtbl.add tbl name d;
+      d
+
+let prop_pinned_rankings_survive_churn =
+  QCheck.Test.make ~name:"pinned rankings survive churn and gc on every preset" ~count:24
+    QCheck.(pair (int_range 0 3) (int_range 0 9999))
+    (fun (pi, seed) ->
+      let docs = preset_docs (List.nth preset_names pi) in
+      let rng = Random.State.make [| seed |] in
+      let live = Core.Live_index.create_mneme (Vfs.create ()) ~file:"pin.mneme" () in
+      let twin = Core.Live_index.create_btree (Vfs.create ()) ~file:"pin.btree" () in
+      let pins = ref [] in
+      let alive = ref [] in
+      let ok = ref true in
+      let check b = if not b then ok := false in
+      Array.iter
+        (fun doc ->
+          let text = Collections.Synth.document_text doc in
+          ignore (Core.Live_index.add_document live ~doc_id:doc.Collections.Synth.id text);
+          ignore (Core.Live_index.add_document twin ~doc_id:doc.Collections.Synth.id text);
+          alive := doc.Collections.Synth.id :: !alive;
+          (if Random.State.int rng 3 = 0 then
+             let l = !alive in
+             let victim = List.nth l (Random.State.int rng (List.length l)) in
+             check
+               (Core.Live_index.delete_document live victim
+               = Core.Live_index.delete_document twin victim);
+             alive := List.filter (fun d -> d <> victim) !alive);
+          (* A pin captures the rankings the live view serves right now. *)
+          if Random.State.int rng 2 = 0 then begin
+            let p = Core.Live_index.pin live in
+            let fp =
+              List.map (fun q -> fingerprint (Core.Live_index.search ~top_k:10 live q)) queries
+            in
+            pins := (p, fp) :: !pins
+          end;
+          if Random.State.int rng 4 = 0 then ignore (Core.Live_index.gc live);
+          (* The unpinned view always reflects the latest state: it
+             must rank exactly like the B-tree twin fed the same ops. *)
+          List.iter
+            (fun q ->
+              check
+                (fingerprint (Core.Live_index.search ~top_k:10 live q)
+                = fingerprint (Core.Live_index.search ~top_k:10 twin q)))
+            queries)
+        docs;
+      (* Every pinned reader still ranks bit-identically, no matter the
+         churn and gc that followed its pin. *)
+      List.iter
+        (fun (p, fp) ->
+          let now =
+            List.map
+              (fun q -> fingerprint (Core.Live_index.search_pinned ~top_k:10 live p q))
+              queries
+          in
+          check (fp = now))
+        !pins;
+      (* Pinned evaluation released its segment reservations. *)
+      let store = Option.get (Core.Live_index.mneme_store live) in
+      List.iter
+        (fun pool ->
+          match Mneme.Store.buffer pool with
+          | Some b -> check (Mneme.Buffer_pool.pinned_segments b = [])
+          | None -> ())
+        (Mneme.Store.pools store);
+      List.iter (fun (p, _) -> Core.Live_index.release live p) !pins;
+      ignore (Core.Live_index.gc live);
+      check (Core.Live_index.stranded_bytes live = 0);
+      check (Core.Live_index.audit live = []);
+      !ok)
+
+(* --- gc never frees what a pin can reach --------------------------- *)
+
+let test_gc_respects_pins () =
+  let live = Core.Live_index.create_mneme (Vfs.create ()) ~file:"gcpin.mneme" () in
+  ignore (Core.Live_index.add_document live "alpha beta gamma");
+  let p = Core.Live_index.pin live in
+  let golden = fingerprint (Core.Live_index.search ~top_k:10 live "alpha") in
+  ignore (Core.Live_index.add_document live "alpha delta");
+  ignore (Core.Live_index.delete_document live 0);
+  Alcotest.(check (list int)) "pin registered" [ 1 ] (Core.Live_index.pinned_epochs live);
+  let s1 = Core.Live_index.gc live in
+  Alcotest.(check bool) "gc retained the pinned epoch's objects" true
+    (s1.Mneme.Epoch.retained_objects > 0);
+  Alcotest.(check bool) "pinned search unchanged after gc" true
+    (fingerprint (Core.Live_index.search_pinned ~top_k:10 live p "alpha") = golden);
+  Core.Live_index.release live p;
+  Alcotest.(check bool) "double release refused" true
+    (match Core.Live_index.release live p with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  let s2 = Core.Live_index.gc live in
+  Alcotest.(check bool) "released objects reclaimed" true
+    (s2.Mneme.Epoch.reclaimed_objects > 0);
+  Alcotest.(check int) "nothing stranded" 0 (Core.Live_index.stranded_bytes live)
+
+(* --- reopen from the published root -------------------------------- *)
+
+let test_reopen_serves_published_epoch () =
+  let vfs = Vfs.create () in
+  let live = Core.Live_index.create_mneme ~journal:"ro.log" vfs ~file:"ro.mneme" () in
+  let docs = Array.of_seq (Seq.take 8 (Collections.Synth.documents churn_model)) in
+  Array.iter
+    (fun doc ->
+      ignore
+        (Core.Live_index.add_document live ~doc_id:doc.Collections.Synth.id
+           (Collections.Synth.document_text doc)))
+    docs;
+  ignore (Core.Live_index.delete_document live 1);
+  let golden = List.map (fun q -> fingerprint (Core.Live_index.search ~top_k:10 live q)) queries in
+  let dir = Core.Live_index.directory live in
+  let e = Core.Live_index.epoch live in
+  (* A fresh session rebuilt from the sealed root serves the identical
+     epoch: same directory, same rankings, same epoch number. *)
+  let re = Core.Live_index.open_mneme ~journal:"ro.log" vfs ~file:"ro.mneme" () in
+  Alcotest.(check int) "epoch preserved" e (Core.Live_index.epoch re);
+  Alcotest.(check bool) "directory preserved" true (Core.Live_index.directory re = dir);
+  Alcotest.(check bool) "rankings preserved" true
+    (List.map (fun q -> fingerprint (Core.Live_index.search ~top_k:10 re q)) queries = golden);
+  (* And it can keep mutating: the next epoch publishes past [e]. *)
+  ignore (Core.Live_index.add_document re "omega omicron");
+  Alcotest.(check int) "mutation continues the epoch sequence" (e + 1)
+    (Core.Live_index.epoch re);
+  Alcotest.(check (list (pair string string))) "audit clean" [] (Core.Live_index.audit re)
+
+(* --- pinned rankings are domain-independent ------------------------ *)
+
+let test_pinned_rankings_identical_across_domains () =
+  let vfs = Vfs.create () in
+  let live = Core.Live_index.create_mneme ~journal:"dom.log" vfs ~file:"dom.mneme" () in
+  let docs = Array.of_seq (Seq.take 10 (Collections.Synth.documents churn_model)) in
+  Array.iter
+    (fun doc ->
+      ignore
+        (Core.Live_index.add_document live ~doc_id:doc.Collections.Synth.id
+           (Collections.Synth.document_text doc)))
+    docs;
+  ignore (Core.Live_index.delete_document live 2);
+  let golden = List.map (fun q -> fingerprint (Core.Live_index.search ~top_k:10 live q)) queries in
+  List.iter
+    (fun d ->
+      (* Per-domain sessions, each on a private copy of the image —
+         the same discipline Parallel uses for unversioned serving. *)
+      let workers =
+        List.init d (fun _ ->
+            Domain.spawn (fun () ->
+                let dvfs = Vfs.create () in
+                Vfs.copy_file vfs "dom.mneme" ~into:dvfs;
+                Vfs.copy_file vfs "dom.log" ~into:dvfs;
+                let li = Core.Live_index.open_mneme ~journal:"dom.log" dvfs ~file:"dom.mneme" () in
+                let p = Core.Live_index.pin li in
+                let fp =
+                  List.map
+                    (fun q -> fingerprint (Core.Live_index.search_pinned ~top_k:10 li p q))
+                    queries
+                in
+                Core.Live_index.release li p;
+                fp))
+      in
+      List.iter
+        (fun w ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%d-domain pinned ranking matches golden" d)
+            true
+            (Domain.join w = golden))
+        workers)
+    domain_counts
+
+let suite =
+  [
+    Alcotest.test_case "every epoch crash point recovers whole" `Quick
+      test_every_epoch_point_recovers_whole;
+    QCheck_alcotest.to_alcotest prop_random_epoch_crash_point_whole;
+    Alcotest.test_case "churn statistics stay consistent" `Quick
+      test_churn_statistics_stay_consistent;
+    QCheck_alcotest.to_alcotest prop_pinned_rankings_survive_churn;
+    Alcotest.test_case "gc respects pins" `Quick test_gc_respects_pins;
+    Alcotest.test_case "reopen serves the published epoch" `Quick
+      test_reopen_serves_published_epoch;
+    Alcotest.test_case "pinned rankings identical across domains" `Quick
+      test_pinned_rankings_identical_across_domains;
+  ]

@@ -265,9 +265,108 @@ let test_commit_stream () =
   Alcotest.(check string) "log name" "log" (Mneme.Journal.log_file j);
   Alcotest.(check string) "data name" "data" (Mneme.Journal.data_file j)
 
+(* --- replay idempotency -------------------------------------------- *)
+
+(* A deterministic committing run under a fault plan; the same plan
+   always yields the same physical I/O sequence. *)
+let committing_run fault =
+  let vfs = Vfs.create () in
+  Vfs.set_fault vfs fault;
+  (try
+     let data = Vfs.open_file vfs "data" in
+     ignore (Vfs.append data (Bytes.make 32 '.'));
+     Vfs.fsync data;
+     let j = Mneme.Journal.create vfs ~log_file:"log" ~data_file:"data" in
+     Mneme.Journal.begin_batch j;
+     Mneme.Journal.write j ~off:0 (Bytes.of_string "HELLO");
+     Mneme.Journal.write j ~off:27 (Bytes.of_string "WORLD");
+     Mneme.Journal.commit j
+   with Vfs.Crash -> ());
+  vfs
+
+let copy_image img =
+  let copy = Vfs.create () in
+  List.iter (fun f -> Vfs.copy_file img f ~into:copy) (Vfs.file_names img);
+  copy
+
+let whole_file vfs name =
+  if not (Vfs.file_exists vfs name) then ""
+  else begin
+    let f = Vfs.open_file vfs name in
+    Bytes.to_string (Vfs.read f ~off:0 ~len:(Vfs.size f))
+  end
+
+let recover_image img = Mneme.Journal.recover (Mneme.Journal.attach img ~log_file:"log" ~data_file:"data")
+
+(* Crash images whose log holds a sealed commit the recovery replays. *)
+let replayable_images () =
+  let total = Vfs.fault_io_count (committing_run (Vfs.Fault.none ())) in
+  List.filter_map
+    (fun k ->
+      let img = Vfs.crash_image (committing_run (Vfs.Fault.crash_at_io k)) in
+      match recover_image (copy_image img) with
+      | Mneme.Journal.Replayed _ -> Some (k, img)
+      | _ -> None)
+    (List.init total (fun i -> i + 1))
+
+let test_replaying_twice_is_idempotent () =
+  let images = replayable_images () in
+  Alcotest.(check bool) "some crash points seal a commit" true (images <> []);
+  List.iter
+    (fun (k, img) ->
+      (match recover_image img with
+      | Mneme.Journal.Replayed _ -> ()
+      | _ -> Alcotest.failf "crash at io %d: first recovery did not replay" k);
+      let once = whole_file img "data" in
+      Alcotest.(check string)
+        (Printf.sprintf "crash at io %d: committed writes landed" k)
+        "HELLO" (String.sub once 0 5);
+      (* A second recovery finds a clean (truncated) log and must not
+         move a byte. *)
+      (match recover_image img with
+      | Mneme.Journal.Clean -> ()
+      | _ -> Alcotest.failf "crash at io %d: second recovery was not clean" k);
+      Alcotest.(check string)
+        (Printf.sprintf "crash at io %d: replaying twice is byte-identical" k)
+        once (whole_file img "data"))
+    images
+
+let test_crash_during_recovery_is_idempotent () =
+  let images = replayable_images () in
+  List.iter
+    (fun (k, img) ->
+      (* The expected end state: the same image recovered undisturbed. *)
+      let undisturbed = copy_image img in
+      ignore (recover_image undisturbed);
+      let expect = whole_file undisturbed "data" in
+      (* Crash the recovery itself at every physical I/O, then let a
+         second recovery finish the job: same bytes, every time. *)
+      let j = ref 1 in
+      let continue = ref true in
+      while !continue do
+        let attempt = copy_image img in
+        Vfs.set_fault attempt (Vfs.Fault.crash_at_io !j);
+        (match recover_image attempt with
+        | _ -> continue := false (* recovery finished before io [j] *)
+        | exception Vfs.Crash ->
+          let resumed = Vfs.crash_image attempt in
+          (match recover_image resumed with
+          | Mneme.Journal.Replayed _ | Mneme.Journal.Clean -> ()
+          | Mneme.Journal.Discarded _ ->
+            Alcotest.failf "crash at io %d, recovery crash at io %d: sealed log discarded" k !j);
+          Alcotest.(check string)
+            (Printf.sprintf "crash at io %d, recovery crash at io %d: byte-identical" k !j)
+            expect (whole_file resumed "data"));
+        incr j
+      done)
+    images
+
 let suite =
   [
     Alcotest.test_case "passthrough outside batch" `Quick test_passthrough_outside_batch;
+    Alcotest.test_case "replaying twice is idempotent" `Quick test_replaying_twice_is_idempotent;
+    Alcotest.test_case "crash during recovery is idempotent" `Quick
+      test_crash_during_recovery_is_idempotent;
     Alcotest.test_case "commit stream" `Quick test_commit_stream;
     Alcotest.test_case "read your writes" `Quick test_read_your_writes;
     Alcotest.test_case "read past data end" `Quick test_read_extends_past_data_end;
