@@ -272,6 +272,93 @@ let bench_epoch =
            r));
   ]
 
+(* Online ingestion: what a WAL-acknowledged add costs, a budgeted merge
+   fold, and a union query with memory segments pending.  The add
+   benchmark drains on backpressure so the buffer stays steady-state
+   across iterations. *)
+let ingest_fixture =
+  lazy
+    (let t = Core.Ingest.create (Vfs.create ()) ~file:"bench-ingest.mneme" () in
+     for i = 0 to 19 do
+       ignore
+         (Core.Ingest.add_document t
+            (Printf.sprintf "alpha beta gamma doc%d term%d term%d" i (i mod 7) (i mod 11)))
+     done;
+     t)
+
+let bench_ingest =
+  let fix = ingest_fixture in
+  let budget = Mneme.Budget.create ~max_bytes:4096 () in
+  [
+    Test.make ~name:"add_document (WAL fsync ack)"
+      (Staged.stage (fun () ->
+           let t = Lazy.force fix in
+           match Core.Ingest.add_document t "alpha beta gamma delta epsilon" with
+           | Core.Ingest.Acked _ -> ()
+           | Core.Ingest.Overloaded -> Core.Ingest.drain t));
+    Test.make ~name:"add + budgeted merge step"
+      (Staged.stage (fun () ->
+           let t = Lazy.force fix in
+           ignore (Core.Ingest.add_document t "alpha beta gamma delta epsilon");
+           ignore (Core.Ingest.merge_step ~budget t)));
+    Test.make ~name:"union search (segments pending)"
+      (Staged.stage (fun () -> Core.Ingest.search ~top_k:10 (Lazy.force fix) "alpha"));
+  ]
+
+let ingest_summary () =
+  let vfs = Vfs.create () in
+  let t =
+    Core.Ingest.create vfs
+      ~config:{ Core.Ingest.default_config with seal_bytes = 4096 }
+      ~file:"sum-ingest.mneme" ()
+  in
+  let model =
+    Collections.Docmodel.make ~name:"ingest" ~n_docs:400 ~core_vocab:800 ~mean_doc_len:60.0
+      ~seed:31 ()
+  in
+  let budget = Mneme.Budget.create ~max_bytes:8192 () in
+  let clock = Vfs.clock vfs in
+  let query_ms label t =
+    (* mean simulated latency of one union query under the given state *)
+    let queries = [ "alpha"; "#sum( alpha beta gamma )"; "beta" ] in
+    Vfs.purge_os_cache vfs;
+    let before = Vfs.Clock.snapshot clock in
+    List.iter (fun q -> ignore (Core.Ingest.search ~top_k:10 t q)) queries;
+    let d = Vfs.Clock.diff ~later:(Vfs.Clock.snapshot clock) ~earlier:before in
+    let ms = Vfs.Clock.wall_ms d /. float_of_int (List.length queries) in
+    Printf.printf "  query latency %-24s %8.3f sim-ms\n" label ms
+  in
+  let text_bytes = ref 0 in
+  let added = ref 0 in
+  let c0 = Vfs.counters vfs in
+  let t0 = Vfs.Clock.snapshot clock in
+  Seq.iter
+    (fun doc ->
+      let text = "alpha beta gamma " ^ Collections.Synth.document_text doc in
+      text_bytes := !text_bytes + String.length text;
+      (match Core.Ingest.add_document t text with
+      | Core.Ingest.Acked _ -> incr added
+      | Core.Ingest.Overloaded -> Core.Ingest.drain ~budget t);
+      if !added mod 8 = 0 then ignore (Core.Ingest.merge_step ~budget t))
+    (Collections.Synth.documents model);
+  let ingest_ms = Vfs.Clock.wall_ms (Vfs.Clock.diff ~later:(Vfs.Clock.snapshot clock) ~earlier:t0) in
+  Printf.printf "\n[online ingestion, %d documents, %d bytes of text]\n" !added !text_bytes;
+  Printf.printf "  absorb throughput %26.0f docs per sim-second\n"
+    (float_of_int !added /. (ingest_ms /. 1000.0));
+  query_ms "(segments pending)" t;
+  let d0 = Vfs.Clock.snapshot clock in
+  Core.Ingest.drain ~budget t;
+  let drain_ms = Vfs.Clock.wall_ms (Vfs.Clock.diff ~later:(Vfs.Clock.snapshot clock) ~earlier:d0) in
+  query_ms "(drained, buffers warm)" t;
+  let c1 = Vfs.diff_counters ~later:(Vfs.counters vfs) ~earlier:c0 in
+  let s = Core.Ingest.stats t in
+  Printf.printf
+    "  merge: %d seals, %d folds, %.2fx write amplification (%d bytes written / %d text), \
+     drain %.1f sim-ms\n"
+    s.Core.Ingest.seals s.Core.Ingest.folds
+    (float_of_int c1.Vfs.bytes_written /. float_of_int (max 1 !text_bytes))
+    c1.Vfs.bytes_written !text_bytes drain_ms
+
 let run_micro () =
   let groups =
     [
@@ -282,6 +369,7 @@ let run_micro () =
       ("topk: pruned vs exhaustive DAAT", bench_topk);
       ("parallel: work-stealing deque", bench_parallel);
       ("epoch: snapshot-isolated mutation", bench_epoch);
+      ("ingest: WAL buffer & budgeted merge", bench_ingest);
     ]
   in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
@@ -315,7 +403,8 @@ let () =
   if not skip_micro then begin
     run_micro ();
     topk_summary ();
-    parallel_summary ()
+    parallel_summary ();
+    ingest_summary ()
   end;
   let progress m = Printf.eprintf "  %s\n%!" m in
   Printf.printf "=== Paper reproduction (scale %.2f, simulated 1993 hardware) ===\n%!" scale;

@@ -596,6 +596,122 @@ let epoch_cmd =
   in
   Cmd.v (Cmd.info "epoch" ~doc) Term.(const run $ seed_arg $ docs_arg $ audit_arg $ json_arg)
 
+(* --- ingest ------------------------------------------------------- *)
+
+let ingest_cmd =
+  let seed_arg =
+    let doc = "PRNG seed for the workload." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let docs_arg =
+    let doc = "Documents the ingest workload adds (deletions and merges are interleaved)." in
+    Arg.(value & opt int 8 & info [ "docs" ] ~docv:"N" ~doc)
+  in
+  let audit_arg =
+    let doc =
+      "Crash the workload at every physical I/O, recover each image with WAL replay, and \
+       audit exactly-once durability: every acknowledged document present exactly once, \
+       rankings byte-identical to the golden run at the recovered frontier, and the merge \
+       resuming to a clean drain."
+    in
+    Arg.(value & flag & info [ "audit" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Write the outcome as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let run seed docs audit json_file =
+    if docs <= 0 then begin
+      Printf.eprintf "ingest: --docs must be positive\n";
+      exit 2
+    end;
+    let plan = Core.Torture.prepare_ingest ~seed ~docs () in
+    let table = Core.Torture.ingest_table plan in
+    Printf.printf "golden run: %d operations over %d documents, %d crash points\n"
+      (Core.Torture.ingest_ops plan)
+      docs
+      (Core.Torture.ingest_points plan);
+    Printf.printf "%8s %10s %8s %10s\n" "op" "acked_seq" "folds" "documents";
+    List.iter (fun (o, s, f, d) -> Printf.printf "%8d %10d %8d %10d\n" o s f d) table;
+    let golden_problems = Core.Torture.ingest_golden_problems plan in
+    List.iter (fun p -> Printf.printf "golden run problem: %s\n" p) golden_problems;
+    let outcome = if audit then Some (Core.Torture.run_ingest ~seed ~docs ()) else None in
+    (match outcome with
+    | Some o -> Format.printf "%a@." Core.Torture.pp_ingest_outcome o
+    | None -> ());
+    (match json_file with
+    | None -> ()
+    | Some f ->
+      let oc = open_out f in
+      let table_json =
+        String.concat ",\n"
+          (List.map
+             (fun (o, s, fo, d) ->
+               Printf.sprintf
+                 "    {\"op\": %d, \"acked_seq\": %d, \"folds\": %d, \"documents\": %d}" o s fo d)
+             table)
+      in
+      let audit_json =
+        match outcome with
+        | None -> ""
+        | Some o ->
+          let problems_json =
+            String.concat ",\n"
+              (List.map
+                 (fun (k, p) ->
+                   Printf.sprintf "      {\"crash_at\": %d, \"problem\": %S}" k p)
+                 o.Core.Torture.i_problems)
+          in
+          Printf.sprintf
+            ",\n\
+            \  \"audit\": {\n\
+            \    \"points\": %d,\n\
+            \    \"acked_ops\": %d,\n\
+            \    \"folds\": %d,\n\
+            \    \"opened\": %d,\n\
+            \    \"unopenable\": %d,\n\
+            \    \"wholly_old\": %d,\n\
+            \    \"wholly_new\": %d,\n\
+            \    \"replayed\": %d,\n\
+            \    \"discarded\": %d,\n\
+            \    \"clean\": %d,\n\
+            \    \"wal_redelivered\": %d,\n\
+            \    \"gc_reclaimed_objects\": %d,\n\
+            \    \"problems\": [\n%s\n    ]\n\
+            \  }"
+            o.Core.Torture.i_points o.Core.Torture.i_acked o.Core.Torture.i_folds
+            o.Core.Torture.i_opened o.Core.Torture.i_unopenable o.Core.Torture.i_wholly_old
+            o.Core.Torture.i_wholly_new o.Core.Torture.i_replayed o.Core.Torture.i_discarded
+            o.Core.Torture.i_clean o.Core.Torture.i_redelivered o.Core.Torture.i_reclaimed
+            problems_json
+      in
+      Printf.fprintf oc
+        "{\n\
+        \  \"seed\": %d,\n\
+        \  \"docs\": %d,\n\
+        \  \"operations\": %d,\n\
+        \  \"crash_points\": %d,\n\
+        \  \"timeline\": [\n%s\n  ]%s\n\
+         }\n"
+        seed docs
+        (Core.Torture.ingest_ops plan)
+        (Core.Torture.ingest_points plan)
+        table_json audit_json;
+      close_out oc);
+    let problems =
+      golden_problems <> []
+      || match outcome with Some o -> o.Core.Torture.i_problems <> [] | None -> false
+    in
+    if problems then exit 1
+  in
+  let doc =
+    "Ingest documents online through the WAL-backed write buffer and budgeted merge and, \
+     with $(b,--audit), crash at every physical I/O proving exactly-once document \
+     durability: no acknowledged document lost or duplicated, rankings byte-identical at \
+     the recovered frontier, merge resumed to a clean drain."
+  in
+  Cmd.v (Cmd.info "ingest" ~doc) Term.(const run $ seed_arg $ docs_arg $ audit_arg $ json_arg)
+
 (* --- scrub -------------------------------------------------------- *)
 
 let scrub_cmd =
@@ -808,4 +924,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ tables_cmd; ablations_cmd; stats_cmd; run_cmd; query_cmd; topk_cmd; parallel_cmd;
-            fsck_cmd; torture_cmd; failover_cmd; scrub_cmd; epoch_cmd; frontend_cmd ]))
+            fsck_cmd; torture_cmd; failover_cmd; scrub_cmd; epoch_cmd; ingest_cmd; frontend_cmd ]))

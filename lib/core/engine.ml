@@ -19,7 +19,7 @@ type result = {
   record_lookups : int;
 }
 
-let create ~vfs ~store ~dict ~n_docs ~avg_doc_len ~doc_len ?stopwords ?(stem = false)
+let create ~vfs ~store ~dict ~n_docs ?max_doc_id ~avg_doc_len ~doc_len ?stopwords ?(stem = false)
     ?(reserve = true) ?(salvage = true) () =
   let quarantine = ref [] in
   let quarantined_terms = Hashtbl.create 8 in
@@ -41,9 +41,8 @@ let create ~vfs ~store ~dict ~n_docs ~avg_doc_len ~doc_len ?stopwords ?(stem = f
           None
     end
   in
-  let source =
-    { Inquery.Infnet.fetch; n_docs; max_doc_id = n_docs - 1; avg_doc_len; doc_len }
-  in
+  let max_doc_id = match max_doc_id with Some m -> m | None -> n_docs - 1 in
+  let source = { Inquery.Infnet.fetch; n_docs; max_doc_id; avg_doc_len; doc_len } in
   { vfs; store; dict; source; stopwords; stem; reserve; quarantine; quarantined_terms }
 
 let store t = t.store

@@ -23,6 +23,7 @@ val create :
   store:Index_store.t ->
   dict:Inquery.Dictionary.t ->
   n_docs:int ->
+  ?max_doc_id:int ->
   avg_doc_len:float ->
   doc_len:(int -> int) ->
   ?stopwords:Inquery.Stopwords.t ->
@@ -31,7 +32,10 @@ val create :
   ?salvage:bool ->
   unit ->
   t
-(** [reserve] (default true) controls the paper's query-tree reservation
+(** [max_doc_id] (default [n_docs - 1]) bounds the document id space;
+    pass it explicitly when ids are sparse — e.g. an {!Ingest} session
+    after deletions, where live ids range past the document count.
+    [reserve] (default true) controls the paper's query-tree reservation
     scan; the ablation harness turns it off to measure its value.
     [salvage] (default true) keeps the engine answering when a record's
     segment fails its CRC32: the term is {e quarantined} (treated as

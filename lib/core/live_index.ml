@@ -15,6 +15,7 @@ type snapshot = {
   sn_doc_lens : int Imap.t;
   sn_total_len : int;
   sn_next_doc : int;
+  sn_meta : string Tmap.t; (* opaque key/value pairs riding the root *)
 }
 
 type mneme_pools = {
@@ -44,6 +45,7 @@ type t = {
   doc_lens : (int, int) Hashtbl.t;
   mutable total_len : int;
   mutable next_doc_id : int;
+  mutable live_meta : string Tmap.t; (* carried into every published root *)
 }
 
 let empty_snapshot epoch =
@@ -53,6 +55,7 @@ let empty_snapshot epoch =
     sn_doc_lens = Imap.empty;
     sn_total_len = 0;
     sn_next_doc = 0;
+    sn_meta = Tmap.empty;
   }
 
 (* The root payload: next-doc, total length, per-document lengths and
@@ -77,6 +80,12 @@ let encode_snapshot snap =
       Util.Varint.encode b ti.ti_df;
       Util.Varint.encode b ti.ti_cf)
     snap.sn_terms;
+  Util.Bin.buf_u32 b (Tmap.cardinal snap.sn_meta);
+  Tmap.iter
+    (fun k v ->
+      Util.Bin.buf_string b k;
+      Util.Bin.buf_string b v)
+    snap.sn_meta;
   Buffer.to_bytes b
 
 let decode_snapshot ~epoch payload =
@@ -103,12 +112,25 @@ let decode_snapshot ~epoch payload =
       terms := Tmap.add term { ti_oid = oid1 - 1; ti_df = df; ti_cf = cf } !terms;
       pos := p
     done;
+    let meta = ref Tmap.empty in
+    (* Roots sealed before metadata existed simply end here. *)
+    if !pos < Bytes.length payload then begin
+      let n_meta = Util.Bin.get_u32 payload !pos in
+      pos := !pos + 4;
+      for _ = 1 to n_meta do
+        let k, p = Util.Bin.get_string payload !pos in
+        let v, p = Util.Bin.get_string payload p in
+        meta := Tmap.add k v !meta;
+        pos := p
+      done
+    end;
     {
       sn_epoch = epoch;
       sn_terms = !terms;
       sn_doc_lens = !doc_lens;
       sn_total_len = total_len;
       sn_next_doc = next_doc;
+      sn_meta = !meta;
     }
   with Invalid_argument _ | Failure _ ->
     raise (Mneme.Store.Corrupt "Live_index: root payload is malformed")
@@ -135,6 +157,7 @@ let make ?stopwords ?(stem = false) vfs backend dict doc_lengths =
     doc_lens;
     total_len = !total_len;
     next_doc_id = !next;
+    live_meta = Tmap.empty;
   }
 
 let wrap_btree ?stopwords ?stem vfs ~tree ~dict ~doc_lengths =
@@ -171,7 +194,7 @@ let census_oids ?(sized = false) store ~f =
         (Mneme.Store.pool_slot_tables pool))
     (Mneme.Store.pools store)
 
-let snapshot_of_dict ~epoch dict doc_lens ~total_len ~next_doc =
+let snapshot_of_dict ~epoch ?(meta = Tmap.empty) dict doc_lens ~total_len ~next_doc =
   let terms = ref Tmap.empty in
   Inquery.Dictionary.iter dict (fun e ->
       if e.Inquery.Dictionary.locator >= 0 then
@@ -190,6 +213,7 @@ let snapshot_of_dict ~epoch dict doc_lens ~total_len ~next_doc =
     sn_doc_lens = dl;
     sn_total_len = total_len;
     sn_next_doc = next_doc;
+    sn_meta = meta;
   }
 
 let wrap_mneme ?stopwords ?stem ?(thresholds = Partition.default) vfs ~store ~dict ~doc_lengths
@@ -326,6 +350,7 @@ let open_mneme ?stopwords ?stem ?buffers ?(thresholds = Partition.default) ?jour
   in
   let t = make ?stopwords ?stem vfs (Mneme_backend st) dict doc_lengths in
   t.next_doc_id <- max t.next_doc_id snap.sn_next_doc;
+  t.live_meta <- snap.sn_meta;
   t
 
 let backend_name t = match t.backend with Btree_backend _ -> "btree" | Mneme_backend _ -> "mneme"
@@ -383,7 +408,8 @@ let drop_record t entry =
 let install_root t st =
   let epoch = Mneme.Epoch.latest st.epochs + 1 in
   let snap =
-    snapshot_of_dict ~epoch t.dict t.doc_lens ~total_len:t.total_len ~next_doc:t.next_doc_id
+    snapshot_of_dict ~epoch ~meta:t.live_meta t.dict t.doc_lens ~total_len:t.total_len
+      ~next_doc:t.next_doc_id
   in
   let sealed = Mneme.Epoch.seal ~epoch (encode_snapshot snap) in
   let root = Mneme.Store.allocate (cow_pool st (Bytes.length sealed)) sealed in
@@ -427,9 +453,11 @@ let normalise t term =
   in
   if stopped then None else Some (if t.stem then Inquery.Stemmer.stem term else term)
 
-let add_document_body t doc text =
-  t.next_doc_id <- doc + 1;
-  (* Group positions per term, in ascending order. *)
+(* Tokenize [text] through the index's stopword/stemming configuration:
+   per-term ascending position lists in first-occurrence order, plus the
+   indexed length — exactly what one document contributes, whether it is
+   applied here or buffered by {!Ingest} first. *)
+let tokenize t text =
   let positions = Hashtbl.create 32 in
   let order = ref [] in
   let indexed =
@@ -444,20 +472,28 @@ let add_document_body t doc text =
             order := term :: !order);
           n + 1)
   in
-  List.iter
-    (fun term ->
-      let entry = Inquery.Dictionary.intern t.dict term in
-      let ps = List.rev (Hashtbl.find positions term) in
-      let addition = Inquery.Postings.encode [ (doc, ps) ] in
-      let record =
-        match fetch_record t entry with
-        | None -> addition
-        | Some existing -> Inquery.Postings.merge existing addition
-      in
-      store_record t entry record;
-      entry.Inquery.Dictionary.df <- entry.Inquery.Dictionary.df + 1;
-      entry.Inquery.Dictionary.cf <- entry.Inquery.Dictionary.cf + List.length ps)
-    (List.rev !order);
+  (List.rev_map (fun term -> (term, List.rev (Hashtbl.find positions term))) !order, indexed)
+
+(* Merge one term's new postings (ascending docs, all beyond the current
+   record) into its inverted list. *)
+let apply_postings t term docps =
+  let entry = Inquery.Dictionary.intern t.dict term in
+  let addition = Inquery.Postings.encode docps in
+  let record =
+    match fetch_record t entry with
+    | None -> addition
+    | Some existing -> Inquery.Postings.merge existing addition
+  in
+  store_record t entry record;
+  entry.Inquery.Dictionary.df <- entry.Inquery.Dictionary.df + List.length docps;
+  entry.Inquery.Dictionary.cf <-
+    entry.Inquery.Dictionary.cf
+    + List.fold_left (fun acc (_, ps) -> acc + List.length ps) 0 docps
+
+let add_document_body t doc text =
+  t.next_doc_id <- doc + 1;
+  let terms, indexed = tokenize t text in
+  List.iter (fun (term, ps) -> apply_postings t term [ (doc, ps) ]) terms;
   Hashtbl.replace t.doc_lens doc indexed;
   t.total_len <- t.total_len + indexed;
   doc
@@ -508,6 +544,62 @@ let delete_document t doc =
     true
 
 (* ------------------------------------------------------------------ *)
+(* Batched folding (the ingestion merge path)                          *)
+
+(* Remove a whole set of documents in one dictionary sweep, instead of
+   [delete_document_body]'s one-sweep-per-document. *)
+let delete_batch_body t docs =
+  let doomed = Hashtbl.create (List.length docs) in
+  List.iter
+    (fun doc ->
+      match Hashtbl.find_opt t.doc_lens doc with
+      | Some len -> Hashtbl.replace doomed doc len
+      | None -> ())
+    docs;
+  if Hashtbl.length doomed > 0 then begin
+    Inquery.Dictionary.iter t.dict (fun entry ->
+        match fetch_record t entry with
+        | None -> ()
+        | Some record ->
+          let df = ref 0 and cf = ref 0 in
+          Inquery.Postings.fold_docs record ~init:() ~f:(fun () ~doc ~tf ->
+              if Hashtbl.mem doomed doc then begin
+                incr df;
+                cf := !cf + tf
+              end);
+          if !df > 0 then begin
+            (match Inquery.Postings.remove_docs record (fun d -> Hashtbl.mem doomed d) with
+            | Some record' -> store_record t entry record'
+            | None -> drop_record t entry);
+            entry.Inquery.Dictionary.df <- entry.Inquery.Dictionary.df - !df;
+            entry.Inquery.Dictionary.cf <- entry.Inquery.Dictionary.cf - !cf
+          end);
+    Hashtbl.iter
+      (fun doc len ->
+        Hashtbl.remove t.doc_lens doc;
+        t.total_len <- t.total_len - len)
+      doomed
+  end
+
+let fold_batch t ?(meta = []) ~docs ~postings ~deletes () =
+  let body () =
+    List.iter
+      (fun (doc, len) ->
+        if Hashtbl.mem t.doc_lens doc then
+          invalid_arg "Live_index.fold_batch: document already present";
+        Hashtbl.replace t.doc_lens doc len;
+        t.total_len <- t.total_len + len;
+        if doc >= t.next_doc_id then t.next_doc_id <- doc + 1)
+      docs;
+    List.iter (fun (term, docps) -> if docps <> [] then apply_postings t term docps) postings;
+    delete_batch_body t deletes;
+    List.iter (fun (k, v) -> t.live_meta <- Tmap.add k v t.live_meta) meta
+  in
+  match t.backend with
+  | Btree_backend _ -> body ()
+  | Mneme_backend st -> mutate t st body
+
+(* ------------------------------------------------------------------ *)
 (* Search and statistics                                               *)
 
 let document_count t = Hashtbl.length t.doc_lens
@@ -524,6 +616,27 @@ let term_record t term =
     match Inquery.Dictionary.find t.dict term with
     | None -> None
     | Some entry -> fetch_record t entry)
+
+(* Latest-view accessors for the ingestion union: the term is already
+   normalised (stemming is not idempotent, so re-normalising here would
+   miss). *)
+let lookup t term =
+  match Inquery.Dictionary.find t.dict term with
+  | None -> None
+  | Some entry -> (
+    match fetch_record t entry with
+    | None -> None
+    | Some record -> Some (record, entry.Inquery.Dictionary.df, entry.Inquery.Dictionary.cf))
+
+let doc_lengths t =
+  Hashtbl.fold (fun d l acc -> (d, l) :: acc) t.doc_lens [] |> List.sort compare
+
+let next_doc t = t.next_doc_id
+let total_length t = t.total_len
+let meta t = Tmap.bindings t.live_meta
+let normalise_term t term = normalise t term
+let stopwords t = t.stopwords
+let stem t = t.stem
 
 let search ?(top_k = 10) t query =
   let source =
@@ -566,6 +679,29 @@ let pin t =
 
 let pin_epoch p = p.p_snap.sn_epoch
 let release t p = Mneme.Epoch.release (mneme_state t).epochs p.p_pin
+
+(* Pinned-view accessors for the ingestion union: the pinned snapshot's
+   directory and statistics, with record fetches resolved against the
+   pinned locators (the epoch pin keeps those objects alive). *)
+let pin_lookup t p term =
+  let st = mneme_state t in
+  match Tmap.find_opt term p.p_snap.sn_terms with
+  | None -> None
+  | Some ti ->
+    if ti.ti_oid < 0 then None
+    else (
+      match Mneme.Store.get_opt st.pools.store ti.ti_oid with
+      | None -> None
+      | Some record -> Some (record, ti.ti_df, ti.ti_cf))
+
+let pin_doc_lengths p = Imap.bindings p.p_snap.sn_doc_lens
+let pin_total_length p = p.p_snap.sn_total_len
+let pin_next_doc p = p.p_snap.sn_next_doc
+let pin_meta p = Tmap.bindings p.p_snap.sn_meta
+
+let pin_directory p =
+  Tmap.fold (fun term ti acc -> (term, ti.ti_df, ti.ti_cf) :: acc) p.p_snap.sn_terms []
+  |> List.rev
 
 let search_pinned ?(top_k = 10) t pin query =
   let st = mneme_state t in
@@ -749,7 +885,9 @@ let audit t =
     if snap.sn_epoch <> Mneme.Epoch.latest st.epochs then
       flag "snapshot"
         (Printf.sprintf "snapshot epoch %d vs manager %d" snap.sn_epoch
-           (Mneme.Epoch.latest st.epochs)));
+           (Mneme.Epoch.latest st.epochs));
+    if not (Tmap.equal String.equal snap.sn_meta t.live_meta) then
+      flag "snapshot" "snapshot metadata disagrees with the live view");
   List.rev !problems
 
 (* ------------------------------------------------------------------ *)

@@ -118,6 +118,59 @@ val delete_document : t -> int -> bool
     whether it existed.  Under Mneme an existing document's deletion
     publishes a new epoch (a no-op deletion does not). *)
 
+val tokenize : t -> string -> (string * int list) list * int
+(** Run one document's text through the index's lexer, stopword and
+    stemming configuration without touching the index: per-term
+    ascending position lists in first-occurrence order, plus the
+    indexed length — exactly the contribution {!add_document} would
+    apply.  {!Ingest} buffers this. *)
+
+val fold_batch :
+  t ->
+  ?meta:(string * string) list ->
+  docs:(int * int) list ->
+  postings:(string * (int * int list) list) list ->
+  deletes:int list ->
+  unit ->
+  unit
+(** Apply a whole batch — new documents with pre-tokenized postings,
+    then deletions — as {e one} mutation, so under a journaled Mneme
+    backend the entire batch commits as a single epoch publication
+    (the ingestion merge's crash-atomic commit point).  [docs] carries
+    [(doc, indexed_length)] for every new document; [postings] carries
+    per (already-normalised) term the new [(doc, positions)] pairs,
+    ascending, all beyond every doc already in the record; [deletes]
+    names documents to remove (absent ones are skipped) — removed in
+    one dictionary sweep, not one per document.  [meta] upserts opaque
+    key/value pairs carried verbatim in every sealed root from this
+    epoch on (e.g. the ingestion WAL frontier).  Raises
+    [Invalid_argument] if a [docs] id is already present. *)
+
+val meta : t -> (string * string) list
+(** The metadata pairs riding the latest view, sorted by key ([] until
+    a {!fold_batch} sets some). *)
+
+val lookup : t -> string -> (bytes * int * int) option
+(** [(record, df, cf)] for an {e already-normalised} term in the latest
+    view — no stopword/stemming pass, unlike {!term_record} (stemming
+    is not idempotent). *)
+
+val normalise_term : t -> string -> string option
+(** The index's stopword/stemming pipeline for one raw term: [None] if
+    stopped. *)
+
+val doc_lengths : t -> (int * int) list
+(** [(doc, indexed_length)] for every live document, sorted. *)
+
+val next_doc : t -> int
+(** The next document id a fresh {!add_document} would take. *)
+
+val total_length : t -> int
+(** Sum of live documents' indexed lengths. *)
+
+val stopwords : t -> Inquery.Stopwords.t option
+val stem : t -> bool
+
 val document_count : t -> int
 val contains_document : t -> int -> bool
 val avg_doc_length : t -> float
@@ -161,6 +214,24 @@ val search_pinned : ?top_k:int -> t -> pin -> string -> Inquery.Ranking.ranked l
 val pinned_epochs : t -> int list
 (** Currently pinned epochs, ascending, with multiplicity ([] on
     B-tree). *)
+
+val pin_lookup : t -> pin -> string -> (bytes * int * int) option
+(** [(record, df, cf)] for an already-normalised term as the pinned
+    epoch saw it, fetched through the pinned locator (which the pin
+    keeps alive). *)
+
+val pin_doc_lengths : pin -> (int * int) list
+(** The pinned epoch's [(doc, indexed_length)] table, sorted. *)
+
+val pin_total_length : pin -> int
+val pin_next_doc : pin -> int
+
+val pin_meta : pin -> (string * string) list
+(** The metadata pairs sealed into the pinned root, sorted by key. *)
+
+val pin_directory : pin -> (string * int * int) list
+(** [(term, df, cf)] as the pinned epoch's root recorded them, sorted
+    by term. *)
 
 val gc : t -> Mneme.Epoch.gc_stats
 (** Reclaim every stale object — retired by a later epoch, or orphaned

@@ -1359,3 +1359,452 @@ let epoch_table plan =
   |> List.map (fun g -> (g.eg_epoch, g.eg_doc_count, List.length g.eg_directory))
 
 let epoch_golden_problems plan = plan.ep_problems
+
+(* ------------------------------------------------------------------ *)
+(* Ingest torture: the crash-point discipline pointed at online
+   ingestion.  The workload drives an {!Ingest} index — WAL-acked
+   additions and deletions interleaved with budgeted merge steps and
+   union queries — and the audit demands that a crash at ANY physical
+   I/O recovers a store that is fsck-clean, holds every acknowledged
+   document exactly once (the union's document table and rankings
+   byte-identical to the golden run at the recovered frontier), serves
+   pinned readers bit-identically, and lets the merge resume and drain
+   to the last acknowledged operation. *)
+
+let ingest_file = "ingest.mneme"
+let ingest_wal = ingest_file ^ ".wal"
+let ingest_journal = ingest_file ^ ".log"
+
+(* Small seals and a tight fold budget so the workload crosses many
+   seal/fold boundaries; fanout 2 exercises the tier combiner. *)
+let ingest_config = { Ingest.buffer_budget = 1 lsl 20; seal_bytes = 1024; tier_fanout = 2 }
+
+let ingest_queries = epoch_queries
+
+type ingest_obs = {
+  io_seq : int; (* last acknowledged operation *)
+  io_epoch : int; (* disk epochs published (folds committed) *)
+  io_doc_count : int;
+  io_docs : (int * int) list;
+  io_ranked : (int * string) list list;
+}
+
+type ingest_kind = Ik_add | Ik_delete | Ik_merge
+
+let ingest_observe t =
+  {
+    io_seq = Ingest.last_seq t;
+    io_epoch = Live_index.epoch (Ingest.live t);
+    io_doc_count = Ingest.document_count t;
+    io_docs = Ingest.documents t;
+    io_ranked =
+      List.map (fun q -> score_fingerprint (Ingest.search ~top_k:10 t q)) ingest_queries;
+  }
+
+(* Everything the post-drain audit phase measures, gathered by the
+   workload itself so the golden run and every replay perform the
+   identical physical I/O sequence. *)
+type ingest_audit = {
+  ia_pin_ranked : (int * (int * string) list list) list; (* op pinned at -> rankings *)
+  ia_gc_pinned : Mneme.Epoch.gc_stats;
+  ia_gc_final : Mneme.Epoch.gc_stats;
+  ia_stranded : int;
+  ia_fsck_ok : bool;
+  ia_audit : (string * string) list;
+  ia_segments : (int * int * int) list;
+  ia_wal_bytes : int;
+  ia_stats : Ingest.stats;
+}
+
+let ingest_workload vfs ~seed ~docs ~applying ~observed ~finished =
+  let model =
+    Collections.Docmodel.make ~name:"ingest" ~n_docs:docs ~core_vocab:120 ~mean_doc_len:30.0
+      ~hapax_prob:0.05 ~seed ()
+  in
+  let doc_arr = Array.of_seq (Collections.Synth.documents model) in
+  let t = Ingest.create ~config:ingest_config vfs ~file:ingest_file () in
+  let budget = Mneme.Budget.create ~max_bytes:2048 () in
+  let ids = Array.make (Array.length doc_arr) (-1) in
+  let m = ref 0 in
+  let pins = ref [] in
+  (* Observation 0: the empty union — what a crash before the first
+     acknowledgement must recover to. *)
+  observed 0 (ingest_observe t);
+  let step kind mutate =
+    incr m;
+    applying !m kind;
+    mutate ();
+    (* Observation — the document table and the fixed query set over
+       the union — is part of the deterministic I/O sequence, so
+       replays stay aligned with the golden run. *)
+    observed !m (ingest_observe t);
+    (* Pin a spread of union states (ops 1, 6, 11, ...) so the audit
+       phase can prove a pinned reader survives later churn, folds and
+       gc. *)
+    if !m mod 5 = 1 then pins := (!m, Ingest.pin t) :: !pins
+  in
+  Array.iteri
+    (fun d doc ->
+      step Ik_add (fun () ->
+          ids.(d) <-
+            (match Ingest.add_document t (Collections.Synth.document_text doc) with
+            | Ingest.Acked { doc; _ } -> doc
+            | Ingest.Overloaded -> failwith "Torture.ingest_workload: unexpected backpressure"));
+      (* Every third document, retire the one accepted two steps ago —
+         some deletions land on disk, some on still-buffered memory. *)
+      if d mod 3 = 2 then step Ik_delete (fun () -> ignore (Ingest.delete_document t ids.(d - 2)));
+      if d mod 2 = 1 then step Ik_merge (fun () -> ignore (Ingest.merge_step ~budget t)))
+    doc_arr;
+  (* Drain phase: one budgeted fold per observed step, until the merge
+     reports the buffer (documents and tombstones both) empty. *)
+  let drained = ref false in
+  while not !drained do
+    step Ik_merge (fun () -> drained := not (Ingest.merge_step ~budget t))
+  done;
+  let pins = List.rev !pins in
+  (* Audit phase: gc under pins, read through every pin, release, gc
+     again, deep fsck, the ingest invariant audit. *)
+  let gc_pinned = Live_index.gc (Ingest.live t) in
+  let pin_ranked =
+    List.map
+      (fun (pm, p) ->
+        ( pm,
+          List.map
+            (fun q -> score_fingerprint (Ingest.search_pinned ~top_k:10 t p q))
+            ingest_queries ))
+      pins
+  in
+  List.iter (fun (_, p) -> Ingest.release t p) pins;
+  let gc_final = Live_index.gc (Ingest.live t) in
+  let store = Option.get (Live_index.mneme_store (Ingest.live t)) in
+  let fsck = Mneme.Check.run ~object_check:Inquery.Postings.validate store in
+  finished
+    {
+      ia_pin_ranked = pin_ranked;
+      ia_gc_pinned = gc_pinned;
+      ia_gc_final = gc_final;
+      ia_stranded = Live_index.stranded_bytes (Ingest.live t);
+      ia_fsck_ok = Mneme.Check.ok fsck;
+      ia_audit = Ingest.audit t;
+      ia_segments = Ingest.segments t;
+      ia_wal_bytes = Vfs.size (Vfs.open_file vfs ingest_wal);
+      ia_stats = Ingest.stats t;
+    }
+
+type ingest_plan = {
+  ig_seed : int;
+  ig_docs : int;
+  ig_points : int;
+  ig_ops : int;
+  ig_golden : ingest_obs array; (* index = operation; 0 = the empty union *)
+  ig_by_seq : ingest_obs option array; (* index = seq + 1 *)
+  ig_folds : int;
+  ig_reclaimed : int;
+  ig_problems : string list;
+}
+
+let dummy_ingest_obs =
+  { io_seq = min_int; io_epoch = 0; io_doc_count = 0; io_docs = []; io_ranked = [] }
+
+let prepare_ingest ?(seed = 42) ?(docs = 8) () =
+  if docs < 1 then invalid_arg "Torture.prepare_ingest: docs must be positive";
+  let vfs = Vfs.create () in
+  Vfs.set_fault vfs (Vfs.Fault.none ());
+  let problems = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let golden = ref [] (* (op, observation), newest first *) in
+  let ops = ref 0 in
+  let audit = ref None in
+  ingest_workload vfs ~seed ~docs
+    ~applying:(fun m _ -> ops := m)
+    ~observed:(fun m obs -> golden := (m, obs) :: !golden)
+    ~finished:(fun a -> audit := Some a);
+  let golden_arr = Array.make (!ops + 1) dummy_ingest_obs in
+  List.iter (fun (m, obs) -> golden_arr.(m) <- obs) !golden;
+  let final_seq = golden_arr.(!ops).io_seq in
+  (* Index the observations by acknowledged frontier: merge steps do
+     not consume sequence numbers, so every observation sharing a seq
+     must describe the identical union — folding is invisible to
+     readers. *)
+  let by_seq = Array.make (final_seq + 2) None in
+  Array.iter
+    (fun obs ->
+      match by_seq.(obs.io_seq + 1) with
+      | None -> by_seq.(obs.io_seq + 1) <- Some obs
+      | Some prev ->
+        if
+          prev.io_doc_count <> obs.io_doc_count
+          || prev.io_docs <> obs.io_docs
+          || prev.io_ranked <> obs.io_ranked
+        then note "observations at seq %d disagree — a fold moved the union" obs.io_seq)
+    golden_arr;
+  Array.iteri
+    (fun i obs -> if obs = None then note "no golden observation covers seq %d" (i - 1))
+    by_seq;
+  let folds = ref 0 and reclaimed = ref 0 in
+  (match !audit with
+  | None -> note "workload never reached the audit phase"
+  | Some a ->
+    (* A reader pinned before later churn, folds and a gc under pins
+       still ranks bit-identically to what the union served at its
+       pin. *)
+    if a.ia_pin_ranked = [] then note "audit phase held no pins";
+    List.iter
+      (fun (pm, ranked) ->
+        if ranked <> golden_arr.(pm).io_ranked then
+          note "union pinned at operation %d ranked differently after %d further operations" pm
+            (!ops - pm))
+      a.ia_pin_ranked;
+    if a.ia_gc_final.Mneme.Epoch.retained_objects <> 0 then
+      note "final gc retained %d objects with no pins outstanding"
+        a.ia_gc_final.Mneme.Epoch.retained_objects;
+    if a.ia_stranded <> 0 then note "%d bytes stranded after the final gc" a.ia_stranded;
+    if not a.ia_fsck_ok then note "fsck failed after the final gc";
+    (match a.ia_audit with
+    | [] -> ()
+    | (where, p) :: rest ->
+      note "ingest audit after the drain (%d problems; %s: %s)" (1 + List.length rest) where p);
+    if a.ia_segments <> [] then
+      note "%d segments survived the drain" (List.length a.ia_segments);
+    if a.ia_wal_bytes <> 0 then note "%d WAL bytes survived the drain" a.ia_wal_bytes;
+    if a.ia_stats.Ingest.overloads <> 0 then
+      note "%d overloads under a %d-byte budget" a.ia_stats.Ingest.overloads
+        ingest_config.Ingest.buffer_budget;
+    if golden_arr.(!ops).io_epoch <> a.ia_stats.Ingest.folds then
+      note "%d disk epochs but %d folds — a fold published more than one root"
+        golden_arr.(!ops).io_epoch a.ia_stats.Ingest.folds;
+    folds := a.ia_stats.Ingest.folds;
+    reclaimed :=
+      a.ia_gc_pinned.Mneme.Epoch.reclaimed_objects + a.ia_gc_final.Mneme.Epoch.reclaimed_objects);
+  {
+    ig_seed = seed;
+    ig_docs = docs;
+    ig_points = Vfs.fault_io_count vfs;
+    ig_ops = !ops;
+    ig_golden = golden_arr;
+    ig_by_seq = by_seq;
+    ig_folds = !folds;
+    ig_reclaimed = !reclaimed;
+    ig_problems = List.rev !problems;
+  }
+
+let ingest_points plan = plan.ig_points
+let ingest_ops plan = plan.ig_ops
+let ingest_golden_problems plan = plan.ig_problems
+
+type ingest_report = {
+  i_crash_at : int;
+  i_recovery : Mneme.Journal.recovery;
+  i_opened : bool;
+  i_acked_seq : int; (* last operation the replay saw acknowledged *)
+  i_recovered_seq : int; (* min_int when unopenable *)
+  i_seen_folds : int; (* folds the replay saw commit before the crash *)
+  i_recovered_folds : int;
+  i_redelivered : int; (* WAL records recovery re-applied *)
+  i_problems : string list;
+}
+
+let run_ingest_point plan k =
+  if k < 1 || k > plan.ig_points then
+    invalid_arg
+      (Printf.sprintf "Torture.run_ingest_point: crash point %d outside 1..%d" k plan.ig_points);
+  let problems = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let vfs = Vfs.create () in
+  Vfs.set_fault vfs (Vfs.Fault.crash_at_io k);
+  let inflight = ref None in
+  let completed_seq = ref (-1) and completed_epoch = ref 0 in
+  (try
+     ingest_workload vfs ~seed:plan.ig_seed ~docs:plan.ig_docs
+       ~applying:(fun _ kind -> inflight := Some kind)
+       ~observed:(fun _ obs ->
+         inflight := None;
+         completed_seq := obs.io_seq;
+         completed_epoch := obs.io_epoch)
+       ~finished:(fun _ -> ());
+     note "workload ran to completion without crashing at io %d" k
+   with Vfs.Crash -> ());
+  (* Reboot on the durable image.  Journal recovery runs once here (so
+     the verdict is observable) and again inside [Ingest.open_] —
+     replaying a recovered log must be idempotent. *)
+  let img = Vfs.crash_image vfs in
+  let recovery =
+    if Vfs.file_exists img ingest_file then
+      Mneme.Store.recover_journal img ~file:ingest_file ~log_file:ingest_journal
+    else Mneme.Journal.Clean
+  in
+  let opened = ref false
+  and recovered_seq = ref min_int
+  and recovered_folds = ref 0
+  and redelivered = ref 0 in
+  (match Ingest.open_ ~config:ingest_config img ~file:ingest_file () with
+  | exception e -> note "index unopenable: %s" (Printexc.to_string e)
+  | t -> (
+    opened := true;
+    let g = Ingest.last_seq t in
+    recovered_seq := g;
+    recovered_folds := Live_index.epoch (Ingest.live t);
+    redelivered := (Ingest.stats t).Ingest.replayed_ops;
+    (* An acknowledgement the replay saw return cannot roll back; the
+       WAL fsync may have sealed one more operation the crash then
+       interrupted. *)
+    let max_seq =
+      !completed_seq + (match !inflight with Some Ik_add | Some Ik_delete -> 1 | _ -> 0)
+    in
+    if g < !completed_seq || g > max_seq then
+      note "recovered frontier %d outside the acknowledged window [%d, %d]" g !completed_seq
+        max_seq;
+    (* The disk index is wholly the old root or wholly the new one: a
+       fold the replay saw commit cannot roll back, and at most the one
+       interrupted fold may have sealed. *)
+    let max_epoch = !completed_epoch + (match !inflight with Some Ik_merge -> 1 | _ -> 0) in
+    if !recovered_folds < !completed_epoch || !recovered_folds > max_epoch then
+      note "recovered disk epoch %d outside [%d, %d]" !recovered_folds !completed_epoch max_epoch;
+    match if g + 1 >= 0 && g + 1 < Array.length plan.ig_by_seq then plan.ig_by_seq.(g + 1) else None with
+    | None -> note "recovered frontier %d has no golden observation" g
+    | Some gold ->
+      (* Exactly once: the recovered union's document table is
+         byte-for-byte the golden table at the recovered frontier —
+         every acknowledged document present exactly once, unacked ones
+         absent or wholly present, nothing lost, nothing doubled. *)
+      if Ingest.document_count t <> gold.io_doc_count then
+        note "seq %d: %d documents, golden had %d" g (Ingest.document_count t) gold.io_doc_count;
+      if Ingest.documents t <> gold.io_docs then
+        note "seq %d: document table differs from golden" g;
+      let ranked =
+        List.map (fun q -> score_fingerprint (Ingest.search ~top_k:10 t q)) ingest_queries
+      in
+      if ranked <> gold.io_ranked then note "seq %d: union rankings differ from golden" g;
+      (* A reader pinned on the recovered union ranks identically. *)
+      let p = Ingest.pin t in
+      let pinned =
+        List.map
+          (fun q -> score_fingerprint (Ingest.search_pinned ~top_k:10 t p q))
+          ingest_queries
+      in
+      if pinned <> gold.io_ranked then note "seq %d: pinned rankings differ from golden" g;
+      Ingest.release t p;
+      (* fsck-clean as recovered ... *)
+      let store = Option.get (Live_index.mneme_store (Ingest.live t)) in
+      let rep = Mneme.Check.run store in
+      if not (Mneme.Check.ok rep) then
+        note "fsck: %s" (Format.asprintf "%a" Mneme.Check.pp_report rep);
+      (match Ingest.audit t with
+      | [] -> ()
+      | (where, p) :: rest ->
+        note "audit after recovery (%d problems; %s: %s)" (1 + List.length rest) where p);
+      (* ... and the merge resumes and drains: the buffer empties, the
+         frontier reaches the last acknowledged operation, readers see
+         no movement, the WAL is cut, and gc leaves nothing stranded. *)
+      Ingest.drain t;
+      if Ingest.segments t <> [] || Ingest.buffered_docs t > 0 then
+        note "post-recovery drain left the buffer non-empty";
+      if Ingest.merged_seq t <> g then
+        note "post-recovery drain stopped at frontier %d, acknowledged %d" (Ingest.merged_seq t)
+          g;
+      let ranked' =
+        List.map (fun q -> score_fingerprint (Ingest.search ~top_k:10 t q)) ingest_queries
+      in
+      if ranked' <> gold.io_ranked then note "seq %d: rankings moved across the drain" g;
+      if Vfs.size (Vfs.open_file img ingest_wal) <> 0 then
+        note "WAL not truncated after the post-recovery drain";
+      ignore (Live_index.gc (Ingest.live t));
+      if Live_index.stranded_bytes (Ingest.live t) <> 0 then
+        note "%d bytes stranded after gc" (Live_index.stranded_bytes (Ingest.live t));
+      let rep = Mneme.Check.run ~object_check:Inquery.Postings.validate store in
+      if not (Mneme.Check.ok rep) then
+        note "fsck after drain and gc: %s" (Format.asprintf "%a" Mneme.Check.pp_report rep);
+      (match Ingest.audit t with
+      | [] -> ()
+      | (where, p) :: rest ->
+        note "audit after the drain (%d problems; %s: %s)" (1 + List.length rest) where p)));
+  {
+    i_crash_at = k;
+    i_recovery = recovery;
+    i_opened = !opened;
+    i_acked_seq = !completed_seq;
+    i_recovered_seq = !recovered_seq;
+    i_seen_folds = !completed_epoch;
+    i_recovered_folds = !recovered_folds;
+    i_redelivered = !redelivered;
+    i_problems = List.rev !problems;
+  }
+
+type ingest_outcome = {
+  i_points : int;
+  i_ops : int;
+  i_acked : int; (* operations the golden run acknowledged *)
+  i_folds : int;
+  i_opened : int;
+  i_unopenable : int;
+  i_wholly_old : int;
+  i_wholly_new : int;
+  i_replayed : int;
+  i_discarded : int;
+  i_clean : int;
+  i_redelivered : int;
+  i_reclaimed : int;
+  i_problems : (int * string) list; (* crash point 0 = golden-run audit *)
+}
+
+let run_ingest ?seed ?docs () =
+  let plan = prepare_ingest ?seed ?docs () in
+  let opened = ref 0
+  and unopenable = ref 0
+  and wholly_old = ref 0
+  and wholly_new = ref 0
+  and replayed = ref 0
+  and discarded = ref 0
+  and clean = ref 0
+  and redelivered = ref 0 in
+  let problems = ref (List.rev_map (fun p -> (0, p)) plan.ig_problems) in
+  for k = 1 to plan.ig_points do
+    let r = run_ingest_point plan k in
+    if r.i_opened then begin
+      incr opened;
+      if r.i_recovered_folds > r.i_seen_folds then incr wholly_new else incr wholly_old;
+      redelivered := !redelivered + r.i_redelivered
+    end
+    else incr unopenable;
+    (match r.i_recovery with
+    | Mneme.Journal.Replayed _ -> incr replayed
+    | Mneme.Journal.Discarded _ -> incr discarded
+    | Mneme.Journal.Clean -> incr clean);
+    List.iter (fun p -> problems := (k, p) :: !problems) r.i_problems
+  done;
+  {
+    i_points = plan.ig_points;
+    i_ops = plan.ig_ops;
+    i_acked = plan.ig_golden.(plan.ig_ops).io_seq + 1;
+    i_folds = plan.ig_folds;
+    i_opened = !opened;
+    i_unopenable = !unopenable;
+    i_wholly_old = !wholly_old;
+    i_wholly_new = !wholly_new;
+    i_replayed = !replayed;
+    i_discarded = !discarded;
+    i_clean = !clean;
+    i_redelivered = !redelivered;
+    i_reclaimed = plan.ig_reclaimed;
+    i_problems = List.rev !problems;
+  }
+
+let pp_ingest_outcome fmt o =
+  Format.fprintf fmt
+    "%d crash points over %d operations (%d acked, %d folds): %d recovered unions (%d wholly-old \
+     roots, %d wholly-new), %d pre-commit images; recovery %d replayed / %d discarded / %d clean \
+     logs; %d WAL records redelivered; golden gc reclaimed %d objects"
+    o.i_points o.i_ops o.i_acked o.i_folds o.i_opened o.i_wholly_old o.i_wholly_new o.i_unopenable
+    o.i_replayed o.i_discarded o.i_clean o.i_redelivered o.i_reclaimed;
+  if o.i_problems <> [] then begin
+    Format.fprintf fmt "@.%d problem(s):" (List.length o.i_problems);
+    List.iter
+      (fun (k, p) ->
+        if k = 0 then Format.fprintf fmt "@.  golden run: %s" p
+        else Format.fprintf fmt "@.  crash at io %d: %s" k p)
+      o.i_problems
+  end
+
+let ingest_table plan =
+  List.filteri (fun i _ -> i > 0) (Array.to_list plan.ig_golden)
+  |> List.mapi (fun i obs -> (i + 1, obs.io_seq, obs.io_epoch, obs.io_doc_count))

@@ -314,3 +314,98 @@ val epoch_table : epoch_plan -> (int * int * int) list
 
 val epoch_golden_problems : epoch_plan -> string list
 (** Violations the golden run's own pin/gc audit found ([] = clean). *)
+
+(** {2 Ingest torture}
+
+    Crash-point enumeration for online ingestion.  The workload drives
+    an {!Ingest} index over a synthetic collection — WAL-acknowledged
+    additions and deletions interleaved with budgeted merge steps —
+    observing the union's document table and a fixed ranked query set
+    after every operation (the observation I/O is part of the
+    deterministic sequence, so replays stay aligned), then drains the
+    merge one budgeted fold at a time.  A golden run under
+    {!Vfs.Fault.none} records the union at every acknowledged frontier
+    and audits pins, gc and the drain; every replay crashes at one
+    physical I/O, reboots on the durable image, recovers with
+    {!Ingest.open_}, and demands:
+
+    - {b (a)} the recovered store is fsck-clean, before and after the
+      drain and gc;
+    - {b (b)} exactly-once durability: the recovered frontier sits
+      inside the acknowledged window, and the union's document table
+      and rankings are byte-identical to the golden run at that
+      frontier — every acknowledged document present exactly once, an
+      unacknowledged one absent or wholly present, never lost or
+      doubled;
+    - {b (c)} a reader pinned on the recovered union ranks
+      bit-identically to the golden union at that frontier;
+    - {b (d)} the merge resumes and drains: the buffer empties, the
+      frontier reaches the last acknowledged operation, rankings do
+      not move, the WAL is truncated, and gc leaves nothing
+      stranded. *)
+
+type ingest_plan
+
+val prepare_ingest : ?seed:int -> ?docs:int -> unit -> ingest_plan
+(** Golden run (defaults: seed 42, 8 documents).  Counts the crash
+    points, snapshots the union after every operation, indexes the
+    observations by acknowledged frontier, and audits pinned readers,
+    the drain and gc; violations found in the golden run itself are
+    reported by {!run_ingest} as crash point 0.  Raises
+    [Invalid_argument] on a non-positive [docs]. *)
+
+val ingest_points : ingest_plan -> int
+(** Physical I/Os in the golden run — the number of crash points. *)
+
+val ingest_ops : ingest_plan -> int
+(** Operations (adds, deletes and merge steps) the golden run ran. *)
+
+val ingest_golden_problems : ingest_plan -> string list
+(** Violations the golden run's own pin/drain/gc audit found ([] =
+    clean). *)
+
+type ingest_report = {
+  i_crash_at : int;
+  i_recovery : Mneme.Journal.recovery;
+  i_opened : bool;
+  i_acked_seq : int;  (** last operation the replay saw acknowledged *)
+  i_recovered_seq : int;  (** [min_int] when unopenable *)
+  i_seen_folds : int;  (** folds the replay saw commit before the crash *)
+  i_recovered_folds : int;
+  i_redelivered : int;  (** WAL records recovery re-applied *)
+  i_problems : string list;
+}
+
+val run_ingest_point : ingest_plan -> int -> ingest_report
+(** Replay with a crash at physical I/O [k] (1-based), recover with
+    {!Ingest.open_}, audit exactly-once durability and the resumed
+    drain.  Raises [Invalid_argument] if [k] is outside
+    [1..ingest_points]. *)
+
+type ingest_outcome = {
+  i_points : int;
+  i_ops : int;
+  i_acked : int;  (** operations the golden run acknowledged *)
+  i_folds : int;
+  i_opened : int;
+  i_unopenable : int;
+  i_wholly_old : int;  (** recovered to the last fold the replay saw commit *)
+  i_wholly_new : int;  (** the journal fsync sealed the interrupted fold *)
+  i_replayed : int;
+  i_discarded : int;
+  i_clean : int;
+  i_redelivered : int;  (** WAL records re-applied across all replays *)
+  i_reclaimed : int;
+  i_problems : (int * string) list;  (** crash point 0 = golden-run audit *)
+}
+
+val run_ingest : ?seed:int -> ?docs:int -> unit -> ingest_outcome
+(** Enumerate every crash point.  [i_problems = []] means every crash
+    recovered every acknowledged document exactly once, served
+    byte-identical union rankings, resumed and drained its merge, and
+    left a clean store. *)
+
+val pp_ingest_outcome : Format.formatter -> ingest_outcome -> unit
+
+val ingest_table : ingest_plan -> (int * int * int * int) list
+(** The golden run per operation: [(op, acked_seq, folds, documents)]. *)

@@ -1,0 +1,30 @@
+type t = { max_segments : int option; max_bytes : int option }
+
+type meter = { mutable segments : int; mutable bytes : int }
+
+let create ?max_segments ?max_bytes () =
+  (match max_segments with
+  | Some n when n < 1 -> invalid_arg "Budget.create: max_segments must be positive"
+  | _ -> ());
+  (match max_bytes with
+  | Some n when n < 1 -> invalid_arg "Budget.create: max_bytes must be positive"
+  | _ -> ());
+  { max_segments; max_bytes }
+
+let unlimited = { max_segments = None; max_bytes = None }
+
+let meter () = { segments = 0; bytes = 0 }
+
+let charge m ~segments ~bytes =
+  m.segments <- m.segments + segments;
+  m.bytes <- m.bytes + bytes
+
+let segments m = m.segments
+let bytes m = m.bytes
+
+let within t m =
+  (* At least one unit of work per step, then stop at whichever budget
+     trips first. *)
+  m.segments = 0
+  || (match t.max_segments with Some n -> m.segments < n | None -> true)
+     && (match t.max_bytes with Some n -> m.bytes < n | None -> true)

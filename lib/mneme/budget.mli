@@ -1,0 +1,38 @@
+(** Per-step I/O budgets shared by background maintenance work.
+
+    A budget caps one resumable step of background I/O — a scrub pass
+    ({!Scrub.step}) or an ingestion merge step — by a number of work
+    units ("segments": physical segments verified, memory segments
+    folded) and/or by bytes touched.  The accounting rule is uniform:
+    a step always performs at least one unit of work, so every step
+    makes progress, and then stops at whichever budget trips first.
+    Omitted limits are unlimited. *)
+
+type t
+(** An immutable budget: limits for one step. *)
+
+type meter
+(** Mutable progress accounting for the step in flight. *)
+
+val create : ?max_segments:int -> ?max_bytes:int -> unit -> t
+(** Raises [Invalid_argument] on a non-positive limit. *)
+
+val unlimited : t
+(** No limits: a single step runs to completion. *)
+
+val meter : unit -> meter
+(** A fresh meter with nothing charged. *)
+
+val charge : meter -> segments:int -> bytes:int -> unit
+(** Record one unit of completed work against the meter. *)
+
+val segments : meter -> int
+(** Work units charged so far. *)
+
+val bytes : meter -> int
+(** Bytes charged so far. *)
+
+val within : t -> meter -> bool
+(** Whether another unit of work may start: true when nothing has been
+    charged yet (guaranteed progress), false as soon as either limit
+    has been reached. *)

@@ -60,29 +60,20 @@ let progress t =
 let damages t = List.rev t.found
 
 let step ?max_segments ?max_bytes t =
-  (match max_segments with
-  | Some n when n < 1 -> invalid_arg "Scrub.step: max_segments must be positive"
-  | _ -> ());
-  (match max_bytes with
-  | Some n when n < 1 -> invalid_arg "Scrub.step: max_bytes must be positive"
-  | _ -> ());
-  let total = Array.length t.census in
-  let segs = ref 0 and bytes = ref 0 in
-  let within_budget () =
-    (* At least one segment per step, then stop at whichever budget
-       trips first. *)
-    !segs = 0
-    || (match max_segments with Some n -> !segs < n | None -> true)
-       && (match max_bytes with Some n -> !bytes < n | None -> true)
+  let budget =
+    try Budget.create ?max_segments ?max_bytes ()
+    with Invalid_argument _ ->
+      invalid_arg "Scrub.step: max_segments/max_bytes must be positive"
   in
-  while t.cursor < total && within_budget () do
+  let total = Array.length t.census in
+  let meter = Budget.meter () in
+  while t.cursor < total && Budget.within budget meter do
     let item = t.census.(t.cursor) in
     (* The CRC re-read goes through the store (and its cost model),
        bypassing buffered copies — on-disk truth or nothing. *)
     if not (Store.verify_segment_crc item.it_pool item.it_damage.pseg) then
       t.found <- item.it_damage :: t.found;
-    incr segs;
-    bytes := !bytes + item.it_damage.len;
+    Budget.charge meter ~segments:1 ~bytes:item.it_damage.len;
     t.cursor <- t.cursor + 1;
     t.bytes_done <- t.bytes_done + item.it_damage.len
   done;
