@@ -231,6 +231,67 @@ let parallel_summary () =
         r.Core.Parallel.sim_serial_ms r.Core.Parallel.steals)
     [ 1; 2; 4 ]
 
+(* Doc-partitioned scatter-gather: per-shard-count makespan (the
+   slowest scatter leg), postings decoded with the global top-k bound
+   threaded through the scatter vs without, and a bit-identity check of
+   every merged ranking against the unsharded engine. *)
+let shard_summary () =
+  let model =
+    Collections.Docmodel.make ~name:"shard" ~n_docs:800 ~core_vocab:4000 ~mean_doc_len:100.0
+      ~seed:29 ()
+  in
+  let prepared = Core.Experiment.prepare model in
+  let _, spec = List.hd (Collections.Presets.query_sets model) in
+  let queries =
+    List.filteri (fun i _ -> i < 12) (Collections.Querygen.generate model spec)
+  in
+  let engine = Core.Experiment.open_engine prepared Core.Experiment.Mneme_cache in
+  let oracle =
+    List.map
+      (fun q ->
+        List.map
+          (fun r -> (r.Inquery.Ranking.doc, r.Inquery.Ranking.score))
+          (Core.Engine.run_topk_string ~k:10 engine q).Core.Engine.topk_ranked)
+      queries
+  in
+  let decoded_of ~global_bound shards =
+    let c = Core.Shard.create ~shard_replicas:1 ~global_bound ~shards prepared in
+    let makespan = ref 0.0 and decoded = ref 0 and exact = ref true in
+    List.iter2
+      (fun q gold ->
+        match Core.Shard.run_query_string ~top_k:10 c q with
+        | Error _ -> exact := false
+        | Ok res ->
+          makespan := !makespan +. res.Core.Shard.elapsed_ms;
+          List.iter
+            (fun (rep : Core.Shard.shard_report) ->
+              decoded := !decoded + rep.Core.Shard.r_postings_decoded)
+            res.Core.Shard.reports;
+          let got =
+            List.map
+              (fun r -> (r.Inquery.Ranking.doc, r.Inquery.Ranking.score))
+              res.Core.Shard.ranked
+          in
+          if (not res.Core.Shard.complete) || got <> gold then exact := false)
+      queries oracle;
+    (!makespan, !decoded, !exact)
+  in
+  let base = ref 0.0 in
+  Printf.printf "\n[sharded scatter-gather, %d queries, top-10]\n" (List.length queries);
+  List.iter
+    (fun shards ->
+      let makespan, decoded, exact = decoded_of ~global_bound:true shards in
+      let _, decoded_nb, _ = decoded_of ~global_bound:false shards in
+      if shards = 1 then base := makespan;
+      Printf.printf
+        "  %d shard(s): makespan %8.1f sim-ms (%.2fx), %7d postings decoded (%7d without \
+         bound), %s\n"
+        shards makespan
+        (if makespan > 0.0 then !base /. makespan else 0.0)
+        decoded decoded_nb
+        (if exact then "bit-identical to unsharded" else "MISMATCH"))
+    [ 1; 2; 4 ]
+
 (* Snapshot isolation: what one epoch publication costs, journaled
    (sealed root + header switch in one transaction) vs unjournaled
    (in-memory publish), and what a pinned read costs over a live one.
@@ -404,6 +465,7 @@ let () =
     run_micro ();
     topk_summary ();
     parallel_summary ();
+    shard_summary ();
     ingest_summary ()
   end;
   let progress m = Printf.eprintf "  %s\n%!" m in

@@ -882,6 +882,204 @@ let frontend_cmd =
     Term.(const run $ scale_arg $ collection_arg $ query_arg $ replicas_arg $ deadline_arg
           $ degrade_arg $ top_arg)
 
+(* --- shard -------------------------------------------------------- *)
+
+let shard_cmd =
+  let collection_arg =
+    let doc = "Collection preset: cacm, legal, tipster1 or tipster." in
+    Arg.(value & pos 0 string "cacm" & info [] ~docv:"COLLECTION" ~doc)
+  in
+  let shards_arg =
+    let doc = "Shard count to measure (repeatable; default 1, 2, 4, 8)." in
+    Arg.(value & opt_all int [] & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let replicas_arg =
+    let doc = "Replicas per shard." in
+    Arg.(value & opt int 2 & info [ "replicas" ] ~docv:"N" ~doc)
+  in
+  let k_arg =
+    let doc = "Ranked documents per query." in
+    Arg.(value & opt int 10 & info [ "k" ] ~docv:"K" ~doc)
+  in
+  let queries_arg =
+    let doc = "Evaluate only the first N queries of the set." in
+    Arg.(value & opt (some int) None & info [ "queries" ] ~docv:"N" ~doc)
+  in
+  let audit_arg =
+    let doc =
+      "Run the shard torture: replay the scatter with one member crashed, stalled or \
+       bit-flipped at every serving I/O (plus whole-shard blackouts and brownouts) and \
+       audit bit-identical full results, exactly-restricted partial results, and the \
+       one-fetch deadline overshoot bound."
+    in
+    Arg.(value & flag & info [ "audit" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Write the scaling table (and audit outcome) as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let run scale name shard_counts replicas k n_queries audit json_file =
+    if replicas <= 0 || k <= 0 then begin
+      Printf.eprintf "shard: --replicas and --k must be positive\n";
+      exit 2
+    end;
+    if List.exists (fun s -> s <= 0) shard_counts then begin
+      Printf.eprintf "shard: every --shards must be positive\n";
+      exit 2
+    end;
+    let shard_counts = match shard_counts with [] -> [ 1; 2; 4; 8 ] | l -> l in
+    let model = Collections.Presets.find ~scale name in
+    let prepared = Core.Experiment.prepare ~progress model in
+    let spec = Collections.Presets.topk_queries model in
+    let queries = Collections.Querygen.generate model spec in
+    let queries =
+      match n_queries with
+      | None -> queries
+      | Some n -> List.filteri (fun i _ -> i < n) queries
+    in
+    (* The unsharded oracle the merged rankings must reproduce. *)
+    let engine = Core.Experiment.open_engine prepared Core.Experiment.Mneme_cache in
+    let oracle =
+      List.map
+        (fun q ->
+          List.map
+            (fun r -> (r.Inquery.Ranking.doc, r.Inquery.Ranking.score))
+            (Core.Engine.run_topk_string ~k engine q).Core.Engine.topk_ranked)
+        queries
+    in
+    let measure ~global_bound shards =
+      let coord =
+        Core.Shard.create ~shard_replicas:replicas ~global_bound ~shards prepared
+      in
+      let makespan = ref 0.0 and decoded = ref 0 and per_shard_max = ref 0 and exact = ref true in
+      List.iter2
+        (fun q gold ->
+          match Core.Shard.run_query_string ~top_k:k coord q with
+          | Error e ->
+            Printf.eprintf "shard: %d-shard query refused: %s\n" shards
+              (Core.Shard.error_message e);
+            exit 1
+          | Ok res ->
+            makespan := !makespan +. res.Core.Shard.elapsed_ms;
+            List.iter
+              (fun (rep : Core.Shard.shard_report) ->
+                decoded := !decoded + rep.Core.Shard.r_postings_decoded;
+                if rep.Core.Shard.r_postings_decoded > !per_shard_max then
+                  per_shard_max := rep.Core.Shard.r_postings_decoded)
+              res.Core.Shard.reports;
+            let got =
+              List.map
+                (fun r -> (r.Inquery.Ranking.doc, r.Inquery.Ranking.score))
+                res.Core.Shard.ranked
+            in
+            if (not res.Core.Shard.complete) || got <> gold then exact := false)
+        queries oracle;
+      (!makespan, !decoded, !per_shard_max, !exact)
+    in
+    let rows =
+      List.filter_map
+        (fun shards ->
+          if shards > model.Collections.Docmodel.n_docs then begin
+            Printf.eprintf "shard: skipping %d shards (> %d documents)\n" shards
+              model.Collections.Docmodel.n_docs;
+            None
+          end
+          else begin
+            let makespan, decoded, per_shard, exact = measure ~global_bound:true shards in
+            let _, decoded_nobound, _, _ = measure ~global_bound:false shards in
+            Some (shards, makespan, decoded, per_shard, decoded_nobound, exact)
+          end)
+        shard_counts
+    in
+    Printf.printf "%s: %d queries, top-%d, %d replicas per shard\n" name (List.length queries) k
+      replicas;
+    Printf.printf "%7s %13s %14s %14s %16s %6s\n" "shards" "makespan ms" "decoded(bound)"
+      "max per shard" "decoded(nobound)" "exact";
+    List.iter
+      (fun (s, mk, d, ps, dn, exact) ->
+        Printf.printf "%7d %13.2f %14d %14d %16d %6s\n" s mk d ps dn
+          (if exact then "yes" else "NO"))
+      rows;
+    let all_exact = List.for_all (fun (_, _, _, _, _, e) -> e) rows in
+    if not all_exact then
+      Printf.eprintf "shard: some merged rankings diverged from the unsharded index\n";
+    let outcome = if audit then Some (Core.Torture.run_shard ()) else None in
+    (match outcome with
+    | Some o -> Format.printf "%a@." Core.Torture.pp_shard_outcome o
+    | None -> ());
+    (match json_file with
+    | None -> ()
+    | Some f ->
+      let oc = open_out f in
+      let rows_json =
+        String.concat ",\n"
+          (List.map
+             (fun (s, mk, d, ps, dn, exact) ->
+               Printf.sprintf
+                 "    {\"shards\": %d, \"makespan_ms\": %.3f, \"postings_decoded\": %d, \
+                  \"max_per_shard\": %d, \"postings_decoded_no_bound\": %d, \"exact\": %b}"
+                 s mk d ps dn exact)
+             rows)
+      in
+      let audit_json =
+        match outcome with
+        | None -> ""
+        | Some o ->
+          let problems_json =
+            match o.Core.Torture.st_problems with
+            | [] -> "    \"problems\": []"
+            | ps ->
+              Printf.sprintf "    \"problems\": [\n%s\n    ]"
+                (String.concat ",\n"
+                   (List.map
+                      (fun (r, p) ->
+                        Printf.sprintf "      {\"replay\": %d, \"problem\": %S}" r p)
+                      ps))
+          in
+          Printf.sprintf
+            ",\n\
+            \  \"audit\": {\n\
+            \    \"shards\": %d,\n\
+            \    \"members\": %d,\n\
+            \    \"points\": %d,\n\
+            \    \"runs\": %d,\n\
+            \    \"full\": %d,\n\
+            \    \"partial\": %d,\n\
+            \    \"overshoots\": %d,\n\
+            \    \"truncations\": %d,\n\
+            %s\n\
+            \  }"
+            o.Core.Torture.st_shards o.Core.Torture.st_members o.Core.Torture.st_points
+            o.Core.Torture.st_runs o.Core.Torture.st_full o.Core.Torture.st_partial
+            o.Core.Torture.st_overshoots o.Core.Torture.st_truncations problems_json
+      in
+      Printf.fprintf oc
+        "{\n\
+        \  \"collection\": %S,\n\
+        \  \"scale\": %g,\n\
+        \  \"queries\": %d,\n\
+        \  \"k\": %d,\n\
+        \  \"replicas\": %d,\n\
+        \  \"rows\": [\n%s\n  ]%s\n\
+         }\n"
+        name scale (List.length queries) k replicas rows_json audit_json;
+      close_out oc);
+    let failed =
+      (not all_exact)
+      || match outcome with Some o -> not (Core.Torture.shard_ok o) | None -> false
+    in
+    if failed then exit 1
+  in
+  let doc =
+    "Scatter-gather a query set over doc-partitioned shards (each a replicated store behind \
+     its own frontend), measuring makespan and per-shard postings decoded with and without \
+     the global top-k bound, and, with $(b,--audit), torture one member at every serving I/O \
+     proving partial-result exactness and the deadline overshoot bound."
+  in
+  Cmd.v (Cmd.info "shard" ~doc)
+    Term.(const run $ scale_arg $ collection_arg $ shards_arg $ replicas_arg $ k_arg
+          $ queries_arg $ audit_arg $ json_arg)
+
 (* --- query -------------------------------------------------------- *)
 
 let query_cmd =
@@ -924,4 +1122,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ tables_cmd; ablations_cmd; stats_cmd; run_cmd; query_cmd; topk_cmd; parallel_cmd;
-            fsck_cmd; torture_cmd; failover_cmd; scrub_cmd; epoch_cmd; ingest_cmd; frontend_cmd ]))
+            fsck_cmd; torture_cmd; failover_cmd; scrub_cmd; epoch_cmd; ingest_cmd; frontend_cmd;
+            shard_cmd ]))

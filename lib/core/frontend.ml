@@ -14,6 +14,7 @@ type corrupt_event = { replica : string; term : string; reason : string }
 type t = {
   replicas : replica array;
   dict : Inquery.Dictionary.t;
+  df_of : (Inquery.Dictionary.entry -> int) option;
   n_docs : int;
   avg_doc_len : float;
   doc_len : int -> int;
@@ -39,9 +40,10 @@ type result = {
   served_by : string;
   epoch : int;
   elapsed_ms : float;
+  postings_decoded : int;
 }
 
-let create ~replicas ~dict ~n_docs ~avg_doc_len ~doc_len ?stopwords ?(stem = false)
+let create ~replicas ~dict ?df_of ~n_docs ~avg_doc_len ~doc_len ?stopwords ?(stem = false)
     ?(hedge_after_ms = 60.0) ?(window = 6) ?(trip_after = 3) ?(cooldown_ms = 500.0)
     ?on_corrupt () =
   if replicas = [] then invalid_arg "Frontend.create: no replicas";
@@ -65,6 +67,7 @@ let create ~replicas ~dict ~n_docs ~avg_doc_len ~doc_len ?stopwords ?(stem = fal
   {
     replicas;
     dict;
+    df_of;
     n_docs;
     avg_doc_len;
     doc_len;
@@ -227,7 +230,7 @@ let mark_repaired t ~replica ~term =
   end
   else false
 
-let run_query ?(top_k = 100) ?deadline_ms t query =
+let run_query ?(top_k = 100) ?deadline_ms ?floor t query =
   (match deadline_ms with
   | Some d when d <= 0.0 -> invalid_arg "Frontend.run_query: deadline must be positive"
   | _ -> ());
@@ -344,8 +347,8 @@ let run_query ?(top_k = 100) ?deadline_ms t query =
       end
   in
   let scored, stats, tk =
-    Inquery.Infnet.eval_topk source t.dict ?stopwords:t.stopwords ~stem:t.stem ~should_stop
-      ~k:top_k query
+    Inquery.Infnet.eval_topk source t.dict ?df_of:t.df_of ?floor ?stopwords:t.stopwords
+      ~stem:t.stem ~should_stop ~k:top_k query
   in
   let serving =
     let best = ref 0 in
@@ -376,7 +379,8 @@ let run_query ?(top_k = 100) ?deadline_ms t query =
     served_by = serving.spec.name;
     epoch = serving.spec.store.Index_store.epoch ();
     elapsed_ms = !elapsed;
+    postings_decoded = tk.Inquery.Infnet.tk_postings_decoded;
   }
 
-let run_query_string ?top_k ?deadline_ms t text =
-  run_query ?top_k ?deadline_ms t (Inquery.Query.parse_exn text)
+let run_query_string ?top_k ?deadline_ms ?floor t text =
+  run_query ?top_k ?deadline_ms ?floor t (Inquery.Query.parse_exn text)

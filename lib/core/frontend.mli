@@ -37,6 +37,7 @@ type corrupt_event = {
 val create :
   replicas:replica_spec list ->
   dict:Inquery.Dictionary.t ->
+  ?df_of:(Inquery.Dictionary.entry -> int) ->
   n_docs:int ->
   avg_doc_len:float ->
   doc_len:(int -> int) ->
@@ -49,7 +50,14 @@ val create :
   ?on_corrupt:(replica:string -> term:string -> reason:string -> unit) ->
   unit ->
   t
-(** [hedge_after_ms] (default 60): a fetch costing more than this is a
+(** [df_of] overrides the df a term leaf scores with
+    ({!Inquery.Infnet.eval_topk}): a doc-partitioned shard's frontend
+    passes the global catalog's df so shard-local records rank with
+    collection-wide statistics.  [n_docs], [avg_doc_len] and [doc_len]
+    are likewise whatever statistics the beliefs should be computed
+    under — a shard passes the {e global} values, not its slice's.
+
+    [hedge_after_ms] (default 60): a fetch costing more than this is a
     {e stall}; if another replica's breaker is closed the fetch is
     hedged there, and the query perceives
     [min(stall cost, hedge_after + hedge cost)].  [window] (default 6)
@@ -123,9 +131,12 @@ type result = {
   served_by : string;  (** replica that served the most fetches *)
   epoch : int;  (** published epoch of the serving replica's store *)
   elapsed_ms : float;  (** perceived query latency, CPU included *)
+  postings_decoded : int;
+      (** postings the evaluator's cursors actually decoded — the
+          scatter-gather bench's per-shard work measure *)
 }
 
-val run_query : ?top_k:int -> ?deadline_ms:float -> t -> Inquery.Query.t -> result
+val run_query : ?top_k:int -> ?deadline_ms:float -> ?floor:float -> t -> Inquery.Query.t -> result
 (** Evaluate one parsed query with the max-score pruned top-k evaluator
     ({!Inquery.Infnet.eval_topk}): only documents that can still reach
     the current k-th belief are scored, seeking over skip blocks of
@@ -138,7 +149,26 @@ val run_query : ?top_k:int -> ?deadline_ms:float -> t -> Inquery.Query.t -> resu
     overshoots the deadline by at most the cost of the fetch in flight
     when it expired.  Evidence already fetched when the deadline fires
     is still ranked.  Raises [Invalid_argument] on a non-positive
-    deadline. *)
+    deadline.
 
-val run_query_string : ?top_k:int -> ?deadline_ms:float -> t -> string -> result
+    {b The overshoot bound is per frontend instance.}  When this
+    frontend is one shard of a scatter-gather group, the bound holds
+    {e per shard}, not merely per replica: a fetch is raced against the
+    deadline before it is issued, and evaluation deadline checks run
+    between candidate documents, so one stalled shard holds its own
+    (and therefore the merged) response past the deadline by at most
+    one in-flight fetch plus the CPU of ranking the evidence already
+    paid for.  {!Shard.run_query} inherits the bound because the
+    scatter's perceived latency is the maximum over per-shard
+    latencies.  Tested in [test_shard.ml]
+    ("stalled shard cannot block the merge").
+
+    [floor] seeds the evaluator's pruning threshold with an externally
+    known kth score (the coordinator's global bound); the result is
+    then the top-k among documents scoring {e strictly above} the
+    floor, ties at the floor included.  See
+    {!Inquery.Infnet.eval_topk}. *)
+
+val run_query_string :
+  ?top_k:int -> ?deadline_ms:float -> ?floor:float -> t -> string -> result
 (** Parse and evaluate.  Raises [Invalid_argument] on syntax errors. *)

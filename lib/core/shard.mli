@@ -1,0 +1,165 @@
+(** Fault-tolerant doc-partitioned sharding: scatter-gather top-k with
+    explicit partial-result semantics.
+
+    A collection is split across [N] contiguous document ranges.  Every
+    shard is a {e full} store for its slice — its own inverted file,
+    dictionary and replica group, served behind its own {!Frontend}
+    (per-shard circuit breakers, hedged reads, deadlines) — so each
+    shard is an independent failure domain.  The coordinator scatters a
+    query to all shards and merges the per-shard top-k streams.
+
+    {b Bit-identity.}  Shards rank with {e global} collection
+    statistics: the coordinator hands each shard frontend the global
+    document count, average document length, per-document lengths and —
+    via {!Frontend.create}'s [df_of] — the global document frequency of
+    every term, so a document's belief is bit-identical to what the
+    unsharded index computes.  The merged top-k (score descending, doc
+    ascending on ties) of fully-answered shards therefore equals the
+    unsharded ranking exactly.  The contract covers every non-positional
+    query; [#phrase]/[#od]/[#uw]/[#syn] leaves score with their match
+    count as df, which is shard-local by construction, so positional
+    queries may rank differently under sharding (documented limitation —
+    a global-stats exchange round would fix it).
+
+    {b Global-bound early stop.}  The scatter threads the current
+    global kth score into each subsequent shard's evaluation as a
+    pruning {e floor} ({!Frontend.run_query}[ ?floor]): a shard stops
+    scoring documents that cannot strictly beat the bound.  Shards are
+    visited in attach order; a streaming broker would broadcast the
+    bound asynchronously — the deterministic simulation stands in for
+    that, and only {e answered} shards feed the bound (a degraded
+    shard's scores are underestimates and would over-prune).
+
+    {b Partial-result semantics.}  Results carry a {!coverage} record —
+    shards answered / degraded / shed and the covered doc-count
+    fraction — and only fully-answered shards contribute to the merge,
+    so a partial ranking is {e exactly} the unsharded ranking restricted
+    to the covered doc ranges: degraded evidence is never silently mixed
+    in.  A failing shard is retried with backoff (the backoff advances
+    the shard's logical clock, letting breaker cooldowns elapse) before
+    it is declared down; deadline-expired shards are not retried — there
+    is no budget left to retry into.  The {!policy} decides what a
+    partial scatter returns: [Fail_fast] surfaces the first shard error
+    as a typed {!error}; [Best_effort min_coverage] returns the partial
+    ranking with its coverage, or a typed error once coverage falls
+    below the floor — never a silently truncated ranking. *)
+
+type policy =
+  | Fail_fast  (** any shard failure fails the query *)
+  | Best_effort of float
+      (** serve partial results while covered doc fraction >= the
+          argument (in [0, 1]); below it, a typed error *)
+
+type t
+
+val create :
+  ?shard_replicas:int ->
+  ?policy:policy ->
+  ?retries:int ->
+  ?backoff_ms:float ->
+  ?global_bound:bool ->
+  ?hedge_after_ms:float ->
+  ?window:int ->
+  ?trip_after:int ->
+  ?cooldown_ms:float ->
+  ?buffers:Buffer_sizing.t ->
+  shards:int ->
+  Experiment.prepared ->
+  t
+(** Partition [prepared]'s collection into [shards] contiguous doc
+    ranges and build each shard a full Mneme store of its slice
+    (documents keep their global ids), replicated [shard_replicas]
+    times (default 2) onto fresh file systems with cold caches, behind
+    its own {!Frontend} wired with the global catalog statistics.
+
+    [policy] defaults to [Best_effort 1.0] (serve only full coverage);
+    [retries] (default 1) and [backoff_ms] (default 600, one breaker
+    cooldown) govern per-shard retry before a shard is declared down;
+    [global_bound] (default true) threads the kth-score floor through
+    the scatter.  The breaker knobs are per shard frontend, as in
+    {!Frontend.create}.  Raises [Invalid_argument] on a non-positive
+    shard or replica count, more shards than documents, a negative
+    retry/backoff, or a [Best_effort] fraction outside [0, 1]. *)
+
+val shard_count : t -> int
+val doc_count : t -> int
+
+val shard_names : t -> string list
+(** In attach (doc-range) order. *)
+
+val shard_range : t -> shard:string -> int * int
+(** [(lo, hi)]: the shard's doc ids are [lo <= id < hi].  Raises
+    [Not_found] on an unknown name. *)
+
+val shard_frontend : t -> shard:string -> Frontend.t
+(** The shard's replica-group frontend — aim fault plans through
+    {!Frontend.replica_vfs}.  Raises [Not_found] on an unknown name. *)
+
+val replica_names : t -> shard:string -> string list
+
+type coverage = {
+  shards_total : int;
+  answered : int;  (** full answers, merged into the ranking *)
+  degraded : int;
+      (** deadline-cut partial answers — reported, {e excluded} from the
+          merge so covered ranges stay exact *)
+  shed : int;  (** no usable answer (failed terms / dead replicas) *)
+  docs_covered : int;  (** documents of answered shards *)
+  docs_total : int;
+}
+
+val coverage_fraction : coverage -> float
+(** [docs_covered / docs_total]; 1.0 for an empty collection. *)
+
+val full_coverage : coverage -> bool
+
+type shard_status =
+  | Answered
+  | Degraded of string  (** produced a deadline-cut partial answer *)
+  | Shed of string  (** produced no usable answer *)
+
+type shard_report = {
+  r_shard : string;
+  r_range : int * int;
+  r_attempts : int;
+  r_status : shard_status;
+  r_elapsed_ms : float;  (** across all attempts, backoff included *)
+  r_postings_decoded : int;
+  r_hedged_fetches : int;
+  r_deadline_hit : bool;
+}
+
+type result = {
+  ranked : Inquery.Ranking.ranked list;
+      (** merged top-k of answered shards, score desc / doc asc *)
+  coverage : coverage;
+  complete : bool;  (** [full_coverage coverage] *)
+  reports : shard_report list;  (** in shard order *)
+  elapsed_ms : float;
+      (** perceived scatter latency: the {e maximum} per-shard elapsed
+          (shards fan out in parallel; merge cost is linear in [k] times
+          the shard count and charged to no clock) *)
+}
+
+type error =
+  | Shard_failed of { shard : string; attempts : int; reason : string }
+      (** [Fail_fast]: the first shard that could not fully answer *)
+  | Coverage_below_min of { coverage : coverage; fraction : float; min_coverage : float }
+      (** [Best_effort]: the scatter survived but covers too little *)
+
+val error_message : error -> string
+
+val run_query :
+  ?top_k:int -> ?deadline_ms:float -> t -> Inquery.Query.t -> (result, error) Stdlib.result
+(** Scatter one parsed query to every shard, retry-with-backoff the
+    failing ones, merge the answered shards' top-[top_k] (default 100)
+    and apply the policy.  [deadline_ms] is a {e per-shard} budget (the
+    scatter is parallel): each shard's attempts — backoff included —
+    must fit inside it, and a stalled shard overshoots it by at most one
+    in-flight fetch ({!Frontend.run_query}), so the merged response is
+    bounded by [deadline + one fetch] too.  Raises [Invalid_argument]
+    on a non-positive deadline. *)
+
+val run_query_string :
+  ?top_k:int -> ?deadline_ms:float -> t -> string -> (result, error) Stdlib.result
+(** Parse and scatter.  Raises [Invalid_argument] on syntax errors. *)

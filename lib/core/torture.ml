@@ -212,23 +212,42 @@ type outcome = {
   problems : (int * string) list;
 }
 
+(* ------------------------------------------------------------------ *)
+(* The shared fault-at-every-I/O sweep.  Every torture family follows
+   the same discipline: enumerate the golden run's physical I/Os, replay
+   the scenario once per point with a fault armed at that I/O, tally the
+   replay, and collect its problems tagged with the point.  [replay]
+   returns the point's problem list after updating whatever counters the
+   family keeps; [seed_problems] (golden-run audit violations) come back
+   tagged with point 0. *)
+
+let sweep_points ?(seed_problems = []) ~points replay =
+  let problems = ref (List.rev_map (fun p -> (0, p)) seed_problems) in
+  for k = 1 to points do
+    List.iter (fun p -> problems := (k, p) :: !problems) (replay k)
+  done;
+  List.rev !problems
+
+(* The journal-recovery census the store-level sweeps report. *)
+let tally_recovery ~replayed ~discarded ~clean = function
+  | Mneme.Journal.Replayed _ -> incr replayed
+  | Mneme.Journal.Discarded _ -> incr discarded
+  | Mneme.Journal.Clean -> incr clean
+
 let run ?seed ?docs ?update_batches () =
   let plan = prepare ?seed ?docs ?update_batches () in
   let opened = ref 0
   and unopenable = ref 0
   and replayed = ref 0
   and discarded = ref 0
-  and clean = ref 0
-  and problems = ref [] in
-  for k = 1 to plan.crash_points do
-    let r = run_point plan k in
-    if r.opened then incr opened else incr unopenable;
-    (match r.recovery with
-    | Mneme.Journal.Replayed _ -> incr replayed
-    | Mneme.Journal.Discarded _ -> incr discarded
-    | Mneme.Journal.Clean -> incr clean);
-    List.iter (fun p -> problems := (k, p) :: !problems) r.problems
-  done;
+  and clean = ref 0 in
+  let problems =
+    sweep_points ~points:plan.crash_points (fun k ->
+        let r = run_point plan k in
+        if r.opened then incr opened else incr unopenable;
+        tally_recovery ~replayed ~discarded ~clean r.recovery;
+        r.problems)
+  in
   {
     crash_points = plan.crash_points;
     opened = !opened;
@@ -236,7 +255,7 @@ let run ?seed ?docs ?update_batches () =
     replayed = !replayed;
     discarded = !discarded;
     clean = !clean;
-    problems = List.rev !problems;
+    problems;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -530,18 +549,14 @@ type failover_outcome = {
 
 let run_failover ?seed ?docs ?batches ?standbys () =
   let plan = prepare_failover ?seed ?docs ?batches ?standbys () in
-  let promoted = ref 0 and empty = ref 0 and problems = ref [] in
-  for k = 1 to plan.fo_points do
-    let r = run_failover_point plan k in
-    if r.applied_lsn >= 1 then incr promoted else incr empty;
-    List.iter (fun p -> problems := (k, p) :: !problems) r.problems
-  done;
-  {
-    points = plan.fo_points;
-    promoted = !promoted;
-    empty = !empty;
-    problems = List.rev !problems;
-  }
+  let promoted = ref 0 and empty = ref 0 in
+  let problems =
+    sweep_points ~points:plan.fo_points (fun k ->
+        let r = run_failover_point plan k in
+        if r.applied_lsn >= 1 then incr promoted else incr empty;
+        r.problems)
+  in
+  { points = plan.fo_points; promoted = !promoted; empty = !empty; problems }
 
 let pp_failover_outcome fmt o =
   Format.fprintf fmt
@@ -891,10 +906,15 @@ let run_scrub ?(seed = 42) ?(docs = 12) ?(batches = 3) ?(standbys = 2) ?(bits = 
     audit_members ~note ~golden:scn (member_stores scn);
     if crash_sweep then begin
       let n = scrub_crash_run ~seed ~docs ~batches ~standbys ~bits ~segment:s ~note 0 in
-      for k = 1 to n do
-        incr crash_points;
-        ignore (scrub_crash_run ~seed ~docs ~batches ~standbys ~bits ~segment:s ~note k)
-      done
+      crash_points := !crash_points + n;
+      sweep_points ~points:n (fun k ->
+          let ps = ref [] in
+          ignore
+            (scrub_crash_run ~seed ~docs ~batches ~standbys ~bits ~segment:s
+               ~note:(fun m -> ps := m :: !ps)
+               k);
+          List.rev !ps)
+      |> List.iter (fun (k, p) -> note (Printf.sprintf "heal io %d: %s" k p))
     end
   done;
   {
@@ -1310,20 +1330,17 @@ let run_epoch ?seed ?docs () =
   and replayed = ref 0
   and discarded = ref 0
   and clean = ref 0 in
-  let problems = ref (List.rev_map (fun p -> (0, p)) plan.ep_problems) in
-  for k = 1 to plan.ep_points do
-    let r = run_epoch_point plan k in
-    if r.opened then begin
-      incr opened;
-      if r.recovered_epoch > r.published then incr wholly_new else incr wholly_old
-    end
-    else incr unopenable;
-    (match r.recovery with
-    | Mneme.Journal.Replayed _ -> incr replayed
-    | Mneme.Journal.Discarded _ -> incr discarded
-    | Mneme.Journal.Clean -> incr clean);
-    List.iter (fun p -> problems := (k, p) :: !problems) r.problems
-  done;
+  let problems =
+    sweep_points ~seed_problems:plan.ep_problems ~points:plan.ep_points (fun k ->
+        let r = run_epoch_point plan k in
+        if r.opened then begin
+          incr opened;
+          if r.recovered_epoch > r.published then incr wholly_new else incr wholly_old
+        end
+        else incr unopenable;
+        tally_recovery ~replayed ~discarded ~clean r.recovery;
+        r.problems)
+  in
   {
     e_points = plan.ep_points;
     e_mutations = plan.ep_mutations;
@@ -1335,7 +1352,7 @@ let run_epoch ?seed ?docs () =
     e_discarded = !discarded;
     e_clean = !clean;
     e_reclaimed = plan.ep_reclaimed;
-    e_problems = List.rev !problems;
+    e_problems = problems;
   }
 
 let pp_epoch_outcome fmt o =
@@ -1757,21 +1774,18 @@ let run_ingest ?seed ?docs () =
   and discarded = ref 0
   and clean = ref 0
   and redelivered = ref 0 in
-  let problems = ref (List.rev_map (fun p -> (0, p)) plan.ig_problems) in
-  for k = 1 to plan.ig_points do
-    let r = run_ingest_point plan k in
-    if r.i_opened then begin
-      incr opened;
-      if r.i_recovered_folds > r.i_seen_folds then incr wholly_new else incr wholly_old;
-      redelivered := !redelivered + r.i_redelivered
-    end
-    else incr unopenable;
-    (match r.i_recovery with
-    | Mneme.Journal.Replayed _ -> incr replayed
-    | Mneme.Journal.Discarded _ -> incr discarded
-    | Mneme.Journal.Clean -> incr clean);
-    List.iter (fun p -> problems := (k, p) :: !problems) r.i_problems
-  done;
+  let problems =
+    sweep_points ~seed_problems:plan.ig_problems ~points:plan.ig_points (fun k ->
+        let r = run_ingest_point plan k in
+        if r.i_opened then begin
+          incr opened;
+          if r.i_recovered_folds > r.i_seen_folds then incr wholly_new else incr wholly_old;
+          redelivered := !redelivered + r.i_redelivered
+        end
+        else incr unopenable;
+        tally_recovery ~replayed ~discarded ~clean r.i_recovery;
+        r.i_problems)
+  in
   {
     i_points = plan.ig_points;
     i_ops = plan.ig_ops;
@@ -1786,7 +1800,7 @@ let run_ingest ?seed ?docs () =
     i_clean = !clean;
     i_redelivered = !redelivered;
     i_reclaimed = plan.ig_reclaimed;
-    i_problems = List.rev !problems;
+    i_problems = problems;
   }
 
 let pp_ingest_outcome fmt o =
@@ -1808,3 +1822,268 @@ let pp_ingest_outcome fmt o =
 let ingest_table plan =
   List.filteri (fun i _ -> i > 0) (Array.to_list plan.ig_golden)
   |> List.mapi (fun i obs -> (i + 1, obs.io_seq, obs.io_epoch, obs.io_doc_count))
+
+(* ------------------------------------------------------------------ *)
+(* Shard torture: the fault-at-every-I/O discipline pointed at
+   scatter-gather.  Build the unsharded golden rankings once, probe a
+   clean sharded coordinator for every replica's serving-phase I/O
+   count, then replay the scatter with one member crashed / stalled /
+   bit-flipped at each of those I/Os — plus whole-shard blackouts (all
+   replicas dead, exercising retry-with-backoff and shedding) and
+   brownouts (all replicas slow, exercising deadline degradation) — and
+   audit every merged result: (a) full-coverage results bit-identical
+   to the unsharded index, (b) partial results exactly the unsharded
+   ranking restricted to the covered doc ranges (a mismatch is a silent
+   truncation), (c) the deadline overshot by at most one in-flight
+   fetch. *)
+
+let shard_queries = failover_queries
+
+type shard_outcome = {
+  st_shards : int;
+  st_members : int; (* replicas probed for serving-phase I/Os *)
+  st_points : int; (* member serving I/Os enumerated *)
+  st_runs : int; (* fault replays: sweep + blackouts + brownouts *)
+  st_full : int; (* full-coverage query results audited *)
+  st_partial : int; (* partial (degraded / shed) query results audited *)
+  st_overshoots : int; (* deadline overshoots beyond one fetch *)
+  st_truncations : int; (* silent truncations *)
+  st_problems : (int * string) list; (* run number; 0 = clean probe *)
+}
+
+let shard_ok o = o.st_problems = [] && o.st_overshoots = 0 && o.st_truncations = 0
+
+let run_shard ?(seed = 42) ?(docs = 24) ?(shards = 2) ?(replicas = 2) ?(top_k = 10) () =
+  if docs < 1 || shards < 1 || replicas < 1 then
+    invalid_arg "Torture.run_shard: docs, shards and replicas must be positive";
+  if shards > docs then invalid_arg "Torture.run_shard: more shards than documents";
+  let model =
+    Collections.Docmodel.make ~name:"shard-torture" ~n_docs:docs ~core_vocab:120
+      ~mean_doc_len:30.0 ~hapax_prob:0.05 ~seed ()
+  in
+  let prepared = Experiment.prepare model in
+  (* Unsharded golden: the full above-baseline ranking of every query
+     (the restriction oracle); its first [top_k] is the full-coverage
+     oracle.  Exact float pairs — the audit is bit-identity. *)
+  let engine = Experiment.open_engine prepared Experiment.Mneme_cache in
+  let pairs ranked =
+    List.map (fun r -> (r.Inquery.Ranking.doc, r.Inquery.Ranking.score)) ranked
+  in
+  let oracle =
+    Array.of_list
+      (List.map
+         (fun q -> pairs (Engine.run_topk_string ~exhaustive:true ~k:docs engine q).Engine.topk_ranked)
+         shard_queries)
+  in
+  let firstk l = List.filteri (fun i _ -> i < top_k) l in
+  let restrict ranges ranked =
+    List.filter (fun (d, _) -> List.exists (fun (lo, hi) -> d >= lo && d < hi) ranges) ranked
+  in
+  let runs = ref 0 in
+  let problems = ref [] in
+  let note run fmt = Printf.ksprintf (fun s -> problems := (run, s) :: !problems) fmt in
+  let full = ref 0 and partial = ref 0 and overshoots = ref 0 and truncations = ref 0 in
+  (* Zero-capacity buffer pools, and the OS cache purged before every
+     query: each fetch is then a physical block I/O the fault plans can
+     observe, instead of a warm cache absorbing the whole serving
+     path. *)
+  let make () =
+    Shard.create ~shard_replicas:replicas ~policy:(Shard.Best_effort 0.0)
+      ~buffers:Buffer_sizing.no_cache ~shards prepared
+  in
+  let chill c =
+    List.iter
+      (fun s ->
+        let fe = Shard.shard_frontend c ~shard:s in
+        List.iter
+          (fun r -> Vfs.purge_os_cache (Frontend.replica_vfs fe ~name:r))
+          (Shard.replica_names c ~shard:s))
+      (Shard.shard_names c)
+  in
+  (* One merged result against the oracles.  [fetch_allow] is the
+     worst-case cost of the single fetch the deadline may leave in
+     flight (plus the CPU of ranking evidence already paid for). *)
+  let audit run ~deadline ~fetch_allow qi = function
+    | Error e -> note run "query %d refused: %s" qi (Shard.error_message e)
+    | Ok (res : Shard.result) ->
+      (match deadline with
+      | Some d when res.Shard.elapsed_ms > d +. fetch_allow ->
+        incr overshoots;
+        note run "query %d overshot the deadline: %.2f ms against %.2f + %.2f" qi
+          res.Shard.elapsed_ms d fetch_allow
+      | _ -> ());
+      let ranges =
+        List.filter_map
+          (fun (rep : Shard.shard_report) ->
+            match rep.Shard.r_status with
+            | Shard.Answered -> Some rep.Shard.r_range
+            | Shard.Degraded _ | Shard.Shed _ -> None)
+          res.Shard.reports
+      in
+      let covered = List.fold_left (fun a (lo, hi) -> a + (hi - lo)) 0 ranges in
+      let cov = res.Shard.coverage in
+      if cov.Shard.docs_covered <> covered then
+        note run "query %d: coverage claims %d docs, the answered reports cover %d" qi
+          cov.Shard.docs_covered covered;
+      if cov.Shard.answered + cov.Shard.degraded + cov.Shard.shed <> cov.Shard.shards_total then
+        note run "query %d: coverage classes do not partition the shards" qi;
+      if res.Shard.complete then begin
+        incr full;
+        if pairs res.Shard.ranked <> firstk oracle.(qi) then begin
+          incr truncations;
+          note run "query %d: full-coverage ranking differs from the unsharded index" qi
+        end
+      end
+      else begin
+        incr partial;
+        if pairs res.Shard.ranked <> firstk (restrict ranges oracle.(qi)) then begin
+          incr truncations;
+          note run
+            "query %d: partial ranking is not the unsharded index restricted to the covered \
+             ranges"
+            qi
+        end
+      end
+  in
+  (* Clean probe: arm counting plans on every replica, run the query
+     set, demand complete bit-identical results, and take each member's
+     serving-phase I/O count as its fault-point enumeration.  The
+     sessions were opened by [make], so the counters cover only
+     serving. *)
+  let coord = make () in
+  let members =
+    List.concat_map
+      (fun s ->
+        let fe = Shard.shard_frontend coord ~shard:s in
+        List.map (fun r -> (s, r, Frontend.replica_vfs fe ~name:r)) (Shard.replica_names coord ~shard:s))
+      (Shard.shard_names coord)
+  in
+  List.iter (fun (_, _, vfs) -> Vfs.set_fault vfs (Vfs.Fault.none ())) members;
+  let clean_ms = ref 0.0 in
+  List.iteri
+    (fun qi q ->
+      chill coord;
+      match Shard.run_query_string ~top_k coord q with
+      | Error e -> note 0 "clean probe: query %d refused: %s" qi (Shard.error_message e)
+      | Ok res ->
+        if not res.Shard.complete then note 0 "clean probe: query %d not complete" qi;
+        if pairs res.Shard.ranked <> firstk oracle.(qi) then
+          note 0 "clean probe: query %d differs from the unsharded index" qi;
+        if res.Shard.elapsed_ms > !clean_ms then clean_ms := res.Shard.elapsed_ms)
+    shard_queries;
+  let member_points = List.map (fun (s, r, vfs) -> (s, r, Vfs.fault_io_count vfs)) members in
+  let points = List.fold_left (fun a (_, _, n) -> a + n) 0 member_points in
+  (* The sweep.  The deadline leaves the clean run ample room, so
+     degradation in these replays comes from the fault, not the budget;
+     a stalled fetch is perceived at worst [stall_ms], so the overshoot
+     allowance is [stall_ms] plus one clean run's worth of CPU. *)
+  let stall_ms = 240.0 in
+  let deadline = (4.0 *. !clean_ms) +. (2.0 *. stall_ms) in
+  let fetch_allow = stall_ms +. !clean_ms +. 1.0 in
+  let run_with ?deadline_ms ~fetch_allow arm =
+    incr runs;
+    let c = make () in
+    arm c;
+    List.iteri
+      (fun qi q ->
+        chill c;
+        match Shard.run_query_string ~top_k ?deadline_ms c q with
+        | exception Vfs.Crash -> note !runs "query %d: a device crash escaped the frontend" qi
+        | r -> audit !runs ~deadline:deadline_ms ~fetch_allow qi r)
+      shard_queries;
+    c
+  in
+  List.iter
+    (fun (sname, rname, n) ->
+      for k = 1 to n do
+        List.iter
+          (fun plan ->
+            ignore
+              (run_with ~deadline_ms:deadline ~fetch_allow (fun c ->
+                   let fe = Shard.shard_frontend c ~shard:sname in
+                   Vfs.set_fault (Frontend.replica_vfs fe ~name:rname) plan)))
+          [
+            Vfs.Fault.crash_at_io k;
+            Vfs.Fault.stall_at_io ~io:k ~ms:stall_ms;
+            Vfs.Fault.flip_bit_on_read ~io:k ~seed:(seed + (17 * k));
+          ]
+      done)
+    member_points;
+  (* Blackouts: every replica of one shard dead from its first serving
+     I/O.  No deadline, so the coordinator's retry-with-backoff runs its
+     full course before the shard is shed; the merged result must be
+     the restricted oracle. *)
+  List.iter
+    (fun sname ->
+      let c =
+        run_with ~fetch_allow:0.0 (fun c ->
+            let fe = Shard.shard_frontend c ~shard:sname in
+            List.iter
+              (fun r -> Vfs.set_fault (Frontend.replica_vfs fe ~name:r) (Vfs.Fault.crash_at_io 1))
+              (Shard.replica_names c ~shard:sname))
+      in
+      (* The dead shard must have been retried before it was declared
+         down, and must be reported shed, not silently dropped. *)
+      chill c;
+      match Shard.run_query_string ~top_k c (List.hd shard_queries) with
+      | Error e -> note !runs "blackout recheck refused: %s" (Shard.error_message e)
+      | Ok res -> (
+        match
+          List.find_opt (fun r -> String.equal r.Shard.r_shard sname) res.Shard.reports
+        with
+        | None -> note !runs "blackout: shard %s missing from the reports" sname
+        | Some rep ->
+          (match rep.Shard.r_status with
+          | Shard.Shed _ -> ()
+          | Shard.Answered | Shard.Degraded _ ->
+            note !runs "blackout: shard %s with every replica dead was not shed" sname);
+          if rep.Shard.r_attempts < 2 then
+            note !runs "blackout: shard %s was declared down after %d attempt(s), no retry"
+              sname rep.Shard.r_attempts))
+    (Shard.shard_names coord);
+  (* Brownouts: every replica of one shard slowed below the hedge
+     threshold, under a deadline a healthy shard meets — the slow shard
+     either still answers (full coverage) or degrades at the deadline,
+     overshooting by at most the one slow fetch in flight. *)
+  let brown_ms = 40.0 in
+  List.iter
+    (fun sname ->
+      let brown_deadline = !clean_ms +. (2.5 *. brown_ms) in
+      ignore
+        (run_with ~deadline_ms:brown_deadline ~fetch_allow:(brown_ms +. !clean_ms +. 1.0)
+           (fun c ->
+             let fe = Shard.shard_frontend c ~shard:sname in
+             List.iter
+               (fun r ->
+                 Vfs.set_fault
+                   (Frontend.replica_vfs fe ~name:r)
+                   (Vfs.Fault.degraded_device ~file:(sname ^ ".mneme") ~ms:brown_ms))
+               (Shard.replica_names c ~shard:sname))))
+    (Shard.shard_names coord);
+  if !partial = 0 then note 0 "no replay ever exercised a partial result";
+  {
+    st_shards = shards;
+    st_members = List.length members;
+    st_points = points;
+    st_runs = !runs;
+    st_full = !full;
+    st_partial = !partial;
+    st_overshoots = !overshoots;
+    st_truncations = !truncations;
+    st_problems = List.rev !problems;
+  }
+
+let pp_shard_outcome fmt o =
+  Format.fprintf fmt
+    "%d serving I/Os across %d members of %d shards: %d fault replays, %d full-coverage and %d \
+     partial results audited, %d deadline overshoot(s), %d silent truncation(s)"
+    o.st_points o.st_members o.st_shards o.st_runs o.st_full o.st_partial o.st_overshoots
+    o.st_truncations;
+  if o.st_problems <> [] then begin
+    Format.fprintf fmt "@.%d problem(s):" (List.length o.st_problems);
+    List.iter
+      (fun (r, p) ->
+        if r = 0 then Format.fprintf fmt "@.  clean probe: %s" p
+        else Format.fprintf fmt "@.  replay %d: %s" r p)
+      o.st_problems
+  end

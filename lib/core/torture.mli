@@ -69,6 +69,27 @@ val run : ?seed:int -> ?docs:int -> ?update_batches:int -> unit -> outcome
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
+(** {2 The shared fault-at-every-I/O sweep}
+
+    Every torture family follows the same loop: enumerate the golden
+    run's physical I/Os, replay the scenario once per point with a fault
+    armed at that I/O, tally the replay, and collect its problems tagged
+    with the point.  These two helpers are that loop, factored out so
+    the store, failover, scrub, epoch, ingest and shard sweeps share
+    one copy. *)
+
+val sweep_points :
+  ?seed_problems:string list -> points:int -> (int -> string list) -> (int * string) list
+(** [sweep_points ~points replay] calls [replay k] for [k = 1 ..
+    points]; each returned problem is tagged [(k, problem)].
+    [seed_problems] — golden-run audit violations — come back first,
+    tagged with point 0. *)
+
+val tally_recovery :
+  replayed:int ref -> discarded:int ref -> clean:int ref -> Mneme.Journal.recovery -> unit
+(** Bump the counter matching the journal-recovery verdict — the census
+    every store-level sweep reports. *)
+
 (** {2 Failover torture}
 
     The same discipline pointed at replication.  A deterministic
@@ -409,3 +430,55 @@ val pp_ingest_outcome : Format.formatter -> ingest_outcome -> unit
 
 val ingest_table : ingest_plan -> (int * int * int * int) list
 (** The golden run per operation: [(op, acked_seq, folds, documents)]. *)
+
+(** {2 Shard torture}
+
+    The fault-at-every-I/O discipline pointed at scatter-gather
+    serving.  An unsharded golden index is built and its rankings
+    recorded (the full above-baseline ranking per query is the
+    restriction oracle); a clean sharded coordinator ({!Shard.create})
+    is probed to learn every replica's serving-phase physical I/O
+    count; then the scatter is replayed with one member crashed
+    ({!Vfs.Fault.crash_at_io}), stalled ({!Vfs.Fault.stall_at_io}) or
+    bit-flipped ({!Vfs.Fault.flip_bit_on_read}) at each of those I/Os —
+    plus, per shard, a {e blackout} (every replica dead from its first
+    serving I/O, exercising retry-with-backoff and shedding) and a
+    {e brownout} (every replica slowed below the hedge threshold under
+    a deadline, exercising deadline degradation).  Every merged result
+    is audited:
+
+    - {b (a)} full-coverage results are bit-identical (doc ids and
+      belief floats) to the unsharded index;
+    - {b (b)} partial results are {e exactly} the unsharded ranking
+      restricted to the answered shards' doc ranges — any deviation is
+      a {e silent truncation}, and the coverage record must account for
+      every shard and every covered document;
+    - {b (c)} the deadline is overshot by at most one in-flight fetch
+      (the stall or brownout latency) plus one clean run's worth of
+      CPU. *)
+
+type shard_outcome = {
+  st_shards : int;
+  st_members : int;  (** replicas probed for serving-phase I/Os *)
+  st_points : int;  (** member serving I/Os enumerated *)
+  st_runs : int;  (** fault replays: sweep + blackouts + brownouts *)
+  st_full : int;  (** full-coverage query results audited *)
+  st_partial : int;  (** partial (degraded / shed) query results audited *)
+  st_overshoots : int;  (** deadline overshoots beyond one fetch *)
+  st_truncations : int;  (** silent truncations *)
+  st_problems : (int * string) list;  (** (replay number, violation); 0 = clean probe *)
+}
+
+val shard_ok : shard_outcome -> bool
+(** No problems, no overshoots, no truncations. *)
+
+val run_shard :
+  ?seed:int -> ?docs:int -> ?shards:int -> ?replicas:int -> ?top_k:int -> unit -> shard_outcome
+(** The full sweep (defaults: seed 42, 24 documents, 2 shards, 2
+    replicas per shard, top-10).  [shard_ok] on the outcome means every
+    fault replay either served the exact unsharded ranking (hedged
+    around the fault) or an exactly-restricted partial one, with the
+    deadline bound honoured everywhere.  Raises [Invalid_argument] on
+    non-positive counts or more shards than documents. *)
+
+val pp_shard_outcome : Format.formatter -> shard_outcome -> unit

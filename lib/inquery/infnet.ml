@@ -130,7 +130,21 @@ let syn_doc_tfs records =
     records;
   (sort_matches (Hashtbl.fold (fun doc tf acc -> (doc, tf) :: acc) sums []), !examined)
 
-let eval source dict ?stopwords ?(stem = false) query =
+(* The df a term leaf scores with: the record's own header count unless
+   the caller injects collection-wide statistics ([df_of]) — a
+   doc-partitioned shard holds a record with {e local} df but must rank
+   with the {e global} df or its beliefs drift from the unsharded
+   index.  Positional leaves (#phrase/#od/#uw/#syn) always use their
+   match count: their df is a property of the query, not the
+   dictionary. *)
+let record_df ?df_of entry record =
+  match df_of with
+  | Some f -> f entry
+  | None ->
+    let df, _ = Postings.stats record in
+    df
+
+let eval source dict ?df_of ?stopwords ?(stem = false) query =
   let n = source.max_doc_id + 1 in
   let stats = { postings_scored = 0; nodes_visited = 0; record_lookups = 0 } in
   let normalize term =
@@ -152,7 +166,7 @@ let eval source dict ?stopwords ?(stem = false) query =
         match source.fetch entry with
         | None -> ()
         | Some record ->
-          let df, _ = Postings.stats record in
+          let df = record_df ?df_of entry record in
           Postings.fold_docs record ~init:() ~f:(fun () ~doc ~tf ->
               stats.postings_scored <- stats.postings_scored + 1;
               if doc < n then
@@ -265,7 +279,7 @@ type dnode =
   | DMax of dnode list
   | DNot of dnode
 
-let eval_daat source dict ?stopwords ?(stem = false) query =
+let eval_daat source dict ?df_of ?stopwords ?(stem = false) query =
   let stats = { postings_scored = 0; nodes_visited = 0; record_lookups = 0 } in
   let normalize term =
     let drop =
@@ -284,7 +298,7 @@ let eval_daat source dict ?stopwords ?(stem = false) query =
         match source.fetch entry with
         | None -> DAbsent
         | Some record ->
-          let df, _ = Postings.stats record in
+          let df = record_df ?df_of entry record in
           let docs =
             Postings.fold_docs record ~init:[] ~f:(fun acc ~doc ~tf -> (doc, tf) :: acc)
             |> List.rev |> Array.of_list
@@ -467,11 +481,18 @@ let linear_shape query =
     if total > 0.0 then Some (ps, total) else None
   | _ -> None
 
-let eval_topk source dict ?stopwords ?(stem = false) ?(audit = false) ?(exhaustive = false)
-    ?(should_stop = fun (_ : stats) -> false) ~k query =
+let eval_topk source dict ?df_of ?floor ?stopwords ?(stem = false) ?(audit = false)
+    ?(exhaustive = false) ?(should_stop = fun (_ : stats) -> false) ~k query =
   if k < 0 then invalid_arg "Infnet.eval_topk: negative k";
+  (match floor with
+  | Some f when not (Float.is_finite f) -> invalid_arg "Infnet.eval_topk: floor must be finite"
+  | Some _ when audit ->
+    (* The audit oracle is the full exhaustive top-k; a floor legitimately
+       drops documents below it, so the two contracts cannot be compared. *)
+    invalid_arg "Infnet.eval_topk: audit cannot be combined with floor"
+  | _ -> ());
   let fallback () =
-    let results, dstats = eval_daat source dict ?stopwords ~stem query in
+    let results, dstats = eval_daat source dict ?df_of ?stopwords ~stem query in
     let heap = Util.Topk.create ~k in
     List.iter (fun s -> ignore (Util.Topk.offer heap ~doc:s.doc ~score:s.belief)) results;
     let ranked =
@@ -510,7 +531,7 @@ let eval_topk source dict ?stopwords ?(stem = false) ?(audit = false) ?(exhausti
         | None -> None
         | Some entry ->
           stats.record_lookups <- stats.record_lookups + 1;
-          source.fetch entry)
+          Option.map (fun record -> (entry, record)) (source.fetch entry))
     in
     let absent w =
       { lc_weight = w; lc_cur = None; lc_df = 0; lc_ub = default_belief; lc_coeff = 0.0;
@@ -523,8 +544,8 @@ let eval_topk source dict ?stopwords ?(stem = false) ?(audit = false) ?(exhausti
              let term = match child with Query.Term t -> t | _ -> assert false in
              match fetch_term term with
              | None -> absent w
-             | Some record ->
-               let df, _ = Postings.stats record in
+             | Some (entry, record) ->
+               let df = record_df ?df_of entry record in
                (* tf_w = tf/(tf + 0.5 + 1.5*dl/avg) <= max_tf/(max_tf + 0.5);
                   without a max_tf header (v1 record) the bound degrades
                   to the idf-only cap tf_w <= 1. *)
@@ -573,6 +594,14 @@ let eval_topk source dict ?stopwords ?(stem = false) ?(audit = false) ?(exhausti
     let heap = Util.Topk.create ~k in
     let thr () =
       let base = baseline +. 1e-12 in
+      (* A caller-seeded floor (the scatter-gather coordinator's current
+         global kth score) starts the threshold above the heap's own:
+         documents that cannot reach it can never enter the global
+         top-k, so pruning against it is safe from the first
+         candidate.  Strictly-below-floor pruning only — ties at the
+         floor survive, preserving the merge's doc-ascending
+         tie-break. *)
+      let base = match floor with Some f -> Float.max f base | None -> base in
       match Util.Topk.threshold heap with Some t -> Float.max t base | None -> base
     in
     (* Floating-point slack on upper bounds: a candidate is pruned only
@@ -626,6 +655,10 @@ let eval_topk source dict ?stopwords ?(stem = false) ?(audit = false) ?(exhausti
       done
     in
     let stopped = ref false in
+    (* With a seeded floor the essential set can shrink before any
+       candidate is scored; without one this is a no-op (thr() starts at
+       the baseline, which no bound sum undercuts). *)
+    update_ess ();
     let running = ref true in
     while !running do
       if should_stop stats then begin
@@ -692,7 +725,7 @@ let eval_topk source dict ?stopwords ?(stem = false) ?(audit = false) ?(exhausti
         | None -> ())
       leaves;
     if audit && not !stopped then begin
-      let reference, _ = eval_daat source dict ?stopwords ~stem query in
+      let reference, _ = eval_daat source dict ?df_of ?stopwords ~stem query in
       let reference = take_n k (List.sort rank_order reference) in
       let fail msg = raise (Audit_mismatch msg) in
       if List.length reference <> List.length ranked then

@@ -42,17 +42,36 @@ val default_belief : float
 (** 0.4 *)
 
 val eval :
-  source -> Dictionary.t -> ?stopwords:Stopwords.t -> ?stem:bool -> Query.t -> float array * stats
+  source ->
+  Dictionary.t ->
+  ?df_of:(Dictionary.entry -> int) ->
+  ?stopwords:Stopwords.t ->
+  ?stem:bool ->
+  Query.t ->
+  float array * stats
 (** [eval source dict query] returns per-document beliefs (indexed by
     document id, length [max_doc_id + 1]) and the event counts.  Query
     terms are optionally stemmed and stop-filtered before dictionary
     lookup; out-of-vocabulary terms contribute the default belief and
-    no record lookup. *)
+    no record lookup.
+
+    [df_of] overrides the document frequency a term leaf scores with
+    (default: the fetched record's own header df).  A doc-partitioned
+    shard passes the {e global} df here so its per-document beliefs are
+    bit-identical to the unsharded index; positional leaves
+    ([#phrase]/[#od]/[#uw]/[#syn]) always use their match count and are
+    unaffected. *)
 
 type scored = { doc : int; belief : float }
 
 val eval_daat :
-  source -> Dictionary.t -> ?stopwords:Stopwords.t -> ?stem:bool -> Query.t -> scored list * stats
+  source ->
+  Dictionary.t ->
+  ?df_of:(Dictionary.entry -> int) ->
+  ?stopwords:Stopwords.t ->
+  ?stem:bool ->
+  Query.t ->
+  scored list * stats
 (** Document-at-a-time evaluation — the alternative the paper sketches:
     "A 'document-at-a-time' approach, which gathered all of the evidence
     for one document before proceeding to the next, might scale better
@@ -85,6 +104,8 @@ exception Audit_mismatch of string
 val eval_topk :
   source ->
   Dictionary.t ->
+  ?df_of:(Dictionary.entry -> int) ->
+  ?floor:float ->
   ?stopwords:Stopwords.t ->
   ?stem:bool ->
   ?audit:bool ->
@@ -113,6 +134,16 @@ val eval_topk :
     falls back to exhaustive {!eval_daat} plus bounded top-k selection —
     same results, no pruning ([tk_pruned = false]).
 
+    @param df_of override the df a term leaf scores with, as in {!eval}
+    (the sharding hook: global statistics over local records).
+    @param floor seed the pruning threshold with an externally known
+    kth score (the scatter-gather coordinator's current global bound):
+    documents that cannot {e strictly} beat [floor] may be pruned on
+    the max-score path, so the result is the top-k among documents
+    scoring above it — ties at the floor survive.  Only the pruned path
+    consults it (the exhaustive fallback returns a superset; callers
+    filter at merge).  Raises [Invalid_argument] if combined with
+    [audit] (the oracle has no floor) or not finite.
     @param audit re-run the exhaustive evaluator and raise
     {!Audit_mismatch} if the pruned ranking diverges (docs or beliefs).
     @param exhaustive force the fallback path (for benchmarking).

@@ -246,6 +246,21 @@ let test_engine_salvages_corrupt_term () =
     | _ -> false
     | exception Mneme.Store.Corrupt _ -> true)
 
+(* The shard torture at smoke size: fault one member at every serving
+   I/O (plus blackouts and brownouts) and demand zero silent
+   truncations and zero deadline overshoots beyond one fetch. *)
+let test_shard_sweep_is_clean () =
+  let o = Core.Torture.run_shard ~seed:7 ~docs:16 ~shards:2 ~replicas:2 () in
+  List.iter
+    (fun (run, p) -> Printf.printf "shard torture replay %d: %s\n" run p)
+    o.Core.Torture.st_problems;
+  Alcotest.(check bool) "serving I/Os enumerated" true (o.Core.Torture.st_points > 0);
+  Alcotest.(check bool) "partial results exercised" true (o.Core.Torture.st_partial > 0);
+  Alcotest.(check bool) "full-coverage results exercised" true (o.Core.Torture.st_full > 0);
+  Alcotest.(check int) "no overshoots" 0 o.Core.Torture.st_overshoots;
+  Alcotest.(check int) "no truncations" 0 o.Core.Torture.st_truncations;
+  Alcotest.(check bool) "sweep clean" true (Core.Torture.shard_ok o)
+
 let suite =
   [
     Alcotest.test_case "every crash point recovers" `Quick test_every_crash_point_recovers;
@@ -259,4 +274,5 @@ let suite =
     Alcotest.test_case "bit flip raises Corrupt" `Quick test_bit_flip_raises_corrupt;
     Alcotest.test_case "clean store passes CRC check" `Quick test_clean_store_passes_crc_check;
     Alcotest.test_case "engine salvages corrupt term" `Quick test_engine_salvages_corrupt_term;
+    Alcotest.test_case "shard sweep is clean" `Quick test_shard_sweep_is_clean;
   ]
