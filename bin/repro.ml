@@ -297,6 +297,207 @@ let topk_cmd =
   Cmd.v (Cmd.info "topk" ~doc)
     Term.(const run $ scale_arg $ collections_arg $ k_arg $ queries_arg $ audit_arg $ json_arg)
 
+(* --- cache -------------------------------------------------------- *)
+
+let cache_cmd =
+  let collections_arg =
+    let doc = "Collections to measure (default: all four)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"COLLECTION" ~doc)
+  in
+  let k_arg =
+    let doc = "Ranked documents per query." in
+    Arg.(value & opt int 10 & info [ "k" ] ~docv:"K" ~doc)
+  in
+  let queries_arg =
+    let doc = "Evaluate only the first N queries of each set." in
+    Arg.(value & opt (some int) None & info [ "queries" ] ~docv:"N" ~doc)
+  in
+  let passes_arg =
+    let doc =
+      "Replays of the query set (the reuse the result cache exists for); \
+       every pass after the first should serve from the result cache."
+    in
+    Arg.(value & opt int 3 & info [ "passes" ] ~docv:"N" ~doc)
+  in
+  let audit_arg =
+    let doc =
+      "Re-run every query with both caches disabled and fail unless the \
+       rankings are bit-identical, then run the churn torture: random \
+       add/delete mutations with pinned epochs read back through the \
+       caches."
+    in
+    Arg.(value & flag & info [ "audit" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Write the per-collection numbers as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let fingerprint ranked =
+    List.map
+      (fun r -> (r.Inquery.Ranking.doc, Printf.sprintf "%.9f" r.Inquery.Ranking.score))
+      ranked
+  in
+  let run scale names k n_queries passes audit json_file =
+    if k <= 0 || passes <= 0 then begin
+      Printf.eprintf "cache: --k and --passes must be positive\n";
+      exit 2
+    end;
+    let names =
+      match names with [] -> [ "cacm"; "legal"; "tipster1"; "tipster" ] | ns -> ns
+    in
+    let rows =
+      List.map
+        (fun name ->
+          let model = Collections.Presets.find ~scale name in
+          let prepared = Core.Experiment.prepare ~progress model in
+          let spec = Collections.Presets.topk_queries model in
+          let queries = Collections.Querygen.generate model spec in
+          let queries =
+            match n_queries with
+            | None -> queries
+            | Some n -> List.filteri (fun i _ -> i < n) queries
+          in
+          (* One frontend per configuration so neither cache state nor
+             buffer state leaks between the cached run and the
+             caches-off baseline.  The OS cache is purged before every
+             pass in both runs, so bytes read measure what each
+             configuration must physically fetch. *)
+          let measure ~result_bytes ~block_bytes =
+            let fe =
+              Core.Frontend.of_prepared prepared ~names:[ "a" ]
+                ~result_cache_bytes:result_bytes ~block_cache_bytes:block_bytes
+            in
+            let vfs = Core.Frontend.replica_vfs fe ~name:"a" in
+            let c0 = Vfs.counters vfs in
+            let decoded = ref 0 and result_hits = ref 0 in
+            let rankings = ref [] in
+            for _pass = 1 to passes do
+              Vfs.purge_os_cache vfs;
+              List.iter
+                (fun q ->
+                  let r = Core.Frontend.run_query_string ~top_k:k fe q in
+                  decoded := !decoded + r.Core.Frontend.postings_decoded;
+                  if r.Core.Frontend.cached then incr result_hits;
+                  rankings := fingerprint r.Core.Frontend.ranked :: !rankings)
+                queries
+            done;
+            let c1 = Vfs.diff_counters ~later:(Vfs.counters vfs) ~earlier:c0 in
+            (fe, List.rev !rankings, !decoded, !result_hits, c1.Vfs.bytes_read)
+          in
+          let fe, cached_rankings, dec_on, result_hits, bytes_on =
+            measure ~result_bytes:(4 * 1024 * 1024) ~block_bytes:(8 * 1024 * 1024)
+          in
+          let _, plain_rankings, dec_off, _, bytes_off =
+            measure ~result_bytes:0 ~block_bytes:0
+          in
+          if audit then
+            List.iteri
+              (fun i (a, b) ->
+                if a <> b then begin
+                  Printf.eprintf
+                    "cache: AUDIT FAILED on %s: query %d of pass %d ranks differently \
+                     with caches on\n"
+                    name (i mod List.length queries) (1 + (i / List.length queries));
+                  exit 1
+                end)
+              (List.combine cached_rankings plain_rankings);
+          let tiers = Core.Frontend.cache_tiers fe in
+          (name, List.length queries, result_hits, tiers, dec_on, dec_off, bytes_on, bytes_off))
+        names
+    in
+    (* Table-6-style tier hit-rate table: the buffer pool was the
+       paper's only tier; the result and block caches sit above it. *)
+    Printf.printf "%-10s %-8s %10s %10s %8s\n" "collection" "tier" "refs" "hits" "rate";
+    List.iter
+      (fun (name, _, _, tiers, _, _, _, _) ->
+        List.iteri
+          (fun i (tier, s) ->
+            Printf.printf "%-10s %-8s %10d %10d %7.1f%%\n"
+              (if i = 0 then name else "")
+              tier s.Util.Cache_stats.refs s.Util.Cache_stats.hits
+              (100.0 *. Util.Cache_stats.hit_rate s))
+          tiers)
+      rows;
+    Printf.printf "\n%-10s %8s %7s %12s %12s %7s %12s %12s %7s\n" "collection" "queries"
+      "rhits" "decoded:off" "decoded:on" "ratio" "bytes:off" "bytes:on" "ratio";
+    List.iter
+      (fun (name, nq, rhits, _, dec_on, dec_off, bytes_on, bytes_off) ->
+        let ratio a b = float_of_int a /. float_of_int (max 1 b) in
+        Printf.printf "%-10s %4dx%-3d %7d %12d %12d %6.2fx %12d %12d %6.2fx\n" name nq passes
+          rhits dec_off dec_on (ratio dec_off dec_on) bytes_off bytes_on
+          (ratio bytes_off bytes_on))
+      rows;
+    let churn =
+      if audit then begin
+        let o = Core.Torture.run_cache () in
+        Format.printf "%a@." Core.Torture.pp_cache_outcome o;
+        if not (Core.Torture.cache_ok o) then begin
+          Printf.eprintf "cache: churn torture found coherence problems\n";
+          exit 1
+        end;
+        Printf.printf
+          "audit: rankings bit-identical with caches off on %d collection(s); churn leg \
+           clean\n"
+          (List.length rows);
+        Some o
+      end
+      else None
+    in
+    (match json_file with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      let tier_json (tier, s) =
+        Printf.sprintf
+          "      { \"tier\": %S, \"refs\": %d, \"hits\": %d, \"evictions\": %d, \
+           \"invalidations\": %d, \"resident_bytes\": %d, \"resident_entries\": %d }"
+          tier s.Util.Cache_stats.refs s.Util.Cache_stats.hits s.Util.Cache_stats.evictions
+          s.Util.Cache_stats.invalidations s.Util.Cache_stats.resident_bytes
+          s.Util.Cache_stats.resident_entries
+      in
+      let row_json (name, nq, rhits, tiers, dec_on, dec_off, bytes_on, bytes_off) =
+        Printf.sprintf
+          "  { \"collection\": %S, \"queries\": %d, \"passes\": %d, \"k\": %d,\n\
+          \    \"result_cache_hits\": %d,\n\
+          \    \"postings_decoded\": { \"caches_off\": %d, \"caches_on\": %d },\n\
+          \    \"bytes_read\": { \"caches_off\": %d, \"caches_on\": %d },\n\
+          \    \"tiers\": [\n%s\n    ],\n\
+          \    \"audited\": %b }"
+          name nq passes k rhits dec_off dec_on bytes_off bytes_on
+          (String.concat ",\n" (List.map tier_json tiers))
+          audit
+      in
+      let churn_json =
+        match churn with
+        | None -> ""
+        | Some o ->
+          Printf.sprintf
+            ",\n\
+            \  \"churn_audit\": { \"mutations\": %d, \"comparisons\": %d, \
+             \"result_hits\": %d, \"block_hits\": %d, \"invalidations\": %d, \
+             \"problems\": %d }"
+            o.Core.Torture.ct_mutations o.Core.Torture.ct_comparisons
+            o.Core.Torture.ct_result_hits o.Core.Torture.ct_block_hits
+            o.Core.Torture.ct_invalidations
+            (List.length o.Core.Torture.ct_problems)
+      in
+      Printf.fprintf oc "{ \"collections\": [\n%s\n]%s\n}\n"
+        (String.concat ",\n" (List.map row_json rows))
+        churn_json;
+      close_out oc;
+      Printf.printf "wrote %s\n" file)
+  in
+  let doc =
+    "Measure the tiered read-path caches on reuse-heavy query replays: \
+     per-tier (result / block / buffer) hit rates in the style of the \
+     paper's Table 6, plus postings-decoded and bytes-read deltas \
+     against a caches-off baseline, with an optional bit-identity audit \
+     and churn torture."
+  in
+  Cmd.v (Cmd.info "cache" ~doc)
+    Term.(const run $ scale_arg $ collections_arg $ k_arg $ queries_arg $ passes_arg
+          $ audit_arg $ json_arg)
+
 (* --- parallel ----------------------------------------------------- *)
 
 let parallel_cmd =
@@ -1123,4 +1324,4 @@ let () =
        (Cmd.group info
           [ tables_cmd; ablations_cmd; stats_cmd; run_cmd; query_cmd; topk_cmd; parallel_cmd;
             fsck_cmd; torture_cmd; failover_cmd; scrub_cmd; epoch_cmd; ingest_cmd; frontend_cmd;
-            shard_cmd ]))
+            shard_cmd; cache_cmd ]))

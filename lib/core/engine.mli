@@ -30,6 +30,7 @@ val create :
   ?stem:bool ->
   ?reserve:bool ->
   ?salvage:bool ->
+  ?block_cache:Util.Block_cache.t ->
   unit ->
   t
 (** [max_doc_id] (default [n_docs - 1]) bounds the document id space;
@@ -40,7 +41,11 @@ val create :
     [salvage] (default true) keeps the engine answering when a record's
     segment fails its CRC32: the term is {e quarantined} (treated as
     not indexed, reported via {!quarantined}) instead of the query
-    aborting with [Mneme.Store.Corrupt]. *)
+    aborting with [Mneme.Store.Corrupt].
+    [block_cache] shares decoded postings blocks across this engine's
+    top-k queries (and with any other engine handed the same cache over
+    the same index image), keyed by record locator and the session's
+    published epoch — see {!Inquery.Infnet.eval_topk}. *)
 
 val store : t -> Index_store.t
 

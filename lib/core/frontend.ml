@@ -27,6 +27,8 @@ type t = {
   on_corrupt : (replica:string -> term:string -> reason:string -> unit) option;
   corrupt_log : corrupt_event list ref; (* newest first *)
   corrupt_seen : (string, unit) Hashtbl.t; (* "replica\x00term" dedup *)
+  rcache : Inquery.Ranking.ranked list Result_cache.t option;
+  bcache : Util.Block_cache.t option;
   mutable now : float;
 }
 
@@ -41,11 +43,12 @@ type result = {
   epoch : int;
   elapsed_ms : float;
   postings_decoded : int;
+  cached : bool;
 }
 
 let create ~replicas ~dict ?df_of ~n_docs ~avg_doc_len ~doc_len ?stopwords ?(stem = false)
     ?(hedge_after_ms = 60.0) ?(window = 6) ?(trip_after = 3) ?(cooldown_ms = 500.0)
-    ?on_corrupt () =
+    ?(result_cache_bytes = 0) ?(block_cache_bytes = 0) ?on_corrupt () =
   if replicas = [] then invalid_arg "Frontend.create: no replicas";
   let seen = Hashtbl.create 4 in
   List.iter
@@ -59,6 +62,10 @@ let create ~replicas ~dict ?df_of ~n_docs ~avg_doc_len ~doc_len ?stopwords ?(ste
   if trip_after < 1 || trip_after > window then
     invalid_arg "Frontend.create: trip_after must be in [1, window]";
   if cooldown_ms < 0.0 then invalid_arg "Frontend.create: cooldown_ms must be non-negative";
+  if result_cache_bytes < 0 then
+    invalid_arg "Frontend.create: result_cache_bytes must be non-negative";
+  if block_cache_bytes < 0 then
+    invalid_arg "Frontend.create: block_cache_bytes must be non-negative";
   let replicas =
     replicas
     |> List.map (fun spec -> { spec; state = Closed; outcomes = []; opened_at = 0.0 })
@@ -80,11 +87,21 @@ let create ~replicas ~dict ?df_of ~n_docs ~avg_doc_len ~doc_len ?stopwords ?(ste
     on_corrupt;
     corrupt_log = ref [];
     corrupt_seen = Hashtbl.create 8;
+    rcache =
+      (if result_cache_bytes = 0 then None
+       else
+         Some
+           (Result_cache.create ~capacity_bytes:result_cache_bytes ~name:"frontend.results" ()));
+    bcache =
+      (if block_cache_bytes = 0 then None
+       else
+         Some
+           (Util.Block_cache.create ~capacity_bytes:block_cache_bytes ~name:"frontend.blocks" ()));
     now = 0.0;
   }
 
-let of_prepared ?buffers ?hedge_after_ms ?window ?trip_after ?cooldown_ms ?on_corrupt
-    (p : Experiment.prepared) ~names =
+let of_prepared ?buffers ?hedge_after_ms ?window ?trip_after ?cooldown_ms ?result_cache_bytes
+    ?block_cache_bytes ?on_corrupt (p : Experiment.prepared) ~names =
   let catalog = Catalog.load p.Experiment.vfs ~file:p.Experiment.catalog_file in
   let buffers =
     match buffers with Some b -> b | None -> Experiment.default_buffers p
@@ -104,7 +121,8 @@ let of_prepared ?buffers ?hedge_after_ms ?window ?trip_after ?cooldown_ms ?on_co
     ~doc_len:(fun d ->
       if d < 0 || d >= Array.length catalog.Catalog.doc_lens then 0
       else catalog.Catalog.doc_lens.(d))
-    ?hedge_after_ms ?window ?trip_after ?cooldown_ms ?on_corrupt ()
+    ?hedge_after_ms ?window ?trip_after ?cooldown_ms ?result_cache_bytes ?block_cache_bytes
+    ?on_corrupt ()
 
 let replica_names t = Array.to_list t.replicas |> List.map (fun r -> r.spec.name)
 
@@ -184,6 +202,77 @@ let preferred t =
   | Some i -> t.replicas.(i).spec.name
   | None -> t.replicas.(0).spec.name
 
+(* The epoch a cache entry is tagged with: what the replica the next
+   fetch would route to is serving.  Replicas of one image publish the
+   same epoch; a replica serving something else simply never gets cache
+   hits for its answers. *)
+let current_epoch t =
+  let i = match route t with Some i -> i | None -> 0 in
+  t.replicas.(i).spec.store.Index_store.epoch ()
+
+(* The canonical result-cache key: the query re-printed after the same
+   lex/stem normalisation evaluation applies, so surface variants that
+   must rank identically ("Retrieval" vs its stem, a stopword present
+   or absent) share one entry.  k is part of the key; the per-frontend
+   evaluation preset (df_of, stem, stopword list) is fixed at create
+   time, so it needs no key bytes. *)
+let canonical_key t ~top_k query =
+  let norm term =
+    let dropped =
+      match t.stopwords with
+      | Some sw -> Inquery.Stopwords.is_stopword sw term
+      | None -> false
+    in
+    (* A token no tokenizer emits, so dropped terms cannot collide with
+       a real vocabulary word. *)
+    if dropped then "\x00stop" else if t.stem then Inquery.Stemmer.stem term else term
+  in
+  let rec go q =
+    match q with
+    | Inquery.Query.Term s -> Inquery.Query.Term (norm s)
+    | Phrase ts -> Phrase (List.map norm ts)
+    | Od (n, ts) -> Od (n, List.map norm ts)
+    | Uw (n, ts) -> Uw (n, List.map norm ts)
+    | Syn ts -> Syn (List.map norm ts)
+    | Sum qs -> Sum (List.map go qs)
+    | Wsum ws -> Wsum (List.map (fun (w, c) -> (w, go c)) ws)
+    | And qs -> And (List.map go qs)
+    | Or qs -> Or (List.map go qs)
+    | Not c -> Not (go c)
+    | Max qs -> Max (List.map go qs)
+  in
+  Printf.sprintf "%s|k=%d" (Inquery.Query.to_string (go query)) top_k
+
+(* Budget charge for a cached ranking: one doc id + one score per entry
+   plus list/node overhead, and the key's own bytes. *)
+let ranked_cost ~key ranked = (40 * List.length ranked) + String.length key + 64
+
+let cache_tiers t =
+  let result_tier =
+    match t.rcache with Some rc -> [ ("result", Result_cache.stats rc) ] | None -> []
+  in
+  let block_tier =
+    match t.bcache with Some bc -> [ ("block", Util.Block_cache.stats bc) ] | None -> []
+  in
+  let buffer_tier =
+    let per_replica =
+      Array.to_list t.replicas
+      |> List.concat_map (fun r -> List.map snd (r.spec.store.Index_store.buffer_stats ()))
+    in
+    [ ("buffer", Mneme.Buffer_pool.merge_stats per_replica) ]
+  in
+  result_tier @ block_tier @ buffer_tier
+
+let retain_cached_epochs t ~keep =
+  let r = match t.rcache with Some rc -> Result_cache.retain rc ~keep | None -> 0 in
+  let b = match t.bcache with Some bc -> Util.Block_cache.retain bc ~keep | None -> 0 in
+  r + b
+
+let cached_epochs t =
+  let r = match t.rcache with Some rc -> Result_cache.epochs rc | None -> [] in
+  let b = match t.bcache with Some bc -> Util.Block_cache.epochs bc | None -> [] in
+  List.sort_uniq compare (r @ b)
+
 (* One fetch against one replica, timed on that replica's clock.
    Corruption is kept distinct from a dead device: a corrupt segment is
    repairable from a peer and worth reporting to the repair queue. *)
@@ -234,6 +323,40 @@ let run_query ?(top_k = 100) ?deadline_ms ?floor t query =
   (match deadline_ms with
   | Some d when d <= 0.0 -> invalid_arg "Frontend.run_query: deadline must be positive"
   | _ -> ());
+  let epoch_now = current_epoch t in
+  (* A floor changes which documents the evaluator may return, so
+     floored queries bypass the result cache in both directions. *)
+  let ckey =
+    match t.rcache with
+    | Some _ when floor = None -> Some (canonical_key t ~top_k query)
+    | _ -> None
+  in
+  let probe_hit =
+    match (t.rcache, ckey) with
+    | Some rc, Some key ->
+      (* The probe races the deadline like every other step of the
+         query: an already-expired budget is served the degraded-empty
+         way, never from cache. *)
+      let expired = match deadline_ms with Some d -> d <= 0.0 | None -> false in
+      if expired then None else Result_cache.find rc ~key ~epoch:epoch_now
+    | _ -> None
+  in
+  match probe_hit with
+  | Some ranked ->
+    {
+      ranked;
+      degraded = false;
+      deadline_hit = false;
+      skipped_terms = [];
+      failed_terms = [];
+      hedged_fetches = 0;
+      served_by = preferred t;
+      epoch = epoch_now;
+      elapsed_ms = 0.0;
+      postings_decoded = 0;
+      cached = true;
+    }
+  | None ->
   let elapsed = ref 0.0 in
   let skipped = ref [] and failed = ref [] in
   let hedged = ref 0 in
@@ -348,7 +471,9 @@ let run_query ?(top_k = 100) ?deadline_ms ?floor t query =
   in
   let scored, stats, tk =
     Inquery.Infnet.eval_topk source t.dict ?df_of:t.df_of ?floor ?stopwords:t.stopwords
-      ~stem:t.stem ~should_stop ~k:top_k query
+      ~stem:t.stem ~should_stop
+      ?block_cache:(Option.map (fun bc -> (bc, epoch_now)) t.bcache)
+      ~k:top_k query
   in
   let serving =
     let best = ref 0 in
@@ -365,22 +490,40 @@ let run_query ?(top_k = 100) ?deadline_ms ?floor t query =
   Vfs.Clock.charge_engine_cpu (Vfs.clock serving.spec.vfs) cpu_ms;
   advance cpu_ms;
   let skipped_terms = List.rev !skipped and failed_terms = List.rev !failed in
-  {
-    ranked =
-      List.map
-        (fun s -> { Inquery.Ranking.doc = s.Inquery.Infnet.doc; score = s.Inquery.Infnet.belief })
-        scored;
-    degraded =
-      !deadline_hit || tk.Inquery.Infnet.tk_stopped || skipped_terms <> [] || failed_terms <> [];
-    deadline_hit = !deadline_hit;
-    skipped_terms;
-    failed_terms;
-    hedged_fetches = !hedged;
-    served_by = serving.spec.name;
-    epoch = serving.spec.store.Index_store.epoch ();
-    elapsed_ms = !elapsed;
-    postings_decoded = tk.Inquery.Infnet.tk_postings_decoded;
-  }
+  let result =
+    {
+      ranked =
+        List.map
+          (fun s ->
+            { Inquery.Ranking.doc = s.Inquery.Infnet.doc; score = s.Inquery.Infnet.belief })
+          scored;
+      degraded =
+        !deadline_hit || tk.Inquery.Infnet.tk_stopped || skipped_terms <> []
+        || failed_terms <> [];
+      deadline_hit = !deadline_hit;
+      skipped_terms;
+      failed_terms;
+      hedged_fetches = !hedged;
+      served_by = serving.spec.name;
+      epoch = serving.spec.store.Index_store.epoch ();
+      elapsed_ms = !elapsed;
+      postings_decoded = tk.Inquery.Infnet.tk_postings_decoded;
+      cached = false;
+    }
+  in
+  (* Fill, re-checking the deadline and coverage: a ranking the deadline
+     clipped, or that lost terms to skips or failed fetches, is Partial
+     and must never be replayed as a full answer.  An epoch that moved
+     mid-query (the serving replica republished) is not inserted at all
+     — its tag would not match what it was computed from. *)
+  (match (t.rcache, ckey) with
+  | Some rc, Some key when result.epoch = epoch_now ->
+    let coverage = if result.degraded then Result_cache.Partial else Result_cache.Full in
+    Result_cache.insert rc ~key ~epoch:result.epoch ~coverage
+      ~cost:(ranked_cost ~key result.ranked)
+      result.ranked
+  | _ -> ());
+  result
 
 let run_query_string ?top_k ?deadline_ms ?floor t text =
   run_query ?top_k ?deadline_ms ?floor t (Inquery.Query.parse_exn text)

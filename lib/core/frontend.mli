@@ -47,6 +47,8 @@ val create :
   ?window:int ->
   ?trip_after:int ->
   ?cooldown_ms:float ->
+  ?result_cache_bytes:int ->
+  ?block_cache_bytes:int ->
   ?on_corrupt:(replica:string -> term:string -> reason:string -> unit) ->
   unit ->
   t
@@ -67,9 +69,15 @@ val create :
     breaker goes half-open and the next fetch probes the replica:
     success closes the breaker, another stall or failure re-opens it.
     [on_corrupt] fires once per (replica, term) whose fetch raised
-    [Corrupt] — the hook a repair daemon subscribes to.  Raises
-    [Invalid_argument] on an empty or duplicate-name replica list, or
-    nonsensical knobs. *)
+    [Corrupt] — the hook a repair daemon subscribes to.
+
+    [result_cache_bytes] and [block_cache_bytes] (both default 0 =
+    disabled) size the frontend's two read-path caches: a
+    {!Result_cache} of finished rankings keyed by the normalised query
+    (see {!run_query}), and a {!Util.Block_cache} of decoded postings
+    blocks shared across queries and replicas, keyed by record locator
+    and epoch.  Raises [Invalid_argument] on an empty or duplicate-name
+    replica list, or nonsensical knobs. *)
 
 val of_prepared :
   ?buffers:Buffer_sizing.t ->
@@ -77,6 +85,8 @@ val of_prepared :
   ?window:int ->
   ?trip_after:int ->
   ?cooldown_ms:float ->
+  ?result_cache_bytes:int ->
+  ?block_cache_bytes:int ->
   ?on_corrupt:(replica:string -> term:string -> reason:string -> unit) ->
   Experiment.prepared ->
   names:string list ->
@@ -133,7 +143,11 @@ type result = {
   elapsed_ms : float;  (** perceived query latency, CPU included *)
   postings_decoded : int;
       (** postings the evaluator's cursors actually decoded — the
-          scatter-gather bench's per-shard work measure *)
+          scatter-gather bench's per-shard work measure; decoded-block
+          cache hits decode nothing and count nothing *)
+  cached : bool;
+      (** served whole from the result cache: no fetch, no decode, no
+          scoring happened *)
 }
 
 val run_query : ?top_k:int -> ?deadline_ms:float -> ?floor:float -> t -> Inquery.Query.t -> result
@@ -167,8 +181,42 @@ val run_query : ?top_k:int -> ?deadline_ms:float -> ?floor:float -> t -> Inquery
     known kth score (the coordinator's global bound); the result is
     then the top-k among documents scoring {e strictly above} the
     floor, ties at the floor included.  See
-    {!Inquery.Infnet.eval_topk}. *)
+    {!Inquery.Infnet.eval_topk}.
+
+    {b Caching.}  With a result cache enabled, the query is first
+    normalised to a canonical key — terms stemmed and stop-filtered the
+    way evaluation would, re-printed in canonical syntax, [top_k]
+    appended — and probed under the epoch the routed replica serves.  A
+    [Full]-coverage hit is returned immediately with [cached = true]:
+    zero fetches, zero decodes, zero simulated latency.  On a miss the
+    computed ranking is inserted under the epoch it was computed at;
+    degraded results are recorded with [Partial] coverage, which the
+    probe never serves — a deadline-clipped ranking is recomputed, not
+    replayed.  Floored queries bypass the cache entirely (the floor
+    changes the answer).  The probe and the fill both re-check the
+    deadline, so a stalled replica cannot smuggle a blown budget into
+    the cache (see the [Vfs.Fault.Stall] regression test).  The
+    decoded-block cache needs no such care: it changes which bytes are
+    re-decoded, never what any query answers. *)
 
 val run_query_string :
   ?top_k:int -> ?deadline_ms:float -> ?floor:float -> t -> string -> result
 (** Parse and evaluate.  Raises [Invalid_argument] on syntax errors. *)
+
+(** {2 Cache tiers} *)
+
+val cache_tiers : t -> (string * Util.Cache_stats.t) list
+(** Per-tier counters, top down: [("result", …)] and [("block", …)]
+    when the respective cache is enabled, then [("buffer", …)] — the
+    replica buffer pools merged with {!Mneme.Buffer_pool.merge_stats}.
+    The Table-6-style tier report of [repro cache]. *)
+
+val retain_cached_epochs : t -> keep:(int -> bool) -> int
+(** Drop every result- and block-cache entry whose epoch fails [keep];
+    returns how many entries were dropped.  The target of an
+    epoch-publication or post-GC hook
+    ({!Live_index.on_publish}): pass a predicate keeping the live epoch
+    and any pinned ones. *)
+
+val cached_epochs : t -> int list
+(** Distinct epochs tagging entries in either cache, ascending. *)

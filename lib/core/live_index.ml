@@ -46,6 +46,7 @@ type t = {
   mutable total_len : int;
   mutable next_doc_id : int;
   mutable live_meta : string Tmap.t; (* carried into every published root *)
+  mutable publish_hooks : (epoch:int -> unit) list; (* registration order *)
 }
 
 let empty_snapshot epoch =
@@ -158,6 +159,7 @@ let make ?stopwords ?(stem = false) vfs backend dict doc_lengths =
     total_len = !total_len;
     next_doc_id = !next;
     live_meta = Tmap.empty;
+    publish_hooks = [];
   }
 
 let wrap_btree ?stopwords ?stem vfs ~tree ~dict ~doc_lengths =
@@ -442,6 +444,13 @@ let mutate t st f =
   ignore (Mneme.Epoch.publish st.epochs);
   st.snap <- snap;
   st.root_oid <- root;
+  (* Publication hooks fire only once the new epoch is installed and the
+     in-memory handle serves it — the point at which anything cached
+     under an older epoch is officially stale.  {!Ingest.flush_batch}
+     publishes through this same path, so batched ingestion fires them
+     too.  Hook exceptions propagate: the epoch is already durable, and
+     a cache that cannot invalidate must not fail silently. *)
+  List.iter (fun hook -> hook ~epoch:snap.sn_epoch) t.publish_hooks;
   r
 
 (* ------------------------------------------------------------------ *)
@@ -672,6 +681,8 @@ let mneme_state t =
 
 let epoch t =
   match t.backend with Btree_backend _ -> 0 | Mneme_backend st -> Mneme.Epoch.latest st.epochs
+
+let on_publish t hook = t.publish_hooks <- t.publish_hooks @ [ hook ]
 
 let pin t =
   let st = mneme_state t in

@@ -194,6 +194,16 @@ type pin
 val epoch : t -> int
 (** The latest published epoch (0 before any mutation). *)
 
+val on_publish : t -> (epoch:int -> unit) -> unit
+(** Register a hook to run after every epoch publication, with the new
+    epoch, once the new root is installed and the handle serves it —
+    the invalidation point for anything caching under epoch tags
+    ({!Result_cache}, {!Util.Block_cache}): a hook typically calls
+    [retain ~keep:(fun e -> e = epoch || pinned e)].  Hooks run in
+    registration order; {!Ingest} batches publish through the same path
+    and fire them too.  Mneme backend only — B-tree mutations publish
+    no epochs, so hooks never fire there. *)
+
 val pin : t -> pin
 (** Pin the latest published epoch for reading. *)
 

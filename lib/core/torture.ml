@@ -2087,3 +2087,173 @@ let pp_shard_outcome fmt o =
         else Format.fprintf fmt "@.  replay %d: %s" r p)
       o.st_problems
   end
+
+(* ------------------------------------------------------------------ *)
+(* Cache coherence under churn                                         *)
+
+type cache_outcome = {
+  ct_mutations : int;
+  ct_comparisons : int;
+  ct_result_hits : int;
+  ct_block_hits : int;
+  ct_invalidations : int;
+  ct_problems : (int * string) list; (* (mutation, violation); 0 = audit phase *)
+}
+
+let cache_ok o =
+  o.ct_problems = [] && o.ct_result_hits > 0 && o.ct_block_hits > 0 && o.ct_invalidations > 0
+
+let cache_file = "cache.mneme"
+let cache_log = "cache.log"
+
+let run_cache ?(seed = 42) ?(docs = 18) () =
+  if docs < 1 then invalid_arg "Torture.run_cache: docs must be positive";
+  let model =
+    Collections.Docmodel.make ~name:"cache-torture" ~n_docs:docs ~core_vocab:120
+      ~mean_doc_len:30.0 ~hapax_prob:0.05 ~seed ()
+  in
+  let doc_arr = Array.of_seq (Collections.Synth.documents model) in
+  let vfs = Vfs.create () in
+  Vfs.set_fault vfs (Vfs.Fault.none ());
+  let live = Live_index.create_mneme ~journal:cache_log vfs ~file:cache_file () in
+  let rc = Result_cache.create ~capacity_bytes:(1 lsl 16) ~name:"torture.results" () in
+  let bc = Util.Block_cache.create ~capacity_bytes:(1 lsl 18) ~name:"torture.blocks" () in
+  let pins = ref [] in
+  (* newest first *)
+  let pinned_epochs () = List.map fst !pins in
+  let rc_hook_drops = ref 0 in
+  (* The publication hook, exactly as a serving frontend would register
+     it: decoded blocks of any epoch no pin protects are dead the moment
+     a new epoch publishes.  Results get a one-epoch grace window on
+     purpose, so stale entries survive into the next epoch and the
+     probe-time epoch check has something to purge — both invalidation
+     mechanisms run in every churn step. *)
+  Live_index.on_publish live (fun ~epoch ->
+      ignore
+        (Util.Block_cache.retain bc ~keep:(fun e ->
+             e = epoch || List.mem e (pinned_epochs ())));
+      rc_hook_drops := !rc_hook_drops + Result_cache.retain rc ~keep:(fun e -> e >= epoch - 1));
+  (* Stable term ids for block-cache keys: within one epoch a term has
+     exactly one record, so (term id, block, epoch) uniquely names the
+     decoded bytes — the same reasoning the frontend applies with Mneme
+     locators. *)
+  let term_ids = Hashtbl.create 64 in
+  let term_id term =
+    match Hashtbl.find_opt term_ids term with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length term_ids in
+      Hashtbl.add term_ids term i;
+      i
+  in
+  let problems = ref [] in
+  let note m fmt = Printf.ksprintf (fun s -> problems := (m, s) :: !problems) fmt in
+  let comparisons = ref 0 in
+  let stream ?cache record =
+    let c = Inquery.Postings.cursor ?cache record in
+    let acc = ref [] in
+    while Inquery.Postings.cur_doc c <> max_int do
+      acc := (Inquery.Postings.cur_doc c, Inquery.Postings.cur_tf c) :: !acc;
+      Inquery.Postings.cursor_next c
+    done;
+    List.rev !acc
+  in
+  (* Read a pinned epoch through the block cache and bit-compare every
+     (doc, tf) against a plain uncached decode of the same record. *)
+  let audit_pin m (e, p) =
+    List.iter
+      (fun (term, _, _) ->
+        match Live_index.pin_lookup live p term with
+        | None -> ()
+        | Some (record, _, _) ->
+          incr comparisons;
+          if stream ~cache:(bc, term_id term, e) record <> stream record then
+            note m "pinned epoch %d: term %S reads differently through the block cache" e term)
+      (List.filteri (fun i _ -> i < 4) (Live_index.pin_directory p))
+  in
+  (* One pass over the query set: the uncached latest-view search is the
+     oracle; a probe that hits must be bit-identical, a miss fills. *)
+  let query_pass m ~expect_hits =
+    let epoch = Live_index.epoch live in
+    List.iteri
+      (fun qi q ->
+        incr comparisons;
+        let golden = score_fingerprint (Live_index.search ~top_k:10 live q) in
+        let key = Printf.sprintf "%s|k=10" q in
+        match Result_cache.find rc ~key ~epoch with
+        | Some cached ->
+          if cached <> golden then
+            note m "query %d: cached ranking diverges from uncached at epoch %d" qi epoch
+        | None ->
+          if expect_hits then note m "query %d: entry filled this epoch did not hit" qi
+          else
+            Result_cache.insert rc ~key ~epoch ~coverage:Result_cache.Full
+              ~cost:(64 + (40 * List.length golden))
+              golden)
+      epoch_queries
+  in
+  let ids = Array.make (Array.length doc_arr) (-1) in
+  let m = ref 0 in
+  let step mutate =
+    incr m;
+    mutate ();
+    query_pass !m ~expect_hits:false;
+    query_pass !m ~expect_hits:true;
+    if !m mod 4 = 1 then pins := (Live_index.epoch live, Live_index.pin live) :: !pins;
+    List.iter (audit_pin !m) !pins
+  in
+  Array.iteri
+    (fun d doc ->
+      step (fun () ->
+          ids.(d) <-
+            Live_index.add_document live ~doc_id:doc.Collections.Synth.id
+              (Collections.Synth.document_text doc));
+      if d mod 3 = 2 then step (fun () -> ignore (Live_index.delete_document live ids.(d - 2))))
+    doc_arr;
+  (* Audit phase: gc under pins must leave pinned epochs readable
+     through the cache, and no cache may hold an epoch the collector
+     reclaimed. *)
+  let live_epoch = Live_index.epoch live in
+  ignore (Live_index.gc live);
+  List.iter (audit_pin 0) !pins;
+  let allowed = live_epoch :: pinned_epochs () in
+  List.iter
+    (fun e ->
+      if not (List.mem e allowed) then
+        note 0 "block cache holds collected epoch %d after gc under pins" e)
+    (Util.Block_cache.epochs bc);
+  List.iter (fun (_, p) -> Live_index.release live p) !pins;
+  ignore (Live_index.gc live);
+  ignore (Util.Block_cache.retain bc ~keep:(fun e -> e = live_epoch));
+  ignore (Result_cache.retain rc ~keep:(fun e -> e = live_epoch));
+  List.iter
+    (fun e -> if e <> live_epoch then note 0 "cache holds epoch %d after the final purge" e)
+    (Util.Block_cache.epochs bc @ Result_cache.epochs rc);
+  (* The grace window means probe-time purges must have fired over and
+     above the hook's drops. *)
+  let rc_stats = Result_cache.stats rc and bc_stats = Util.Block_cache.stats bc in
+  if rc_stats.Util.Cache_stats.invalidations <= !rc_hook_drops then
+    note 0 "probe-time epoch check never purged a stale result";
+  {
+    ct_mutations = !m;
+    ct_comparisons = !comparisons;
+    ct_result_hits = rc_stats.Util.Cache_stats.hits;
+    ct_block_hits = bc_stats.Util.Cache_stats.hits;
+    ct_invalidations =
+      rc_stats.Util.Cache_stats.invalidations + bc_stats.Util.Cache_stats.invalidations;
+    ct_problems = List.rev !problems;
+  }
+
+let pp_cache_outcome fmt o =
+  Format.fprintf fmt
+    "%d mutations, %d cached-vs-uncached comparisons: %d result hits, %d block hits, %d \
+     invalidations"
+    o.ct_mutations o.ct_comparisons o.ct_result_hits o.ct_block_hits o.ct_invalidations;
+  if o.ct_problems <> [] then begin
+    Format.fprintf fmt "@.%d problem(s):" (List.length o.ct_problems);
+    List.iter
+      (fun (m, p) ->
+        if m = 0 then Format.fprintf fmt "@.  audit: %s" p
+        else Format.fprintf fmt "@.  mutation %d: %s" m p)
+      o.ct_problems
+  end

@@ -482,3 +482,44 @@ val run_shard :
     non-positive counts or more shards than documents. *)
 
 val pp_shard_outcome : Format.formatter -> shard_outcome -> unit
+
+(** {1 Cache coherence under churn}
+
+    The tiered-cache torture: a journaled Mneme live index under an
+    add/delete churn workload, with a query-result cache and a
+    decoded-block cache riding the epoch-publication hook
+    ({!Live_index.on_publish}) the way a serving frontend would.  At
+    every published epoch the harness compares the cached read path
+    against the uncached one bit-for-bit:
+
+    - every result-cache hit must equal the uncached latest-view
+      ranking, and every entry filled at an epoch must hit for the rest
+      of that epoch;
+    - every pinned epoch, read through the shared block cache while
+      later mutations and a gc run under the pins, must stream exactly
+      the (doc, tf) pairs of a private uncached decode;
+    - after gc, no cache holds an entry tagged with a collected epoch;
+    - both invalidation mechanisms fire: the publication hook's eager
+      drop and the probe-time epoch-mismatch purge (the harness gives
+      results a one-epoch grace window precisely so the latter has
+      stale entries to catch). *)
+
+type cache_outcome = {
+  ct_mutations : int;
+  ct_comparisons : int;  (** cached-vs-uncached rankings / streams compared *)
+  ct_result_hits : int;
+  ct_block_hits : int;
+  ct_invalidations : int;  (** hook drops + probe-time purges, both caches *)
+  ct_problems : (int * string) list;  (** (mutation, violation); 0 = audit phase *)
+}
+
+val cache_ok : cache_outcome -> bool
+(** No problems, and the run actually exercised the machinery: at least
+    one hit in each cache and at least one invalidation. *)
+
+val run_cache : ?seed:int -> ?docs:int -> unit -> cache_outcome
+(** Run the churn (defaults: seed 42, 18 documents — roughly 24
+    published epochs).  Raises [Invalid_argument] on a non-positive
+    document count. *)
+
+val pp_cache_outcome : Format.formatter -> cache_outcome -> unit

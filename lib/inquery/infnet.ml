@@ -482,7 +482,7 @@ let linear_shape query =
   | _ -> None
 
 let eval_topk source dict ?df_of ?floor ?stopwords ?(stem = false) ?(audit = false)
-    ?(exhaustive = false) ?(should_stop = fun (_ : stats) -> false) ~k query =
+    ?(exhaustive = false) ?(should_stop = fun (_ : stats) -> false) ?block_cache ~k query =
   if k < 0 then invalid_arg "Infnet.eval_topk: negative k";
   (match floor with
   | Some f when not (Float.is_finite f) -> invalid_arg "Infnet.eval_topk: floor must be finite"
@@ -557,8 +557,17 @@ let eval_topk source dict ?df_of ?floor ?stopwords ?(stem = false) ?(audit = fal
                let tf_bound = if mtf > 0.0 then mtf /. (mtf +. 0.5) else 1.0 in
                let idf = idf_weight ~n_docs:source.n_docs ~df in
                let ub = default_belief +. (0.6 *. tf_bound *. idf) in
-               { lc_weight = w; lc_cur = Some (Postings.cursor record); lc_df = df; lc_ub = ub;
-                 lc_coeff = w *. 0.6 *. idf /. norm; lc_mtf = mtf })
+               (* Blocks are shared across queries keyed by the record's
+                  stable locator; entries without one (locator < 0, e.g.
+                  B-tree-resident records) bypass the cache. *)
+               let cache =
+                 match block_cache with
+                 | Some (bc, epoch) when entry.Dictionary.locator >= 0 ->
+                   Some (bc, entry.Dictionary.locator, epoch)
+                 | _ -> None
+               in
+               { lc_weight = w; lc_cur = Some (Postings.cursor ?cache record); lc_df = df;
+                 lc_ub = ub; lc_coeff = w *. 0.6 *. idf /. norm; lc_mtf = mtf })
            children)
     in
     (* The no-evidence score, by the same fold eval_daat uses. *)

@@ -111,6 +111,7 @@ val eval_topk :
   ?audit:bool ->
   ?exhaustive:bool ->
   ?should_stop:(stats -> bool) ->
+  ?block_cache:Util.Block_cache.t * int ->
   k:int ->
   Query.t ->
   scored list * stats * topk_stats
@@ -151,4 +152,11 @@ val eval_topk :
     postings blocks, not between whole terms), with the evaluation
     counters accrued so far — enough to price the work against a
     deadline; when it fires, evaluation stops and the heap contents so
-    far are returned with [tk_stopped = true]. *)
+    far are returned with [tk_stopped = true].
+    @param block_cache [(cache, epoch)]: share decoded postings blocks
+    across queries through a {!Util.Block_cache}, keyed by each term
+    record's dictionary locator and the given epoch.  Only leaves whose
+    entry carries a stable locator ([>= 0]) participate; others decode
+    privately as before.  Results are unaffected — a hit returns the
+    same arrays the decoder would produce — but cache hits are not
+    counted in [tk_postings_decoded]. *)

@@ -7,22 +7,40 @@ type doc_postings = { doc : int; positions : int list }
      [df] [cf] then per document: [doc gap] [tf] [tf position gaps].
 
    v2 (skip-block layout, what the encoder now emits):
-     0x80 0x02                                  version sentinel
+     0x80 TAG                                   version sentinel
      [df] [cf] [max_tf] [n_blocks] [skip_len]   header
      skip table (skip_len bytes): per block
        [last-doc delta] [doc-region bytes] [pos-region bytes]
      [doc_len]                                  doc-region byte length
-     doc region (doc_len bytes): per document [doc gap] [tf]
+     doc region (doc_len bytes): per-block (doc, tf) data, TAG-coded
      pos region (to end of record): per document [tf position gaps]
 
-   Splitting (doc, tf) pairs from position gaps means document-level
-   scans never touch position bytes, and the skip table lets a cursor
-   jump whole blocks of both regions.
+   The doc region comes in three compression tiers, chosen by df and
+   named by the sentinel's second byte:
+
+     TAG 0x02 (v-byte): per document [doc gap] [tf], v-byte coded,
+       gaps continuing across block boundaries — the original v2
+       layout, byte-identical to what earlier builds wrote.
+     TAG 0x03 (raw): per document a fixed-width pair [doc gap:u32le]
+       [tf:u32le].  Small records don't amortize variable-length
+       decoding (their bytes are noise next to the per-object
+       overhead), so decode becomes two aligned reads per posting.
+     TAG 0x04 (cold): per block [gap width:u8] [tf width:u8], then all
+       doc gaps bit-packed at the gap width, then all (tf - 1) values
+       bit-packed at the tf width, each group padded to a byte
+       boundary.  Long-tail records dominate the index's bytes and
+       their hot blocks sit in the decoded-block cache anyway, so they
+       trade decode arithmetic for the tightest packing: the widths are
+       exactly the bits of the block's largest value.
+
+   Positions are v-byte in every tier.  Splitting (doc, tf) pairs from
+   position gaps means document-level scans never touch position bytes,
+   and the skip table lets a cursor jump whole blocks of both regions.
 
    Version sniffing: every byte is a valid v1 varint start, but a v1
    record beginning with 0x80 codes df = 0, which the v1 encoder only
    ever produced as the empty record [0x80 0x80] — whose second byte is
-   0x80, never 0x02.  So [0x80 0x02] is unambiguous. *)
+   0x80, never 0x02/0x03/0x04.  So the sentinels are unambiguous. *)
 (* ------------------------------------------------------------------ *)
 
 let block_size = 128
@@ -33,11 +51,42 @@ let block_size = 128
    stays intact.  Readers sniff versions, so the cutoff is invisible. *)
 let v1_cutoff_df = 8
 
-let v2_tag0 = '\x80'
-let v2_tag1 = '\x02'
+(* Compression ladder cutoffs (half-open on the right):
+   df in [v1_cutoff_df, raw_cutoff_df)    -> raw tier
+   df in [raw_cutoff_df, cold_cutoff_df)  -> v-byte tier
+   df in [cold_cutoff_df, inf)            -> cold tier *)
+let raw_cutoff_df = 64
+let cold_cutoff_df = 1024
 
-let version b =
-  if Bytes.length b >= 2 && Bytes.get b 0 = v2_tag0 && Bytes.get b 1 = v2_tag1 then 2 else 1
+type tier = V1 | Raw | Vbyte | Cold
+
+let v2_tag0 = '\x80'
+let tag_vbyte = '\x02'
+let tag_raw = '\x03'
+let tag_cold = '\x04'
+
+let tier b =
+  if Bytes.length b >= 2 && Bytes.get b 0 = v2_tag0 then
+    match Bytes.get b 1 with
+    | c when c = tag_vbyte -> Vbyte
+    | c when c = tag_raw -> Raw
+    | c when c = tag_cold -> Cold
+    | _ -> V1
+  else V1
+
+let version b = if tier b = V1 then 1 else 2
+
+let tier_of_df df =
+  if df < v1_cutoff_df then V1
+  else if df < raw_cutoff_df then Raw
+  else if df < cold_cutoff_df then Vbyte
+  else Cold
+
+let tier_name = function V1 -> "v1" | Raw -> "raw" | Vbyte -> "vbyte" | Cold -> "cold"
+
+let bits_needed v =
+  let rec go v n = if v = 0 then n else go (v lsr 1) (n + 1) in
+  go v 0
 
 (* ------------------------------------------------------------------ *)
 (* Encoders                                                            *)
@@ -70,9 +119,68 @@ let encode_v1 entries =
     entries;
   Buffer.to_bytes buf
 
+(* One raw-tier posting: aligned fixed-width pair. *)
+let emit_raw_pair buf ~gap ~tf =
+  if gap > 0xFFFFFFFF || tf > 0xFFFFFFFF then
+    invalid_arg "Postings.encode: value exceeds raw-tier width";
+  Buffer.add_int32_le buf (Int32.of_int gap);
+  Buffer.add_int32_le buf (Int32.of_int tf)
+
+(* One cold-tier block over gaps.(lo..hi-1) / tfs.(lo..hi-1): width
+   header bytes, bit-packed gaps, bit-packed (tf - 1)s, each group
+   byte-aligned (zero padding — validate checks it stayed zero). *)
+let emit_cold_block buf gaps tfs lo hi =
+  let gmax = ref 0 and tmax = ref 0 in
+  for i = lo to hi - 1 do
+    if gaps.(i) > !gmax then gmax := gaps.(i);
+    if tfs.(i) - 1 > !tmax then tmax := tfs.(i) - 1
+  done;
+  let gb = bits_needed !gmax and tb = bits_needed !tmax in
+  Buffer.add_char buf (Char.chr gb);
+  Buffer.add_char buf (Char.chr tb);
+  let w = Util.Bitio.Writer.create () in
+  for i = lo to hi - 1 do
+    Util.Bitio.Writer.bits w ~value:gaps.(i) ~width:gb
+  done;
+  Buffer.add_bytes buf (Util.Bitio.Writer.to_bytes w);
+  let w = Util.Bitio.Writer.create () in
+  for i = lo to hi - 1 do
+    Util.Bitio.Writer.bits w ~value:(tfs.(i) - 1) ~width:tb
+  done;
+  Buffer.add_bytes buf (Util.Bitio.Writer.to_bytes w)
+
+(* Assemble a full v2 record from its parts.  [marks] are per-block
+   (last doc id, cumulative doc-region bytes, cumulative pos-region
+   bytes), one entry per block including the final partial one. *)
+let emit_v2 ~tag ~df ~cf ~max_tf ~marks ~doc_region ~pos_region =
+  let skip_buf = Buffer.create 32 in
+  let prev = ref (-1) and prev_d = ref 0 and prev_p = ref 0 in
+  List.iter
+    (fun (last_doc, d, p) ->
+      Util.Varint.encode skip_buf (if !prev < 0 then last_doc else last_doc - !prev);
+      Util.Varint.encode skip_buf (d - !prev_d);
+      Util.Varint.encode skip_buf (p - !prev_p);
+      prev := last_doc;
+      prev_d := d;
+      prev_p := p)
+    marks;
+  let out = Buffer.create 64 in
+  Buffer.add_char out v2_tag0;
+  Buffer.add_char out tag;
+  Util.Varint.encode out df;
+  Util.Varint.encode out cf;
+  Util.Varint.encode out max_tf;
+  Util.Varint.encode out (List.length marks);
+  Util.Varint.encode out (Buffer.length skip_buf);
+  Buffer.add_buffer out skip_buf;
+  Util.Varint.encode out (Buffer.length doc_region);
+  Buffer.add_buffer out doc_region;
+  Buffer.add_buffer out pos_region;
+  Buffer.to_bytes out
+
 module Builder = struct
   type t = {
-    doc_buf : Buffer.t;
+    doc_buf : Buffer.t; (* v-byte (gap, tf) stream while building *)
     pos_buf : Buffer.t;
     mutable last_doc : int;
     mutable df : int;
@@ -121,38 +229,58 @@ module Builder = struct
     if t.df mod block_size = 0 then
       t.marks <- (doc, Buffer.length t.doc_buf, Buffer.length t.pos_buf) :: t.marks
 
-  let finish_v2 t =
-    let marks =
-      if t.df = 0 || t.df mod block_size = 0 then List.rev t.marks
-      else List.rev ((t.last_doc, Buffer.length t.doc_buf, Buffer.length t.pos_buf) :: t.marks)
-    in
-    let skip_buf = Buffer.create 32 in
-    let prev = ref (-1) and prev_d = ref 0 and prev_p = ref 0 in
+  let final_marks t =
+    if t.df = 0 || t.df mod block_size = 0 then List.rev t.marks
+    else List.rev ((t.last_doc, Buffer.length t.doc_buf, Buffer.length t.pos_buf) :: t.marks)
+
+  (* The building stream is v-byte; recover the plain (gap, tf) arrays
+     when finishing into a fixed-width or bit-packed tier. *)
+  let gap_arrays t =
+    let b = Buffer.to_bytes t.doc_buf in
+    let gaps = Array.make t.df 0 and tfs = Array.make t.df 0 in
+    let pos = ref 0 in
+    for i = 0 to t.df - 1 do
+      let gap, p = Util.Varint.decode b ~pos:!pos in
+      let tf, p = Util.Varint.decode b ~pos:p in
+      gaps.(i) <- gap;
+      tfs.(i) <- tf;
+      pos := p
+    done;
+    (gaps, tfs)
+
+  let finish_vbyte t =
+    emit_v2 ~tag:tag_vbyte ~df:t.df ~cf:t.cf ~max_tf:t.max_tf ~marks:(final_marks t)
+      ~doc_region:t.doc_buf ~pos_region:t.pos_buf
+
+  (* Re-emit the doc region block by block in the target tier; block
+     boundaries (and so last-doc ids and pos-region bytes) are identical
+     to the v-byte layout's, only the doc-byte counts change. *)
+  let finish_packed t tag =
+    let gaps, tfs = gap_arrays t in
+    let vmarks = final_marks t in
+    let doc_region = Buffer.create (8 * t.df) in
+    let marks = ref [] and lo = ref 0 in
     List.iter
-      (fun (last_doc, d, p) ->
-        Util.Varint.encode skip_buf (if !prev < 0 then last_doc else last_doc - !prev);
-        Util.Varint.encode skip_buf (d - !prev_d);
-        Util.Varint.encode skip_buf (p - !prev_p);
-        prev := last_doc;
-        prev_d := d;
-        prev_p := p)
-      marks;
-    let out = Buffer.create 64 in
-    Buffer.add_char out v2_tag0;
-    Buffer.add_char out v2_tag1;
-    Util.Varint.encode out t.df;
-    Util.Varint.encode out t.cf;
-    Util.Varint.encode out t.max_tf;
-    Util.Varint.encode out (List.length marks);
-    Util.Varint.encode out (Buffer.length skip_buf);
-    Buffer.add_buffer out skip_buf;
-    Util.Varint.encode out (Buffer.length t.doc_buf);
-    Buffer.add_buffer out t.doc_buf;
-    Buffer.add_buffer out t.pos_buf;
-    Buffer.to_bytes out
+      (fun (last_doc, _, pcum) ->
+        let hi = min (!lo + block_size) t.df in
+        (match tag with
+        | c when c = tag_raw ->
+          for i = !lo to hi - 1 do
+            emit_raw_pair doc_region ~gap:gaps.(i) ~tf:tfs.(i)
+          done
+        | _ -> emit_cold_block doc_region gaps tfs !lo hi);
+        marks := (last_doc, Buffer.length doc_region, pcum) :: !marks;
+        lo := hi)
+      vmarks;
+    emit_v2 ~tag ~df:t.df ~cf:t.cf ~max_tf:t.max_tf ~marks:(List.rev !marks)
+      ~doc_region ~pos_region:t.pos_buf
 
   let finish t =
-    if t.df < v1_cutoff_df then encode_v1 (List.rev t.head) else finish_v2 t
+    match tier_of_df t.df with
+    | V1 -> encode_v1 (List.rev t.head)
+    | Vbyte -> finish_vbyte t
+    | Raw -> finish_packed t tag_raw
+    | Cold -> finish_packed t tag_cold
 end
 
 let encode entries =
@@ -225,6 +353,111 @@ let parse_skips b lay =
   skips
 
 (* ------------------------------------------------------------------ *)
+(* Block decoding (shared by the folds, the cursor and validate)       *)
+(* ------------------------------------------------------------------ *)
+
+let docs_in_block lay i =
+  if i = lay.l_blocks - 1 then lay.l_df - (i * block_size) else block_size
+
+let get_u32le b pos = Int32.to_int (Bytes.get_int32_le b pos) land 0xFFFFFFFF
+
+(* Decode block [i]'s absolute doc ids and tfs into fresh arrays.  Gaps
+   restart from the previous block's last doc id in every tier, so one
+   block decodes independently given the skip table. *)
+let decode_block b ~tr ~lay ~(skips : skip array) i =
+  let n = docs_in_block lay i in
+  let prev_last = if i = 0 then -1 else skips.(i - 1).sk_last_doc in
+  let sk = skips.(i) in
+  let docs = Array.make n 0 and tfs = Array.make n 0 in
+  (match tr with
+  | Vbyte ->
+    let pos = ref sk.sk_doc_off and doc = ref prev_last in
+    for j = 0 to n - 1 do
+      let gap, p = Util.Varint.decode b ~pos:!pos in
+      doc := (if !doc < 0 then gap else !doc + gap);
+      let tf, p = Util.Varint.decode b ~pos:p in
+      pos := p;
+      docs.(j) <- !doc;
+      tfs.(j) <- tf
+    done
+  | Raw ->
+    let doc = ref prev_last in
+    for j = 0 to n - 1 do
+      let off = sk.sk_doc_off + (8 * j) in
+      let gap = get_u32le b off in
+      doc := (if !doc < 0 then gap else !doc + gap);
+      docs.(j) <- !doc;
+      tfs.(j) <- get_u32le b (off + 4)
+    done
+  | Cold ->
+    let gb = Char.code (Bytes.get b sk.sk_doc_off) in
+    let tb = Char.code (Bytes.get b (sk.sk_doc_off + 1)) in
+    let gbytes = ((n * gb) + 7) / 8 in
+    let r = Util.Bitio.Reader.of_sub b ~pos:(sk.sk_doc_off + 2) ~len:gbytes in
+    let doc = ref prev_last in
+    for j = 0 to n - 1 do
+      let gap = Util.Bitio.Reader.bits r ~width:gb in
+      doc := (if !doc < 0 then gap else !doc + gap);
+      docs.(j) <- !doc
+    done;
+    let tbytes = ((n * tb) + 7) / 8 in
+    let r = Util.Bitio.Reader.of_sub b ~pos:(sk.sk_doc_off + 2 + gbytes) ~len:tbytes in
+    for j = 0 to n - 1 do
+      tfs.(j) <- 1 + Util.Bitio.Reader.bits r ~width:tb
+    done
+  | V1 -> invalid_arg "Postings.decode_block: v1 record");
+  (docs, tfs)
+
+(* Sequential (doc, tf) fold over a v2 record, dispatching on tier.
+   Deliberately reads only the doc region — every tier's blocks are
+   self-delimiting (v-byte and raw by construction, cold via its width
+   header bytes), so a corrupted skip table cannot disturb a scan; only
+   the seeking cursor trusts the skip table. *)
+let fold_docs_v2 b ~tr ~lay ~init ~f =
+  let acc = ref init in
+  (match tr with
+  | Vbyte ->
+    let pos = ref lay.l_doc_off and doc = ref (-1) in
+    for _ = 1 to lay.l_df do
+      let gap, p = Util.Varint.decode b ~pos:!pos in
+      doc := (if !doc < 0 then gap else !doc + gap);
+      let tf, p = Util.Varint.decode b ~pos:p in
+      pos := p;
+      acc := f !acc ~doc:!doc ~tf
+    done
+  | Raw ->
+    let doc = ref (-1) in
+    for j = 0 to lay.l_df - 1 do
+      let off = lay.l_doc_off + (8 * j) in
+      let gap = get_u32le b off in
+      doc := (if !doc < 0 then gap else !doc + gap);
+      acc := f !acc ~doc:!doc ~tf:(get_u32le b (off + 4))
+    done
+  | Cold ->
+    let pos = ref lay.l_doc_off and doc = ref (-1) and remaining = ref lay.l_df in
+    while !remaining > 0 do
+      let n = min block_size !remaining in
+      let gb = Char.code (Bytes.get b !pos) in
+      let tb = Char.code (Bytes.get b (!pos + 1)) in
+      let gbytes = ((n * gb) + 7) / 8 and tbytes = ((n * tb) + 7) / 8 in
+      let docs = Array.make n 0 in
+      let r = Util.Bitio.Reader.of_sub b ~pos:(!pos + 2) ~len:gbytes in
+      for j = 0 to n - 1 do
+        let gap = Util.Bitio.Reader.bits r ~width:gb in
+        doc := (if !doc < 0 then gap else !doc + gap);
+        docs.(j) <- !doc
+      done;
+      let r = Util.Bitio.Reader.of_sub b ~pos:(!pos + 2 + gbytes) ~len:tbytes in
+      for j = 0 to n - 1 do
+        acc := f !acc ~doc:docs.(j) ~tf:(1 + Util.Bitio.Reader.bits r ~width:tb)
+      done;
+      pos := !pos + 2 + gbytes + tbytes;
+      remaining := !remaining - n
+    done
+  | V1 -> assert false);
+  !acc
+
+(* ------------------------------------------------------------------ *)
 (* Decoders (version-sniffing)                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -250,23 +483,16 @@ let skip_table_region b =
   end
   else None
 
-let fold_docs b ~init ~f =
+let doc_region b =
   if version b = 2 then begin
     let lay = parse_layout b in
-    (* (doc, tf) pairs live in their own region: no position bytes are
-       ever scanned here — the v2 payoff for document-level evaluation. *)
-    let rec go k pos doc acc =
-      if k = 0 then acc
-      else begin
-        let gap, pos = Util.Varint.decode b ~pos in
-        let doc = if doc < 0 then gap else doc + gap in
-        let tf, pos = Util.Varint.decode b ~pos in
-        go (k - 1) pos doc (f acc ~doc ~tf)
-      end
-    in
-    go lay.l_df lay.l_doc_off (-1) init
+    Some (lay.l_doc_off, lay.l_doc_len)
   end
-  else begin
+  else None
+
+let fold_docs b ~init ~f =
+  match tier b with
+  | V1 ->
     let df, pos = Util.Varint.decode b ~pos:0 in
     let _cf, pos = Util.Varint.decode b ~pos in
     let rec go k pos doc acc =
@@ -284,7 +510,7 @@ let fold_docs b ~init ~f =
       end
     in
     go df pos (-1) init
-  end
+  | tr -> fold_docs_v2 b ~tr ~lay:(parse_layout b) ~init ~f
 
 let read_positions b ~pos ~tf =
   let rec read n pos last acc_ps =
@@ -298,21 +524,8 @@ let read_positions b ~pos ~tf =
   read tf pos (-1) []
 
 let fold_positions b ~init ~f =
-  if version b = 2 then begin
-    let lay = parse_layout b in
-    let rec go k dpos ppos doc acc =
-      if k = 0 then acc
-      else begin
-        let gap, dpos = Util.Varint.decode b ~pos:dpos in
-        let doc = if doc < 0 then gap else doc + gap in
-        let tf, dpos = Util.Varint.decode b ~pos:dpos in
-        let positions, ppos = read_positions b ~pos:ppos ~tf in
-        go (k - 1) dpos ppos doc (f acc { doc; positions })
-      end
-    in
-    go lay.l_df lay.l_doc_off lay.l_pos_off (-1) init
-  end
-  else begin
+  match tier b with
+  | V1 ->
     let df, pos = Util.Varint.decode b ~pos:0 in
     let _cf, pos = Util.Varint.decode b ~pos in
     let rec go k pos doc acc =
@@ -326,7 +539,15 @@ let fold_positions b ~init ~f =
       end
     in
     go df pos (-1) init
-  end
+  | tr ->
+    let lay = parse_layout b in
+    (* The doc stream and the position stream advance in lockstep: the
+       pos region is tier-independent v-byte, one gap run per doc. *)
+    let ppos = ref lay.l_pos_off in
+    fold_docs_v2 b ~tr ~lay ~init ~f:(fun acc ~doc ~tf ->
+        let positions, p = read_positions b ~pos:!ppos ~tf in
+        ppos := p;
+        f acc { doc; positions })
 
 let decode b = List.rev (fold_positions b ~init:[] ~f:(fun acc dp -> dp :: acc))
 
@@ -355,8 +576,90 @@ exception Bad of string
 
 let check cond msg = if not cond then raise (Bad msg)
 
+(* Walk one block's slice of the position region: tf ascending gap runs
+   must tile the block's sk_pos_len exactly. *)
+let validate_block_positions b sk tfs i =
+  let ppos = ref sk.sk_pos_off in
+  Array.iter
+    (fun tf ->
+      let last_p = ref (-1) in
+      for _ = 1 to tf do
+        let pgap, p = Util.Varint.decode b ~pos:!ppos in
+        check (if !last_p < 0 then pgap >= 0 else pgap >= 1) "position gaps not strictly ascending";
+        last_p := pgap;
+        ppos := p
+      done)
+    tfs;
+  check (!ppos = sk.sk_pos_off + sk.sk_pos_len)
+    (Printf.sprintf "block %d pos bytes %d <> skip entry %d" i (!ppos - sk.sk_pos_off) sk.sk_pos_len)
+
+(* Per-tier walk of one block's doc bytes: re-derive the (gap, tf)
+   sequence with every structural invariant checked, so a single
+   flipped bit anywhere in the region (payload, width headers or
+   padding) trips at least one check. *)
+let validate_block_docs b ~tr ~prev_doc sk in_block i =
+  let gaps = Array.make in_block 0 and tfs = Array.make in_block 0 in
+  (match tr with
+  | Vbyte ->
+    let dpos = ref sk.sk_doc_off in
+    for j = 0 to in_block - 1 do
+      let gap, p = Util.Varint.decode b ~pos:!dpos in
+      let tf, p = Util.Varint.decode b ~pos:p in
+      check (p <= sk.sk_doc_off + sk.sk_doc_len) "doc entry overruns block";
+      dpos := p;
+      gaps.(j) <- gap;
+      tfs.(j) <- tf
+    done;
+    check (!dpos = sk.sk_doc_off + sk.sk_doc_len)
+      (Printf.sprintf "block %d doc bytes %d <> skip entry %d" i (!dpos - sk.sk_doc_off) sk.sk_doc_len)
+  | Raw ->
+    check (sk.sk_doc_len = 8 * in_block)
+      (Printf.sprintf "raw block %d is %d bytes, want %d" i sk.sk_doc_len (8 * in_block));
+    for j = 0 to in_block - 1 do
+      let off = sk.sk_doc_off + (8 * j) in
+      gaps.(j) <- get_u32le b off;
+      tfs.(j) <- get_u32le b (off + 4)
+    done
+  | Cold ->
+    check (sk.sk_doc_len >= 2) "cold block too short for width header";
+    let gb = Char.code (Bytes.get b sk.sk_doc_off) in
+    let tb = Char.code (Bytes.get b (sk.sk_doc_off + 1)) in
+    check (gb <= 62 && tb <= 62) "cold block width out of range";
+    let gbytes = ((in_block * gb) + 7) / 8 in
+    let tbytes = ((in_block * tb) + 7) / 8 in
+    check (sk.sk_doc_len = 2 + gbytes + tbytes)
+      (Printf.sprintf "cold block %d is %d bytes, widths say %d" i sk.sk_doc_len (2 + gbytes + tbytes));
+    let r = Util.Bitio.Reader.of_sub b ~pos:(sk.sk_doc_off + 2) ~len:gbytes in
+    for j = 0 to in_block - 1 do
+      gaps.(j) <- Util.Bitio.Reader.bits r ~width:gb
+    done;
+    check (Util.Bitio.Reader.bits r ~width:(Util.Bitio.Reader.remaining r) = 0)
+      "cold block gap padding bits not zero";
+    let r = Util.Bitio.Reader.of_sub b ~pos:(sk.sk_doc_off + 2 + gbytes) ~len:tbytes in
+    for j = 0 to in_block - 1 do
+      tfs.(j) <- 1 + Util.Bitio.Reader.bits r ~width:tb
+    done;
+    check (Util.Bitio.Reader.bits r ~width:(Util.Bitio.Reader.remaining r) = 0)
+      "cold block tf padding bits not zero";
+    (* The encoder packs at exactly the bits of the block's largest
+       value, so a width header flipped to a wider-but-length-compatible
+       value cannot masquerade as well-formed. *)
+    let gmax = Array.fold_left max 0 gaps and tmax = Array.fold_left max 0 tfs in
+    check (bits_needed gmax = gb) "cold block gap width not canonical";
+    check (bits_needed (tmax - 1) = tb) "cold block tf width not canonical"
+  | V1 -> assert false);
+  let doc = ref prev_doc in
+  Array.iteri
+    (fun j gap ->
+      check (if !doc < 0 then gap >= 0 else gap >= 1) "doc gaps not strictly ascending";
+      doc := (if !doc < 0 then gap else !doc + gap);
+      check (tfs.(j) >= 1) "posting with zero tf")
+    gaps;
+  (!doc, tfs)
+
 let validate_v2 b =
   let len = Bytes.length b in
+  let tr = tier b in
   let lay = parse_layout b in
   check (lay.l_df >= 0 && lay.l_cf >= lay.l_df) "df/cf header implausible";
   check
@@ -364,6 +667,10 @@ let validate_v2 b =
     (Printf.sprintf "block count %d inconsistent with df %d" lay.l_blocks lay.l_df);
   check (lay.l_skip_off + lay.l_skip_len <= len) "skip table extends past record end";
   check (lay.l_pos_off <= len) "doc region extends past record end";
+  (* The sentinel tag must agree with the df-chosen tier, so a flipped
+     tag bit cannot silently re-interpret the doc region. *)
+  check (tier_of_df lay.l_df = tr)
+    (Printf.sprintf "df %d does not belong in the %s tier" lay.l_df (tier_name tr));
   if lay.l_df = 0 then begin
     check (lay.l_skip_len = 0 && lay.l_doc_len = 0 && lay.l_pos_off = len)
       "empty record carries payload bytes"
@@ -396,32 +703,15 @@ let validate_v2 b =
     let cf = ref 0 and seen_max_tf = ref 0 and doc = ref (-1) in
     Array.iteri
       (fun i sk ->
-        let in_block =
-          if i = lay.l_blocks - 1 then lay.l_df - (i * block_size) else block_size
-        in
-        let dpos = ref sk.sk_doc_off and ppos = ref sk.sk_pos_off in
-        for _ = 1 to in_block do
-          let gap, p = Util.Varint.decode b ~pos:!dpos in
-          check (if !doc < 0 then gap >= 0 else gap >= 1) "doc gaps not strictly ascending";
-          doc := (if !doc < 0 then gap else !doc + gap);
-          let tf, p = Util.Varint.decode b ~pos:p in
-          check (tf >= 1) "posting with zero tf";
-          dpos := p;
-          cf := !cf + tf;
-          if tf > !seen_max_tf then seen_max_tf := tf;
-          let last_p = ref (-1) in
-          for _ = 1 to tf do
-            let pgap, p = Util.Varint.decode b ~pos:!ppos in
-            check (if !last_p < 0 then pgap >= 0 else pgap >= 1)
-              "position gaps not strictly ascending";
-            last_p := pgap;
-            ppos := p
-          done
-        done;
-        check (!dpos = sk.sk_doc_off + sk.sk_doc_len)
-          (Printf.sprintf "block %d doc bytes %d <> skip entry %d" i (!dpos - sk.sk_doc_off) sk.sk_doc_len);
-        check (!ppos = sk.sk_pos_off + sk.sk_pos_len)
-          (Printf.sprintf "block %d pos bytes %d <> skip entry %d" i (!ppos - sk.sk_pos_off) sk.sk_pos_len);
+        let in_block = docs_in_block lay i in
+        let last_doc, tfs = validate_block_docs b ~tr ~prev_doc:!doc sk in_block i in
+        doc := last_doc;
+        Array.iter
+          (fun tf ->
+            cf := !cf + tf;
+            if tf > !seen_max_tf then seen_max_tf := tf)
+          tfs;
+        validate_block_positions b sk tfs i;
         check (!doc = sk.sk_last_doc)
           (Printf.sprintf "block %d ends at doc %d, skip table says %d" i !doc sk.sk_last_doc))
       skips;
@@ -462,13 +752,26 @@ let validate b =
 (* Cursors                                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* v2 cursors decode a whole block at a time into (docs, tfs) arrays:
+   sequential stepping is array reads, in-block seeking is binary
+   search, and — when a decoded-block cache is attached — a block
+   another cursor already decoded under the same (source, epoch) key is
+   reused without touching the record's bytes at all.  v1 cursors keep
+   the original interleaved byte-stepping. *)
+
 type cursor = {
   data : bytes;
-  cur_version : int;
+  cur_tier : tier;
   cur_df : int;
   skips : skip array; (* empty for v1 *)
-  mutable idx : int; (* postings consumed so far *)
-  mutable byte : int; (* next (doc gap, tf) entry *)
+  c_lay : layout option; (* None for v1 *)
+  cache : (Util.Block_cache.t * int * int) option; (* cache, src oid, epoch *)
+  mutable byte : int; (* v1: next byte to decode *)
+  mutable blk : int; (* v2: block currently decoded into bdocs/btfs *)
+  mutable bdocs : int array;
+  mutable btfs : int array;
+  mutable bi : int; (* v2: index of the current posting within blk *)
+  mutable idx : int; (* index of the current posting; df once exhausted *)
   mutable doc : int; (* current doc, max_int once exhausted *)
   mutable tf : int;
   mutable decoded : int;
@@ -476,71 +779,141 @@ type cursor = {
   mutable n_seeks : int;
 }
 
-let cursor_step c =
-  if c.idx >= c.cur_df then c.doc <- max_int
-  else begin
-    let gap, pos = Util.Varint.decode c.data ~pos:c.byte in
-    c.doc <- (if c.doc < 0 then gap else c.doc + gap);
-    let tf, pos = Util.Varint.decode c.data ~pos in
-    c.tf <- tf;
-    let pos =
-      if c.cur_version = 2 then pos
-      else begin
-        (* v1 interleaves positions with the doc entries: scan past them. *)
-        let rec skip n pos =
-          if n = 0 then pos else skip (n - 1) (snd (Util.Varint.decode c.data ~pos))
-        in
-        skip tf pos
-      end
-    in
-    c.byte <- pos;
-    c.idx <- c.idx + 1;
-    c.decoded <- c.decoded + 1
-  end
+(* Decode (or fetch from the cache) block [i] and make it current. *)
+let load_block c i =
+  let lay = match c.c_lay with Some l -> l | None -> assert false in
+  let fresh () =
+    let docs, tfs = decode_block c.data ~tr:c.cur_tier ~lay ~skips:c.skips i in
+    c.decoded <- c.decoded + Array.length docs;
+    (docs, tfs)
+  in
+  let docs, tfs =
+    match c.cache with
+    | None -> fresh ()
+    | Some (bc, src, epoch) -> (
+      match Util.Block_cache.find bc ~src ~blk:i ~epoch with
+      | Some hit -> hit
+      | None ->
+        let docs, tfs = fresh () in
+        Util.Block_cache.insert bc ~src ~blk:i ~epoch ~docs ~tfs;
+        (docs, tfs))
+  in
+  c.blk <- i;
+  c.bdocs <- docs;
+  c.btfs <- tfs
 
-let cursor b =
-  let c =
-    if version b = 2 then begin
-      let lay = parse_layout b in
+let cursor ?cache b =
+  match tier b with
+  | V1 ->
+    let df, pos = Util.Varint.decode b ~pos:0 in
+    let _cf, pos = Util.Varint.decode b ~pos in
+    let c =
       {
         data = b;
-        cur_version = 2;
-        cur_df = lay.l_df;
-        skips = parse_skips b lay;
-        idx = 0;
-        byte = lay.l_doc_off;
-        doc = -1;
-        tf = 0;
-        decoded = 0;
-        blocks_skipped = 0;
-        n_seeks = 0;
-      }
-    end
-    else begin
-      let df, pos = Util.Varint.decode b ~pos:0 in
-      let _cf, pos = Util.Varint.decode b ~pos in
-      {
-        data = b;
-        cur_version = 1;
+        cur_tier = V1;
         cur_df = df;
         skips = [||];
-        idx = 0;
+        c_lay = None;
+        cache = None;
         byte = pos;
+        blk = -1;
+        bdocs = [||];
+        btfs = [||];
+        bi = 0;
+        idx = -1;
         doc = -1;
         tf = 0;
         decoded = 0;
         blocks_skipped = 0;
         n_seeks = 0;
       }
+    in
+    c.idx <- 0;
+    if df = 0 then c.doc <- max_int
+    else begin
+      (* Position on the first posting. *)
+      let gap, pos = Util.Varint.decode b ~pos:c.byte in
+      c.doc <- gap;
+      let tf, pos = Util.Varint.decode b ~pos in
+      c.tf <- tf;
+      let rec skip n pos =
+        if n = 0 then pos else skip (n - 1) (snd (Util.Varint.decode b ~pos))
+      in
+      c.byte <- skip tf pos;
+      c.decoded <- 1
+    end;
+    c
+  | tr ->
+    let lay = parse_layout b in
+    let c =
+      {
+        data = b;
+        cur_tier = tr;
+        cur_df = lay.l_df;
+        skips = parse_skips b lay;
+        c_lay = Some lay;
+        cache;
+        byte = 0;
+        blk = -1;
+        bdocs = [||];
+        btfs = [||];
+        bi = 0;
+        idx = 0;
+        doc = max_int;
+        tf = 0;
+        decoded = 0;
+        blocks_skipped = 0;
+        n_seeks = 0;
+      }
+    in
+    if lay.l_df > 0 then begin
+      load_block c 0;
+      c.doc <- c.bdocs.(0);
+      c.tf <- c.btfs.(0)
     end
-  in
-  cursor_step c;
-  c
+    else c.idx <- 0;
+    c
 
 let cur_doc c = c.doc
 let cur_tf c = c.tf
 let cursor_df c = c.cur_df
-let cursor_next c = cursor_step c
+
+let cursor_next c =
+  if c.cur_tier = V1 then begin
+    c.idx <- c.idx + 1;
+    if c.idx >= c.cur_df then begin
+      c.idx <- c.cur_df;
+      c.doc <- max_int
+    end
+    else begin
+      let gap, pos = Util.Varint.decode c.data ~pos:c.byte in
+      c.doc <- (if c.doc < 0 then gap else c.doc + gap);
+      let tf, pos = Util.Varint.decode c.data ~pos in
+      c.tf <- tf;
+      let rec skip n pos =
+        if n = 0 then pos else skip (n - 1) (snd (Util.Varint.decode c.data ~pos))
+      in
+      c.byte <- skip tf pos;
+      c.decoded <- c.decoded + 1
+    end
+  end
+  else if c.doc <> max_int then begin
+    if c.idx + 1 >= c.cur_df then begin
+      c.idx <- c.cur_df;
+      c.doc <- max_int
+    end
+    else begin
+      c.idx <- c.idx + 1;
+      c.bi <- c.bi + 1;
+      if c.bi >= Array.length c.bdocs then begin
+        load_block c (c.blk + 1);
+        c.bi <- 0
+      end;
+      c.doc <- c.bdocs.(c.bi);
+      c.tf <- c.btfs.(c.bi)
+    end
+  end
+
 let cursor_decoded c = c.decoded
 let cursor_blocks_skipped c = c.blocks_skipped
 let cursor_seeks c = c.n_seeks
@@ -548,10 +921,8 @@ let cursor_seeks c = c.n_seeks
 let cursor_seek c target =
   if c.doc < target && c.doc <> max_int then begin
     c.n_seeks <- c.n_seeks + 1;
-    if c.cur_version = 2 && Array.length c.skips > 0 then begin
-      (* c.idx postings are consumed, so the next posting to decode is
-         index c.idx, sitting in block c.idx / block_size. *)
-      let cur_block = c.idx / block_size in
+    if c.cur_tier <> V1 && Array.length c.skips > 0 then begin
+      let cur_block = c.blk in
       let n = Array.length c.skips in
       (* Smallest block whose last doc id reaches the target. *)
       let lo = ref cur_block and hi = ref n in
@@ -565,15 +936,35 @@ let cursor_seek c target =
         c.idx <- c.cur_df;
         c.doc <- max_int
       end
-      else if !lo > cur_block then begin
-        c.blocks_skipped <- c.blocks_skipped + (!lo - cur_block);
-        c.idx <- !lo * block_size;
-        c.byte <- c.skips.(!lo).sk_doc_off;
-        (* Gaps restart from the previous block's last doc id. *)
-        c.doc <- c.skips.(!lo - 1).sk_last_doc
+      else begin
+        if !lo > cur_block then begin
+          c.blocks_skipped <- c.blocks_skipped + (!lo - cur_block);
+          load_block c !lo;
+          c.bi <- 0
+        end;
+        (* The target is at or before this block's last doc: binary
+           search the decoded arrays. *)
+        let a = c.bdocs in
+        let ilo = ref c.bi and ihi = ref (Array.length a) in
+        while !ilo < !ihi do
+          let mid = (!ilo + !ihi) / 2 in
+          if a.(mid) >= target then ihi := mid else ilo := mid + 1
+        done;
+        if !ilo >= Array.length a then begin
+          (* Only when the current block precedes the target block was
+             no jump made — impossible, since sk_last_doc >= target;
+             defensive fall-through to stepping. *)
+          ()
+        end
+        else begin
+          c.bi <- !ilo;
+          c.idx <- (c.blk * block_size) + c.bi;
+          c.doc <- a.(!ilo);
+          c.tf <- c.btfs.(!ilo)
+        end
       end
     end;
     while c.doc < target && c.doc <> max_int do
-      cursor_step c
+      cursor_next c
     done
   end

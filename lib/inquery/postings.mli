@@ -13,18 +13,40 @@
     [doc gap] [tf] [tf position gaps].
 
     {b v2} (skip blocks; what {!encode} and {!Builder} emit):
-    a [0x80 0x02] version sentinel, then
+    a [0x80 TAG] version sentinel, then
     [df] [cf] [max_tf] [n_blocks] [skip_len], a skip table with one
     entry per {!block_size}-document block
     ([last-doc delta] [doc-region bytes] [position-region bytes]),
-    then [doc_len], the doc region of (doc gap, tf) pairs, and the
-    position region of per-document position gaps.  Document-level scans
-    never touch position bytes, and {!cursor_seek} jumps whole blocks
-    via the skip table.
+    then [doc_len], the doc region, and the position region of
+    per-document position gaps.  Document-level scans never touch
+    position bytes, and {!cursor_seek} jumps whole blocks via the skip
+    table.
+
+    The doc region comes in three {e compression tiers}, picked by df
+    and named by the sentinel's TAG byte — the adaptive ladder:
+
+    - [0x02] {e v-byte}: per document [doc gap] [tf], v-byte coded —
+      the original v2 layout, byte-identical to what earlier builds
+      wrote, for the mid-range.
+    - [0x03] {e raw} ([v1_cutoff_df <= df < raw_cutoff_df]): fixed
+      u32le (gap, tf) pairs.  Small records don't amortize
+      variable-length coding; decode is two aligned reads.
+    - [0x04] {e cold} ([df >= cold_cutoff_df]): per block two width
+      bytes then bit-packed gaps and bit-packed (tf-1)s at exactly the
+      block's largest value's width.  Long-tail records dominate the
+      index's bytes and their hot blocks live in the decoded-block
+      cache, so they take the tightest packing.
+
+    Positions are v-byte in every tier, and the skip-table shape is
+    shared, so seeking, fsck and corruption tests treat all tiers
+    uniformly.  {!validate} additionally cross-checks the TAG against
+    the df-chosen tier, exact per-block byte counts, canonical cold
+    widths and zero padding bits, so any single flipped bit in any tier
+    is flagged.
 
     The first byte of a v1 record codes [df]; the v1 encoder only starts
     a record with [0x80] (v-byte zero) for the empty record
-    [0x80 0x80], so the [0x80 0x02] sentinel is unambiguous and
+    [0x80 0x80], so the [0x80 TAG] sentinels are unambiguous and
     {!version} can sniff reliably. *)
 
 type doc_postings = { doc : int; positions : int list }
@@ -39,15 +61,42 @@ val v1_cutoff_df : int
     paper's small-object distribution, and skipping cannot pay.  Readers
     sniff, so the cutoff never matters on the way in. *)
 
+val raw_cutoff_df : int
+(** Records with [v1_cutoff_df <= df < raw_cutoff_df] store fixed-width
+    (gap, tf) pairs instead of v-byte. *)
+
+val cold_cutoff_df : int
+(** Records with [df >= cold_cutoff_df] bit-pack each block at its
+    minimal widths. *)
+
+type tier =
+  | V1  (** legacy interleaved layout *)
+  | Raw  (** v2, fixed-width u32le doc region *)
+  | Vbyte  (** v2, v-byte doc region *)
+  | Cold  (** v2, per-block bit-packed doc region *)
+
+val tier : bytes -> tier
+(** Sniffed from the sentinel bytes. *)
+
+val tier_of_df : int -> tier
+(** The tier the encoder assigns a record of the given document count
+    — what {!encode}, {!Builder.finish}, {!merge} and {!remove_docs}
+    emit, and what {!validate} requires of the sentinel. *)
+
+val tier_name : tier -> string
+(** ["v1"], ["raw"], ["vbyte"] or ["cold"] — census labels. *)
+
 val version : bytes -> int
-(** [1] or [2], sniffed from the record's leading bytes. *)
+(** [1] or [2], sniffed from the record's leading bytes; every tier but
+    {!V1} is version 2. *)
 
 val encode : (int * int list) list -> bytes
 (** [encode entries] builds a record from [(doc, positions)] pairs
     with strictly ascending doc ids and, per doc, strictly ascending
-    positions (each doc must have at least one position) — v2 once the
-    document count reaches {!v1_cutoff_df}, compact v1 below it.  Raises
-    [Invalid_argument] on violations. *)
+    positions (each doc must have at least one position) — v2 in the
+    {!tier_of_df}-chosen tier once the document count reaches
+    {!v1_cutoff_df}, compact v1 below it.  Raises [Invalid_argument] on
+    violations. *)
 
 val encode_v1 : (int * int list) list -> bytes
 (** The legacy encoder, kept verbatim for backward-compatibility tests
@@ -78,6 +127,11 @@ val skip_table_region : bytes -> (int * int) option
 (** [(offset, length)] of the skip table's bytes within the record;
     [None] for v1.  Exposed so corruption tests can aim at it. *)
 
+val doc_region : bytes -> (int * int) option
+(** [(offset, length)] of the doc region — the tier-dependent bytes the
+    compression ladder varies; [None] for v1.  Exposed so the per-tier
+    bit-flip sweeps can aim at exactly the raw or cold blocks. *)
+
 val fold_docs : bytes -> init:'a -> f:('a -> doc:int -> tf:int -> 'a) -> 'a
 (** Fold over documents.  On v2 records position bytes are never
     visited; on v1 the gaps are still scanned byte-wise, as INQUERY
@@ -94,31 +148,47 @@ val doc_count : bytes -> int
 val merge : bytes -> bytes -> bytes
 (** [merge a b] combines two records for the same term whose document
     sets are disjoint (e.g. an existing record and the postings of newly
-    added documents).  Accepts either version; emits v2 with rebuilt
-    blocks.  Raises [Invalid_argument] if doc ids collide. *)
+    added documents).  Accepts any tier; re-emits in the merged
+    document count's tier with rebuilt blocks.  Raises
+    [Invalid_argument] if doc ids collide. *)
 
 val remove_docs : bytes -> (int -> bool) -> bytes option
 (** [remove_docs rec p] drops every document matched by [p]; [None] if
-    the record becomes empty — document-deletion support.  Accepts
-    either version; emits v2 with rebuilt blocks. *)
+    the record becomes empty — document-deletion support.  Accepts any
+    tier; re-emits in the remaining count's tier with rebuilt
+    blocks. *)
 
 val validate : bytes -> (unit, string) result
 (** Deep structural check, for fsck: headers, skip-table invariants
     (strictly ascending last-doc ids, block byte counts that tile the
     regions and stay inside the record), gap monotonicity, tf/cf/max_tf
-    consistency.  Reports the first problem; never raises. *)
+    consistency, the sentinel-vs-df tier agreement, and the per-tier
+    block invariants (raw: exact 8-byte-per-posting block lengths;
+    cold: width-implied block lengths, canonical widths, zero padding
+    bits).  Reports the first problem; never raises. *)
 
 (** {2 Cursors}
 
     Stateful forward iteration over a record's (doc, tf) pairs, with
     skip-table-accelerated {!cursor_seek} on v2 records (v1 cursors seek
-    by scanning).  Used by the document-at-a-time evaluators. *)
+    by scanning).  Used by the document-at-a-time evaluators.
+
+    v2 cursors decode one whole {!block_size}-document block at a time
+    into arrays: {!cursor_decoded} therefore counts in block-sized
+    steps, and a block jumped clean over by {!cursor_seek} is never
+    decoded at all.  With [?cache], decoded blocks are shared through a
+    {!Util.Block_cache} under [(src, block, epoch)] keys: a hit skips
+    the decode (and the counter) entirely, which is how reused query
+    terms stop paying for decompression. *)
 
 type cursor
 
-val cursor : bytes -> cursor
+val cursor : ?cache:Util.Block_cache.t * int * int -> bytes -> cursor
 (** Positioned on the first posting ({!cur_doc} is [max_int] if the
-    record is empty). *)
+    record is empty).  [cache] is [(cache, src, epoch)]: the record's
+    stable object id and the epoch it was fetched under — callers must
+    pass a key that uniquely names these bytes, or hits would hand back
+    blocks of a different record. *)
 
 val cur_doc : cursor -> int
 (** Current document id, [max_int] once exhausted. *)
@@ -137,7 +207,8 @@ val cursor_seek : cursor -> int -> unit
     when possible.  No-op if already there. *)
 
 val cursor_decoded : cursor -> int
-(** Postings decoded by this cursor so far. *)
+(** Postings decoded by this cursor so far (whole blocks on v2; cache
+    hits decode nothing and add nothing). *)
 
 val cursor_blocks_skipped : cursor -> int
 (** Whole blocks jumped over without decoding. *)

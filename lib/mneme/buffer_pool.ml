@@ -21,9 +21,17 @@ type t = {
   mutable n_refs : int;
   mutable n_hits : int;
   mutable n_evictions : int;
+  mutable n_invalidations : int;
 }
 
-type stats = { refs : int; hits : int; evictions : int; resident_bytes : int; resident_segments : int }
+type stats = Util.Cache_stats.t = {
+  refs : int;
+  hits : int;
+  evictions : int;
+  invalidations : int;
+  resident_bytes : int;
+  resident_entries : int;
+}
 
 let create ~name ~capacity ?(policy = Lru) () =
   if capacity < 0 then invalid_arg "Buffer_pool.create: negative capacity";
@@ -39,6 +47,7 @@ let create ~name ~capacity ?(policy = Lru) () =
     n_refs = 0;
     n_hits = 0;
     n_evictions = 0;
+    n_invalidations = 0;
   }
 
 let name t = t.buf_name
@@ -160,9 +169,12 @@ let update t ~pseg bytes =
 let drop t ~pseg =
   match Hashtbl.find_opt t.table pseg with
   | None -> ()
-  | Some seg -> remove_seg t seg
+  | Some seg ->
+    remove_seg t seg;
+    t.n_invalidations <- t.n_invalidations + 1
 
 let clear t =
+  t.n_invalidations <- t.n_invalidations + Hashtbl.length t.table;
   Hashtbl.reset t.table;
   Hashtbl.reset t.pinned;
   t.head <- None;
@@ -181,24 +193,15 @@ let stats t =
     refs = t.n_refs;
     hits = t.n_hits;
     evictions = t.n_evictions;
+    invalidations = t.n_invalidations;
     resident_bytes = t.used;
-    resident_segments = Hashtbl.length t.table;
+    resident_entries = Hashtbl.length t.table;
   }
 
 let reset_stats t =
   t.n_refs <- 0;
   t.n_hits <- 0;
-  t.n_evictions <- 0
+  t.n_evictions <- 0;
+  t.n_invalidations <- 0
 
-let merge_stats stats =
-  List.fold_left
-    (fun acc s ->
-      {
-        refs = acc.refs + s.refs;
-        hits = acc.hits + s.hits;
-        evictions = acc.evictions + s.evictions;
-        resident_bytes = acc.resident_bytes + s.resident_bytes;
-        resident_segments = acc.resident_segments + s.resident_segments;
-      })
-    { refs = 0; hits = 0; evictions = 0; resident_bytes = 0; resident_segments = 0 }
-    stats
+let merge_stats = Util.Cache_stats.merge

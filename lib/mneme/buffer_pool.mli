@@ -16,7 +16,9 @@
 
     Hit statistics are reported per buffer exactly as in the paper's
     Table 6: one {e reference} per fault, a {e hit} when the segment was
-    already resident.
+    already resident.  The record is the unified {!Util.Cache_stats.t}
+    shared by every cache layer (buffer pool, decoded-block cache,
+    query-result cache), so per-layer reports merge with one fold.
 
     {b Domain-safety contract.}  A buffer is {e not} internally
     synchronised: all operations on one [t] must come from a single
@@ -32,7 +34,14 @@ type policy = Lru | Fifo | Clock
 
 type t
 
-type stats = { refs : int; hits : int; evictions : int; resident_bytes : int; resident_segments : int }
+type stats = Util.Cache_stats.t = {
+  refs : int;
+  hits : int;
+  evictions : int;
+  invalidations : int;  (** {!drop}ped or {!clear}ed segments *)
+  resident_bytes : int;
+  resident_entries : int;
+}
 
 val create : name:string -> capacity:int -> ?policy:policy -> unit -> t
 (** [capacity] is in bytes; 0 means transient.  Raises

@@ -1,0 +1,128 @@
+type key = { k_src : int; k_blk : int; k_epoch : int }
+
+type node = {
+  key : key;
+  docs : int array;
+  tfs : int array;
+  cost : int; (* bytes charged against the budget *)
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  bc_name : string;
+  capacity : int;
+  table : (key, node) Hashtbl.t;
+  mutable head : node option; (* most recently used *)
+  mutable tail : node option; (* eviction end *)
+  mutable used : int;
+  mutable n_refs : int;
+  mutable n_hits : int;
+  mutable n_evictions : int;
+  mutable n_invalidations : int;
+}
+
+(* Two unboxed int arrays: 8 bytes per element plus two block headers. *)
+let cost_of ~docs ~tfs = (8 * (Array.length docs + Array.length tfs)) + 48
+
+let create ?(capacity_bytes = 1 lsl 20) ~name () =
+  if capacity_bytes < 0 then invalid_arg "Block_cache.create: negative capacity";
+  {
+    bc_name = name;
+    capacity = capacity_bytes;
+    table = Hashtbl.create 256;
+    head = None;
+    tail = None;
+    used = 0;
+    n_refs = 0;
+    n_hits = 0;
+    n_evictions = 0;
+    n_invalidations = 0;
+  }
+
+let name t = t.bc_name
+let capacity t = t.capacity
+
+let unlink t node =
+  (match node.prev with Some p -> p.next <- node.next | None -> t.head <- node.next);
+  (match node.next with Some n -> n.prev <- node.prev | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let remove_node t node =
+  unlink t node;
+  Hashtbl.remove t.table node.key;
+  t.used <- t.used - node.cost
+
+let find t ~src ~blk ~epoch =
+  t.n_refs <- t.n_refs + 1;
+  match Hashtbl.find_opt t.table { k_src = src; k_blk = blk; k_epoch = epoch } with
+  | None -> None
+  | Some node ->
+    t.n_hits <- t.n_hits + 1;
+    unlink t node;
+    push_front t node;
+    Some (node.docs, node.tfs)
+
+let insert t ~src ~blk ~epoch ~docs ~tfs =
+  if t.capacity > 0 then begin
+    let key = { k_src = src; k_blk = blk; k_epoch = epoch } in
+    (match Hashtbl.find_opt t.table key with Some old -> remove_node t old | None -> ());
+    let cost = cost_of ~docs ~tfs in
+    let node = { key; docs; tfs; cost; prev = None; next = None } in
+    Hashtbl.add t.table key node;
+    push_front t node;
+    t.used <- t.used + cost;
+    while t.used > t.capacity && t.tail <> None do
+      match t.tail with
+      | None -> ()
+      | Some victim ->
+        remove_node t victim;
+        t.n_evictions <- t.n_evictions + 1
+    done
+  end
+
+let retain t ~keep =
+  let doomed =
+    Hashtbl.fold (fun key node acc -> if keep key.k_epoch then acc else node :: acc) t.table []
+  in
+  List.iter
+    (fun node ->
+      remove_node t node;
+      t.n_invalidations <- t.n_invalidations + 1)
+    doomed;
+  List.length doomed
+
+let clear t =
+  t.n_invalidations <- t.n_invalidations + Hashtbl.length t.table;
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None;
+  t.used <- 0
+
+let epochs t =
+  let seen = Hashtbl.create 8 in
+  Hashtbl.iter (fun key _ -> Hashtbl.replace seen key.k_epoch ()) t.table;
+  Hashtbl.fold (fun e () acc -> e :: acc) seen [] |> List.sort compare
+
+let stats t =
+  {
+    Cache_stats.refs = t.n_refs;
+    hits = t.n_hits;
+    evictions = t.n_evictions;
+    invalidations = t.n_invalidations;
+    resident_bytes = t.used;
+    resident_entries = Hashtbl.length t.table;
+  }
+
+let reset_stats t =
+  t.n_refs <- 0;
+  t.n_hits <- 0;
+  t.n_evictions <- 0;
+  t.n_invalidations <- 0

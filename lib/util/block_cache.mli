@@ -1,0 +1,53 @@
+(** Bounded LRU of decoded posting blocks.
+
+    High-df terms recur across queries (the paper's Figure 2 skew), so
+    the blocks their cursors decode are worth keeping in decoded form:
+    a hit hands back the block's [(docs, tfs)] arrays and skips the
+    decode entirely.  Entries are keyed by
+    [(source object id, block index, epoch)] — the epoch tag makes
+    entries from superseded index versions unreachable the moment a new
+    epoch is probed, and {!retain} lets the publication hook drop them
+    eagerly (keeping epochs still pinned by snapshot readers, whose
+    objects are immutable and therefore still byte-correct).
+
+    The cache never returns an entry for a key it was not given: a
+    reader serving a pinned epoch and a reader serving the latest epoch
+    share the cache without ever seeing each other's blocks, which is
+    what keeps pinned-epoch rankings bit-identical under churn.
+
+    Like the buffer pool, a [t] is single-domain; give each worker its
+    own and {!Cache_stats.merge} the counters. *)
+
+type t
+
+val create : ?capacity_bytes:int -> name:string -> unit -> t
+(** [capacity_bytes] (default 1 MiB) bounds the decoded residency;
+    [0] disables the cache (probes miss, inserts drop).  Raises
+    [Invalid_argument] if negative. *)
+
+val name : t -> string
+val capacity : t -> int
+
+val find : t -> src:int -> blk:int -> epoch:int -> (int array * int array) option
+(** The decoded [(docs, tfs)] arrays, refreshed to most-recent.  Counts
+    one reference, plus a hit when resident.  Callers must not mutate
+    the returned arrays. *)
+
+val insert : t -> src:int -> blk:int -> epoch:int -> docs:int array -> tfs:int array -> unit
+(** Insert (replacing any entry under the same key) and evict from the
+    cold end until the budget holds. *)
+
+val retain : t -> keep:(int -> bool) -> int
+(** [retain t ~keep] drops every entry whose epoch fails [keep],
+    returning how many were dropped (counted as invalidations) — the
+    epoch-publication/gc invalidation hook. *)
+
+val clear : t -> unit
+(** Drop everything (counted as invalidations); statistics are kept. *)
+
+val epochs : t -> int list
+(** Distinct epochs with resident entries, ascending — lets tests
+    assert that no collected epoch is still represented. *)
+
+val stats : t -> Cache_stats.t
+val reset_stats : t -> unit

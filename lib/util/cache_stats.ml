@@ -1,0 +1,29 @@
+type t = {
+  refs : int;
+  hits : int;
+  evictions : int;
+  invalidations : int;
+  resident_bytes : int;
+  resident_entries : int;
+}
+
+let zero =
+  { refs = 0; hits = 0; evictions = 0; invalidations = 0; resident_bytes = 0; resident_entries = 0 }
+
+let add a b =
+  {
+    refs = a.refs + b.refs;
+    hits = a.hits + b.hits;
+    evictions = a.evictions + b.evictions;
+    invalidations = a.invalidations + b.invalidations;
+    resident_bytes = a.resident_bytes + b.resident_bytes;
+    resident_entries = a.resident_entries + b.resident_entries;
+  }
+
+let merge stats = List.fold_left add zero stats
+let misses t = t.refs - t.hits
+let hit_rate t = if t.refs = 0 then 0.0 else float_of_int t.hits /. float_of_int t.refs
+
+let pp ppf t =
+  Format.fprintf ppf "refs=%d hits=%d (%.1f%%) evict=%d inval=%d resident=%d/%dB" t.refs t.hits
+    (100.0 *. hit_rate t) t.evictions t.invalidations t.resident_entries t.resident_bytes

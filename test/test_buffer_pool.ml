@@ -13,7 +13,7 @@ let test_hit_miss_accounting () =
   let s = Mneme.Buffer_pool.stats b in
   Alcotest.(check int) "refs" 5 s.Mneme.Buffer_pool.refs;
   Alcotest.(check int) "hits" 2 s.Mneme.Buffer_pool.hits;
-  Alcotest.(check int) "resident" 3 s.Mneme.Buffer_pool.resident_segments;
+  Alcotest.(check int) "resident" 3 s.Mneme.Buffer_pool.resident_entries;
   Alcotest.(check int) "bytes" 300 s.Mneme.Buffer_pool.resident_bytes
 
 let test_fault_returns_loaded_bytes () =
@@ -52,7 +52,7 @@ let test_clock_second_chance () =
   (* First overflow sweeps all reference bits clear and evicts one. *)
   fault_seq b [ 4 ];
   Alcotest.(check int) "three resident" 3
-    (Mneme.Buffer_pool.stats b).Mneme.Buffer_pool.resident_segments;
+    (Mneme.Buffer_pool.stats b).Mneme.Buffer_pool.resident_entries;
   (* Re-reference 2: its bit is set again, so the next sweep passes it
      over and takes a clear-bit segment instead. *)
   Alcotest.(check bool) "2 still resident" true (Mneme.Buffer_pool.resident b ~pseg:2);
@@ -98,7 +98,7 @@ let test_all_pinned_incoming_victim () =
   (* The only unpinned segment is the incoming one: it is sacrificed
      rather than displacing reserved data. *)
   Alcotest.(check int) "pinned survives alone" 1
-    (Mneme.Buffer_pool.stats b).Mneme.Buffer_pool.resident_segments;
+    (Mneme.Buffer_pool.stats b).Mneme.Buffer_pool.resident_entries;
   Alcotest.(check bool) "pinned resident" true (Mneme.Buffer_pool.resident b ~pseg:1);
   Alcotest.(check bool) "incoming dropped" false (Mneme.Buffer_pool.resident b ~pseg:2)
 
@@ -108,7 +108,7 @@ let test_transient_mode () =
   let s = Mneme.Buffer_pool.stats b in
   Alcotest.(check int) "all misses" 0 s.Mneme.Buffer_pool.hits;
   Alcotest.(check int) "refs counted" 3 s.Mneme.Buffer_pool.refs;
-  Alcotest.(check int) "nothing retained" 0 s.Mneme.Buffer_pool.resident_segments
+  Alcotest.(check int) "nothing retained" 0 s.Mneme.Buffer_pool.resident_entries
 
 let test_update_and_drop () =
   let b = Mneme.Buffer_pool.create ~name:"t" ~capacity:1000 () in
@@ -128,7 +128,7 @@ let test_clear_keeps_stats () =
   Mneme.Buffer_pool.clear b;
   let s = Mneme.Buffer_pool.stats b in
   Alcotest.(check int) "refs kept" 2 s.Mneme.Buffer_pool.refs;
-  Alcotest.(check int) "empty" 0 s.Mneme.Buffer_pool.resident_segments;
+  Alcotest.(check int) "empty" 0 s.Mneme.Buffer_pool.resident_entries;
   Mneme.Buffer_pool.reset_stats b;
   Alcotest.(check int) "reset" 0 (Mneme.Buffer_pool.stats b).Mneme.Buffer_pool.refs
 
@@ -153,7 +153,7 @@ let test_merge_stats () =
   Alcotest.(check int) "refs sum" 8 m.Mneme.Buffer_pool.refs;
   Alcotest.(check int) "hits sum" 3 m.Mneme.Buffer_pool.hits;
   Alcotest.(check int) "evictions sum" 1 m.Mneme.Buffer_pool.evictions;
-  Alcotest.(check int) "resident segments sum" 4 m.Mneme.Buffer_pool.resident_segments;
+  Alcotest.(check int) "resident segments sum" 4 m.Mneme.Buffer_pool.resident_entries;
   Alcotest.(check int) "resident bytes sum" 400 m.Mneme.Buffer_pool.resident_bytes;
   let z = Mneme.Buffer_pool.merge_stats [] in
   Alcotest.(check int) "empty merge refs" 0 z.Mneme.Buffer_pool.refs;

@@ -260,6 +260,123 @@ let test_skip_table_bitflip () =
       done
     done
 
+(* --- the adaptive compression ladder ------------------------------- *)
+
+(* Entries sized to land in a specific tier, with enough irregularity
+   (varying gaps and tfs) that packing widths differ between blocks. *)
+let tier_entries n =
+  let doc = ref 0 in
+  List.init n (fun i ->
+      doc := !doc + 1 + (i mod 7);
+      let stride = (i mod 5) + 2 in
+      (!doc, List.init ((i mod 4) + 1) (fun p -> p * stride)))
+
+let test_tier_assignment () =
+  List.iter
+    (fun (n, expect) ->
+      let b = Inquery.Postings.encode (tier_entries n) in
+      Alcotest.(check string)
+        (Printf.sprintf "df %d" n)
+        (Inquery.Postings.tier_name expect)
+        (Inquery.Postings.tier_name (Inquery.Postings.tier b));
+      Alcotest.(check string) "tier_of_df agrees"
+        (Inquery.Postings.tier_name (Inquery.Postings.tier_of_df n))
+        (Inquery.Postings.tier_name (Inquery.Postings.tier b)))
+    [
+      (3, Inquery.Postings.V1);
+      (Inquery.Postings.v1_cutoff_df, Inquery.Postings.Raw);
+      (Inquery.Postings.raw_cutoff_df - 1, Inquery.Postings.Raw);
+      (Inquery.Postings.raw_cutoff_df, Inquery.Postings.Vbyte);
+      (Inquery.Postings.cold_cutoff_df - 1, Inquery.Postings.Vbyte);
+      (Inquery.Postings.cold_cutoff_df, Inquery.Postings.Cold);
+      (Inquery.Postings.cold_cutoff_df + 200, Inquery.Postings.Cold);
+    ]
+
+let test_all_tiers_roundtrip () =
+  List.iter
+    (fun n ->
+      let entries = tier_entries n in
+      let b = Inquery.Postings.encode entries in
+      Alcotest.(check bool) (Printf.sprintf "df %d decode" n) true (pairs_of b = entries);
+      Alcotest.(check bool) (Printf.sprintf "df %d validate" n) true
+        (Inquery.Postings.validate b = Ok ());
+      Alcotest.(check bool) (Printf.sprintf "df %d cursor = fold" n) true
+        (cursor_walk b = fold_pairs b);
+      let cf = List.fold_left (fun a (_, ps) -> a + List.length ps) 0 entries in
+      Alcotest.(check (pair int int)) (Printf.sprintf "df %d stats" n) (n, cf)
+        (Inquery.Postings.stats b))
+    [ 8; 40; 63; 64; 200; 1023; 1024; 1300 ]
+
+(* Satellite: every single-bit flip anywhere in a raw- or cold-tier doc
+   region must be flagged by [validate].  Raw gaps are u32 absolutes of
+   nothing — they are gaps, so one flip shifts every later doc and the
+   skip table's last-doc cross-check fires; tf flips break cf/max_tf;
+   cold width bytes break the width-implied block length, packed-value
+   flips break last-doc, monotonicity, padding or canonical-width
+   checks. *)
+let flip_sweep name entries ~expect_tier ~limit =
+  let b = Inquery.Postings.encode entries in
+  Alcotest.(check string) (name ^ " tier")
+    (Inquery.Postings.tier_name expect_tier)
+    (Inquery.Postings.tier_name (Inquery.Postings.tier b));
+  match Inquery.Postings.doc_region b with
+  | None -> Alcotest.fail "expected a v2 doc region"
+  | Some (off, len) ->
+    (* Sweep the head of the region (first blocks) and its tail (last,
+       ragged block) — full records make the sweep quadratic for cold
+       tiers without covering new code paths. *)
+    let limit = min limit len in
+    let ranges =
+      if len <= 2 * limit then [ (off, off + len - 1) ]
+      else [ (off, off + limit - 1); (off + len - limit, off + len - 1) ]
+    in
+    List.iter
+      (fun (lo, hi) ->
+        for byte = lo to hi do
+          for bit = 0 to 7 do
+            let b' = Bytes.copy b in
+            Bytes.set b' byte (Char.chr (Char.code (Bytes.get b' byte) lxor (1 lsl bit)));
+            match Inquery.Postings.validate b' with
+            | Ok () -> Alcotest.failf "%s: flip at byte %d bit %d undetected" name byte bit
+            | Error _ -> ()
+          done
+        done)
+      ranges
+
+let test_raw_tier_bitflips () =
+  flip_sweep "raw" (tier_entries 40) ~expect_tier:Inquery.Postings.Raw ~limit:max_int
+
+let test_cold_tier_bitflips () =
+  flip_sweep "cold"
+    (tier_entries (Inquery.Postings.cold_cutoff_df + 100))
+    ~expect_tier:Inquery.Postings.Cold ~limit:192
+
+let test_mixed_tier_seek () =
+  (* The same skip table drives seeks in every tier: binary-search the
+     blocks, decode one, binary-search inside it. *)
+  List.iter
+    (fun n ->
+      let entries = tier_entries n in
+      let b = Inquery.Postings.encode entries in
+      let docs = List.map fst entries in
+      let targets =
+        [ 0; List.nth docs (n / 3); List.nth docs (n / 3) + 1; List.nth docs (n - 1); max_int / 2 ]
+      in
+      List.iter
+        (fun target ->
+          let cur = Inquery.Postings.cursor b in
+          Inquery.Postings.cursor_seek cur target;
+          let expect =
+            match List.find_opt (fun d -> d >= target) docs with
+            | Some d -> d
+            | None -> max_int
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "df %d seek %d" n target)
+            expect (Inquery.Postings.cur_doc cur))
+        targets)
+    [ 40; 200; 1300 ]
+
 let gen_block_entries =
   QCheck.Gen.(
     list_size (int_range 64 320)
@@ -331,6 +448,11 @@ let suite =
     Alcotest.test_case "cursor seek (v1 linear)" `Quick test_cursor_seek_v1;
     Alcotest.test_case "cursor on empty record" `Quick test_cursor_empty;
     Alcotest.test_case "skip-table bit flips detected" `Quick test_skip_table_bitflip;
+    Alcotest.test_case "tier assignment" `Quick test_tier_assignment;
+    Alcotest.test_case "all tiers roundtrip" `Quick test_all_tiers_roundtrip;
+    Alcotest.test_case "raw-tier doc-region bit flips detected" `Quick test_raw_tier_bitflips;
+    Alcotest.test_case "cold-tier doc-region bit flips detected" `Quick test_cold_tier_bitflips;
+    Alcotest.test_case "mixed-tier seek" `Quick test_mixed_tier_seek;
     QCheck_alcotest.to_alcotest prop_roundtrip;
     QCheck_alcotest.to_alcotest prop_fold_consistent;
     QCheck_alcotest.to_alcotest prop_v2_roundtrip;
