@@ -186,6 +186,79 @@ let topk_summary () =
     /. float_of_int (max 1 pr.Core.Engine.topk_postings_decoded))
     pr.Core.Engine.topk_blocks_skipped pr.Core.Engine.topk_seeks
 
+(* Cost-based planning: what a plan decision costs (header statistics
+   only, records memoized), and the intersection-first executors against
+   the exhaustive baseline on conjunctive / positional queries. *)
+let plan_stats_of =
+  lazy
+    (let f = Lazy.force fixture in
+     let memo = Hashtbl.create 16 in
+     fun term ->
+       match Hashtbl.find_opt memo term with
+       | Some s -> s
+       | None ->
+         let s =
+           match Inquery.Dictionary.find f.dict term with
+           | None -> None
+           | Some e -> (
+             match f.mneme_cache.Core.Index_store.fetch e with
+             | None -> None
+             | Some r -> Some (Inquery.Postings.record_stats r))
+         in
+         Hashtbl.add memo term s;
+         s)
+
+let plan_and_query = "#and( ba be bi )"
+let plan_phrase_query = "#phrase( ba be )"
+
+let bench_plan =
+  let parsed = lazy (Inquery.Query.parse_exn topk_query) in
+  [
+    Test.make ~name:"planner decide (flat, 8 terms)"
+      (Staged.stage (fun () ->
+           let stats_of = Lazy.force plan_stats_of in
+           Inquery.Planner.decide ~stats_of ~k:10 (Lazy.force parsed)));
+    Test.make ~name:"#and k=10 (intersect)"
+      (Staged.stage (fun () ->
+           let f = Lazy.force fixture in
+           Core.Engine.run_topk_string ~k:10 f.engine plan_and_query));
+    Test.make ~name:"#and k=10 (exhaustive)"
+      (Staged.stage (fun () ->
+           let f = Lazy.force fixture in
+           Core.Engine.run_topk_string ~exhaustive:true ~k:10 f.engine plan_and_query));
+    Test.make ~name:"#phrase k=10 (intersect)"
+      (Staged.stage (fun () ->
+           let f = Lazy.force fixture in
+           Core.Engine.run_topk_string ~k:10 f.engine plan_phrase_query));
+    Test.make ~name:"#phrase k=10 (exhaustive)"
+      (Staged.stage (fun () ->
+           let f = Lazy.force fixture in
+           Core.Engine.run_topk_string ~exhaustive:true ~k:10 f.engine plan_phrase_query));
+  ]
+
+let plan_summary () =
+  let f = Lazy.force fixture in
+  Printf.printf "\n[query planner, k=10]\n";
+  List.iter
+    (fun (cls, q) ->
+      let ex = Core.Engine.run_topk_string ~exhaustive:true ~k:10 f.engine q in
+      let au = Core.Engine.run_topk_string ~audit:true ~k:10 f.engine q in
+      Printf.printf
+        "  %-12s plan %-10s bytes: exhaustive %7d, auto %7d (%.2fx), estimated %7d; audit \
+         passed\n"
+        cls
+        (Inquery.Planner.plan_name au.Core.Engine.topk_plan)
+        ex.Core.Engine.topk_bytes_read au.Core.Engine.topk_bytes_read
+        (float_of_int ex.Core.Engine.topk_bytes_read
+        /. float_of_int (max 1 au.Core.Engine.topk_bytes_read))
+        au.Core.Engine.topk_est_bytes)
+    [
+      ("flat", topk_query);
+      ("conjunctive", plan_and_query);
+      ("phrase", plan_phrase_query);
+      ("window", "#uw5( ba be )");
+    ]
+
 (* Tiered read-path caches: the probe costs the hot path pays, and a
    cold decode against its cache-served replay. *)
 let bench_cache =
@@ -471,6 +544,7 @@ let run_micro () =
       ("tables 3-5: lookup paths", bench_tables345);
       ("table6+fig3: buffer manager", bench_table6);
       ("topk: pruned vs exhaustive DAAT", bench_topk);
+      ("plan: cost-based executor choice", bench_plan);
       ("cache: tiered read-path probes", bench_cache);
       ("parallel: work-stealing deque", bench_parallel);
       ("epoch: snapshot-isolated mutation", bench_epoch);
@@ -508,6 +582,7 @@ let () =
   if not skip_micro then begin
     run_micro ();
     topk_summary ();
+    plan_summary ();
     parallel_summary ();
     shard_summary ();
     ingest_summary ()

@@ -297,6 +297,177 @@ let topk_cmd =
   Cmd.v (Cmd.info "topk" ~doc)
     Term.(const run $ scale_arg $ collections_arg $ k_arg $ queries_arg $ audit_arg $ json_arg)
 
+(* --- plan --------------------------------------------------------- *)
+
+let plan_cmd =
+  let collections_arg =
+    let doc = "Collections to measure (default: all four)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"COLLECTION" ~doc)
+  in
+  let k_arg =
+    let doc = "Result-list depth." in
+    Arg.(value & opt int 10 & info [ "k" ] ~docv:"K" ~doc)
+  in
+  let queries_arg =
+    let doc = "Evaluate only the first N queries of each set." in
+    Arg.(value & opt (some int) None & info [ "queries" ] ~docv:"N" ~doc)
+  in
+  let audit_arg =
+    let doc =
+      "Audit every run — auto and both forced plans — against the \
+       exhaustive evaluator and fail unless each ranking is bit-identical."
+    in
+    Arg.(value & flag & info [ "audit" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Also write the per-class numbers as JSON to FILE." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let class_of q =
+    match q with
+    | Inquery.Query.And _ -> "conjunctive"
+    | Inquery.Query.Phrase _ -> "phrase"
+    | Inquery.Query.Od _ | Inquery.Query.Uw _ -> "window"
+    | _ -> (
+      match Inquery.Planner.shape_of q with
+      | Inquery.Planner.Flat -> "flat"
+      | _ -> "other")
+  in
+  let classes = [ "flat"; "conjunctive"; "phrase"; "window"; "other" ] in
+  let run scale names k n_queries audit json_file =
+    if k <= 0 then begin
+      Printf.eprintf "plan: --k must be positive\n";
+      exit 2
+    end;
+    let names =
+      match names with [] -> [ "cacm"; "legal"; "tipster1"; "tipster" ] | ns -> ns
+    in
+    let rows =
+      List.map
+        (fun name ->
+          let model = Collections.Presets.find ~scale name in
+          let prepared = Core.Experiment.prepare ~progress model in
+          let spec = Collections.Presets.planner_queries model in
+          let queries = Collections.Querygen.generate model spec in
+          let queries =
+            match n_queries with
+            | None -> queries
+            | Some n -> List.filteri (fun i _ -> i < n) queries
+          in
+          let qclasses = List.map (fun q -> class_of (Inquery.Query.parse_exn q)) queries in
+          (* One engine session per mode so buffer state cannot leak
+             between the baseline and the measured runs. *)
+          let run_mode choice =
+            let engine = Core.Experiment.open_engine prepared Core.Experiment.Mneme_cache in
+            List.map
+              (fun q ->
+                match Core.Engine.run_topk_string ~audit ~plan:choice ~k engine q with
+                | r -> r
+                | exception Inquery.Infnet.Audit_mismatch msg ->
+                  Printf.eprintf "plan: AUDIT FAILED on %s: %s\n  query: %s\n" name msg q;
+                  exit 1)
+              queries
+          in
+          let ex = run_mode (Inquery.Planner.Forced Inquery.Planner.Exhaustive) in
+          let ms = run_mode (Inquery.Planner.Forced Inquery.Planner.Maxscore) in
+          let it = run_mode (Inquery.Planner.Forced Inquery.Planner.Intersect) in
+          let auto = run_mode Inquery.Planner.Auto in
+          (* Per-class aggregation.  The shape-dispatch baseline is the
+             pre-planner policy: flat shapes take max-score, everything
+             else runs exhaustive. *)
+          let per_class =
+            List.map
+              (fun cls ->
+                let sum field rs =
+                  List.fold_left2
+                    (fun acc c r -> if String.equal c cls then acc + field r else acc)
+                    0 qclasses rs
+                in
+                let count = List.length (List.filter (String.equal cls) qclasses) in
+                let bytes r = r.Core.Engine.topk_bytes_read in
+                let shape_bytes =
+                  List.fold_left2
+                    (fun acc c (r_ms, r_ex) ->
+                      if not (String.equal c cls) then acc
+                      else if String.equal cls "flat" then acc + bytes r_ms
+                      else acc + bytes r_ex)
+                    0 qclasses (List.combine ms ex)
+                in
+                let plan_count p =
+                  List.fold_left2
+                    (fun acc c r ->
+                      if String.equal c cls && r.Core.Engine.topk_plan = p then acc + 1
+                      else acc)
+                    0 qclasses auto
+                in
+                ( cls,
+                  count,
+                  (sum bytes ex, sum bytes ms, sum bytes it),
+                  shape_bytes,
+                  sum bytes auto,
+                  sum (fun r -> r.Core.Engine.topk_est_bytes) auto,
+                  ( plan_count Inquery.Planner.Maxscore,
+                    plan_count Inquery.Planner.Intersect,
+                    plan_count Inquery.Planner.Exhaustive ) ))
+              classes
+            |> List.filter (fun (_, count, _, _, _, _, _) -> count > 0)
+          in
+          (name, List.length queries, per_class))
+        names
+    in
+    Printf.printf "%-10s %-12s %7s %12s %12s %12s %7s %12s %14s\n" "collection" "class"
+      "queries" "exhaustive" "shape" "auto" "ratio" "auto est" "plans m/i/e";
+    List.iter
+      (fun (name, _, per_class) ->
+        List.iteri
+          (fun i (cls, count, (ex_b, _, _), shape_b, auto_b, est_b, (pm, pi, pe)) ->
+            let ratio =
+              if auto_b > 0 then float_of_int shape_b /. float_of_int auto_b else infinity
+            in
+            Printf.printf "%-10s %-12s %7d %12d %12d %12d %6.2fx %12d %8d/%d/%d\n"
+              (if i = 0 then name else "")
+              cls count ex_b shape_b auto_b ratio est_b pm pi pe)
+          per_class)
+      rows;
+    if audit then
+      Printf.printf "audit: every plan's ranking matched the exhaustive one bit-for-bit\n";
+    match json_file with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      let class_json (cls, count, (ex_b, ms_b, it_b), shape_b, auto_b, est_b, (pm, pi, pe)) =
+        let ratio =
+          if auto_b > 0 then float_of_int shape_b /. float_of_int auto_b else 0.0
+        in
+        Printf.sprintf
+          "      { \"class\": %S, \"queries\": %d,\n\
+          \        \"bytes\": { \"exhaustive\": %d, \"maxscore\": %d, \"intersect\": %d,\n\
+          \                   \"shape_dispatch\": %d, \"auto\": %d },\n\
+          \        \"ratio_shape_over_auto\": %.4f, \"auto_est_bytes\": %d,\n\
+          \        \"auto_plans\": { \"maxscore\": %d, \"intersect\": %d, \"exhaustive\": %d } }"
+          cls count ex_b ms_b it_b shape_b auto_b ratio est_b pm pi pe
+      in
+      let row_json (name, nq, per_class) =
+        Printf.sprintf
+          "  { \"collection\": %S, \"queries\": %d, \"k\": %d, \"audited\": %b,\n\
+          \    \"classes\": [\n%s\n    ] }"
+          name nq k audit
+          (String.concat ",\n" (List.map class_json per_class))
+      in
+      Printf.fprintf oc "[\n%s\n]\n" (String.concat ",\n" (List.map row_json rows));
+      close_out oc;
+      Printf.printf "wrote %s\n" file
+  in
+  let doc =
+    "Measure the cost-based query planner on the mixed-workload sets: \
+     per-class record bytes decoded under the exhaustive baseline, the \
+     old shape-based dispatch, and the planner's auto choice, with the \
+     planner's own byte estimates alongside and an optional bit-identity \
+     audit of every plan."
+  in
+  Cmd.v (Cmd.info "plan" ~doc)
+    Term.(const run $ scale_arg $ collections_arg $ k_arg $ queries_arg $ audit_arg $ json_arg)
+
 (* --- cache -------------------------------------------------------- *)
 
 let cache_cmd =
@@ -1322,6 +1493,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ tables_cmd; ablations_cmd; stats_cmd; run_cmd; query_cmd; topk_cmd; parallel_cmd;
-            fsck_cmd; torture_cmd; failover_cmd; scrub_cmd; epoch_cmd; ingest_cmd; frontend_cmd;
-            shard_cmd; cache_cmd ]))
+          [ tables_cmd; ablations_cmd; stats_cmd; run_cmd; query_cmd; topk_cmd; plan_cmd;
+            parallel_cmd; fsck_cmd; torture_cmd; failover_cmd; scrub_cmd; epoch_cmd; ingest_cmd;
+            frontend_cmd; shard_cmd; cache_cmd ]))

@@ -86,3 +86,26 @@ let topk_queries model =
       ~pool_top_bias:450 ~pool_skew:1.0 ~fresh_prob:0.15 ~phrase_prob:0.0 ~weighted:true
       ~seed:203 ()
   | other -> invalid_arg ("Presets.topk_queries: unknown collection " ^ other)
+
+let planner_queries model =
+  (* Mixed-workload sets for the query-planner experiments: each query
+     falls in one of the planner's classes (flat #sum, conjunctive #and,
+     or positional #phrase/#od/#uw), over the same term pools as
+     [topk_queries] but with a higher fresh-vocabulary rate so term
+     selectivity is skewed — rare terms make the intersection-first
+     driver cheap while the pool terms keep the exhaustive baseline
+     expensive, which is the regime a cost model has to tell apart. *)
+  match model.Docmodel.name with
+  | "cacm" ->
+    Querygen.make ~set_name:"cacm-plan" ~n_queries:50 ~mean_terms:4.0 ~pool_size:120
+      ~pool_top_bias:300 ~pool_skew:1.0 ~fresh_prob:0.35 ~oov_prob:0.0 ~phrase_prob:0.0
+      ~structure:Querygen.Mixed ~seed:204 ()
+  | "legal" ->
+    Querygen.make ~set_name:"legal-plan" ~n_queries:50 ~mean_terms:4.0 ~pool_size:150
+      ~pool_top_bias:300 ~pool_skew:1.0 ~fresh_prob:0.35 ~phrase_prob:0.0
+      ~structure:Querygen.Mixed ~seed:204 ()
+  | "tipster1" | "tipster" ->
+    Querygen.make ~set_name:"tipster-plan" ~n_queries:50 ~mean_terms:4.0 ~pool_size:300
+      ~pool_top_bias:450 ~pool_skew:1.0 ~fresh_prob:0.35 ~phrase_prob:0.0
+      ~structure:Querygen.Mixed ~seed:204 ()
+  | other -> invalid_arg ("Presets.planner_queries: unknown collection " ^ other)

@@ -35,6 +35,14 @@ val topk_queries : Docmodel.t -> Querygen.spec
     purely additive queries.  Raises [Invalid_argument] for an unknown
     collection name. *)
 
+val planner_queries : Docmodel.t -> Querygen.spec
+(** A mixed-workload set for the query-planner experiments: every query
+    is one of the planner's classes ({!Querygen.structure.Mixed} — flat
+    [#sum], conjunctive [#and], or a positional [#phrase]/[#od]/[#uw]),
+    drawn over the collection's usual term pool with a higher
+    fresh-vocabulary rate so term selectivity is skewed.  Raises
+    [Invalid_argument] for an unknown collection name. *)
+
 val find : ?scale:float -> string -> Docmodel.t
 (** Model by name ("cacm", "legal", "tipster1", "tipster").
     Raises [Invalid_argument] otherwise. *)

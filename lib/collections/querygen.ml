@@ -1,4 +1,4 @@
-type structure = Flat | Cnf | Dnf
+type structure = Flat | Cnf | Dnf | Mixed
 
 type spec = {
   set_name : string;
@@ -28,6 +28,8 @@ let make ~set_name ?(n_queries = 50) ~mean_terms ?(pool_size = 150) ~pool_top_bi
   check_prob "fresh_prob" fresh_prob;
   check_prob "oov_prob" oov_prob;
   check_prob "phrase_prob" phrase_prob;
+  if structure = Mixed && phrase_prob > 0.0 then
+    invalid_arg "Querygen.make: Mixed draws its own operators; phrase_prob must be 0";
   {
     set_name;
     n_queries;
@@ -128,6 +130,25 @@ let generate model spec =
         items @ List.filter (fun _ -> Util.Rng.float rng_struct 1.0 < 0.4) items
       in
       joined "or" (List.map (joined "and") (groups_of duplicated))
+    | Mixed -> (
+      (* The planner workload: each query lands in one of the evaluator's
+         plan classes — flat (#sum), conjunctive (#and), or positional
+         (#phrase / #od / #uw) — so a single set exercises every executor.
+         Items are bare terms ([make] rejects phrase_prob > 0): the
+         positional classes build their own operators here. *)
+      let first_two = match items with a :: b :: _ -> [ a; b ] | _ -> items in
+      match Util.Rng.int rng_struct 5 with
+      | 0 -> joined "sum" items
+      | 1 ->
+        let n = 2 + Util.Rng.int rng_struct 2 in
+        let rec take n = function
+          | x :: rest when n > 0 -> x :: take (n - 1) rest
+          | _ -> []
+        in
+        joined "and" (take n items)
+      | 2 -> joined "phrase" first_two
+      | 3 -> joined (Printf.sprintf "od%d" (2 + Util.Rng.int rng_struct 4)) first_two
+      | _ -> joined (Printf.sprintf "uw%d" (4 + Util.Rng.int rng_struct 6)) first_two)
   in
   List.init spec.n_queries (fun _ ->
       let k =

@@ -20,6 +20,13 @@ type structure =
   | Flat  (** [#sum] of terms — natural-language style *)
   | Cnf  (** [#and] of [#or] groups — boolean representation 1 *)
   | Dnf  (** [#or] of [#and] groups — boolean representation 2 *)
+  | Mixed
+      (** each query is drawn from one of the query-planner's plan
+          classes: [#sum] of all terms, [#and] of 2-3 terms, or a
+          two-term [#phrase] / [#odN] / [#uwN] — the mixed workload the
+          planner experiments run.  Requires [phrase_prob = 0] (items
+          stay bare terms; the positional classes build their own
+          operators). *)
 
 type spec = {
   set_name : string;
@@ -53,7 +60,8 @@ val make :
   spec
 (** Defaults: 50 queries, pool of 150, skew 1.0, fresh 0.15, oov 0.0,
     phrases 0.0, unweighted, [Flat], seed 7.  Raises [Invalid_argument]
-    on non-positive sizes or probabilities outside [0, 1]. *)
+    on non-positive sizes, probabilities outside [0, 1], or [Mixed]
+    combined with a positive [phrase_prob]. *)
 
 val generate : Docmodel.t -> spec -> string list
 (** Concrete query strings in INQUERY syntax, deterministic in the

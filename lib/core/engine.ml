@@ -133,14 +133,19 @@ type topk_result = {
   topk_ranked : Inquery.Ranking.ranked list;
   topk_postings_scored : int;
   topk_record_lookups : int;
+  topk_plan : Inquery.Planner.plan;
   topk_pruned : bool;
   topk_postings_total : int;
   topk_postings_decoded : int;
   topk_blocks_skipped : int;
   topk_seeks : int;
+  topk_bytes_read : int;
+  topk_blocks_read : int;
+  topk_est_bytes : int;
+  topk_est_blocks : int;
 }
 
-let run_topk ?(audit = false) ?(exhaustive = false) ?(k = 10) t query =
+let run_topk ?(audit = false) ?(exhaustive = false) ?plan ?(k = 10) t query =
   let release =
     if t.reserve then t.store.Index_store.reserve (query_entries t query)
     else Index_store.no_reserve []
@@ -154,7 +159,7 @@ let run_topk ?(audit = false) ?(exhaustive = false) ?(k = 10) t query =
   let scored, stats, tk =
     Fun.protect ~finally:release (fun () ->
         Inquery.Infnet.eval_topk t.source t.dict ?stopwords:t.stopwords ~stem:t.stem ~audit
-          ~exhaustive ?block_cache ~k query)
+          ~exhaustive ?plan ?block_cache ~k query)
   in
   let model = Vfs.cost_model t.vfs in
   let cpu_ms =
@@ -171,12 +176,17 @@ let run_topk ?(audit = false) ?(exhaustive = false) ?(k = 10) t query =
         scored;
     topk_postings_scored = stats.Inquery.Infnet.postings_scored;
     topk_record_lookups = stats.Inquery.Infnet.record_lookups;
+    topk_plan = tk.Inquery.Infnet.tk_plan;
     topk_pruned = tk.Inquery.Infnet.tk_pruned;
     topk_postings_total = tk.Inquery.Infnet.tk_postings_total;
     topk_postings_decoded = tk.Inquery.Infnet.tk_postings_decoded;
     topk_blocks_skipped = tk.Inquery.Infnet.tk_blocks_skipped;
     topk_seeks = tk.Inquery.Infnet.tk_seeks;
+    topk_bytes_read = tk.Inquery.Infnet.tk_bytes_read;
+    topk_blocks_read = tk.Inquery.Infnet.tk_blocks_read;
+    topk_est_bytes = tk.Inquery.Infnet.tk_est_bytes;
+    topk_est_blocks = tk.Inquery.Infnet.tk_est_blocks;
   }
 
-let run_topk_string ?audit ?exhaustive ?k t text =
-  run_topk ?audit ?exhaustive ?k t (Inquery.Query.parse_exn text)
+let run_topk_string ?audit ?exhaustive ?plan ?k t text =
+  run_topk ?audit ?exhaustive ?plan ?k t (Inquery.Query.parse_exn text)

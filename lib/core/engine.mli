@@ -103,22 +103,42 @@ type topk_result = {
   topk_ranked : Inquery.Ranking.ranked list;
   topk_postings_scored : int;
   topk_record_lookups : int;
-  topk_pruned : bool;  (** max-score path ran (vs. exhaustive fallback) *)
+  topk_plan : Inquery.Planner.plan;  (** the plan that executed *)
+  topk_pruned : bool;  (** a pruning plan ran (vs. exhaustive) *)
   topk_postings_total : int;
   topk_postings_decoded : int;
   topk_blocks_skipped : int;
   topk_seeks : int;
+  topk_bytes_read : int;  (** record bytes actually decoded *)
+  topk_blocks_read : int;  (** skip blocks freshly decoded *)
+  topk_est_bytes : int;  (** planner's byte estimate for the plan *)
+  topk_est_blocks : int;  (** planner's block estimate for the plan *)
 }
 
-val run_topk : ?audit:bool -> ?exhaustive:bool -> ?k:int -> t -> Inquery.Query.t -> topk_result
+val run_topk :
+  ?audit:bool ->
+  ?exhaustive:bool ->
+  ?plan:Inquery.Planner.choice ->
+  ?k:int ->
+  t ->
+  Inquery.Query.t ->
+  topk_result
 (** Document-at-a-time top-[k] retrieval through
-    {!Inquery.Infnet.eval_topk}: max-score pruning with skip-block seeks
-    where the query shape allows it, exhaustive fallback otherwise.
+    {!Inquery.Infnet.eval_topk}: the cost-based planner picks the
+    cheapest applicable executor (max-score, intersection-first, or
+    exhaustive) from header statistics; [plan] forces one instead.
     [audit] re-runs the exhaustive evaluator and raises
     {!Inquery.Infnet.Audit_mismatch} on any divergence; [exhaustive]
-    forces the fallback (the benchmark baseline).  CPU is charged to the
-    {!Vfs} clock per posting actually scored, so pruning shows up in the
-    simulated timings too. *)
+    forces the exhaustive plan (the benchmark baseline).  CPU is
+    charged to the {!Vfs} clock per posting actually scored, so pruning
+    shows up in the simulated timings too. *)
 
-val run_topk_string : ?audit:bool -> ?exhaustive:bool -> ?k:int -> t -> string -> topk_result
+val run_topk_string :
+  ?audit:bool ->
+  ?exhaustive:bool ->
+  ?plan:Inquery.Planner.choice ->
+  ?k:int ->
+  t ->
+  string ->
+  topk_result
 (** Parse and evaluate.  Raises [Invalid_argument] on syntax errors. *)

@@ -319,7 +319,7 @@ let mark_repaired t ~replica ~term =
   end
   else false
 
-let run_query ?(top_k = 100) ?deadline_ms ?floor t query =
+let run_query ?(top_k = 100) ?deadline_ms ?floor ?plan t query =
   (match deadline_ms with
   | Some d when d <= 0.0 -> invalid_arg "Frontend.run_query: deadline must be positive"
   | _ -> ());
@@ -470,7 +470,7 @@ let run_query ?(top_k = 100) ?deadline_ms ?floor t query =
       end
   in
   let scored, stats, tk =
-    Inquery.Infnet.eval_topk source t.dict ?df_of:t.df_of ?floor ?stopwords:t.stopwords
+    Inquery.Infnet.eval_topk source t.dict ?df_of:t.df_of ?floor ?plan ?stopwords:t.stopwords
       ~stem:t.stem ~should_stop
       ?block_cache:(Option.map (fun bc -> (bc, epoch_now)) t.bcache)
       ~k:top_k query
@@ -525,5 +525,5 @@ let run_query ?(top_k = 100) ?deadline_ms ?floor t query =
   | _ -> ());
   result
 
-let run_query_string ?top_k ?deadline_ms ?floor t text =
-  run_query ?top_k ?deadline_ms ?floor t (Inquery.Query.parse_exn text)
+let run_query_string ?top_k ?deadline_ms ?floor ?plan t text =
+  run_query ?top_k ?deadline_ms ?floor ?plan t (Inquery.Query.parse_exn text)

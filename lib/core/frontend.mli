@@ -150,12 +150,22 @@ type result = {
           scoring happened *)
 }
 
-val run_query : ?top_k:int -> ?deadline_ms:float -> ?floor:float -> t -> Inquery.Query.t -> result
-(** Evaluate one parsed query with the max-score pruned top-k evaluator
-    ({!Inquery.Infnet.eval_topk}): only documents that can still reach
-    the current k-th belief are scored, seeking over skip blocks of
-    non-essential terms.  Results are bit-identical to the exhaustive
-    ranking's first [top_k].
+val run_query :
+  ?top_k:int ->
+  ?deadline_ms:float ->
+  ?floor:float ->
+  ?plan:Inquery.Planner.choice ->
+  t ->
+  Inquery.Query.t ->
+  result
+(** Evaluate one parsed query with the cost-planned top-k evaluator
+    ({!Inquery.Infnet.eval_topk}): the planner picks the cheapest
+    applicable executor (max-score, intersection-first, exhaustive)
+    from header statistics; [plan] forces one ({!Inquery.Planner.Auto}
+    by default).  Results are bit-identical to the exhaustive ranking's
+    first [top_k] whatever the plan, which is why the result cache's
+    key stays plan-independent: a ranking computed under any plan may
+    be replayed for any other.
 
     With [deadline_ms], the deadline is checked before every record
     fetch {e and} between candidate documents during evaluation (accrued
@@ -200,7 +210,13 @@ val run_query : ?top_k:int -> ?deadline_ms:float -> ?floor:float -> t -> Inquery
     re-decoded, never what any query answers. *)
 
 val run_query_string :
-  ?top_k:int -> ?deadline_ms:float -> ?floor:float -> t -> string -> result
+  ?top_k:int ->
+  ?deadline_ms:float ->
+  ?floor:float ->
+  ?plan:Inquery.Planner.choice ->
+  t ->
+  string ->
+  result
 (** Parse and evaluate.  Raises [Invalid_argument] on syntax errors. *)
 
 (** {2 Cache tiers} *)

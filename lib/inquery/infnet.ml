@@ -49,6 +49,20 @@ let successor arr q =
 
 let sort_matches matches = List.sort (fun (a, _) (b, _) -> compare a b) matches
 
+(* Ordered window within one document: chains t1 < t2 < ... with each
+   step within [window] positions, over the members' sorted position
+   arrays.  Shared by the exhaustive matcher and the intersection
+   executor so both compute the exact same tf. *)
+let od_match_tf ~window first_ps rest_ps =
+  let rec chain q = function
+    | [] -> true
+    | ps :: more -> (
+      match successor ps q with
+      | Some q' when q' <= q + window -> chain q' more
+      | Some _ | None -> false)
+  in
+  Array.fold_left (fun acc p -> if chain p rest_ps then acc + 1 else acc) 0 first_ps
+
 (* Ordered window: chains t1 < t2 < ... with each step within [window]
    positions.  [#phrase] is the window-1 case (strictly increasing
    positions make "within 1" mean "exactly adjacent"). *)
@@ -63,14 +77,8 @@ let od_doc_tfs ~window records =
     Hashtbl.iter
       (fun doc ps1 ->
         if List.for_all (fun tbl -> Hashtbl.mem tbl doc) rest_tbls then begin
-          let rec chain q = function
-            | [] -> true
-            | tbl :: more -> (
-              match successor (Hashtbl.find tbl doc) q with
-              | Some q' when q' <= q + window -> chain q' more
-              | Some _ | None -> false)
-          in
-          let tf = Array.fold_left (fun acc p -> if chain p rest_tbls then acc + 1 else acc) 0 ps1 in
+          let rest_ps = List.map (fun tbl -> Hashtbl.find tbl doc) rest_tbls in
+          let tf = od_match_tf ~window ps1 rest_ps in
           if tf > 0 then matches := (doc, tf) :: !matches
         end)
       first_tbl;
@@ -78,9 +86,32 @@ let od_doc_tfs ~window records =
 
 let phrase_doc_tfs records = od_doc_tfs ~window:1 records
 
-(* Unordered window: all members within a span of [window] positions.
+(* Unordered window within one document: all members within a span of
+   [window] positions, over the members' sorted position arrays.
    Sliding scan: repeatedly take the member currently at the smallest
-   position; if the current span fits the window, count a match. *)
+   position; if the current span fits the window, count a match.
+   Shared by the exhaustive matcher and the intersection executor. *)
+let uw_match_tf ~window arrays =
+  let k = Array.length arrays in
+  let idx = Array.make k 0 in
+  let tf = ref 0 in
+  let exhausted = ref false in
+  while not !exhausted do
+    let lo_i = ref 0 and lo = ref arrays.(0).(idx.(0)) and hi = ref arrays.(0).(idx.(0)) in
+    for i = 1 to k - 1 do
+      let v = arrays.(i).(idx.(i)) in
+      if v < !lo then begin
+        lo := v;
+        lo_i := i
+      end;
+      if v > !hi then hi := v
+    done;
+    if !hi - !lo < window then incr tf;
+    idx.(!lo_i) <- idx.(!lo_i) + 1;
+    if idx.(!lo_i) >= Array.length arrays.(!lo_i) then exhausted := true
+  done;
+  !tf
+
 let uw_doc_tfs ~window records =
   match records with
   | [] -> ([], 0)
@@ -93,25 +124,8 @@ let uw_doc_tfs ~window records =
       (fun doc ps1 ->
         if List.for_all (fun tbl -> Hashtbl.mem tbl doc) rest_tbls then begin
           let arrays = Array.of_list (ps1 :: List.map (fun tbl -> Hashtbl.find tbl doc) rest_tbls) in
-          let k = Array.length arrays in
-          let idx = Array.make k 0 in
-          let tf = ref 0 in
-          let exhausted = ref false in
-          while not !exhausted do
-            let lo_i = ref 0 and lo = ref arrays.(0).(idx.(0)) and hi = ref arrays.(0).(idx.(0)) in
-            for i = 1 to k - 1 do
-              let v = arrays.(i).(idx.(i)) in
-              if v < !lo then begin
-                lo := v;
-                lo_i := i
-              end;
-              if v > !hi then hi := v
-            done;
-            if !hi - !lo < window then incr tf;
-            idx.(!lo_i) <- idx.(!lo_i) + 1;
-            if idx.(!lo_i) >= Array.length arrays.(!lo_i) then exhausted := true
-          done;
-          if !tf > 0 then matches := (doc, !tf) :: !matches
+          let tf = uw_match_tf ~window arrays in
+          if tf > 0 then matches := (doc, tf) :: !matches
         end)
       first_tbl;
     (sort_matches !matches, !examined)
@@ -279,7 +293,8 @@ type dnode =
   | DMax of dnode list
   | DNot of dnode
 
-let eval_daat source dict ?df_of ?stopwords ?(stem = false) query =
+let eval_daat_with ?(on_record = fun (_ : bytes) ~positional:(_ : bool) -> ()) source dict
+    ?df_of ?stopwords ?(stem = false) query =
   let stats = { postings_scored = 0; nodes_visited = 0; record_lookups = 0 } in
   let normalize term =
     let drop =
@@ -298,6 +313,7 @@ let eval_daat source dict ?df_of ?stopwords ?(stem = false) query =
         match source.fetch entry with
         | None -> DAbsent
         | Some record ->
+          on_record record ~positional:false;
           let df = record_df ?df_of entry record in
           let docs =
             Postings.fold_docs record ~init:[] ~f:(fun acc ~doc ~tf -> (doc, tf) :: acc)
@@ -305,7 +321,7 @@ let eval_daat source dict ?df_of ?stopwords ?(stem = false) query =
           in
           DLeaf { docs; df; pos = 0 }))
   in
-  let positional_leaf ~require_all matcher words =
+  let positional_leaf ~require_all ~positions matcher words =
     let records =
       List.map
         (fun w ->
@@ -331,6 +347,7 @@ let eval_daat source dict ?df_of ?stopwords ?(stem = false) query =
     match usable with
     | None -> DAbsent
     | Some records ->
+      List.iter (fun r -> on_record r ~positional:positions) records;
       let matches, examined = matcher records in
       stats.postings_scored <- stats.postings_scored + examined;
       DLeaf { docs = Array.of_list matches; df = List.length matches; pos = 0 }
@@ -339,10 +356,12 @@ let eval_daat source dict ?df_of ?stopwords ?(stem = false) query =
     stats.nodes_visited <- stats.nodes_visited + 1;
     match q with
     | Query.Term w -> term_leaf w
-    | Query.Phrase ws -> positional_leaf ~require_all:true phrase_doc_tfs ws
-    | Query.Od (window, ws) -> positional_leaf ~require_all:true (od_doc_tfs ~window) ws
-    | Query.Uw (window, ws) -> positional_leaf ~require_all:true (uw_doc_tfs ~window) ws
-    | Query.Syn ws -> positional_leaf ~require_all:false syn_doc_tfs ws
+    | Query.Phrase ws -> positional_leaf ~require_all:true ~positions:true phrase_doc_tfs ws
+    | Query.Od (window, ws) ->
+      positional_leaf ~require_all:true ~positions:true (od_doc_tfs ~window) ws
+    | Query.Uw (window, ws) ->
+      positional_leaf ~require_all:true ~positions:true (uw_doc_tfs ~window) ws
+    | Query.Syn ws -> positional_leaf ~require_all:false ~positions:false syn_doc_tfs ws
     | Query.Sum ns -> DSum (List.map build ns)
     | Query.Wsum ps -> DWsum (List.map (fun (w, n) -> (w, build n)) ps)
     | Query.And ns -> DAnd (List.map build ns)
@@ -427,15 +446,23 @@ let eval_daat source dict ?df_of ?stopwords ?(stem = false) query =
   loop ();
   (List.rev !results, stats)
 
+let eval_daat source dict ?df_of ?stopwords ?(stem = false) query =
+  eval_daat_with source dict ?df_of ?stopwords ~stem query
+
 (* ------------------------------------------------------------------ *)
 (* Max-score top-k document-at-a-time evaluation                       *)
 
 type topk_stats = {
+  tk_plan : Planner.plan;
   tk_pruned : bool;
   tk_postings_total : int;
   tk_postings_decoded : int;
   tk_blocks_skipped : int;
   tk_seeks : int;
+  tk_bytes_read : int;
+  tk_blocks_read : int;
+  tk_est_bytes : int;
+  tk_est_blocks : int;
   tk_stopped : bool;
 }
 
@@ -482,7 +509,8 @@ let linear_shape query =
   | _ -> None
 
 let eval_topk source dict ?df_of ?floor ?stopwords ?(stem = false) ?(audit = false)
-    ?(exhaustive = false) ?(should_stop = fun (_ : stats) -> false) ?block_cache ~k query =
+    ?(exhaustive = false) ?(plan = Planner.Auto)
+    ?(should_stop = fun (_ : stats) -> false) ?block_cache ~k query =
   if k < 0 then invalid_arg "Infnet.eval_topk: negative k";
   (match floor with
   | Some f when not (Float.is_finite f) -> invalid_arg "Infnet.eval_topk: floor must be finite"
@@ -491,8 +519,109 @@ let eval_topk source dict ?df_of ?floor ?stopwords ?(stem = false) ?(audit = fal
        drops documents below it, so the two contracts cannot be compared. *)
     invalid_arg "Infnet.eval_topk: audit cannot be combined with floor"
   | _ -> ());
-  let fallback () =
-    let results, dstats = eval_daat source dict ?df_of ?stopwords ~stem query in
+  (* One physical fetch per dictionary entry, shared by the planner's
+     statistics probes, the chosen executor and the audit oracle — the
+     cost model never adds store reads, only O(1) header parses. *)
+  let memo : (int, bytes option) Hashtbl.t = Hashtbl.create 8 in
+  let raw_fetch = source.fetch in
+  let fetch_memo entry =
+    match Hashtbl.find_opt memo entry.Dictionary.id with
+    | Some r -> r
+    | None ->
+      let r = raw_fetch entry in
+      Hashtbl.add memo entry.Dictionary.id r;
+      r
+  in
+  let source = { source with fetch = fetch_memo } in
+  let normalize term =
+    let drop =
+      match stopwords with Some sw -> Stopwords.is_stopword sw term | None -> false
+    in
+    if drop then None else Some (if stem then Stemmer.stem term else term)
+  in
+  (* Planner probes: header statistics only, no lookup accounting (the
+     executor's own fetches are the ones the engine charges for). *)
+  let stats_of w =
+    match normalize w with
+    | None -> None
+    | Some w -> (
+      match Dictionary.find dict w with
+      | None -> None
+      | Some entry -> Option.map Postings.record_stats (fetch_memo entry))
+  in
+  let requested =
+    let plan = if exhaustive then Planner.Forced Planner.Exhaustive else plan in
+    match plan with
+    | Planner.Auto -> (Planner.decide ~stats_of ~k query).Planner.e_plan
+    | Planner.Forced p ->
+      if List.mem p (Planner.applicable query) then p else Planner.Exhaustive
+  in
+  let audit_check ~stopped ranked =
+    if audit && not stopped then begin
+      let reference, _ = eval_daat source dict ?df_of ?stopwords ~stem query in
+      let reference = take_n k (List.sort rank_order reference) in
+      let fail msg = raise (Audit_mismatch msg) in
+      if List.length reference <> List.length ranked then
+        fail
+          (Printf.sprintf "%s returned %d results, exhaustive %d"
+             (Planner.plan_name requested) (List.length ranked) (List.length reference));
+      List.iteri
+        (fun i (a, b) ->
+          if a.doc <> b.doc || a.belief <> b.belief then
+            fail
+              (Printf.sprintf
+                 "rank %d diverges: %s doc %d belief %.17g, exhaustive doc %d belief %.17g"
+                 i (Planner.plan_name requested) a.doc a.belief b.doc b.belief))
+        (List.combine ranked reference)
+    end
+  in
+  (* Fetch a bare term's record and open a seekable cursor on it; [None]
+     for stop words, OOV terms and unfetchable records.  Blocks are
+     shared across queries keyed by the record's stable locator; entries
+     without one (locator < 0, e.g. B-tree-resident records) bypass the
+     cache. *)
+  let term_cursor stats w =
+    match normalize w with
+    | None -> None
+    | Some w -> (
+      match Dictionary.find dict w with
+      | None -> None
+      | Some entry -> (
+        stats.record_lookups <- stats.record_lookups + 1;
+        match fetch_memo entry with
+        | None -> None
+        | Some record ->
+          let cache =
+            match block_cache with
+            | Some (bc, epoch) when entry.Dictionary.locator >= 0 ->
+              Some (bc, entry.Dictionary.locator, epoch)
+            | _ -> None
+          in
+          Some (entry, record, Postings.cursor ?cache record)))
+  in
+  let cursor_counters curs =
+    List.fold_left
+      (fun (t, d, bs, sk, by, bl) cur ->
+        ( t + Postings.cursor_df cur,
+          d + Postings.cursor_decoded cur,
+          bs + Postings.cursor_blocks_skipped cur,
+          sk + Postings.cursor_seeks cur,
+          by + Postings.cursor_bytes_read cur,
+          bl + Postings.cursor_blocks_loaded cur ))
+      (0, 0, 0, 0, 0, 0) curs
+  in
+  (* --- plan: exhaustive --------------------------------------------- *)
+  let exhaustive_exec () =
+    let total = ref 0 and bytes = ref 0 and blocks = ref 0 in
+    let on_record record ~positional =
+      let s = Postings.record_stats record in
+      total := !total + s.Postings.rs_df;
+      blocks := !blocks + s.Postings.rs_blocks;
+      bytes :=
+        !bytes + s.Postings.rs_doc_bytes
+        + (if positional then s.Postings.rs_pos_bytes else 0)
+    in
+    let results, dstats = eval_daat_with ~on_record source dict ?df_of ?stopwords ~stem query in
     let heap = Util.Topk.create ~k in
     List.iter (fun s -> ignore (Util.Topk.offer heap ~doc:s.doc ~score:s.belief)) results;
     let ranked =
@@ -503,36 +632,27 @@ let eval_topk source dict ?df_of ?floor ?stopwords ?(stem = false) ?(audit = fal
     ( ranked,
       dstats,
       {
+        tk_plan = Planner.Exhaustive;
         tk_pruned = false;
-        tk_postings_total = dstats.postings_scored;
-        tk_postings_decoded = dstats.postings_scored;
+        tk_postings_total = !total;
+        tk_postings_decoded = !total;
         tk_blocks_skipped = 0;
         tk_seeks = 0;
+        tk_bytes_read = !bytes;
+        tk_blocks_read = !blocks;
+        tk_est_bytes = 0;
+        tk_est_blocks = 0;
         tk_stopped = false;
       } )
   in
-  match (if exhaustive then None else linear_shape query) with
-  | None -> fallback ()
-  | Some (children, norm) ->
+  (* --- plan: additive max-score (flat shapes) ----------------------- *)
+  let maxscore_exec () =
+    match linear_shape query with
+    | None -> assert false (* the planner only picks Maxscore for Flat *)
+    | Some (children, norm) ->
     let stats = { postings_scored = 0; nodes_visited = 0; record_lookups = 0 } in
     let m = List.length children in
     stats.nodes_visited <- (match query with Query.Term _ -> 1 | _ -> 1 + m);
-    let normalize term =
-      let drop =
-        match stopwords with Some sw -> Stopwords.is_stopword sw term | None -> false
-      in
-      if drop then None else Some (if stem then Stemmer.stem term else term)
-    in
-    let fetch_term w =
-      match normalize w with
-      | None -> None
-      | Some w -> (
-        match Dictionary.find dict w with
-        | None -> None
-        | Some entry ->
-          stats.record_lookups <- stats.record_lookups + 1;
-          Option.map (fun record -> (entry, record)) (source.fetch entry))
-    in
     let absent w =
       { lc_weight = w; lc_cur = None; lc_df = 0; lc_ub = default_belief; lc_coeff = 0.0;
         lc_mtf = 0.0 }
@@ -542,9 +662,9 @@ let eval_topk source dict ?df_of ?floor ?stopwords ?(stem = false) ?(audit = fal
         (List.map
            (fun (w, child) ->
              let term = match child with Query.Term t -> t | _ -> assert false in
-             match fetch_term term with
+             match term_cursor stats term with
              | None -> absent w
-             | Some (entry, record) ->
+             | Some (entry, record, cur) ->
                let df = record_df ?df_of entry record in
                (* tf_w = tf/(tf + 0.5 + 1.5*dl/avg) <= max_tf/(max_tf + 0.5);
                   without a max_tf header (v1 record) the bound degrades
@@ -557,16 +677,7 @@ let eval_topk source dict ?df_of ?floor ?stopwords ?(stem = false) ?(audit = fal
                let tf_bound = if mtf > 0.0 then mtf /. (mtf +. 0.5) else 1.0 in
                let idf = idf_weight ~n_docs:source.n_docs ~df in
                let ub = default_belief +. (0.6 *. tf_bound *. idf) in
-               (* Blocks are shared across queries keyed by the record's
-                  stable locator; entries without one (locator < 0, e.g.
-                  B-tree-resident records) bypass the cache. *)
-               let cache =
-                 match block_cache with
-                 | Some (bc, epoch) when entry.Dictionary.locator >= 0 ->
-                   Some (bc, entry.Dictionary.locator, epoch)
-                 | _ -> None
-               in
-               { lc_weight = w; lc_cur = Some (Postings.cursor ?cache record); lc_df = df;
+               { lc_weight = w; lc_cur = Some cur; lc_df = df;
                  lc_ub = ub; lc_coeff = w *. 0.6 *. idf /. norm; lc_mtf = mtf })
            children)
     in
@@ -722,41 +833,340 @@ let eval_topk source dict ?df_of ?floor ?stopwords ?(stem = false) ?(audit = fal
         (fun e -> { doc = e.Util.Topk.doc; belief = e.Util.Topk.score })
         (Util.Topk.sorted_desc heap)
     in
-    let total = ref 0 and decoded = ref 0 and blocks = ref 0 and seeks = ref 0 in
-    Array.iter
-      (fun lf ->
-        match lf.lc_cur with
-        | Some cur ->
-          total := !total + Postings.cursor_df cur;
-          decoded := !decoded + Postings.cursor_decoded cur;
-          blocks := !blocks + Postings.cursor_blocks_skipped cur;
-          seeks := !seeks + Postings.cursor_seeks cur
-        | None -> ())
-      leaves;
-    if audit && not !stopped then begin
-      let reference, _ = eval_daat source dict ?df_of ?stopwords ~stem query in
-      let reference = take_n k (List.sort rank_order reference) in
-      let fail msg = raise (Audit_mismatch msg) in
-      if List.length reference <> List.length ranked then
-        fail
-          (Printf.sprintf "pruned returned %d results, exhaustive %d" (List.length ranked)
-             (List.length reference));
-      List.iteri
-        (fun i (a, b) ->
-          if a.doc <> b.doc || a.belief <> b.belief then
-            fail
-              (Printf.sprintf
-                 "rank %d diverges: pruned doc %d belief %.17g, exhaustive doc %d belief %.17g"
-                 i a.doc a.belief b.doc b.belief))
-        (List.combine ranked reference)
-    end;
+    let curs =
+      Array.to_list leaves
+      |> List.filter_map (fun lf -> lf.lc_cur)
+    in
+    let total, decoded, blocks, seeks, bytes, loaded = cursor_counters curs in
     ( ranked,
       stats,
       {
+        tk_plan = Planner.Maxscore;
         tk_pruned = true;
-        tk_postings_total = !total;
-        tk_postings_decoded = !decoded;
-        tk_blocks_skipped = !blocks;
-        tk_seeks = !seeks;
+        tk_postings_total = total;
+        tk_postings_decoded = decoded;
+        tk_blocks_skipped = blocks;
+        tk_seeks = seeks;
+        tk_bytes_read = bytes;
+        tk_blocks_read = loaded;
+        tk_est_bytes = 0;
+        tk_est_blocks = 0;
         tk_stopped = !stopped;
       } )
+  in
+  (* --- plan: intersection-first #and (multiplicative max-score) -----
+
+     #and is a soft conjunction: a document missing a member still
+     scores, every missing member contributing exactly the 0.4 default
+     factor.  So a pure document intersection would be wrong — instead
+     this is the max-score idea carried to a product: sort leaves by
+     upper-bound belief descending, keep an essential prefix whose
+     absence alone caps a document below the threshold (a document
+     absent from the first j sorted leaves scores at most
+     0.4^j * prod_{i>=j} ub_i), drive the essential cursors and only
+     seek the rest.  With k results banked the essential set shrinks
+     toward the rarest (highest-idf) member and the executor degenerates
+     into exactly the intersection-first scan the planner priced. *)
+  let and_intersect_exec terms0 =
+    let stats = { postings_scored = 0; nodes_visited = 0; record_lookups = 0 } in
+    stats.nodes_visited <- 1 + List.length terms0;
+    (* One leaf per child, in original child order: the exact final
+       score folds in this order, like eval_daat's DAnd.  [lc_coeff]
+       holds the idf here (the refined per-document bound needs it);
+       weights and norms don't exist under #and. *)
+    let leaves =
+      Array.of_list
+        (List.map
+           (fun term ->
+             match term_cursor stats term with
+             | None ->
+               { lc_weight = 1.0; lc_cur = None; lc_df = 0; lc_ub = default_belief;
+                 lc_coeff = 0.0; lc_mtf = 0.0 }
+             | Some (entry, record, cur) ->
+               let df = record_df ?df_of entry record in
+               let mtf =
+                 match Postings.max_tf record with
+                 | Some mt when mt > 0 -> float_of_int mt
+                 | _ -> 0.0
+               in
+               let tf_bound = if mtf > 0.0 then mtf /. (mtf +. 0.5) else 1.0 in
+               let idf = idf_weight ~n_docs:source.n_docs ~df in
+               { lc_weight = 1.0; lc_cur = Some cur; lc_df = df;
+                 lc_ub = default_belief +. (0.6 *. tf_bound *. idf);
+                 lc_coeff = idf; lc_mtf = mtf })
+           terms0)
+    in
+    let n = Array.length leaves in
+    (* eval_daat's DAnd no-evidence score: every leaf defaults. *)
+    let baseline = Array.fold_left (fun acc _ -> acc *. default_belief) 1.0 leaves in
+    let leaf_belief lf d =
+      match lf.lc_cur with
+      | Some cur when Postings.cur_doc cur = d ->
+        stats.postings_scored <- stats.postings_scored + 1;
+        belief ~n_docs:source.n_docs ~df:lf.lc_df ~tf:(Postings.cur_tf cur)
+          ~dl:(source.doc_len d) ~avg_dl:source.avg_doc_len
+      | _ -> default_belief
+    in
+    (* Exact final score, replicating eval_daat's child-order fold so
+       intersected and exhaustive beliefs are bit-identical. *)
+    let final_score d =
+      Array.fold_left (fun acc lf -> acc *. leaf_belief lf d) 1.0 leaves
+    in
+    let heap = Util.Topk.create ~k in
+    let thr () =
+      let base = baseline +. 1e-12 in
+      (* Same strictly-below-floor pruning contract as the additive
+         path: the scatter-gather coordinator's global kth score can
+         only drop documents that cannot enter the global top-k. *)
+      let base = match floor with Some f -> Float.max f base | None -> base in
+      match Util.Topk.threshold heap with Some t -> Float.max t base | None -> base
+    in
+    let margin = 1e-9 in
+    (* Largest upper bound first: missing a high-ub (rare) member caps
+       the product hardest, so those leaves gate the frontier. *)
+    let order = Array.init n (fun i -> i) in
+    Array.sort (fun a b -> compare leaves.(b).lc_ub leaves.(a).lc_ub) order;
+    let pow04 = Array.make (n + 1) 1.0 in
+    for i = 1 to n do
+      pow04.(i) <- pow04.(i - 1) *. default_belief
+    done;
+    (* sub.(i) = product of sorted upper bounds i.. — a document absent
+       from every leaf before i scores at most pow04.(i) *. sub.(i). *)
+    let sub = Array.make (n + 1) 1.0 in
+    for i = n - 1 downto 0 do
+      sub.(i) <- leaves.(order.(i)).lc_ub *. sub.(i + 1)
+    done;
+    (* Per-candidate refinement, as in the additive path: once the
+       document's length is known the tf bound tightens from
+       mtf/(mtf + 0.5) to mtf/(mtf + kd); still a true upper bound, so
+       pruning with it cannot change results. *)
+    let idf_s = Array.map (fun j -> leaves.(j).lc_coeff) order in
+    let mtf_s = Array.map (fun j -> leaves.(j).lc_mtf) order in
+    let rem_d = Array.make (n + 1) 1.0 in
+    let fill_rem_d d =
+      let dnorm =
+        if source.avg_doc_len > 0.0 then
+          float_of_int (source.doc_len d) /. source.avg_doc_len
+        else 1.0
+      in
+      let kd = 0.5 +. (1.5 *. dnorm) in
+      for i = n - 1 downto 0 do
+        let tfb = if mtf_s.(i) > 0.0 then mtf_s.(i) /. (mtf_s.(i) +. kd) else 1.0 in
+        rem_d.(i) <- (default_belief +. (0.6 *. idf_s.(i) *. tfb)) *. rem_d.(i + 1)
+      done
+    in
+    let ess = ref n in
+    let update_ess () =
+      let t = thr () in
+      while !ess > 0 && pow04.(!ess - 1) *. sub.(!ess - 1) +. margin <= t do
+        decr ess
+      done
+    in
+    let stopped = ref false in
+    (* With a seeded floor the essential set can shrink before any
+       candidate is scored, exactly as on the additive path. *)
+    update_ess ();
+    let running = ref true in
+    while !running do
+      if should_stop stats then begin
+        stopped := true;
+        running := false
+      end
+      else begin
+        let ess_now = !ess in
+        let d = ref max_int in
+        for j = 0 to ess_now - 1 do
+          match leaves.(order.(j)).lc_cur with
+          | Some cur ->
+            let cd = Postings.cur_doc cur in
+            if cd < !d then d := cd
+          | None -> ()
+        done;
+        if !d = max_int then running := false
+        else begin
+          let d = !d in
+          if ess_now < n then fill_rem_d d;
+          let acc = ref 1.0 and pruned = ref false and i = ref 0 in
+          while (not !pruned) && !i < n do
+            let lf = leaves.(order.(!i)) in
+            if !i < ess_now then acc := !acc *. leaf_belief lf d
+            else if !acc *. rem_d.(!i) +. margin <= thr () then pruned := true
+            else begin
+              (match lf.lc_cur with
+              | Some cur -> Postings.cursor_seek cur d
+              | None -> ());
+              acc := !acc *. leaf_belief lf d
+            end;
+            incr i
+          done;
+          let changed = ref false in
+          if not !pruned then begin
+            let s = final_score d in
+            if s > baseline +. 1e-12 then changed := Util.Topk.offer heap ~doc:d ~score:s
+          end;
+          (* Advance past d before the essential set shrinks, so the
+             cursor that supplied this frontier doc always moves. *)
+          for j = 0 to ess_now - 1 do
+            match leaves.(order.(j)).lc_cur with
+            | Some cur when Postings.cur_doc cur = d -> Postings.cursor_next cur
+            | _ -> ()
+          done;
+          if !changed then update_ess ()
+        end
+      end
+    done;
+    let ranked =
+      List.map
+        (fun e -> { doc = e.Util.Topk.doc; belief = e.Util.Topk.score })
+        (Util.Topk.sorted_desc heap)
+    in
+    let curs = Array.to_list leaves |> List.filter_map (fun lf -> lf.lc_cur) in
+    let total, decoded, blocks, seeks, bytes, loaded = cursor_counters curs in
+    ( ranked,
+      stats,
+      {
+        tk_plan = Planner.Intersect;
+        tk_pruned = true;
+        tk_postings_total = total;
+        tk_postings_decoded = decoded;
+        tk_blocks_skipped = blocks;
+        tk_seeks = seeks;
+        tk_bytes_read = bytes;
+        tk_blocks_read = loaded;
+        tk_est_bytes = 0;
+        tk_est_blocks = 0;
+        tk_stopped = !stopped;
+      } )
+  in
+  (* --- plan: intersection-first positional (#phrase/#od/#uw) --------
+
+     These operators are hard conjunctions (any absent member empties
+     the result), so a document-level leapfrog intersection is exact:
+     drive the rarest member, seek the others, and decode position
+     bytes lazily — only for co-occurring documents — through the same
+     per-document window matchers the exhaustive evaluator uses.  Two
+     phases because the leaf's df is its match count: matches are
+     collected first, then scored.  The caller's floor is deliberately
+     ignored (a superset of the floored result is always safe). *)
+  let positional_intersect_exec ~window ~unordered ws =
+    let stats = { postings_scored = 0; nodes_visited = 0; record_lookups = 0 } in
+    stats.nodes_visited <- 1;
+    let members = List.map (term_cursor stats) ws in
+    let stopped = ref false in
+    let matches =
+      if members = [] || List.exists Option.is_none members then []
+      else begin
+        let curs =
+          Array.of_list (List.map (fun m -> match m with Some (_, _, c) -> c | None -> assert false) members)
+        in
+        let nm = Array.length curs in
+        let driver = ref 0 in
+        for i = 1 to nm - 1 do
+          if Postings.cursor_df curs.(i) < Postings.cursor_df curs.(!driver) then driver := i
+        done;
+        let driver = !driver in
+        let out = ref [] in
+        let running = ref true in
+        while !running do
+          if should_stop stats then begin
+            stopped := true;
+            running := false
+          end
+          else begin
+            let d = Postings.cur_doc curs.(driver) in
+            if d = max_int then running := false
+            else begin
+              (* Leapfrog: seek every other member to d; any overshoot
+                 names the next possible co-occurrence. *)
+              let target = ref d in
+              for i = 0 to nm - 1 do
+                if i <> driver then begin
+                  Postings.cursor_seek curs.(i) d;
+                  let cd = Postings.cur_doc curs.(i) in
+                  if cd > !target then target := cd
+                end
+              done;
+              if !target = d then begin
+                (* Co-occurrence: only now touch position bytes, in
+                   member order for the ordered chain. *)
+                let arrays =
+                  Array.map
+                    (fun cur ->
+                      let ps = Postings.cursor_positions cur in
+                      stats.postings_scored <- stats.postings_scored + List.length ps;
+                      Array.of_list ps)
+                    curs
+                in
+                let tf =
+                  if unordered then uw_match_tf ~window arrays
+                  else od_match_tf ~window arrays.(0) (List.tl (Array.to_list arrays))
+                in
+                if tf > 0 then out := (d, tf) :: !out;
+                Postings.cursor_next curs.(driver)
+              end
+              else if !target = max_int then running := false
+              else Postings.cursor_seek curs.(driver) !target
+            end
+          end
+        done;
+        List.rev !out
+      end
+    in
+    (* Phase two: df is the match count, so scoring must wait for the
+       full intersection — identical inputs to eval_daat's match leaf. *)
+    let df = List.length matches in
+    let heap = Util.Topk.create ~k in
+    List.iter
+      (fun (d, tf) ->
+        stats.postings_scored <- stats.postings_scored + 1;
+        let b =
+          belief ~n_docs:source.n_docs ~df ~tf ~dl:(source.doc_len d)
+            ~avg_dl:source.avg_doc_len
+        in
+        (* A top-level positional query's baseline is the bare default:
+           the tree is one leaf. *)
+        if b > default_belief +. 1e-12 then ignore (Util.Topk.offer heap ~doc:d ~score:b))
+      matches;
+    let ranked =
+      List.map
+        (fun e -> { doc = e.Util.Topk.doc; belief = e.Util.Topk.score })
+        (Util.Topk.sorted_desc heap)
+    in
+    let curs = List.filter_map (fun m -> Option.map (fun (_, _, c) -> c) m) members in
+    let total, decoded, blocks, seeks, bytes, loaded = cursor_counters curs in
+    ( ranked,
+      stats,
+      {
+        tk_plan = Planner.Intersect;
+        tk_pruned = true;
+        tk_postings_total = total;
+        tk_postings_decoded = decoded;
+        tk_blocks_skipped = blocks;
+        tk_seeks = seeks;
+        tk_bytes_read = bytes;
+        tk_blocks_read = loaded;
+        tk_est_bytes = 0;
+        tk_est_blocks = 0;
+        tk_stopped = !stopped;
+      } )
+  in
+  let ranked, stats, tk =
+    match requested with
+    | Planner.Exhaustive -> exhaustive_exec ()
+    | Planner.Maxscore -> maxscore_exec ()
+    | Planner.Intersect -> (
+      match query with
+      | Query.And ns ->
+        and_intersect_exec (List.map (function Query.Term t -> t | _ -> assert false) ns)
+      | Query.Phrase ws -> positional_intersect_exec ~window:1 ~unordered:false ws
+      | Query.Od (window, ws) -> positional_intersect_exec ~window ~unordered:false ws
+      | Query.Uw (window, ws) -> positional_intersect_exec ~window ~unordered:true ws
+      | _ -> assert false)
+  in
+  audit_check ~stopped:tk.tk_stopped ranked;
+  (* Uniform estimated-vs-actual reporting: the executed plan's estimate
+     from the same memoized header statistics the decision used. *)
+  let est = Planner.estimate ~stats_of ~k query requested in
+  ( ranked,
+    stats,
+    { tk with tk_est_bytes = est.Planner.e_bytes; tk_est_blocks = est.Planner.e_blocks } )

@@ -88,14 +88,28 @@ val eval_daat :
     merely {e lack} a term) is not enumerated. *)
 
 type topk_stats = {
+  tk_plan : Planner.plan;  (** The plan that actually executed. *)
   tk_pruned : bool;
-      (** The max-score pruned path ran (vs. exhaustive fallback). *)
+      (** A pruning executor ran ([tk_plan <> Exhaustive]). *)
   tk_postings_total : int;
-      (** Postings carried by the query's term records (pruned path), or
-          postings actually scored (fallback). *)
-  tk_postings_decoded : int;  (** Postings the cursors actually decoded. *)
+      (** Postings carried by the records the query opened (cursor dfs
+          on the pruned plans; header dfs per leaf occurrence on the
+          exhaustive plan). *)
+  tk_postings_decoded : int;  (** Postings actually decoded. *)
   tk_blocks_skipped : int;  (** Skip blocks jumped without decoding. *)
   tk_seeks : int;  (** Cursor seeks that had to move. *)
+  tk_bytes_read : int;
+      (** Record bytes actually decoded: freshly decoded doc-region
+          blocks plus position bytes walked (cache hits add nothing;
+          the exhaustive plan charges each opened record's doc region,
+          plus its position region on position-matching leaves). *)
+  tk_blocks_read : int;
+      (** Skip blocks freshly decoded (exhaustive plan: every block of
+          every opened v2 record). *)
+  tk_est_bytes : int;
+      (** The planner's pre-execution byte estimate for the executed
+          plan — compare with [tk_bytes_read] for estimation error. *)
+  tk_est_blocks : int;  (** Likewise for blocks. *)
   tk_stopped : bool;  (** [should_stop] cut evaluation short. *)
 }
 
@@ -110,44 +124,63 @@ val eval_topk :
   ?stem:bool ->
   ?audit:bool ->
   ?exhaustive:bool ->
+  ?plan:Planner.choice ->
   ?should_stop:(stats -> bool) ->
   ?block_cache:Util.Block_cache.t * int ->
   k:int ->
   Query.t ->
   scored list * stats * topk_stats
-(** Max-score top-k document-at-a-time evaluation.
+(** Cost-planned top-k document-at-a-time evaluation.
 
-    For flat additive queries (a bare term, [#sum] of terms, [#wsum] of
-    terms) the evaluator sorts terms by their belief upper bound
-    (computable from [df] and the v2 record's [max_tf] header alone),
-    drives the frontier over the {e essential} prefix — the terms that
-    can still lift a document past the current k-th score — and probes
-    the rest via {!Postings.cursor_seek} only while the candidate's
-    partial score plus the remaining upper bounds beats the threshold.
-    Whole skip blocks of non-essential terms are never decoded.
+    The {!Planner} prices every applicable plan from the query records'
+    header statistics (one memoized fetch per entry — planning adds no
+    store reads) and the cheapest one executes:
 
-    Returned beliefs are bit-identical to taking the first [k] of
-    {!eval_daat}'s results sorted by belief descending (doc ascending on
-    ties): the surviving candidates are rescored by the same fold, and
-    pruning thresholds carry a conservative floating-point margin.
+    - {e Maxscore}, for flat additive queries (a bare term, [#sum] of
+      terms, [#wsum] of terms): terms sorted by belief upper bound
+      (from [df] and the v2 [max_tf] header alone), the frontier driven
+      over the {e essential} prefix — the terms that can still lift a
+      document past the current k-th score — the rest probed via
+      {!Postings.cursor_seek} only while the candidate's partial score
+      plus the remaining upper bounds beats the threshold.  Whole skip
+      blocks of non-essential terms are never decoded.
+    - {e Intersect}, for [#and] of terms and top-level
+      [#phrase]/[#od]/[#uw]: [#and] runs the max-score idea as a
+      product (a document absent from the highest-upper-bound members
+      cannot beat the banked k-th score, so their cursors gate the
+      frontier and the rest are only seeked); the positional operators
+      are hard conjunctions, evaluated by leapfrog intersection driven
+      from the rarest member with position bytes decoded lazily, only
+      for co-occurring documents.
+    - {e Exhaustive}, for every other shape ([#or], [#not], nested
+      operators, …) and whenever it prices no worse: full
+      {!eval_daat} plus bounded top-k selection ([tk_pruned = false]).
 
-    Any other query shape ([#phrase], [#not], nested operators, …)
-    falls back to exhaustive {!eval_daat} plus bounded top-k selection —
-    same results, no pruning ([tk_pruned = false]).
+    Whatever the plan, returned beliefs are bit-identical to taking the
+    first [k] of {!eval_daat}'s results sorted by belief descending
+    (doc ascending on ties): surviving candidates are rescored by the
+    same fold in the same order, and pruning thresholds carry a
+    conservative floating-point margin.
 
     @param df_of override the df a term leaf scores with, as in {!eval}
     (the sharding hook: global statistics over local records).
     @param floor seed the pruning threshold with an externally known
     kth score (the scatter-gather coordinator's current global bound):
     documents that cannot {e strictly} beat [floor] may be pruned on
-    the max-score path, so the result is the top-k among documents
-    scoring above it — ties at the floor survive.  Only the pruned path
-    consults it (the exhaustive fallback returns a superset; callers
-    filter at merge).  Raises [Invalid_argument] if combined with
-    [audit] (the oracle has no floor) or not finite.
+    the Maxscore and [#and]-Intersect paths, so the result is the top-k
+    among documents scoring above it — ties at the floor survive.  The
+    exhaustive and positional-intersect executors ignore it and return
+    a superset; callers filter at merge.  Raises [Invalid_argument] if
+    combined with [audit] (the oracle has no floor) or not finite.
     @param audit re-run the exhaustive evaluator and raise
-    {!Audit_mismatch} if the pruned ranking diverges (docs or beliefs).
-    @param exhaustive force the fallback path (for benchmarking).
+    {!Audit_mismatch} if the executed plan's ranking diverges (docs or
+    beliefs) — any plan, including a forced one.
+    @param exhaustive force the exhaustive plan (equivalent to
+    [~plan:(Forced Exhaustive)]; kept for existing callers).
+    @param plan {!Planner.Auto} (default) picks the cheapest applicable
+    plan; [Forced p] executes [p], falling back to the exhaustive plan
+    when [p] does not apply to the query's shape.  Plan choice never
+    changes results, only the bytes touched.
     @param should_stop polled once per candidate document (i.e. between
     postings blocks, not between whole terms), with the evaluation
     counters accrued so far — enough to price the work against a

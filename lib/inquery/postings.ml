@@ -476,6 +476,54 @@ let doc_count b = fst (stats b)
 
 let max_tf b = if version b = 2 then Some (parse_layout b).l_max_tf else None
 
+(* Cheap per-record statistics for the query planner: header and skip
+   table only, never the doc region, so the cost of asking is O(blocks)
+   parsing — orders of magnitude below a decode.  The caller fetched the
+   bytes through the record's locator; this is the read side of that
+   bargain. *)
+type record_stats = {
+  rs_tier : tier;
+  rs_df : int;
+  rs_cf : int;
+  rs_max_tf : int option; (* None on v1 records (no header slot) *)
+  rs_blocks : int; (* skip blocks; 0 on v1 (no skip table) *)
+  rs_doc_bytes : int;
+  rs_pos_bytes : int;
+}
+
+let record_stats b =
+  if version b = 2 then begin
+    let lay = parse_layout b in
+    {
+      rs_tier = tier b;
+      rs_df = lay.l_df;
+      rs_cf = lay.l_cf;
+      rs_max_tf = Some lay.l_max_tf;
+      rs_blocks = lay.l_blocks;
+      rs_doc_bytes = lay.l_doc_len;
+      rs_pos_bytes = Bytes.length b - lay.l_pos_off;
+    }
+  end
+  else begin
+    let df, pos = Util.Varint.decode b ~pos:0 in
+    let cf, pos = Util.Varint.decode b ~pos in
+    (* v1 interleaves (doc, tf) pairs with position gaps: a document
+       scan must walk every payload byte, so the whole payload counts
+       as doc bytes and nothing as separately skippable position
+       bytes. *)
+    {
+      rs_tier = V1;
+      rs_df = df;
+      rs_cf = cf;
+      rs_max_tf = None;
+      rs_blocks = 0;
+      rs_doc_bytes = Bytes.length b - pos;
+      rs_pos_bytes = 0;
+    }
+  end
+
+let stats_of_locator = record_stats
+
 let skip_table_region b =
   if version b = 2 then begin
     let lay = parse_layout b in
@@ -777,6 +825,15 @@ type cursor = {
   mutable decoded : int;
   mutable blocks_skipped : int;
   mutable n_seeks : int;
+  mutable blocks_loaded : int; (* blocks freshly decoded (cache hits excluded) *)
+  mutable bytes_read : int; (* record bytes actually decoded (doc + position) *)
+  (* Lazy per-document position walk (v2): the byte offset [p_off] of
+     in-block document [p_idx]'s position run inside block [p_blk].
+     Valid only when [p_blk] matches the decoded block. *)
+  mutable p_blk : int;
+  mutable p_idx : int;
+  mutable p_off : int;
+  mutable pos_run : int; (* v1: byte offset of the current posting's position run *)
 }
 
 (* Decode (or fetch from the cache) block [i] and make it current. *)
@@ -785,6 +842,8 @@ let load_block c i =
   let fresh () =
     let docs, tfs = decode_block c.data ~tr:c.cur_tier ~lay ~skips:c.skips i in
     c.decoded <- c.decoded + Array.length docs;
+    c.blocks_loaded <- c.blocks_loaded + 1;
+    c.bytes_read <- c.bytes_read + c.skips.(i).sk_doc_len;
     (docs, tfs)
   in
   let docs, tfs =
@@ -826,21 +885,30 @@ let cursor ?cache b =
         decoded = 0;
         blocks_skipped = 0;
         n_seeks = 0;
+        blocks_loaded = 0;
+        bytes_read = 0;
+        p_blk = -1;
+        p_idx = 0;
+        p_off = 0;
+        pos_run = 0;
       }
     in
     c.idx <- 0;
     if df = 0 then c.doc <- max_int
     else begin
       (* Position on the first posting. *)
+      let start = c.byte in
       let gap, pos = Util.Varint.decode b ~pos:c.byte in
       c.doc <- gap;
       let tf, pos = Util.Varint.decode b ~pos in
       c.tf <- tf;
+      c.pos_run <- pos;
       let rec skip n pos =
         if n = 0 then pos else skip (n - 1) (snd (Util.Varint.decode b ~pos))
       in
       c.byte <- skip tf pos;
-      c.decoded <- 1
+      c.decoded <- 1;
+      c.bytes_read <- c.bytes_read + (c.byte - start)
     end;
     c
   | tr ->
@@ -864,6 +932,12 @@ let cursor ?cache b =
         decoded = 0;
         blocks_skipped = 0;
         n_seeks = 0;
+        blocks_loaded = 0;
+        bytes_read = 0;
+        p_blk = -1;
+        p_idx = 0;
+        p_off = 0;
+        pos_run = 0;
       }
     in
     if lay.l_df > 0 then begin
@@ -886,15 +960,18 @@ let cursor_next c =
       c.doc <- max_int
     end
     else begin
+      let start = c.byte in
       let gap, pos = Util.Varint.decode c.data ~pos:c.byte in
       c.doc <- (if c.doc < 0 then gap else c.doc + gap);
       let tf, pos = Util.Varint.decode c.data ~pos in
       c.tf <- tf;
+      c.pos_run <- pos;
       let rec skip n pos =
         if n = 0 then pos else skip (n - 1) (snd (Util.Varint.decode c.data ~pos))
       in
       c.byte <- skip tf pos;
-      c.decoded <- c.decoded + 1
+      c.decoded <- c.decoded + 1;
+      c.bytes_read <- c.bytes_read + (c.byte - start)
     end
   end
   else if c.doc <> max_int then begin
@@ -917,6 +994,41 @@ let cursor_next c =
 let cursor_decoded c = c.decoded
 let cursor_blocks_skipped c = c.blocks_skipped
 let cursor_seeks c = c.n_seeks
+let cursor_blocks_loaded c = c.blocks_loaded
+let cursor_bytes_read c = c.bytes_read
+
+(* Decode the current document's position list.  On v2 records the
+   block's slice of the position region is walked forward on demand:
+   the skip table names where the block's positions start, and the
+   already-decoded tfs let preceding in-block runs be skipped — so an
+   intersection-style evaluator pays for positions only on documents
+   every member reaches, never for the rest of the record.  Walked
+   bytes count toward {!cursor_bytes_read}. *)
+let cursor_positions c =
+  if c.doc = max_int then invalid_arg "Postings.cursor_positions: cursor exhausted";
+  if c.cur_tier = V1 then fst (read_positions c.data ~pos:c.pos_run ~tf:c.tf)
+  else begin
+    (* Restart the walk when the cursor moved to a new block, or asked
+       for the same document twice (the walk already passed it). *)
+    if c.p_blk <> c.blk || c.p_idx > c.bi then begin
+      c.p_blk <- c.blk;
+      c.p_idx <- 0;
+      c.p_off <- c.skips.(c.blk).sk_pos_off
+    end;
+    let start = c.p_off in
+    let rec skip n pos =
+      if n = 0 then pos else skip (n - 1) (snd (Util.Varint.decode c.data ~pos))
+    in
+    while c.p_idx < c.bi do
+      c.p_off <- skip c.btfs.(c.p_idx) c.p_off;
+      c.p_idx <- c.p_idx + 1
+    done;
+    let ps, fin = read_positions c.data ~pos:c.p_off ~tf:c.tf in
+    c.p_off <- fin;
+    c.p_idx <- c.bi + 1;
+    c.bytes_read <- c.bytes_read + (fin - start);
+    ps
+  end
 
 let cursor_seek c target =
   if c.doc < target && c.doc <> max_int then begin

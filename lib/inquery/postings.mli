@@ -119,6 +119,31 @@ end
 val stats : bytes -> int * int
 (** [(df, cf)] from the header. *)
 
+type record_stats = {
+  rs_tier : tier;
+  rs_df : int;
+  rs_cf : int;
+  rs_max_tf : int option;  (** [None] on v1 records (no header slot). *)
+  rs_blocks : int;  (** Skip blocks; [0] on v1 (no skip table). *)
+  rs_doc_bytes : int;
+      (** Doc-region bytes a full document scan decodes.  On v1 the
+          whole payload (positions are interleaved and cannot be
+          skipped), on v2 the doc region alone. *)
+  rs_pos_bytes : int;  (** Position-region bytes; [0] on v1. *)
+}
+(** The per-record inputs to the query planner's cost model. *)
+
+val record_stats : bytes -> record_stats
+(** Parses the header and (on v2) the varint-coded region lengths only
+    — never the doc or position regions — so asking costs O(1) parsing
+    regardless of df.  The planner estimates each candidate plan's
+    decode bytes from these without paying any decode itself. *)
+
+val stats_of_locator : bytes -> record_stats
+(** Alias for {!record_stats}: the argument is the record fetched by a
+    dictionary entry's locator (this module never resolves locators
+    itself — the store does). *)
+
 val max_tf : bytes -> int option
 (** Largest within-document frequency in the record — the input to a
     term's belief upper bound.  [None] for v1 records (no header slot). *)
@@ -215,3 +240,21 @@ val cursor_blocks_skipped : cursor -> int
 
 val cursor_seeks : cursor -> int
 (** Number of forward {!cursor_seek} calls that had to move. *)
+
+val cursor_blocks_loaded : cursor -> int
+(** Blocks freshly decoded by this cursor (cache hits excluded); [0] on
+    v1 records.  The planner's estimated-vs-actual block counter. *)
+
+val cursor_bytes_read : cursor -> int
+(** Record bytes this cursor actually decoded: doc-region bytes of every
+    freshly decoded block (v1: all bytes stepped over) plus position
+    bytes walked by {!cursor_positions}.  Cache hits add nothing.  The
+    planner's estimated-vs-actual byte counter. *)
+
+val cursor_positions : cursor -> int list
+(** The current document's ascending positions — identical to what
+    {!fold_positions} reports for this document.  On v2 records the
+    block's position slice is walked lazily and forward-only (preceding
+    runs skipped via the decoded tfs), so positions cost nothing until
+    asked for and an ascending intersection pays only for co-occurring
+    documents.  Raises [Invalid_argument] if the cursor is exhausted. *)

@@ -68,9 +68,14 @@ let pruned_queries =
   [ "apple"; "#sum( apple banana )"; "#sum( apple banana cherry fig date )";
     "#wsum( 3 apple 1 cherry 2 fig )"; "#wsum( 1 retrieval 2 information )" ]
 
+(* Shapes the intersection-first executor now handles: top-level #and
+   of terms and the positional operators plan as Intersect. *)
+let intersect_queries =
+  [ "#and( banana cherry )"; "#phrase( information retrieval )";
+    "#od3( information retrieval )"; "#uw5( retrieval information )" ]
+
 let fallback_queries =
-  [ "#and( banana cherry )"; "#or( date grape )"; "#max( apple elderberry )";
-    "#phrase( information retrieval )"; "#not( apple )";
+  [ "#or( date grape )"; "#max( apple elderberry )"; "#not( apple )";
     "#sum( retrieval #phrase( information retrieval ) )";
     "#sum( apple #and( banana cherry ) )" ]
 
@@ -80,8 +85,23 @@ let test_pruned_path_runs () =
     (fun query ->
       let q = Inquery.Query.parse_exn query in
       let _, _, t = Inquery.Infnet.eval_topk source dict ~k:3 q in
-      Alcotest.(check bool) ("pruned path: " ^ query) true t.Inquery.Infnet.tk_pruned)
+      Alcotest.(check bool) ("pruned path: " ^ query) true t.Inquery.Infnet.tk_pruned;
+      Alcotest.(check bool) ("maxscore plan: " ^ query) true
+        (t.Inquery.Infnet.tk_plan = Inquery.Planner.Maxscore))
     pruned_queries
+
+let test_intersect_shapes () =
+  let source, dict = make () in
+  List.iter
+    (fun query ->
+      let q = Inquery.Query.parse_exn query in
+      let got, _, t = Inquery.Infnet.eval_topk source dict ~k:4 q in
+      Alcotest.(check bool) ("intersect plan: " ^ query) true
+        (t.Inquery.Infnet.tk_plan = Inquery.Planner.Intersect);
+      Alcotest.(check bool) ("pruned: " ^ query) true t.Inquery.Infnet.tk_pruned;
+      let expect = reference source dict q ~k:4 in
+      Alcotest.(check bool) ("identical: " ^ query) true (got = expect))
+    intersect_queries
 
 let test_fallback_shapes () =
   let source, dict = make () in
@@ -90,9 +110,31 @@ let test_fallback_shapes () =
       let q = Inquery.Query.parse_exn query in
       let got, _, t = Inquery.Infnet.eval_topk source dict ~k:4 q in
       Alcotest.(check bool) ("fallback: " ^ query) false t.Inquery.Infnet.tk_pruned;
+      Alcotest.(check bool) ("exhaustive plan: " ^ query) true
+        (t.Inquery.Infnet.tk_plan = Inquery.Planner.Exhaustive);
       let expect = reference source dict q ~k:4 in
       Alcotest.(check bool) ("identical: " ^ query) true (got = expect))
     fallback_queries
+
+let test_forced_plans_identical () =
+  (* Every forced plan returns bit-identical results on every shape —
+     inapplicable plans fall back to exhaustive rather than failing. *)
+  let source, dict = make () in
+  List.iter
+    (fun query ->
+      let q = Inquery.Query.parse_exn query in
+      let expect = reference source dict q ~k:4 in
+      List.iter
+        (fun p ->
+          let got, _, _ =
+            Inquery.Infnet.eval_topk source dict ~audit:true
+              ~plan:(Inquery.Planner.Forced p) ~k:4 q
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "forced %s: %s" (Inquery.Planner.plan_name p) query)
+            true (got = expect))
+        [ Inquery.Planner.Exhaustive; Inquery.Planner.Maxscore; Inquery.Planner.Intersect ])
+    (pruned_queries @ intersect_queries @ fallback_queries)
 
 let test_exhaustive_flag () =
   let source, dict = make () in
@@ -199,6 +241,8 @@ let gen_query =
           map2
             (fun a b -> Printf.sprintf "#phrase( %s %s )" a b)
             term term);
+        (1, map2 (fun a b -> Printf.sprintf "#od3( %s %s )" a b) term term);
+        (1, map2 (fun a b -> Printf.sprintf "#uw5( %s %s )" a b) term term);
         (1,
           map2
             (fun ts (a, b) ->
@@ -222,10 +266,12 @@ let prop_topk_is_first_k =
 let suite =
   List.map
     (fun q -> Alcotest.test_case ("identical: " ^ q) `Quick (check_identical q))
-    (pruned_queries @ fallback_queries)
+    (pruned_queries @ intersect_queries @ fallback_queries)
   @ [
       Alcotest.test_case "pruned path runs on flat shapes" `Quick test_pruned_path_runs;
+      Alcotest.test_case "intersect shapes" `Quick test_intersect_shapes;
       Alcotest.test_case "fallback shapes" `Quick test_fallback_shapes;
+      Alcotest.test_case "forced plans identical" `Quick test_forced_plans_identical;
       Alcotest.test_case "exhaustive flag" `Quick test_exhaustive_flag;
       Alcotest.test_case "edge ks" `Quick test_edge_ks;
       Alcotest.test_case "pruning decodes fewer" `Quick test_pruning_decodes_fewer;
